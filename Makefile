@@ -1,0 +1,28 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples reports clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/nx_stencil.py
+	$(PYTHON) examples/rpc_keyvalue.py
+	$(PYTHON) examples/sockets_streaming.py
+	$(PYTHON) examples/shrimp_rpc_demo.py
+	$(PYTHON) examples/shared_memory.py
+
+reports: bench
+	@echo; echo "=== benchmark reports (benchmarks/results/) ==="; echo
+	@for f in benchmarks/results/*.txt; do echo "--- $$f"; cat $$f; echo; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one experiment harness (a deterministic simulation)
+under pytest-benchmark, asserts the paper's *shape* claims, records the
+headline numbers in ``benchmark.extra_info``, and writes the full text
+report to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """Write an experiment's text report next to the benchmarks."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / name).write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic simulation harness exactly once under the
+    benchmark clock (repetition would measure the same event sequence)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Figure 3: latency and bandwidth delivered by the SHRIMP VMMC layer.
+
+Regenerates the four raw transfer-strategy curves (AU-1copy, AU-2copy,
+DU-0copy, DU-1copy) and checks the paper's shape claims:
+
+* AU one-word latency 4.75 us (write-through) / 3.7 us (uncached),
+  DU 7.6 us;
+* AU outperforms DU for small messages (lower start-up cost);
+* DU-0copy peaks near 23 MB/s, the EISA DMA limit, and overtakes AU
+  for large messages (AU is capped by its sender-side copy).
+"""
+
+from conftest import run_once
+
+from repro.bench import figure3_raw_vmmc
+
+
+def test_fig3_vmmc_raw(benchmark, save_report):
+    result = run_once(benchmark, figure3_raw_vmmc)
+
+    au1 = result.series_named("AU-1copy")
+    au2 = result.series_named("AU-2copy")
+    du0 = result.series_named("DU-0copy")
+    du1 = result.series_named("DU-1copy")
+
+    # Small messages: automatic update wins on start-up cost.
+    assert au1.latency_at(4) < du0.latency_at(4)
+    assert au1.latency_at(64) < du0.latency_at(64)
+
+    # Large messages: DU-0copy is fastest, approaching the EISA limit.
+    for other in (au1, au2, du1):
+        assert du0.bandwidth_at(10240) > other.bandwidth_at(10240)
+    assert 20.0 < du0.bandwidth_at(10240) < 24.0
+
+    # Extra copies cost bandwidth, in order.
+    assert au1.bandwidth_at(10240) > au2.bandwidth_at(10240)
+    assert du0.bandwidth_at(10240) > du1.bandwidth_at(10240)
+
+    # AU-1copy is capped by the copy rate (~20 MB/s), below DU-0copy.
+    assert 15.0 < au1.bandwidth_at(10240) < 21.0
+
+    benchmark.extra_info["du0_peak_mb_s"] = round(du0.bandwidth_at(10240), 2)
+    benchmark.extra_info["au1_4b_latency_us"] = round(au1.latency_at(4), 2)
+    save_report("figure3.txt", result.report())

@@ -1,0 +1,52 @@
+"""Figure 4: NX latency and bandwidth, five variants.
+
+Shape claims checked:
+
+* the left-hand-graph tradeoff: for small messages the single-DU
+  '2copy' variant beats the two-DU '1copy' variant, and the ordering
+  flips as size grows ('the cost of copying begins to exceed the cost
+  of the extra send');
+* AU variants have the lowest small-message latency;
+* the forced-zero-copy curve (DU-0copy) loses badly for small messages
+  (the scout round trip) — why NX switches protocols;
+* the protocol-switch 'bump' at the packet-buffer size, above which all
+  variants converge to the zero-copy protocol and asymptotically
+  approach the raw hardware limit.
+"""
+
+from conftest import run_once
+
+from repro.bench import figure4_nx
+
+
+def test_fig4_nx(benchmark, save_report):
+    result = run_once(benchmark, figure4_nx)
+
+    au1 = result.series_named("AU-1copy")
+    au2 = result.series_named("AU-2copy")
+    du0 = result.series_named("DU-0copy")
+    du1 = result.series_named("DU-1copy")
+    du2 = result.series_named("DU-2copy")
+
+    # Copy-vs-extra-send tradeoff with a crossover.
+    assert du2.latency_at(8) < du1.latency_at(8)
+    assert du1.latency_at(1024) < du2.latency_at(1024)
+
+    # AU cheapest start-up; forced zero-copy worst for small messages.
+    assert au1.latency_at(8) < du1.latency_at(8)
+    assert du0.latency_at(8) > au1.latency_at(8)
+
+    # Above the packet-buffer size all variants run the same zero-copy
+    # protocol: curves converge...
+    for series in (au2, du0, du1, du2):
+        assert abs(series.latency_at(10240) - au1.latency_at(10240)) < 1.0
+    # ...and approach the raw hardware limit (DU-0copy ~22.7 MB/s raw).
+    assert au1.bandwidth_at(10240) > 19.0
+
+    # The bump: right above the switch, latency improves on AU-2copy
+    # (one-copy-per-side marshaling stops paying off).
+    assert au2.latency_at(2052) < au2.latency_at(2048)
+
+    benchmark.extra_info["au1_8b_latency_us"] = round(au1.latency_at(8), 2)
+    benchmark.extra_info["large_bw_mb_s"] = round(au1.bandwidth_at(10240), 2)
+    save_report("figure4.txt", result.report())

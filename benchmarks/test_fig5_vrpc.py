@@ -1,0 +1,40 @@
+"""Figure 5: VRPC latency and bandwidth vs argument/result size.
+
+Shape claims checked:
+
+* null-call round trip about 29 us (paper's headline), far faster than
+  conventional-network SunRPC;
+* AU beats DU for small arguments, as in every library;
+* bandwidth grows monotonically with argument size and reaches the
+  several-MB/s range at 10 KB arguments.
+"""
+
+from conftest import run_once
+
+from repro.bench import figure5_vrpc, vrpc_pingpong
+
+
+def test_fig5_vrpc(benchmark, save_report):
+    result = run_once(benchmark, figure5_vrpc)
+
+    au = result.series_named("AU-1copy")
+    du = result.series_named("DU-1copy")
+
+    # Small arguments: automatic update wins.
+    assert au.latency_at(4) < du.latency_at(4)
+
+    # Null-ish round trip near the paper's 29 us.
+    assert 26.0 < au.latency_at(4) < 34.0
+
+    # Monotone bandwidth, reasonable asymptote.  The metric here is
+    # one-way argument bytes over the full round trip; an echo call
+    # moves the payload twice, so the duplex rate is double this.
+    bandwidths = [p.bandwidth_mb_s for p in sorted(au.points, key=lambda p: p.size)]
+    assert bandwidths == sorted(bandwidths)
+    assert au.bandwidth_at(10240) > 5.5
+
+    null_rtt = vrpc_pingpong(0, automatic=True)
+    assert 26.0 < null_rtt < 33.0
+    benchmark.extra_info["null_rtt_us"] = round(null_rtt, 2)
+    benchmark.extra_info["au_10k_bw_mb_s"] = round(au.bandwidth_at(10240), 2)
+    save_report("figure5.txt", result.report())

@@ -1,0 +1,43 @@
+"""Figure 7: stream-socket latency and bandwidth, three variants.
+
+Shape claims checked:
+
+* small messages run ~13 us above the raw hardware limit, 'divided
+  roughly equally between the sender and receiver';
+* AU-2copy has the lowest small-message latency;
+* for large messages performance is close to (here: at or above) the
+  raw one-copy limit, with DU-1copy fastest and DU-2copy paying for
+  its staging copy;
+* a zero-copy socket is impossible (protection), so no curve ever
+  reaches the DU-0copy raw limit of ~23 MB/s.
+"""
+
+from conftest import run_once
+
+from repro.bench import STRATEGIES, figure7_sockets, vmmc_pingpong
+
+
+def test_fig7_sockets(benchmark, save_report):
+    result = run_once(benchmark, figure7_sockets)
+
+    au2 = result.series_named("AU-2copy")
+    du1 = result.series_named("DU-1copy")
+    du2 = result.series_named("DU-2copy")
+
+    # ~13 us over the raw AU hardware limit for small messages.
+    raw = vmmc_pingpong(STRATEGIES["AU-1copy"], 4, iterations=8)
+    overhead = au2.latency_at(4) - raw.one_way_latency_us
+    assert 10.0 < overhead < 16.0, overhead
+
+    # AU cheapest start-up; staging copy costs at every size.
+    assert au2.latency_at(4) < du1.latency_at(4)
+    assert du2.latency_at(10240) > du1.latency_at(10240)
+
+    # Large-message ordering and the protection ceiling.
+    assert du1.bandwidth_at(10240) > du2.bandwidth_at(10240)
+    for series in (au2, du1, du2):
+        assert series.bandwidth_at(10240) < 23.0
+
+    benchmark.extra_info["small_overhead_us"] = round(overhead, 2)
+    benchmark.extra_info["du1_10k_bw_mb_s"] = round(du1.bandwidth_at(10240), 2)
+    save_report("figure7.txt", result.report())

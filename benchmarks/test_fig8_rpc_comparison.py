@@ -1,0 +1,38 @@
+"""Figure 8: compatible (VRPC) vs non-compatible (SHRIMP RPC) round-trip
+time for a null call with a single INOUT argument of varying size.
+
+Shape claims checked:
+
+* the non-compatible system wins at every argument size;
+* the gap is largest (factor ~3 in the paper, >2.3 here) for small
+  arguments — the SunRPC header VRPC must send every call vs 'just the
+  data plus a one-word flag';
+* for large transfers the difference is roughly a factor of two —
+  the non-compatible system never explicitly sends OUT arguments back
+  (a null procedure writes nothing, so nothing returns but the flag).
+"""
+
+from conftest import run_once
+
+from repro.bench import figure8_rpc_comparison
+
+
+def test_fig8_rpc_comparison(benchmark, save_report):
+    result = run_once(benchmark, figure8_rpc_comparison)
+
+    compatible = result.series_named("compatible")
+    non_compatible = result.series_named("non-compatible")
+
+    sizes = [p.size for p in compatible.points]
+    for size in sizes:
+        assert non_compatible.latency_at(size) < compatible.latency_at(size)
+
+    small_ratio = compatible.latency_at(1) / non_compatible.latency_at(1)
+    large_ratio = compatible.latency_at(1000) / non_compatible.latency_at(1000)
+    assert small_ratio > 2.3, small_ratio
+    assert large_ratio > 1.8, large_ratio
+
+    benchmark.extra_info["small_ratio"] = round(small_ratio, 2)
+    benchmark.extra_info["large_ratio"] = round(large_ratio, 2)
+    benchmark.extra_info["srpc_null_rtt_us"] = round(non_compatible.latency_at(1), 2)
+    save_report("figure8.txt", result.report())

@@ -1,0 +1,45 @@
+"""Every scalar claim in the paper's text, measured in one table.
+
+This is the per-number paper-vs-measured record that EXPERIMENTS.md
+summarizes; tight tolerances live in tests/calibration, this harness
+prints the side-by-side table.
+"""
+
+from conftest import run_once
+
+from repro.bench import headline_scalars
+from repro.bench.report import format_table
+
+# (key, paper value, description)
+PAPER = [
+    ("au_word_wt_us", 4.75, "AU one-word latency, write-through (us)"),
+    ("au_word_uncached_us", 3.7, "AU one-word latency, uncached (us)"),
+    ("du_word_us", 7.6, "DU one-word latency (us)"),
+    ("du_0copy_peak_mb_s", 23.0, "DU-0copy peak bandwidth (MB/s)"),
+    ("vrpc_null_rtt_us", 29.0, "VRPC null-call round trip (us)"),
+    ("srpc_null_inout_rtt_us", 9.5, "SHRIMP RPC null call round trip (us)"),
+]
+
+
+def test_headline_scalars(benchmark, save_report):
+    measured = run_once(benchmark, headline_scalars)
+
+    rows = [["scalar", "paper", "measured", "ratio"]]
+    for key, paper_value, description in PAPER:
+        value = measured[key]
+        rows.append([description, "%.2f" % paper_value, "%.2f" % value,
+                     "%.2f" % (value / paper_value)])
+        # Broad sanity: within 40% of the paper (tight checks live in
+        # tests/calibration where the model pins them closely).
+        assert 0.6 < value / paper_value < 1.4, (key, value)
+
+    # Library overheads over the hardware limit (paper: ~6 us NX,
+    # ~13 us sockets).
+    nx_over = measured["nx_small_au_us"] - measured["raw_small_au_us"]
+    rows.append(["NX small-message overhead over raw (us)", "6.0",
+                 "%.2f" % nx_over, "%.2f" % (nx_over / 6.0)])
+    assert 4.0 < nx_over < 10.0, nx_over
+
+    for key, value in measured.items():
+        benchmark.extra_info[key] = round(value, 3)
+    save_report("headline_scalars.txt", "\n".join(format_table(rows)))

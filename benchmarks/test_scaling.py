@@ -1,0 +1,127 @@
+"""Scaling study: the 16-node expansion the paper's conclusion plans.
+
+Measures how the calibrated communication costs behave when the mesh
+grows from 2x2 to 4x4:
+
+* point-to-point latency grows only by per-hop routing time (the mesh
+  is not the bottleneck — the paper's premise survives scaling);
+* tree-based collectives scale logarithmically while naive sequential
+  multicast scales linearly.
+"""
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.hardware.config import MachineConfig
+from repro.libs.collectives import broadcast, broadcast_naive
+from repro.libs.nx import VARIANTS, nx_world
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+def _one_way(config, node_a, node_b):
+    system = make_system(config)
+    rdv = Rendezvous(system)
+    timing = {}
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr, 4, lambda b: b == b"ping")
+        timing["end"] = proc.sim.now
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"ping")
+        timing["start"] = proc.sim.now
+        yield from ep.send(imported, src, 4)
+
+    r = system.spawn(node_b, receiver)
+    s = system.spawn(node_a, sender)
+    system.run_processes([r, s])
+    hops = system.machine.mesh.hops(node_a, node_b)
+    return timing["end"] - timing["start"], hops
+
+
+def _broadcast_time(config, n, tree, nbytes=1024):
+    system = make_system(config)
+    bcast = broadcast if tree else broadcast_naive
+    started, finished = [], []
+
+    def program(nx):
+        buf = nx.proc.space.mmap(PAGE)
+        if nx.mynode() == 0:
+            nx.proc.poke(buf, bytes(nbytes))
+        yield from nx.gsync()
+        started.append(nx.proc.sim.now)
+        yield from bcast(nx, buf, nbytes, root=0)
+        finished.append(nx.proc.sim.now)
+
+    handles = nx_world(system, [program] * n, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    return max(finished) - min(started)
+
+
+def test_scaling_point_to_point(benchmark, save_report):
+    def run():
+        four = MachineConfig.shrimp_prototype()
+        sixteen = MachineConfig.sixteen_node()
+        return {
+            "4-node adjacent": _one_way(four, 0, 1),
+            "4-node diagonal": _one_way(four, 0, 3),
+            "16-node adjacent": _one_way(sixteen, 0, 1),
+            "16-node corner-to-corner": _one_way(sixteen, 0, 15),
+        }
+
+    results = run_once(benchmark, run)
+    config = MachineConfig.sixteen_node()
+    # Distance costs only per-hop routing: corner-to-corner (6 hops) is
+    # adjacent (1 hop) plus 5 hop latencies, within rounding.
+    near, near_hops = results["16-node adjacent"]
+    far, far_hops = results["16-node corner-to-corner"]
+    assert far_hops - near_hops == 5
+    extra = far - near
+    assert extra < 6 * config.router_hop_latency
+    # Same-geometry measurements agree across machine sizes.
+    assert abs(results["4-node adjacent"][0] - near) < 0.5
+
+    rows = [["path", "hops", "one-way latency (us)"]]
+    for name, (latency, hops) in results.items():
+        rows.append([name, str(hops), "%.2f" % latency])
+        benchmark.extra_info[name.replace(" ", "_")] = round(latency, 3)
+    save_report("scaling_p2p.txt", "\n".join(format_table(rows)))
+
+
+def test_scaling_collectives(benchmark, save_report):
+    def run():
+        out = {}
+        for n, config in ((4, MachineConfig.shrimp_prototype()),
+                          (16, MachineConfig.sixteen_node())):
+            out[n] = {
+                "tree": _broadcast_time(config, n, tree=True),
+                "naive": _broadcast_time(config, n, tree=False),
+            }
+        return out
+
+    results = run_once(benchmark, run)
+    # Naive multicast cost grows ~linearly with node count; the tree
+    # grows much more slowly (log rounds).
+    naive_growth = results[16]["naive"] / results[4]["naive"]
+    tree_growth = results[16]["tree"] / results[4]["tree"]
+    assert naive_growth > 2.5
+    assert tree_growth < naive_growth
+    assert results[16]["tree"] < results[16]["naive"]
+
+    rows = [["nodes", "tree (us)", "naive (us)"]]
+    for n in (4, 16):
+        rows.append([str(n), "%.1f" % results[n]["tree"],
+                     "%.1f" % results[n]["naive"]])
+    benchmark.extra_info["tree_growth"] = round(tree_growth, 2)
+    benchmark.extra_info["naive_growth"] = round(naive_growth, 2)
+    save_report("scaling_collectives.txt", "\n".join(format_table(rows)))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Shared memory over VMMC: a two-party bounded buffer, no messages.
+
+Section 2 lists shared memory among the models VMMC supports.  Two
+processes bind mirror-image segments to each other; after that there
+are no sends and no receives — just stores that appear on the other
+side (with remote-update latency) and watch-assisted spinning on flags.
+
+A producer fills a 4-entry ring in the shared segment; a consumer
+drains it; head/tail indices are the only synchronization, each written
+by exactly one party (the single-writer discipline the hardware's
+update model requires).
+
+Run:  python examples/shared_memory.py
+"""
+
+import struct
+
+from repro.libs.shmem import SharedRegion
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+SLOTS = 4
+SLOT_BYTES = 64
+ITEMS = 10
+
+# Segment layout: [slots][head][tail]
+HEAD_OFF = SLOTS * SLOT_BYTES          # written by the producer only
+TAIL_OFF = HEAD_OFF + 4                # written by the consumer only
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack("<I", value)
+
+
+def main() -> None:
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def producer(proc):
+        ep = attach(system, proc)
+        seg = yield from SharedRegion.join(ep, rdv, "ring", PAGE, member=0)
+        head = 0
+        for item in range(ITEMS):
+            # Wait for a free slot (consumer publishes its tail).
+            while True:
+                raw = yield from seg.read(TAIL_OFF, 4)
+                (tail,) = struct.unpack("<I", raw)
+                if head - tail < SLOTS:
+                    break
+                yield from seg.wait_change(TAIL_OFF, 4, raw)
+            payload = ("item-%02d" % item).encode().ljust(SLOT_BYTES, b".")
+            yield from seg.write((head % SLOTS) * SLOT_BYTES, payload)
+            head += 1
+            yield from seg.write(HEAD_OFF, _u32(head))  # publish after data
+        print("[producer @ %8.1f us] produced %d items, no messages sent"
+              % (proc.sim.now, ITEMS))
+
+    def consumer(proc):
+        ep = attach(system, proc)
+        seg = yield from SharedRegion.join(ep, rdv, "ring", PAGE, member=1)
+        tail = 0
+        got = []
+        while tail < ITEMS:
+            while True:
+                raw = yield from seg.read(HEAD_OFF, 4)
+                (head,) = struct.unpack("<I", raw)
+                if head > tail:
+                    break
+                yield from seg.wait_change(HEAD_OFF, 4, raw)
+            data = yield from seg.read((tail % SLOTS) * SLOT_BYTES, SLOT_BYTES)
+            got.append(data.rstrip(b".").decode())
+            tail += 1
+            yield from seg.write(TAIL_OFF, _u32(tail))  # free the slot
+        print("[consumer @ %8.1f us] drained: %s ... %s"
+              % (proc.sim.now, got[0], got[-1]))
+        assert got == ["item-%02d" % i for i in range(ITEMS)]
+
+    p = system.spawn(0, producer, name="producer")
+    c = system.spawn(1, consumer, name="consumer")
+    system.run_processes([p, c])
+    stats = system.machine.stats()
+    print("done at t=%.1f us; backplane carried %d bytes of updates"
+          % (system.sim.now, stats["bytes_routed"]))
+
+
+if __name__ == "__main__":
+    main()

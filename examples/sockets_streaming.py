@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sockets example: a ttcp-style streaming transfer with live accounting.
+
+A producer on node 0 streams a large buffer through a BSD-compatible
+stream socket to a consumer on node 1, which verifies the byte stream
+and reports throughput — the Section 4.3 methodology.  Connection
+establishment runs over the (slow) commodity Ethernet; the data never
+touches it.
+
+Run:  python examples/sockets_streaming.py
+"""
+
+from repro.libs.sockets import SOCKET_VARIANTS, SocketLib
+from repro.testbed import make_system
+
+PAGE = 4096
+MESSAGE = 7168          # ttcp's 7 KB writes
+COUNT = 32              # 224 KB total, many times the 8 KB ring
+PORT = 5001
+
+
+def pattern(total: int) -> bytes:
+    return bytes((i * 131 + 17) % 256 for i in range(total))
+
+
+def main() -> None:
+    for variant in ("DU-1copy", "AU-2copy"):
+        system = make_system()
+        report = {}
+
+        def consumer(proc, variant=variant, report=report):
+            lib = SocketLib(system, proc, variant=SOCKET_VARIANTS[variant],
+                            ring_bytes=8192)
+            listener = lib.listen(PORT)
+            sock = yield from listener.accept()
+            started = proc.sim.now
+            buf = proc.space.mmap(2 * PAGE)
+            received = bytearray()
+            while True:
+                got = yield from sock.recv(buf, 2 * PAGE)
+                if got == 0:
+                    break
+                received += proc.peek(buf, got)
+            elapsed = proc.sim.now - started
+            expected = pattern(MESSAGE) * COUNT
+            report["ok"] = bytes(received) == expected
+            report["bytes"] = len(received)
+            report["mb_s"] = len(received) / elapsed
+
+        def producer(proc, variant=variant):
+            lib = SocketLib(system, proc, variant=SOCKET_VARIANTS[variant],
+                            ring_bytes=8192)
+            sock = yield from lib.connect(1, PORT)
+            src = proc.space.mmap(2 * PAGE)
+            proc.poke(src, pattern(MESSAGE))
+            for _ in range(COUNT):
+                yield from sock.send(src, MESSAGE)
+            yield from sock.close()
+
+        c = system.spawn(1, consumer, name="consumer")
+        p = system.spawn(0, producer, name="producer")
+        system.run_processes([c, p])
+        print("%-8s  %6d bytes  stream intact: %-5s  one-way %.2f MB/s"
+              % (variant, report["bytes"], report["ok"], report["mb_s"]))
+    print("\n(paper, real hardware: ttcp peaked at 8.6 MB/s with 7 KB writes;")
+    print(" the simulated receive path overlaps copy-out with incoming DMA,")
+    print(" so the model lands higher — see EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

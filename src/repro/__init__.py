@@ -1,0 +1,22 @@
+"""shrimp-vmmc: a reproduction of 'Early Experience with Message-Passing
+on the SHRIMP Multicomputer' (ISCA 1996).
+
+The public surface, top-down:
+
+* :mod:`repro.testbed` — build a system, coordinate processes
+* :mod:`repro.vmmc` — the VMMC API (the paper's contribution)
+* :mod:`repro.libs` — NX, SunRPC-compatible VRPC, stream sockets,
+  specialized SHRIMP RPC, software collectives
+* :mod:`repro.bench` — the figure-regeneration harnesses
+* :mod:`repro.hardware` / :mod:`repro.kernel` / :mod:`repro.sim` — the
+  simulated machine, OS, and the discrete-event substrate
+* :mod:`repro.analysis` — analytic latency decompositions
+
+Start with ``examples/quickstart.py`` or README.md.
+"""
+
+from .testbed import Rendezvous, make_system
+
+__version__ = "1.0.0"
+
+__all__ = ["Rendezvous", "make_system", "__version__"]

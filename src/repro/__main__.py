@@ -1,0 +1,111 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+    python -m repro scalars          # the headline scalar table
+    python -m repro fig3|fig4|fig5|fig7|fig8
+    python -m repro ttcp
+    python -m repro budget           # analytic one-word latency budgets
+    python -m repro all              # everything, in order
+
+Each figure command prints the same rows the paper plots (and that
+``pytest benchmarks/`` asserts the shape of).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import au_word_budget, du_word_budget
+from .bench import (
+    figure3_raw_vmmc,
+    figure4_nx,
+    figure5_vrpc,
+    figure7_sockets,
+    figure8_rpc_comparison,
+    headline_scalars,
+    ttcp_results,
+)
+from .bench.report import format_table
+from .hardware.config import CacheMode
+
+_PAPER_SCALARS = {
+    "au_word_wt_us": ("AU one-word latency, write-through (us)", 4.75),
+    "au_word_uncached_us": ("AU one-word latency, uncached (us)", 3.7),
+    "du_word_us": ("DU one-word latency (us)", 7.6),
+    "du_0copy_peak_mb_s": ("DU-0copy peak bandwidth (MB/s)", 23.0),
+    "nx_small_au_us": ("NX small-message latency (us)", None),
+    "raw_small_au_us": ("raw AU small-message latency (us)", None),
+    "socket_small_au_us": ("socket small-message latency (us)", None),
+    "vrpc_null_rtt_us": ("VRPC null round trip (us)", 29.0),
+    "srpc_null_inout_rtt_us": ("SHRIMP RPC null+INOUT round trip (us)", 9.5),
+}
+
+
+def _cmd_scalars() -> None:
+    measured = headline_scalars()
+    rows = [["scalar", "paper", "measured"]]
+    for key, value in measured.items():
+        label, paper = _PAPER_SCALARS.get(key, (key, None))
+        rows.append([label, "%.2f" % paper if paper else "-", "%.2f" % value])
+    print("\n".join(format_table(rows)))
+
+
+def _cmd_ttcp() -> None:
+    results = ttcp_results()
+    rows = [["measurement", "MB/s"]]
+    for key, value in results.items():
+        rows.append([key, "%.2f" % value])
+    print("\n".join(format_table(rows)))
+
+
+def _cmd_budget() -> None:
+    print(au_word_budget(cache_mode=CacheMode.WRITE_THROUGH).report())
+    print()
+    print(au_word_budget(cache_mode=CacheMode.UNCACHED).report())
+    print()
+    print(du_word_budget().report())
+
+
+_FIGURES = {
+    "fig3": figure3_raw_vmmc,
+    "fig4": figure4_nx,
+    "fig5": figure5_vrpc,
+    "fig7": figure7_sockets,
+    "fig8": figure8_rpc_comparison,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SHRIMP paper's evaluation results.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_FIGURES) + ["scalars", "ttcp", "budget", "all"],
+        help="which experiment to run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command in _FIGURES:
+        print(_FIGURES[args.command]().report())
+    elif args.command == "scalars":
+        _cmd_scalars()
+    elif args.command == "ttcp":
+        _cmd_ttcp()
+    elif args.command == "budget":
+        _cmd_budget()
+    else:  # all
+        _cmd_budget()
+        print()
+        _cmd_scalars()
+        print()
+        for name in sorted(_FIGURES):
+            print(_FIGURES[name]().report())
+            print()
+        _cmd_ttcp()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

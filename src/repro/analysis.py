@@ -1,0 +1,101 @@
+"""Analytic latency decomposition of the VMMC datapaths.
+
+Builds the one-word latency budget straight from
+:class:`~repro.hardware.config.MachineConfig` constants — the same
+arithmetic a designer would do on a whiteboard — and names each stage.
+`tests/calibration/test_analysis.py` checks the analytic totals against
+the simulated measurements, so the configuration, the simulator, and
+the documentation cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .hardware.config import CacheMode, MachineConfig
+
+__all__ = ["Stage", "LatencyBudget", "au_word_budget", "du_word_budget"]
+
+
+@dataclass
+class Stage:
+    name: str
+    microseconds: float
+
+
+@dataclass
+class LatencyBudget:
+    """A named decomposition of one transfer's latency."""
+
+    title: str
+    stages: List[Stage]
+
+    @property
+    def total(self) -> float:
+        return sum(stage.microseconds for stage in self.stages)
+
+    def report(self) -> str:
+        """The budget as aligned text, one line per stage."""
+        width = max(len(s.name) for s in self.stages)
+        lines = [self.title]
+        for stage in self.stages:
+            lines.append("  %-*s %6.2f us" % (width, stage.name, stage.microseconds))
+        lines.append("  %-*s %6.2f us" % (width, "TOTAL", self.total))
+        return "\n".join(lines)
+
+
+def _network_stages(config: MachineConfig, payload: int, hops: int) -> List[Stage]:
+    wire_bytes = payload + config.packet_header_bytes
+    return [
+        Stage("packetize + FIFO entry", config.packetize_latency),
+        Stage("arbiter + NIC injection", config.nic_injection_latency),
+        Stage("NIC<->router handoffs", 2 * config.nic_link_latency),
+        Stage("router hops (%d)" % hops, hops * config.router_hop_latency),
+        Stage("wire time (%dB)" % wire_bytes, wire_bytes / config.link_bandwidth),
+        Stage("IPT lookup", config.ipt_lookup),
+        Stage("incoming DMA setup", config.incoming_dma_setup),
+        Stage("EISA DMA write", payload / config.eisa_dma_bandwidth),
+    ]
+
+
+def _poll_stage(config: MachineConfig, mode: CacheMode) -> Stage:
+    cost = config.read_cost(mode, config.word_size) + config.costs.vmmc_poll_check
+    return Stage("receiver poll detect", cost)
+
+
+def au_word_budget(config: Optional[MachineConfig] = None,
+                   cache_mode: CacheMode = CacheMode.WRITE_THROUGH,
+                   hops: int = 1) -> LatencyBudget:
+    """The 4.75 us (write-through) / 3.7 us (uncached) decomposition.
+
+    Assumes a non-combining page, as the latency-optimal configuration
+    uses (a combining page would add its flush-timer wait).
+    """
+    config = config or MachineConfig.shrimp_prototype()
+    word = config.word_size
+    stages = [
+        Stage("sender store (%s)" % cache_mode.value, config.write_cost(cache_mode, word)),
+        Stage("snoop + OPT lookup", config.snoop_opt_lookup),
+    ]
+    stages += _network_stages(config, word, hops)
+    stages.append(_poll_stage(config, cache_mode))
+    return LatencyBudget("AU one-word transfer (%s)" % cache_mode.value, stages)
+
+
+def du_word_budget(config: Optional[MachineConfig] = None,
+                   cache_mode: CacheMode = CacheMode.WRITE_THROUGH,
+                   hops: int = 1) -> LatencyBudget:
+    """The 7.6 us deliberate-update decomposition."""
+    config = config or MachineConfig.shrimp_prototype()
+    word = config.word_size
+    stages = [
+        Stage("vmmc_send bookkeeping", config.costs.vmmc_send_call),
+        Stage("2 EISA PIO accesses", 2 * config.eisa_pio_access),
+        Stage("DU engine setup", config.du_engine_setup),
+        Stage("DMA read setup", config.du_dma_read_setup),
+        Stage("EISA DMA read", word / config.eisa_dma_bandwidth),
+    ]
+    stages += _network_stages(config, word, hops)
+    stages.append(_poll_stage(config, cache_mode))
+    return LatencyBudget("DU one-word transfer (%s)" % cache_mode.value, stages)

@@ -1,0 +1,54 @@
+"""Benchmark harness (system S19 in DESIGN.md): the ping-pong engine,
+per-library drivers, and one harness per figure of the evaluation."""
+
+from .figures import (
+    BANDWIDTH_SIZES,
+    LATENCY_SIZES,
+    figure3_raw_vmmc,
+    figure4_nx,
+    figure5_vrpc,
+    figure7_sockets,
+    figure8_rpc_comparison,
+    headline_scalars,
+    ttcp_results,
+)
+from .libraries import (
+    nx_pingpong,
+    socket_oneway,
+    socket_pingpong,
+    srpc_inout_rtt,
+    vrpc_pingpong,
+)
+from .pingpong import (
+    PingPongResult,
+    STRATEGIES,
+    Strategy,
+    one_word_latency,
+    vmmc_pingpong,
+)
+from .report import FigureResult, FigureSeries, SeriesPoint, format_table
+
+__all__ = [
+    "BANDWIDTH_SIZES",
+    "FigureResult",
+    "FigureSeries",
+    "LATENCY_SIZES",
+    "PingPongResult",
+    "STRATEGIES",
+    "SeriesPoint",
+    "Strategy",
+    "figure3_raw_vmmc",
+    "figure4_nx",
+    "figure5_vrpc",
+    "figure7_sockets",
+    "figure8_rpc_comparison",
+    "format_table",
+    "headline_scalars",
+    "nx_pingpong",
+    "one_word_latency",
+    "socket_oneway",
+    "socket_pingpong",
+    "srpc_inout_rtt",
+    "ttcp_results",
+    "vmmc_pingpong",
+]

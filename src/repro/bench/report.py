@@ -1,0 +1,103 @@
+"""Result structures and text reports for the benchmark harness.
+
+Every experiment (DESIGN.md section 4) produces a :class:`FigureResult`:
+named series of (size, latency, bandwidth) points, printable as the
+rows the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SeriesPoint", "FigureSeries", "FigureResult", "format_table"]
+
+
+@dataclass
+class SeriesPoint:
+    """One (message size -> performance) sample."""
+
+    size: int
+    latency_us: float
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        return self.size / self.latency_us if self.latency_us > 0 else 0.0
+
+
+@dataclass
+class FigureSeries:
+    """One curve of a figure (e.g. 'AU-1copy')."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, size: int, latency_us: float) -> None:
+        """Append one (size, latency) point."""
+        self.points.append(SeriesPoint(size, latency_us))
+
+    def latency_at(self, size: int) -> float:
+        """Latency of the point with exactly this size."""
+        for point in self.points:
+            if point.size == size:
+                return point.latency_us
+        raise KeyError("no %d-byte point in series %s" % (size, self.name))
+
+    def bandwidth_at(self, size: int) -> float:
+        """size / latency for the point with this size."""
+        return size / self.latency_at(size)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return max(p.bandwidth_mb_s for p in self.points)
+
+
+@dataclass
+class FigureResult:
+    """Everything one experiment regenerates."""
+
+    figure_id: str
+    title: str
+    series: List[FigureSeries] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def series_named(self, name: str) -> FigureSeries:
+        """The series with this name (KeyError if absent)."""
+        for entry in self.series:
+            if entry.name == name:
+                return entry
+        raise KeyError("no series %r in %s" % (name, self.figure_id))
+
+    def report(self) -> str:
+        """A text rendering: one latency table and one bandwidth table."""
+        sizes = sorted({p.size for s in self.series for p in s.points})
+        lines = ["%s — %s" % (self.figure_id, self.title), ""]
+
+        def table(value_of, header, fmt):
+            rows = [["size(B)"] + [s.name for s in self.series]]
+            for size in sizes:
+                row = ["%d" % size]
+                for entry in self.series:
+                    try:
+                        row.append(fmt % value_of(entry, size))
+                    except KeyError:
+                        row.append("-")
+                rows.append(row)
+            return [header] + format_table(rows) + [""]
+
+        lines += table(lambda s, n: s.latency_at(n), "one-way latency (us):", "%.2f")
+        lines += table(lambda s, n: s.bandwidth_at(n), "bandwidth (MB/s):", "%.2f")
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Sequence[str]]) -> List[str]:
+    """Align a list of string rows into fixed-width columns."""
+    if not rows:
+        return []
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    return [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]

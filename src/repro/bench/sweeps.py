@@ -1,0 +1,77 @@
+"""Parameter sweeps: sensitivity of headline results to machine knobs.
+
+The calibration (DESIGN.md section 5) fixes one point in configuration
+space; a sweep shows how a result moves as one :class:`MachineConfig`
+field varies — which bottleneck claims are structural and which are
+coincidences of the constants.  Used by the sensitivity benchmark and
+available for exploration:
+
+    from repro.bench.sweeps import sweep_config
+    rows = sweep_config("eisa_dma_bandwidth", [13, 26.5, 53, 106],
+                        du_0copy_bandwidth)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..hardware.config import CacheMode, MachineConfig
+from .pingpong import STRATEGIES, one_word_latency, vmmc_pingpong
+
+__all__ = [
+    "sweep_config",
+    "du_0copy_bandwidth",
+    "au_word_latency",
+    "au_1copy_bandwidth",
+]
+
+Metric = Callable[[MachineConfig], float]
+
+
+def sweep_config(
+    field: str,
+    values: Sequence,
+    metric: Metric,
+    base: MachineConfig = None,
+) -> List[Tuple[object, float]]:
+    """Measure ``metric`` at each value of one config field.
+
+    Returns [(value, measurement)] in input order.  The base
+    configuration is the calibrated prototype unless given.
+    """
+    base = base or MachineConfig.shrimp_prototype()
+    if not hasattr(base, field):
+        raise AttributeError("MachineConfig has no field %r" % field)
+    results = []
+    for value in values:
+        config = replace(base, **{field: value})
+        results.append((value, metric(config)))
+    return results
+
+
+# -- canned metrics ---------------------------------------------------------
+
+def du_0copy_bandwidth(config: MachineConfig) -> float:
+    """10 KB DU-0copy bandwidth (MB/s) — the EISA-limited headline."""
+    from ..testbed import make_system
+
+    return vmmc_pingpong(
+        STRATEGIES["DU-0copy"], 10240, iterations=4, system=make_system(config)
+    ).bandwidth_mb_s
+
+
+def au_1copy_bandwidth(config: MachineConfig) -> float:
+    """10 KB AU-1copy bandwidth (MB/s) — the copy-limited headline."""
+    from ..testbed import make_system
+
+    return vmmc_pingpong(
+        STRATEGIES["AU-1copy"], 10240, iterations=4, system=make_system(config)
+    ).bandwidth_mb_s
+
+
+def au_word_latency(config: MachineConfig) -> float:
+    """One-word AU latency (us), write-through."""
+    return one_word_latency(
+        automatic=True, cache_mode=CacheMode.WRITE_THROUGH, config=config
+    )

@@ -1,0 +1,61 @@
+"""Packet-journey timelines: what happened on the machine, when.
+
+Every hardware component logs into the machine's shared tracer
+(disabled by default).  Turn it on around the interval of interest and
+render the merged, time-sorted event log — a packet's full journey
+(packetized → injected → routed → DMA'd) reads straight down the page.
+
+    from repro.bench.timeline import trace_on, render
+    trace_on(system.machine)
+    ... run the interesting part ...
+    print(render(system.machine))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..hardware.machine import Machine
+
+__all__ = ["trace_on", "trace_off", "render", "journey_of"]
+
+# The categories the hardware logs, in datapath order (for reference):
+CATEGORIES = ("packetize", "inject", "mesh", "dma-in", "fault")
+
+
+def trace_on(machine: Machine, limit: int = 100_000) -> None:
+    """Start recording (clears anything previously recorded)."""
+    machine.tracer.enabled = True
+    machine.tracer.limit = limit
+    machine.tracer.records.clear()
+
+
+def trace_off(machine: Machine) -> None:
+    """Stop recording."""
+    machine.tracer.enabled = False
+
+
+def render(machine: Machine, categories: Optional[Sequence[str]] = None,
+           start: float = 0.0, end: Optional[float] = None) -> str:
+    """The merged event log as aligned text, optionally windowed."""
+    lines: List[str] = []
+    wanted = set(categories) if categories is not None else None
+    for record in machine.tracer.records:
+        if record.time < start or (end is not None and record.time > end):
+            continue
+        if wanted is not None and record.category not in wanted:
+            continue
+        lines.append("%12.3f  %-10s %s" % (record.time, record.category,
+                                           record.message))
+    return "\n".join(lines)
+
+
+def journey_of(machine: Machine, packet_seq: int) -> str:
+    """Every recorded event mentioning one packet's sequence number."""
+    needle = "#%d" % packet_seq
+    lines = [
+        "%12.3f  %-10s %s" % (r.time, r.category, r.message)
+        for r in machine.tracer.records
+        if needle in r.message
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Node buses: the Xpress memory bus and the EISA expansion bus.
+
+The Xpress bus carries CPU stores (snooped by the NIC) and the memory
+side of DMA; the EISA bus carries the NIC's DMA traffic — deliberate-
+update source reads and incoming-packet writes — plus the programmed-
+I/O accesses that initiate deliberate updates.
+
+Both are modeled as serially-occupied bandwidth channels.  The EISA
+channel is the end-to-end bottleneck of the system, as in the paper
+(~23 MB/s effective after per-packet setup costs).  CPU store/load
+*costs* are charged by the cache model (config.write_cost/read_cost),
+so the Xpress channel is only occupied by DMA, avoiding double
+charging; it exists so that ablations can model memory-bus saturation.
+"""
+
+from __future__ import annotations
+
+from ..sim import BandwidthChannel, Simulator
+from .config import MachineConfig
+
+__all__ = ["EisaBus", "XpressBus"]
+
+
+class EisaBus(BandwidthChannel):
+    """The EISA expansion bus of one node."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig, node_id: int):
+        super().__init__(
+            sim,
+            bandwidth=config.eisa_dma_bandwidth,
+            name="eisa-n%d" % node_id,
+        )
+        self.config = config
+        self.pio_accesses = 0
+
+    def pio_cost(self, accesses: int = 1) -> float:
+        """CPU time of ``accesses`` programmed-I/O accesses decoded by the NIC.
+
+        A deliberate update is initiated by a sequence of two of these.
+        """
+        self.pio_accesses += accesses
+        return accesses * self.config.eisa_pio_access
+
+
+class XpressBus(BandwidthChannel):
+    """The Xpress memory bus of one node (73 MB/s burst writes)."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig, node_id: int):
+        super().__init__(
+            sim,
+            bandwidth=config.xpress_bandwidth,
+            name="xpress-n%d" % node_id,
+        )
+        self.config = config

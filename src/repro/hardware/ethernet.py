@@ -1,0 +1,86 @@
+"""The commodity Ethernet control network.
+
+'In addition to the fast backplane interconnect, the PC nodes are
+connected by a commodity Ethernet, which is used for diagnostics,
+booting, and exchange of low-priority messages.'
+
+In our model it carries daemon-to-daemon mapping negotiations and the
+internet-domain sockets the stream-sockets library uses for connection
+establishment and connection-break detection.  It is deliberately slow
+(hundreds of microseconds of kernel protocol-stack latency) — nothing
+on the VMMC data path touches it.
+
+Payloads are Python objects with an explicitly declared wire size;
+the Ethernet is a control channel, so object identity (not byte-exact
+encoding) is the level of fidelity we need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..sim import BandwidthChannel, Event, Simulator, Store
+from .config import MachineConfig
+
+__all__ = ["EthernetFrame", "Ethernet"]
+
+
+@dataclass
+class EthernetFrame:
+    """One control message on the Ethernet."""
+
+    src_node: int
+    dst_node: int
+    port: int
+    payload: Any
+    wire_bytes: int
+
+
+class Ethernet:
+    """A shared 10 Mbit/s segment connecting all nodes."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        self._medium = BandwidthChannel(
+            sim, bandwidth=config.ethernet_bandwidth, name="ethernet"
+        )
+        # Inboxes keyed by (node, port) — port multiplexes daemons apart
+        # from the sockets library's control connections.
+        self._inboxes: Dict[tuple, Store] = {}
+        self.frames_sent = 0
+
+    def _inbox(self, node_id: int, port: int) -> Store:
+        key = (node_id, port)
+        box = self._inboxes.get(key)
+        if box is None:
+            box = Store(self.sim, name="eth-inbox-n%d:%d" % key)
+            self._inboxes[key] = box
+        return box
+
+    def send(self, src_node: int, dst_node: int, port: int, payload: Any,
+             wire_bytes: int = 128) -> None:
+        """Transmit a control message; returns immediately (fire and forget).
+
+        Delivery is reliable and ordered per sender (a simplification of
+        UDP-with-retry that every control protocol here would layer on
+        anyway), and takes ``ethernet_latency`` plus shared-medium time.
+        """
+        # No explicit fragmentation model: the shared-medium time below
+        # already scales with the full byte count, which is all the
+        # control plane's latency depends on.
+        frame = EthernetFrame(src_node, dst_node, port, payload, wire_bytes)
+        self.frames_sent += 1
+        done = self._medium.transfer(wire_bytes)
+        done.add_callback(lambda _ev: self._deliver(frame))
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        self.sim.schedule_call(
+            self.config.ethernet_latency,
+            lambda: self._inbox(frame.dst_node, frame.port).try_put(frame),
+        )
+
+    def recv(self, node_id: int, port: int) -> Event:
+        """Event yielding the next frame for ``(node_id, port)``."""
+        return self._inbox(node_id, port).get()

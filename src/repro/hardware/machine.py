@@ -1,0 +1,82 @@
+"""The assembled SHRIMP multicomputer hardware.
+
+A :class:`Machine` is Figure 1 minus the software: N PC nodes with NICs,
+the mesh routing backplane connecting them, and the commodity Ethernet
+on the side.  The OS and daemon layers wrap this in
+:class:`repro.kernel.system.ShrimpSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Simulator, Tracer
+from .config import MachineConfig
+from .ethernet import Ethernet
+from .node import Node
+from .router.mesh import MeshBackplane
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Hardware of the prototype: nodes + backplane + Ethernet."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 sim: Optional[Simulator] = None,
+                 trace: bool = False):
+        self.config = config or MachineConfig.shrimp_prototype()
+        self.sim = sim or Simulator()
+        self.tracer = Tracer(self.sim, enabled=trace)
+        self.mesh = MeshBackplane(self.sim, self.config, self.tracer)
+        self.ethernet = Ethernet(self.sim, self.config)
+        self.nodes: List[Node] = [
+            Node(self.sim, self.config, node_id, self.mesh, self.tracer)
+            for node_id in range(self.config.n_nodes)
+        ]
+
+    def node(self, node_id: int) -> Node:
+        """The node with this id (ValueError if out of range)."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError("node id %d out of range" % node_id)
+        return self.nodes[node_id]
+
+    def run(self, until: Optional[float] = None):
+        """Run the event loop (convenience passthrough)."""
+        return self.sim.run(until=until)
+
+    def stats(self) -> dict:
+        """Machine-wide hardware counters."""
+        return {
+            "packets_routed": self.mesh.packets_routed,
+            "bytes_routed": self.mesh.bytes_routed,
+            "ethernet_frames": self.ethernet.frames_sent,
+            "nodes": {n.node_id: n.nic.stats() for n in self.nodes},
+        }
+
+    def stats_report(self) -> str:
+        """A human-readable counter summary (for examples and debugging)."""
+        stats = self.stats()
+        lines = [
+            "machine @ t=%.1f us: %d packets / %d bytes on the backplane, "
+            "%d Ethernet frames"
+            % (self.sim.now, stats["packets_routed"], stats["bytes_routed"],
+               stats["ethernet_frames"])
+        ]
+        header = ("node", "au-writes", "packets", "combined", "du-bytes",
+                  "recv-pkts", "faults")
+        lines.append("  %-5s %10s %8s %9s %9s %10s %7s" % header)
+        for node_id, node_stats in stats["nodes"].items():
+            lines.append(
+                "  %-5d %10d %8d %9d %9d %10d %7d"
+                % (
+                    node_id,
+                    node_stats["au_writes_matched"],
+                    node_stats["packets_formed"],
+                    node_stats["combined_writes"],
+                    node_stats["du_bytes"],
+                    node_stats["packets_received"],
+                    node_stats["receive_faults"],
+                )
+            )
+        return "\n".join(lines)

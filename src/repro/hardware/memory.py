@@ -1,0 +1,208 @@
+"""Per-node physical memory: real bytes, page frames, and write watches.
+
+Data integrity is a first-class concern of this reproduction (DESIGN.md
+decision 1): every transfer moves actual bytes through these arrays, so
+tests can assert that what was sent is what arrived, in order.
+
+Pages are allocated lazily (a 40 MB `bytearray` per node times N nodes
+would be wasteful for microbenchmarks that touch a few hundred KB).
+
+Watchpoints let a simulated process "poll a flag" without burning one
+simulation event per spin iteration: the poller registers a watch on the
+flag's address and is re-checked whenever *any* write (CPU or incoming
+DMA) touches the watched range.  The CPU cost of the detecting check is
+charged by the caller (see ``UserProcess.poll``), preserving the paper's
+cost structure while keeping the event count proportional to real work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .config import MachineConfig
+
+__all__ = ["MemoryError_", "Watch", "PhysicalMemory", "FrameAllocator"]
+
+
+class MemoryError_(Exception):
+    """Physical-address out of range or frame exhaustion.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class Watch:
+    """A registered write-watch over ``[start, start+length)``.
+
+    ``callback(paddr, nbytes)`` fires for every write overlapping the
+    range, after the bytes have been stored.  Deregister with
+    :meth:`PhysicalMemory.remove_watch`.
+    """
+
+    __slots__ = ("start", "length", "callback", "active")
+
+    def __init__(self, start: int, length: int, callback: Callable[[int, int], None]):
+        self.start = start
+        self.length = length
+        self.callback = callback
+        self.active = True
+
+    def overlaps(self, paddr: int, nbytes: int) -> bool:
+        """Does a write at ``paddr`` of ``nbytes`` touch this watch?"""
+        return paddr < self.start + self.length and self.start < paddr + nbytes
+
+
+class PhysicalMemory:
+    """The DRAM of one node, addressed by physical byte address."""
+
+    def __init__(self, config: MachineConfig, node_id: int = 0):
+        self.config = config
+        self.node_id = node_id
+        self.size = config.memory_bytes
+        self.page_size = config.page_size
+        self._pages: Dict[int, bytearray] = {}
+        self._watches: List[Watch] = []
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- bounds ------------------------------------------------------------
+    def _check(self, paddr: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise MemoryError_("negative length %d" % nbytes)
+        if paddr < 0 or paddr + nbytes > self.size:
+            raise MemoryError_(
+                "physical access [%#x, %#x) outside node %d memory (%#x bytes)"
+                % (paddr, paddr + nbytes, self.node_id, self.size)
+            )
+
+    def _page(self, page_number: int) -> bytearray:
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(self.page_size)
+            self._pages[page_number] = page
+        return page
+
+    # -- access --------------------------------------------------------------
+    def read(self, paddr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` starting at ``paddr`` (may span pages)."""
+        self._check(paddr, nbytes)
+        self.bytes_read += nbytes
+        out = bytearray(nbytes)
+        offset = 0
+        while offset < nbytes:
+            addr = paddr + offset
+            page_number, page_offset = divmod(addr, self.page_size)
+            chunk = min(nbytes - offset, self.page_size - page_offset)
+            page = self._pages.get(page_number)
+            if page is not None:
+                out[offset : offset + chunk] = page[page_offset : page_offset + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Store ``data`` at ``paddr`` and fire overlapping watches."""
+        nbytes = len(data)
+        self._check(paddr, nbytes)
+        self.bytes_written += nbytes
+        offset = 0
+        while offset < nbytes:
+            addr = paddr + offset
+            page_number, page_offset = divmod(addr, self.page_size)
+            chunk = min(nbytes - offset, self.page_size - page_offset)
+            self._page(page_number)[page_offset : page_offset + chunk] = data[
+                offset : offset + chunk
+            ]
+            offset += chunk
+        if self._watches:
+            self._fire_watches(paddr, nbytes)
+
+    def _fire_watches(self, paddr: int, nbytes: int) -> None:
+        # Copy: callbacks may remove watches (typical: a poll that matched).
+        for watch in list(self._watches):
+            if watch.active and watch.overlaps(paddr, nbytes):
+                watch.callback(paddr, nbytes)
+
+    # -- watches ---------------------------------------------------------------
+    def add_watch(
+        self, paddr: int, nbytes: int, callback: Callable[[int, int], None]
+    ) -> Watch:
+        """Watch writes to ``[paddr, paddr+nbytes)``."""
+        self._check(paddr, nbytes)
+        watch = Watch(paddr, nbytes, callback)
+        self._watches.append(watch)
+        return watch
+
+    def remove_watch(self, watch: Watch) -> None:
+        """Deregister a watch (harmless if already removed)."""
+        watch.active = False
+        try:
+            self._watches.remove(watch)
+        except ValueError:
+            pass
+
+    @property
+    def watch_count(self) -> int:
+        return len(self._watches)
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of lazily-materialized page frames (for tests)."""
+        return len(self._pages)
+
+
+class FrameAllocator:
+    """Hands out physical page frames of one node's memory.
+
+    The SHRIMP daemon uses this (via the OS) to place pinned receive
+    buffers; user address spaces use it for ordinary anonymous pages.
+    Frame 0 is reserved so that physical address 0 never appears in user
+    mappings (catching uninitialized-address bugs).
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.total_frames = config.memory_pages
+        self._next_frame = 1
+        self._free: List[int] = []
+
+    def allocate(self, nframes: int) -> List[int]:
+        """Allocate ``nframes`` physical frames (not necessarily contiguous)."""
+        if nframes <= 0:
+            raise ValueError("nframes must be positive")
+        frames: List[int] = []
+        while self._free and len(frames) < nframes:
+            frames.append(self._free.pop())
+        remaining = nframes - len(frames)
+        if self._next_frame + remaining > self.total_frames:
+            # Roll back partial allocation before failing.
+            self._free.extend(frames)
+            raise MemoryError_(
+                "out of physical frames: want %d, have %d"
+                % (remaining, self.total_frames - self._next_frame)
+            )
+        for _ in range(remaining):
+            frames.append(self._next_frame)
+            self._next_frame += 1
+        return frames
+
+    def allocate_contiguous(self, nframes: int) -> int:
+        """Allocate ``nframes`` adjacent frames; returns the first frame.
+
+        Pinned receive-buffer regions use contiguous frames so a single
+        incoming DMA can be bounds-checked with one IPT range.
+        """
+        if nframes <= 0:
+            raise ValueError("nframes must be positive")
+        if self._next_frame + nframes > self.total_frames:
+            raise MemoryError_("out of contiguous physical frames")
+        first = self._next_frame
+        self._next_frame += nframes
+        return first
+
+    def free(self, frames: List[int]) -> None:
+        """Return frames to the free pool."""
+        self._free.extend(frames)
+
+    @property
+    def frames_in_use(self) -> int:
+        return self._next_frame - 1 - len(self._free)

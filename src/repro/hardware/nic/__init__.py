@@ -1,0 +1,28 @@
+"""The SHRIMP network interface model (system S6): Figure 2's datapath."""
+
+from .arbiter import Arbiter, INCOMING_PRIORITY, OUTGOING_PRIORITY
+from .dma import DeliberateUpdateEngine, DUCommand, IncomingDmaEngine, ReceiveFault
+from .fifo import OutgoingFifo
+from .interface import NetworkInterface
+from .ipt import IncomingPageTable, IPTEntry
+from .opt import OPTEntry, OutgoingPageTable
+from .packetizer import Packetizer
+from .snoop import SnoopLogic
+
+__all__ = [
+    "Arbiter",
+    "DUCommand",
+    "DeliberateUpdateEngine",
+    "INCOMING_PRIORITY",
+    "IPTEntry",
+    "IncomingDmaEngine",
+    "IncomingPageTable",
+    "NetworkInterface",
+    "OPTEntry",
+    "OUTGOING_PRIORITY",
+    "OutgoingFifo",
+    "OutgoingPageTable",
+    "Packetizer",
+    "ReceiveFault",
+    "SnoopLogic",
+]

@@ -1,0 +1,23 @@
+"""Arbiter for the NIC chip's processor port.
+
+'The Arbiter is needed to share the NIC's processor port between
+outgoing and incoming transfer, with incoming given absolute priority.'
+Modeled as a single-slot priority resource: the incoming DMA engine
+claims it at priority 0, the outgoing injection stage at priority 1.
+"""
+
+from __future__ import annotations
+
+from ...sim import Resource, Simulator
+
+__all__ = ["Arbiter", "INCOMING_PRIORITY", "OUTGOING_PRIORITY"]
+
+INCOMING_PRIORITY = 0
+OUTGOING_PRIORITY = 1
+
+
+class Arbiter(Resource):
+    """The NIC-port arbiter of one network interface."""
+
+    def __init__(self, sim: Simulator, node_id: int):
+        super().__init__(sim, capacity=1, name="arbiter-n%d" % node_id)

@@ -1,0 +1,274 @@
+"""The NIC's two DMA engines.
+
+*Deliberate Update Engine* (outgoing): interprets the two-access
+transfer-initiation sequence, DMAs the source data out of main memory
+over the EISA bus, and feeds it to the packetizer in chunks.
+
+*Incoming DMA Engine*: takes packets from the NIC chip, checks the
+Incoming Page Table, and DMAs the payload into main memory over the
+EISA bus.  Receiving into a non-enabled page freezes the receive
+datapath and interrupts the node CPU (Section 3.2).
+
+Both engines share the node's one EISA bus, so heavy receive traffic
+slows concurrent deliberate-update sends on the same node — the
+'aggregate DMA bandwidth of the shared EISA and Xpress buses' limit
+that caps end-to-end bandwidth at ~23 MB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ...sim import BandwidthChannel, Event, Simulator, Store, Tracer, spawn
+from ..config import MachineConfig
+from ..memory import PhysicalMemory
+from .arbiter import Arbiter, INCOMING_PRIORITY
+from .ipt import IncomingPageTable
+from .opt import OutgoingPageTable
+from .packetizer import Packetizer
+
+__all__ = ["DUCommand", "DeliberateUpdateEngine", "IncomingDmaEngine", "ReceiveFault"]
+
+
+@dataclass
+class DUCommand:
+    """One decoded transfer-initiation sequence.
+
+    ``src_segments`` are physical (address, length) pieces of the source
+    buffer, in order (the kernel's page tables produced them; user pages
+    need not be physically contiguous).  ``opt_base``/``offset`` select
+    the destination through the Outgoing Page Table's import region.
+    ``done`` fires when the source has been fully read — the point at
+    which a *blocking* deliberate-update send returns (the source buffer
+    is then reusable; delivery completes asynchronously).
+    """
+
+    src_segments: List[Tuple[int, int]]
+    opt_base: int
+    offset: int
+    size: int
+    interrupt: bool
+    done: Event
+
+    def __post_init__(self) -> None:
+        total = sum(length for _, length in self.src_segments)
+        if total != self.size:
+            raise ValueError(
+                "source segments cover %d bytes but size is %d" % (total, self.size)
+            )
+
+
+@dataclass
+class ReceiveFault:
+    """Details handed to the kernel when the receive datapath freezes."""
+
+    node_id: int
+    paddr: int
+    size: int
+    src_node: int
+
+
+class _SegmentReader:
+    """Walks a DU command's physical source segments chunk by chunk."""
+
+    def __init__(self, memory: PhysicalMemory, segments: List[Tuple[int, int]]):
+        self.memory = memory
+        self.segments = segments
+        self.index = 0
+        self.within = 0
+
+    def read(self, nbytes: int) -> bytes:
+        out = bytearray()
+        while nbytes > 0 and self.index < len(self.segments):
+            paddr, length = self.segments[self.index]
+            available = length - self.within
+            take = min(nbytes, available)
+            out += self.memory.read(paddr + self.within, take)
+            self.within += take
+            nbytes -= take
+            if self.within == length:
+                self.index += 1
+                self.within = 0
+        if nbytes > 0:
+            raise ValueError("source segments exhausted early")
+        return bytes(out)
+
+
+class DeliberateUpdateEngine:
+    """Drains the DU command queue, one chunked DMA read at a time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        node_id: int,
+        memory: PhysicalMemory,
+        eisa: BandwidthChannel,
+        opt: OutgoingPageTable,
+        packetizer: Packetizer,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        self.memory = memory
+        self.eisa = eisa
+        self.opt = opt
+        self.packetizer = packetizer
+        self.tracer = tracer or Tracer(sim)
+        self.commands: Store = Store(sim, name="du-commands-n%d" % node_id)
+        self.transfers_done = 0
+        self.bytes_sent = 0
+        spawn(sim, self._run(), name="du-engine-n%d" % node_id)
+
+    def submit(self, command: DUCommand) -> None:
+        """Queue a decoded initiation sequence (called at PIO-decode time)."""
+        if not self.commands.try_put(command):
+            raise RuntimeError("DU command queue unexpectedly full")
+
+    def _run(self):
+        cfg = self.config
+        while True:
+            command = yield self.commands.get()
+            yield self.sim.timeout(cfg.du_engine_setup)
+            reader = _SegmentReader(self.memory, command.src_segments)
+            offset = command.offset
+            remaining = command.size
+            while remaining > 0:
+                # Chunk at both the packet-size bound and destination page
+                # boundaries so each packet maps through one OPT entry.
+                page_room = cfg.page_size - (offset % cfg.page_size)
+                chunk = min(remaining, cfg.max_packet_payload, page_room)
+                yield self.sim.timeout(cfg.du_dma_read_setup)
+                yield self.eisa.transfer(chunk)
+                data = reader.read(chunk)
+                entry = self.opt.proxy_entry(command.opt_base + offset // cfg.page_size)
+                dst_paddr = entry.dst_paddr(cfg.page_size, offset % cfg.page_size)
+                last = remaining == chunk
+                self.packetizer.du_emit(
+                    entry.dst_node,
+                    dst_paddr,
+                    data,
+                    interrupt=command.interrupt and last,
+                )
+                offset += chunk
+                remaining -= chunk
+                self.bytes_sent += chunk
+            self.transfers_done += 1
+            command.done.succeed()
+
+
+class IncomingDmaEngine:
+    """Moves arriving packets from the NIC chip into main memory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        node_id: int,
+        memory: PhysicalMemory,
+        eisa: BandwidthChannel,
+        ipt: IncomingPageTable,
+        arbiter: Arbiter,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        self.memory = memory
+        self.eisa = eisa
+        self.ipt = ipt
+        self.arbiter = arbiter
+        self.tracer = tracer or Tracer(sim)
+        self.incoming: Store = Store(
+            sim, capacity=config.incoming_queue_packets, name="incoming-n%d" % node_id
+        )
+        # Kernel hooks, installed at boot:
+        self.fault_handler: Optional[Callable[[ReceiveFault], None]] = None
+        self.notify_handler: Optional[Callable[[int, int], None]] = None
+        self._unfreeze: Optional[Event] = None
+        self._discard_pending = False
+        self.frozen = False
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.faults = 0
+        self.packets_discarded = 0
+        spawn(sim, self._run(), name="incoming-dma-n%d" % node_id)
+
+    def deliver(self, packet) -> None:
+        """Entry point wired to the mesh: a packet reached this NIC."""
+        def putter():
+            yield self.incoming.put(packet)
+
+        spawn(self.sim, putter(), name="nic-recv-n%d" % self.node_id)
+
+    def unfreeze(self, discard: bool = False) -> None:
+        """Kernel action: resume the receive datapath after a fault.
+
+        With ``discard=True`` the offending packet is dropped instead of
+        retried — the kernel's recourse against traffic for a mapping it
+        will not re-enable (e.g. a stale sender after an unexport).
+        """
+        if not self.frozen:
+            raise RuntimeError("receive datapath of node %d is not frozen" % self.node_id)
+        self.frozen = False
+        self._discard_pending = discard
+        event, self._unfreeze = self._unfreeze, None
+        assert event is not None
+        event.succeed()
+
+    def _run(self):
+        cfg = self.config
+        while True:
+            packet = yield self.incoming.get()
+            grant = self.arbiter.request(priority=INCOMING_PRIORITY)
+            yield grant
+            yield self.sim.timeout(cfg.ipt_lookup)
+            discarded = False
+            while not self.ipt.check_range(packet.dst_paddr, packet.size):
+                # Page not enabled: freeze the receive datapath and
+                # interrupt the CPU.  We stay frozen until the kernel
+                # calls unfreeze(); then the check is retried (the kernel
+                # may have enabled the page, or discarded us via a new
+                # mapping — retry models the hardware re-walking the IPT).
+                self.frozen = True
+                self.faults += 1
+                self._unfreeze = self.sim.event("unfreeze-n%d" % self.node_id)
+                fault = ReceiveFault(self.node_id, packet.dst_paddr, packet.size, packet.src_node)
+                self.tracer.log("fault", "n%d receive fault at %#x" % (self.node_id, packet.dst_paddr))
+                if self.fault_handler is None:
+                    self.arbiter.release(grant)
+                    raise RuntimeError(
+                        "receive fault on node %d with no kernel handler: %r"
+                        % (self.node_id, fault)
+                    )
+                self.sim.schedule_call(cfg.interrupt_latency, self.fault_handler, fault)
+                yield self._unfreeze
+                if self._discard_pending:
+                    self._discard_pending = False
+                    self.packets_discarded += 1
+                    discarded = True
+                    break
+            if discarded:
+                self.arbiter.release(grant)
+                continue
+            yield self.sim.timeout(cfg.incoming_dma_setup)
+            yield self.eisa.transfer(packet.size)
+            self.memory.write(packet.dst_paddr, packet.payload)
+            self.packets_received += 1
+            self.bytes_received += packet.size
+            self.tracer.log(
+                "dma-in",
+                "n%d landed #%d %dB at %#x"
+                % (self.node_id, packet.seq, packet.size, packet.dst_paddr),
+            )
+            self.arbiter.release(grant)
+            first_page = packet.dst_paddr // cfg.page_size
+            if packet.interrupt and self.ipt.wants_interrupt(first_page):
+                # Sender-specified AND receiver-specified flags both set:
+                # raise the notification interrupt (Section 3.2).
+                if self.notify_handler is not None:
+                    self.sim.schedule_call(
+                        cfg.interrupt_latency, self.notify_handler, first_page, packet.size
+                    )

@@ -1,0 +1,42 @@
+"""The Outgoing FIFO: closed packets waiting for the NIC chip.
+
+A thin wrapper over :class:`repro.sim.Store` that adds occupancy
+statistics.  Capacity is in packets; a full FIFO backpressures the
+packetizer (blocking put), which is how a slow link ultimately stalls
+the sending CPU's deliberate-update engine.
+"""
+
+from __future__ import annotations
+
+from ...sim import Event, Simulator, Store
+from ..config import MachineConfig
+from ..router.packet import Packet
+
+__all__ = ["OutgoingFifo"]
+
+
+class OutgoingFifo:
+    """FIFO of closed packets between the packetizer and the arbiter."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig, name: str = "outgoing-fifo"):
+        self.sim = sim
+        self.config = config
+        self._store = Store(sim, capacity=config.outgoing_fifo_packets, name=name)
+        self.packets_enqueued = 0
+        self.bytes_enqueued = 0
+        self.high_water = 0
+
+    def put(self, packet: Packet) -> Event:
+        """Enqueue a packet; blocks (event pends) while the FIFO is full."""
+        self.packets_enqueued += 1
+        self.bytes_enqueued += packet.size
+        event = self._store.put(packet)
+        self.high_water = max(self.high_water, len(self._store))
+        return event
+
+    def get(self) -> Event:
+        """Dequeue the oldest packet (the arbiter/injection side)."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,159 @@
+"""The SHRIMP network interface: Figure 2's datapath, assembled.
+
+One :class:`NetworkInterface` per node ties together the snoop logic,
+Outgoing Page Table, packetizer (combining), Outgoing FIFO, Deliberate
+Update Engine, arbiter, Incoming Page Table, and Incoming DMA Engine,
+and connects them to the mesh backplane.
+
+The CPU side sees three entry points:
+
+* :meth:`snoop_write` — called (synchronously, zero extra cost: the CPU
+  already paid for the store) after every CPU store; the AU datapath.
+* :meth:`initiate_deliberate_update` — the decoded result of the
+  two-access initiation sequence; the DU datapath.  The *caller* charges
+  the two EISA programmed-I/O accesses.
+* the kernel hooks (:attr:`fault_handler`, :attr:`notify_handler`,
+  :meth:`unfreeze`) — the interrupt side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ...sim import BandwidthChannel, Event, Simulator, Tracer, spawn
+from ..config import MachineConfig
+from ..memory import PhysicalMemory
+from ..router.mesh import MeshBackplane
+from .arbiter import Arbiter, OUTGOING_PRIORITY
+from .dma import DeliberateUpdateEngine, DUCommand, IncomingDmaEngine, ReceiveFault
+from .fifo import OutgoingFifo
+from .ipt import IncomingPageTable
+from .opt import OutgoingPageTable
+from .packetizer import Packetizer
+from .snoop import SnoopLogic
+
+__all__ = ["NetworkInterface"]
+
+
+class NetworkInterface:
+    """One node's SHRIMP NIC (the two custom boards of Section 3.2)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        node_id: int,
+        memory: PhysicalMemory,
+        eisa: BandwidthChannel,
+        mesh: MeshBackplane,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        self.memory = memory
+        self.eisa = eisa
+        self.mesh = mesh
+        self.tracer = tracer or Tracer(sim)
+
+        self.opt = OutgoingPageTable(config)
+        self.ipt = IncomingPageTable(config)
+        self.fifo = OutgoingFifo(sim, config, name="outgoing-fifo-n%d" % node_id)
+        self.packetizer = Packetizer(sim, config, node_id, self.fifo, self.tracer)
+        self.snoop = SnoopLogic(config, self.opt, self.packetizer)
+        self.arbiter = Arbiter(sim, node_id)
+        self.du_engine = DeliberateUpdateEngine(
+            sim, config, node_id, memory, eisa, self.opt, self.packetizer, self.tracer
+        )
+        self.incoming = IncomingDmaEngine(
+            sim, config, node_id, memory, eisa, self.ipt, self.arbiter, self.tracer
+        )
+        mesh.attach(node_id, self.incoming.deliver)
+        spawn(sim, self._inject_loop(), name="nic-inject-n%d" % node_id)
+
+    # -- CPU-facing datapaths ------------------------------------------------
+    def snoop_write(self, paddr: int, data: bytes) -> None:
+        """Feed one completed CPU store into the snoop logic."""
+        self.snoop.on_write(paddr, data)
+
+    def initiate_deliberate_update(
+        self,
+        src_segments: List[Tuple[int, int]],
+        opt_base: int,
+        offset: int,
+        size: int,
+        interrupt: bool = False,
+    ) -> Event:
+        """Queue a deliberate update; returns its source-read-done event.
+
+        The caller (VMMC layer) is responsible for charging the two EISA
+        programmed-I/O accesses of the initiation sequence and for the
+        word-alignment check the hardware imposes.
+        """
+        done = self.sim.event("du-done-n%d" % self.node_id)
+        command = DUCommand(
+            src_segments=src_segments,
+            opt_base=opt_base,
+            offset=offset,
+            size=size,
+            interrupt=interrupt,
+            done=done,
+        )
+        self.du_engine.submit(command)
+        return done
+
+    # -- kernel hooks -----------------------------------------------------------
+    @property
+    def fault_handler(self) -> Optional[Callable[[ReceiveFault], None]]:
+        return self.incoming.fault_handler
+
+    @fault_handler.setter
+    def fault_handler(self, handler: Callable[[ReceiveFault], None]) -> None:
+        self.incoming.fault_handler = handler
+
+    @property
+    def notify_handler(self) -> Optional[Callable[[int, int], None]]:
+        return self.incoming.notify_handler
+
+    @notify_handler.setter
+    def notify_handler(self, handler: Callable[[int, int], None]) -> None:
+        self.incoming.notify_handler = handler
+
+    def unfreeze(self, discard: bool = False) -> None:
+        """Resume (optionally discarding) a frozen receive path."""
+        self.incoming.unfreeze(discard=discard)
+
+    # -- outgoing injection ---------------------------------------------------------
+    def _inject_loop(self):
+        """Move closed packets from the Outgoing FIFO onto the backplane.
+
+        One serial process per NIC: this is what makes per-source
+        injection (and therefore per-pair delivery) ordered.
+        """
+        cfg = self.config
+        while True:
+            packet = yield self.fifo.get()
+            grant = self.arbiter.request(priority=OUTGOING_PRIORITY)
+            yield grant
+            yield self.sim.timeout(cfg.nic_injection_latency)
+            self.tracer.log(
+                "inject", "n%d injected #%d" % (self.node_id, packet.seq)
+            )
+            self.mesh.inject(packet)
+            self.arbiter.release(grant)
+
+    # -- statistics -------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot for tests and benchmark reports."""
+        return {
+            "au_writes_seen": self.snoop.writes_seen,
+            "au_writes_matched": self.snoop.writes_matched,
+            "packets_formed": self.packetizer.packets_formed,
+            "combined_writes": self.packetizer.combined_writes,
+            "du_transfers": self.du_engine.transfers_done,
+            "du_bytes": self.du_engine.bytes_sent,
+            "packets_received": self.incoming.packets_received,
+            "bytes_received": self.incoming.bytes_received,
+            "receive_faults": self.incoming.faults,
+            "fifo_high_water": self.fifo.high_water,
+        }

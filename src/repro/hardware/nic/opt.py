@@ -1,0 +1,114 @@
+"""Outgoing Page Table (OPT).
+
+The OPT 'maintains bindings to remote destination pages'.  The snoop
+logic indexes it with the physical page number of a snooped write
+(automatic update); the Deliberate Update Engine indexes it with a
+destination selector derived from the transfer-initiation sequence.
+
+We model both uses with one table holding two index regions:
+
+* the *direct region* — one slot per local physical page, used by
+  automatic-update bindings (index == local physical page number);
+* the *import region* — proxy slots above the direct region, allocated
+  when a process imports a remote buffer, used as DU destinations.
+
+Each entry maps to one remote physical page and carries the combining /
+timer / destination-interrupt configuration bits of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..config import MachineConfig
+
+__all__ = ["OPTEntry", "OutgoingPageTable"]
+
+
+@dataclass
+class OPTEntry:
+    """One OPT slot: where a local page's traffic goes, and how.
+
+    ``timer_us`` overrides the machine-wide combining timeout for this
+    page (None = use ``MachineConfig.combine_timeout``); pages carrying
+    single-burst control writes are configured with a short timer, pages
+    whose packets grow across several writes with a longer one.
+    """
+
+    dst_node: int
+    dst_page: int
+    combining: bool = True
+    use_timer: bool = True
+    dest_interrupt: bool = False
+    timer_us: Optional[float] = None
+
+    def dst_paddr(self, page_size: int, offset: int) -> int:
+        """Destination physical address for a write at ``offset`` in-page."""
+        return self.dst_page * page_size + offset
+
+
+class OutgoingPageTable:
+    """The OPT of one NIC."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self._entries: Dict[int, OPTEntry] = {}
+        # Proxy indexes for imported buffers live above the direct region.
+        self._next_proxy = config.memory_pages
+        self._free_proxies: List[int] = []
+
+    # -- direct region (automatic update bindings) -----------------------
+    def bind_page(self, local_page: int, entry: OPTEntry) -> None:
+        """Install an AU binding: writes to ``local_page`` go to the entry."""
+        if not 0 <= local_page < self.config.memory_pages:
+            raise ValueError("local page %d out of range" % local_page)
+        if local_page in self._entries:
+            raise ValueError("local page %d already has an AU binding" % local_page)
+        self._entries[local_page] = entry
+
+    def unbind_page(self, local_page: int) -> None:
+        """Remove a page's AU binding (ValueError if none)."""
+        if self._entries.pop(local_page, None) is None:
+            raise ValueError("local page %d has no AU binding" % local_page)
+
+    def lookup(self, local_page: int) -> Optional[OPTEntry]:
+        """Snoop-side lookup: the binding for a written page, if any."""
+        return self._entries.get(local_page)
+
+    # -- import region (deliberate update destinations) --------------------
+    def allocate_proxy(self, entries: List[OPTEntry]) -> int:
+        """Install proxy entries for an imported buffer's pages.
+
+        Returns the base index; page ``i`` of the import is at
+        ``base + i``.  Proxy indexes are what a DU command's
+        transfer-initiation sequence selects.
+        """
+        if not entries:
+            raise ValueError("an import must cover at least one page")
+        base = self._next_proxy
+        self._next_proxy += len(entries)
+        for i, entry in enumerate(entries):
+            self._entries[base + i] = entry
+        return base
+
+    def free_proxy(self, base: int, count: int) -> None:
+        """Remove an import's proxy entries (unimport)."""
+        for i in range(count):
+            if self._entries.pop(base + i, None) is None:
+                raise ValueError("proxy index %d was not allocated" % (base + i))
+
+    def proxy_entry(self, index: int) -> OPTEntry:
+        """DU-side lookup; raises if the selector is stale (unimported)."""
+        entry = self._entries.get(index)
+        if entry is None:
+            raise KeyError("OPT index %d holds no binding" % index)
+        return entry
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def bound_pages(self) -> Iterator[int]:
+        """Local pages with AU bindings (direct region only)."""
+        return (p for p in self._entries if p < self.config.memory_pages)

@@ -1,0 +1,225 @@
+"""Packetizing hardware: turns snooped writes and DU chunks into packets.
+
+Implements the combining behaviour of Section 3.2:
+
+* If a page's OPT entry is configured for combining, an automatic-update
+  write is buffered in an open packet at the FIFO tail; a subsequent AU
+  write to the *next consecutive address* is appended to it.
+* A non-consecutive write closes the open packet and starts a new one.
+* A packet reaching ``max_packet_payload`` is closed.
+* If the page is configured for the hardware timer, a timeout with no
+  subsequent AU write sends the open packet automatically.
+
+Deliberate-update chunks bypass combining (they are already maximal) but
+share the FIFO, so AU/DU ordering from one node is preserved — the mux
+in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...sim import Simulator, Tracer, spawn
+from ..config import MachineConfig
+from ..router.packet import Packet, PacketKind
+from .fifo import OutgoingFifo
+from .opt import OPTEntry
+
+__all__ = ["Packetizer"]
+
+
+class _OpenPacket:
+    """A packet under construction at the FIFO tail."""
+
+    __slots__ = ("dst_node", "dst_paddr", "data", "interrupt", "use_timer",
+                 "timeout", "last_write")
+
+    def __init__(self, dst_node: int, dst_paddr: int, data: bytes, interrupt: bool,
+                 use_timer: bool, timeout: float, now: float):
+        self.dst_node = dst_node
+        self.dst_paddr = dst_paddr
+        self.data = bytearray(data)
+        self.interrupt = interrupt
+        self.use_timer = use_timer
+        self.timeout = timeout
+        self.last_write = now
+
+    @property
+    def end_paddr(self) -> int:
+        return self.dst_paddr + len(self.data)
+
+
+class Packetizer:
+    """The packetizing + combining stage of one NIC's outgoing datapath."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        node_id: int,
+        fifo: OutgoingFifo,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        self.fifo = fifo
+        self.tracer = tracer or Tracer(sim)
+        self._open: Optional[_OpenPacket] = None
+        self._timer_armed = False
+        self._last_enqueue_at = 0.0
+        self.packets_formed = 0
+        self.combined_writes = 0
+
+    # -- automatic update path ------------------------------------------------
+    def au_write(self, offset_in_page: int, data: bytes, entry: OPTEntry) -> None:
+        """Handle one snooped write of ``data`` to a bound page.
+
+        ``data`` never crosses a page boundary (the snoop logic splits
+        bus writes per page before OPT lookup).
+        """
+        cfg = self.config
+        dst_paddr = entry.dst_paddr(cfg.page_size, offset_in_page)
+        if not entry.combining:
+            # Every word of the write becomes its own packet — the
+            # faithful (and expensive) uncombined behaviour; see the
+            # combining ablation benchmark.
+            self._close_open()
+            word = cfg.word_size
+            for i in range(0, len(data), word):
+                self._emit_closed(
+                    entry.dst_node,
+                    dst_paddr + i,
+                    bytes(data[i : i + word]),
+                    PacketKind.AUTOMATIC_UPDATE,
+                    entry.dest_interrupt,
+                )
+            return
+
+        position = 0
+        while position < len(data):
+            open_packet = self._open
+            addr = dst_paddr + position
+            if (
+                open_packet is not None
+                and open_packet.dst_node == entry.dst_node
+                and open_packet.end_paddr == addr
+                and len(open_packet.data) < cfg.max_packet_payload
+            ):
+                room = cfg.max_packet_payload - len(open_packet.data)
+                chunk = data[position : position + room]
+                open_packet.data.extend(chunk)
+                open_packet.interrupt = open_packet.interrupt or entry.dest_interrupt
+                open_packet.last_write = self.sim.now
+                self.combined_writes += 1
+                position += len(chunk)
+                if len(open_packet.data) >= cfg.max_packet_payload:
+                    self._close_open()
+                continue
+            # Not combinable with the open packet: close it and open fresh.
+            self._close_open()
+            chunk = data[position : position + cfg.max_packet_payload]
+            timeout = (
+                entry.timer_us
+                if entry.timer_us is not None
+                else cfg.combine_timeout
+            )
+            self._open = _OpenPacket(
+                entry.dst_node,
+                addr,
+                bytes(chunk),
+                entry.dest_interrupt,
+                entry.use_timer,
+                timeout,
+                self.sim.now,
+            )
+            position += len(chunk)
+            if len(self._open.data) >= cfg.max_packet_payload:
+                self._close_open()
+            elif entry.use_timer:
+                self._arm_timer()
+
+    # -- deliberate update path --------------------------------------------------
+    def du_emit(self, dst_node: int, dst_paddr: int, payload: bytes, interrupt: bool) -> None:
+        """Queue a DU chunk as one packet (after closing any open AU packet)."""
+        self._close_open()
+        self._emit_closed(dst_node, dst_paddr, payload, PacketKind.DELIBERATE_UPDATE, interrupt)
+
+    # -- timer ---------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        if self._timer_armed or self._open is None:
+            return
+        self._timer_armed = True
+        self.sim.schedule_call(self._open.timeout, self._timer_fired)
+
+    def _timer_fired(self) -> None:
+        self._timer_armed = False
+        open_packet = self._open
+        if open_packet is None or not open_packet.use_timer:
+            return
+        idle = self.sim.now - open_packet.last_write
+        if idle + 1e-12 >= open_packet.timeout:
+            self._close_open()
+        else:
+            # A write landed since arming; re-check after the remainder.
+            self._timer_armed = True
+            self.sim.schedule_call(open_packet.timeout - idle, self._timer_fired)
+
+    def flush(self) -> None:
+        """Force the open packet (if any) onto the FIFO."""
+        self._close_open()
+
+    # -- internals ----------------------------------------------------------------
+    def _close_open(self) -> None:
+        open_packet, self._open = self._open, None
+        if open_packet is None:
+            return
+        self._emit_closed(
+            open_packet.dst_node,
+            open_packet.dst_paddr,
+            bytes(open_packet.data),
+            PacketKind.AUTOMATIC_UPDATE,
+            open_packet.interrupt,
+        )
+
+    def _emit_closed(
+        self,
+        dst_node: int,
+        dst_paddr: int,
+        payload: bytes,
+        kind: PacketKind,
+        interrupt: bool,
+    ) -> None:
+        packet = Packet(
+            src_node=self.node_id,
+            dst_node=dst_node,
+            dst_paddr=dst_paddr,
+            payload=payload,
+            kind=kind,
+            interrupt=interrupt,
+        )
+        self.packets_formed += 1
+        self.tracer.log(
+            "packetize",
+            "n%d formed #%d %s %dB -> n%d@%#x"
+            % (self.node_id, packet.seq, kind.value, packet.size, dst_node, dst_paddr),
+        )
+        # Header formation + FIFO entry take packetize_latency; AU packets
+        # additionally went through the snoop/OPT lookup stage.  Enqueue
+        # times are forced monotonic so a cheaper DU packet can never
+        # overtake an AU packet already in the pipeline (the mux feeds
+        # one FIFO, in order).  A spawned putter keeps FIFO-full
+        # backpressure working while preserving order (Store putters
+        # queue FIFO).
+        delay = self.config.packetize_latency
+        if kind is PacketKind.AUTOMATIC_UPDATE:
+            delay += self.config.snoop_opt_lookup
+        target = max(self.sim.now + delay, self._last_enqueue_at)
+        self._last_enqueue_at = target
+        self.sim.schedule_call(target - self.sim.now, self._enqueue, packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        def putter():
+            yield self.fifo.put(packet)
+
+        spawn(self.sim, putter(), name="fifo-put-n%d" % self.node_id)

@@ -1,0 +1,7 @@
+"""Mesh routing backplane (system S7): packet format, iMRC model, mesh."""
+
+from .imrc import Link, RouterNode
+from .mesh import MeshBackplane
+from .packet import Packet, PacketKind
+
+__all__ = ["Link", "MeshBackplane", "Packet", "PacketKind", "RouterNode"]

@@ -1,0 +1,101 @@
+"""Intel Mesh Routing Chip (iMRC) model.
+
+The backplane is a 2-D mesh of iMRCs — 'essentially a wider, faster
+version of the Caltech Mesh Routing Chip' — doing deadlock-free,
+oblivious wormhole routing and preserving the order of messages from
+each sender to each receiver.
+
+We model each *directed link* as a serially-occupied channel and each
+router as a fixed per-hop decision latency.  Wormhole (cut-through)
+behaviour is approximated: the packet head advances hop by hop, each
+link is occupied for the packet's full wire time, and the tail arrives
+one wire-time after the head reaches the final router.  Because routing
+is deterministic (dimension order) and links are FIFO, per-pair ordering
+holds by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...sim import Simulator
+from ..config import MachineConfig
+
+__all__ = ["Link", "RouterNode"]
+
+
+class Link:
+    """One directed mesh link with FIFO occupancy bookkeeping."""
+
+    __slots__ = ("name", "bandwidth", "_free_at", "bytes_carried", "packets")
+
+    def __init__(self, name: str, bandwidth: float):
+        self.name = name
+        self.bandwidth = bandwidth
+        self._free_at = 0.0
+        self.bytes_carried = 0
+        self.packets = 0
+
+    def claim(self, now: float, head_arrival: float, wire_bytes: int) -> float:
+        """Occupy the link for one packet.
+
+        ``head_arrival`` is when the packet's head shows up at this link's
+        input.  Returns when the head leaves the link's output — delayed
+        if the link is still draining a previous packet (the wormhole
+        blocking case).  The link stays busy for the full wire time.
+        """
+        start = max(head_arrival, self._free_at, now)
+        self._free_at = start + wire_bytes / self.bandwidth
+        self.bytes_carried += wire_bytes
+        self.packets += 1
+        return start
+
+    def busy_until(self) -> float:
+        """When this link finishes its current packet."""
+        return self._free_at
+
+
+class RouterNode:
+    """One iMRC: per-hop latency plus its four outgoing mesh links.
+
+    Links are created on demand by the mesh (a 2x2 mesh has no +x link on
+    its right column, etc.).
+    """
+
+    def __init__(self, sim: Simulator, config: MachineConfig, x: int, y: int):
+        self.sim = sim
+        self.config = config
+        self.x = x
+        self.y = y
+        self.links: Dict[Tuple[int, int], Link] = {}
+
+    def link_to(self, other: "RouterNode") -> Link:
+        """The directed link from this router to an adjacent one."""
+        key = (other.x, other.y)
+        if abs(self.x - other.x) + abs(self.y - other.y) != 1:
+            raise ValueError(
+                "routers (%d,%d) and (%d,%d) are not mesh neighbours"
+                % (self.x, self.y, other.x, other.y)
+            )
+        link = self.links.get(key)
+        if link is None:
+            link = Link(
+                "link(%d,%d)->(%d,%d)" % (self.x, self.y, other.x, other.y),
+                self.config.link_bandwidth,
+            )
+            self.links[key] = link
+        return link
+
+    def route_step(self, dest_x: int, dest_y: int) -> Tuple[int, int]:
+        """Dimension-order (X then Y) next hop towards (dest_x, dest_y).
+
+        This is the oblivious, deadlock-free routing of the Paragon
+        backplane; determinism is what gives per-pair in-order delivery.
+        """
+        if self.x != dest_x:
+            step = 1 if dest_x > self.x else -1
+            return self.x + step, self.y
+        if self.y != dest_y:
+            step = 1 if dest_y > self.y else -1
+            return self.x, self.y + step
+        raise ValueError("already at destination (%d,%d)" % (dest_x, dest_y))

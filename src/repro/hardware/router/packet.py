@@ -1,0 +1,78 @@
+"""Packet format of the SHRIMP interconnect.
+
+A packet is what the Packetizing hardware emits into the Outgoing FIFO:
+a header carrying the *destination physical base address* (VMMC packets
+address memory, not processes) plus flags, followed by the payload bytes.
+The mesh preserves per-(source, destination) order, which VMMC turns
+into its in-order delivery guarantee.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["PacketKind", "Packet"]
+
+_SEQUENCE = itertools.count(1)
+
+
+class PacketKind(enum.Enum):
+    """Origin of a packet, for tracing and statistics."""
+
+    AUTOMATIC_UPDATE = "au"
+    DELIBERATE_UPDATE = "du"
+
+
+@dataclass
+class Packet:
+    """One wormhole packet on the backplane.
+
+    ``dst_paddr`` is the destination *physical* byte address the incoming
+    DMA engine will write to after checking the Incoming Page Table.
+    ``interrupt`` is the sender-specified interrupt flag of Section 3.2:
+    an interrupt is raised at the destination only if this AND the
+    receiving page's IPT interrupt flag are both set.
+    """
+
+    src_node: int
+    dst_node: int
+    dst_paddr: int
+    payload: bytes
+    kind: PacketKind
+    interrupt: bool = False
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ValueError("packet must carry at least one byte")
+        # Payload is kept immutable so in-flight packets cannot alias the
+        # sender's memory (the hardware latches the written data).
+        if not isinstance(self.payload, bytes):
+            self.payload = bytes(self.payload)
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    def wire_size(self, header_bytes: int) -> int:
+        """Total bytes on a link, including the header."""
+        return header_bytes + self.size
+
+    @property
+    def end_paddr(self) -> int:
+        """One past the last destination byte (for combining checks)."""
+        return self.dst_paddr + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Packet #%d %s n%d->n%d paddr=%#x len=%d%s>" % (
+            self.seq,
+            self.kind.value,
+            self.src_node,
+            self.dst_node,
+            self.dst_paddr,
+            self.size,
+            " INTR" if self.interrupt else "",
+        )

@@ -1,0 +1,33 @@
+"""The OS layer (systems S10-S12): virtual memory, processes, signals,
+SHRIMP daemons, and the booted system assembly."""
+
+from .daemon import (
+    AutomaticBinding,
+    DAEMON_PORT,
+    ExportRecord,
+    ImportedBuffer,
+    MappingError,
+    ShrimpDaemon,
+)
+from .process import UserProcess
+from .signals import Signal, SignalState
+from .syscalls import KernelServices
+from .system import ShrimpSystem
+from .vm import AddressSpace, ProtectionFault, PTE
+
+__all__ = [
+    "AddressSpace",
+    "AutomaticBinding",
+    "DAEMON_PORT",
+    "ExportRecord",
+    "ImportedBuffer",
+    "KernelServices",
+    "MappingError",
+    "PTE",
+    "ProtectionFault",
+    "ShrimpDaemon",
+    "Signal",
+    "SignalState",
+    "ShrimpSystem",
+    "UserProcess",
+]

@@ -1,0 +1,385 @@
+"""The SHRIMP daemon: trusted per-node broker of import-export mappings.
+
+'SHRIMP daemons are trusted servers (one per node) which cooperate to
+establish (and destroy) import-export mappings between user processes.
+The daemons use memory-mapped I/O to directly manipulate the network
+interface hardware.  They also call SHRIMP-specific operating system
+calls to manage receive buffer memory...'
+
+Local operations (export, AU bind) are daemon calls on the same node;
+imports of remote buffers do a daemon-to-daemon round trip over the
+commodity Ethernet.  All of this is connection setup — none of it is on
+the data path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..hardware.config import MachineConfig
+from ..hardware.ethernet import Ethernet
+from ..hardware.nic import OPTEntry
+from ..sim import Simulator, spawn
+from .process import UserProcess
+from .signals import Signal
+from .syscalls import KernelServices
+
+__all__ = ["ExportRecord", "ImportedBuffer", "AutomaticBinding", "ShrimpDaemon",
+           "MappingError", "DAEMON_PORT"]
+
+DAEMON_PORT = 1
+_REPLY_PORT_BASE = 1000
+_DAEMON_HANDLING_COST = 5.0  # daemon-side request processing CPU time
+
+
+class MappingError(Exception):
+    """Export/import failed: unknown id, permission denied, bad alignment."""
+
+
+@dataclass
+class ExportRecord:
+    """One exported receive buffer, as the owning daemon tracks it."""
+
+    export_id: int
+    node_id: int
+    process: UserProcess
+    vaddr: int
+    nbytes: int
+    frames: List[int]
+    allow_nodes: Optional[Set[int]]  # None == any node may import
+    notify: bool
+    import_count: int = 0
+    active: bool = True
+
+    @property
+    def npages(self) -> int:
+        return len(self.frames)
+
+
+@dataclass
+class ImportedBuffer:
+    """An importer's handle on a remote receive buffer.
+
+    ``opt_base`` indexes the import region of the local OPT; offset
+    ``i`` pages into the buffer is OPT slot ``opt_base + i``.
+    """
+
+    remote_node: int
+    export_id: int
+    nbytes: int
+    remote_frames: List[int]
+    opt_base: int
+    owner_node: int
+    active: bool = True
+
+    @property
+    def npages(self) -> int:
+        return len(self.remote_frames)
+
+
+@dataclass
+class AutomaticBinding:
+    """An automatic-update binding of local pages to an imported buffer."""
+
+    local_vaddr: int
+    nbytes: int
+    local_frames: List[int]
+    imported: ImportedBuffer
+    active: bool = True
+
+
+@dataclass
+class _ImportRequest:
+    token: int
+    export_id: int
+    importer_node: int
+    importer_pid: int
+    reply_port: int
+
+
+@dataclass
+class _ImportReply:
+    token: int
+    ok: bool
+    error: str = ""
+    nbytes: int = 0
+    frames: List[int] = field(default_factory=list)
+    notify: bool = False
+
+
+@dataclass
+class _UnimportNotice:
+    export_id: int
+
+
+class ShrimpDaemon:
+    """The trusted mapping server of one node."""
+
+    _tokens = itertools.count(1)
+
+    def __init__(self, kernel: KernelServices, ethernet: Ethernet):
+        self.kernel = kernel
+        self.node = kernel.node
+        self.sim: Simulator = kernel.sim
+        self.config: MachineConfig = kernel.config
+        self.ethernet = ethernet
+        self.exports: Dict[int, ExportRecord] = {}
+        self._next_export_id = 1
+        self.node.nic.notify_handler = self._on_notify_interrupt
+        spawn(self.sim, self._serve(), name="shrimpd-n%d" % self.node.node_id)
+
+    # ------------------------------------------------------------------
+    # Local operations (called in the requesting process's context)
+    # ------------------------------------------------------------------
+    def export(
+        self,
+        proc: UserProcess,
+        vaddr: int,
+        nbytes: int,
+        allow_nodes: Optional[Set[int]] = None,
+        notify: bool = False,
+    ):
+        """Export ``[vaddr, vaddr+nbytes)`` of ``proc`` as a receive buffer.
+
+        Pages must be mapped and page-aligned (receive protection is
+        page-granular).  Returns an :class:`ExportRecord`.
+        """
+        self._require_page_aligned(vaddr, nbytes, "export")
+        frames = proc.space.frames_of(vaddr, nbytes)  # raises if unmapped
+        yield from self.kernel.sys_pin(proc, vaddr, nbytes)
+        record = ExportRecord(
+            export_id=self._next_export_id,
+            node_id=self.node.node_id,
+            process=proc,
+            vaddr=vaddr,
+            nbytes=nbytes,
+            frames=frames,
+            allow_nodes=set(allow_nodes) if allow_nodes is not None else None,
+            notify=notify,
+        )
+        self._next_export_id += 1
+        yield from self.kernel.sys_enable_receive(
+            proc, frames, interrupt=notify, owner=record
+        )
+        self.exports[record.export_id] = record
+        return record
+
+    def unexport(self, proc: UserProcess, record: ExportRecord):
+        """Destroy an export after pending deliveries drain.
+
+        'Before completing, these calls wait for all currently pending
+        messages using the mapping to be delivered.'  We wait for the
+        local incoming queue to idle — in-flight mesh packets land
+        within a bounded transit time, which the drain window covers.
+        """
+        if not record.active:
+            raise MappingError("export %d already destroyed" % record.export_id)
+        yield from self._drain_incoming()
+        record.active = False
+        yield from self.kernel.sys_disable_receive(proc, record.frames)
+        del self.exports[record.export_id]
+
+    def bind_automatic(
+        self,
+        proc: UserProcess,
+        local_vaddr: int,
+        imported: ImportedBuffer,
+        nbytes: Optional[int] = None,
+        offset: int = 0,
+        combining: bool = True,
+        use_timer: bool = True,
+        dest_interrupt: bool = False,
+        timer_us: Optional[float] = None,
+    ):
+        """Create an automatic-update binding (page-granular).
+
+        Writes to ``[local_vaddr, +nbytes)`` will propagate to the
+        imported buffer starting at ``offset``.
+        """
+        nbytes = imported.nbytes - offset if nbytes is None else nbytes
+        self._require_page_aligned(local_vaddr, nbytes, "AU binding")
+        if offset % self.config.page_size != 0:
+            raise MappingError("AU binding offset must be page-aligned")
+        if offset + nbytes > imported.nbytes:
+            raise MappingError("AU binding exceeds the imported buffer")
+        if not imported.active:
+            raise MappingError("imported buffer is no longer active")
+        local_frames = proc.space.frames_of(local_vaddr, nbytes)
+        first_remote = offset // self.config.page_size
+        yield from self.kernel._enter(proc)  # one kernel crossing for the whole bind
+        for i, frame in enumerate(local_frames):
+            self.node.nic.opt.bind_page(
+                frame,
+                OPTEntry(
+                    dst_node=imported.remote_node,
+                    dst_page=imported.remote_frames[first_remote + i],
+                    combining=combining,
+                    use_timer=use_timer,
+                    dest_interrupt=dest_interrupt,
+                    timer_us=timer_us,
+                ),
+            )
+        return AutomaticBinding(local_vaddr, nbytes, local_frames, imported)
+
+    def unbind_automatic(self, proc: UserProcess, binding: AutomaticBinding):
+        """Remove an AU binding (flushes any open combined packet first)."""
+        if not binding.active:
+            raise MappingError("binding already removed")
+        self.node.nic.packetizer.flush()
+        yield from self._drain_outgoing()
+        yield from self.kernel._enter(proc)
+        for frame in binding.local_frames:
+            self.node.nic.opt.unbind_page(frame)
+        binding.active = False
+
+    # ------------------------------------------------------------------
+    # Import (may cross nodes via Ethernet)
+    # ------------------------------------------------------------------
+    def import_buffer(self, proc: UserProcess, remote_node: int, export_id: int):
+        """Import a remote export; returns an :class:`ImportedBuffer`."""
+        if not 0 <= remote_node < self.config.n_nodes:
+            raise MappingError("no node %d in this machine" % remote_node)
+        if remote_node == self.node.node_id:
+            record = self.exports.get(export_id)
+            if record is None or not record.active:
+                raise MappingError("no export %d on node %d" % (export_id, remote_node))
+            self._check_perms(record, self.node.node_id)
+            yield self.sim.timeout(_DAEMON_HANDLING_COST)
+            record.import_count += 1
+            nbytes, frames = record.nbytes, list(record.frames)
+        else:
+            token = next(self._tokens)
+            reply_port = _REPLY_PORT_BASE + token
+            request = _ImportRequest(
+                token=token,
+                export_id=export_id,
+                importer_node=self.node.node_id,
+                importer_pid=proc.pid,
+                reply_port=reply_port,
+            )
+            self.ethernet.send(self.node.node_id, remote_node, DAEMON_PORT, request)
+            frame = yield self.ethernet.recv(self.node.node_id, reply_port)
+            reply: _ImportReply = frame.payload
+            if not reply.ok:
+                raise MappingError(reply.error)
+            nbytes, frames = reply.nbytes, reply.frames
+
+        yield from self.kernel._enter(proc)
+        opt_base = self.node.nic.opt.allocate_proxy(
+            [
+                OPTEntry(dst_node=remote_node, dst_page=f, combining=False, use_timer=False)
+                for f in frames
+            ]
+        )
+        return ImportedBuffer(
+            remote_node=remote_node,
+            export_id=export_id,
+            nbytes=nbytes,
+            remote_frames=frames,
+            opt_base=opt_base,
+            owner_node=self.node.node_id,
+        )
+
+    def unimport(self, proc: UserProcess, imported: ImportedBuffer):
+        """Destroy an import after pending sends through it drain."""
+        if not imported.active:
+            raise MappingError("import already destroyed")
+        yield from self._drain_outgoing()
+        imported.active = False
+        yield from self.kernel._enter(proc)
+        self.node.nic.opt.free_proxy(imported.opt_base, imported.npages)
+        if imported.remote_node != self.node.node_id:
+            self.ethernet.send(
+                self.node.node_id,
+                imported.remote_node,
+                DAEMON_PORT,
+                _UnimportNotice(imported.export_id),
+            )
+        else:
+            record = self.exports.get(imported.export_id)
+            if record is not None:
+                record.import_count -= 1
+
+    # ------------------------------------------------------------------
+    # Daemon server loop (Ethernet-facing)
+    # ------------------------------------------------------------------
+    def _serve(self):
+        while True:
+            frame = yield self.ethernet.recv(self.node.node_id, DAEMON_PORT)
+            yield self.sim.timeout(_DAEMON_HANDLING_COST)
+            message = frame.payload
+            if isinstance(message, _ImportRequest):
+                self._handle_import(frame.src_node, message)
+            elif isinstance(message, _UnimportNotice):
+                record = self.exports.get(message.export_id)
+                if record is not None:
+                    record.import_count -= 1
+            # Unknown messages are dropped (diagnostics traffic).
+
+    def _handle_import(self, src_node: int, request: _ImportRequest) -> None:
+        record = self.exports.get(request.export_id)
+        if record is None or not record.active:
+            reply = _ImportReply(request.token, ok=False,
+                                 error="no export %d on node %d"
+                                 % (request.export_id, self.node.node_id))
+        else:
+            try:
+                self._check_perms(record, request.importer_node)
+            except MappingError as exc:
+                reply = _ImportReply(request.token, ok=False, error=str(exc))
+            else:
+                record.import_count += 1
+                reply = _ImportReply(
+                    request.token,
+                    ok=True,
+                    nbytes=record.nbytes,
+                    frames=list(record.frames),
+                    notify=record.notify,
+                )
+        self.ethernet.send(self.node.node_id, src_node, request.reply_port, reply)
+
+    # ------------------------------------------------------------------
+    # Interrupt-side dispatch
+    # ------------------------------------------------------------------
+    def _on_notify_interrupt(self, page: int, size: int) -> None:
+        """NIC notification interrupt: route to the exporting process."""
+        entry = self.node.nic.ipt.entry(page)
+        record = entry.owner
+        if isinstance(record, ExportRecord) and record.active:
+            record.process.signals.post(
+                Signal("vmmc-notify", payload=(record.export_id, page, size))
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_perms(self, record: ExportRecord, importer_node: int) -> None:
+        if record.allow_nodes is not None and importer_node not in record.allow_nodes:
+            raise MappingError(
+                "node %d may not import export %d" % (importer_node, record.export_id)
+            )
+
+    def _require_page_aligned(self, vaddr: int, nbytes: int, what: str) -> None:
+        page_size = self.config.page_size
+        if vaddr % page_size != 0:
+            raise MappingError("%s address %#x is not page-aligned" % (what, vaddr))
+        if nbytes <= 0 or nbytes % page_size != 0:
+            raise MappingError("%s size %d is not a positive page multiple" % (what, nbytes))
+
+    def _drain_incoming(self):
+        nic = self.node.nic
+        while len(nic.incoming.incoming) > 0:
+            yield self.sim.timeout(5.0)
+        # Cover in-flight mesh transit:
+        yield self.sim.timeout(10.0)
+
+    def _drain_outgoing(self):
+        nic = self.node.nic
+        while (
+            len(nic.du_engine.commands) > 0
+            or len(nic.fifo) > 0
+            or nic.packetizer._open is not None
+        ):
+            yield self.sim.timeout(5.0)

@@ -1,0 +1,195 @@
+"""User processes: the OS-level execution context of application code.
+
+A :class:`UserProcess` owns an address space on one node and provides
+the *timed* memory operations application and library code uses:
+``write``/``read``/``copy`` (which go through the MMU, charge the cache
+cost model, and feed the NIC snoop), ``poll`` (flag-waiting via memory
+watchpoints, charging per-check costs), and ``compute`` (pure CPU time).
+
+All of these are generator methods — the caller's simulation process
+pays the time, mirroring the fact that the libraries run entirely at
+user level on the application's own CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..hardware.config import CacheMode
+from ..hardware.node import Node
+from ..sim import Event, Simulator
+from .signals import SignalState
+from .vm import AddressSpace
+
+__all__ = ["UserProcess"]
+
+
+class UserProcess:
+    """One application process on one SHRIMP node."""
+
+    def __init__(self, node: Node, address_space: AddressSpace, pid: int, name: str = ""):
+        self.node = node
+        self.space = address_space
+        self.pid = pid
+        self.name = name or "pid%d" % pid
+        self.sim: Simulator = node.sim
+        self.config = node.config
+        self.signals = SignalState(self.sim)
+        # Set by the VMMC layer when the process attaches an endpoint.
+        self.vmmc = None
+        self.poll_checks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<UserProcess %s on node %d>" % (self.name, self.node.node_id)
+
+    # -- memory operations -------------------------------------------------
+    def write(self, vaddr: int, data: bytes):
+        """Timed store of ``data`` at ``vaddr``; snooped by the NIC.
+
+        Large writes stream in ``cpu_stream_chunk`` pieces so the NIC
+        sees (and packetizes) the data as it is produced, pipelining an
+        AU-bound copy with the network — the base cost is charged once,
+        per-byte cost per chunk.
+        """
+        mode = self.space.cache_mode_of(vaddr)
+        base, per_byte = self.config.write_rate(mode)
+        yield self.sim.timeout(base)
+        yield from self._stream_out(vaddr, data, per_byte)
+
+    def _stream_out(self, vaddr: int, data: bytes, per_byte: float):
+        """Chunked store loop: charge, land bytes, snoop — per chunk."""
+        chunk_size = self.config.cpu_stream_chunk
+        offset = 0
+        while offset < len(data):
+            piece = data[offset : offset + chunk_size]
+            yield self.sim.timeout(len(piece) * per_byte)
+            for paddr, length in self.space.translate(
+                vaddr + offset, len(piece), write=True
+            ):
+                sub = piece[:length]
+                self.node.memory.write(paddr, sub)
+                self.node.nic.snoop_write(paddr, sub)
+                piece = piece[length:]
+            offset += chunk_size
+
+    def read(self, vaddr: int, nbytes: int):
+        """Timed load of ``nbytes`` at ``vaddr``; returns the bytes."""
+        segments = self.space.translate(vaddr, nbytes, write=False)
+        mode = self.space.cache_mode_of(vaddr)
+        yield self.sim.timeout(self.config.read_cost(mode, nbytes))
+        return b"".join(self.node.memory.read(paddr, length) for paddr, length in segments)
+
+    def copy(self, src_vaddr: int, dst_vaddr: int, nbytes: int):
+        """Timed memcpy; the destination stores are snooped, so copying
+        into an AU-bound region *is* a send.
+
+        Streams chunk by chunk (reading each chunk at its copy time, so
+        a consumer copying out of a buffer still being DMA'd into sees
+        the freshest bytes), charging read+write per-byte costs per
+        chunk and the two base costs once.
+        """
+        src_mode = self.space.cache_mode_of(src_vaddr)
+        dst_mode = self.space.cache_mode_of(dst_vaddr)
+        read_base, read_pb = self.config.read_rate(src_mode)
+        write_base, write_pb = self.config.write_rate(dst_mode)
+        yield self.sim.timeout(read_base + write_base)
+        chunk_size = self.config.cpu_stream_chunk
+        offset = 0
+        while offset < nbytes:
+            length = min(chunk_size, nbytes - offset)
+            yield self.sim.timeout(length * (read_pb + write_pb))
+            data = b"".join(
+                self.node.memory.read(paddr, seg_len)
+                for paddr, seg_len in self.space.translate(
+                    src_vaddr + offset, length, write=False
+                )
+            )
+            piece = data
+            for paddr, seg_len in self.space.translate(
+                dst_vaddr + offset, length, write=True
+            ):
+                sub = piece[:seg_len]
+                self.node.memory.write(paddr, sub)
+                self.node.nic.snoop_write(paddr, sub)
+                piece = piece[seg_len:]
+            offset += length
+
+    def compute(self, microseconds: float):
+        """Pure CPU time (library bookkeeping, marshaling logic, ...)."""
+        yield self.sim.timeout(microseconds)
+
+    # -- polling -----------------------------------------------------------------
+    def poll(
+        self,
+        vaddr: int,
+        nbytes: int,
+        predicate: Callable[[bytes], bool],
+        deadline: Optional[float] = None,
+    ):
+        """Wait until ``predicate(bytes at vaddr)`` holds; returns the bytes.
+
+        Models a user-level polling loop.  Each check charges a load of
+        the polled bytes plus a compare; between checks the process is
+        woken by memory watchpoints rather than timed spinning, so the
+        simulated *cost structure* matches polling while the event count
+        stays proportional to actual writes (DESIGN.md decision on
+        polling).  Returns None if ``deadline`` (absolute sim time)
+        passes first.
+        """
+        segments = self.space.translate(vaddr, nbytes, write=False)
+        mode = self.space.cache_mode_of(vaddr)
+        check_cost = (
+            self.config.read_cost(mode, nbytes) + self.config.costs.vmmc_poll_check
+        )
+        memory = self.node.memory
+        while True:
+            self.poll_checks += 1
+            yield self.sim.timeout(check_cost)
+            data = b"".join(memory.read(paddr, length) for paddr, length in segments)
+            if predicate(data):
+                return data
+            if deadline is not None and self.sim.now >= deadline:
+                return None
+            woke = Event(self.sim, name="poll-wake")
+            watches = [
+                memory.add_watch(
+                    paddr, length,
+                    lambda p, n: None if woke.triggered else woke.succeed(None),
+                )
+                for paddr, length in segments
+            ]
+            if deadline is not None:
+                wait = self.sim.any_of([woke, self.sim.timeout(deadline - self.sim.now)])
+            else:
+                wait = woke
+            # Re-check once before sleeping: a write may have landed
+            # between our read above and the watch registration.
+            data = b"".join(memory.read(paddr, length) for paddr, length in segments)
+            if predicate(data):
+                for watch in watches:
+                    memory.remove_watch(watch)
+                return data
+            yield wait
+            for watch in watches:
+                memory.remove_watch(watch)
+
+    def poll_flag(self, vaddr: int, expected: bytes, deadline: Optional[float] = None):
+        """Poll until the bytes at ``vaddr`` equal ``expected``."""
+        result = yield from self.poll(
+            vaddr, len(expected), lambda data: data == expected, deadline
+        )
+        return result
+
+    # -- zero-cost debug access -----------------------------------------------------
+    def peek(self, vaddr: int, nbytes: int) -> bytes:
+        """Untimed read for test assertions."""
+        segments = self.space.translate(vaddr, nbytes, write=False)
+        return b"".join(self.node.memory.read(p, length) for p, length in segments)
+
+    def poke(self, vaddr: int, data: bytes) -> None:
+        """Untimed, un-snooped write for test setup."""
+        segments = self.space.translate(vaddr, len(data), write=True)
+        offset = 0
+        for paddr, length in segments:
+            self.node.memory.write(paddr, data[offset : offset + length])
+            offset += length

@@ -1,0 +1,99 @@
+"""UNIX-style signal machinery (the notification substrate).
+
+The paper: 'Our current implementation of notifications uses signals...
+Notifications are similar to UNIX signals in that they can be blocked
+and unblocked, they can be accepted or discarded, and a process can be
+suspended until a particular notification arrives.  Unlike signals,
+however, notifications are queued when blocked.'
+
+This module gives a process a queue of pending signals, a blocked flag,
+and a way to wait.  Handler functions run as plain callbacks (they model
+signal handlers that set flags / bump counters — none of our libraries
+do simulated work inside a handler), and each unblocked delivery charges
+the configured signal cost to model the kernel's signal path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from ..sim import Event, Simulator
+
+__all__ = ["Signal", "SignalState"]
+
+
+@dataclass
+class Signal:
+    """One queued notification-carrying signal."""
+
+    kind: str
+    payload: Any = None
+
+
+class SignalState:
+    """Per-process signal bookkeeping."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.blocked = False
+        self.pending: Deque[Signal] = deque()
+        self.delivered_count = 0
+        self.discarded_count = 0
+        self._waiter: Optional[Event] = None
+        # handler(signal) -> None; installed by the notification layer.
+        self.handler: Optional[Callable[[Signal], None]] = None
+        self.accepting = True
+
+    # -- sending ------------------------------------------------------------
+    def post(self, signal: Signal) -> bool:
+        """Queue a signal for this process.
+
+        Returns True if the signal was queued/delivered, False if it was
+        discarded (the per-buffer 'accepted or discarded' choice).
+        Delivery to the handler happens when the process is unblocked
+        and pulls signals (see :meth:`drain`), or immediately wakes a
+        suspended waiter.
+        """
+        if not self.accepting:
+            self.discarded_count += 1
+            return False
+        self.pending.append(signal)
+        if self._waiter is not None and not self.blocked:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed(None)
+        return True
+
+    # -- receiving -------------------------------------------------------------
+    def drain(self) -> "list[Signal]":
+        """Pop all deliverable signals (empty when blocked)."""
+        if self.blocked:
+            return []
+        signals = list(self.pending)
+        self.pending.clear()
+        self.delivered_count += len(signals)
+        return signals
+
+    def block(self) -> None:
+        """Block delivery; arriving signals queue (unlike plain UNIX)."""
+        self.blocked = True
+
+    def unblock(self) -> None:
+        """Re-enable delivery; a suspended waiter wakes if work is queued."""
+        self.blocked = False
+        if self.pending and self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed(None)
+
+    def wait(self) -> Event:
+        """Event that fires when a deliverable signal is (or becomes)
+        available.  Only one waiter at a time (a process is sequential)."""
+        event = Event(self.sim, name="signal-wait")
+        if self.pending and not self.blocked:
+            event.succeed(None)
+            return event
+        if self._waiter is not None:
+            raise RuntimeError("process already waiting for a signal")
+        self._waiter = event
+        return event

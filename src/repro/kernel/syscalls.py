@@ -1,0 +1,106 @@
+"""SHRIMP-specific operating system calls.
+
+The daemons 'call SHRIMP-specific operating system calls to manage
+receive buffer memory and to influence node physical memory management'.
+This module is that syscall surface: per-node kernel services that
+manipulate the NIC page tables and per-page attributes on behalf of
+trusted callers, each charging the kernel-crossing cost.
+
+Everything here is off the data path — VMMC's whole point is that once
+mappings exist, sends and receives never enter the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..hardware.config import CacheMode, MachineConfig
+from ..hardware.memory import FrameAllocator
+from ..hardware.node import Node
+from ..sim import Simulator
+from .process import UserProcess
+from .vm import AddressSpace
+
+__all__ = ["KernelServices"]
+
+
+class KernelServices:
+    """The kernel of one node, as seen by daemons and the VMMC layer."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.config: MachineConfig = node.config
+        self.frames = FrameAllocator(node.config)
+        self._next_pid = 1
+        self.faults: List = []
+        # Default fault policy: record and discard.  The daemon replaces
+        # this with mapping-aware handling at boot.
+        node.nic.fault_handler = self._default_fault_handler
+
+    # -- process management -------------------------------------------------
+    def create_process(self, name: str = "") -> UserProcess:
+        """Fork-equivalent: a fresh process with an empty address space."""
+        space = AddressSpace(self.config, self.frames)
+        pid = self._next_pid
+        self._next_pid += 1
+        return UserProcess(self.node, space, pid, name)
+
+    # -- syscalls (generators charging the kernel crossing) ---------------------
+    def _enter(self, proc: UserProcess):
+        yield self.sim.timeout(self.config.costs.syscall_overhead)
+
+    def sys_enable_receive(
+        self,
+        proc: UserProcess,
+        frames: Iterable[int],
+        interrupt: bool = False,
+        owner=None,
+    ):
+        """Enable incoming transfers to physical frames (export setup)."""
+        yield from self._enter(proc)
+        for frame in frames:
+            self.node.nic.ipt.enable(frame, interrupt=interrupt, owner=owner)
+
+    def sys_disable_receive(self, proc: UserProcess, frames: Iterable[int]):
+        """Disable incoming transfers (unexport teardown)."""
+        yield from self._enter(proc)
+        for frame in frames:
+            self.node.nic.ipt.disable(frame)
+
+    def sys_set_notification(self, proc: UserProcess, frames: Iterable[int], on: bool):
+        """Flip the per-page interrupt status bits.
+
+        This is the polling/blocking switch of Section 6: 'the kernel
+        then changes per-page hardware status bits so that the
+        interrupts do not occur'."""
+        yield from self._enter(proc)
+        for frame in frames:
+            self.node.nic.ipt.set_interrupt(frame, on)
+
+    def sys_set_cache_mode(self, proc: UserProcess, vaddr: int, nbytes: int,
+                           mode: CacheMode):
+        """Change the caching policy of a range of the caller's pages."""
+        yield from self._enter(proc)
+        proc.space.set_cache_mode(vaddr, nbytes, mode)
+
+    def sys_pin(self, proc: UserProcess, vaddr: int, nbytes: int):
+        """Pin pages for communication (no-op beyond bookkeeping here —
+        nothing in the model swaps — but exports require it)."""
+        yield from self._enter(proc)
+        proc.space.set_pinned(vaddr, nbytes, True)
+
+    def sys_sigblock(self, proc: UserProcess):
+        """Block signal (notification) delivery for the caller."""
+        yield from self._enter(proc)
+        proc.signals.block()
+
+    def sys_sigunblock(self, proc: UserProcess):
+        """Re-enable signal delivery for the caller."""
+        yield from self._enter(proc)
+        proc.signals.unblock()
+
+    # -- interrupt side -----------------------------------------------------------
+    def _default_fault_handler(self, fault) -> None:
+        self.faults.append(fault)
+        self.node.nic.unfreeze(discard=True)

@@ -1,0 +1,79 @@
+"""The booted SHRIMP system: hardware + kernels + daemons.
+
+:class:`ShrimpSystem` is what everything above the OS builds on: it
+assembles a :class:`~repro.hardware.machine.Machine`, one
+:class:`~repro.kernel.syscalls.KernelServices` and one
+:class:`~repro.kernel.daemon.ShrimpDaemon` per node, and provides
+process spawning and run helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..hardware.config import MachineConfig
+from ..hardware.machine import Machine
+from ..sim import Process, Simulator, spawn
+from .daemon import ShrimpDaemon
+from .process import UserProcess
+from .syscalls import KernelServices
+
+__all__ = ["ShrimpSystem"]
+
+
+class ShrimpSystem:
+    """A running SHRIMP multicomputer (Figure 1, software included)."""
+
+    def __init__(self, config: Optional[MachineConfig] = None, trace: bool = False):
+        self.machine = Machine(config, trace=trace)
+        self.sim: Simulator = self.machine.sim
+        self.config = self.machine.config
+        self.kernels: List[KernelServices] = [
+            KernelServices(node) for node in self.machine.nodes
+        ]
+        self.daemons: List[ShrimpDaemon] = [
+            ShrimpDaemon(kernel, self.machine.ethernet) for kernel in self.kernels
+        ]
+
+    # -- process management ------------------------------------------------
+    def spawn(
+        self,
+        node_id: int,
+        program: Callable[[UserProcess], "object"],
+        name: str = "",
+    ) -> Process:
+        """Start ``program(proc)`` as a user process on a node.
+
+        ``program`` is a generator function receiving the fresh
+        :class:`UserProcess`; the returned simulation process completes
+        with the program's return value.
+        """
+        kernel = self.kernels[node_id]
+        proc = kernel.create_process(name or getattr(program, "__name__", ""))
+        return spawn(self.sim, program(proc), name="%s@n%d" % (proc.name, node_id))
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None):
+        """Run the event loop (convenience passthrough)."""
+        return self.sim.run(until=until)
+
+    def run_processes(self, processes: List[Process], timeout: float = 10_000_000.0):
+        """Run until every listed process completes; returns their values.
+
+        Daemons and NIC engines run forever, so the event loop never
+        drains on its own; we stop it explicitly when the interesting
+        processes are done.  Raises if the timeout expires first (a hung
+        protocol is a bug worth failing loudly on).
+        """
+        done = self.sim.all_of(list(processes))
+        done.add_callback(lambda event: self.sim.stop(event.value))
+        result = self.sim.run(until=timeout)
+        if not done.triggered:
+            raise RuntimeError(
+                "processes still running at t=%.0f us: %s"
+                % (self.sim.now, [p.name for p in processes if not p.triggered])
+            )
+        if not done.ok:
+            # A process died: surface its exception, never swallow it.
+            raise done.value
+        return result

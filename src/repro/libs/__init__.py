@@ -1,0 +1,9 @@
+"""User-level communication libraries built on VMMC (systems S14-S18).
+
+* :mod:`repro.libs.nx` — Intel NX message passing (compatibility)
+* :mod:`repro.libs.rpc` — XDR + SunRPC-compatible VRPC (compatibility)
+* :mod:`repro.libs.sockets` — BSD stream sockets (compatibility)
+* :mod:`repro.libs.shrimp_rpc` — the specialized, non-compatible RPC
+* :mod:`repro.libs.collectives` — software multicast/reduce/gather
+* :mod:`repro.libs.shmem` — two-party shared memory over AU bindings
+"""

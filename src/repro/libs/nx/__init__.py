@@ -1,0 +1,16 @@
+"""NX message-passing compatibility library (system S14 in DESIGN.md)."""
+
+from .api import ANY_TYPE, MsgId, NXProcess, NXVariant, VARIANTS, nx_world
+from .connection import CHUNK_TYPE, Connection, PendingMessage
+
+__all__ = [
+    "ANY_TYPE",
+    "CHUNK_TYPE",
+    "Connection",
+    "MsgId",
+    "NXProcess",
+    "NXVariant",
+    "PendingMessage",
+    "VARIANTS",
+    "nx_world",
+]

@@ -1,0 +1,402 @@
+"""NX connections: the per-pair buffer structure and wire protocol.
+
+'A connection between two processes consists of a set of buffers, each
+exported by one process and imported by the other; there is also a
+fixed protocol for using the buffers to transfer data and synchronize.'
+For NX: 'a connection is set up between each pair of processes at
+initialization time' and the data buffer is 'divided into fixed-size
+packet buffers' that credits recycle in any order.
+
+Memory layout per direction (all offsets in the *receiver's* memory):
+
+* data region — ``slots`` packet buffers of ``12 + payload`` bytes each:
+  an in-slot header ``[type][seq][size]`` followed by the payload.
+* control page —
+  - credit ring (written by the peer when it consumes my messages),
+  - descriptor ring (written by the peer when it sends to me; the
+    sequence stamp is the arrival flag, written after the data, which
+    in-order delivery makes safe),
+  - scout-reply field, buffer-request word, and large-message
+    completion word (the zero-copy protocol's control traffic).
+
+Control information always travels by automatic update (all three
+compatibility libraries do this — it is small and latency-critical);
+message payload travels by AU or DU according to the library variant.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+from collections import deque
+
+from ...hardware.config import CacheMode
+from ...kernel.process import UserProcess
+from ...testbed import Rendezvous
+from ...vmmc import VmmcEndpoint
+from .credits import CREDIT_SLOT_BYTES, CreditRing
+
+__all__ = ["NXVariant", "Connection", "HEADER_BYTES", "DESCRIPTOR_BYTES",
+           "SCOUT_SLOT", "CHUNK_TYPE", "ANY_TYPE"]
+
+HEADER_BYTES = 12          # in-slot [type][seq][size]
+DESCRIPTOR_BYTES = 16      # ring entry [slot][type][size][seq]; seq is the flag
+SCOUT_SLOT = 0xFFFFFFFF    # descriptor slot index meaning "scout, no payload"
+CHUNK_TYPE = 0xFFFFFFFE    # internal message type for the chunked fallback
+ANY_TYPE = -1
+
+# Control-page field offsets.
+_CREDITS_OFF = 0x000
+_DESC_RING_OFF = 0x100
+_REPLY_OFF = 0x400         # [export_id][buf_offset][mode][reply_seq]
+_REQUEST_OFF = 0x480       # [request_seq]
+_COMPLETE_OFF = 0x4C0      # [complete_seq]
+REPLY_MODE_DIRECT = 1      # zero-copy: DU straight into the user buffer
+REPLY_MODE_CHUNKED = 2     # alignment fallback: stream through packet buffers
+
+
+@dataclass(frozen=True)
+class NXVariant:
+    """The small-message strategy of an NX build (Figure 4's curves).
+
+    ``automatic``: payload via AU marshal into the bound send region
+    (the copy is the send) vs deliberate update.
+    ``staging_copy``: copy payload into a staging area first — for AU
+    this is the '2copy' variant; for DU it trades a copy for sending
+    header+payload with a *single* deliberate update ('the tradeoff
+    between a local copy and an extra send').
+    ``force_zero_copy``: run the scout protocol for every size (the
+    DU-0copy curve), instead of only above the packet-buffer size.
+    """
+
+    name: str
+    automatic: bool
+    staging_copy: bool
+    force_zero_copy: bool = False
+
+
+@dataclass
+class PendingMessage:
+    """A message that has arrived (descriptor seen) but not been consumed."""
+
+    peer: int
+    slot: int               # SCOUT_SLOT for scouts
+    mtype: int
+    size: int
+    seq: int
+    arrival: int            # global arrival tick for ANY_TYPE fairness
+
+
+def _u32(*values: int) -> bytes:
+    return struct.pack("<%dI" % len(values), *values)
+
+
+class Connection:
+    """One direction-symmetric NX connection between two processes."""
+
+    def __init__(
+        self,
+        proc: UserProcess,
+        ep: VmmcEndpoint,
+        peer_node: int,
+        peer_rank: int,
+        variant: NXVariant,
+        slots: int,
+        payload_bytes: int,
+    ):
+        self.proc = proc
+        self.ep = ep
+        self.peer_node = peer_node
+        self.peer_rank = peer_rank
+        self.variant = variant
+        self.slots = slots
+        self.payload_bytes = payload_bytes
+        self.slot_bytes = HEADER_BYTES + payload_bytes
+        page = proc.config.page_size
+        self.data_bytes = -(-self.slots * self.slot_bytes // page) * page
+
+        # Filled in by establish():
+        self.data_in = 0
+        self.ctrl_in = 0
+        self.imp_data = None
+        self.imp_ctrl = None
+        self.au_ctrl_out = 0
+        self.au_data_out = 0
+        self.staging = 0
+
+        # Sender-side state.
+        self.free_slots: Deque[int] = deque(range(slots))
+        self.next_send_seq = 1
+        self.credit_reader = CreditRing(0, 2 * slots)  # rebased in establish()
+        self.next_reply_seq = 1       # scout replies I expect
+        self.large_send_active = False
+
+        # Receiver-side state.
+        self.credit_writer_seq = 1
+        self.next_recv_seq = 1        # next descriptor-ring stamp expected
+        self.next_credit_out = CreditRing(0, 2 * slots)  # peer's ring, via AU
+        self.next_complete_seq = 1
+        self.next_reply_out_seq = 1
+        self.buffer_requests_seen = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def establish(self, rdv: Rendezvous, my_rank: int):
+        """Export my halves, exchange ids, import the peer's, bind AU."""
+        proc, ep = self.proc, self.ep
+        page = proc.config.page_size
+        self.data_in = ep.alloc_buffer(self.data_bytes, cache_mode=CacheMode.WRITE_THROUGH)
+        self.ctrl_in = ep.alloc_buffer(page, cache_mode=CacheMode.WRITE_THROUGH)
+        exp_data = yield from ep.export(self.data_in, self.data_bytes)
+        exp_ctrl = yield from ep.export(self.ctrl_in, page,
+                                        handler=self._on_buffer_request)
+        key = "nx-conn-%d-%d" % (my_rank, self.peer_rank)
+        rdv.put(key, (proc.node.node_id, exp_data.export_id, exp_ctrl.export_id))
+        peer_key = "nx-conn-%d-%d" % (self.peer_rank, my_rank)
+        peer_node, peer_data_id, peer_ctrl_id = yield rdv.get(peer_key)
+        assert peer_node == self.peer_node
+        self.imp_data = yield from ep.import_buffer(peer_node, peer_data_id)
+        self.imp_ctrl = yield from ep.import_buffer(peer_node, peer_ctrl_id)
+
+        self.au_ctrl_out = ep.alloc_buffer(page, cache_mode=CacheMode.WRITE_THROUGH)
+        yield from ep.bind(self.au_ctrl_out, self.imp_ctrl, combining=True)
+        if self.variant.automatic:
+            self.au_data_out = ep.alloc_buffer(
+                self.data_bytes, cache_mode=CacheMode.WRITE_THROUGH
+            )
+            yield from ep.bind(self.au_data_out, self.imp_data, combining=True)
+        self.staging = ep.alloc_buffer(
+            -(-self.slot_bytes // page) * page, cache_mode=CacheMode.WRITE_BACK
+        )
+        self.credit_reader = CreditRing(self.ctrl_in + _CREDITS_OFF, 2 * self.slots)
+        self.next_credit_out = CreditRing(self.au_ctrl_out + _CREDITS_OFF, 2 * self.slots)
+
+    def _on_buffer_request(self, buffer, page, size) -> None:
+        """Notification handler: the peer ran out of packet buffers.
+
+        Credits flow back when we consume messages; the interrupt's job
+        is only to force the receiver into library code (Section 6) —
+        recorded here, observable in tests and the interrupt statistics.
+        """
+        self.buffer_requests_seen += 1
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def reclaim_credits(self, at_least: int = 0):
+        """Pull returned credits into the free list.
+
+        Stops early once ``at_least`` credits were recovered (saves the
+        trailing does-not-match read on the fast path); ``at_least=0``
+        drains everything currently visible.
+        """
+        recovered = 0
+        while True:
+            slot_vaddr = self.credit_reader.expected_slot_vaddr()
+            data = yield from self.proc.read(slot_vaddr, CREDIT_SLOT_BYTES)
+            index = self.credit_reader.try_read(data)
+            if index is None:
+                return
+            self.free_slots.append(index)
+            recovered += 1
+            if at_least and recovered >= at_least:
+                return
+
+    def acquire_slot(self):
+        """Get a free remote packet buffer, blocking (and interrupting
+        the receiver) if none are available.
+
+        Credit reclaim is lazy: no control reads happen while the free
+        list still has buffers.
+        """
+        if self.free_slots:
+            return self.free_slots.popleft()
+        yield from self.reclaim_credits(at_least=1)
+        if self.free_slots:
+            return self.free_slots.popleft()
+        # Buffers exhausted: 'the NX library generates an interrupt on
+        # the receiver to request more buffers', then waits for a credit.
+        yield from self._send_buffer_request()
+        while not self.free_slots:
+            stamp_vaddr = self.credit_reader.expected_slot_vaddr() + 4
+            expected = self.credit_reader.expected_seq_bytes()
+            yield from self.proc.poll(stamp_vaddr, 4, lambda b: b == expected)
+            yield from self.reclaim_credits()
+        return self.free_slots.popleft()
+
+    def _send_buffer_request(self):
+        proc = self.proc
+        yield from proc.write(self.staging, _u32(self.next_send_seq))
+        yield from self.ep.send(
+            self.imp_ctrl, self.staging, 4, offset=_REQUEST_OFF, notify=True
+        )
+
+    def slot_offset(self, slot: int) -> int:
+        """Byte offset of packet buffer ``slot`` in the data region."""
+        return slot * self.slot_bytes
+
+    def send_small(self, user_vaddr: int, size: int, mtype: int):
+        """One-copy-protocol send of a message that fits a packet buffer.
+
+        Returns the message seq.  Payload lands at the slot, the in-slot
+        header identifies it, and the descriptor-ring write (via AU,
+        after the data, hence ordered) flags arrival.
+        """
+        if size > self.payload_bytes:
+            raise ValueError("message of %d bytes does not fit a packet buffer" % size)
+        proc, ep = self.proc, self.ep
+        variant = self.variant
+        slot = yield from self.acquire_slot()
+        seq = self.next_send_seq
+        self.next_send_seq += 1
+        offset = self.slot_offset(slot)
+        header = _u32(mtype & 0xFFFFFFFF, seq, size)
+
+        needs_staging = variant.staging_copy or (
+            not variant.automatic and (user_vaddr % proc.config.word_size != 0)
+        )
+        if variant.automatic:
+            # AU marshal straight into the bound slot; the descriptor-ring
+            # write below is the header ('the sender may choose to send
+            # the data along with the header directly via automatic
+            # update as it marshals') — an in-slot copy of the header
+            # would be redundant bookkeeping, so payload starts at the
+            # slot's payload offset and nothing else is written here.
+            base = self.au_data_out + offset
+            if needs_staging:
+                yield from proc.copy(user_vaddr, self.staging + HEADER_BYTES, size)
+                yield from proc.copy(self.staging + HEADER_BYTES, base + HEADER_BYTES, size)
+            else:
+                yield from proc.copy(user_vaddr, base + HEADER_BYTES, size)
+        else:
+            if needs_staging:
+                # Copy payload next to the header, one deliberate update
+                # for both — the '2copy' point of the tradeoff.
+                yield from proc.write(self.staging, header)
+                yield from proc.copy(user_vaddr, self.staging + HEADER_BYTES, size)
+                yield from ep.send(self.imp_data, self.staging,
+                                   HEADER_BYTES + size, offset=offset)
+            else:
+                # Header and payload as two separate deliberate updates —
+                # the '1copy' point.
+                yield from proc.write(self.staging, header)
+                yield from ep.send(self.imp_data, self.staging, HEADER_BYTES,
+                                   offset=offset)
+                yield from ep.send(self.imp_data, user_vaddr, _pad4(size),
+                                   offset=offset + HEADER_BYTES)
+        yield from self._write_descriptor(slot, mtype, size, seq)
+        return seq
+
+    def send_scout(self, mtype: int, size: int):
+        """Announce a large message (zero-copy protocol, step 1)."""
+        seq = self.next_send_seq
+        self.next_send_seq += 1
+        yield from self.proc.compute(self.proc.config.costs.nx_scout_overhead)
+        yield from self._write_descriptor(SCOUT_SLOT, mtype, size, seq)
+        return seq
+
+    def _write_descriptor(self, slot: int, mtype: int, size: int, seq: int):
+        ring_slot = seq % (2 * self.slots + 2)
+        vaddr = self.au_ctrl_out + _DESC_RING_OFF + ring_slot * DESCRIPTOR_BYTES
+        yield from self.proc.write(
+            vaddr, _u32(slot, mtype & 0xFFFFFFFF, size, seq)
+        )
+
+    def poll_reply(self):
+        """Wait for the receiver's reply to our scout (step 3)."""
+        expected = _u32(self.next_reply_seq)
+        stamp = self.ctrl_in + _REPLY_OFF + 12
+        yield from self.proc.poll(stamp, 4, lambda b: b == expected)
+        data = yield from self.proc.read(self.ctrl_in + _REPLY_OFF, 16)
+        export_id, buf_offset, mode, _seq = struct.unpack("<IIII", data)
+        self.next_reply_seq += 1
+        return export_id, buf_offset, mode
+
+    def check_reply(self):
+        """Non-blocking reply check; None if not yet there."""
+        expected = _u32(self.next_reply_seq)
+        data = yield from self.proc.read(self.ctrl_in + _REPLY_OFF, 16)
+        export_id, buf_offset, mode, seq = struct.unpack("<IIII", data)
+        if _u32(seq) != expected:
+            return None
+        self.next_reply_seq += 1
+        return export_id, buf_offset, mode
+
+    def send_complete(self, seq: int):
+        """Flag the zero-copy data as fully in place (step 5, via AU)."""
+        yield from self.proc.write(self.au_ctrl_out + _COMPLETE_OFF, _u32(seq))
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def scan_descriptor(self):
+        """Non-blocking: parse the next descriptor if it has arrived.
+
+        Reads the 4-byte sequence stamp first; the full descriptor is
+        read only on a hit (the common no-message scan is one load).
+        """
+        ring_slot = self.next_recv_seq % (2 * self.slots + 2)
+        vaddr = self.ctrl_in + _DESC_RING_OFF + ring_slot * DESCRIPTOR_BYTES
+        stamp = yield from self.proc.read(vaddr + 12, 4)
+        if stamp != _u32(self.next_recv_seq):
+            return None
+        data = yield from self.proc.read(vaddr, DESCRIPTOR_BYTES)
+        slot, mtype, size, seq = struct.unpack("<IIII", data)
+        if seq != self.next_recv_seq:
+            return None
+        self.next_recv_seq += 1
+        yield from self.proc.compute(self.proc.config.costs.nx_match_overhead)
+        return slot, mtype, size, seq
+
+    def descriptor_stamp_vaddr(self) -> int:
+        """Address of the next expected descriptor's sequence stamp
+        (what a blocking receive polls)."""
+        ring_slot = self.next_recv_seq % (2 * self.slots + 2)
+        return (self.ctrl_in + _DESC_RING_OFF
+                + ring_slot * DESCRIPTOR_BYTES + 12)
+
+    def expected_stamp_bytes(self) -> bytes:
+        """Encoded stamp the next descriptor must carry."""
+        return _u32(self.next_recv_seq)
+
+    def consume_payload(self, slot: int, size: int, user_vaddr: int):
+        """Copy a small message out of its packet buffer and return the
+        credit ('at least one copy from the receive buffer')."""
+        yield from self.proc.copy(self.data_in + self.slot_offset(slot) + HEADER_BYTES,
+                                  user_vaddr, size)
+        yield from self.return_credit(slot)
+
+    def peek_payload(self, slot: int, size: int) -> bytes:
+        """Untimed view of a slot's payload (tests/debug only)."""
+        return self.proc.peek(self.data_in + self.slot_offset(slot) + HEADER_BYTES, size)
+
+    def return_credit(self, slot: int):
+        """Return ``slot``'s credit to the sender (via AU)."""
+        yield from self.proc.compute(self.proc.config.costs.nx_credit_overhead)
+        vaddr, data = self.next_credit_out.next_write(slot)
+        yield from self.proc.write(vaddr, data)
+
+    def send_reply(self, export_id: int, buf_offset: int, mode: int):
+        """Receiver side of the zero-copy protocol: tell the sender where
+        to put the data (step 2->3)."""
+        seq = self.next_reply_out_seq
+        self.next_reply_out_seq += 1
+        yield from self.proc.write(
+            self.au_ctrl_out + _REPLY_OFF, _u32(export_id, buf_offset, mode, seq)
+        )
+
+    def poll_complete(self, seq: int):
+        """Wait for the zero-copy completion word to show ``seq``."""
+        expected = _u32(seq)
+        yield from self.proc.poll(
+            self.ctrl_in + _COMPLETE_OFF, 4, lambda b: b == expected
+        )
+        self.next_complete_seq = seq + 1
+
+
+def _pad4(size: int) -> int:
+    """DU transfer sizes are whole words; trailing pad bytes land in the
+    slot's spare room (never read — size in the header bounds reads)."""
+    return (size + 3) & ~3

@@ -1,0 +1,85 @@
+"""Send-credit machinery of the NX one-copy protocol.
+
+'After the receiver consumes the message, it resets the size field to a
+special value and uses the control buffer to return a send credit to
+the sender.  Since the receiver may consume messages out of order, the
+credit identifies a specific packet buffer which has become available.'
+
+The credit channel is a sequence-stamped ring in the sender's control
+page, written by the receiver via automatic update.  Each 8-byte slot
+holds ``[buffer_index][credit_seq]``; the writer stamps monotonically
+increasing sequence numbers and the reader polls the slot where the
+next expected sequence number must land.  The stamp is written in the
+same 8-byte store as the index, so a credit is visible atomically.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+__all__ = ["CreditRing", "CREDIT_SLOT_BYTES"]
+
+CREDIT_SLOT_BYTES = 8
+
+
+class CreditRing:
+    """One direction's credit ring bookkeeping (layout + codec).
+
+    The ring itself lives in simulated memory; this class computes slot
+    addresses and encodes/decodes slot contents.  Both the writer
+    (receiver returning credits) and the reader (sender reclaiming
+    buffers) keep their own instance, advancing independent sequence
+    counters over the same memory.
+    """
+
+    def __init__(self, base_vaddr: int, slots: int):
+        if slots < 2:
+            raise ValueError("credit ring needs at least 2 slots")
+        self.base = base_vaddr
+        self.slots = slots
+        self.next_seq = 1  # writer: next stamp to write; reader: next expected
+
+    @property
+    def region_bytes(self) -> int:
+        return self.slots * CREDIT_SLOT_BYTES
+
+    def slot_vaddr(self, seq: int) -> int:
+        """Address of the ring slot that carries stamp ``seq``."""
+        return self.base + (seq % self.slots) * CREDIT_SLOT_BYTES
+
+    # -- codec ----------------------------------------------------------
+    @staticmethod
+    def encode(buffer_index: int, seq: int) -> bytes:
+        return struct.pack("<II", buffer_index, seq)
+
+    @staticmethod
+    def decode(data: bytes) -> "tuple[int, int]":
+        index, seq = struct.unpack("<II", data)
+        return index, seq
+
+    # -- writer side ------------------------------------------------------
+    def next_write(self, buffer_index: int) -> "tuple[int, bytes]":
+        """(slot vaddr, encoded bytes) for returning one credit."""
+        vaddr = self.slot_vaddr(self.next_seq)
+        data = self.encode(buffer_index, self.next_seq)
+        self.next_seq += 1
+        return vaddr, data
+
+    # -- reader side ---------------------------------------------------------
+    def try_read(self, slot_bytes: bytes) -> Optional[int]:
+        """Decode a slot snapshot; returns the buffer index if the slot
+        carries the next expected credit, else None."""
+        index, seq = self.decode(slot_bytes)
+        if seq != self.next_seq:
+            return None
+        self.next_seq += 1
+        return index
+
+    def expected_slot_vaddr(self) -> int:
+        """Address the reader polls for its next credit."""
+        return self.slot_vaddr(self.next_seq)
+
+    def expected_seq_bytes(self) -> bytes:
+        """The bytes the reader polls for in the stamp half of the slot."""
+        return struct.pack("<I", self.next_seq)

@@ -1,0 +1,135 @@
+"""NX global operations: gisum, gdsum, gihigh, gdhigh, gilow, gdlow.
+
+NX/2 shipped a family of global reduction calls every rank enters
+together; applications used them constantly (residual norms, global
+maxima, convergence tests).  Implemented here as a binomial-tree
+reduce-to-0 followed by a tree broadcast of the result — pure software
+over csend/crecv, like everything else above VMMC.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List
+
+from .api import NXProcess
+
+__all__ = ["gisum", "gdsum", "gihigh", "gilow", "gdhigh", "gdlow", "gcol"]
+
+_GLOBAL_REDUCE = 0x7FFD0001
+_GLOBAL_BCAST = 0x7FFD0002
+_GLOBAL_CONCAT = 0x7FFD0003
+
+
+def _global_op(nx: NXProcess, values: List, fmt: str,
+               combine: Callable[[List, List], List]):
+    """Tree-reduce ``values`` elementwise to rank 0, broadcast back.
+
+    ``fmt`` is the struct element code ('q' or 'd'); every rank returns
+    the combined list.
+    """
+    size = nx.numnodes()
+    count = len(values)
+    pack = lambda vs: struct.pack("<%d%s" % (count, fmt), *vs)
+    unpack = lambda raw: list(struct.unpack("<%d%s" % (count, fmt), raw))
+    nbytes = len(pack(values))
+    page = nx.proc.config.page_size
+    scratch = nx.proc.space.mmap(-(-max(nbytes, 4) // page) * page)
+
+    me = nx.mynode()
+    accumulator = list(values)
+    # Reduce: binomial tree toward rank 0.
+    mask = 1
+    while mask < size:
+        if me & mask:
+            parent = me & ~mask
+            nx.proc.poke(scratch, pack(accumulator))
+            yield from nx.csend(_GLOBAL_REDUCE, scratch, nbytes, to=parent)
+            break
+        child = me | mask
+        if child < size:
+            yield from nx.crecv(_GLOBAL_REDUCE, scratch, nbytes)
+            accumulator = combine(accumulator, unpack(nx.proc.peek(scratch, nbytes)))
+        mask <<= 1
+    # Broadcast the result back down the same tree.
+    if me != 0:
+        yield from nx.crecv(_GLOBAL_BCAST, scratch, nbytes)
+        accumulator = unpack(nx.proc.peek(scratch, nbytes))
+    mask = 1
+    while mask < size:
+        if me < mask:
+            child = me + mask
+            if child < size:
+                nx.proc.poke(scratch, pack(accumulator))
+                yield from nx.csend(_GLOBAL_BCAST, scratch, nbytes, to=child)
+        mask <<= 1
+    return accumulator
+
+
+def _elementwise(op):
+    return lambda a, b: [op(x, y) for x, y in zip(a, b)]
+
+
+def gisum(nx: NXProcess, values: List[int]):
+    """Global integer sum, elementwise over ``values``; all ranks get
+    the result."""
+    result = yield from _global_op(nx, values, "q", _elementwise(lambda a, b: a + b))
+    return result
+
+
+def gdsum(nx: NXProcess, values: List[float]):
+    """Global double sum."""
+    result = yield from _global_op(nx, values, "d", _elementwise(lambda a, b: a + b))
+    return result
+
+
+def gihigh(nx: NXProcess, values: List[int]):
+    """Global integer maximum."""
+    result = yield from _global_op(nx, values, "q", _elementwise(max))
+    return result
+
+
+def gilow(nx: NXProcess, values: List[int]):
+    """Global integer minimum."""
+    result = yield from _global_op(nx, values, "q", _elementwise(min))
+    return result
+
+
+def gdhigh(nx: NXProcess, values: List[float]):
+    """Global double maximum."""
+    result = yield from _global_op(nx, values, "d", _elementwise(max))
+    return result
+
+
+def gdlow(nx: NXProcess, values: List[float]):
+    """Global double minimum."""
+    result = yield from _global_op(nx, values, "d", _elementwise(min))
+    return result
+
+
+def gcol(nx: NXProcess, vaddr: int, nbytes: int):
+    """Global concatenation: every rank contributes ``nbytes`` at
+    ``vaddr``; all ranks receive the rank-ordered concatenation.
+
+    Gather to rank 0, then broadcast the concatenation (the classic
+    gcolx shape, with equal contributions).
+    """
+    size = nx.numnodes()
+    me = nx.mynode()
+    total = nbytes * size
+    page = nx.proc.config.page_size
+    gathered = nx.proc.space.mmap(-(-total // page) * page)
+    if me == 0:
+        nx.proc.poke(gathered, nx.proc.peek(vaddr, nbytes))
+        # Typed receives place each rank's piece directly (out-of-order
+        # consumption is exactly what NX's credit scheme permits).
+        for rank in range(1, size):
+            yield from nx.crecv(
+                _GLOBAL_CONCAT + 1000 + rank, gathered + rank * nbytes, nbytes
+            )
+        for child in range(1, size):
+            yield from nx.csend(_GLOBAL_CONCAT, gathered, total, to=child)
+    else:
+        yield from nx.csend(_GLOBAL_CONCAT + 1000 + me, vaddr, nbytes, to=0)
+        yield from nx.crecv(_GLOBAL_CONCAT, gathered, total)
+    return nx.proc.peek(gathered, total)

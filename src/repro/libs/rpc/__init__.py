@@ -1,0 +1,34 @@
+"""SunRPC-compatible VRPC library (system S15 in DESIGN.md):
+XDR codec, RFC 1057 headers, the folded stream layer, and the runtime."""
+
+from .rpclib import (
+    PROC_UNAVAIL,
+    PROG_MISMATCH,
+    PROG_UNAVAIL,
+    RpcCallHeader,
+    RpcFault,
+    RpcReplyHeader,
+    SUCCESS,
+)
+from .stream import VrpcStream
+from .vrpc import VrpcClient, VrpcServer, clnt_create, decode_void, encode_void
+from .xdr import XdrDecoder, XdrEncoder, XdrError
+
+__all__ = [
+    "PROC_UNAVAIL",
+    "PROG_MISMATCH",
+    "PROG_UNAVAIL",
+    "RpcCallHeader",
+    "RpcFault",
+    "RpcReplyHeader",
+    "SUCCESS",
+    "VrpcClient",
+    "VrpcServer",
+    "VrpcStream",
+    "XdrDecoder",
+    "XdrEncoder",
+    "XdrError",
+    "clnt_create",
+    "decode_void",
+    "encode_void",
+]

@@ -1,0 +1,154 @@
+"""The VRPC bidirectional stream: a cyclic shared queue per direction.
+
+'The communication between the client and the server takes place over
+a pair of mappings which implement a bidirectional stream...  we
+implement a cyclic shared queue in each direction.  The control
+information in each buffer consists of 2 reserved words.  The first
+word is a flag and the second the total length (in bytes) of the data
+that has been written into the buffer from the last and previous
+transfers.  The sender (respectively, receiver) remembers the next
+position to write (read) data to (from) the buffer.  The XDR layer
+sends the data directly to the receiver, so there is no copying on
+the sending side.'
+
+This is the 'stream layer folded directly into the XDR layer': the
+encoder's output bytes are written straight into the (mirror of the)
+peer's queue, and the decoder reads straight out of the local queue.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ...hardware.config import CacheMode
+from ...kernel.process import UserProcess
+from ...vmmc import VmmcEndpoint
+
+__all__ = ["VrpcStream", "STREAM_CTRL_BYTES"]
+
+STREAM_CTRL_BYTES = 8  # [flag][total_length]
+
+
+class VrpcStream:
+    """One endpoint's view of the bidirectional VRPC stream.
+
+    The local half (``in_vaddr``) is this process's receive queue; the
+    peer's queue is reached through ``au_out`` (automatic update mirror)
+    or deliberate update into ``imp_out`` — per the binding's variant.
+    Message payloads are always XDR data, hence word-multiple, which
+    keeps every deliberate-update destination aligned.
+    """
+
+    def __init__(
+        self,
+        proc: UserProcess,
+        ep: VmmcEndpoint,
+        in_vaddr: int,
+        ring_bytes: int,
+        automatic: bool,
+    ):
+        self.proc = proc
+        self.ep = ep
+        self.in_vaddr = in_vaddr
+        self.ring_bytes = ring_bytes
+        # The two reserved control words live at the region's start; the
+        # cyclic data area is what remains.
+        self.data_capacity = ring_bytes - STREAM_CTRL_BYTES
+        self.automatic = automatic
+        # Peer-side handles, installed by attach_peer():
+        self.imp_out = None
+        self.au_out = 0            # AU mirror (whole region for AU; page 0 always)
+        self.staging = 0           # DU marshal area
+        # 'The sender remembers the next position to write':
+        self.write_total = 0
+        self.flag_out = 0
+        # '...the receiver the next position to read':
+        self.read_total = 0
+        self.flag_in = 0
+
+    # ------------------------------------------------------------------
+    def attach_peer(self, imp_out, au_out: int, staging: int) -> None:
+        """Install the peer-side handles after the handshake."""
+        self.imp_out = imp_out
+        self.au_out = au_out
+        self.staging = staging
+
+    def _ring_segments(self, total: int, nbytes: int) -> List[Tuple[int, int]]:
+        """(ring offset, length) pieces for nbytes starting at counter."""
+        segments = []
+        while nbytes > 0:
+            offset = total % self.data_capacity
+            piece = min(nbytes, self.data_capacity - offset)
+            segments.append((offset, piece))
+            total += piece
+            nbytes -= piece
+        return segments
+
+    # ------------------------------------------------------------------
+    # Send side ('no copying on the sending side' beyond the marshal)
+    # ------------------------------------------------------------------
+    def send_message(self, payload: bytes):
+        """Write one XDR message into the peer's queue and flag it."""
+        nbytes = len(payload)
+        if nbytes % 4 != 0:
+            raise ValueError("stream payloads are XDR data (word multiples)")
+        if nbytes > self.data_capacity:
+            raise ValueError("message of %d bytes exceeds the stream queue" % nbytes)
+        proc = self.proc
+        segments = self._ring_segments(self.write_total, nbytes)
+        if self.automatic:
+            # Marshal straight into the AU mirror: the writes are the send.
+            cursor = 0
+            for offset, length in segments:
+                yield from proc.write(
+                    self.au_out + STREAM_CTRL_BYTES + offset,
+                    payload[cursor : cursor + length],
+                )
+                cursor += length
+        else:
+            # Marshal into the staging ring, one deliberate update per
+            # contiguous piece.
+            cursor = 0
+            for offset, length in segments:
+                yield from proc.write(self.staging + offset, payload[cursor : cursor + length])
+                yield from self.ep.send(
+                    self.imp_out, self.staging + offset, length,
+                    offset=STREAM_CTRL_BYTES + offset,
+                )
+                cursor += length
+        self.write_total += nbytes
+        self.flag_out += 1
+        # Control words: flag + total, one 8-byte AU write after the data.
+        yield from proc.write(
+            self.au_out, struct.pack("<II", self.flag_out, self.write_total)
+        )
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def check_flag(self):
+        """Non-blocking: has the next transfer been flagged?  One timed
+        load of the flag word (the svc_run select-loop probe)."""
+        raw = yield from self.proc.read(self.in_vaddr, 4)
+        (flag,) = struct.unpack("<I", raw)
+        return flag == self.flag_in + 1
+
+    def recv_message(self):
+        """Wait for the next flagged transfer; returns its bytes."""
+        proc = self.proc
+        expected = struct.pack("<I", self.flag_in + 1)
+        yield from proc.poll(self.in_vaddr, 4, lambda b: b == expected)
+        raw = yield from proc.read(self.in_vaddr, STREAM_CTRL_BYTES)
+        flag, total = struct.unpack("<II", raw)
+        self.flag_in = flag
+        nbytes = total - self.read_total
+        segments = self._ring_segments(self.read_total, nbytes)
+        pieces = []
+        for offset, length in segments:
+            piece = yield from proc.read(
+                self.in_vaddr + STREAM_CTRL_BYTES + offset, length
+            )
+            pieces.append(piece)
+        self.read_total = total
+        return b"".join(pieces)

@@ -1,0 +1,232 @@
+"""XDR: External Data Representation (RFC 1014 / RFC 4506).
+
+The real wire encoding SunRPC uses — big-endian, 4-byte alignment,
+length-prefixed variable data — implemented as a plain codec so the
+VRPC library produces byte-compatible call and reply messages.  This
+is the 'XDR implements architecture-independent data representation'
+layer of Figure 6; the stream layer is folded into it at the call
+sites (the encoder writes straight into the communication buffer's
+mirror, the decoder reads straight out of the receive buffer).
+
+Pure Python, no simulation dependencies: time is charged by the VRPC
+runtime, which knows how many bytes moved.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["XdrError", "XdrEncoder", "XdrDecoder", "pad_to_word"]
+
+
+class XdrError(Exception):
+    """Malformed XDR data or misuse of the codec."""
+
+
+def pad_to_word(nbytes: int) -> int:
+    """Round a byte count up to the XDR 4-byte unit."""
+    return (nbytes + 3) & ~3
+
+
+class XdrEncoder:
+    """Append-only XDR serializer."""
+
+    def __init__(self):
+        self._chunks: List[bytes] = []
+        self._length = 0
+
+    # -- primitives ------------------------------------------------------
+    def pack_int(self, value: int) -> "XdrEncoder":
+        """XDR-encode a int."""
+        if not -(1 << 31) <= value < (1 << 31):
+            raise XdrError("int out of range: %r" % (value,))
+        return self._append(struct.pack(">i", value))
+
+    def pack_uint(self, value: int) -> "XdrEncoder":
+        """XDR-encode a uint."""
+        if not 0 <= value < (1 << 32):
+            raise XdrError("uint out of range: %r" % (value,))
+        return self._append(struct.pack(">I", value))
+
+    def pack_hyper(self, value: int) -> "XdrEncoder":
+        """XDR-encode a hyper."""
+        if not -(1 << 63) <= value < (1 << 63):
+            raise XdrError("hyper out of range: %r" % (value,))
+        return self._append(struct.pack(">q", value))
+
+    def pack_uhyper(self, value: int) -> "XdrEncoder":
+        """XDR-encode a uhyper."""
+        if not 0 <= value < (1 << 64):
+            raise XdrError("uhyper out of range: %r" % (value,))
+        return self._append(struct.pack(">Q", value))
+
+    def pack_bool(self, value: bool) -> "XdrEncoder":
+        """XDR-encode a bool."""
+        return self.pack_int(1 if value else 0)
+
+    def pack_enum(self, value: int) -> "XdrEncoder":
+        """XDR-encode a enum."""
+        return self.pack_int(value)
+
+    def pack_float(self, value: float) -> "XdrEncoder":
+        """XDR-encode a float."""
+        return self._append(struct.pack(">f", value))
+
+    def pack_double(self, value: float) -> "XdrEncoder":
+        """XDR-encode a double."""
+        return self._append(struct.pack(">d", value))
+
+    # -- opaque / strings ---------------------------------------------------
+    def pack_fixed_opaque(self, data: bytes, n: int) -> "XdrEncoder":
+        """XDR-encode a fixed opaque."""
+        if len(data) != n:
+            raise XdrError("fixed opaque needs exactly %d bytes, got %d" % (n, len(data)))
+        return self._append(data + b"\x00" * (pad_to_word(n) - n))
+
+    def pack_opaque(self, data: bytes) -> "XdrEncoder":
+        """XDR-encode a opaque."""
+        self.pack_uint(len(data))
+        return self._append(data + b"\x00" * (pad_to_word(len(data)) - len(data)))
+
+    def pack_string(self, text: str) -> "XdrEncoder":
+        """XDR-encode a string."""
+        return self.pack_opaque(text.encode("utf-8"))
+
+    # -- composites -----------------------------------------------------------
+    def pack_fixed_array(self, items: Sequence, pack_item: Callable) -> "XdrEncoder":
+        """XDR-encode a fixed array."""
+        for item in items:
+            pack_item(self, item)
+        return self
+
+    def pack_array(self, items: Sequence, pack_item: Callable) -> "XdrEncoder":
+        """XDR-encode a array."""
+        self.pack_uint(len(items))
+        return self.pack_fixed_array(items, pack_item)
+
+    def pack_optional(self, value, pack_item: Callable) -> "XdrEncoder":
+        """XDR-encode a optional."""
+        if value is None:
+            return self.pack_bool(False)
+        self.pack_bool(True)
+        pack_item(self, value)
+        return self
+
+    # -- output ------------------------------------------------------------------
+    def _append(self, data: bytes) -> "XdrEncoder":
+        self._chunks.append(data)
+        self._length += len(data)
+        return self
+
+    def __len__(self) -> int:
+        return self._length
+
+    def getvalue(self) -> bytes:
+        """The serialized bytes."""
+        return b"".join(self._chunks)
+
+
+class XdrDecoder:
+    """Sequential XDR deserializer."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def remaining(self) -> int:
+        """Bytes left to decode."""
+        return len(self._data) - self._offset
+
+    def done(self) -> bool:
+        """Has every byte been consumed?"""
+        return self._offset >= len(self._data)
+
+    def _take(self, nbytes: int) -> bytes:
+        if self._offset + nbytes > len(self._data):
+            raise XdrError(
+                "truncated XDR data: need %d bytes at offset %d of %d"
+                % (nbytes, self._offset, len(self._data))
+            )
+        piece = self._data[self._offset : self._offset + nbytes]
+        self._offset += nbytes
+        return piece
+
+    # -- primitives -------------------------------------------------------
+    def unpack_int(self) -> int:
+        """XDR-decode a int."""
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_uint(self) -> int:
+        """XDR-decode a uint."""
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_hyper(self) -> int:
+        """XDR-decode a hyper."""
+        return struct.unpack(">q", self._take(8))[0]
+
+    def unpack_uhyper(self) -> int:
+        """XDR-decode a uhyper."""
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        """XDR-decode a bool."""
+        value = self.unpack_int()
+        if value not in (0, 1):
+            raise XdrError("bool must be 0 or 1, got %d" % value)
+        return bool(value)
+
+    def unpack_enum(self) -> int:
+        """XDR-decode a enum."""
+        return self.unpack_int()
+
+    def unpack_float(self) -> float:
+        """XDR-decode a float."""
+        return struct.unpack(">f", self._take(4))[0]
+
+    def unpack_double(self) -> float:
+        """XDR-decode a double."""
+        return struct.unpack(">d", self._take(8))[0]
+
+    # -- opaque / strings -----------------------------------------------------
+    def unpack_fixed_opaque(self, n: int) -> bytes:
+        """XDR-decode a fixed opaque."""
+        data = self._take(pad_to_word(n))
+        return data[:n]
+
+    def unpack_opaque(self, max_length: Optional[int] = None) -> bytes:
+        """XDR-decode a opaque."""
+        n = self.unpack_uint()
+        if max_length is not None and n > max_length:
+            raise XdrError("opaque of %d exceeds bound %d" % (n, max_length))
+        if n > self.remaining():
+            raise XdrError("opaque length %d exceeds remaining data" % n)
+        return self.unpack_fixed_opaque(n)
+
+    def unpack_string(self, max_length: Optional[int] = None) -> str:
+        """XDR-decode a string."""
+        return self.unpack_opaque(max_length).decode("utf-8")
+
+    # -- composites ---------------------------------------------------------------
+    def unpack_fixed_array(self, n: int, unpack_item: Callable) -> list:
+        """XDR-decode a fixed array."""
+        return [unpack_item(self) for _ in range(n)]
+
+    def unpack_array(self, unpack_item: Callable, max_length: Optional[int] = None) -> list:
+        """XDR-decode a array."""
+        n = self.unpack_uint()
+        if max_length is not None and n > max_length:
+            raise XdrError("array of %d exceeds bound %d" % (n, max_length))
+        if n * 4 > self.remaining():
+            raise XdrError("array of %d cannot fit remaining data" % n)
+        return self.unpack_fixed_array(n, unpack_item)
+
+    def unpack_optional(self, unpack_item: Callable):
+        """XDR-decode a optional."""
+        if self.unpack_bool():
+            return unpack_item(self)
+        return None

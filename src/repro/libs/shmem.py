@@ -1,0 +1,121 @@
+"""Shared memory over VMMC: bidirectional automatic-update regions.
+
+Section 2 lists shared memory among the models VMMC supports.  The
+hardware gives exactly this much: two processes export mirror-image
+regions and bind each to the other, so every CPU store by either party
+appears in both copies — an update-propagated shared segment (the
+Pipelined RAM / Merlin lineage the related-work section cites).
+
+What it does *not* give is coherence: if both parties write the same
+word concurrently, each copy ends up with its own writer's value (the
+DMA-written updates are not re-snooped, so there is no echo and no
+ordering between the two writers).  The discipline is single writer
+per location — which the helpers here (flags, a token) make practical.
+N-party transparent sharing is impossible on this NIC: a page binds to
+one destination, and the multicast feature was removed from the
+hardware (Section 6); fan-out belongs in software
+(:mod:`repro.libs.collectives`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..hardware.config import CacheMode
+from ..kernel.daemon import AutomaticBinding
+from ..testbed import Rendezvous
+from ..vmmc import VmmcEndpoint
+
+__all__ = ["SharedRegion"]
+
+
+class SharedRegion:
+    """One endpoint's view of a two-party shared segment.
+
+    Create one on each side with matching ``group`` keys and opposite
+    ``member`` ids (0 and 1) via :meth:`join`; afterwards plain
+    ``write``/``read`` behave like shared memory with remote-update
+    latency.
+    """
+
+    def __init__(self, ep: VmmcEndpoint, vaddr: int, nbytes: int,
+                 binding: AutomaticBinding, member: int):
+        self.ep = ep
+        self.proc = ep.proc
+        self.vaddr = vaddr
+        self.nbytes = nbytes
+        self.binding = binding
+        self.member = member
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def join(cls, ep: VmmcEndpoint, rdv: Rendezvous, group: str,
+             nbytes: int, member: int):
+        """Generator: establish one side of the shared segment.
+
+        Both members allocate + export a copy, exchange export ids via
+        the rendezvous, import the peer's copy, and AU-bind their own
+        copy to it.  Returns the :class:`SharedRegion`.
+        """
+        if member not in (0, 1):
+            raise ValueError("two-party sharing: member must be 0 or 1")
+        page = ep.proc.config.page_size
+        rounded = -(-nbytes // page) * page
+        vaddr = ep.alloc_buffer(rounded, cache_mode=CacheMode.WRITE_THROUGH)
+        export = yield from ep.export(vaddr, rounded)
+        rdv.put("%s-%d" % (group, member), (ep.proc.node.node_id, export.export_id))
+        peer_node, peer_export = yield rdv.get("%s-%d" % (group, 1 - member))
+        imported = yield from ep.import_buffer(peer_node, peer_export)
+        binding = yield from ep.bind(vaddr, imported)
+        return cls(ep, vaddr, rounded, binding, member)
+
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: bytes):
+        """Store into the segment; propagates to the peer's copy."""
+        self._check(offset, len(data))
+        yield from self.proc.write(self.vaddr + offset, data)
+
+    def read(self, offset: int, nbytes: int):
+        """Load from the local copy (updates land here asynchronously)."""
+        self._check(offset, nbytes)
+        data = yield from self.proc.read(self.vaddr + offset, nbytes)
+        return data
+
+    def peek(self, offset: int, nbytes: int) -> bytes:
+        """Untimed debug read."""
+        self._check(offset, nbytes)
+        return self.proc.peek(self.vaddr + offset, nbytes)
+
+    # -- synchronization helpers ------------------------------------------
+    def set_flag(self, offset: int, value: int):
+        """Word-sized flag store (single-writer location)."""
+        yield from self.write(offset, struct.pack("<I", value))
+
+    def wait_flag(self, offset: int, value: int):
+        """Spin (watch-assisted) until the flag at ``offset`` equals
+        ``value``."""
+        expected = struct.pack("<I", value)
+        yield from self.proc.poll(self.vaddr + offset, 4, lambda b: b == expected)
+
+    def wait_change(self, offset: int, nbytes: int, current: bytes):
+        """Wait until the bytes at ``offset`` differ from ``current``;
+        returns the new bytes."""
+        self._check(offset, nbytes)
+        data = yield from self.proc.poll(
+            self.vaddr + offset, nbytes, lambda b: b != current
+        )
+        return data
+
+    def leave(self):
+        """Tear down this side's binding (the export stays until the
+        process exits or unexports explicitly)."""
+        yield from self.ep.unbind(self.binding)
+
+    # ------------------------------------------------------------------
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                "access [%d, %d) outside shared region of %d bytes"
+                % (offset, offset + nbytes, self.nbytes)
+            )

@@ -1,0 +1,21 @@
+"""Specialized (non-compatible) SHRIMP RPC (system S17 in DESIGN.md):
+IDL parser, stub generator, and URPC-style runtime."""
+
+from .idl import IdlError, IdlType, Interface, Param, Procedure, parse_idl
+from .runtime import ParamRef, SrpcClientBase, SrpcError, SrpcServerBase
+from .stubgen import compile_stubs, generate_stubs
+
+__all__ = [
+    "IdlError",
+    "IdlType",
+    "Interface",
+    "Param",
+    "ParamRef",
+    "Procedure",
+    "SrpcClientBase",
+    "SrpcError",
+    "SrpcServerBase",
+    "compile_stubs",
+    "generate_stubs",
+    "parse_idl",
+]

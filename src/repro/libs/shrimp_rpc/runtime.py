@@ -1,0 +1,366 @@
+"""Runtime of the specialized SHRIMP RPC (Section 5).
+
+Design per the paper (close to Bershad's URPC): each binding consists of
+one receive buffer on each side with bidirectional import-export
+mappings (and automatic-update bindings) between them.
+
+Buffer layout, identical on both sides:
+
+    [argument/result area : frame_bytes][call word][return word]
+
+'The buffers are laid out so that the flag is immediately after the
+data, and so that the flag is in the same place for all calls that use
+the same binding.'  The client marshals arguments with consecutive
+stores and writes the call word; for the largest procedure the whole
+thing combines into a single packet, and a null call is literally one
+word.  OUT and INOUT parameters are passed to the server procedure *by
+reference* — pointers into the server's communication buffer — so
+whatever the procedure writes propagates back to the client by
+automatic update, overlapped with the server's computation; an INOUT
+the server never writes costs nothing on the return path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...hardware.config import CacheMode
+from ...kernel.process import UserProcess
+from ...kernel.system import ShrimpSystem
+from ...vmmc import VmmcEndpoint, attach
+from .idl import IdlType, Interface, Param
+
+__all__ = ["SrpcError", "SrpcClientBase", "SrpcServerBase", "ParamRef",
+           "pack_scalar", "unpack_scalar"]
+
+_ETH_SRPC_BASE = 100000
+_ETH_REPLY_BASE = 120000
+_reply_ports = itertools.count(1)
+
+_STATUS_OK = 0
+_STATUS_NO_PROC = 1
+
+# How promptly the combining timer flushes an RPC buffer's tail packet.
+# Short: the stubs coalesce each call's stores into single bursts.
+_SRPC_FLUSH_TIMER = 0.10
+
+_SCALAR_CODES = {"int": "<i", "uint": "<I", "float": "<f", "double": "<d"}
+
+
+class SrpcError(Exception):
+    """Binding failure or protocol violation."""
+
+
+def pack_scalar(kind: str, value) -> bytes:
+    """Encode one scalar in the wire byte order."""
+    return struct.pack(_SCALAR_CODES[kind], value)
+
+
+def unpack_scalar(kind: str, raw: bytes):
+    """Decode one scalar from slot bytes."""
+    return struct.unpack(_SCALAR_CODES[kind], raw[: struct.calcsize(_SCALAR_CODES[kind])])[0]
+
+
+def encode_value(idltype: IdlType, value) -> bytes:
+    """Marshal one value into its slot representation (used bytes only)."""
+    kind = idltype.kind
+    if kind in _SCALAR_CODES:
+        return pack_scalar(kind, value)
+    if kind == "array":
+        if len(value) != idltype.bound:
+            raise SrpcError("array needs %d elements, got %d" % (idltype.bound, len(value)))
+        return struct.pack("<%d%s" % (idltype.bound, _SCALAR_CODES[idltype.element][1]), *value)
+    if kind == "opaque_fixed":
+        if len(value) != idltype.bound:
+            raise SrpcError("fixed opaque needs %d bytes, got %d" % (idltype.bound, len(value)))
+        return bytes(value) + b"\x00" * (-len(value) % 4)
+    if kind in ("opaque_var", "string"):
+        data = value.encode("utf-8") if kind == "string" else bytes(value)
+        if len(data) > idltype.bound:
+            raise SrpcError("value of %d bytes exceeds bound %d" % (len(data), idltype.bound))
+        return struct.pack("<I", len(data)) + data + b"\x00" * (-len(data) % 4)
+    raise SrpcError("cannot encode %s" % idltype.describe())
+
+
+def decode_value(idltype: IdlType, raw: bytes):
+    """Unmarshal one value from its slot bytes."""
+    kind = idltype.kind
+    if kind in _SCALAR_CODES:
+        return unpack_scalar(kind, raw)
+    if kind == "array":
+        return list(struct.unpack_from(
+            "<%d%s" % (idltype.bound, _SCALAR_CODES[idltype.element][1]), raw
+        ))
+    if kind == "opaque_fixed":
+        return bytes(raw[: idltype.bound])
+    if kind in ("opaque_var", "string"):
+        (length,) = struct.unpack_from("<I", raw)
+        if length > idltype.bound:
+            raise SrpcError("corrupt length %d > bound %d" % (length, idltype.bound))
+        data = bytes(raw[4 : 4 + length])
+        return data.decode("utf-8") if kind == "string" else data
+    raise SrpcError("cannot decode %s" % idltype.describe())
+
+
+@dataclass
+class _SrpcBindRequest:
+    interface: str
+    version: int
+    client_node: int
+    reply_port: int
+    buffer_export: int
+
+
+@dataclass
+class _SrpcBindReply:
+    ok: bool
+    error: str = ""
+    server_node: int = 0
+    buffer_export: int = 0
+
+
+class _SrpcEndpointBase:
+    """Shared binding machinery: the mirrored buffer pair."""
+
+    IDL: Interface  # installed by the stub generator on subclasses
+
+    def __init__(self, system: ShrimpSystem, proc: UserProcess,
+                 endpoint: Optional[VmmcEndpoint] = None):
+        self.system = system
+        self.proc = proc
+        self.ep = endpoint or attach(system, proc)
+        self.ethernet = system.machine.ethernet
+        interface = self.IDL
+        # Buffer layout: [args area][call word][ret area][return word].
+        # Marshaled arguments run right up to the call word, and return
+        # values right up to the return word, so each side's stores form
+        # one ascending stream the combining hardware packs together.
+        self.call_word_off = interface.args_area_bytes
+        self.ret_off = self.call_word_off + 4
+        self.return_word_off = self.ret_off + interface.ret_area_bytes
+        page = proc.config.page_size
+        self.region_bytes = -(-(self.return_word_off + 4) // page) * page
+        self.buf = 0  # local buffer vaddr (set during binding)
+
+    def _make_buffer(self):
+        self.buf = self.ep.alloc_buffer(self.region_bytes,
+                                        cache_mode=CacheMode.WRITE_THROUGH)
+        export = yield from self.ep.export(self.buf, self.region_bytes)
+        return export
+
+    def _bind_to_peer(self, node: int, export_id: int):
+        imported = yield from self.ep.import_buffer(node, export_id)
+        # The local buffer itself is AU-bound to the peer's: CPU stores
+        # propagate; incoming DMA writes do not re-snoop, so no echo.
+        yield from self.ep.bind(self.buf, imported, combining=True,
+                                timer_us=_SRPC_FLUSH_TIMER)
+
+    # -- timed buffer access helpers used by generated stubs ---------------
+    def _read(self, offset: int, nbytes: int):
+        data = yield from self.proc.read(self.buf + offset, nbytes)
+        return data
+
+    def _write(self, offset: int, data: bytes):
+        yield from self.proc.write(self.buf + offset, data)
+
+
+class SrpcClientBase(_SrpcEndpointBase):
+    """Base class of generated client stubs."""
+
+    def __init__(self, system, proc, **kwargs):
+        super().__init__(system, proc, **kwargs)
+        self._seq = 0
+        self.calls_made = 0
+
+    def bind(self, server_node: int, port: int):
+        """Establish the binding with a serving SrpcServer."""
+        export = yield from self._make_buffer()
+        reply_port = _ETH_REPLY_BASE + next(_reply_ports)
+        request = _SrpcBindRequest(
+            interface=self.IDL.name,
+            version=self.IDL.version,
+            client_node=self.proc.node.node_id,
+            reply_port=reply_port,
+            buffer_export=export.export_id,
+        )
+        self.ethernet.send(self.proc.node.node_id, server_node,
+                           _ETH_SRPC_BASE + port, request)
+        frame = yield self.ethernet.recv(self.proc.node.node_id, reply_port)
+        reply: _SrpcBindReply = frame.payload
+        if not reply.ok:
+            raise SrpcError("bind failed: %s" % reply.error)
+        yield from self._bind_to_peer(reply.server_node, reply.buffer_export)
+
+    def _invoke(self, proc_id: int, writes: List[Tuple[int, bytes]],
+                ret_bytes: int, out_reads: List[Tuple[int, int]]):
+        """One call: marshal, flag, wait, collect.
+
+        ``writes``: (offset, bytes) argument stores.  The call word is
+        appended and everything is coalesced into maximal consecutive
+        streams — arguments that fill the area combine with the flag
+        into a single burst ('all of the arguments and the flag can be
+        combined into a single packet by the client-side hardware').
+        ``ret_bytes``: return-slot bytes to read back (0 for void).
+        ``out_reads``: (offset, nbytes) OUT/INOUT slots to read back.
+        Returns [ret_raw?] + out slot bytes, in order.
+        """
+        proc = self.proc
+        yield from proc.compute(proc.config.costs.srpc_client_stub)
+        self._seq = (self._seq % 0xFFFF) + 1
+        call_word = struct.pack("<I", (self._seq << 16) | proc_id)
+        for offset, data in _coalesce(writes + [(self.call_word_off, call_word)]):
+            yield from self._write(offset, data)
+        expected_ok = struct.pack("<I", (self._seq << 16) | _STATUS_OK)
+        expected_bad = struct.pack("<I", (self._seq << 16) | _STATUS_NO_PROC)
+        result = yield from proc.poll(
+            self.buf + self.return_word_off, 4,
+            lambda b: b in (expected_ok, expected_bad),
+        )
+        if result == expected_bad:
+            raise SrpcError("server has no procedure %d" % proc_id)
+        out = []
+        if ret_bytes:
+            data = yield from self._read(self.ret_off, ret_bytes)
+            out.append(data)
+        for offset, nbytes, variable in out_reads:
+            if variable:
+                # Bounded-variable slot: read the length word, then only
+                # the bytes actually present (an empty INOUT costs one
+                # word, not the whole bound).
+                lraw = yield from self._read(offset, 4)
+                (length,) = struct.unpack("<I", lraw)
+                length = min(length, nbytes - 4)
+                data = lraw
+                if length:
+                    rest = yield from self._read(offset + 4, length)
+                    data += rest
+            else:
+                data = yield from self._read(offset, nbytes)
+            out.append(data)
+        self.calls_made += 1
+        return out
+
+
+class ParamRef:
+    """A by-reference OUT/INOUT parameter handed to server procedures.
+
+    ``get()``/``set()`` are generators: they read/write the slot in the
+    server's communication buffer with real (timed) memory operations;
+    sets propagate to the client via automatic update, overlapped with
+    the rest of the procedure ('in many cases it appears to have no
+    cost at all').
+    """
+
+    def __init__(self, server: "SrpcServerBase", param: Param):
+        self._server = server
+        self._param = param
+
+    @property
+    def name(self) -> str:
+        return self._param.name
+
+    def get(self):
+        """Read and decode the parameter's current slot value."""
+        if self._param.type.is_variable:
+            lraw = yield from self._server._read(self._param.offset, 4)
+            (length,) = struct.unpack("<I", lraw)
+            length = min(length, self._param.type.bound)
+            raw = lraw + (yield from self._server._read(self._param.offset + 4, length))
+        else:
+            raw = yield from self._server._read(
+                self._param.offset, self._param.type.slot_bytes
+            )
+        return decode_value(self._param.type, raw)
+
+    def set(self, value):
+        """Encode and write the slot (propagates via AU)."""
+        data = encode_value(self._param.type, value)
+        yield from self._server._write(self._param.offset, data)
+
+
+class SrpcServerBase(_SrpcEndpointBase):
+    """Base class of generated server skeletons.
+
+    ``impl`` provides one generator method per procedure; IN parameters
+    arrive as Python values, OUT/INOUT as :class:`ParamRef`.
+    """
+
+    def __init__(self, system, proc, impl, **kwargs):
+        super().__init__(system, proc, **kwargs)
+        self.impl = impl
+        self._last_seq = 0
+        self.calls_served = 0
+
+    def serve_binding(self, port: int):
+        """Accept one client binding on ``port``."""
+        frame = yield self.ethernet.recv(
+            self.proc.node.node_id, _ETH_SRPC_BASE + port
+        )
+        request: _SrpcBindRequest = frame.payload
+        if request.interface != self.IDL.name or request.version != self.IDL.version:
+            reply = _SrpcBindReply(ok=False, error="interface mismatch")
+            self.ethernet.send(self.proc.node.node_id, request.client_node,
+                               request.reply_port, reply)
+            raise SrpcError("client expected %s v%d" % (request.interface, request.version))
+        export = yield from self._make_buffer()
+        reply = _SrpcBindReply(
+            ok=True,
+            server_node=self.proc.node.node_id,
+            buffer_export=export.export_id,
+        )
+        self.ethernet.send(self.proc.node.node_id, request.client_node,
+                           request.reply_port, reply)
+        yield from self._bind_to_peer(request.client_node, request.buffer_export)
+
+    def run(self, max_calls: Optional[int] = None):
+        """The server loop: poll the call word, dispatch, flag return."""
+        proc = self.proc
+        served = 0
+        while max_calls is None or served < max_calls:
+            raw = yield from proc.poll(
+                self.buf + self.call_word_off, 4,
+                lambda b: (struct.unpack("<I", b)[0] >> 16) != self._last_seq
+                and struct.unpack("<I", b)[0] != 0,
+            )
+            word = struct.unpack("<I", raw)[0]
+            seq, proc_id = word >> 16, word & 0xFFFF
+            self._last_seq = seq
+            yield from proc.compute(proc.config.costs.srpc_server_dispatch)
+            dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
+            status = _STATUS_OK
+            ret_data = b""
+            if dispatcher is None:
+                status = _STATUS_NO_PROC
+            else:
+                ret_data = (yield from dispatcher()) or b""
+            # Return value + return word as one coalesced stream: when
+            # the value fills the result area they leave as one packet.
+            return_word = struct.pack("<I", (seq << 16) | status)
+            writes = [(self.return_word_off, return_word)]
+            if ret_data:
+                writes.insert(0, (self.ret_off, ret_data))
+            for offset, data in _coalesce(writes):
+                yield from self._write(offset, data)
+            self.calls_served += 1
+            served += 1
+
+    def _ref(self, proc_name: str, param_name: str) -> ParamRef:
+        procedure = self.IDL.procedure(proc_name)
+        for param in procedure.params:
+            if param.name == param_name:
+                return ParamRef(self, param)
+        raise SrpcError("no parameter %s in %s" % (param_name, proc_name))
+
+
+def _coalesce(writes: List[Tuple[int, bytes]]) -> List[Tuple[int, bytes]]:
+    """Merge adjacent (offset, bytes) stores into consecutive streams."""
+    merged: List[Tuple[int, bytearray]] = []
+    for offset, data in sorted(writes, key=lambda w: w[0]):
+        if merged and merged[-1][0] + len(merged[-1][1]) == offset:
+            merged[-1][1].extend(data)
+        else:
+            merged.append((offset, bytearray(data)))
+    return [(offset, bytes(data)) for offset, data in merged]

@@ -1,0 +1,22 @@
+"""Stream sockets compatibility library (system S16 in DESIGN.md)."""
+
+from .api import (
+    Listener,
+    ShrimpSocket,
+    SocketError,
+    SocketLib,
+    SocketVariant,
+    SOCKET_VARIANTS,
+)
+from .circular import RecordRing, pad_word
+
+__all__ = [
+    "Listener",
+    "RecordRing",
+    "ShrimpSocket",
+    "SocketError",
+    "SocketLib",
+    "SocketVariant",
+    "SOCKET_VARIANTS",
+    "pad_word",
+]

@@ -1,0 +1,140 @@
+"""Circular-buffer bookkeeping for the stream sockets library.
+
+'The sockets library uses a straightforward implementation of circular
+buffers in order to manage incoming and outgoing data.'  Sockets and
+VRPC use circular buffers (rather than NX's slot pool) because their
+interfaces 'require that the receiver consume messages in the order
+they were sent' (Section 6).
+
+The ring carries *records*: a 4-byte length header followed by the
+payload padded to a word boundary.  Records keep every deliberate-update
+destination word-aligned regardless of payload sizes — the alignment
+restriction workaround — while the byte-exact stream position is
+recovered from the length headers.  Control info is two monotonic
+counters (produced / consumed record-bytes), exchanged via automatic
+update; the produced counter is written after the data, so in-order
+delivery makes seeing it imply the data is in place.
+
+This module is pure bookkeeping (no simulation time); both endpoints
+drive it with their own timed reads/writes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["RecordRing", "RECORD_HEADER_BYTES", "pad_word"]
+
+RECORD_HEADER_BYTES = 4
+
+
+def pad_word(nbytes: int, word: int = 4) -> int:
+    """Round up to the word size."""
+    return (nbytes + word - 1) & ~(word - 1)
+
+
+def record_bytes(payload: int) -> int:
+    """Ring bytes one record of ``payload`` bytes occupies."""
+    return RECORD_HEADER_BYTES + pad_word(payload)
+
+
+@dataclass
+class Segment:
+    """One contiguous piece of a record placement (wrap splits it)."""
+
+    ring_offset: int
+    length: int
+
+
+class RecordRing:
+    """Position arithmetic for one direction's record ring.
+
+    ``produced`` / ``consumed`` are monotonically increasing byte
+    counters over record bytes (headers + padded payloads).  The writer
+    advances ``produced``; the reader advances ``consumed``; both fit in
+    the 32-bit counters the control page carries (wraparound-safe
+    comparison is unnecessary at simulated message volumes; an assert
+    guards the assumption).
+    """
+
+    def __init__(self, capacity: int, word: int = 4):
+        if capacity % word != 0 or capacity <= 2 * RECORD_HEADER_BYTES:
+            raise ValueError("ring capacity must be a reasonable word multiple")
+        self.capacity = capacity
+        self.word = word
+        self.produced = 0
+        self.consumed = 0
+
+    # -- space accounting --------------------------------------------------
+    @property
+    def used(self) -> int:
+        used = self.produced - self.consumed
+        assert 0 <= used <= self.capacity, "ring counters out of sync"
+        return used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def can_write(self, payload: int) -> bool:
+        """Does a record of this payload fit right now?"""
+        return record_bytes(payload) <= self.free
+
+    def max_payload_fitting(self) -> int:
+        """Largest payload a single record could carry right now."""
+        room = self.free - RECORD_HEADER_BYTES
+        return max(0, room - (room % self.word))
+
+    # -- writer side --------------------------------------------------------
+    def place_record(self, payload: int) -> "Tuple[bytes, List[Segment], int]":
+        """Plan one record write.
+
+        Returns (header bytes, payload segments, new produced counter).
+        Segments are ring placements for the *padded* payload; the
+        header's own placement is ``ring_offset(produced)``.  Caller
+        writes header + payload at those offsets, then publishes the
+        returned counter via the control page.
+        """
+        total = record_bytes(payload)
+        if total > self.free:
+            raise ValueError("record of %d payload bytes does not fit" % payload)
+        header = struct.pack("<I", payload)
+        header_off = self.offset_of(self.produced)
+        # Header never wraps: capacity and record sizes are word
+        # multiples, so headers land word-aligned with >= 4 bytes of room.
+        assert header_off + RECORD_HEADER_BYTES <= self.capacity
+        segments = self._segments(self.produced + RECORD_HEADER_BYTES, pad_word(payload))
+        self.produced += total
+        return header, segments, self.produced
+
+    # -- reader side -----------------------------------------------------------
+    def next_header_offset(self) -> int:
+        """Ring offset of the next unconsumed record's header."""
+        return self.offset_of(self.consumed)
+
+    def payload_segments(self, payload: int) -> List[Segment]:
+        """Ring placements of the current record's payload."""
+        return self._segments(self.consumed + RECORD_HEADER_BYTES, payload)
+
+    def consume_record(self, payload: int) -> int:
+        """Free the current record; returns the new consumed counter."""
+        self.consumed += record_bytes(payload)
+        assert self.consumed <= self.produced
+        return self.consumed
+
+    # -- shared ----------------------------------------------------------------
+    def offset_of(self, counter: int) -> int:
+        """Ring offset a byte counter maps to."""
+        return counter % self.capacity
+
+    def _segments(self, counter: int, length: int) -> List[Segment]:
+        segments: List[Segment] = []
+        while length > 0:
+            offset = self.offset_of(counter)
+            piece = min(length, self.capacity - offset)
+            segments.append(Segment(offset, piece))
+            counter += piece
+            length -= piece
+        return segments

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel (system S1 in DESIGN.md).
+
+Everything active in the SHRIMP model — user programs, daemons, DMA
+engines, routers — runs as a generator-based process on a single
+:class:`Simulator` event loop.  Time is in microseconds.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+from .process import Interrupt, Process, spawn
+from .resources import BandwidthChannel, Request, Resource, Store
+from .trace import Series, Stopwatch, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthChannel",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "Series",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Stopwatch",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "spawn",
+]

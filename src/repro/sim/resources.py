@@ -1,0 +1,202 @@
+"""Contention primitives: resources, stores, and bandwidth channels.
+
+Three shapes of contention appear in the SHRIMP model:
+
+* :class:`Resource` — N interchangeable slots with a priority queue of
+  waiters.  Models the node CPU (interrupt handlers preempt at higher
+  priority than user code in the queue sense) and bus mastership.
+* :class:`Store` — a bounded FIFO of items.  Models the NIC's outgoing
+  FIFO and router input queues; ``put`` blocks when full (backpressure),
+  ``get`` blocks when empty.
+* :class:`BandwidthChannel` — a serial link that carries one transfer at a
+  time at a fixed bytes-per-microsecond rate.  Models bus data phases and
+  mesh links, preserving per-link FIFO order (the property the Paragon
+  backplane guarantees and the libraries rely on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .core import Event, Simulator
+
+__all__ = ["Request", "Resource", "Store", "BandwidthChannel"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; triggers when granted.
+
+    Use as ``req = resource.request(); yield req; ...; resource.release(req)``.
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int, order: int):
+        super().__init__(resource.sim, name="Request(%s)" % resource.name)
+        self.resource = resource
+        self.priority = priority
+        self._order = order
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` slots granted to waiters in (priority, FIFO) order.
+
+    Lower ``priority`` values are served first; the default priority is 0.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._holders: List[Request] = []
+        self._queue: List[Request] = []
+        self._order = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        self._order += 1
+        req = Request(self, priority, self._order)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Give back a granted slot (or cancel a still-queued request)."""
+        if request in self._holders:
+            self._holders.remove(request)
+            self._grant()
+        elif request in self._queue:
+            self._queue.remove(request)
+        else:
+            raise ValueError("request %r does not hold %s" % (request, self.name))
+
+    def _grant(self) -> None:
+        while self._queue and len(self._holders) < self.capacity:
+            best = min(self._queue, key=lambda r: (r.priority, r._order))
+            self._queue.remove(best)
+            self._holders.append(best)
+            best.succeed(self)
+
+
+class Store:
+    """A bounded FIFO buffer of items with blocking put/get.
+
+    ``capacity`` is in *items*; callers that need byte-capacity semantics
+    (the outgoing FIFO) track byte occupancy themselves and use the item
+    bound as a packet bound.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        """A read-only snapshot of buffered items (for tests/inspection)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; the event triggers once there is room."""
+        event = Event(self.sim, name="put(%s)" % self.name)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Pop the oldest item; the event's value is the item."""
+        event = Event(self.sim, name="get(%s)" % self.name)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self._settle()
+        return True
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self._items) < self.capacity:
+                event, item = self._putters.popleft()
+                self._items.append(item)
+                event.succeed(item)
+                progressed = True
+            if self._getters and self._items:
+                event = self._getters.popleft()
+                event.succeed(self._items.popleft())
+                progressed = True
+
+
+class BandwidthChannel:
+    """A serial pipe: transfers occupy it back-to-back at a fixed rate.
+
+    ``transfer(nbytes)`` returns an event that fires when the *last byte*
+    has passed through.  Transfers queue in FIFO order; each takes
+    ``overhead + nbytes / bandwidth`` microseconds of channel time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        overhead: float = 0.0,
+        name: str = "channel",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive (bytes/us)")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.overhead = overhead
+        self._free_at = 0.0
+        self.bytes_carried = 0
+        self.transfers = 0
+
+    def busy_until(self) -> float:
+        """Simulated time at which the channel next falls idle."""
+        return max(self._free_at, self.sim.now)
+
+    def occupancy(self, nbytes: int) -> float:
+        """Channel time one transfer of ``nbytes`` consumes."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.overhead + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, value: Any = None) -> Event:
+        """Queue a transfer; returns an event fired at completion time."""
+        start = self.busy_until()
+        finish = start + self.occupancy(nbytes)
+        self._free_at = finish
+        self.bytes_carried += nbytes
+        self.transfers += 1
+        return self.sim.timeout(finish - self.sim.now, value)

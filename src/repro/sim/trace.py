@@ -1,0 +1,130 @@
+"""Tracing and measurement utilities for simulation runs.
+
+The benchmark harness needs two things: a way to record *what happened*
+(for debugging protocol interleavings) and a way to accumulate *how long
+things took* (for the latency/bandwidth series the paper's figures plot).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Callable, List, NamedTuple, Optional
+
+from .core import Simulator
+
+__all__ = ["TraceRecord", "Tracer", "Series", "Stopwatch"]
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    category: str
+    message: str
+    data: Any
+
+
+class Tracer:
+    """An append-only log of simulation happenings, filterable by category.
+
+    Tracing is off by default (``enabled=False``): the hot paths call
+    :meth:`log` unconditionally, so the flag check keeps the disabled cost
+    to one attribute lookup.
+    """
+
+    def __init__(self, sim: Simulator, enabled: bool = False, limit: int = 100_000):
+        self.sim = sim
+        self.enabled = enabled
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.counts: Counter = Counter()
+
+    def log(self, category: str, message: str, data: Any = None) -> None:
+        """Record one event if tracing is enabled (counts are always kept)."""
+        self.counts[category] += 1
+        if not self.enabled:
+            return
+        if len(self.records) >= self.limit:
+            return
+        self.records.append(TraceRecord(self.sim.now, category, message, data))
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def format(self, categories: Optional[List[str]] = None) -> str:
+        """A human-readable dump, optionally restricted to some categories."""
+        wanted = set(categories) if categories is not None else None
+        lines = []
+        for record in self.records:
+            if wanted is not None and record.category not in wanted:
+                continue
+            lines.append(
+                "%12.3f  %-12s %s" % (record.time, record.category, record.message)
+            )
+        return "\n".join(lines)
+
+
+class Series:
+    """A named list of samples with summary statistics.
+
+    Used for per-iteration round-trip times; the harness reports the mean
+    (the paper reports averages over many ping-pong iterations).
+    """
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("series %r has no samples" % self.name)
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1))
+
+
+class Stopwatch:
+    """Measures spans of simulated time.
+
+    ``with Stopwatch(sim) as sw: ...`` is not possible inside a generator
+    process (the body would need yields), so the API is explicit
+    start()/stop() returning the elapsed span.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._started_at: Optional[float] = None
+        self.elapsed = 0.0
+
+    def start(self) -> None:
+        """Begin a span at the current simulated time."""
+        self._started_at = self.sim.now
+
+    def stop(self) -> float:
+        """End the span; returns (and stores) the elapsed time."""
+        if self._started_at is None:
+            raise ValueError("stopwatch was never started")
+        self.elapsed = self.sim.now - self._started_at
+        self._started_at = None
+        return self.elapsed

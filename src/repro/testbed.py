@@ -1,0 +1,64 @@
+"""Test/benchmark scaffolding: build systems, coordinate processes.
+
+Real SHRIMP programs exchange bootstrap information (export ids, ports)
+out of band — over NFS files or the Ethernet.  :class:`Rendezvous` is
+that side channel for simulated programs: a zero-cost, event-based
+mailbox keyed by name.  It deliberately carries *no* simulated time —
+anything timing-relevant must flow through the modeled channels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .hardware.config import MachineConfig
+from .kernel.system import ShrimpSystem
+from .sim import Event
+
+__all__ = ["Rendezvous", "make_system"]
+
+
+class Rendezvous:
+    """A named mailbox for out-of-band coordination between sim processes.
+
+    ``put(key, value)`` stores a value; ``get(key)`` returns an event
+    that fires (immediately if already stored) with the value.  Each key
+    holds exactly one value, write-once.
+    """
+
+    def __init__(self, system: ShrimpSystem):
+        self.sim = system.sim
+        self._values: Dict[str, Any] = {}
+        self._waiters: Dict[str, list] = {}
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (write-once) and wake waiters."""
+        if key in self._values:
+            raise KeyError("rendezvous key %r already set" % key)
+        self._values[key] = value
+        for event in self._waiters.pop(key, []):
+            event.succeed(value)
+
+    def get(self, key: str) -> Event:
+        """Event that fires with the value once ``key`` is put."""
+        event = Event(self.sim, name="rendezvous(%s)" % key)
+        if key in self._values:
+            event.succeed(self._values[key])
+        else:
+            self._waiters.setdefault(key, []).append(event)
+        return event
+
+    def peek(self, key: str) -> Optional[Any]:
+        """The value if already put, else None (never blocks)."""
+        return self._values.get(key)
+
+
+def make_system(config: Optional[MachineConfig] = None, **config_overrides) -> ShrimpSystem:
+    """A booted prototype system, optionally with config field overrides."""
+    if config is None:
+        config = MachineConfig.shrimp_prototype()
+    if config_overrides:
+        from dataclasses import replace
+
+        config = replace(config, **config_overrides)
+    return ShrimpSystem(config)

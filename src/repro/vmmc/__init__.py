@@ -1,0 +1,28 @@
+"""Virtual memory-mapped communication — the paper's core contribution
+(system S13 in DESIGN.md).
+
+The VMMC model: import-export mappings between virtual address spaces,
+two transfer strategies (deliberate update and automatic update),
+sender-specified receive addresses with no explicit receive operation,
+and notifications for control transfer.
+"""
+
+from ..kernel.daemon import AutomaticBinding, ImportedBuffer
+from .api import VmmcEndpoint, attach
+from .buffers import ExportedBuffer, NotificationHandler
+from .errors import MappingError, VmmcAlignmentError, VmmcError, VmmcStateError
+from .notifications import NotificationCenter
+
+__all__ = [
+    "AutomaticBinding",
+    "ExportedBuffer",
+    "ImportedBuffer",
+    "MappingError",
+    "NotificationCenter",
+    "NotificationHandler",
+    "VmmcAlignmentError",
+    "VmmcEndpoint",
+    "VmmcError",
+    "VmmcStateError",
+    "attach",
+]

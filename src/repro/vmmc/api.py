@@ -1,0 +1,298 @@
+"""The VMMC API: what user-level libraries program against.
+
+This is the 'thin layer library that implements the VMMC API, provides
+direct access to the network for data transfers between user processes,
+and handles communication with the SHRIMP daemon'.
+
+One :class:`VmmcEndpoint` per user process.  The model's calls
+(Section 2):
+
+* :meth:`export` / :meth:`unexport` — receive-buffer lifecycle
+* :meth:`import_buffer` / :meth:`unimport` — sender-side mapping
+* :meth:`send` — blocking deliberate update (explicit transfer)
+* :meth:`bind` / :meth:`unbind` — automatic-update binding, after which
+  ordinary stores (``proc.write``) propagate with no send call
+* notifications — per-buffer handlers, block/unblock, wait
+
+All methods are generator functions: the calling process pays the time.
+Data transfer never crosses the kernel; mapping setup and notification
+mask changes do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..hardware.config import CacheMode
+from ..kernel.daemon import AutomaticBinding, ImportedBuffer, ShrimpDaemon
+from ..kernel.process import UserProcess
+from ..kernel.system import ShrimpSystem
+from .buffers import ExportedBuffer, NotificationHandler
+from .errors import VmmcAlignmentError, VmmcStateError
+from .notifications import NotificationCenter
+
+__all__ = ["VmmcEndpoint", "attach"]
+
+
+class VmmcEndpoint:
+    """A process's handle on the VMMC layer."""
+
+    def __init__(self, system: ShrimpSystem, proc: UserProcess,
+                 fast_notifications: bool = False):
+        self.system = system
+        self.proc = proc
+        self.daemon: ShrimpDaemon = system.daemons[proc.node.node_id]
+        self.notifications = NotificationCenter(proc, fast=fast_notifications)
+        proc.vmmc = self
+        self.sends = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Buffer allocation convenience
+    # ------------------------------------------------------------------
+    def alloc_buffer(self, nbytes: int,
+                     cache_mode: CacheMode = CacheMode.WRITE_THROUGH) -> int:
+        """Allocate page-rounded communication memory; returns its vaddr.
+
+        Communication buffers default to write-through caching, as in
+        the paper's experiments ('with both sender's and receiver's
+        memory cached write-through').
+        """
+        page = self.proc.config.page_size
+        rounded = -(-nbytes // page) * page
+        return self.proc.space.mmap(rounded, cache_mode=cache_mode)
+
+    # ------------------------------------------------------------------
+    # Import-export mappings (Section 2.1)
+    # ------------------------------------------------------------------
+    def export(
+        self,
+        vaddr: int,
+        nbytes: int,
+        allow_nodes: Optional[Set[int]] = None,
+        handler: Optional[NotificationHandler] = None,
+    ):
+        """Export a receive buffer; returns an :class:`ExportedBuffer`.
+
+        ``handler`` (if given) becomes the buffer's notification handler
+        and enables the receiver-side interrupt flag on its pages.
+        """
+        record = yield from self.daemon.export(
+            self.proc, vaddr, nbytes,
+            allow_nodes=allow_nodes,
+            notify=handler is not None,
+        )
+        buffer = ExportedBuffer(record=record, handler=handler)
+        if handler is not None:
+            self.notifications.register(buffer)
+        return buffer
+
+    def export_new(self, nbytes: int, **kwargs):
+        """Allocate page-rounded memory and export it in one call."""
+        page = self.proc.config.page_size
+        rounded = -(-nbytes // page) * page
+        vaddr = self.alloc_buffer(rounded)
+        buffer = yield from self.export(vaddr, rounded, **kwargs)
+        return buffer
+
+    def unexport(self, buffer: ExportedBuffer):
+        """Destroy an export (waits for pending deliveries)."""
+        if not buffer.active:
+            raise VmmcStateError("buffer already unexported")
+        self.notifications.unregister(buffer)
+        yield from self.daemon.unexport(self.proc, buffer.record)
+
+    def import_buffer(self, remote_node: int, export_id: int):
+        """Import a remote export; returns an :class:`ImportedBuffer`."""
+        imported = yield from self.daemon.import_buffer(self.proc, remote_node, export_id)
+        return imported
+
+    def unimport(self, imported: ImportedBuffer):
+        """Destroy an import (waits for pending sends through it)."""
+        yield from self.daemon.unimport(self.proc, imported)
+
+    # ------------------------------------------------------------------
+    # Deliberate update (Section 2.2)
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        imported: ImportedBuffer,
+        local_vaddr: int,
+        nbytes: int,
+        offset: int = 0,
+        notify: bool = False,
+    ):
+        """Blocking deliberate-update send.
+
+        Transfers ``nbytes`` from the caller's memory at ``local_vaddr``
+        into the imported buffer at ``offset``.  Returns when the source
+        data has been read out (safe to reuse); delivery completes
+        asynchronously, in order.  With ``notify=True`` the final packet
+        carries the sender-specified interrupt flag.
+        """
+        word = self.proc.config.word_size
+        if local_vaddr % word != 0:
+            raise VmmcAlignmentError(
+                "deliberate-update source %#x is not word-aligned" % local_vaddr
+            )
+        if offset % word != 0:
+            raise VmmcAlignmentError(
+                "deliberate-update destination offset %d is not word-aligned" % offset
+            )
+        if not imported.active:
+            raise VmmcStateError("send through a destroyed import")
+        if nbytes <= 0:
+            raise ValueError("send size must be positive")
+        if offset + nbytes > imported.nbytes:
+            raise ValueError(
+                "send of %d bytes at offset %d exceeds the %d-byte buffer"
+                % (nbytes, offset, imported.nbytes)
+            )
+        # User-level bookkeeping, then the two decoded EISA accesses of
+        # the transfer-initiation sequence.
+        costs = self.proc.config.costs
+        yield self.proc.sim.timeout(costs.vmmc_send_call)
+        segments = self.proc.space.translate(local_vaddr, nbytes, write=False)
+        yield self.proc.sim.timeout(self.proc.node.eisa.pio_cost(2))
+        done = self.proc.node.nic.initiate_deliberate_update(
+            src_segments=segments,
+            opt_base=imported.opt_base,
+            offset=offset,
+            size=nbytes,
+            interrupt=notify,
+        )
+        self.sends += 1
+        self.bytes_sent += nbytes
+        yield done
+
+    def send_nonblocking(
+        self,
+        imported: ImportedBuffer,
+        local_vaddr: int,
+        nbytes: int,
+        offset: int = 0,
+        notify: bool = False,
+    ):
+        """Non-blocking deliberate-update send.
+
+        Returns (after only the initiation sequence) an event that fires
+        when the DU engine has read the source out of memory — until
+        then the source buffer must not be modified, or the transfer
+        picks up the new bytes ('the ordering guarantees are a bit more
+        complicated when the non-blocking... send operation is used';
+        none of the paper's libraries use it, but the hardware offers
+        it).  Delivery remains in order with other sends.
+        """
+        word = self.proc.config.word_size
+        if local_vaddr % word != 0 or offset % word != 0:
+            raise VmmcAlignmentError("non-blocking send must be word-aligned")
+        if not imported.active:
+            raise VmmcStateError("send through a destroyed import")
+        if nbytes <= 0 or offset + nbytes > imported.nbytes:
+            raise ValueError("bad non-blocking send size/offset")
+        costs = self.proc.config.costs
+        yield self.proc.sim.timeout(costs.vmmc_send_call)
+        segments = self.proc.space.translate(local_vaddr, nbytes, write=False)
+        yield self.proc.sim.timeout(self.proc.node.eisa.pio_cost(2))
+        done = self.proc.node.nic.initiate_deliberate_update(
+            src_segments=segments,
+            opt_base=imported.opt_base,
+            offset=offset,
+            size=nbytes,
+            interrupt=notify,
+        )
+        self.sends += 1
+        self.bytes_sent += nbytes
+        return done
+
+    def wait_send(self, done_event):
+        """Block until a non-blocking send's source has been read."""
+        yield done_event
+
+    # ------------------------------------------------------------------
+    # Automatic update (Section 2.2)
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        local_vaddr: int,
+        imported: ImportedBuffer,
+        nbytes: Optional[int] = None,
+        offset: int = 0,
+        combining: bool = True,
+        use_timer: bool = True,
+        notify: bool = False,
+        timer_us: Optional[float] = None,
+    ):
+        """Create an automatic-update binding (page-granular).
+
+        After this, ordinary stores to the bound range propagate to the
+        remote buffer — 'eliminating the need for an explicit send
+        operation'.  AU has no word-alignment restriction.  ``timer_us``
+        configures this binding's combining-flush timer (None = machine
+        default); single-burst control pages use a short timer.
+        """
+        binding = yield from self.daemon.bind_automatic(
+            self.proc, local_vaddr, imported,
+            nbytes=nbytes, offset=offset,
+            combining=combining, use_timer=use_timer,
+            dest_interrupt=notify, timer_us=timer_us,
+        )
+        return binding
+
+    def unbind(self, binding: AutomaticBinding):
+        """Remove an automatic-update binding (drains first)."""
+        yield from self.daemon.unbind_automatic(self.proc, binding)
+
+    def flush_combining(self) -> None:
+        """Force out any open combined AU packet (zero-cost hint).
+
+        User code normally relies on the OPT timer or a non-consecutive
+        write; tests and latency-critical paths may flush explicitly.
+        """
+        self.proc.node.nic.packetizer.flush()
+
+    # ------------------------------------------------------------------
+    # Notifications (Section 2.3)
+    # ------------------------------------------------------------------
+    def set_handler(self, buffer: ExportedBuffer, handler: Optional[NotificationHandler]):
+        """Install/replace/remove the handler of an exported buffer.
+
+        Changing handler presence flips the pages' interrupt status bits
+        (a kernel crossing) — the polling/blocking switch of Section 6.
+        """
+        had = buffer.handler is not None
+        buffer.handler = handler
+        has = handler is not None
+        if has:
+            self.notifications.register(buffer)
+        else:
+            self.notifications.unregister(buffer)
+        if had != has:
+            yield from self.system.kernels[self.proc.node.node_id].sys_set_notification(
+                self.proc, buffer.record.frames, has
+            )
+
+    def block_notifications(self):
+        """Defer handler invocation; notifications queue meanwhile."""
+        yield from self.system.kernels[self.proc.node.node_id].sys_sigblock(self.proc)
+
+    def unblock_notifications(self):
+        """Re-enable delivery, then dispatch anything queued."""
+        yield from self.system.kernels[self.proc.node.node_id].sys_sigunblock(self.proc)
+        delivered = yield from self.notifications.dispatch()
+        return delivered
+
+    def dispatch_notifications(self):
+        """Run handlers for any pending (unblocked) notifications."""
+        delivered = yield from self.notifications.dispatch()
+        return delivered
+
+    def wait_notification(self):
+        """Suspend until a notification arrives, then dispatch it."""
+        delivered = yield from self.notifications.wait()
+        return delivered
+
+
+def attach(system: ShrimpSystem, proc: UserProcess, **kwargs) -> VmmcEndpoint:
+    """Attach a VMMC endpoint to a user process."""
+    return VmmcEndpoint(system, proc, **kwargs)

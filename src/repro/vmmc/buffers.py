@@ -1,0 +1,57 @@
+"""User-facing buffer handles of the VMMC API.
+
+:class:`ExportedBuffer` wraps the daemon's export record with the
+exporting process's view (virtual address, handler slot);
+:class:`~repro.kernel.daemon.ImportedBuffer` is re-exported as the
+import-side handle (it is already user-shaped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..kernel.daemon import ExportRecord, ImportedBuffer
+
+__all__ = ["ExportedBuffer", "ImportedBuffer", "NotificationHandler"]
+
+# handler(export, offset_page, size) — runs at user level when a
+# notification for the buffer is delivered.  Handlers are plain
+# callbacks (set a flag, bump a counter); the paper's handlers do the
+# same through the signal mechanism.
+NotificationHandler = Callable[["ExportedBuffer", int, int], None]
+
+
+@dataclass
+class ExportedBuffer:
+    """The exporting process's handle on one of its receive buffers."""
+
+    record: ExportRecord
+    handler: Optional[NotificationHandler] = None
+    notifications_received: int = 0
+
+    @property
+    def export_id(self) -> int:
+        return self.record.export_id
+
+    @property
+    def vaddr(self) -> int:
+        return self.record.vaddr
+
+    @property
+    def nbytes(self) -> int:
+        return self.record.nbytes
+
+    @property
+    def node_id(self) -> int:
+        return self.record.node_id
+
+    @property
+    def active(self) -> bool:
+        return self.record.active
+
+    def address_of(self, offset: int) -> int:
+        """Virtual address of a byte offset within the buffer."""
+        if not 0 <= offset < self.nbytes:
+            raise ValueError("offset %d outside buffer of %d bytes" % (offset, self.nbytes))
+        return self.vaddr + offset

@@ -1,0 +1,25 @@
+"""VMMC error types."""
+
+from __future__ import annotations
+
+from ..kernel.daemon import MappingError
+
+__all__ = ["VmmcError", "VmmcAlignmentError", "VmmcStateError", "MappingError"]
+
+
+class VmmcError(Exception):
+    """Base class for VMMC API errors."""
+
+
+class VmmcAlignmentError(VmmcError):
+    """Deliberate update requires word-aligned source and destination.
+
+    'The SHRIMP hardware requires that the source and destination
+    addresses for deliberate updates be word-aligned.'  Libraries work
+    around this with a copy (the sockets two-copy fallback); the raw API
+    refuses, as the hardware does.
+    """
+
+
+class VmmcStateError(VmmcError):
+    """Operation on a destroyed mapping or otherwise invalid state."""

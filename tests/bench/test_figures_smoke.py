@@ -1,0 +1,51 @@
+"""Smoke tests for the figure harnesses (tiny sweeps, fast).
+
+The full sweeps and shape assertions live in benchmarks/; these keep
+the harness *interfaces* honest inside the regular test suite.
+"""
+
+import pytest
+
+from repro.bench import (
+    figure3_raw_vmmc,
+    figure4_nx,
+    figure5_vrpc,
+    figure7_sockets,
+    figure8_rpc_comparison,
+)
+
+
+def test_figure3_smoke():
+    result = figure3_raw_vmmc(sizes=(8, 64), iterations=3)
+    assert {s.name for s in result.series} == {
+        "AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy",
+    }
+    for series in result.series:
+        assert series.latency_at(8) < series.latency_at(64)
+    assert "4.7" in result.notes[0] or "paper" in result.notes[0]
+    assert "Figure 3" in result.report()
+
+
+def test_figure4_smoke():
+    result = figure4_nx(sizes=(8,), iterations=3)
+    assert len(result.series) == 5
+    assert all(len(s.points) == 1 for s in result.series)
+
+
+def test_figure5_smoke():
+    result = figure5_vrpc(sizes=(4,), iterations=3)
+    assert {s.name for s in result.series} == {"AU-1copy", "DU-1copy"}
+    assert result.series_named("AU-1copy").latency_at(4) > 20.0  # RTTs
+
+
+def test_figure7_smoke():
+    result = figure7_sockets(sizes=(8,), iterations=3)
+    assert {s.name for s in result.series} == {"AU-2copy", "DU-1copy", "DU-2copy"}
+
+
+def test_figure8_smoke():
+    result = figure8_rpc_comparison(sizes=(0, 100), iterations=3)
+    compatible = result.series_named("compatible")
+    non_compatible = result.series_named("non-compatible")
+    for size in (1, 100):  # size 0 recorded as 1
+        assert non_compatible.latency_at(size) < compatible.latency_at(size)

@@ -1,0 +1,75 @@
+"""Tests for the packet-journey timeline utilities."""
+
+from repro.bench.timeline import journey_of, render, trace_off, trace_on
+from repro.hardware import CacheMode, Machine
+from repro.hardware.nic import OPTEntry
+from repro.sim import spawn
+
+PAGE = 4096
+
+
+def traced_machine():
+    machine = Machine()
+    trace_on(machine)
+    machine.node(0).nic.opt.bind_page(16, OPTEntry(dst_node=1, dst_page=32))
+    machine.node(1).nic.ipt.enable(32)
+
+    def sender():
+        yield from machine.node(0).cpu_write(16 * PAGE, b"traced!!",
+                                             CacheMode.WRITE_THROUGH)
+        machine.node(0).nic.packetizer.flush()
+
+    spawn(machine.sim, sender())
+    machine.run()
+    return machine
+
+
+def test_timeline_shows_full_journey_in_order():
+    machine = traced_machine()
+    text = render(machine)
+    positions = {
+        stage: text.find(stage) for stage in ("packetize", "inject", "mesh", "dma-in")
+    }
+    assert all(p >= 0 for p in positions.values()), text
+    assert positions["packetize"] < positions["inject"] < positions["mesh"] < positions["dma-in"]
+
+
+def test_journey_of_single_packet():
+    machine = traced_machine()
+    seq = next(
+        int(word[1:].rstrip(":,"))
+        for record in machine.tracer.records
+        for word in record.message.split()
+        if word.startswith("#")
+    )
+    journey = journey_of(machine, seq)
+    assert "packetize" in journey and "dma-in" in journey
+
+
+def test_render_category_filter_and_window():
+    machine = traced_machine()
+    only_dma = render(machine, categories=["dma-in"])
+    assert "dma-in" in only_dma and "packetize" not in only_dma
+    nothing = render(machine, start=1e9)
+    assert nothing == ""
+
+
+def test_trace_off_stops_recording():
+    machine = traced_machine()
+    count = len(machine.tracer.records)
+    trace_off(machine)
+
+    def more():
+        yield from machine.node(0).cpu_write(16 * PAGE, b"silent!!",
+                                             CacheMode.WRITE_THROUGH)
+        machine.node(0).nic.packetizer.flush()
+
+    spawn(machine.sim, more())
+    machine.run()
+    assert len(machine.tracer.records) == count
+
+
+def test_trace_on_clears_previous_records():
+    machine = traced_machine()
+    trace_on(machine)
+    assert machine.tracer.records == []

@@ -1,0 +1,97 @@
+"""Calibration tests: the raw VMMC layer against the paper's numbers.
+
+These assert the Figure 3 / Section 3.4 headline measurements within
+tolerance.  If a hardware-model change breaks one of these, the fix is
+to re-tune MachineConfig — see DESIGN.md section 5 — not to relax the
+tolerance.
+"""
+
+import pytest
+
+from repro.bench.pingpong import STRATEGIES, one_word_latency, vmmc_pingpong
+from repro.hardware import CacheMode
+
+
+def within(value, target, tolerance):
+    return target * (1 - tolerance) <= value <= target * (1 + tolerance)
+
+
+class TestOneWordLatency:
+    def test_au_write_through_4_75us(self):
+        latency = one_word_latency(automatic=True, cache_mode=CacheMode.WRITE_THROUGH)
+        assert within(latency, 4.75, 0.05), latency
+
+    def test_au_uncached_3_7us(self):
+        latency = one_word_latency(automatic=True, cache_mode=CacheMode.UNCACHED)
+        assert within(latency, 3.7, 0.05), latency
+
+    def test_du_7_6us(self):
+        latency = one_word_latency(automatic=False, cache_mode=CacheMode.WRITE_THROUGH)
+        assert within(latency, 7.6, 0.05), latency
+
+    def test_au_beats_du_for_one_word(self):
+        au = one_word_latency(automatic=True)
+        du = one_word_latency(automatic=False)
+        assert au < du
+
+
+class TestFigure3Bandwidth:
+    """Asymptotic bandwidths and orderings of the four raw strategies."""
+
+    @pytest.fixture(scope="class")
+    def at_10k(self):
+        return {
+            name: vmmc_pingpong(STRATEGIES[name], 10240, iterations=5)
+            for name in ("AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy")
+        }
+
+    def test_du_0copy_approaches_23_mb_s(self, at_10k):
+        bw = at_10k["DU-0copy"].bandwidth_mb_s
+        assert 20.0 < bw < 24.0, bw
+
+    def test_du_0copy_is_fastest_for_large_messages(self, at_10k):
+        best = at_10k["DU-0copy"].bandwidth_mb_s
+        for name in ("AU-1copy", "AU-2copy", "DU-1copy"):
+            assert best > at_10k[name].bandwidth_mb_s
+
+    def test_au_1copy_limited_by_copy_near_20_mb_s(self, at_10k):
+        bw = at_10k["AU-1copy"].bandwidth_mb_s
+        assert 16.0 < bw < 21.0, bw
+
+    def test_extra_copies_cost_bandwidth(self, at_10k):
+        assert at_10k["AU-1copy"].bandwidth_mb_s > at_10k["AU-2copy"].bandwidth_mb_s
+        assert at_10k["DU-0copy"].bandwidth_mb_s > at_10k["DU-1copy"].bandwidth_mb_s
+
+    def test_au_outperforms_du_for_small_messages(self):
+        """'For smaller messages, automatic update outperformed
+        deliberate update because of its low start-up cost.'"""
+        au = vmmc_pingpong(STRATEGIES["AU-1copy"], 64, iterations=10)
+        du = vmmc_pingpong(STRATEGIES["DU-0copy"], 64, iterations=10)
+        assert au.one_way_latency_us < du.one_way_latency_us
+
+    def test_du_overtakes_au_for_large_messages(self):
+        """'For larger messages, deliberate update delivered bandwidth
+        slightly higher than automatic update.'"""
+        au = vmmc_pingpong(STRATEGIES["AU-1copy"], 10240, iterations=5)
+        du = vmmc_pingpong(STRATEGIES["DU-0copy"], 10240, iterations=5)
+        assert du.bandwidth_mb_s > au.bandwidth_mb_s
+
+
+class TestMonotonicity:
+    def test_latency_increases_with_size(self):
+        sizes = (64, 512, 4096)
+        for name in ("AU-1copy", "DU-0copy"):
+            latencies = [
+                vmmc_pingpong(STRATEGIES[name], s, iterations=5).one_way_latency_us
+                for s in sizes
+            ]
+            assert latencies == sorted(latencies)
+
+    def test_bandwidth_increases_with_size(self):
+        sizes = (64, 1024, 10240)
+        for name in ("AU-1copy", "DU-0copy"):
+            bandwidths = [
+                vmmc_pingpong(STRATEGIES[name], s, iterations=5).bandwidth_mb_s
+                for s in sizes
+            ]
+            assert bandwidths == sorted(bandwidths)

@@ -1,0 +1,82 @@
+"""Edge cases of the DMA engines and packet plumbing."""
+
+import pytest
+
+from repro.hardware import Machine, MachineConfig, PhysicalMemory
+from repro.hardware.nic import DUCommand
+from repro.hardware.nic.dma import _SegmentReader
+from repro.sim import Simulator, spawn
+
+
+def test_du_command_validates_segment_total():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DUCommand(
+            src_segments=[(0x1000, 8)],
+            opt_base=0,
+            offset=0,
+            size=16,  # does not match the 8 bytes of segments
+            interrupt=False,
+            done=sim.event(),
+        )
+
+
+def test_segment_reader_walks_pieces_in_order():
+    memory = PhysicalMemory(MachineConfig.shrimp_prototype())
+    memory.write(0x1000, b"AAAA")
+    memory.write(0x9000, b"BBBBBB")
+    reader = _SegmentReader(memory, [(0x1000, 4), (0x9000, 6)])
+    assert reader.read(2) == b"AA"
+    assert reader.read(4) == b"AABB"  # crosses the segment boundary
+    assert reader.read(4) == b"BBBB"
+    with pytest.raises(ValueError):
+        reader.read(1)  # exhausted
+
+
+def test_receive_fault_without_handler_is_loud():
+    """A fault with no kernel handler installed must crash the run, not
+    hang it (errors never pass silently)."""
+    machine = Machine()
+    nic1 = machine.node(1).nic
+    nic1.fault_handler = None  # strip the kernel default
+    from repro.hardware.nic import OPTEntry
+
+    machine.node(0).nic.opt.bind_page(16, OPTEntry(dst_node=1, dst_page=32))
+    # Page 32 deliberately NOT enabled.
+
+    def sender():
+        from repro.hardware.config import CacheMode
+
+        yield from machine.node(0).cpu_write(16 * 4096, b"\x01\x02\x03\x04",
+                                             CacheMode.WRITE_THROUGH)
+        machine.node(0).nic.packetizer.flush()
+
+    spawn(machine.sim, sender())
+    with pytest.raises(RuntimeError, match="no kernel handler"):
+        machine.run()
+
+
+def test_unfreeze_when_not_frozen_rejected():
+    machine = Machine()
+    with pytest.raises(RuntimeError):
+        machine.node(0).nic.unfreeze()
+
+
+def test_du_engine_counters():
+    machine = Machine()
+    from repro.hardware.nic import OPTEntry
+
+    machine.node(1).nic.ipt.enable(40)
+    proxy = machine.node(0).nic.opt.allocate_proxy([OPTEntry(dst_node=1, dst_page=40)])
+    machine.node(0).poke(8 * 4096, bytes(256))
+
+    def sender():
+        done = machine.node(0).nic.initiate_deliberate_update(
+            [(8 * 4096, 256)], proxy, 0, 256
+        )
+        yield done
+
+    spawn(machine.sim, sender())
+    machine.run()
+    assert machine.node(0).nic.du_engine.transfers_done == 1
+    assert machine.node(0).nic.du_engine.bytes_sent == 256

@@ -1,0 +1,127 @@
+"""Unit tests for physical memory, watches, and frame allocation."""
+
+import pytest
+
+from repro.hardware import MachineConfig, MemoryError_, PhysicalMemory
+from repro.hardware.memory import FrameAllocator
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(MachineConfig.shrimp_prototype(), node_id=0)
+
+
+def test_read_of_untouched_memory_is_zeros(memory):
+    assert memory.read(0x1000, 8) == b"\x00" * 8
+
+
+def test_write_then_read_roundtrip(memory):
+    memory.write(0x2000, b"hello world")
+    assert memory.read(0x2000, 11) == b"hello world"
+
+
+def test_write_spanning_page_boundary(memory):
+    page = memory.page_size
+    data = bytes(range(100))
+    memory.write(page - 50, data)
+    assert memory.read(page - 50, 100) == data
+    assert memory.resident_pages == 2
+
+
+def test_out_of_range_access_raises(memory):
+    with pytest.raises(MemoryError_):
+        memory.read(memory.size - 2, 4)
+    with pytest.raises(MemoryError_):
+        memory.write(-1, b"x")
+    with pytest.raises(MemoryError_):
+        memory.read(0, -1)
+
+
+def test_lazy_pages_only_materialize_on_write(memory):
+    memory.read(0x100000, 64)
+    assert memory.resident_pages == 0
+    memory.write(0x100000, b"a")
+    assert memory.resident_pages == 1
+
+
+def test_byte_counters(memory):
+    memory.write(0, b"abcd")
+    memory.read(0, 2)
+    assert memory.bytes_written == 4
+    assert memory.bytes_read == 2
+
+
+def test_watch_fires_on_overlapping_write(memory):
+    hits = []
+    memory.add_watch(100, 4, lambda paddr, n: hits.append((paddr, n)))
+    memory.write(100, b"\x01")          # inside
+    memory.write(96, b"\x00" * 8)        # straddles the start
+    memory.write(104, b"\x00" * 4)       # adjacent, no overlap
+    memory.write(0, b"\x00")             # far away
+    assert hits == [(100, 1), (96, 8)]
+
+
+def test_watch_removal_stops_callbacks(memory):
+    hits = []
+    watch = memory.add_watch(0, 16, lambda p, n: hits.append(p))
+    memory.write(0, b"x")
+    memory.remove_watch(watch)
+    memory.write(0, b"y")
+    assert hits == [0]
+    assert memory.watch_count == 0
+
+
+def test_watch_callback_may_remove_itself(memory):
+    hits = []
+    def callback(paddr, nbytes):
+        hits.append(paddr)
+        memory.remove_watch(watch)
+
+    watch = memory.add_watch(0, 4, callback)
+    memory.write(0, b"ab")
+    memory.write(0, b"cd")
+    assert hits == [0]
+
+
+def test_double_remove_watch_is_harmless(memory):
+    watch = memory.add_watch(0, 4, lambda p, n: None)
+    memory.remove_watch(watch)
+    memory.remove_watch(watch)
+    assert memory.watch_count == 0
+
+
+class TestFrameAllocator:
+    def test_allocates_distinct_frames(self):
+        alloc = FrameAllocator(MachineConfig.shrimp_prototype())
+        frames = alloc.allocate(5)
+        assert len(set(frames)) == 5
+        assert 0 not in frames  # frame 0 reserved
+
+    def test_contiguous_allocation(self):
+        alloc = FrameAllocator(MachineConfig.shrimp_prototype())
+        first = alloc.allocate_contiguous(4)
+        assert first >= 1
+        second = alloc.allocate_contiguous(2)
+        assert second == first + 4
+
+    def test_free_recycles_frames(self):
+        alloc = FrameAllocator(MachineConfig.shrimp_prototype())
+        frames = alloc.allocate(3)
+        used = alloc.frames_in_use
+        alloc.free(frames)
+        assert alloc.frames_in_use == used - 3
+        again = alloc.allocate(3)
+        assert set(again) == set(frames)
+
+    def test_exhaustion_raises(self):
+        config = MachineConfig(memory_pages=4)
+        alloc = FrameAllocator(config)
+        with pytest.raises(MemoryError_):
+            alloc.allocate(10)
+
+    def test_invalid_count_raises(self):
+        alloc = FrameAllocator(MachineConfig.shrimp_prototype())
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+        with pytest.raises(ValueError):
+            alloc.allocate_contiguous(-1)

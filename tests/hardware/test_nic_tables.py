@@ -1,0 +1,117 @@
+"""Unit tests for the Outgoing and Incoming Page Tables."""
+
+import pytest
+
+from repro.hardware import MachineConfig
+from repro.hardware.nic import IncomingPageTable, OPTEntry, OutgoingPageTable
+
+
+@pytest.fixture
+def config():
+    return MachineConfig.shrimp_prototype()
+
+
+class TestOutgoingPageTable:
+    def test_bind_and_lookup(self, config):
+        opt = OutgoingPageTable(config)
+        entry = OPTEntry(dst_node=2, dst_page=77)
+        opt.bind_page(5, entry)
+        assert opt.lookup(5) is entry
+        assert opt.lookup(6) is None
+
+    def test_double_bind_rejected(self, config):
+        opt = OutgoingPageTable(config)
+        opt.bind_page(5, OPTEntry(1, 1))
+        with pytest.raises(ValueError):
+            opt.bind_page(5, OPTEntry(2, 2))
+
+    def test_unbind(self, config):
+        opt = OutgoingPageTable(config)
+        opt.bind_page(5, OPTEntry(1, 1))
+        opt.unbind_page(5)
+        assert opt.lookup(5) is None
+        with pytest.raises(ValueError):
+            opt.unbind_page(5)
+
+    def test_bind_out_of_range_rejected(self, config):
+        opt = OutgoingPageTable(config)
+        with pytest.raises(ValueError):
+            opt.bind_page(config.memory_pages, OPTEntry(1, 1))
+
+    def test_proxy_region_above_direct_region(self, config):
+        opt = OutgoingPageTable(config)
+        base = opt.allocate_proxy([OPTEntry(1, 10), OPTEntry(1, 11)])
+        assert base >= config.memory_pages
+        assert opt.proxy_entry(base).dst_page == 10
+        assert opt.proxy_entry(base + 1).dst_page == 11
+
+    def test_proxy_allocations_do_not_overlap(self, config):
+        opt = OutgoingPageTable(config)
+        a = opt.allocate_proxy([OPTEntry(1, 1)] * 3)
+        b = opt.allocate_proxy([OPTEntry(2, 2)] * 2)
+        assert b >= a + 3
+
+    def test_free_proxy_invalidates_entries(self, config):
+        opt = OutgoingPageTable(config)
+        base = opt.allocate_proxy([OPTEntry(1, 1), OPTEntry(1, 2)])
+        opt.free_proxy(base, 2)
+        with pytest.raises(KeyError):
+            opt.proxy_entry(base)
+        with pytest.raises(ValueError):
+            opt.free_proxy(base, 2)
+
+    def test_empty_proxy_rejected(self, config):
+        opt = OutgoingPageTable(config)
+        with pytest.raises(ValueError):
+            opt.allocate_proxy([])
+
+    def test_bound_pages_lists_direct_only(self, config):
+        opt = OutgoingPageTable(config)
+        opt.bind_page(3, OPTEntry(1, 1))
+        opt.allocate_proxy([OPTEntry(1, 2)])
+        assert list(opt.bound_pages()) == [3]
+
+    def test_entry_destination_address(self, config):
+        entry = OPTEntry(dst_node=1, dst_page=10)
+        assert entry.dst_paddr(4096, 16) == 10 * 4096 + 16
+
+
+class TestIncomingPageTable:
+    def test_pages_default_disabled(self, config):
+        ipt = IncomingPageTable(config)
+        assert not ipt.is_enabled(100)
+        assert not ipt.wants_interrupt(100)
+
+    def test_enable_disable_cycle(self, config):
+        ipt = IncomingPageTable(config)
+        ipt.enable(100, interrupt=True, owner="export-1")
+        assert ipt.is_enabled(100)
+        assert ipt.wants_interrupt(100)
+        assert ipt.entry(100).owner == "export-1"
+        ipt.disable(100)
+        assert not ipt.is_enabled(100)
+        assert ipt.entry(100).owner is None
+
+    def test_set_interrupt_toggles_only_flag(self, config):
+        ipt = IncomingPageTable(config)
+        ipt.enable(5)
+        ipt.set_interrupt(5, True)
+        assert ipt.is_enabled(5) and ipt.wants_interrupt(5)
+        ipt.set_interrupt(5, False)
+        assert ipt.is_enabled(5) and not ipt.wants_interrupt(5)
+
+    def test_check_range_requires_every_page(self, config):
+        ipt = IncomingPageTable(config)
+        page = config.page_size
+        ipt.enable(10)
+        assert ipt.check_range(10 * page, page)
+        assert ipt.check_range(10 * page + 100, 50)
+        # Crossing into page 11, which is disabled:
+        assert not ipt.check_range(10 * page + page - 4, 8)
+        ipt.enable(11)
+        assert ipt.check_range(10 * page + page - 4, 8)
+
+    def test_out_of_range_page_rejected(self, config):
+        ipt = IncomingPageTable(config)
+        with pytest.raises(ValueError):
+            ipt.enable(config.memory_pages)

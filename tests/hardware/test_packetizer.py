@@ -1,0 +1,160 @@
+"""Unit tests for the packetizer's combining behaviour (Section 3.2)."""
+
+import pytest
+
+from repro.hardware import MachineConfig
+from repro.hardware.nic import OPTEntry
+from repro.hardware.nic.fifo import OutgoingFifo
+from repro.hardware.nic.packetizer import Packetizer
+from repro.hardware.router.packet import PacketKind
+from repro.sim import Simulator, spawn
+
+
+def make_packetizer(config=None):
+    sim = Simulator()
+    config = config or MachineConfig.shrimp_prototype()
+    fifo = OutgoingFifo(sim, config)
+    packetizer = Packetizer(sim, config, node_id=0, fifo=fifo)
+    return sim, config, fifo, packetizer
+
+
+def drain(sim, fifo, count):
+    """Collect ``count`` packets from the FIFO after running the sim."""
+    got = []
+
+    def collector():
+        for _ in range(count):
+            item = yield fifo.get()
+            got.append(item)
+
+    spawn(sim, collector())
+    sim.run()
+    return got
+
+
+def entry(combining=True, use_timer=True, node=1, page=100, interrupt=False):
+    return OPTEntry(dst_node=node, dst_page=page, combining=combining,
+                    use_timer=use_timer, dest_interrupt=interrupt)
+
+
+def test_consecutive_writes_combine_into_one_packet():
+    sim, config, fifo, pk = make_packetizer()
+    ent = entry()
+    pk.au_write(0, b"\x01\x02\x03\x04", ent)
+    pk.au_write(4, b"\x05\x06\x07\x08", ent)
+    pk.flush()
+    packets = drain(sim, fifo, 1)
+    assert packets[0].payload == bytes(range(1, 9))
+    assert packets[0].dst_paddr == 100 * config.page_size
+    assert pk.combined_writes == 1
+
+
+def test_non_consecutive_write_starts_new_packet():
+    sim, _config, fifo, pk = make_packetizer()
+    ent = entry()
+    pk.au_write(0, b"\x01\x02\x03\x04", ent)
+    pk.au_write(64, b"\x05\x06\x07\x08", ent)
+    pk.flush()
+    packets = drain(sim, fifo, 2)
+    assert [p.size for p in packets] == [4, 4]
+
+
+def test_large_write_is_chunked_at_max_payload():
+    sim, config, fifo, pk = make_packetizer()
+    data = bytes(range(256)) * 12  # 3072 bytes
+    pk.au_write(0, data, entry())
+    pk.flush()
+    n_full, tail = divmod(len(data), config.max_packet_payload)
+    expected = n_full + (1 if tail else 0)
+    packets = drain(sim, fifo, expected)
+    assert b"".join(p.payload for p in packets) == data
+    assert all(p.size <= config.max_packet_payload for p in packets)
+
+
+def test_timer_flushes_idle_open_packet():
+    sim, config, fifo, pk = make_packetizer()
+    pk.au_write(0, b"\xaa\xbb\xcc\xdd", entry(use_timer=True))
+    packets = drain(sim, fifo, 1)
+    assert packets[0].payload == b"\xaa\xbb\xcc\xdd"
+    # Sent by the timer, so at/after the combine timeout:
+    assert sim.now >= config.combine_timeout
+
+
+def test_timer_extends_while_writes_keep_arriving():
+    sim, config, fifo, pk = make_packetizer()
+    ent = entry()
+    half = config.combine_timeout / 2
+
+    def writer():
+        pk.au_write(0, b"\x01\x02\x03\x04", ent)
+        yield sim.timeout(half)
+        pk.au_write(4, b"\x05\x06\x07\x08", ent)
+
+    spawn(sim, writer())
+    got = []
+
+    def collector():
+        item = yield fifo.get()
+        got.append((item, sim.now))
+
+    spawn(sim, collector())
+    sim.run()
+    packet, when = got[0]
+    assert packet.size == 8
+    # Flush happens a full timeout after the *second* write:
+    assert when >= half + config.combine_timeout
+
+
+def test_no_timer_page_waits_for_explicit_close():
+    sim, config, fifo, pk = make_packetizer()
+    pk.au_write(0, b"\x01\x02\x03\x04", entry(use_timer=False))
+    sim.run(until=config.combine_timeout * 10)
+    assert len(fifo) == 0
+    pk.flush()
+    packets = drain(sim, fifo, 1)
+    assert packets[0].size == 4
+
+
+def test_combining_disabled_emits_per_word_packets():
+    sim, config, fifo, pk = make_packetizer()
+    data = bytes(range(16))
+    pk.au_write(0, data, entry(combining=False))
+    packets = drain(sim, fifo, 4)
+    assert [p.size for p in packets] == [4, 4, 4, 4]
+    assert b"".join(p.payload for p in packets) == data
+
+
+def test_du_emit_closes_open_au_packet_first():
+    sim, _config, fifo, pk = make_packetizer()
+    pk.au_write(0, b"\x01\x02\x03\x04", entry())
+    pk.du_emit(2, 0x5000, b"\x09\x0a\x0b\x0c", interrupt=False)
+    packets = drain(sim, fifo, 2)
+    assert packets[0].kind is PacketKind.AUTOMATIC_UPDATE
+    assert packets[1].kind is PacketKind.DELIBERATE_UPDATE
+
+
+def test_writes_to_different_destinations_do_not_combine():
+    sim, _config, fifo, pk = make_packetizer()
+    pk.au_write(0, b"\x01\x02\x03\x04", entry(node=1, page=100))
+    # Same offset progression but a different destination node:
+    pk.au_write(4, b"\x05\x06\x07\x08", entry(node=2, page=100))
+    pk.flush()
+    packets = drain(sim, fifo, 2)
+    assert packets[0].dst_node == 1
+    assert packets[1].dst_node == 2
+
+
+def test_interrupt_flag_carried_on_packet():
+    sim, _config, fifo, pk = make_packetizer()
+    pk.au_write(0, b"\x01\x02\x03\x04", entry(interrupt=True))
+    pk.flush()
+    packets = drain(sim, fifo, 1)
+    assert packets[0].interrupt
+
+
+def test_exactly_max_payload_closes_packet_immediately():
+    sim, config, fifo, pk = make_packetizer()
+    pk.au_write(0, bytes(config.max_packet_payload), entry(use_timer=False))
+    # No flush needed: the packet closed at the size bound.
+    packets = drain(sim, fifo, 1)
+    assert packets[0].size == config.max_packet_payload

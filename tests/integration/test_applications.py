@@ -1,0 +1,150 @@
+"""Application-level integration: small parallel programs over NX.
+
+The paper's conclusion: 'We plan to study the performance of real
+applications in the near future.'  These are that study's functional
+half — complete parallel algorithms whose correctness exercises typed
+messaging, collectives, and large transfers together.
+"""
+
+import random
+import struct
+
+from repro.libs.nx import VARIANTS, nx_world
+from repro.libs.nx.globals import gcol, gdsum, gihigh
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def pack_doubles(values):
+    return struct.pack("<%dd" % len(values), *values)
+
+
+def unpack_doubles(raw, n):
+    return list(struct.unpack("<%dd" % n, raw[: 8 * n]))
+
+
+def test_block_matrix_vector_multiply():
+    """y = A·x with A row-partitioned over 4 ranks; x broadcast via
+    gcol, partial results gathered back."""
+    n = 16
+    rng = random.Random(3)
+    matrix = [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)]
+    vector = [rng.uniform(-1, 1) for _ in range(n)]
+    expected = [sum(matrix[i][j] * vector[j] for j in range(n)) for i in range(n)]
+    rows_per = n // 4
+
+    def program(nx):
+        me = nx.mynode()
+        proc = nx.proc
+        # Everyone contributes its slice of x; gcol rebuilds the whole x.
+        xbuf = proc.space.mmap(PAGE)
+        my_x = vector[me * (n // 4) : (me + 1) * (n // 4)]
+        proc.poke(xbuf, pack_doubles(my_x))
+        whole = yield from gcol(nx, xbuf, 8 * (n // 4))
+        x = unpack_doubles(whole, n)
+        # Local rows.
+        my_rows = matrix[me * rows_per : (me + 1) * rows_per]
+        partial = [sum(row[j] * x[j] for j in range(n)) for row in my_rows]
+        ybuf = proc.space.mmap(PAGE)
+        proc.poke(ybuf, pack_doubles(partial))
+        gathered = yield from gcol(nx, ybuf, 8 * rows_per)
+        return unpack_doubles(gathered, n)
+
+    system = make_system()
+    handles = nx_world(system, [program] * 4, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    for handle in handles:
+        got = handle.value
+        assert all(abs(a - b) < 1e-9 for a, b in zip(got, expected))
+
+
+def test_odd_even_transposition_sort():
+    """Distributed sort: each rank holds a block; neighbours exchange
+    and split for numnodes rounds.  Classic multicomputer kernel."""
+    per_rank = 12
+    rng = random.Random(9)
+    blocks = [[rng.randrange(10000) for _ in range(per_rank)] for _ in range(4)]
+    flat_sorted = sorted(v for block in blocks for v in block)
+
+    def program(nx):
+        me, size = nx.mynode(), nx.numnodes()
+        proc = nx.proc
+        mine = sorted(blocks[me])
+        send_buf = proc.space.mmap(PAGE)
+        recv_buf = proc.space.mmap(PAGE)
+        nbytes = 8 * per_rank
+
+        def exchange(peer, keep_low, mtype):
+            # Type encodes the round: a fast pair's next-round message
+            # must not match a slow rank's current-round receive (crecv
+            # selects by type, not source).
+            proc.poke(send_buf, struct.pack("<%dq" % per_rank, *mine))
+            if me < peer:
+                yield from nx.csend(mtype, send_buf, nbytes, to=peer)
+                yield from nx.crecv(mtype, recv_buf, PAGE)
+            else:
+                yield from nx.crecv(mtype, recv_buf, PAGE)
+                yield from nx.csend(mtype, send_buf, nbytes, to=peer)
+            theirs = list(struct.unpack("<%dq" % per_rank, proc.peek(recv_buf, nbytes)))
+            merged = sorted(mine + theirs)
+            return merged[:per_rank] if keep_low else merged[per_rank:]
+
+        for round_number in range(size):
+            if round_number % 2 == 0:
+                partner = me + 1 if me % 2 == 0 else me - 1
+            else:
+                partner = me + 1 if me % 2 == 1 else me - 1
+            if 0 <= partner < size:
+                mine = yield from exchange(partner, keep_low=(me < partner),
+                                           mtype=100 + round_number)
+        return mine
+
+    system = make_system()
+    handles = nx_world(system, [program] * 4, variant=VARIANTS["DU-1copy"])
+    system.run_processes(handles)
+    result = [v for handle in handles for v in handle.value]
+    assert result == flat_sorted
+
+
+def test_monte_carlo_pi_with_global_sum():
+    """Embarrassingly parallel + one reduction: each rank samples, a
+    gdsum combines, every rank gets the same estimate."""
+    samples_per_rank = 2000
+
+    def program(nx):
+        rng = random.Random(100 + nx.mynode())
+        hits = sum(
+            1
+            for _ in range(samples_per_rank)
+            if rng.random() ** 2 + rng.random() ** 2 <= 1.0
+        )
+        totals = yield from gdsum(nx, [float(hits), float(samples_per_rank)])
+        return 4.0 * totals[0] / totals[1]
+
+    system = make_system()
+    handles = nx_world(system, [program] * 4, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    estimates = [h.value for h in handles]
+    assert len(set(estimates)) == 1          # everyone agrees
+    assert abs(estimates[0] - 3.14159) < 0.1  # and it's roughly pi
+
+
+def test_global_max_search():
+    """Each rank scans a slice for the max of a function; gihigh picks
+    the winner everywhere."""
+    def f(x):
+        return -(x - 777) * (x - 777)
+
+    def program(nx):
+        me, size = nx.mynode(), nx.numnodes()
+        lo = me * 1000 // size
+        hi = (me + 1) * 1000 // size
+        local_best = max(f(x) for x in range(lo, hi))
+        best = yield from gihigh(nx, [local_best])
+        return best[0]
+
+    system = make_system()
+    handles = nx_world(system, [program] * 4, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    assert all(h.value == f(777) for h in handles)

@@ -1,0 +1,35 @@
+"""Every shipped example must run clean — examples are API contracts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_all_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "nx_stencil.py",
+        "rpc_keyvalue.py",
+        "sockets_streaming.py",
+        "shrimp_rpc_demo.py",
+        "shared_memory.py",
+    } <= names

@@ -1,0 +1,198 @@
+"""Integration: different libraries sharing one machine at once.
+
+The prototype ran all of these libraries over the same NICs, daemons,
+and backplane; these tests check they coexist — mappings don't collide,
+per-pair ordering survives cross-traffic, and every byte arrives intact.
+"""
+
+import pytest
+
+from repro.libs.nx import VARIANTS, NXProcess
+from repro.libs.rpc import VrpcServer, clnt_create
+from repro.libs.sockets import SOCKET_VARIANTS, SocketLib
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+def test_nx_and_sockets_share_the_machine():
+    """NX between nodes 0-1 and a socket stream between nodes 2-3,
+    running concurrently over the same mesh."""
+    system = make_system()
+    rdv = Rendezvous(system)
+    results = {}
+
+    def nx_rank(rank, peer):
+        def program(proc):
+            nx = NXProcess(system, proc, rank, 2, rdv, VARIANTS["AU-1copy"])
+            yield from nx.init()
+            src = proc.space.mmap(PAGE)
+            dst = proc.space.mmap(PAGE)
+            proc.poke(src, b"nx-%d" % rank + b"!" * 60)
+            for _ in range(10):
+                if rank == 0:
+                    yield from nx.csend(1, src, 64, to=peer)
+                    yield from nx.crecv(1, dst, PAGE)
+                else:
+                    yield from nx.crecv(1, dst, PAGE)
+                    yield from nx.csend(1, src, 64, to=peer)
+            results["nx-%d" % rank] = proc.peek(dst, 5)
+
+        return program
+
+    def socket_server(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-1copy"])
+        sock = yield from lib.listen(7).accept()
+        buf = proc.space.mmap(PAGE)
+        total = 0
+        while True:
+            got = yield from sock.recv(buf, PAGE)
+            if got == 0:
+                break
+            total += got
+        results["socket-bytes"] = total
+
+    def socket_client(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-1copy"])
+        sock = yield from lib.connect(3, 7)
+        src = proc.space.mmap(PAGE)
+        for _ in range(20):
+            yield from sock.send(src, 1500)
+        yield from sock.close()
+
+    handles = [
+        system.spawn(0, nx_rank(0, 1)),
+        system.spawn(1, nx_rank(1, 0)),
+        system.spawn(3, socket_server),
+        system.spawn(2, socket_client),
+    ]
+    system.run_processes(handles)
+    assert results["nx-0"] == b"nx-1!"
+    assert results["nx-1"] == b"nx-0!"
+    assert results["socket-bytes"] == 20 * 1500
+
+
+def test_rpc_server_shares_node_with_nx_rank():
+    """Node 1 hosts both an NX rank and a VRPC server (two processes on
+    one node, two sets of mappings through one NIC)."""
+    system = make_system()
+    rdv = Rendezvous(system)
+    results = {}
+    PROG = 0x777
+
+    def nx_rank(rank, peer):
+        def program(proc):
+            nx = NXProcess(system, proc, rank, 2, rdv, VARIANTS["DU-1copy"])
+            yield from nx.init()
+            src = proc.space.mmap(PAGE)
+            dst = proc.space.mmap(PAGE)
+            proc.poke(src, bytes([rank]) * 32)
+            for _ in range(5):
+                if rank == 0:
+                    yield from nx.csend(9, src, 32, to=peer)
+                    yield from nx.crecv(9, dst, PAGE)
+                else:
+                    yield from nx.crecv(9, dst, PAGE)
+                    yield from nx.csend(9, src, 32, to=peer)
+            results["nx-%d" % rank] = proc.peek(dst, 1)
+
+        return program
+
+    def rpc_server(proc):
+        srv = VrpcServer(system, proc, PROG, 1)
+        srv.register(1, lambda n: n * 3,
+                     decode_args=lambda dec: dec.unpack_int(),
+                     encode_result=lambda enc, v: enc.pack_int(v))
+        yield from srv.accept_binding()
+        yield from srv.svc_run(max_calls=5)
+
+    def rpc_client(proc):
+        handle = yield from clnt_create(system, proc, 1, PROG, 1)
+        values = []
+        for n in range(5):
+            v = yield from handle.call(
+                1, n,
+                encode_args=lambda enc, v: enc.pack_int(v),
+                decode_result=lambda dec: dec.unpack_int(),
+            )
+            values.append(v)
+        results["rpc"] = values
+
+    handles = [
+        system.spawn(0, nx_rank(0, 1)),
+        system.spawn(1, nx_rank(1, 0)),
+        system.spawn(1, rpc_server),   # second process on node 1
+        system.spawn(2, rpc_client),
+    ]
+    system.run_processes(handles)
+    assert results["rpc"] == [0, 3, 6, 9, 12]
+    assert results["nx-0"] == bytes([1])
+    assert results["nx-1"] == bytes([0])
+
+
+def test_many_mappings_on_one_nic():
+    """One process exports/imports dozens of buffers; ids and OPT proxy
+    regions must never collide."""
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def exporter(proc):
+        ep = attach(system, proc)
+        ids = []
+        for i in range(24):
+            buf = yield from ep.export_new(PAGE)
+            ids.append(buf.export_id)
+        rdv.put("ids", (proc.node.node_id, ids))
+        assert len(set(ids)) == 24
+
+    def importer(proc):
+        ep = attach(system, proc)
+        node, ids = yield rdv.get("ids")
+        imports = []
+        for export_id in ids:
+            imported = yield from ep.import_buffer(node, export_id)
+            imports.append(imported)
+        bases = [imp.opt_base for imp in imports]
+        assert len(set(bases)) == 24
+        # Send to each one; each must land in its own buffer.
+        src = ep.alloc_buffer(PAGE)
+        for index, imported in enumerate(imports):
+            proc.poke(src, bytes([index + 1]) * 8)
+            yield from ep.send(imported, src, 8)
+        return len(imports)
+
+    e = system.spawn(1, exporter)
+    i = system.spawn(0, importer)
+    system.run_processes([e, i])
+    assert i.value == 24
+
+
+def test_all_four_nodes_talk_pairwise_simultaneously():
+    """Six socket connections — every node pair — all streaming at once."""
+    system = make_system()
+    pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    received = {}
+
+    handles = []
+    for port, (a, b) in enumerate(pairs, start=100):
+        def server(proc, port=port, a=a, b=b):
+            lib = SocketLib(system, proc)
+            sock = yield from lib.listen(port).accept()
+            buf = proc.space.mmap(PAGE)
+            got = yield from sock.recv_exactly(buf, 2048)
+            received[(a, b)] = proc.peek(buf, 8)
+
+        def client(proc, port=port, a=a, b=b):
+            lib = SocketLib(system, proc)
+            sock = yield from lib.connect(b, port)
+            src = proc.space.mmap(PAGE)
+            proc.poke(src, bytes([a * 16 + b]) * 8)
+            yield from sock.send(src, 2048)
+            yield from sock.close()
+
+        handles.append(system.spawn(b, server))
+        handles.append(system.spawn(a, client))
+    system.run_processes(handles)
+    for a, b in pairs:
+        assert received[(a, b)] == bytes([a * 16 + b]) * 8

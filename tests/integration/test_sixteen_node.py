@@ -1,0 +1,108 @@
+"""Integration: the 16-node expansion the paper's conclusion plans.
+
+'We also plan to expand the system to 16 nodes.'  The model scales by
+configuration; these tests check the communication layers behave on the
+4x4 mesh and that distance costs what the mesh geometry says it should.
+"""
+
+import pytest
+
+from repro.hardware.config import MachineConfig
+from repro.libs.nx import ANY_TYPE, VARIANTS, nx_world
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+def test_vmmc_latency_grows_with_hop_count():
+    """On the 4x4 mesh, corner-to-corner (6 hops) costs more than
+    neighbour-to-neighbour (1 hop), by roughly the per-hop latency."""
+    def one_way(node_a, node_b):
+        system = make_system(MachineConfig.sixteen_node())
+        rdv = Rendezvous(system)
+        timing = {}
+
+        def receiver(proc):
+            ep = attach(system, proc)
+            buf = yield from ep.export_new(PAGE)
+            rdv.put("x", (proc.node.node_id, buf.export_id))
+            yield from proc.poll(buf.vaddr, 4, lambda b: b == b"ping")
+            timing["end"] = proc.sim.now
+
+        def sender(proc):
+            ep = attach(system, proc)
+            node, xid = yield rdv.get("x")
+            imported = yield from ep.import_buffer(node, xid)
+            src = ep.alloc_buffer(PAGE)
+            yield from proc.write(src, b"ping")
+            timing["start"] = proc.sim.now
+            yield from ep.send(imported, src, 4)
+
+        r = system.spawn(node_b, receiver)
+        s = system.spawn(node_a, sender)
+        system.run_processes([r, s])
+        hops = system.machine.mesh.hops(node_a, node_b)
+        return timing["end"] - timing["start"], hops
+
+    near, near_hops = one_way(0, 1)     # adjacent
+    far, far_hops = one_way(0, 15)      # opposite corner
+    assert near_hops == 1 and far_hops == 6
+    assert far > near
+    config = MachineConfig.sixteen_node()
+    extra = far - near
+    expected = (far_hops - near_hops) * config.router_hop_latency
+    assert extra == pytest.approx(expected, rel=0.5)
+
+
+def test_nx_all_to_root_on_sixteen_nodes():
+    """Fifteen ranks send to rank 0; everything arrives, correctly typed."""
+    system = make_system(MachineConfig.sixteen_node())
+
+    def root(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        seen = {}
+        for _ in range(15):
+            yield from nx.crecv(ANY_TYPE, dst, PAGE)
+            seen[nx.infonode()] = (nx.infotype(), nx.proc.peek(dst, 2))
+        return seen
+
+    def leaf(nx):
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, bytes([nx.mynode(), 0xAB]))
+        yield from nx.csend(nx.mynode() * 10, src, 2, to=0)
+
+    programs = [root] + [leaf] * 15
+    handles = nx_world(system, programs, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    seen = handles[0].value
+    assert sorted(seen) == list(range(1, 16))
+    for rank, (mtype, payload) in seen.items():
+        assert mtype == rank * 10
+        assert payload == bytes([rank, 0xAB])
+
+
+def test_nx_ring_pass_sixteen_nodes():
+    """A token circulates the full ring once; order and integrity hold."""
+    system = make_system(MachineConfig.sixteen_node())
+
+    def rank(nx):
+        me, size = nx.mynode(), nx.numnodes()
+        buf = nx.proc.space.mmap(PAGE)
+        if me == 0:
+            nx.proc.poke(buf, b"\x01")
+            yield from nx.csend(1, buf, 1, to=1)
+            yield from nx.crecv(1, buf, PAGE)
+            return nx.proc.peek(buf, 1)[0]
+        yield from nx.crecv(1, buf, PAGE)
+        value = nx.proc.peek(buf, 1)[0]
+        nx.proc.poke(buf, bytes([value + 1]))
+        yield from nx.csend(1, buf, 1, to=(me + 1) % size)
+        return value
+
+    handles = nx_world(system, [rank] * 16, variant=VARIANTS["DU-1copy"])
+    system.run_processes(handles)
+    values = [h.value for h in handles]
+    # Rank k saw the token as k; rank 0 got it back incremented 15 times.
+    assert values[0] == 16
+    assert values[1:] == list(range(1, 16))

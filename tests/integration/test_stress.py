@@ -1,0 +1,177 @@
+"""Randomized (seeded, deterministic) stress workloads across libraries."""
+
+import random
+import struct
+
+from repro.libs.nx import ANY_TYPE, VARIANTS, nx_world
+from repro.libs.sockets import SOCKET_VARIANTS, SocketLib
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def test_nx_random_sizes_and_types_integrity():
+    """200 messages of random size (spanning both protocols), random
+    type, interleaved small/large; receiver checks every byte."""
+    rng = random.Random(1996)
+    plan = [
+        (rng.choice([1, 2, 3]), rng.randint(1, 6000), rng.randint(0, 255))
+        for _ in range(60)
+    ]
+    system = make_system()
+
+    def sender(nx):
+        src = nx.proc.space.mmap(2 * PAGE)
+        for mtype, size, fill in plan:
+            nx.proc.poke(src, bytes((fill + i) % 256 for i in range(size)))
+            yield from nx.csend(mtype, src, size, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(2 * PAGE)
+        failures = []
+        for index, (mtype, size, fill) in enumerate(plan):
+            got = yield from nx.crecv(ANY_TYPE, dst, 2 * PAGE)
+            if got != size or nx.infotype() != mtype:
+                failures.append(index)
+                continue
+            expected = bytes((fill + i) % 256 for i in range(size))
+            if nx.proc.peek(dst, size) != expected:
+                failures.append(index)
+        return failures
+
+    handles = nx_world(system, [sender, receiver], variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    assert handles[1].value == []
+
+
+def test_nx_bidirectional_random_traffic():
+    """Both ranks send and receive interleaved, seeded schedules."""
+    rng = random.Random(42)
+    per_rank_plan = {
+        rank: [(rng.randint(1, 2000), rng.randint(0, 255)) for _ in range(25)]
+        for rank in (0, 1)
+    }
+    system = make_system()
+
+    def make(rank):
+        peer = 1 - rank
+
+        def program(nx):
+            src = nx.proc.space.mmap(PAGE)
+            dst = nx.proc.space.mmap(PAGE)
+            bad = 0
+            mine = per_rank_plan[rank]
+            theirs = per_rank_plan[peer]
+            for (send_size, send_fill), (recv_size, recv_fill) in zip(mine, theirs):
+                nx.proc.poke(src, bytes((send_fill + i) % 256
+                                        for i in range(send_size)))
+                if rank == 0:
+                    yield from nx.csend(5, src, send_size, to=peer)
+                    got = yield from nx.crecv(5, dst, PAGE)
+                else:
+                    got = yield from nx.crecv(5, dst, PAGE)
+                    yield from nx.csend(5, src, send_size, to=peer)
+                expected = bytes((recv_fill + i) % 256 for i in range(recv_size))
+                if got != recv_size or nx.proc.peek(dst, got) != expected:
+                    bad += 1
+            return bad
+
+        return program
+
+    handles = nx_world(system, [make(0), make(1)], variant=VARIANTS["DU-1copy"])
+    system.run_processes(handles)
+    assert [h.value for h in handles] == [0, 0]
+
+
+def test_socket_random_chunk_stream():
+    """A byte stream written in random chunk sizes must read back as the
+    identical stream regardless of how recv chunks it."""
+    rng = random.Random(7)
+    total = 50_000
+    stream = bytes(rng.randrange(256) for _ in range(total))
+    write_sizes = []
+    remaining = total
+    while remaining:
+        step = min(remaining, rng.randint(1, 3000))
+        write_sizes.append(step)
+        remaining -= step
+    system = make_system()
+    out = {}
+
+    def server(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-1copy"])
+        sock = yield from lib.listen(5).accept()
+        buf = proc.space.mmap(2 * PAGE)
+        received = bytearray()
+        local_rng = random.Random(8)
+        while True:
+            want = local_rng.randint(1, 2 * PAGE)
+            got = yield from sock.recv(buf, want)
+            if got == 0:
+                break
+            received += proc.peek(buf, got)
+        out["stream"] = bytes(received)
+
+    def client(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-1copy"])
+        sock = yield from lib.connect(1, 5)
+        src = proc.space.mmap(2 * PAGE)
+        offset = 0
+        for size in write_sizes:
+            proc.poke(src, stream[offset : offset + size])
+            yield from sock.send(src, size)
+            offset += size
+        yield from sock.close()
+
+    s = system.spawn(1, server)
+    c = system.spawn(0, client)
+    system.run_processes([s, c])
+    assert out["stream"] == stream
+
+
+def test_sixteen_node_all_to_all():
+    """Every rank sends to every other rank simultaneously (240
+    messages); each payload carries its (src, dst) identity and every
+    rank verifies all fifteen arrivals."""
+    from repro.hardware.config import MachineConfig
+    from repro.libs.nx import ANY_TYPE
+
+    system = make_system(MachineConfig.sixteen_node())
+    n = 16
+
+    def rank(nx):
+        me = nx.mynode()
+        src = nx.proc.space.mmap(PAGE)
+        dst = nx.proc.space.mmap(PAGE)
+        for peer in range(n):
+            if peer == me:
+                continue
+            nx.proc.poke(src, bytes([me, peer]) * 8)
+            yield from nx.csend(1000 + me, src, 16, to=peer)
+        bad = 0
+        seen = set()
+        for _ in range(n - 1):
+            yield from nx.crecv(ANY_TYPE, dst, PAGE)
+            sender = nx.infotype() - 1000
+            seen.add(sender)
+            if nx.proc.peek(dst, 16) != bytes([sender, me]) * 8:
+                bad += 1
+        return bad, len(seen)
+
+    handles = nx_world(system, [rank] * n, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    for handle in handles:
+        bad, distinct = handle.value
+        assert bad == 0
+        assert distinct == n - 1
+
+
+def test_deterministic_replay():
+    """Two identical runs produce byte-identical timing — the simulator
+    is deterministic, which every calibration number relies on."""
+    def run():
+        from repro.bench import nx_pingpong
+
+        return nx_pingpong("AU-1copy", 256, iterations=5)
+
+    assert run() == run()

@@ -1,0 +1,227 @@
+"""Tests for the SHRIMP daemons: export/import brokering across nodes."""
+
+import pytest
+
+from repro.hardware import CacheMode
+from repro.kernel import MappingError, ShrimpSystem
+from repro.sim import spawn
+
+PAGE = 4096
+
+
+@pytest.fixture
+def system():
+    return ShrimpSystem()
+
+
+def test_export_enables_receive_pages(system):
+    def program(proc):
+        vaddr = proc.space.mmap(2 * PAGE, cache_mode=CacheMode.WRITE_THROUGH)
+        record = yield from system.daemons[0].export(proc, vaddr, 2 * PAGE)
+        return record
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    record = handle.value
+    assert record.export_id >= 1
+    ipt = system.machine.node(0).nic.ipt
+    for frame in record.frames:
+        assert ipt.is_enabled(frame)
+    assert ipt.entry(record.frames[0]).owner is record
+
+
+def test_export_requires_page_alignment(system):
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        try:
+            yield from system.daemons[0].export(proc, vaddr + 4, PAGE)
+        except MappingError:
+            return "aligned-check"
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    assert handle.value == "aligned-check"
+
+
+def test_import_across_nodes_returns_remote_frames(system):
+    state = {}
+
+    def exporter(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[1].export(proc, vaddr, PAGE)
+        state["record"] = record
+
+    def importer(proc):
+        while "record" not in state:
+            yield proc.sim.timeout(10.0)
+        imported = yield from system.daemons[0].import_buffer(
+            proc, 1, state["record"].export_id
+        )
+        return imported
+
+    ex = system.spawn(1, exporter)
+    im = system.spawn(0, importer)
+    system.run_processes([ex, im])
+    imported = im.value
+    assert imported.remote_node == 1
+    assert imported.remote_frames == state["record"].frames
+    assert imported.opt_base >= system.config.memory_pages
+    assert state["record"].import_count == 1
+
+
+def test_import_unknown_export_fails(system):
+    def importer(proc):
+        try:
+            yield from system.daemons[0].import_buffer(proc, 1, 999)
+        except MappingError as exc:
+            return str(exc)
+
+    handle = system.spawn(0, importer)
+    system.run_processes([handle])
+    assert "no export 999" in handle.value
+
+
+def test_import_permission_denied(system):
+    state = {}
+
+    def exporter(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[1].export(
+            proc, vaddr, PAGE, allow_nodes={2, 3}
+        )
+        state["record"] = record
+
+    def importer(proc):
+        while "record" not in state:
+            yield proc.sim.timeout(10.0)
+        try:
+            yield from system.daemons[0].import_buffer(proc, 1, state["record"].export_id)
+        except MappingError as exc:
+            return str(exc)
+
+    ex = system.spawn(1, exporter)
+    im = system.spawn(0, importer)
+    system.run_processes([ex, im])
+    assert "may not import" in im.value
+
+
+def test_same_node_import_fast_path(system):
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[0].export(proc, vaddr, PAGE)
+        imported = yield from system.daemons[0].import_buffer(proc, 0, record.export_id)
+        return record, imported
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    record, imported = handle.value
+    assert imported.remote_frames == record.frames
+    assert record.import_count == 1
+
+
+def test_unimport_frees_proxies_and_decrements_refcount(system):
+    state = {}
+
+    def exporter(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[1].export(proc, vaddr, PAGE)
+        state["record"] = record
+
+    def importer(proc):
+        while "record" not in state:
+            yield proc.sim.timeout(10.0)
+        imported = yield from system.daemons[0].import_buffer(
+            proc, 1, state["record"].export_id
+        )
+        yield from system.daemons[0].unimport(proc, imported)
+        # Give the unimport notice time to cross the Ethernet.
+        yield proc.sim.timeout(2000.0)
+        return imported
+
+    ex = system.spawn(1, exporter)
+    im = system.spawn(0, importer)
+    system.run_processes([ex, im])
+    assert not im.value.active
+    assert state["record"].import_count == 0
+    with pytest.raises(KeyError):
+        system.machine.node(0).nic.opt.proxy_entry(im.value.opt_base)
+
+
+def test_unexport_disables_pages(system):
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[0].export(proc, vaddr, PAGE)
+        yield from system.daemons[0].unexport(proc, record)
+        return record
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    record = handle.value
+    assert not record.active
+    assert not system.machine.node(0).nic.ipt.is_enabled(record.frames[0])
+    assert record.export_id not in system.daemons[0].exports
+
+
+def test_bind_automatic_installs_opt_entries(system):
+    state = {}
+
+    def exporter(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[1].export(proc, vaddr, PAGE)
+        state["record"] = record
+
+    def binder(proc):
+        while "record" not in state:
+            yield proc.sim.timeout(10.0)
+        imported = yield from system.daemons[0].import_buffer(
+            proc, 1, state["record"].export_id
+        )
+        local = proc.space.mmap(PAGE, cache_mode=CacheMode.WRITE_THROUGH)
+        binding = yield from system.daemons[0].bind_automatic(proc, local, imported)
+        return proc, binding
+
+    ex = system.spawn(1, exporter)
+    b = system.spawn(0, binder)
+    system.run_processes([ex, b])
+    proc, binding = b.value
+    opt = system.machine.node(0).nic.opt
+    frame = binding.local_frames[0]
+    entry = opt.lookup(frame)
+    assert entry is not None
+    assert entry.dst_node == 1
+    assert entry.dst_page == state["record"].frames[0]
+
+
+def test_unbind_automatic_removes_entries(system):
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        record = yield from system.daemons[0].export(proc, vaddr, PAGE)
+        imported = yield from system.daemons[0].import_buffer(proc, 0, record.export_id)
+        local = proc.space.mmap(PAGE)
+        binding = yield from system.daemons[0].bind_automatic(proc, local, imported)
+        yield from system.daemons[0].unbind_automatic(proc, binding)
+        return binding
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    binding = handle.value
+    assert not binding.active
+    assert system.machine.node(0).nic.opt.lookup(binding.local_frames[0]) is None
+
+
+def test_bind_offset_must_be_page_aligned(system):
+    def program(proc):
+        vaddr = proc.space.mmap(2 * PAGE)
+        record = yield from system.daemons[0].export(proc, vaddr, 2 * PAGE)
+        imported = yield from system.daemons[0].import_buffer(proc, 0, record.export_id)
+        local = proc.space.mmap(PAGE)
+        try:
+            yield from system.daemons[0].bind_automatic(
+                proc, local, imported, nbytes=PAGE, offset=100
+            )
+        except MappingError:
+            return "rejected"
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    assert handle.value == "rejected"

@@ -1,0 +1,155 @@
+"""Unit tests for UserProcess memory operations and polling."""
+
+import pytest
+
+from repro.hardware import CacheMode
+from repro.kernel import ProtectionFault, ShrimpSystem
+
+PAGE = 4096
+
+
+def run_program(program, node=0):
+    system = ShrimpSystem()
+    proc_handle = system.spawn(node, program)
+    system.run_processes([proc_handle])
+    return proc_handle.value
+
+
+def test_write_then_read_roundtrip():
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        yield from proc.write(vaddr + 8, b"kernel bytes")
+        data = yield from proc.read(vaddr + 8, 12)
+        return data
+
+    assert run_program(program) == b"kernel bytes"
+
+
+def test_write_charges_time():
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE, cache_mode=CacheMode.WRITE_THROUGH)
+        before = proc.sim.now
+        yield from proc.write(vaddr, bytes(1000))
+        return proc.sim.now - before
+
+    elapsed = run_program(program)
+    assert elapsed > 1000 * 0.03  # more than the cheapest per-byte rate
+
+
+def test_read_of_unmapped_raises_protection_fault():
+    def program(proc):
+        try:
+            yield from proc.read(0x10, 4)
+        except ProtectionFault:
+            return "faulted"
+        return "no fault"
+
+    assert run_program(program) == "faulted"
+
+
+def test_copy_moves_bytes_and_charges_both_sides():
+    def program(proc):
+        src = proc.space.mmap(PAGE)
+        dst = proc.space.mmap(PAGE)
+        proc.poke(src, b"copy me around")
+        before = proc.sim.now
+        yield from proc.copy(src, dst, 14)
+        elapsed = proc.sim.now - before
+        return proc.peek(dst, 14), elapsed
+
+    data, elapsed = run_program(program)
+    assert data == b"copy me around"
+    assert elapsed > 0
+
+
+def test_write_spanning_scattered_pages():
+    def program(proc):
+        vaddr = proc.space.mmap(2 * PAGE)  # frames may be scattered
+        payload = bytes(range(200)) * 30  # 6000 bytes, crosses the page
+        yield from proc.write(vaddr + PAGE - 100, payload[: PAGE])
+        data = yield from proc.read(vaddr + PAGE - 100, PAGE)
+        return data == payload[:PAGE]
+
+    assert run_program(program)
+
+
+def test_poll_returns_when_flag_set_by_another_process():
+    """Two processes on one node: one polls a shared physical page the
+    other writes (stand-in for an incoming DMA write)."""
+    system = ShrimpSystem()
+    kernel = system.kernels[0]
+    writer_proc = kernel.create_process("writer")
+    flag_vaddr = writer_proc.space.mmap(PAGE, cache_mode=CacheMode.WRITE_THROUGH)
+
+    times = {}
+
+    def poller(proc):
+        # Map the same frame into the poller's space.
+        frame = writer_proc.space.frames_of(flag_vaddr, PAGE)[0]
+        from repro.kernel.vm import PTE
+        vaddr = 64 * PAGE
+        proc.space.page_table[64] = PTE(frame=frame, cache_mode=CacheMode.WRITE_THROUGH)
+        data = yield from proc.poll_flag(vaddr, b"\x01\x00\x00\x00")
+        times["woke"] = proc.sim.now
+        return data
+
+    def writer(proc):
+        yield from proc.compute(50.0)
+        yield from proc.write(flag_vaddr, b"\x01\x00\x00\x00")
+        times["wrote"] = proc.sim.now
+
+    from repro.sim import spawn
+    poll_handle = spawn(system.sim, poller(kernel.create_process("poller")))
+    spawn(system.sim, writer(writer_proc))
+    system.run_processes([poll_handle])
+    assert poll_handle.value == b"\x01\x00\x00\x00"
+    assert times["woke"] >= times["wrote"]
+    # Wakeup is watch-driven: within a check cost of the write, not a spin.
+    assert times["woke"] - times["wrote"] < 2.0
+
+
+def test_poll_deadline_returns_none():
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        result = yield from proc.poll_flag(
+            vaddr, b"\xff\xff\xff\xff", deadline=proc.sim.now + 100.0
+        )
+        return result, proc.sim.now
+
+    result, now = run_program(program)
+    assert result is None
+    assert now >= 100.0
+
+
+def test_poll_immediate_success_costs_one_check():
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        proc.poke(vaddr, b"\x2a\x00\x00\x00")
+        before = proc.poll_checks
+        data = yield from proc.poll_flag(vaddr, b"\x2a\x00\x00\x00")
+        return proc.poll_checks - before, data
+
+    checks, data = run_program(program)
+    assert checks == 1
+    assert data == b"\x2a\x00\x00\x00"
+
+
+def test_peek_poke_are_untimed():
+    def program(proc):
+        vaddr = proc.space.mmap(PAGE)
+        before = proc.sim.now
+        proc.poke(vaddr, b"abc")
+        data = proc.peek(vaddr, 3)
+        return data, proc.sim.now - before
+        yield  # pragma: no cover
+
+    data, elapsed = run_program(program)
+    assert data == b"abc"
+    assert elapsed == 0.0
+
+
+def test_processes_get_distinct_pids():
+    system = ShrimpSystem()
+    a = system.kernels[0].create_process()
+    b = system.kernels[0].create_process()
+    assert a.pid != b.pid

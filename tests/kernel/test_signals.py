@@ -1,0 +1,87 @@
+"""Unit tests for the signal/notification substrate."""
+
+import pytest
+
+from repro.kernel.signals import Signal, SignalState
+from repro.sim import Simulator, spawn
+
+
+def test_post_and_drain():
+    state = SignalState(Simulator())
+    state.post(Signal("a", 1))
+    state.post(Signal("b", 2))
+    drained = state.drain()
+    assert [s.kind for s in drained] == ["a", "b"]
+    assert state.drain() == []
+    assert state.delivered_count == 2
+
+
+def test_blocked_signals_queue_instead_of_delivering():
+    """Unlike plain UNIX signals, notifications queue when blocked."""
+    state = SignalState(Simulator())
+    state.block()
+    state.post(Signal("x"))
+    state.post(Signal("y"))
+    assert state.drain() == []
+    state.unblock()
+    assert [s.kind for s in state.drain()] == ["x", "y"]
+
+
+def test_not_accepting_discards():
+    state = SignalState(Simulator())
+    state.accepting = False
+    assert not state.post(Signal("dropped"))
+    assert state.discarded_count == 1
+    state.accepting = True
+    assert state.post(Signal("kept"))
+
+
+def test_wait_fires_immediately_if_pending():
+    sim = Simulator()
+    state = SignalState(sim)
+    state.post(Signal("early"))
+    event = state.wait()
+    assert event.triggered
+
+
+def test_wait_wakes_on_post():
+    sim = Simulator()
+    state = SignalState(sim)
+    woke = []
+
+    def waiter():
+        yield state.wait()
+        woke.append(sim.now)
+        return [s.kind for s in state.drain()]
+
+    proc = spawn(sim, waiter())
+    sim.schedule_call(25.0, state.post, Signal("late"))
+    sim.run()
+    assert woke == [25.0]
+    assert proc.value == ["late"]
+
+
+def test_wait_while_blocked_until_unblock():
+    """A suspended process does not wake while signals are blocked."""
+    sim = Simulator()
+    state = SignalState(sim)
+    state.block()
+    woke = []
+
+    def waiter():
+        yield state.wait()
+        woke.append(sim.now)
+
+    spawn(sim, waiter())
+    sim.schedule_call(10.0, state.post, Signal("queued"))
+    sim.schedule_call(50.0, state.unblock)
+    sim.run()
+    assert woke == [50.0]
+
+
+def test_second_concurrent_waiter_rejected():
+    sim = Simulator()
+    state = SignalState(sim)
+    state.wait()
+    with pytest.raises(RuntimeError):
+        state.wait()

@@ -1,0 +1,90 @@
+"""Tests for the SHRIMP-specific syscall surface."""
+
+import pytest
+
+from repro.hardware.config import CacheMode
+from repro.kernel import MappingError
+from repro.testbed import make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+def run(system, program, node=0):
+    handle = system.spawn(node, program)
+    system.run_processes([handle])
+    return handle.value
+
+
+def test_sys_pin_and_cache_mode():
+    system = make_system()
+
+    def program(proc):
+        kernel = system.kernels[0]
+        vaddr = proc.space.mmap(PAGE, cache_mode=CacheMode.WRITE_BACK)
+        t0 = proc.sim.now
+        yield from kernel.sys_pin(proc, vaddr, PAGE)
+        t1 = proc.sim.now
+        yield from kernel.sys_set_cache_mode(proc, vaddr, PAGE, CacheMode.UNCACHED)
+        return (
+            t1 - t0,
+            proc.space.page_table[vaddr // PAGE].pinned,
+            proc.space.cache_mode_of(vaddr),
+        )
+
+    elapsed, pinned, mode = run(system, program)
+    assert elapsed >= system.config.costs.syscall_overhead
+    assert pinned
+    assert mode is CacheMode.UNCACHED
+
+
+def test_sys_enable_disable_receive():
+    system = make_system()
+
+    def program(proc):
+        kernel = system.kernels[0]
+        vaddr = proc.space.mmap(PAGE)
+        frames = proc.space.frames_of(vaddr, PAGE)
+        yield from kernel.sys_enable_receive(proc, frames, interrupt=True,
+                                             owner="cookie")
+        ipt = proc.node.nic.ipt
+        enabled = ipt.is_enabled(frames[0]) and ipt.wants_interrupt(frames[0])
+        owner = ipt.entry(frames[0]).owner
+        yield from kernel.sys_disable_receive(proc, frames)
+        disabled = not ipt.is_enabled(frames[0])
+        return enabled, owner, disabled
+
+    assert run(system, program) == (True, "cookie", True)
+
+
+def test_sigblock_unblock_syscalls():
+    system = make_system()
+
+    def program(proc):
+        kernel = system.kernels[0]
+        yield from kernel.sys_sigblock(proc)
+        blocked = proc.signals.blocked
+        yield from kernel.sys_sigunblock(proc)
+        return blocked, proc.signals.blocked
+
+    assert run(system, program) == (True, False)
+
+
+def test_import_from_nonexistent_node_rejected():
+    system = make_system()
+
+    def program(proc):
+        ep = attach(system, proc)
+        with pytest.raises(MappingError):
+            yield from ep.import_buffer(99, 1)
+        return "rejected"
+
+    assert run(system, program) == "rejected"
+
+
+def test_nx_world_rejects_too_many_ranks():
+    from repro.libs.nx import VARIANTS, nx_world
+
+    system = make_system()
+    with pytest.raises(ValueError):
+        nx_world(system, [lambda nx: None] * 9, variant=VARIANTS["AU-1copy"])

@@ -1,0 +1,100 @@
+"""Tests for ShrimpSystem process management and failure handling."""
+
+import pytest
+
+from repro.kernel import ShrimpSystem
+from repro.testbed import make_system
+
+
+def test_spawn_names_processes():
+    system = make_system()
+
+    def my_program(proc):
+        return proc.name
+        yield  # pragma: no cover
+
+    handle = system.spawn(2, my_program)
+    system.run_processes([handle])
+    assert "my_program" in handle.value
+
+
+def test_run_processes_returns_after_completion():
+    system = make_system()
+
+    def quick(proc):
+        yield proc.sim.timeout(10.0)
+        return "ok"
+
+    handle = system.spawn(0, quick)
+    system.run_processes([handle])
+    assert handle.value == "ok"
+    assert system.sim.now == pytest.approx(10.0)
+
+
+def test_run_processes_propagates_process_exceptions():
+    system = make_system()
+
+    def broken(proc):
+        yield proc.sim.timeout(1.0)
+        raise RuntimeError("application bug")
+
+    def innocent(proc):
+        yield proc.sim.timeout(100.0)
+
+    b = system.spawn(0, broken)
+    i = system.spawn(1, innocent)
+    with pytest.raises(RuntimeError, match="application bug"):
+        system.run_processes([b, i])
+
+
+def test_run_processes_timeout_raises_with_names():
+    system = make_system()
+
+    def forever(proc):
+        while True:
+            yield proc.sim.timeout(1000.0)
+
+    handle = system.spawn(0, forever, name="spinner")
+    with pytest.raises(RuntimeError, match="spinner"):
+        system.run_processes([handle], timeout=5000.0)
+
+
+def test_processes_on_all_nodes():
+    system = make_system()
+    seen = []
+
+    def program(proc):
+        seen.append(proc.node.node_id)
+        return None
+        yield  # pragma: no cover
+
+    handles = [system.spawn(n, program) for n in range(4)]
+    system.run_processes(handles)
+    assert sorted(seen) == [0, 1, 2, 3]
+
+
+def test_system_boots_daemons_and_kernels():
+    system = make_system()
+    assert len(system.kernels) == 4
+    assert len(system.daemons) == 4
+    for node, kernel in zip(system.machine.nodes, system.kernels):
+        assert kernel.node is node
+        # The daemon installed the notification dispatch hook.
+        assert node.nic.notify_handler is not None
+        # The kernel installed the fault handler.
+        assert node.nic.fault_handler is not None
+
+
+def test_sixteen_node_system():
+    from repro.hardware.config import MachineConfig
+
+    system = ShrimpSystem(MachineConfig.sixteen_node())
+    assert len(system.kernels) == 16
+
+    def program(proc):
+        return proc.node.node_id
+        yield  # pragma: no cover
+
+    handle = system.spawn(15, program)
+    system.run_processes([handle])
+    assert handle.value == 15

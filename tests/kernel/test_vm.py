@@ -1,0 +1,131 @@
+"""Unit tests for address spaces, page tables, and the MMU model."""
+
+import pytest
+
+from repro.hardware import CacheMode, MachineConfig
+from repro.hardware.memory import FrameAllocator
+from repro.kernel.vm import AddressSpace, ProtectionFault
+
+PAGE = 4096
+
+
+@pytest.fixture
+def space():
+    config = MachineConfig.shrimp_prototype()
+    return AddressSpace(config, FrameAllocator(config))
+
+
+def test_mmap_returns_page_aligned_nonzero_vaddr(space):
+    vaddr = space.mmap(100)
+    assert vaddr % PAGE == 0
+    assert vaddr >= AddressSpace.BASE_PAGE * PAGE
+
+
+def test_mmap_rounds_up_to_pages(space):
+    vaddr = space.mmap(PAGE + 1)
+    assert space.is_mapped(vaddr, 2 * PAGE)
+    assert not space.is_mapped(vaddr + 2 * PAGE)
+
+
+def test_mmap_rejects_nonpositive(space):
+    with pytest.raises(ValueError):
+        space.mmap(0)
+
+
+def test_translate_within_one_page(space):
+    vaddr = space.mmap(PAGE)
+    segments = space.translate(vaddr + 16, 64)
+    assert len(segments) == 1
+    paddr, length = segments[0]
+    assert length == 64
+    assert paddr % PAGE == 16
+
+
+def test_translate_contiguous_frames_merge(space):
+    vaddr = space.mmap(4 * PAGE, contiguous=True)
+    segments = space.translate(vaddr, 4 * PAGE)
+    assert len(segments) == 1
+    assert segments[0][1] == 4 * PAGE
+
+
+def test_translate_scattered_frames_split(space):
+    # Interleave two allocations so frames are non-adjacent.
+    a = space.mmap(PAGE)
+    space.mmap(PAGE)
+    c = space.mmap(PAGE)
+    # Remap trick is unnecessary: just translate across a and its next
+    # virtual page (owned by the middle allocation) — frames differ but
+    # virtual addresses are adjacent, so a 2-page translate must split
+    # or merge depending on physical adjacency.  Allocate fresh:
+    segments = space.translate(a, PAGE) + space.translate(c, PAGE)
+    assert len(segments) == 2
+
+
+def test_translate_zero_bytes(space):
+    vaddr = space.mmap(PAGE)
+    assert space.translate(vaddr, 0) == []
+
+
+def test_translate_unmapped_raises(space):
+    with pytest.raises(ProtectionFault):
+        space.translate(0, 4)
+
+
+def test_translate_negative_raises(space):
+    vaddr = space.mmap(PAGE)
+    with pytest.raises(ValueError):
+        space.translate(vaddr, -1)
+
+
+def test_write_protection(space):
+    vaddr = space.mmap(PAGE)
+    space.protect(vaddr, PAGE, readable=True, writable=False)
+    space.translate(vaddr, 4, write=False)
+    with pytest.raises(ProtectionFault):
+        space.translate(vaddr, 4, write=True)
+
+
+def test_read_protection(space):
+    vaddr = space.mmap(PAGE)
+    space.protect(vaddr, PAGE, readable=False, writable=True)
+    with pytest.raises(ProtectionFault):
+        space.translate(vaddr, 4, write=False)
+
+
+def test_unmap_releases_frames(space):
+    vaddr = space.mmap(2 * PAGE)
+    in_use = space.frames.frames_in_use
+    space.unmap(vaddr, 2 * PAGE)
+    assert space.frames.frames_in_use == in_use - 2
+    assert not space.is_mapped(vaddr)
+    with pytest.raises(ProtectionFault):
+        space.unmap(vaddr, PAGE)
+
+
+def test_cache_mode_per_page(space):
+    vaddr = space.mmap(2 * PAGE, cache_mode=CacheMode.WRITE_BACK)
+    space.set_cache_mode(vaddr + PAGE, PAGE, CacheMode.WRITE_THROUGH)
+    assert space.cache_mode_of(vaddr) is CacheMode.WRITE_BACK
+    assert space.cache_mode_of(vaddr + PAGE) is CacheMode.WRITE_THROUGH
+
+
+def test_frames_of_lists_backing_frames(space):
+    vaddr = space.mmap(3 * PAGE, contiguous=True)
+    frames = space.frames_of(vaddr, 3 * PAGE)
+    assert frames == [frames[0], frames[0] + 1, frames[0] + 2]
+
+
+def test_pinned_flag(space):
+    vaddr = space.mmap(PAGE)
+    space.set_pinned(vaddr, PAGE, True)
+    assert space.page_table[vaddr // PAGE].pinned
+
+
+def test_two_spaces_get_disjoint_frames():
+    config = MachineConfig.shrimp_prototype()
+    allocator = FrameAllocator(config)
+    a = AddressSpace(config, allocator)
+    b = AddressSpace(config, allocator)
+    va = a.mmap(PAGE)
+    vb = b.mmap(PAGE)
+    assert a.frames_of(va, PAGE) != b.frames_of(vb, PAGE)

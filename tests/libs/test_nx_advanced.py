@@ -1,0 +1,227 @@
+"""NX library tests: async operations, probes, flow control, fallbacks."""
+
+import pytest
+
+from repro.libs.nx import ANY_TYPE, VARIANTS, nx_world
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def run_world(programs, variant="AU-1copy", **kwargs):
+    system = make_system()
+    handles = nx_world(system, programs, variant=VARIANTS[variant], **kwargs)
+    system.run_processes(handles)
+    return system, [h.value for h in handles]
+
+
+def alloc_filled(nx, data: bytes) -> int:
+    vaddr = nx.proc.space.mmap(max(len(data), 4))
+    nx.proc.poke(vaddr, data)
+    return vaddr
+
+
+def test_irecv_msgwait_roundtrip():
+    def sender(nx):
+        yield from nx.proc.compute(200.0)  # receiver posts first
+        src = alloc_filled(nx, b"async!")
+        yield from nx.csend(4, src, 6, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        mid = yield from nx.irecv(4, dst, PAGE)
+        posted_at = nx.proc.sim.now
+        yield from nx.msgwait(mid)
+        return nx.proc.peek(dst, 6), mid.info, posted_at < nx.proc.sim.now
+
+    _sys, results = run_world([sender, receiver])
+    data, info, waited = results[1]
+    assert data == b"async!"
+    assert info == (6, 0, 4)
+    assert waited
+
+
+def test_msgdone_polls_without_blocking():
+    def sender(nx):
+        yield from nx.proc.compute(500.0)
+        src = alloc_filled(nx, b"late")
+        yield from nx.csend(4, src, 4, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        mid = yield from nx.irecv(4, dst, PAGE)
+        early = yield from nx.msgdone(mid)
+        yield from nx.proc.compute(2000.0)
+        late = yield from nx.msgdone(mid)
+        return early, late
+
+    _sys, results = run_world([sender, receiver])
+    assert results[1] == (False, True)
+
+
+def test_isend_completes_eagerly():
+    def sender(nx):
+        src = alloc_filled(nx, b"eager-send")
+        mid = yield from nx.isend(1, src, 10, to=1)
+        done = yield from nx.msgdone(mid)
+        return done
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        yield from nx.crecv(1, dst, PAGE)
+        return nx.proc.peek(dst, 10)
+
+    _sys, results = run_world([sender, receiver])
+    assert results[0] is True
+    assert results[1] == b"eager-send"
+
+
+def test_iprobe_and_cprobe():
+    def sender(nx):
+        yield from nx.proc.compute(300.0)
+        src = alloc_filled(nx, b"probe-me")
+        yield from nx.csend(77, src, 8, to=1)
+
+    def receiver(nx):
+        before = yield from nx.iprobe(77)
+        yield from nx.cprobe(77)
+        info = (nx.infocount(), nx.infonode(), nx.infotype())
+        after = yield from nx.iprobe(77)   # still there: probe doesn't consume
+        dst = nx.proc.space.mmap(PAGE)
+        yield from nx.crecv(77, dst, PAGE)
+        gone = yield from nx.iprobe(77)
+        return before, info, after, gone
+
+    _sys, results = run_world([sender, receiver])
+    before, info, after, gone = results[1]
+    assert before is False
+    assert info == (8, 0, 77)
+    assert after is True
+    assert gone is False
+
+
+def test_credit_exhaustion_blocks_then_recovers():
+    """More in-flight messages than packet buffers: the sender must
+    block on credits, fire the buffer-request interrupt, and recover."""
+    slots = 2
+    n_messages = 8
+
+    def sender(nx):
+        src = nx.proc.space.mmap(PAGE)
+        for i in range(n_messages):
+            nx.proc.poke(src, bytes([i]) * 16)
+            yield from nx.csend(1, src, 16, to=1)
+        return "done"
+
+    def receiver(nx):
+        yield from nx.proc.compute(3000.0)  # let the sender pile up
+        dst = nx.proc.space.mmap(PAGE)
+        got = []
+        for _ in range(n_messages):
+            yield from nx.crecv(1, dst, PAGE)
+            got.append(nx.proc.peek(dst, 1)[0])
+        return got, nx.connections[0].buffer_requests_seen
+
+    _sys, results = run_world([sender, receiver], slots=slots)
+    got, requests = results[1]
+    assert got == list(range(n_messages))
+    assert requests >= 1  # the buffer-full interrupt fired
+
+
+def test_unaligned_large_receive_falls_back_to_chunked():
+    """Receiver's buffer offset breaks word alignment: zero-copy is
+    forbidden, data streams through the packet buffers instead."""
+    payload = bytes((i * 3) % 256 for i in range(3 * PAGE))
+
+    def sender(nx):
+        src = alloc_filled(nx, payload)
+        yield from nx.csend(6, src, len(payload), to=1)
+        return nx.ep.sends
+
+    def receiver(nx):
+        region = nx.proc.space.mmap(5 * PAGE)
+        dst = region + 2  # deliberately unaligned
+        size = yield from nx.crecv(6, dst, 4 * PAGE)
+        return nx.proc.peek(dst, size)
+
+    _sys, results = run_world([sender, receiver], variant="DU-1copy")
+    assert results[1] == payload
+
+
+def test_zero_copy_import_cached_across_messages():
+    """The second large message to the same buffer must not redo the
+    (expensive, Ethernet) import."""
+    payload = bytes(3 * PAGE)
+
+    def sender(nx):
+        src = alloc_filled(nx, payload)
+        yield from nx.csend(1, src, len(payload), to=1)
+        yield from nx.csend(1, src, len(payload), to=1)
+        return len(nx._import_cache)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(4 * PAGE)
+        yield from nx.crecv(1, dst, 4 * PAGE)
+        yield from nx.crecv(1, dst, 4 * PAGE)
+        return len(nx._export_cache)
+
+    _sys, results = run_world([sender, receiver])
+    assert results[0] == 1   # one cached import
+    assert results[1] == 1   # one cached export
+
+
+def test_bidirectional_traffic_simultaneously():
+    def make(peer):
+        def program(nx):
+            src = alloc_filled(nx, (b"to-%d!!" % peer).ljust(8, b"_"))
+            dst = nx.proc.space.mmap(PAGE)
+            yield from nx.csend(1, src, 8, to=peer)
+            yield from nx.crecv(1, dst, PAGE)
+            return nx.proc.peek(dst, 8)
+
+        return program
+
+    _sys, results = run_world([make(1), make(0)])
+    assert results[0] == b"to-0!!__"
+    assert results[1] == b"to-1!!__"
+
+
+def test_mixed_small_and_large_messages_interleave():
+    def sender(nx):
+        small = alloc_filled(nx, b"small-one")
+        big_payload = bytes((i * 7) % 256 for i in range(3 * PAGE))
+        big = alloc_filled(nx, big_payload)
+        yield from nx.csend(1, small, 9, to=1)
+        yield from nx.csend(2, big, len(big_payload), to=1)
+        yield from nx.csend(1, small, 9, to=1)
+        return big_payload
+
+    def receiver(nx):
+        dst_small = nx.proc.space.mmap(PAGE)
+        dst_big = nx.proc.space.mmap(4 * PAGE)
+        yield from nx.crecv(1, dst_small, PAGE)
+        size = yield from nx.crecv(2, dst_big, 4 * PAGE)
+        yield from nx.crecv(1, dst_small, PAGE)
+        return nx.proc.peek(dst_big, size)
+
+    _sys, results = run_world([sender, receiver])
+    assert results[1] == results[0]
+
+
+def test_invalid_arguments_rejected():
+    def program(nx):
+        src = nx.proc.space.mmap(PAGE)
+        try:
+            yield from nx.csend(1, src, 4, to=99)
+        except ValueError:
+            pass
+        else:
+            return "missed rank check"
+        try:
+            yield from nx.csend(-5, src, 4, to=0)
+        except ValueError:
+            return "ok"
+        return "missed type check"
+
+    _sys, results = run_world([program])
+    assert results[0] == "ok"

@@ -1,0 +1,208 @@
+"""NX library tests: basic send/receive semantics across variants."""
+
+import pytest
+
+from repro.libs.nx import ANY_TYPE, VARIANTS, nx_world
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def run_world(programs, variant="AU-1copy", **kwargs):
+    system = make_system()
+    handles = nx_world(system, programs, variant=VARIANTS[variant], **kwargs)
+    system.run_processes(handles)
+    return [h.value for h in handles]
+
+
+def alloc_filled(nx, data: bytes) -> int:
+    vaddr = nx.proc.space.mmap(max(len(data), 4))
+    nx.proc.poke(vaddr, data)
+    return vaddr
+
+
+@pytest.mark.parametrize("variant", ["AU-1copy", "AU-2copy", "DU-1copy", "DU-2copy"])
+def test_small_message_roundtrip_all_variants(variant):
+    payload = b"nx message payload." * 3
+
+    def sender(nx):
+        src = alloc_filled(nx, payload)
+        yield from nx.csend(7, src, len(payload), to=1)
+        return "sent"
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        size = yield from nx.crecv(7, dst, PAGE)
+        return nx.proc.peek(dst, size)
+
+    results = run_world([sender, receiver], variant=variant)
+    assert results[1] == payload
+
+
+@pytest.mark.parametrize("variant", ["AU-1copy", "DU-1copy", "DU-0copy"])
+def test_large_message_roundtrip(variant):
+    payload = bytes((i * 31) % 256 for i in range(3 * PAGE))  # > packet buffer
+
+    def sender(nx):
+        src = alloc_filled(nx, payload)
+        yield from nx.csend(9, src, len(payload), to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(4 * PAGE)
+        size = yield from nx.crecv(9, dst, 4 * PAGE)
+        return size, nx.proc.peek(dst, size)
+
+    results = run_world([sender, receiver], variant=variant)
+    size, data = results[1]
+    assert size == len(payload)
+    assert data == payload
+
+
+def test_messages_arrive_in_order_same_type():
+    def sender(nx):
+        src = nx.proc.space.mmap(PAGE)
+        for i in range(5):
+            nx.proc.poke(src, bytes([i]) * 8)
+            yield from nx.csend(3, src, 8, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        got = []
+        for _ in range(5):
+            yield from nx.crecv(3, dst, PAGE)
+            got.append(nx.proc.peek(dst, 1))
+        return got
+
+    results = run_world([sender, receiver])
+    assert results[1] == [bytes([i]) for i in range(5)]
+
+
+def test_out_of_order_consumption_by_type():
+    """The receiver consumes the second message first — the packet
+    buffers must recycle out of order (credit identifies the buffer)."""
+    def sender(nx):
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, b"first-->")
+        yield from nx.csend(1, src, 8, to=1)
+        nx.proc.poke(src, b"second->")
+        yield from nx.csend(2, src, 8, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        yield from nx.crecv(2, dst, PAGE)
+        second = nx.proc.peek(dst, 8)
+        yield from nx.crecv(1, dst, PAGE)
+        first = nx.proc.peek(dst, 8)
+        return first, second
+
+    results = run_world([sender, receiver])
+    assert results[1] == (b"first-->", b"second->")
+
+
+def test_any_type_receives_in_arrival_order():
+    def sender(nx):
+        src = nx.proc.space.mmap(PAGE)
+        for i, mtype in enumerate((11, 22, 33)):
+            nx.proc.poke(src, bytes([i]) * 4)
+            yield from nx.csend(mtype, src, 4, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        types = []
+        for _ in range(3):
+            yield from nx.crecv(ANY_TYPE, dst, PAGE)
+            types.append(nx.infotype())
+        return types
+
+    results = run_world([sender, receiver])
+    assert results[1] == [11, 22, 33]
+
+
+def test_info_calls_reflect_last_receive():
+    def sender(nx):
+        src = alloc_filled(nx, b"abcdef")
+        yield from nx.csend(42, src, 6, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        size = yield from nx.crecv(ANY_TYPE, dst, PAGE)
+        return size, nx.infocount(), nx.infonode(), nx.infotype()
+
+    results = run_world([sender, receiver])
+    assert results[1] == (6, 6, 0, 42)
+
+
+def test_mynode_numnodes():
+    def program(nx):
+        return nx.mynode(), nx.numnodes()
+        yield  # pragma: no cover
+
+    results = run_world([program, program, program])
+    assert results == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_send_to_self():
+    def program(nx):
+        src = alloc_filled(nx, b"loopback")
+        yield from nx.csend(5, src, 8, to=0)
+        dst = nx.proc.space.mmap(PAGE)
+        yield from nx.crecv(5, dst, PAGE)
+        return nx.proc.peek(dst, 8)
+
+    results = run_world([program])
+    assert results[0] == b"loopback"
+
+
+def test_receive_buffer_too_small_raises():
+    def sender(nx):
+        src = alloc_filled(nx, b"x" * 100)
+        yield from nx.csend(1, src, 100, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        try:
+            yield from nx.crecv(1, dst, 50)
+        except ValueError:
+            return "too small"
+
+    results = run_world([sender, receiver])
+    assert results[1] == "too small"
+
+
+def test_three_way_communication():
+    """Ranks 1 and 2 both send to rank 0; rank 0 receives by source type."""
+    def rank0(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        got = {}
+        for _ in range(2):
+            yield from nx.crecv(ANY_TYPE, dst, PAGE)
+            got[nx.infonode()] = nx.proc.peek(dst, nx.infocount())
+        return got
+
+    def rank1(nx):
+        src = alloc_filled(nx, b"from-1")
+        yield from nx.csend(100, src, 6, to=0)
+
+    def rank2(nx):
+        src = alloc_filled(nx, b"from-2")
+        yield from nx.csend(200, src, 6, to=0)
+
+    results = run_world([rank0, rank1, rank2])
+    assert results[0] == {1: b"from-1", 2: b"from-2"}
+
+
+def test_gsync_barrier():
+    """No rank may leave the barrier before every rank has entered."""
+    system = make_system()
+    enter_times = {}
+    leave_times = {}
+
+    def program(nx):
+        yield from nx.proc.compute(100.0 * (nx.mynode() + 1))
+        enter_times[nx.mynode()] = nx.proc.sim.now
+        yield from nx.gsync()
+        leave_times[nx.mynode()] = nx.proc.sim.now
+
+    handles = nx_world(system, [program] * 4, variant=VARIANTS["AU-1copy"])
+    system.run_processes(handles)
+    assert max(enter_times.values()) <= min(leave_times.values())

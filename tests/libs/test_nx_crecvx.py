@@ -1,0 +1,76 @@
+"""Tests for crecvx (source-selective receive)."""
+
+from repro.libs.nx import VARIANTS, nx_world
+from repro.libs.nx.api import ANY_NODE
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def run_world(programs, **kwargs):
+    system = make_system()
+    handles = nx_world(system, programs, variant=VARIANTS["AU-1copy"], **kwargs)
+    system.run_processes(handles)
+    return [h.value for h in handles]
+
+
+def test_crecvx_selects_by_source():
+    """Two senders, same type: the receiver picks by rank, regardless
+    of arrival order."""
+    def rank0(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        # Receive rank 2's message first, even though rank 1's will
+        # almost certainly arrive first (it sends immediately).
+        yield from nx.crecvx(7, dst, PAGE, 2)
+        first = nx.proc.peek(dst, 6)
+        yield from nx.crecvx(7, dst, PAGE, 1)
+        second = nx.proc.peek(dst, 6)
+        return first, second
+
+    def rank1(nx):
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, b"from-1")
+        yield from nx.csend(7, src, 6, to=0)
+
+    def rank2(nx):
+        yield from nx.proc.compute(2000.0)  # deliberately late
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, b"from-2")
+        yield from nx.csend(7, src, 6, to=0)
+
+    results = run_world([rank0, rank1, rank2])
+    assert results[0] == (b"from-2", b"from-1")
+
+
+def test_crecvx_any_node_behaves_like_crecv():
+    def sender(nx):
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, b"anyone")
+        yield from nx.csend(3, src, 6, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        size = yield from nx.crecvx(3, dst, PAGE, ANY_NODE)
+        return size, nx.infonode()
+
+    results = run_world([sender, receiver])
+    assert results[1] == (6, 0)
+
+
+def test_crecvx_with_any_type_but_fixed_source():
+    def rank0(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        yield from nx.crecvx(-1, dst, PAGE, 2)
+        return nx.infonode(), nx.infotype()
+
+    def rank1(nx):
+        src = nx.proc.space.mmap(PAGE)
+        yield from nx.csend(11, src, 4, to=0)
+
+    def rank2(nx):
+        yield from nx.proc.compute(1500.0)
+        src = nx.proc.space.mmap(PAGE)
+        yield from nx.csend(22, src, 4, to=0)
+
+    results = run_world([rank0, rank1, rank2])
+    assert results[0] == (2, 22)

@@ -1,0 +1,87 @@
+"""Tests for NX hrecv (handler-based receive)."""
+
+from repro.libs.nx import VARIANTS, nx_world
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def run_world(programs, **kwargs):
+    system = make_system()
+    handles = nx_world(system, programs, variant=VARIANTS["AU-1copy"], **kwargs)
+    system.run_processes(handles)
+    return [h.value for h in handles]
+
+
+def test_hrecv_handler_fires_with_info():
+    events = []
+
+    def sender(nx):
+        yield from nx.proc.compute(300.0)
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, b"handled!")
+        yield from nx.csend(33, src, 8, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(PAGE)
+        mid = yield from nx.hrecv(
+            33, dst, PAGE,
+            lambda count, node, mtype: events.append((count, node, mtype)),
+        )
+        yield from nx.msgwait(mid)
+        return nx.proc.peek(dst, 8)
+
+    results = run_world([sender, receiver])
+    assert results[1] == b"handled!"
+    assert events == [(8, 0, 33)]
+
+
+def test_hrecv_fires_during_unrelated_progress():
+    """The handler runs when *any* library call makes progress — the
+    receiver is in a crecv for a different type when the hrecv matches."""
+    events = []
+
+    def sender(nx):
+        src = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(src, b"asynchro")
+        yield from nx.csend(70, src, 8, to=1)   # matches the hrecv
+        yield from nx.proc.compute(500.0)
+        nx.proc.poke(src, b"mainline")
+        yield from nx.csend(71, src, 8, to=1)   # matches the crecv
+
+    def receiver(nx):
+        hbuf = nx.proc.space.mmap(PAGE)
+        dst = nx.proc.space.mmap(PAGE)
+        yield from nx.hrecv(
+            70, hbuf, PAGE,
+            lambda count, node, mtype: events.append(nx.proc.sim.now),
+        )
+        yield from nx.crecv(71, dst, PAGE)
+        finished = nx.proc.sim.now
+        return nx.proc.peek(hbuf, 8), events[0] < finished
+
+    results = run_world([sender, receiver])
+    payload, fired_before_crecv_done = results[1]
+    assert payload == b"asynchro"
+    assert fired_before_crecv_done
+
+
+def test_multiple_hrecvs_fire_in_post_order():
+    order = []
+
+    def sender(nx):
+        yield from nx.proc.compute(200.0)
+        src = nx.proc.space.mmap(PAGE)
+        for mtype in (1, 2):
+            yield from nx.csend(mtype, src, 4, to=1)
+
+    def receiver(nx):
+        buf_a = nx.proc.space.mmap(PAGE)
+        buf_b = nx.proc.space.mmap(PAGE)
+        a = yield from nx.hrecv(1, buf_a, PAGE, lambda c, n, t: order.append("a"))
+        b = yield from nx.hrecv(2, buf_b, PAGE, lambda c, n, t: order.append("b"))
+        yield from nx.msgwait(a)
+        yield from nx.msgwait(b)
+
+    run_world([sender, receiver])
+    assert order == ["a", "b"]

@@ -1,0 +1,149 @@
+"""Deep tests of NX's zero-copy scout protocol (Section 4.1).
+
+'The sender sends a scout packet... then immediately begins copying the
+data into a local buffer.  The receive call, upon finding the scout,
+sends back a reply... If the sender has not finished copying the data
+by the time the receiver replies, the sender transmits the data from
+the sender's user memory directly...  If the sender finishes copying
+before the reply arrives, the sending program can continue, since a
+safe version of the message data is available.'
+"""
+
+import pytest
+
+from repro.libs.nx import VARIANTS, nx_world
+from repro.testbed import make_system
+
+PAGE = 4096
+BIG = 3 * PAGE  # above the packet-buffer threshold
+
+
+def run_world(programs, **kwargs):
+    system = make_system()
+    handles = nx_world(system, programs, variant=VARIANTS["AU-1copy"], **kwargs)
+    system.run_processes(handles)
+    return [h.value for h in handles]
+
+
+def test_fast_receiver_interrupts_the_safety_copy():
+    """Receiver is already waiting: the reply comes back quickly, the
+    sender stops copying early and sends straight from user memory."""
+    payload = bytes((i * 5) % 256 for i in range(BIG))
+
+    def sender(nx):
+        src = nx.proc.space.mmap(4 * PAGE)
+        nx.proc.poke(src, payload)
+        yield from nx.csend(1, src, BIG, to=1)
+        # The sender never finished its backup copy: only the early
+        # chunks (copied while waiting for the reply) are in the backup.
+        backup = nx.proc.peek(nx._backup_vaddr, BIG)
+        return backup != payload  # incomplete backup == stopped early
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(4 * PAGE)
+        size = yield from nx.crecv(1, dst, 4 * PAGE)  # posted immediately
+        return size, nx.proc.peek(dst, BIG)
+
+    results = run_world([sender, receiver])
+    stopped_early = results[0]
+    size, data = results[1]
+    assert stopped_early
+    assert size == BIG and data == payload
+
+
+def test_slow_receiver_full_backup_then_send():
+    """Receiver shows up late: the sender completes the safety copy and
+    ships from the backup buffer."""
+    payload = bytes((i * 9) % 256 for i in range(BIG))
+
+    def sender(nx):
+        src = nx.proc.space.mmap(4 * PAGE)
+        nx.proc.poke(src, payload)
+        yield from nx.csend(2, src, BIG, to=1)
+        backup = nx.proc.peek(nx._backup_vaddr, BIG)
+        return backup == payload  # backup completed
+
+    def receiver(nx):
+        yield from nx.proc.compute(5000.0)  # far longer than the copy
+        dst = nx.proc.space.mmap(4 * PAGE)
+        yield from nx.crecv(2, dst, 4 * PAGE)
+        return nx.proc.peek(dst, BIG)
+
+    results = run_world([sender, receiver])
+    assert results[0] is True
+    assert results[1] == payload
+
+
+def test_sender_buffer_reusable_after_blocking_csend_returns():
+    """After csend returns, scribbling on the source must not corrupt
+    what the receiver got (blocking semantics: the data is out)."""
+    payload_a = bytes([0xAA]) * BIG
+    payload_b = bytes([0xBB]) * BIG
+
+    def sender(nx):
+        src = nx.proc.space.mmap(4 * PAGE)
+        nx.proc.poke(src, payload_a)
+        yield from nx.csend(3, src, BIG, to=1)
+        nx.proc.poke(src, payload_b)          # immediate reuse
+        yield from nx.csend(3, src, BIG, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(4 * PAGE)
+        yield from nx.crecv(3, dst, 4 * PAGE)
+        first = nx.proc.peek(dst, BIG)
+        yield from nx.crecv(3, dst, 4 * PAGE)
+        second = nx.proc.peek(dst, BIG)
+        return first, second
+
+    results = run_world([sender, receiver])
+    first, second = results[1]
+    assert first == payload_a
+    assert second == payload_b
+
+
+def test_scout_consumes_no_packet_buffer():
+    """Large messages must not tie up the small-message slot pool: a
+    burst of large sends works even with a single slot configured."""
+    payload = bytes(BIG)
+
+    def sender(nx):
+        src = nx.proc.space.mmap(4 * PAGE)
+        for _ in range(3):
+            yield from nx.csend(4, src, BIG, to=1)
+        return "done"
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(4 * PAGE)
+        for _ in range(3):
+            size = yield from nx.crecv(4, dst, 4 * PAGE)
+            assert size == BIG
+        return "done"
+
+    results = run_world([sender, receiver], slots=1)
+    assert results == ["done", "done"]
+
+
+def test_exact_threshold_boundary():
+    """payload_bytes is the largest one-copy message; one byte more
+    switches to the scout protocol.  Both arrive intact."""
+    def sender(nx):
+        src = nx.proc.space.mmap(2 * PAGE)
+        at = bytes([1]) * 2048
+        over = bytes([2]) * 2052
+        nx.proc.poke(src, at)
+        yield from nx.csend(5, src, 2048, to=1)
+        nx.proc.poke(src, over)
+        yield from nx.csend(6, src, 2052, to=1)
+
+    def receiver(nx):
+        dst = nx.proc.space.mmap(2 * PAGE)
+        a = yield from nx.crecv(5, dst, 2 * PAGE)
+        first = nx.proc.peek(dst, a)
+        b = yield from nx.crecv(6, dst, 2 * PAGE)
+        second = nx.proc.peek(dst, b)
+        return first, second
+
+    results = run_world([sender, receiver])
+    first, second = results[1]
+    assert first == bytes([1]) * 2048
+    assert second == bytes([2]) * 2052

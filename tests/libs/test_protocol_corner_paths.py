@@ -1,0 +1,126 @@
+"""Corner paths of the library protocols that only odd shapes reach."""
+
+import pytest
+
+from repro.libs.sockets import SOCKET_VARIANTS, SocketLib
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+def test_socket_du1copy_odd_length_aligned_start():
+    """Aligned buffer, odd byte count: whole words go straight from user
+    memory, the trailing partial word via the staging area."""
+    system = make_system()
+    payload = bytes(range(137))  # 34 words + 1 byte
+    out = {}
+
+    def server(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-1copy"])
+        sock = yield from lib.listen(5).accept()
+        buf = proc.space.mmap(PAGE)
+        got = yield from sock.recv_exactly(buf, len(payload))
+        out["data"] = proc.peek(buf, got)
+
+    def client(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-1copy"])
+        sock = yield from lib.connect(1, 5)
+        src = proc.space.mmap(PAGE)  # page-aligned == word-aligned
+        proc.poke(src, payload)
+        yield from sock.send(src, len(payload))
+        yield from sock.close()
+
+    system.run_processes([system.spawn(1, server), system.spawn(0, client)])
+    assert out["data"] == payload
+
+
+def test_socket_record_wrapping_with_du():
+    """Records that wrap the ring's end take the multi-segment DU path."""
+    system = make_system()
+    out = {}
+    chunk = 3000  # with an 8 KB ring, the third record wraps
+
+    def server(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-2copy"],
+                        ring_bytes=8192)
+        sock = yield from lib.listen(5).accept()
+        buf = proc.space.mmap(PAGE)
+        received = bytearray()
+        while len(received) < 5 * chunk:
+            got = yield from sock.recv(buf, PAGE)
+            if got == 0:
+                break
+            received += proc.peek(buf, got)
+        out["data"] = bytes(received)
+
+    def client(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS["DU-2copy"],
+                        ring_bytes=8192)
+        sock = yield from lib.connect(1, 5)
+        src = proc.space.mmap(PAGE)
+        for i in range(5):
+            proc.poke(src, bytes([i + 1]) * chunk)
+            yield from sock.send(src, chunk)
+        yield from sock.close()
+
+    system.run_processes([system.spawn(1, server), system.spawn(0, client)])
+    assert out["data"] == b"".join(bytes([i + 1]) * chunk for i in range(5))
+
+
+def test_au_binding_at_nonzero_offset():
+    """Bind local pages into the *middle* of an imported buffer."""
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(3 * PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr + PAGE, 8, lambda b: b == b"mid-page")
+        return (
+            proc.peek(buf.vaddr, 8),            # page 0: untouched
+            proc.peek(buf.vaddr + PAGE, 8),     # page 1: written
+            proc.peek(buf.vaddr + 2 * PAGE, 8), # page 2: untouched
+        )
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        local = ep.alloc_buffer(PAGE)
+        yield from ep.bind(local, imported, nbytes=PAGE, offset=PAGE)
+        yield from proc.write(local, b"mid-page")
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    untouched0, written, untouched2 = r.value
+    assert written == b"mid-page"
+    assert untouched0 == b"\x00" * 8
+    assert untouched2 == b"\x00" * 8
+
+
+def test_du_send_to_offset_beyond_first_page():
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(4 * PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr + 3 * PAGE + 96, 4, lambda b: b == b"tail")
+        return proc.peek(buf.vaddr + 3 * PAGE, 100)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        proc.poke(src, b"x" * 96 + b"tail")
+        yield from ep.send(imported, src, 100, offset=3 * PAGE)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert r.value == b"x" * 96 + b"tail"

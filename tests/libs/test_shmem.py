@@ -1,0 +1,140 @@
+"""Tests for the two-party shared-memory model."""
+
+import struct
+
+import pytest
+
+from repro.libs.shmem import SharedRegion
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+def run_pair(body0, body1):
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def make(member, body):
+        def program(proc):
+            ep = attach(system, proc)
+            region = yield from SharedRegion.join(ep, rdv, "seg", PAGE, member)
+            result = yield from body(proc, region)
+            return result
+
+        return program
+
+    a = system.spawn(0, make(0, body0))
+    b = system.spawn(1, make(1, body1))
+    system.run_processes([a, b])
+    return a.value, b.value
+
+
+def test_writes_appear_on_both_sides():
+    def writer(proc, region):
+        yield from region.write(0, b"shared-bytes")
+        yield from region.set_flag(64, 1)
+        # The writer's own copy holds the data too.
+        return region.peek(0, 12)
+
+    def reader(proc, region):
+        yield from region.wait_flag(64, 1)
+        data = yield from region.read(0, 12)
+        return data
+
+    local, remote = run_pair(writer, reader)
+    assert local == b"shared-bytes"
+    assert remote == b"shared-bytes"
+
+
+def test_bidirectional_token_counter():
+    """The classic shared-memory handshake: a counter incremented
+    alternately by the two parties through the shared segment."""
+    rounds = 6
+
+    def party(member):
+        def body(proc, region):
+            for turn in range(rounds):
+                owner = turn % 2
+                if owner == member:
+                    raw = region.peek(0, 4)
+                    (value,) = struct.unpack("<I", raw)
+                    yield from region.write(0, struct.pack("<I", value + 1))
+                    yield from region.set_flag(8, turn + 1)
+                else:
+                    yield from region.wait_flag(8, turn + 1)
+            final = yield from region.read(0, 4)
+            return struct.unpack("<I", final)[0]
+
+        return body
+
+    a, b = run_pair(party(0), party(1))
+    assert a == rounds
+    assert b == rounds
+
+
+def test_disjoint_regions_concurrent_writers():
+    """Single-writer-per-location discipline: each side owns half the
+    segment; both halves end up identical everywhere."""
+    def party(member):
+        def body(proc, region):
+            base = 0 if member == 0 else 2048
+            pattern = bytes([0x10 + member]) * 256
+            yield from region.write(base, pattern)
+            yield from region.set_flag(4000 + 4 * member, 1)
+            yield from region.wait_flag(4000 + 4 * (1 - member), 1)
+            mine = region.peek(base, 256)
+            theirs = region.peek(2048 - base, 256)
+            return mine, theirs
+
+        return body
+
+    (a_mine, a_theirs), (b_mine, b_theirs) = run_pair(party(0), party(1))
+    assert a_mine == bytes([0x10]) * 256
+    assert a_theirs == bytes([0x11]) * 256
+    assert b_mine == bytes([0x11]) * 256
+    assert b_theirs == bytes([0x10]) * 256
+
+
+def test_wait_change_sees_update():
+    def writer(proc, region):
+        yield from proc.compute(500.0)
+        yield from region.write(100, b"NEWS")
+
+    def watcher(proc, region):
+        old = region.peek(100, 4)
+        new = yield from region.wait_change(100, 4, old)
+        return new, proc.sim.now >= 500.0
+
+    _w, (new, after) = run_pair(writer, watcher)
+    assert new == b"NEWS"
+    assert after
+
+
+def test_bounds_checked():
+    def body(proc, region):
+        with pytest.raises(ValueError):
+            yield from region.write(PAGE - 2, b"overflow")
+        return "checked"
+
+    def other(proc, region):
+        return "ok"
+        yield  # pragma: no cover
+
+    a, b = run_pair(body, other)
+    assert a == "checked"
+
+
+def test_member_id_validated():
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def program(proc):
+        ep = attach(system, proc)
+        with pytest.raises(ValueError):
+            yield from SharedRegion.join(ep, rdv, "g", PAGE, member=2)
+        return "validated"
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    assert handle.value == "validated"

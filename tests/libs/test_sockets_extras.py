@@ -1,0 +1,109 @@
+"""Tests for the non-blocking / readiness socket extensions."""
+
+import pytest
+
+from repro.libs.sockets import SOCKET_VARIANTS, SocketLib
+from repro.testbed import make_system
+
+PAGE = 4096
+
+
+def pair(system, client_body, server_body, variant="DU-1copy", port=6):
+    results = {}
+
+    def server(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS[variant])
+        sock = yield from lib.listen(port).accept()
+        results["server"] = yield from server_body(proc, sock)
+
+    def client(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS[variant])
+        sock = yield from lib.connect(1, port)
+        results["client"] = yield from client_body(proc, sock)
+
+    system.run_processes([system.spawn(1, server), system.spawn(0, client)])
+    return results
+
+
+def test_recv_nowait_returns_zero_when_empty():
+    system = make_system()
+
+    def client_body(proc, sock):
+        yield from proc.compute(5000.0)
+        src = proc.space.mmap(PAGE)
+        yield from sock.send(src, 8)
+        yield from sock.close()
+
+    def server_body(proc, sock):
+        start = proc.sim.now
+        buf = proc.space.mmap(PAGE)
+        empty = yield from sock.recv_nowait(buf, PAGE)
+        elapsed = proc.sim.now - start
+        got = yield from sock.recv(buf, PAGE)  # now block for it
+        return empty, elapsed, got
+
+    results = pair(system, client_body, server_body)
+    empty, elapsed, got = results["server"]
+    assert empty == 0
+    assert elapsed < 100.0   # did not block
+    assert got == 8
+
+
+def test_recv_nowait_drains_buffered_data():
+    system = make_system()
+
+    def client_body(proc, sock):
+        src = proc.space.mmap(PAGE)
+        proc.poke(src, b"buffered")
+        yield from sock.send(src, 8)
+        yield from sock.close()
+
+    def server_body(proc, sock):
+        ok = yield from sock.wait_readable()
+        buf = proc.space.mmap(PAGE)
+        got = yield from sock.recv_nowait(buf, PAGE)
+        return ok, got, proc.peek(buf, 8)
+
+    results = pair(system, client_body, server_body)
+    assert results["server"] == (True, 8, b"buffered")
+
+
+def test_bytes_available_counts_payload_only():
+    system = make_system()
+
+    def client_body(proc, sock):
+        src = proc.space.mmap(PAGE)
+        yield from sock.send(src, 5)    # one record, 5 payload bytes
+        yield from sock.send(src, 11)   # another, 11
+        yield from sock.close()
+
+    def server_body(proc, sock):
+        yield from sock.wait_readable()
+        # Give the second record time to land.
+        yield from proc.compute(200.0)
+        available = yield from sock.bytes_available()
+        buf = proc.space.mmap(PAGE)
+        got = yield from sock.recv(buf, 3)  # partial read of record 1
+        after = yield from sock.bytes_available()
+        return available, got, after
+
+    results = pair(system, client_body, server_body)
+    available, got, after = results["server"]
+    assert available == 16
+    assert got == 3
+    assert after == 13
+
+
+def test_wait_readable_returns_false_at_eof():
+    system = make_system()
+
+    def client_body(proc, sock):
+        yield from sock.close()
+        return None
+
+    def server_body(proc, sock):
+        readable = yield from sock.wait_readable()
+        return readable
+
+    results = pair(system, client_body, server_body)
+    assert results["server"] is False

@@ -1,0 +1,190 @@
+"""XDR codec tests: RFC 1014 encoding rules, plus round-trip properties."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.libs.rpc import XdrDecoder, XdrEncoder, XdrError
+
+
+def roundtrip(pack, unpack, value):
+    enc = XdrEncoder()
+    pack(enc, value)
+    data = enc.getvalue()
+    assert len(data) % 4 == 0, "XDR data must be word-aligned"
+    dec = XdrDecoder(data)
+    result = unpack(dec)
+    assert dec.done()
+    return result
+
+
+class TestPrimitives:
+    def test_int_big_endian(self):
+        enc = XdrEncoder()
+        enc.pack_int(-2)
+        assert enc.getvalue() == b"\xff\xff\xff\xfe"
+
+    def test_uint_encoding(self):
+        enc = XdrEncoder()
+        enc.pack_uint(0xDEADBEEF)
+        assert enc.getvalue() == b"\xde\xad\xbe\xef"
+
+    def test_int_range_checked(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_int(1 << 31)
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_uint(-1)
+
+    def test_hyper(self):
+        assert roundtrip(
+            lambda e, v: e.pack_hyper(v), lambda d: d.unpack_hyper(), -(1 << 62)
+        ) == -(1 << 62)
+
+    def test_uhyper_range(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_uhyper(1 << 64)
+
+    def test_bool(self):
+        enc = XdrEncoder()
+        enc.pack_bool(True)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+        assert roundtrip(lambda e, v: e.pack_bool(v), lambda d: d.unpack_bool(), False) is False
+
+    def test_bool_rejects_garbage(self):
+        with pytest.raises(XdrError):
+            XdrDecoder(b"\x00\x00\x00\x07").unpack_bool()
+
+    def test_float_double(self):
+        assert roundtrip(
+            lambda e, v: e.pack_double(v), lambda d: d.unpack_double(), 3.140625
+        ) == 3.140625
+        enc = XdrEncoder()
+        enc.pack_float(1.0)
+        assert enc.getvalue() == struct.pack(">f", 1.0)
+
+
+class TestOpaqueAndStrings:
+    def test_opaque_padded_to_word(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"abcde")
+        data = enc.getvalue()
+        assert len(data) == 4 + 8  # length word + 5 bytes padded to 8
+        assert data[4:9] == b"abcde"
+        assert data[9:12] == b"\x00\x00\x00"
+
+    def test_fixed_opaque_requires_exact_length(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_fixed_opaque(b"abc", 4)
+
+    def test_string_utf8(self):
+        assert roundtrip(
+            lambda e, v: e.pack_string(v), lambda d: d.unpack_string(), "héllo"
+        ) == "héllo"
+
+    def test_opaque_bound_enforced(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"0123456789")
+        with pytest.raises(XdrError):
+            XdrDecoder(enc.getvalue()).unpack_opaque(max_length=5)
+
+    def test_truncated_opaque_detected(self):
+        enc = XdrEncoder()
+        enc.pack_uint(100)  # claims 100 bytes, provides none
+        with pytest.raises(XdrError):
+            XdrDecoder(enc.getvalue()).unpack_opaque()
+
+
+class TestComposites:
+    def test_array_roundtrip(self):
+        values = [1, -5, 1 << 20]
+        got = roundtrip(
+            lambda e, v: e.pack_array(v, XdrEncoder.pack_int),
+            lambda d: d.unpack_array(XdrDecoder.unpack_int),
+            values,
+        )
+        assert got == values
+
+    def test_fixed_array(self):
+        enc = XdrEncoder()
+        enc.pack_fixed_array([1, 2], XdrEncoder.pack_uint)
+        assert len(enc.getvalue()) == 8  # no length prefix
+
+    def test_array_bound(self):
+        enc = XdrEncoder()
+        enc.pack_array([0] * 10, XdrEncoder.pack_int)
+        with pytest.raises(XdrError):
+            XdrDecoder(enc.getvalue()).unpack_array(XdrDecoder.unpack_int, max_length=3)
+
+    def test_bogus_array_length_detected(self):
+        with pytest.raises(XdrError):
+            XdrDecoder(b"\xff\xff\xff\xff").unpack_array(XdrDecoder.unpack_int)
+
+    def test_optional(self):
+        assert roundtrip(
+            lambda e, v: e.pack_optional(v, XdrEncoder.pack_int),
+            lambda d: d.unpack_optional(XdrDecoder.unpack_int),
+            42,
+        ) == 42
+        assert roundtrip(
+            lambda e, v: e.pack_optional(v, XdrEncoder.pack_int),
+            lambda d: d.unpack_optional(XdrDecoder.unpack_int),
+            None,
+        ) is None
+
+    def test_struct_as_concatenation(self):
+        def pack(enc, value):
+            enc.pack_string(value["name"])
+            enc.pack_int(value["age"])
+            enc.pack_array(value["scores"], XdrEncoder.pack_double)
+
+        def unpack(dec):
+            return {
+                "name": dec.unpack_string(),
+                "age": dec.unpack_int(),
+                "scores": dec.unpack_array(XdrDecoder.unpack_double),
+            }
+
+        value = {"name": "shrimp", "age": 29, "scores": [1.5, -2.25]}
+        assert roundtrip(pack, unpack, value) == value
+
+
+class TestProperties:
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_int_roundtrip(self, value):
+        assert roundtrip(lambda e, v: e.pack_int(v), lambda d: d.unpack_int(), value) == value
+
+    @given(st.binary(max_size=300))
+    def test_opaque_roundtrip(self, data):
+        assert roundtrip(
+            lambda e, v: e.pack_opaque(v), lambda d: d.unpack_opaque(), data
+        ) == data
+
+    @given(st.text(max_size=120))
+    def test_string_roundtrip(self, text):
+        assert roundtrip(
+            lambda e, v: e.pack_string(v), lambda d: d.unpack_string(), text
+        ) == text
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1), max_size=50))
+    def test_uint_array_roundtrip(self, values):
+        assert roundtrip(
+            lambda e, v: e.pack_array(v, XdrEncoder.pack_uint),
+            lambda d: d.unpack_array(XdrDecoder.unpack_uint),
+            values,
+        ) == values
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_sequential_fields_do_not_bleed(self, a, b):
+        enc = XdrEncoder()
+        enc.pack_opaque(a)
+        enc.pack_opaque(b)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_opaque() == a
+        assert dec.unpack_opaque() == b
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_double_roundtrip(self, value):
+        assert roundtrip(
+            lambda e, v: e.pack_double(v), lambda d: d.unpack_double(), value
+        ) == value

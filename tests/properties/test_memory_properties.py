@@ -1,0 +1,64 @@
+"""Property tests: physical memory behaves like one flat byte array."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import MachineConfig, PhysicalMemory
+
+SPAN = 1 << 16  # operate within a 64 KB window
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=SPAN - 1),
+        st.binary(min_size=1, max_size=600),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_writes_match_reference_model(operations):
+    memory = PhysicalMemory(MachineConfig.shrimp_prototype())
+    reference = bytearray(SPAN)
+    for paddr, data in operations:
+        data = data[: SPAN - paddr]
+        if not data:
+            continue
+        memory.write(paddr, data)
+        reference[paddr : paddr + len(data)] = data
+    assert memory.read(0, SPAN) == bytes(reference)
+
+
+@given(ops, st.integers(min_value=0, max_value=SPAN - 64))
+@settings(max_examples=40, deadline=None)
+def test_partial_reads_consistent(operations, probe):
+    memory = PhysicalMemory(MachineConfig.shrimp_prototype())
+    reference = bytearray(SPAN)
+    for paddr, data in operations:
+        data = data[: SPAN - paddr]
+        if data:
+            memory.write(paddr, data)
+            reference[paddr : paddr + len(data)] = data
+    assert memory.read(probe, 64) == bytes(reference[probe : probe + 64])
+
+
+@given(
+    st.integers(min_value=0, max_value=SPAN - 128),
+    st.integers(min_value=1, max_value=128),
+    ops,
+)
+@settings(max_examples=60, deadline=None)
+def test_watch_fires_iff_overlap(start, length, operations):
+    memory = PhysicalMemory(MachineConfig.shrimp_prototype())
+    fired = []
+    memory.add_watch(start, length, lambda paddr, nbytes: fired.append((paddr, nbytes)))
+    expected = []
+    for paddr, data in operations:
+        data = data[: SPAN - paddr]
+        if not data:
+            continue
+        memory.write(paddr, data)
+        if paddr < start + length and start < paddr + len(data):
+            expected.append((paddr, len(data)))
+    assert fired == expected

@@ -1,0 +1,90 @@
+"""Unit tests for tracing and measurement helpers."""
+
+import pytest
+
+from repro.sim import Series, Simulator, Stopwatch, Tracer
+
+
+def test_tracer_disabled_keeps_counts_only():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    tracer.log("net", "packet sent")
+    assert tracer.counts["net"] == 1
+    assert tracer.records == []
+
+
+def test_tracer_enabled_records_time_and_category():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    sim.schedule_call(3.5, tracer.log, "net", "hello", {"size": 4})
+    sim.run()
+    assert len(tracer.records) == 1
+    record = tracer.records[0]
+    assert record.time == 3.5
+    assert record.category == "net"
+    assert record.data == {"size": 4}
+
+
+def test_tracer_select_filters_by_category():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.log("a", "one")
+    tracer.log("b", "two")
+    tracer.log("a", "three")
+    assert [r.message for r in tracer.select("a")] == ["one", "three"]
+
+
+def test_tracer_limit_caps_records():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True, limit=2)
+    for i in range(5):
+        tracer.log("x", str(i))
+    assert len(tracer.records) == 2
+    assert tracer.counts["x"] == 5
+
+
+def test_tracer_format_output():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.log("net", "msg")
+    text = tracer.format()
+    assert "net" in text and "msg" in text
+    assert tracer.format(categories=["other"]) == ""
+
+
+def test_series_statistics():
+    series = Series("lat")
+    for v in (1.0, 2.0, 3.0):
+        series.add(v)
+    assert len(series) == 3
+    assert series.mean == 2.0
+    assert series.minimum == 1.0
+    assert series.maximum == 3.0
+    assert series.stddev == pytest.approx(1.0)
+
+
+def test_series_empty_mean_raises():
+    with pytest.raises(ValueError):
+        _ = Series().mean
+
+
+def test_series_single_sample_stddev_is_zero():
+    series = Series()
+    series.add(5.0)
+    assert series.stddev == 0.0
+
+
+def test_stopwatch_measures_span():
+    sim = Simulator()
+    sw = Stopwatch(sim)
+    sw.start()
+    sim.schedule_call(4.0, lambda: None)
+    sim.run()
+    assert sw.stop() == 4.0
+    assert sw.elapsed == 4.0
+
+
+def test_stopwatch_stop_without_start_raises():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Stopwatch(sim).stop()

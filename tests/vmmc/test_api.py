@@ -1,0 +1,269 @@
+"""Tests for the VMMC API: mappings, deliberate update, automatic update."""
+
+import pytest
+
+from repro.kernel import ShrimpSystem
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import VmmcAlignmentError, VmmcStateError, attach
+
+PAGE = 4096
+
+
+@pytest.fixture
+def system():
+    return make_system()
+
+
+@pytest.fixture
+def rdv(system):
+    return Rendezvous(system)
+
+
+def run(system, *handles):
+    system.run_processes(list(handles))
+
+
+def test_deliberate_update_delivers_data(system, rdv):
+    """The canonical VMMC flow: export, import, send, poll."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("export", (proc.node.node_id, buf.export_id))
+        data = yield from proc.poll(
+            buf.vaddr, 16, lambda b: b[-4:] == b"\x01\x00\x00\x00"
+        )
+        return data[:12]
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("export")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"hello vmmc!\x00" + b"\x01\x00\x00\x00")
+        yield from ep.send(imported, src, 16)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert r.value == b"hello vmmc!\x00"
+
+
+def test_send_rejects_unaligned_source(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        try:
+            yield from ep.send(imported, src + 2, 8)
+        except VmmcAlignmentError:
+            return "rejected"
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert s.value == "rejected"
+
+
+def test_send_rejects_unaligned_offset(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        try:
+            yield from ep.send(imported, src, 8, offset=2)
+        except VmmcAlignmentError:
+            return "rejected"
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert s.value == "rejected"
+
+
+def test_send_bounds_checked_against_buffer(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(2 * PAGE)
+        try:
+            yield from ep.send(imported, src, PAGE + 4, offset=0)
+        except ValueError:
+            return "bounds"
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert s.value == "bounds"
+
+
+def test_send_at_offset_lands_at_offset(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr + 256, 4, lambda b: b == b"DATA")
+        return proc.peek(buf.vaddr, 4), proc.peek(buf.vaddr + 256, 4)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"DATA")
+        yield from ep.send(imported, src, 4, offset=256)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    untouched, data = r.value
+    assert data == b"DATA"
+    assert untouched == b"\x00\x00\x00\x00"
+
+
+def test_automatic_update_propagates_plain_stores(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        data = yield from proc.poll(buf.vaddr + 60, 4, lambda b: b == b"END!")
+        return proc.peek(buf.vaddr, 64)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        local = ep.alloc_buffer(PAGE)
+        yield from ep.bind(local, imported)
+        # No explicit send: plain stores propagate.
+        yield from proc.write(local, b"0123" * 15 + b"END!")
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert r.value == b"0123" * 15 + b"END!"
+
+
+def test_automatic_update_combines_consecutive_stores(system, rdv):
+    """Marshal-then-flag in consecutive addresses arrives as one packet
+    (the SHRIMP RPC trick)."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr + 12, 4, lambda b: b == b"FLAG")
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        local = ep.alloc_buffer(PAGE)
+        yield from ep.bind(local, imported)
+        before = proc.node.nic.packetizer.packets_formed
+        yield from proc.write(local, b"arg1arg2arg3")
+        yield from proc.write(local + 12, b"FLAG")
+        # The timer will flush it as a single combined packet.
+        yield proc.sim.timeout(system.config.combine_timeout * 2)
+        return proc.node.nic.packetizer.packets_formed - before
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert s.value == 1
+
+
+def test_unexported_buffer_rejects_second_unexport(system):
+    def program(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        yield from ep.unexport(buf)
+        try:
+            yield from ep.unexport(buf)
+        except VmmcStateError:
+            return "stateful"
+
+    handle = system.spawn(0, program)
+    run(system, handle)
+    assert handle.value == "stateful"
+
+
+def test_send_through_destroyed_import_rejected(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        yield from ep.unimport(imported)
+        src = ep.alloc_buffer(PAGE)
+        try:
+            yield from ep.send(imported, src, 8)
+        except VmmcStateError:
+            return "stateful"
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert s.value == "stateful"
+
+
+def test_in_order_delivery_of_mixed_du_sends(system, rdv):
+    """VMMC guarantees in-order delivery for blocking DU sends: a flag
+    sent after data must never be visible before the data."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(2 * PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr + PAGE, 4, lambda b: b == b"flag")
+        # Data sent before the flag must already be there, in full.
+        return proc.peek(buf.vaddr, PAGE)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(2 * PAGE)
+        payload = bytes((7 * i) % 256 for i in range(PAGE))
+        proc.poke(src, payload)
+        proc.poke(src + PAGE, b"flag")
+        yield from ep.send(imported, src, PAGE, offset=0)
+        yield from ep.send(imported, src + PAGE, 4, offset=PAGE)
+        return payload
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    run(system, r, s)
+    assert r.value == s.value
+
+
+def test_alloc_buffer_rounds_to_pages(system):
+    def program(proc):
+        ep = attach(system, proc)
+        vaddr = ep.alloc_buffer(100)
+        assert proc.space.is_mapped(vaddr, PAGE)
+        return vaddr % PAGE
+        yield  # pragma: no cover
+
+    handle = system.spawn(0, program)
+    run(system, handle)
+    assert handle.value == 0

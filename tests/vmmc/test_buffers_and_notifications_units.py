@@ -1,0 +1,96 @@
+"""Unit tests for the buffer handles and notification center plumbing."""
+
+import pytest
+
+from repro.testbed import make_system
+from repro.vmmc import attach
+from repro.vmmc.notifications import NotificationCenter
+
+PAGE = 4096
+
+
+def test_exported_buffer_accessors():
+    system = make_system()
+
+    def program(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(2 * PAGE)
+        return buf
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    buf = handle.value
+    assert buf.nbytes == 2 * PAGE
+    assert buf.node_id == 0
+    assert buf.active
+    assert buf.address_of(0) == buf.vaddr
+    assert buf.address_of(100) == buf.vaddr + 100
+    with pytest.raises(ValueError):
+        buf.address_of(2 * PAGE)
+    with pytest.raises(ValueError):
+        buf.address_of(-1)
+
+
+def test_notification_center_register_unregister():
+    system = make_system()
+
+    def program(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE, handler=lambda b, p, s: None)
+        center: NotificationCenter = ep.notifications
+        assert buf.export_id in center._by_export_id
+        center.unregister(buf)
+        assert buf.export_id not in center._by_export_id
+        center.unregister(buf)  # idempotent
+        return "ok"
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    assert handle.value == "ok"
+
+
+def test_dispatch_skips_signal_for_unknown_export():
+    """A queued signal whose export was unregistered dispatches to
+    nothing — no crash, no cost for a handler that is gone."""
+    system = make_system()
+
+    def program(proc):
+        from repro.kernel.signals import Signal
+
+        ep = attach(system, proc)
+        proc.signals.post(Signal("vmmc-notify", payload=(999, 0, 4)))
+        before = proc.sim.now
+        delivered = yield from ep.dispatch_notifications()
+        return delivered, proc.sim.now - before
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    delivered, elapsed = handle.value
+    assert delivered == []
+    assert elapsed == 0.0
+
+
+def test_endpoint_counters_track_sends():
+    system = make_system()
+    from repro.testbed import Rendezvous
+
+    rdv = Rendezvous(system)
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from ep.send(imported, src, 64)
+        yield from ep.send(imported, src, 128)
+        return ep.sends, ep.bytes_sent
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert s.value == (2, 192)

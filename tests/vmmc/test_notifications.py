@@ -1,0 +1,209 @@
+"""Tests for VMMC notifications: handlers, blocking, queueing, waiting."""
+
+import pytest
+
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+@pytest.fixture
+def system():
+    return make_system()
+
+
+@pytest.fixture
+def rdv(system):
+    return Rendezvous(system)
+
+
+def _export_with_handler(system, rdv, key, events):
+    """Receiver program factory: export with a recording handler."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        def handler(buffer, page, size):
+            events.append((proc.sim.now, size))
+        buf = yield from ep.export_new(PAGE, handler=handler)
+        rdv.put(key, (proc.node.node_id, buf.export_id))
+        delivered = yield from ep.wait_notification()
+        return delivered
+
+    return receiver
+
+
+def test_notify_send_invokes_handler(system, rdv):
+    events = []
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"notify me please")
+        yield from ep.send(imported, src, 16, notify=True)
+
+    r = system.spawn(1, _export_with_handler(system, rdv, "x", events))
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert len(events) == 1
+    assert events[0][1] == 16
+    assert len(r.value) == 1
+
+
+def test_send_without_notify_does_not_interrupt(system, rdv):
+    """Sender flag unset: data arrives but no notification fires —
+    'an interrupt is generated ... if both the sender-specified and
+    receiver-specified flags have been set'."""
+    events = []
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(
+            PAGE, handler=lambda b, p, s: events.append(s)
+        )
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr, 4, lambda b: b == b"data")
+        delivered = yield from ep.dispatch_notifications()
+        return delivered
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"data")
+        yield from ep.send(imported, src, 4, notify=False)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert events == []
+    assert r.value == []
+
+
+def test_handlerless_export_receives_no_notifications(system, rdv):
+    """'Notifications only take effect when a handler has been specified.'"""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)  # no handler
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr, 4, lambda b: b == b"data")
+        delivered = yield from ep.dispatch_notifications()
+        return delivered, buf.notifications_received
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"data")
+        # notify=True, but the receiver page's interrupt flag is off.
+        yield from ep.send(imported, src, 4, notify=True)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    delivered, count = r.value
+    assert delivered == []
+    assert count == 0
+
+
+def test_blocked_notifications_queue_and_deliver_on_unblock(system, rdv):
+    events = []
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(
+            PAGE, handler=lambda b, p, s: events.append(proc.sim.now)
+        )
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from ep.block_notifications()
+        rdv.put("blocked", True)
+        # Wait for both sends to land while blocked, plus the interrupt
+        # latency for the notification signals to be posted.
+        yield from proc.poll(buf.vaddr + 4, 4, lambda b: b == b"two!")
+        yield proc.sim.timeout(system.config.interrupt_latency * 3)
+        assert events == []  # queued, not delivered
+        pending = len(proc.signals.pending)
+        delivered = yield from ep.unblock_notifications()
+        return pending, len(delivered)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        yield rdv.get("blocked")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"one!two!")
+        yield from ep.send(imported, src, 4, offset=0, notify=True)
+        yield from ep.send(imported, src + 4, 4, offset=4, notify=True)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    pending, delivered = r.value
+    assert pending == 2  # queued while blocked (unlike plain signals)
+    assert delivered == 2
+    assert len(events) == 2
+
+
+def test_notification_charges_signal_cost(system, rdv):
+    """Signal-based delivery is expensive (the paper plans to replace it);
+    the dispatch time must reflect the configured signal cost."""
+    events = []
+
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(
+            PAGE, handler=lambda b, p, s: events.append(s)
+        )
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield proc.signals.wait()
+        before = proc.sim.now
+        yield from ep.dispatch_notifications()
+        return proc.sim.now - before
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"ping")
+        yield from ep.send(imported, src, 4, notify=True)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert r.value >= system.config.costs.signal_delivery
+
+
+def test_fast_notification_mode_is_cheaper(system, rdv):
+    """The projected active-message-style reimplementation (ablation)."""
+    durations = {}
+    for fast in (False, True):
+        system_local = make_system()
+        rdv_local = Rendezvous(system_local)
+
+        def receiver(proc, fast=fast, system=system_local, rdv=rdv_local):
+            ep = attach(system, proc, fast_notifications=fast)
+            buf = yield from ep.export_new(PAGE, handler=lambda b, p, s: None)
+            rdv.put("x", (proc.node.node_id, buf.export_id))
+            yield proc.signals.wait()
+            before = proc.sim.now
+            yield from ep.dispatch_notifications()
+            return proc.sim.now - before
+
+        def sender(proc, system=system_local, rdv=rdv_local):
+            ep = attach(system, proc)
+            node, xid = yield rdv.get("x")
+            imported = yield from ep.import_buffer(node, xid)
+            src = ep.alloc_buffer(PAGE)
+            yield from proc.write(src, b"ping")
+            yield from ep.send(imported, src, 4, notify=True)
+
+        r = system_local.spawn(1, receiver)
+        s = system_local.spawn(0, sender)
+        system_local.run_processes([r, s])
+        durations[fast] = r.value
+    assert durations[True] < durations[False] / 5

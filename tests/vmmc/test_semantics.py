@@ -1,0 +1,188 @@
+"""VMMC semantic edge cases from Section 2's model description."""
+
+import pytest
+
+from repro.kernel import MappingError
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import attach
+
+PAGE = 4096
+
+
+@pytest.fixture
+def system():
+    return make_system()
+
+
+@pytest.fixture
+def rdv(system):
+    return Rendezvous(system)
+
+
+def test_unexport_waits_for_pending_messages(system, rdv):
+    """'Before completing, these calls wait for all currently pending
+    messages using the mapping to be delivered.'  A send racing an
+    unexport either lands fully before the unexport completes or is
+    refused — never half-delivered."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield rdv.get("sent")
+        yield from ep.unexport(buf)
+        # After unexport returns, whatever was in flight has landed.
+        return proc.peek(buf.vaddr, 8)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"in-flite")
+        yield from ep.send(imported, src, 8)
+        rdv.put("sent", True)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert r.value == b"in-flite"
+
+
+def test_unimport_waits_for_pending_sends(system, rdv):
+    """unimport drains this sender's outgoing traffic first."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(2 * PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield rdv.get("done")
+        return proc.peek(buf.vaddr, 16)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(2 * PAGE)
+        yield from proc.write(src, b"last message!!!!")
+        yield from ep.send(imported, src, 16)
+        yield from ep.unimport(imported)
+        # A short settle so the in-flight packet (already drained from
+        # the NIC when unimport returned) lands at the receiver.
+        yield proc.sim.timeout(50.0)
+        rdv.put("done", True)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert r.value == b"last message!!!!"
+
+
+def test_double_bind_same_pages_rejected(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        local = ep.alloc_buffer(PAGE)
+        yield from ep.bind(local, imported)
+        with pytest.raises(ValueError):
+            yield from ep.bind(local, imported)
+        return "rejected"
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert s.value == "rejected"
+
+
+def test_rebind_after_unbind(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr, 4, lambda b: b == b"2nd!")
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        local = ep.alloc_buffer(PAGE)
+        binding = yield from ep.bind(local, imported)
+        yield from proc.write(local, b"1st!")
+        yield from ep.unbind(binding)
+        binding2 = yield from ep.bind(local, imported)
+        yield from proc.write(local, b"2nd!")
+        return binding2.active
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert s.value is True
+
+
+def test_set_handler_toggles_interrupt_flags(system):
+    def program(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        ipt = proc.node.nic.ipt
+        frame = buf.record.frames[0]
+        assert not ipt.wants_interrupt(frame)
+        yield from ep.set_handler(buf, lambda b, p, s: None)
+        on = ipt.wants_interrupt(frame)
+        yield from ep.set_handler(buf, None)
+        off = ipt.wants_interrupt(frame)
+        return on, off
+
+    handle = system.spawn(0, program)
+    system.run_processes([handle])
+    assert handle.value == (True, False)
+
+
+def test_discarded_notifications_when_not_accepting(system, rdv):
+    """'they can be accepted or discarded (on a per-buffer basis)'."""
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE, handler=lambda b, p, s: None)
+        proc.signals.accepting = False
+        rdv.put("x", (proc.node.node_id, buf.export_id))
+        yield from proc.poll(buf.vaddr, 4, lambda b: b == b"ping")
+        yield proc.sim.timeout(100.0)
+        return proc.signals.discarded_count, len(proc.signals.pending)
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("x")
+        imported = yield from ep.import_buffer(node, xid)
+        src = ep.alloc_buffer(PAGE)
+        yield from proc.write(src, b"ping")
+        yield from ep.send(imported, src, 4, notify=True)
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    discarded, pending = r.value
+    assert discarded == 1
+    assert pending == 0
+
+
+def test_import_of_unexported_buffer_fails_cleanly(system, rdv):
+    def receiver(proc):
+        ep = attach(system, proc)
+        buf = yield from ep.export_new(PAGE)
+        yield from ep.unexport(buf)
+        rdv.put("gone", (proc.node.node_id, buf.export_id))
+
+    def sender(proc):
+        ep = attach(system, proc)
+        node, xid = yield rdv.get("gone")
+        with pytest.raises(MappingError):
+            yield from ep.import_buffer(node, xid)
+        return "clean"
+
+    r = system.spawn(1, receiver)
+    s = system.spawn(0, sender)
+    system.run_processes([r, s])
+    assert s.value == "clean"
