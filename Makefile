@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples reports clean
+.PHONY: install test bench examples reports trace-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ examples:
 	$(PYTHON) examples/sockets_streaming.py
 	$(PYTHON) examples/shrimp_rpc_demo.py
 	$(PYTHON) examples/shared_memory.py
+
+trace-demo:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/quickstart.py --trace benchmarks/results/quickstart-trace.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro trace --check benchmarks/results/quickstart-trace.json
 
 reports: bench
 	@echo; echo "=== benchmark reports (benchmarks/results/) ==="; echo

@@ -4,6 +4,10 @@ Each benchmark runs one experiment harness (a deterministic simulation)
 under pytest-benchmark, asserts the paper's *shape* claims, records the
 headline numbers in ``benchmark.extra_info``, and writes the full text
 report to ``benchmarks/results/``.
+
+Tracing is opt-in: run with ``--dump-traces`` and any benchmark using
+the :func:`trace_dump` fixture writes a Chrome ``trace_event`` JSON of
+its run into ``benchmarks/results/`` (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -15,6 +19,17 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    """Register the opt-in ``--dump-traces`` flag."""
+    parser.addoption(
+        "--dump-traces",
+        action="store_true",
+        default=False,
+        help="write Chrome trace_event JSON for traced benchmarks into "
+             "benchmarks/results/",
+    )
+
+
 @pytest.fixture
 def save_report():
     """Write an experiment's text report next to the benchmarks."""
@@ -24,6 +39,33 @@ def save_report():
         (RESULTS_DIR / name).write_text(text + "\n")
 
     return _save
+
+
+@pytest.fixture
+def trace_dump(request):
+    """Dump a system's trace to ``benchmarks/results/<name>.json``.
+
+    Returns a callable ``dump(name, system)``; it is a no-op unless the
+    session ran with ``--dump-traces`` (tracing costs memory and the
+    benchmarks measure simulated time, not wall time, so dumping is
+    opt-in).  The target system must have been built with ``trace=True``
+    (or its tracer enabled before the run) for spans to be present —
+    with a disabled tracer only the always-on log *counts* exist and the
+    dump still validates but is nearly empty.
+    """
+    enabled = request.config.getoption("--dump-traces")
+
+    def _dump(name: str, system) -> "pathlib.Path | None":
+        if not enabled:
+            return None
+        from repro.sim import write_chrome_trace
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / (name + ".json")
+        write_chrome_trace(system.machine.tracer, path)
+        return path
+
+    return _dump
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -13,6 +13,7 @@ DU-0copy, DU-1copy) and checks the paper's shape claims:
 from conftest import run_once
 
 from repro.bench import figure3_raw_vmmc
+from repro.bench.tracing import trace_one_word
 
 
 def test_fig3_vmmc_raw(benchmark, save_report):
@@ -42,3 +43,14 @@ def test_fig3_vmmc_raw(benchmark, save_report):
     benchmark.extra_info["du0_peak_mb_s"] = round(du0.bandwidth_at(10240), 2)
     benchmark.extra_info["au1_4b_latency_us"] = round(au1.latency_at(4), 2)
     save_report("figure3.txt", result.report())
+
+
+def test_fig3_au_word_traced(benchmark, save_report, trace_dump):
+    """The one-word AU point, replayed with tracing on: the measured
+    per-stage spans must reproduce the analytic latency budget."""
+    result = run_once(benchmark, trace_one_word)
+
+    assert result.agreement_error <= 0.01
+    benchmark.extra_info["au_word_traced_us"] = round(result.measured.total, 3)
+    save_report("figure3-traced-budget.txt", result.report())
+    trace_dump("figure3-au-word", result.system)

@@ -9,7 +9,15 @@ between two processes, and moves data with both transfer strategies:
   send call at all.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace out.json   # + Chrome trace
+
+With ``--trace PATH`` the run executes with the machine tracer enabled
+and writes a Chrome ``trace_event`` JSON (open in chrome://tracing or
+https://ui.perfetto.dev) plus the per-resource utilization report; see
+docs/OBSERVABILITY.md.
 """
+
+import sys
 
 from repro.hardware.config import CacheMode
 from repro.testbed import Rendezvous, make_system
@@ -18,8 +26,10 @@ from repro.vmmc import attach
 PAGE = 4096
 
 
-def main() -> None:
+def main(trace_path: str = "") -> None:
     system = make_system()          # the 4-node calibrated prototype
+    if trace_path:
+        system.machine.tracer.enabled = True
     rdv = Rendezvous(system)        # out-of-band bootstrap channel
 
     def receiver(proc):
@@ -69,7 +79,20 @@ def main() -> None:
     stats = system.machine.stats()
     print("\ndone at t=%.2f us; %d packets crossed the mesh (%d bytes)"
           % (system.sim.now, stats["packets_routed"], stats["bytes_routed"]))
+    if trace_path:
+        from repro.sim import write_chrome_trace
+
+        path = write_chrome_trace(system.machine.tracer, trace_path)
+        print("\n%s" % system.machine.utilization_report(min_count=1))
+        print("\nwrote %s (open in chrome://tracing or https://ui.perfetto.dev)"
+              % path)
 
 
 if __name__ == "__main__":
-    main()
+    out = ""
+    if "--trace" in sys.argv:
+        index = sys.argv.index("--trace")
+        if index + 1 >= len(sys.argv):
+            sys.exit("usage: quickstart.py [--trace PATH]")
+        out = sys.argv[index + 1]
+    main(out)

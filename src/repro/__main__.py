@@ -4,10 +4,15 @@
     python -m repro fig3|fig4|fig5|fig7|fig8
     python -m repro ttcp
     python -m repro budget           # analytic one-word latency budgets
+    python -m repro trace            # traced one-word journey + Chrome JSON
     python -m repro all              # everything, in order
 
 Each figure command prints the same rows the paper plots (and that
-``pytest benchmarks/`` asserts the shape of).
+``pytest benchmarks/`` asserts the shape of).  ``trace`` runs a Figure 3
+one-word transfer with tracing on, writes Chrome ``trace_event`` JSON
+(loadable in chrome://tracing or https://ui.perfetto.dev), and prints the
+measured-vs-analytic latency budget plus the utilization report; see
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -66,6 +71,47 @@ def _cmd_budget() -> None:
     print(du_word_budget().report())
 
 
+def _cmd_trace(args) -> int:
+    from .bench.tracing import trace_one_word
+    from .sim import validate_chrome_trace
+
+    if args.check is not None:
+        try:
+            with open(args.check) as fh:
+                text = fh.read()
+        except OSError as exc:
+            print("cannot read %s: %s" % (args.check, exc.strerror))
+            return 1
+        problems = validate_chrome_trace(text)
+        if problems:
+            for problem in problems:
+                print("INVALID: %s" % problem)
+            return 1
+        print("%s: valid Chrome trace_event JSON" % args.check)
+        return 0
+
+    cache_mode = CacheMode.UNCACHED if args.uncached else CacheMode.WRITE_THROUGH
+    result = trace_one_word(mode=args.mode, cache_mode=cache_mode)
+    print(result.report())
+    print()
+    print(result.utilization_report())
+    if args.out:
+        try:
+            path = result.write_chrome_trace(args.out)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.out, exc.strerror))
+            return 1
+        problems = validate_chrome_trace(result.chrome_json())
+        if problems:
+            for problem in problems:
+                print("INVALID: %s" % problem)
+            return 1
+        print()
+        print("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)"
+              % path)
+    return 0 if result.agreement_error <= 0.01 else 1
+
+
 _FIGURES = {
     "fig3": figure3_raw_vmmc,
     "fig4": figure4_nx,
@@ -75,18 +121,35 @@ _FIGURES = {
 }
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SHRIMP paper's evaluation results.",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(_FIGURES) + ["scalars", "ttcp", "budget", "all"],
-        help="which experiment to run",
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    for name in sorted(_FIGURES) + ["scalars", "ttcp", "budget", "all"]:
+        sub.add_parser(name, help="run the %r experiment" % name)
+    trace = sub.add_parser(
+        "trace",
+        help="trace a Figure 3 one-word transfer and export Chrome JSON",
     )
-    args = parser.parse_args(argv)
+    trace.add_argument("--mode", choices=["au", "du"], default="au",
+                       help="transfer mode: automatic or deliberate update")
+    trace.add_argument("--uncached", action="store_true",
+                       help="uncached communication memory (the 3.7 us point)")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="Chrome trace output path ('' to skip writing)")
+    trace.add_argument("--check", default=None, metavar="FILE",
+                       help="only validate an existing trace JSON file")
+    return parser
 
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command in _FIGURES:
         print(_FIGURES[args.command]().report())
     elif args.command == "scalars":

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..sim import Simulator, Tracer
+from ..sim import MetricsRegistry, Simulator, Tracer
 from .config import MachineConfig
 from .ethernet import Ethernet
 from .node import Node
@@ -34,6 +34,12 @@ class Machine:
             Node(self.sim, self.config, node_id, self.mesh, self.tracer)
             for node_id in range(self.config.n_nodes)
         ]
+        self.metrics = MetricsRegistry(self.sim)
+        for node in self.nodes:
+            self.metrics.register(node.eisa)
+            self.metrics.register(node.xpress)
+            self.metrics.register(node.nic.fifo)
+            self.metrics.register(node.nic.arbiter)
 
     def node(self, node_id: int) -> Node:
         """The node with this id (ValueError if out of range)."""
@@ -53,6 +59,24 @@ class Machine:
             "ethernet_frames": self.ethernet.frames_sent,
             "nodes": {n.node_id: n.nic.stats() for n in self.nodes},
         }
+
+    def utilization_report(self, min_count: int = 0) -> str:
+        """Per-resource utilization across buses, FIFOs, arbiters, links.
+
+        Mesh links are created lazily on first traffic, so any not yet
+        registered are added here before rendering.
+        """
+        registered = set(id(entry) for entry in self.metrics._entries)
+        for router in self.mesh.routers.values():
+            for link in router.links.values():
+                if id(link) not in registered:
+                    self.metrics.register(link)
+                    registered.add(id(link))
+        for link in self.mesh._loopback.values():
+            if id(link) not in registered:
+                self.metrics.register(link)
+                registered.add(id(link))
+        return self.metrics.report(min_count=min_count)
 
     def stats_report(self) -> str:
         """A human-readable counter summary (for examples and debugging)."""

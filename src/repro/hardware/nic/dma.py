@@ -9,6 +9,11 @@ Incoming Page Table, and DMAs the payload into main memory over the
 EISA bus.  Receiving into a non-enabled page freezes the receive
 datapath and interrupts the node CPU (Section 3.2).
 
+When the machine tracer is enabled each engine wraps its work in a
+span — ``nic.du`` on track ``n<id>.nic.du``, ``nic.dma_in`` on
+``n<id>.nic.in`` — guarded by one attribute check when disabled
+(docs/OBSERVABILITY.md).
+
 Both engines share the node's one EISA bus, so heavy receive traffic
 slows concurrent deliberate-update sends on the same node — the
 'aggregate DMA bandwidth of the shared EISA and Xpress buses' limit
@@ -129,8 +134,15 @@ class DeliberateUpdateEngine:
 
     def _run(self):
         cfg = self.config
+        track = "n%d.nic.du" % self.node_id
         while True:
             command = yield self.commands.get()
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.begin(
+                    "nic.du", "du %dB" % command.size, track=track,
+                    data={"bytes": command.size},
+                )
             yield self.sim.timeout(cfg.du_engine_setup)
             reader = _SegmentReader(self.memory, command.src_segments)
             offset = command.offset
@@ -156,6 +168,7 @@ class DeliberateUpdateEngine:
                 remaining -= chunk
                 self.bytes_sent += chunk
             self.transfers_done += 1
+            self.tracer.end(span)
             command.done.succeed()
 
 
@@ -224,6 +237,13 @@ class IncomingDmaEngine:
             packet = yield self.incoming.get()
             grant = self.arbiter.request(priority=INCOMING_PRIORITY)
             yield grant
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.begin(
+                    "nic.dma_in", "land #%d %dB" % (packet.seq, packet.size),
+                    track="n%d.nic.in" % self.node_id,
+                    data={"bytes": packet.size, "src_node": packet.src_node},
+                )
             yield self.sim.timeout(cfg.ipt_lookup)
             discarded = False
             while not self.ipt.check_range(packet.dst_paddr, packet.size):
@@ -251,6 +271,7 @@ class IncomingDmaEngine:
                     discarded = True
                     break
             if discarded:
+                self.tracer.end(span, data={"discarded": True})
                 self.arbiter.release(grant)
                 continue
             yield self.sim.timeout(cfg.incoming_dma_setup)
@@ -263,6 +284,7 @@ class IncomingDmaEngine:
                 "n%d landed #%d %dB at %#x"
                 % (self.node_id, packet.seq, packet.size, packet.dst_paddr),
             )
+            self.tracer.end(span)
             self.arbiter.release(grant)
             first_page = packet.dst_paddr // cfg.page_size
             if packet.interrupt and self.ipt.wants_interrupt(first_page):

@@ -1,9 +1,10 @@
 """The Outgoing FIFO: closed packets waiting for the NIC chip.
 
 A thin wrapper over :class:`repro.sim.Store` that adds occupancy
-statistics.  Capacity is in packets; a full FIFO backpressures the
-packetizer (blocking put), which is how a slow link ultimately stalls
-the sending CPU's deliberate-update engine.
+statistics (and a ``metrics_snapshot`` for the machine's
+:class:`~repro.sim.MetricsRegistry`).  Capacity is in packets; a full
+FIFO backpressures the packetizer (blocking put), which is how a slow
+link ultimately stalls the sending CPU's deliberate-update engine.
 """
 
 from __future__ import annotations
@@ -40,3 +41,11 @@ class OutgoingFifo:
 
     def __len__(self) -> int:
         return len(self._store)
+
+    def metrics_snapshot(self, now=None) -> dict:
+        """Utilization counters for the metrics registry."""
+        snap = self._store.metrics_snapshot(now)
+        snap["name"] = self._store.name
+        snap["kind"] = "fifo"
+        snap["bytes"] = self.bytes_enqueued
+        return snap

@@ -131,8 +131,15 @@ class NetworkInterface:
         injection (and therefore per-pair delivery) ordered.
         """
         cfg = self.config
+        track = "n%d.nic.inject" % self.node_id
         while True:
             packet = yield self.fifo.get()
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.begin(
+                    "nic.inject", "inject #%d %dB" % (packet.seq, packet.size),
+                    track=track, data={"bytes": packet.size},
+                )
             grant = self.arbiter.request(priority=OUTGOING_PRIORITY)
             yield grant
             yield self.sim.timeout(cfg.nic_injection_latency)
@@ -140,6 +147,7 @@ class NetworkInterface:
                 "inject", "n%d injected #%d" % (self.node_id, packet.seq)
             )
             self.mesh.inject(packet)
+            self.tracer.end(span)
             self.arbiter.release(grant)
 
     # -- statistics -------------------------------------------------------------------

@@ -13,6 +13,10 @@ Implements the combining behaviour of Section 3.2:
 Deliberate-update chunks bypass combining (they are already maximal) but
 share the FIFO, so AU/DU ordering from one node is preserved — the mux
 in Figure 2.
+
+With the tracer enabled, each closed packet emits one ``nic.packetize``
+span on track ``n<id>.nic.pktz`` covering the lookup-plus-packetize
+latency it was charged (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -216,6 +220,15 @@ class Packetizer:
             delay += self.config.snoop_opt_lookup
         target = max(self.sim.now + delay, self._last_enqueue_at)
         self._last_enqueue_at = target
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "nic.packetize",
+                "pkt #%d %s %dB" % (packet.seq, kind.value, packet.size),
+                self.sim.now,
+                target,
+                track="n%d.nic.pktz" % self.node_id,
+                data={"bytes": packet.size, "dst_node": dst_node},
+            )
         self.sim.schedule_call(target - self.sim.now, self._enqueue, packet)
 
     def _enqueue(self, packet: Packet) -> None:

@@ -38,7 +38,11 @@ class Node:
         self.tracer = tracer or Tracer(sim)
         self.memory = PhysicalMemory(config, node_id)
         self.eisa = EisaBus(sim, config, node_id)
+        self.eisa.tracer = self.tracer
+        self.eisa.track = "n%d.bus.eisa" % node_id
         self.xpress = XpressBus(sim, config, node_id)
+        self.xpress.tracer = self.tracer
+        self.xpress.track = "n%d.bus.xpress" % node_id
         self.nic = NetworkInterface(
             sim, config, node_id, self.memory, self.eisa, mesh, self.tracer
         )

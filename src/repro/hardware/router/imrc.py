@@ -27,7 +27,8 @@ __all__ = ["Link", "RouterNode"]
 class Link:
     """One directed mesh link with FIFO occupancy bookkeeping."""
 
-    __slots__ = ("name", "bandwidth", "_free_at", "bytes_carried", "packets")
+    __slots__ = ("name", "bandwidth", "_free_at", "bytes_carried", "packets",
+                 "busy_time")
 
     def __init__(self, name: str, bandwidth: float):
         self.name = name
@@ -35,6 +36,7 @@ class Link:
         self._free_at = 0.0
         self.bytes_carried = 0
         self.packets = 0
+        self.busy_time = 0.0
 
     def claim(self, now: float, head_arrival: float, wire_bytes: int) -> float:
         """Occupy the link for one packet.
@@ -45,14 +47,26 @@ class Link:
         blocking case).  The link stays busy for the full wire time.
         """
         start = max(head_arrival, self._free_at, now)
-        self._free_at = start + wire_bytes / self.bandwidth
+        wire_time = wire_bytes / self.bandwidth
+        self._free_at = start + wire_time
         self.bytes_carried += wire_bytes
         self.packets += 1
+        self.busy_time += wire_time
         return start
 
     def busy_until(self) -> float:
         """When this link finishes its current packet."""
         return self._free_at
+
+    def metrics_snapshot(self, now: float = None) -> dict:
+        """Utilization counters for the metrics registry."""
+        return {
+            "name": self.name,
+            "kind": "link",
+            "busy_time": self.busy_time,
+            "count": self.packets,
+            "bytes": self.bytes_carried,
+        }
 
 
 class RouterNode:

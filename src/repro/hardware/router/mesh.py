@@ -89,6 +89,17 @@ class MeshBackplane:
 
         self.packets_routed += 1
         self.bytes_routed += packet.size
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "mesh.transit",
+                "pkt #%d n%d->n%d %dB" % (packet.seq, packet.src_node,
+                                          packet.dst_node, packet.size),
+                now,
+                arrival,
+                track="mesh.backplane",
+                data={"bytes": packet.size, "wire_bytes": wire_bytes,
+                      "hops": self.hops(packet.src_node, packet.dst_node)},
+            )
         self.tracer.log(
             "mesh",
             "packet #%d n%d->n%d %dB arrives %.3f"

@@ -38,6 +38,9 @@ class UserProcess:
         # Set by the VMMC layer when the process attaches an endpoint.
         self.vmmc = None
         self.poll_checks = 0
+        # Cached for the one-attribute-check tracing guard on hot paths.
+        self.tracer = node.tracer
+        self.trace_track = "n%d.cpu.p%d" % (node.node_id, pid)
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<UserProcess %s on node %d>" % (self.name, self.node.node_id)
@@ -53,8 +56,15 @@ class UserProcess:
         """
         mode = self.space.cache_mode_of(vaddr)
         base, per_byte = self.config.write_rate(mode)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin(
+                "cpu.store", "store %dB" % len(data), track=self.trace_track,
+                data={"bytes": len(data)},
+            )
         yield self.sim.timeout(base)
         yield from self._stream_out(vaddr, data, per_byte)
+        self.tracer.end(span)
 
     def _stream_out(self, vaddr: int, data: bytes, per_byte: float):
         """Chunked store loop: charge, land bytes, snoop — per chunk."""
@@ -92,6 +102,12 @@ class UserProcess:
         dst_mode = self.space.cache_mode_of(dst_vaddr)
         read_base, read_pb = self.config.read_rate(src_mode)
         write_base, write_pb = self.config.write_rate(dst_mode)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin(
+                "cpu.copy", "copy %dB" % nbytes, track=self.trace_track,
+                data={"bytes": nbytes},
+            )
         yield self.sim.timeout(read_base + write_base)
         chunk_size = self.config.cpu_stream_chunk
         offset = 0
@@ -113,6 +129,7 @@ class UserProcess:
                 self.node.nic.snoop_write(paddr, sub)
                 piece = piece[seg_len:]
             offset += length
+        self.tracer.end(span)
 
     def compute(self, microseconds: float):
         """Pure CPU time (library bookkeeping, marshaling logic, ...)."""
@@ -144,9 +161,18 @@ class UserProcess:
         memory = self.node.memory
         while True:
             self.poll_checks += 1
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.begin(
+                    "cpu.poll", "poll check", track=self.trace_track,
+                    data={"bytes": nbytes},
+                )
             yield self.sim.timeout(check_cost)
             data = b"".join(memory.read(paddr, length) for paddr, length in segments)
-            if predicate(data):
+            hit = predicate(data)
+            if span is not None:
+                self.tracer.end(span, data={"hit": hit})
+            if hit:
                 return data
             if deadline is not None and self.sim.now >= deadline:
                 return None

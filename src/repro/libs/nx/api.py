@@ -144,12 +144,19 @@ class NXProcess:
         if mtype < 0:
             raise ValueError("message types must be non-negative")
         conn = self.connections[to]
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "nx.csend", "csend %dB -> r%d" % (nbytes, to),
+                track=self.proc.trace_track, data={"bytes": nbytes, "type": mtype},
+            )
         yield from self.proc.compute(self.proc.config.costs.nx_send_overhead)
         if nbytes <= self.payload_bytes and not self.variant.force_zero_copy:
             yield from conn.send_small(vaddr, nbytes, mtype)
         else:
             yield from self._send_large(conn, mtype, vaddr, nbytes)
         self.messages_sent += 1
+        self.proc.tracer.end(span)
 
     def crecv(self, typesel: int, vaddr: int, max_bytes: int):
         """Blocking typed receive into ``vaddr``; returns the byte count.
@@ -164,12 +171,18 @@ class NXProcess:
     def crecvx(self, typesel: int, vaddr: int, max_bytes: int, nodesel: int):
         """Source-selective blocking receive (NX's crecvx): ``nodesel``
         restricts matching to one sender rank (-1 = any)."""
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "nx.crecv", "crecv type %d" % typesel, track=self.proc.trace_track,
+            )
         yield from self.proc.compute(self.proc.config.costs.nx_recv_overhead)
         while True:
             yield from self._progress()
             match = self._take_match(typesel, nodesel)
             if match is not None:
                 size = yield from self._consume(match, vaddr, max_bytes)
+                self.proc.tracer.end(span, data={"bytes": size} if span else None)
                 return size
             yield from self._wait_any_descriptor()
 

@@ -226,6 +226,11 @@ class VrpcServer(_Endpoint):
         while max_calls is None or served < max_calls:
             stream = yield from self._wait_any_call()
             raw = yield from stream.recv_message()
+            span = None
+            if self.proc.tracer.enabled:
+                span = self.proc.tracer.begin(
+                    "vrpc.serve", "serve call", track=self.proc.trace_track,
+                )
             yield from self.proc.compute(costs.vrpc_header_process)
             dec = XdrDecoder(raw)
             header = RpcCallHeader.decode(dec)
@@ -253,6 +258,7 @@ class VrpcServer(_Endpoint):
             yield from stream.send_message(payload)
             self.calls_served += 1
             served += 1
+            self.proc.tracer.end(span)
 
 
 class VrpcClient(_Endpoint):
@@ -293,6 +299,12 @@ class VrpcClient(_Endpoint):
              decode_result: DecodeFn = decode_void):
         """clnt_call: synchronous remote procedure call."""
         costs = self.proc.config.costs
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "vrpc.call", "call proc %d" % proc_num,
+                track=self.proc.trace_track, data={"proc": proc_num},
+            )
         yield from self.proc.compute(costs.vrpc_call_prep)
         enc = XdrEncoder()
         header = RpcCallHeader(xid=next(_xids), prog=self.prog,
@@ -319,6 +331,7 @@ class VrpcClient(_Endpoint):
             costs.vrpc_xdr_per_byte * max(0, dec.offset - _REPLY_HEADER_BYTES)
         )
         self.calls_made += 1
+        self.proc.tracer.end(span)
         return result
 
 

@@ -208,6 +208,12 @@ class SrpcClientBase(_SrpcEndpointBase):
         Returns [ret_raw?] + out slot bytes, in order.
         """
         proc = self.proc
+        span = None
+        if proc.tracer.enabled:
+            span = proc.tracer.begin(
+                "srpc.call", "call proc %d" % proc_id, track=proc.trace_track,
+                data={"proc": proc_id},
+            )
         yield from proc.compute(proc.config.costs.srpc_client_stub)
         self._seq = (self._seq % 0xFFFF) + 1
         call_word = struct.pack("<I", (self._seq << 16) | proc_id)
@@ -241,6 +247,7 @@ class SrpcClientBase(_SrpcEndpointBase):
                 data = yield from self._read(offset, nbytes)
             out.append(data)
         self.calls_made += 1
+        proc.tracer.end(span)
         return out
 
 
@@ -328,6 +335,12 @@ class SrpcServerBase(_SrpcEndpointBase):
             word = struct.unpack("<I", raw)[0]
             seq, proc_id = word >> 16, word & 0xFFFF
             self._last_seq = seq
+            span = None
+            if proc.tracer.enabled:
+                span = proc.tracer.begin(
+                    "srpc.serve", "serve proc %d" % proc_id,
+                    track=proc.trace_track, data={"proc": proc_id},
+                )
             yield from proc.compute(proc.config.costs.srpc_server_dispatch)
             dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
             status = _STATUS_OK
@@ -346,6 +359,7 @@ class SrpcServerBase(_SrpcEndpointBase):
                 yield from self._write(offset, data)
             self.calls_served += 1
             served += 1
+            proc.tracer.end(span)
 
     def _ref(self, proc_name: str, param_name: str) -> ParamRef:
         procedure = self.IDL.procedure(proc_name)

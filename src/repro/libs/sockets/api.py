@@ -270,6 +270,12 @@ class ShrimpSocket:
         if self.send_closed or self.closed:
             raise SocketError("send on closed socket")
         costs = self.proc.config.costs
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "sock.send", "send %dB" % nbytes, track=self.proc.trace_track,
+                data={"bytes": nbytes},
+            )
         yield from self.proc.compute(costs.socket_send_overhead)
         sent = 0
         max_record = self.out_ring.capacity // 4
@@ -283,6 +289,7 @@ class ShrimpSocket:
             yield from self._send_record(vaddr + sent, chunk)
             sent += chunk
         self.bytes_sent += nbytes
+        self.proc.tracer.end(span)
         return nbytes
 
     def _send_record(self, vaddr: int, payload: int):
@@ -377,18 +384,26 @@ class ShrimpSocket:
         if max_bytes <= 0:
             return 0
         costs = self.proc.config.costs
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "sock.recv", "recv up to %dB" % max_bytes,
+                track=self.proc.trace_track,
+            )
         yield from self.proc.compute(costs.socket_recv_overhead)
         while True:
             yield from self._refresh_produced()
             if self.in_ring.used > 0:
                 break
             if self._fin_seen:
+                self.proc.tracer.end(span, data={"bytes": 0} if span else None)
                 return 0
             yield from self._wait_for_data()
         got = 0
         while got < max_bytes and self.in_ring.used > 0:
             got += yield from self._read_from_current_record(vaddr + got, max_bytes - got)
         self.bytes_received += got
+        self.proc.tracer.end(span, data={"bytes": got} if span else None)
         return got
 
     def bytes_available(self):

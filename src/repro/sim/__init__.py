@@ -3,6 +3,14 @@
 Everything active in the SHRIMP model — user programs, daemons, DMA
 engines, routers — runs as a generator-based process on a single
 :class:`Simulator` event loop.  Time is in microseconds.
+
+The kernel also hosts the observability layer (docs/OBSERVABILITY.md):
+:class:`Tracer`/:class:`Span` record structured begin/end intervals on
+per-component tracks, the contention primitives keep always-on
+utilization counters collected by :class:`MetricsRegistry`, and
+:mod:`repro.sim.export` turns a tracer into Chrome ``trace_event``
+JSON (``chrome_trace_json``/``write_chrome_trace``/
+``validate_chrome_trace``).
 """
 
 from .core import (
@@ -14,9 +22,16 @@ from .core import (
     StopSimulation,
     Timeout,
 )
+from .export import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .process import Interrupt, Process, spawn
-from .resources import BandwidthChannel, Request, Resource, Store
-from .trace import Series, Stopwatch, TraceRecord, Tracer
+from .resources import BandwidthChannel, MetricsRegistry, Request, Resource, Store
+from .trace import Series, Span, Stopwatch, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -24,17 +39,24 @@ __all__ = [
     "BandwidthChannel",
     "Event",
     "Interrupt",
+    "MetricsRegistry",
     "Process",
     "Request",
     "Resource",
     "Series",
     "SimulationError",
     "Simulator",
+    "Span",
     "StopSimulation",
     "Stopwatch",
     "Store",
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "chrome_trace_json",
     "spawn",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

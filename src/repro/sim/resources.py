@@ -12,16 +12,23 @@ Three shapes of contention appear in the SHRIMP model:
   time at a fixed bytes-per-microsecond rate.  Models bus data phases and
   mesh links, preserving per-link FIFO order (the property the Paragon
   backplane guarantees and the libraries rely on).
+
+All three keep always-on utilization accounting (busy time, arbitration
+waits, queue-depth integrals) — a handful of float operations per
+event, cheap enough to leave on.  A :class:`MetricsRegistry` collects
+any number of them and renders the per-resource utilization report
+("EISA bus 87% busy") that :mod:`repro.sim.export`'s Chrome traces
+complement; see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .core import Event, Simulator
 
-__all__ = ["Request", "Resource", "Store", "BandwidthChannel"]
+__all__ = ["Request", "Resource", "Store", "BandwidthChannel", "MetricsRegistry"]
 
 
 class Request(Event):
@@ -30,13 +37,14 @@ class Request(Event):
     Use as ``req = resource.request(); yield req; ...; resource.release(req)``.
     """
 
-    __slots__ = ("resource", "priority", "_order")
+    __slots__ = ("resource", "priority", "_order", "requested_at")
 
     def __init__(self, resource: "Resource", priority: int, order: int):
         super().__init__(resource.sim, name="Request(%s)" % resource.name)
         self.resource = resource
         self.priority = priority
         self._order = order
+        self.requested_at = resource.sim.now
 
     def __enter__(self) -> "Request":
         return self
@@ -49,6 +57,9 @@ class Resource:
     """``capacity`` slots granted to waiters in (priority, FIFO) order.
 
     Lower ``priority`` values are served first; the default priority is 0.
+    Accounts busy time (any slot held) and the total time requests spent
+    queued before their grant — the "arbitration wait" the utilization
+    report attributes per resource.
     """
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
@@ -60,6 +71,10 @@ class Resource:
         self._holders: List[Request] = []
         self._queue: List[Request] = []
         self._order = 0
+        self.busy_time = 0.0
+        self.wait_time = 0.0
+        self.grants = 0
+        self._busy_since: Optional[float] = None
 
     @property
     def count(self) -> int:
@@ -82,6 +97,9 @@ class Resource:
         """Give back a granted slot (or cancel a still-queued request)."""
         if request in self._holders:
             self._holders.remove(request)
+            if not self._holders and self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
             self._grant()
         elif request in self._queue:
             self._queue.remove(request)
@@ -92,8 +110,26 @@ class Resource:
         while self._queue and len(self._holders) < self.capacity:
             best = min(self._queue, key=lambda r: (r.priority, r._order))
             self._queue.remove(best)
+            if not self._holders:
+                self._busy_since = self.sim.now
             self._holders.append(best)
+            self.wait_time += self.sim.now - best.requested_at
+            self.grants += 1
             best.succeed(self)
+
+    def metrics_snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Utilization counters for the metrics registry."""
+        now = self.sim.now if now is None else now
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return {
+            "name": self.name,
+            "kind": "resource",
+            "busy_time": busy,
+            "count": self.grants,
+            "wait_time": self.wait_time,
+        }
 
 
 class Store:
@@ -101,7 +137,8 @@ class Store:
 
     ``capacity`` is in *items*; callers that need byte-capacity semantics
     (the outgoing FIFO) track byte occupancy themselves and use the item
-    bound as a packet bound.
+    bound as a packet bound.  A time-weighted occupancy integral and the
+    high-water mark are kept for the utilization report.
     """
 
     def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = "store"):
@@ -111,6 +148,10 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[Tuple[Event, Any]] = deque()
+        self.puts = 0
+        self.high_water = 0
+        self._occupancy_integral = 0.0
+        self._occupancy_since = 0.0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -138,9 +179,18 @@ class Store:
         """Non-blocking put; returns False when the store is full."""
         if len(self._items) >= self.capacity:
             return False
+        self._account()
         self._items.append(item)
+        self.puts += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
         self._settle()
         return True
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._occupancy_integral += len(self._items) * (now - self._occupancy_since)
+        self._occupancy_since = now
 
     def _settle(self) -> None:
         progressed = True
@@ -148,13 +198,36 @@ class Store:
             progressed = False
             if self._putters and len(self._items) < self.capacity:
                 event, item = self._putters.popleft()
+                self._account()
                 self._items.append(item)
+                self.puts += 1
+                if len(self._items) > self.high_water:
+                    self.high_water = len(self._items)
                 event.succeed(item)
                 progressed = True
             if self._getters and self._items:
                 event = self._getters.popleft()
+                self._account()
                 event.succeed(self._items.popleft())
                 progressed = True
+
+    def mean_depth(self, now: Optional[float] = None) -> float:
+        """Time-averaged number of buffered items since t=0."""
+        now = self.sim.now if now is None else now
+        if now <= 0.0:
+            return float(len(self._items))
+        integral = self._occupancy_integral + len(self._items) * (now - self._occupancy_since)
+        return integral / now
+
+    def metrics_snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Utilization counters for the metrics registry."""
+        return {
+            "name": self.name,
+            "kind": "store",
+            "count": self.puts,
+            "high_water": self.high_water,
+            "mean_depth": self.mean_depth(now),
+        }
 
 
 class BandwidthChannel:
@@ -163,6 +236,11 @@ class BandwidthChannel:
     ``transfer(nbytes)`` returns an event that fires when the *last byte*
     has passed through.  Transfers queue in FIFO order; each takes
     ``overhead + nbytes / bandwidth`` microseconds of channel time.
+
+    Busy time and head-of-line wait accumulate per transfer.  When a
+    :class:`~repro.sim.trace.Tracer` is attached (``tracer``/``track``
+    attributes, set by the hardware layer) and enabled, each transfer
+    additionally emits one complete span on the channel's track.
     """
 
     def __init__(
@@ -181,6 +259,10 @@ class BandwidthChannel:
         self._free_at = 0.0
         self.bytes_carried = 0
         self.transfers = 0
+        self.busy_time = 0.0
+        self.wait_time = 0.0
+        self.tracer = None      # optional Tracer, attached by the owner
+        self.track = "channel"  # span track used when tracing is enabled
 
     def busy_until(self) -> float:
         """Simulated time at which the channel next falls idle."""
@@ -195,8 +277,106 @@ class BandwidthChannel:
     def transfer(self, nbytes: int, value: Any = None) -> Event:
         """Queue a transfer; returns an event fired at completion time."""
         start = self.busy_until()
-        finish = start + self.occupancy(nbytes)
+        occupied = self.occupancy(nbytes)
+        finish = start + occupied
         self._free_at = finish
         self.bytes_carried += nbytes
         self.transfers += 1
+        self.busy_time += occupied
+        self.wait_time += start - self.sim.now
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete("bus", "%s xfer %dB" % (self.name, nbytes),
+                            start, finish, track=self.track,
+                            data={"bytes": nbytes})
         return self.sim.timeout(finish - self.sim.now, value)
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of elapsed simulated time the channel was occupied."""
+        now = self.sim.now if now is None else now
+        if now <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time / now)
+
+    def metrics_snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Utilization counters for the metrics registry."""
+        return {
+            "name": self.name,
+            "kind": "channel",
+            "busy_time": self.busy_time,
+            "count": self.transfers,
+            "bytes": self.bytes_carried,
+            "wait_time": self.wait_time,
+        }
+
+
+class MetricsRegistry:
+    """A machine-wide roster of contention points with a report renderer.
+
+    Anything exposing ``metrics_snapshot(now) -> dict`` (the three
+    primitives above, mesh links, the outgoing FIFO wrapper) can
+    register; :meth:`report` renders one aligned row per entry —
+    busy time, utilization, arbitration wait, queue depth — against
+    the elapsed simulated time.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._entries: List[Any] = []
+
+    def register(self, entry: Any) -> Any:
+        """Add one metrics source; returns it (for chaining)."""
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Every entry's counters, in registration order."""
+        now = self.sim.now if now is None else now
+        return [entry.metrics_snapshot(now) for entry in self._entries]
+
+    def report(self, now: Optional[float] = None, min_count: int = 0) -> str:
+        """The utilization table as aligned text.
+
+        ``min_count`` hides rows whose operation count is below it
+        (quiet resources clutter a 4-node report).
+        """
+        now = self.sim.now if now is None else now
+        header = ("resource", "kind", "busy us", "util %", "ops", "bytes",
+                  "avg wait us", "depth avg/max")
+        rows: List[Tuple[str, ...]] = [header]
+        for snap in self.snapshot(now):
+            count = snap.get("count", 0)
+            if count < min_count:
+                continue
+            busy = snap.get("busy_time")
+            util = "-"
+            if busy is not None and now > 0:
+                util = "%.1f" % (100.0 * min(1.0, busy / now))
+            wait = snap.get("wait_time")
+            avg_wait = "-"
+            if wait is not None and count:
+                avg_wait = "%.3f" % (wait / count)
+            depth = "-"
+            if "mean_depth" in snap:
+                depth = "%.2f/%d" % (snap["mean_depth"], snap.get("high_water", 0))
+            rows.append((
+                snap["name"],
+                snap["kind"],
+                "-" if busy is None else "%.2f" % busy,
+                util,
+                str(count),
+                str(snap["bytes"]) if "bytes" in snap else "-",
+                avg_wait,
+                depth,
+            ))
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = ["utilization @ t=%.2f us" % now]
+        for row in rows:
+            lines.append("  " + "  ".join(
+                cell.ljust(widths[i]) if i < 2 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            ))
+        return "\n".join(lines)

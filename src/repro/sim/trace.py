@@ -1,19 +1,43 @@
 """Tracing and measurement utilities for simulation runs.
 
-The benchmark harness needs two things: a way to record *what happened*
-(for debugging protocol interleavings) and a way to accumulate *how long
-things took* (for the latency/bandwidth series the paper's figures plot).
+The benchmark harness needs three things: a way to record *what
+happened* (for debugging protocol interleavings), a way to record *how
+long each stage took* (structured spans, exportable to Chrome's
+``trace_event`` format — see :mod:`repro.sim.export`), and a way to
+accumulate summary statistics (for the latency/bandwidth series the
+paper's figures plot).
+
+Span model
+----------
+
+A :class:`Span` is a begin/end interval on a *track*.  A track names
+one serially-executing timeline — one CPU process, one NIC pipeline
+stage, the mesh backplane — written as ``"<pid>.<tid>"`` (split at the
+first dot for the Chrome exporter; e.g. ``"n0.cpu.p1"`` is thread
+``cpu.p1`` of process ``n0``).  Spans opened on the same track nest:
+:meth:`Tracer.begin` records the innermost still-open span of the
+track as the new span's parent, which is how a library call's span
+contains the VMMC call's span contains the CPU-store spans.
+
+Overhead guarantee
+------------------
+
+Tracing is off by default.  Every producer call site is guarded by a
+single attribute check (``if tracer.enabled:``), so the cost of a
+disabled tracer on the hot paths is one attribute lookup and one
+branch per site — the same discipline the original :meth:`Tracer.log`
+established.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Any, Callable, List, NamedTuple, Optional
+from typing import Any, Dict, List, NamedTuple, Optional
 
 from .core import Simulator
 
-__all__ = ["TraceRecord", "Tracer", "Series", "Stopwatch"]
+__all__ = ["TraceRecord", "Span", "Tracer", "Series", "Stopwatch"]
 
 
 class TraceRecord(NamedTuple):
@@ -23,12 +47,59 @@ class TraceRecord(NamedTuple):
     data: Any
 
 
-class Tracer:
-    """An append-only log of simulation happenings, filterable by category.
+class Span:
+    """One begin/end interval on a track, with a parent link.
 
-    Tracing is off by default (``enabled=False``): the hot paths call
-    :meth:`log` unconditionally, so the flag check keeps the disabled cost
-    to one attribute lookup.
+    ``end`` is ``None`` while the span is still open; :attr:`duration`
+    is then measured up to the tracer's current simulated time.
+    """
+
+    __slots__ = ("sid", "parent", "category", "name", "track", "start", "end", "data")
+
+    def __init__(self, sid: int, parent: Optional[int], category: str, name: str,
+                 track: str, start: float, end: Optional[float] = None,
+                 data: Any = None):
+        self.sid = sid
+        self.parent = parent
+        self.category = category
+        self.name = name
+        self.track = track
+        self.start = start
+        self.end = end
+        self.data = data
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`Tracer.end` (or a complete event) set the end."""
+        return self.end is not None
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Elapsed microseconds (open spans measure up to ``now``)."""
+        if self.end is not None:
+            return self.end - self.start
+        return (now if now is not None else self.start) - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "%.3f..%.3f" % (self.start, self.end) if self.closed else (
+            "%.3f.." % self.start)
+        return "<Span #%d %s %r on %s %s>" % (
+            self.sid, self.category, self.name, self.track, state)
+
+
+class Tracer:
+    """Structured event log of simulation happenings.
+
+    Two families of producers feed it:
+
+    * :meth:`log` — point events, the append-only categorized log the
+      timeline renderer consumes (counts are kept even when disabled);
+    * :meth:`begin`/:meth:`end`/:meth:`complete`/:meth:`instant` —
+      spans, the structured begin/end intervals the Chrome exporter
+      and the latency-budget cross-check consume.
+
+    Tracing is off by default (``enabled=False``): hot-path call sites
+    guard with one attribute check, keeping the disabled cost to a
+    lookup and a branch per site.
     """
 
     def __init__(self, sim: Simulator, enabled: bool = False, limit: int = 100_000):
@@ -37,7 +108,11 @@ class Tracer:
         self.limit = limit
         self.records: List[TraceRecord] = []
         self.counts: Counter = Counter()
+        self.spans: List[Span] = []
+        self._next_sid = 0
+        self._stacks: Dict[str, List[Span]] = {}
 
+    # -- point events ---------------------------------------------------
     def log(self, category: str, message: str, data: Any = None) -> None:
         """Record one event if tracing is enabled (counts are always kept)."""
         self.counts[category] += 1
@@ -47,6 +122,91 @@ class Tracer:
             return
         self.records.append(TraceRecord(self.sim.now, category, message, data))
 
+    # -- spans ----------------------------------------------------------
+    def begin(self, category: str, name: str, track: str = "sim",
+              data: Any = None) -> Optional[Span]:
+        """Open a span now on ``track``; returns it (None when disabled).
+
+        The innermost still-open span of the same track becomes the new
+        span's parent, so nested library/VMMC/CPU work links up without
+        any caller bookkeeping.  Call sites may pass the result straight
+        to :meth:`end`, which accepts None.
+        """
+        if not self.enabled or len(self.spans) >= self.limit:
+            return None
+        stack = self._stacks.setdefault(track, [])
+        parent = stack[-1].sid if stack else None
+        self._next_sid += 1
+        span = Span(self._next_sid, parent, category, name, track, self.sim.now,
+                    data=data)
+        self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span], data: Any = None) -> None:
+        """Close ``span`` at the current time (no-op when span is None)."""
+        if span is None:
+            return
+        span.end = self.sim.now
+        if data is not None:
+            span.data = data if span.data is None else {**_as_dict(span.data),
+                                                        **_as_dict(data)}
+        stack = self._stacks.get(span.track)
+        if stack and span in stack:
+            # Pop it and anything opened after it that was left dangling.
+            while stack:
+                top = stack.pop()
+                if top is span:
+                    break
+
+    def complete(self, category: str, name: str, start: float,
+                 end: Optional[float] = None, track: str = "sim",
+                 data: Any = None) -> Optional[Span]:
+        """Record a span whose start and end are both already known.
+
+        Used where one call site computes the whole interval (a bus
+        transfer's occupancy, a packet's mesh transit).  Does not touch
+        the track's open-span stack, but does adopt the innermost open
+        span of the track as parent.
+        """
+        if not self.enabled or len(self.spans) >= self.limit:
+            return None
+        stack = self._stacks.get(track)
+        parent = stack[-1].sid if stack else None
+        self._next_sid += 1
+        span = Span(self._next_sid, parent, category, name, track, start,
+                    end=self.sim.now if end is None else end, data=data)
+        self.spans.append(span)
+        return span
+
+    def instant(self, category: str, name: str, track: str = "sim",
+                data: Any = None) -> Optional[Span]:
+        """Record a zero-duration marker at the current time."""
+        return self.complete(category, name, self.sim.now, self.sim.now,
+                             track=track, data=data)
+
+    # -- span queries ----------------------------------------------------
+    def spans_of(self, category: str, track_prefix: str = "") -> List[Span]:
+        """Spans of one category, optionally restricted to a track prefix."""
+        return [s for s in self.spans
+                if s.category == category and s.track.startswith(track_prefix)]
+
+    def span_totals(self) -> Dict[str, float]:
+        """Summed closed-span duration per category."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            if span.end is None:
+                continue
+            totals[span.category] = totals.get(span.category, 0.0) + span.duration()
+        return totals
+
+    def clear(self) -> None:
+        """Drop all recorded events and spans (keeps counts and settings)."""
+        self.records.clear()
+        self.spans.clear()
+        self._stacks.clear()
+
+    # -- legacy log queries ----------------------------------------------
     def select(self, category: str) -> List[TraceRecord]:
         """All records of one category, in time order."""
         return [r for r in self.records if r.category == category]
@@ -62,6 +222,10 @@ class Tracer:
                 "%12.3f  %-12s %s" % (record.time, record.category, record.message)
             )
         return "\n".join(lines)
+
+
+def _as_dict(value: Any) -> dict:
+    return value if isinstance(value, dict) else {"value": value}
 
 
 class Series:

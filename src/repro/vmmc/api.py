@@ -77,11 +77,18 @@ class VmmcEndpoint:
         ``handler`` (if given) becomes the buffer's notification handler
         and enables the receiver-side interrupt flag on its pages.
         """
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "vmmc.export", "export %dB" % nbytes,
+                track=self.proc.trace_track, data={"bytes": nbytes},
+            )
         record = yield from self.daemon.export(
             self.proc, vaddr, nbytes,
             allow_nodes=allow_nodes,
             notify=handler is not None,
         )
+        self.proc.tracer.end(span)
         buffer = ExportedBuffer(record=record, handler=handler)
         if handler is not None:
             self.notifications.register(buffer)
@@ -104,7 +111,14 @@ class VmmcEndpoint:
 
     def import_buffer(self, remote_node: int, export_id: int):
         """Import a remote export; returns an :class:`ImportedBuffer`."""
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "vmmc.import", "import n%d/%d" % (remote_node, export_id),
+                track=self.proc.trace_track,
+            )
         imported = yield from self.daemon.import_buffer(self.proc, remote_node, export_id)
+        self.proc.tracer.end(span)
         return imported
 
     def unimport(self, imported: ImportedBuffer):
@@ -151,6 +165,13 @@ class VmmcEndpoint:
         # User-level bookkeeping, then the two decoded EISA accesses of
         # the transfer-initiation sequence.
         costs = self.proc.config.costs
+        tracer = self.proc.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "vmmc.send", "send %dB" % nbytes, track=self.proc.trace_track,
+                data={"bytes": nbytes},
+            )
         yield self.proc.sim.timeout(costs.vmmc_send_call)
         segments = self.proc.space.translate(local_vaddr, nbytes, write=False)
         yield self.proc.sim.timeout(self.proc.node.eisa.pio_cost(2))
@@ -164,6 +185,7 @@ class VmmcEndpoint:
         self.sends += 1
         self.bytes_sent += nbytes
         yield done
+        tracer.end(span)
 
     def send_nonblocking(
         self,
@@ -231,12 +253,19 @@ class VmmcEndpoint:
         configures this binding's combining-flush timer (None = machine
         default); single-burst control pages use a short timer.
         """
+        span = None
+        if self.proc.tracer.enabled:
+            span = self.proc.tracer.begin(
+                "vmmc.bind", "bind %sB" % (nbytes if nbytes is not None else "all"),
+                track=self.proc.trace_track,
+            )
         binding = yield from self.daemon.bind_automatic(
             self.proc, local_vaddr, imported,
             nbytes=nbytes, offset=offset,
             combining=combining, use_timer=use_timer,
             dest_interrupt=notify, timer_us=timer_us,
         )
+        self.proc.tracer.end(span)
         return binding
 
     def unbind(self, binding: AutomaticBinding):

@@ -63,10 +63,18 @@ class NotificationCenter:
             buffer = self._by_export_id.get(export_id)
             if buffer is None or buffer.handler is None:
                 continue  # no handler specified: the notification has no effect
+            span = None
+            if self.proc.tracer.enabled:
+                span = self.proc.tracer.begin(
+                    "vmmc.notify", "notify export %d" % export_id,
+                    track=self.proc.trace_track,
+                    data={"fast": self.fast, "bytes": size},
+                )
             yield self.proc.sim.timeout(per_delivery)
             buffer.notifications_received += 1
             self.dispatched += 1
             buffer.handler(buffer, page, size)
+            self.proc.tracer.end(span)
             delivered.append((buffer, page, size))
         return delivered
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Series, Simulator, Stopwatch, Tracer
+from repro.sim import Series, Simulator, Stopwatch, Tracer, spawn
 
 
 def test_tracer_disabled_keeps_counts_only():
@@ -50,6 +50,116 @@ def test_tracer_format_output():
     text = tracer.format()
     assert "net" in text and "msg" in text
     assert tracer.format(categories=["other"]) == ""
+
+
+def test_span_begin_end_records_interval():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+
+    def worker():
+        span = tracer.begin("cpu.store", "store 4B", track="n0.cpu.p1")
+        yield sim.timeout(0.87)
+        tracer.end(span, data={"bytes": 4})
+
+    spawn(sim, worker())
+    sim.run()
+    (span,) = tracer.spans
+    assert span.category == "cpu.store"
+    assert span.track == "n0.cpu.p1"
+    assert span.closed
+    assert span.start == 0.0 and span.end == 0.87
+    assert span.duration() == pytest.approx(0.87)
+    assert span.data == {"bytes": 4}
+
+
+def test_span_nesting_links_parents_per_track():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    outer = tracer.begin("nx.csend", "csend", track="n0.cpu.p1")
+    inner = tracer.begin("vmmc.send", "send", track="n0.cpu.p1")
+    other = tracer.begin("nic.dma_in", "dma", track="n1.nic.in")
+    assert outer.parent is None
+    assert inner.parent == outer.sid
+    assert other.parent is None  # different track: no cross-track nesting
+    tracer.end(inner)
+    tracer.end(outer)
+    sibling = tracer.begin("vmmc.send", "again", track="n0.cpu.p1")
+    assert sibling.parent is None  # stack drained; not a child of closed spans
+
+
+def test_span_end_pops_dangling_children():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    outer = tracer.begin("a", "outer", track="t")
+    tracer.begin("b", "left-open", track="t")
+    tracer.end(outer)  # closing outer drops the dangling child from the stack
+    fresh = tracer.begin("c", "fresh", track="t")
+    assert fresh.parent is None
+
+
+def test_span_disabled_is_noop_and_end_accepts_none():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    span = tracer.begin("cpu.store", "store", track="n0.cpu.p1")
+    assert span is None
+    tracer.end(span)  # must not raise: the guarded call-site pattern
+    assert tracer.spans == []
+
+
+def test_span_limit_caps_spans():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True, limit=2)
+    for i in range(5):
+        tracer.end(tracer.begin("x", str(i)))
+    assert len(tracer.spans) == 2
+
+
+def test_complete_and_instant_adopt_open_parent():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    outer = tracer.begin("vmmc.send", "send", track="n0.cpu.p1")
+    done = tracer.complete("bus", "xfer", 1.0, 2.5, track="n0.cpu.p1")
+    mark = tracer.instant("note", "flag", track="n0.cpu.p1")
+    assert done.parent == outer.sid and done.duration() == pytest.approx(1.5)
+    assert mark.parent == outer.sid and mark.duration() == 0.0
+    # complete() must not touch the open-span stack.
+    child = tracer.begin("cpu.store", "store", track="n0.cpu.p1")
+    assert child.parent == outer.sid
+
+
+def test_span_totals_sums_closed_spans_per_category():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.complete("bus", "a", 0.0, 1.0)
+    tracer.complete("bus", "b", 2.0, 2.5)
+    tracer.complete("mesh.transit", "c", 0.0, 0.25)
+    tracer.begin("bus", "open")  # open spans are excluded
+    totals = tracer.span_totals()
+    assert totals["bus"] == pytest.approx(1.5)
+    assert totals["mesh.transit"] == pytest.approx(0.25)
+
+
+def test_spans_of_filters_category_and_track_prefix():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.complete("cpu.poll", "n0", 0.0, 1.0, track="n0.cpu.p1")
+    tracer.complete("cpu.poll", "n1", 0.0, 1.0, track="n1.cpu.p1")
+    tracer.complete("cpu.store", "s", 0.0, 1.0, track="n1.cpu.p1")
+    assert [s.name for s in tracer.spans_of("cpu.poll")] == ["n0", "n1"]
+    assert [s.name for s in tracer.spans_of("cpu.poll", "n1.")] == ["n1"]
+
+
+def test_clear_drops_spans_and_records_keeps_counts():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.log("net", "pkt")
+    tracer.begin("a", "open")
+    tracer.clear()
+    assert tracer.spans == [] and tracer.records == []
+    assert tracer.counts["net"] == 1
+    # Clearing with an open span must not corrupt later nesting.
+    fresh = tracer.begin("b", "fresh")
+    assert fresh.parent is None
 
 
 def test_series_statistics():

@@ -6,11 +6,14 @@ makes the promise structural.
 
 import importlib
 import inspect
+import pathlib
 import pkgutil
 
 import pytest
 
 import repro
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def _walk_modules():
@@ -52,6 +55,29 @@ def test_public_classes_and_functions_documented(module):
     assert not undocumented, (
         "%s has undocumented public items: %s" % (module.__name__, undocumented)
     )
+
+
+@pytest.mark.parametrize("doc", [
+    "docs/CALIBRATION.md",
+    "docs/PROTOCOLS.md",
+    "docs/OBSERVABILITY.md",
+])
+def test_doc_files_exist_and_are_linked_from_readme(doc):
+    path = REPO_ROOT / doc
+    assert path.is_file(), "%s is promised but missing" % doc
+    assert path.read_text().lstrip().startswith("# "), doc
+    assert doc in (REPO_ROOT / "README.md").read_text(), (
+        "%s is not linked from the README docs index" % doc)
+
+
+def test_observability_doc_matches_the_code():
+    text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    # The doc names the CLI, categories, and tracks the code implements;
+    # pin the load-bearing ones so the doc cannot silently drift.
+    for needle in ("python -m repro trace", "metrics_snapshot",
+                   "cpu.store", "mesh.transit", "nic.dma_in",
+                   "trace_event", "mesh.backplane"):
+        assert needle in text, "OBSERVABILITY.md no longer mentions %r" % needle
 
 
 def test_every_package_dir_is_importable():
