@@ -1,12 +1,18 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples reports trace-demo clean
+.PHONY: install test test-fast faults bench examples reports trace-demo clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/
+
+test-fast:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/ -m "not slow"
+
+faults:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro faults --seed $${SEED:-0}
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

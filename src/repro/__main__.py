@@ -5,6 +5,7 @@
     python -m repro ttcp
     python -m repro budget           # analytic one-word latency budgets
     python -m repro trace            # traced one-word journey + Chrome JSON
+    python -m repro faults --seed N  # replay a seeded fault schedule
     python -m repro all              # everything, in order
 
 Each figure command prints the same rows the paper plots (and that
@@ -71,6 +72,54 @@ def _cmd_budget() -> None:
     print(du_word_budget().report())
 
 
+def _cmd_faults(args) -> int:
+    from .libs.nx import VARIANTS, nx_world
+    from .sim.faults import FaultPlan
+    from .testbed import make_system
+    from .vmmc import VmmcTimeoutError
+
+    plan = FaultPlan.from_seed(args.seed, horizon_us=args.horizon,
+                               count=args.count)
+    print(plan.describe())
+    if args.plan_only:
+        return 0
+
+    system = make_system(fault_plan=plan)
+    nbytes = 1024
+    payload = bytes((args.seed * 37 + i * 17 + 5) % 256 for i in range(nbytes))
+    outcome = {}
+
+    def make_rank(me, peer, initiator):
+        def program(nx):
+            src = nx.proc.space.mmap(4096)
+            dst = nx.proc.space.mmap(4096)
+            nx.proc.poke(src, payload)
+            try:
+                if initiator:
+                    yield from nx.csend(7, src, nbytes, to=peer)
+                    size = yield from nx.crecv(8, dst, 4096)
+                else:
+                    size = yield from nx.crecv(7, dst, 4096)
+                    yield from nx.csend(8, src, nbytes, to=peer)
+                intact = nx.proc.peek(dst, size) == payload
+                outcome[me] = "ok" if intact else "CORRUPT PAYLOAD"
+            except VmmcTimeoutError as exc:
+                outcome[me] = "typed timeout (%s)" % type(exc).__name__
+
+        return program
+
+    handles = nx_world(system, [make_rank(0, 1, True), make_rank(1, 0, False)],
+                       variant=VARIANTS[args.variant])
+    system.run_processes(handles, timeout=20_000_000.0)
+    print()
+    print(system.faults.report())
+    print()
+    print("workload: NX %s ping-pong, %d bytes each way" % (args.variant, nbytes))
+    for rank in sorted(outcome):
+        print("  rank %d: %s" % (rank, outcome[rank]))
+    return 0 if all(v.startswith(("ok", "typed")) for v in outcome.values()) else 1
+
+
 def _cmd_trace(args) -> int:
     from .bench.tracing import trace_one_word
     from .sim import validate_chrome_trace
@@ -130,6 +179,20 @@ def _build_parser() -> argparse.ArgumentParser:
                                 metavar="command")
     for name in sorted(_FIGURES) + ["scalars", "ttcp", "budget", "all"]:
         sub.add_parser(name, help="run the %r experiment" % name)
+    faults = sub.add_parser(
+        "faults",
+        help="replay a seeded fault schedule against an NX ping-pong",
+    )
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault plan seed (same seed => same run)")
+    faults.add_argument("--count", type=int, default=8,
+                        help="number of faults in the plan")
+    faults.add_argument("--horizon", type=float, default=4000.0,
+                        help="schedule faults over [0, horizon) microseconds")
+    faults.add_argument("--variant", default="AU-1copy",
+                        help="NX variant for the driven workload")
+    faults.add_argument("--plan-only", action="store_true",
+                        help="print the schedule without running a workload")
     trace = sub.add_parser(
         "trace",
         help="trace a Figure 3 one-word transfer and export Chrome JSON",
@@ -150,6 +213,8 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command in _FIGURES:
         print(_FIGURES[args.command]().report())
     elif args.command == "scalars":

@@ -15,23 +15,57 @@ charging; it exists so that ablations can model memory-bus saturation.
 
 from __future__ import annotations
 
-from ..sim import BandwidthChannel, Simulator
+from typing import Any, Optional
+
+from ..sim import BandwidthChannel, Event, FaultInjector, FaultSite, Simulator
 from .config import MachineConfig
 
 __all__ = ["EisaBus", "XpressBus"]
 
 
 class EisaBus(BandwidthChannel):
-    """The EISA expansion bus of one node."""
+    """The EISA expansion bus of one node.
 
-    def __init__(self, sim: Simulator, config: MachineConfig, node_id: int):
+    Hosts the ``bus.eisa`` fault site: a ``degrade`` fault divides the
+    bus bandwidth by ``factor`` for ``duration_us`` (a flaky card or a
+    bus-hog peripheral stealing cycles).  Transfers that start inside
+    the window take proportionally longer; the window opens when the
+    first transfer at or after the fault's time crosses the bus.
+    """
+
+    def __init__(self, sim: Simulator, config: MachineConfig, node_id: int,
+                 faults: Optional[FaultInjector] = None):
         super().__init__(
             sim,
             bandwidth=config.eisa_dma_bandwidth,
             name="eisa-n%d" % node_id,
         )
         self.config = config
+        self.node_id = node_id
+        self.faults = faults or FaultInjector(sim)
         self.pio_accesses = 0
+        self._degraded_until = 0.0
+        self._degrade_factor = 1.0
+        self.degrade_windows = 0
+
+    def occupancy(self, nbytes: int) -> float:
+        """Channel time for one transfer, stretched while degraded."""
+        base = super().occupancy(nbytes)
+        if self.sim.now < self._degraded_until:
+            return base * self._degrade_factor
+        return base
+
+    def transfer(self, nbytes: int, value: Any = None) -> Event:
+        """Queue a DMA transfer, consulting the fault site first."""
+        if self.faults.enabled:
+            fault = self.faults.draw(FaultSite.BUS_EISA, node=self.node_id)
+            if fault is not None:
+                self._degrade_factor = fault.params.get("factor", 4.0)
+                self._degraded_until = self.sim.now + fault.params.get(
+                    "duration_us", 200.0
+                )
+                self.degrade_windows += 1
+        return super().transfer(nbytes, value)
 
     def pio_cost(self, accesses: int = 1) -> float:
         """CPU time of ``accesses`` programmed-I/O accesses decoded by the NIC.

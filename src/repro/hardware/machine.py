@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..sim import MetricsRegistry, Simulator, Tracer
+from ..sim import FaultInjector, FaultPlan, MetricsRegistry, Simulator, Tracer
 from .config import MachineConfig
 from .ethernet import Ethernet
 from .node import Node
@@ -20,18 +20,28 @@ __all__ = ["Machine"]
 
 
 class Machine:
-    """Hardware of the prototype: nodes + backplane + Ethernet."""
+    """Hardware of the prototype: nodes + backplane + Ethernet.
+
+    ``fault_plan`` arms a machine-wide :class:`FaultInjector` consulted
+    by the mesh, the DMA engines, the EISA buses, and the combining
+    timers (docs/FAULTS.md).  Without a plan the injector stays disabled
+    and every hook is a single false attribute check — zero overhead.
+    """
 
     def __init__(self, config: Optional[MachineConfig] = None,
                  sim: Optional[Simulator] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 fault_plan: Optional[FaultPlan] = None):
         self.config = config or MachineConfig.shrimp_prototype()
         self.sim = sim or Simulator()
         self.tracer = Tracer(self.sim, enabled=trace)
-        self.mesh = MeshBackplane(self.sim, self.config, self.tracer)
+        self.faults = FaultInjector(self.sim, fault_plan, self.tracer)
+        self.mesh = MeshBackplane(self.sim, self.config, self.tracer,
+                                  faults=self.faults)
         self.ethernet = Ethernet(self.sim, self.config)
         self.nodes: List[Node] = [
-            Node(self.sim, self.config, node_id, self.mesh, self.tracer)
+            Node(self.sim, self.config, node_id, self.mesh, self.tracer,
+                 faults=self.faults)
             for node_id in range(self.config.n_nodes)
         ]
         self.metrics = MetricsRegistry(self.sim)
@@ -56,7 +66,10 @@ class Machine:
         return {
             "packets_routed": self.mesh.packets_routed,
             "bytes_routed": self.mesh.bytes_routed,
+            "packets_delivered": self.mesh.packets_delivered,
+            "packets_dropped": self.mesh.packets_dropped,
             "ethernet_frames": self.ethernet.frames_sent,
+            "faults": self.faults.stats(),
             "nodes": {n.node_id: n.nic.stats() for n in self.nodes},
         }
 

@@ -25,7 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ...sim import BandwidthChannel, Event, Simulator, Store, Tracer, spawn
+from ...sim import (
+    BandwidthChannel,
+    Event,
+    FaultInjector,
+    FaultKind,
+    FaultSite,
+    Simulator,
+    Store,
+    Tracer,
+    spawn,
+)
 from ..config import MachineConfig
 from ..memory import PhysicalMemory
 from .arbiter import Arbiter, INCOMING_PRIORITY
@@ -113,6 +123,7 @@ class DeliberateUpdateEngine:
         opt: OutgoingPageTable,
         packetizer: Packetizer,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.sim = sim
         self.config = config
@@ -122,9 +133,14 @@ class DeliberateUpdateEngine:
         self.opt = opt
         self.packetizer = packetizer
         self.tracer = tracer or Tracer(sim)
+        # Stored as ``injector`` engine-wide: the incoming engine's
+        # ``faults`` name is already its receive-fault counter.
+        self.injector = faults or FaultInjector(sim)
         self.commands: Store = Store(sim, name="du-commands-n%d" % node_id)
         self.transfers_done = 0
         self.bytes_sent = 0
+        self.stalls = 0
+        self.aborts = 0
         spawn(sim, self._run(), name="du-engine-n%d" % node_id)
 
     def submit(self, command: DUCommand) -> None:
@@ -137,6 +153,28 @@ class DeliberateUpdateEngine:
         track = "n%d.nic.du" % self.node_id
         while True:
             command = yield self.commands.get()
+            if self.injector.enabled:
+                fault = self.injector.draw(FaultSite.NIC_DU, node=self.node_id)
+                if fault is not None:
+                    if fault.kind == FaultKind.ABORT:
+                        # The engine rejects the whole command before any
+                        # chunk is emitted; the initiator's done event
+                        # fails with a typed error instead of hanging.
+                        from ...vmmc.errors import VmmcTransferError
+
+                        self.aborts += 1
+                        self.tracer.log(
+                            "fault",
+                            "n%d DU command %dB ABORTED by fault"
+                            % (self.node_id, command.size),
+                        )
+                        command.done.fail(VmmcTransferError(
+                            "deliberate update of %d bytes aborted by the "
+                            "DU engine on node %d" % (command.size, self.node_id)
+                        ))
+                        continue
+                    self.stalls += 1
+                    yield self.sim.timeout(fault.params.get("stall_us", 50.0))
             span = None
             if self.tracer.enabled:
                 span = self.tracer.begin(
@@ -185,6 +223,7 @@ class IncomingDmaEngine:
         ipt: IncomingPageTable,
         arbiter: Arbiter,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.sim = sim
         self.config = config
@@ -194,6 +233,8 @@ class IncomingDmaEngine:
         self.ipt = ipt
         self.arbiter = arbiter
         self.tracer = tracer or Tracer(sim)
+        self.injector = faults or FaultInjector(sim)
+        self.stalls = 0
         self.incoming: Store = Store(
             sim, capacity=config.incoming_queue_packets, name="incoming-n%d" % node_id
         )
@@ -235,6 +276,14 @@ class IncomingDmaEngine:
         cfg = self.config
         while True:
             packet = yield self.incoming.get()
+            if self.injector.enabled:
+                fault = self.injector.draw(FaultSite.NIC_DMA_IN, node=self.node_id)
+                if fault is not None:
+                    # The landing engine hiccups (bus retry storm, slow
+                    # card): the packet sits in the incoming queue a
+                    # while longer.  Latency-only; data is untouched.
+                    self.stalls += 1
+                    yield self.sim.timeout(fault.params.get("stall_us", 50.0))
             grant = self.arbiter.request(priority=INCOMING_PRIORITY)
             yield grant
             span = None

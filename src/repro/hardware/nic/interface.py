@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from ...sim import BandwidthChannel, Event, Simulator, Tracer, spawn
+from ...sim import BandwidthChannel, Event, FaultInjector, Simulator, Tracer, spawn
 from ..config import MachineConfig
 from ..memory import PhysicalMemory
 from ..router.mesh import MeshBackplane
@@ -47,6 +47,7 @@ class NetworkInterface:
         eisa: BandwidthChannel,
         mesh: MeshBackplane,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.sim = sim
         self.config = config
@@ -55,18 +56,22 @@ class NetworkInterface:
         self.eisa = eisa
         self.mesh = mesh
         self.tracer = tracer or Tracer(sim)
+        self.faults = faults or FaultInjector(sim)
 
         self.opt = OutgoingPageTable(config)
         self.ipt = IncomingPageTable(config)
         self.fifo = OutgoingFifo(sim, config, name="outgoing-fifo-n%d" % node_id)
-        self.packetizer = Packetizer(sim, config, node_id, self.fifo, self.tracer)
+        self.packetizer = Packetizer(sim, config, node_id, self.fifo, self.tracer,
+                                     faults=self.faults)
         self.snoop = SnoopLogic(config, self.opt, self.packetizer)
         self.arbiter = Arbiter(sim, node_id)
         self.du_engine = DeliberateUpdateEngine(
-            sim, config, node_id, memory, eisa, self.opt, self.packetizer, self.tracer
+            sim, config, node_id, memory, eisa, self.opt, self.packetizer,
+            self.tracer, faults=self.faults
         )
         self.incoming = IncomingDmaEngine(
-            sim, config, node_id, memory, eisa, self.ipt, self.arbiter, self.tracer
+            sim, config, node_id, memory, eisa, self.ipt, self.arbiter,
+            self.tracer, faults=self.faults
         )
         mesh.attach(node_id, self.incoming.deliver)
         spawn(sim, self._inject_loop(), name="nic-inject-n%d" % node_id)

@@ -21,9 +21,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from ...sim import FaultInjector, FaultKind, FaultSite
 from ..config import MachineConfig
 
-__all__ = ["OPTEntry", "OutgoingPageTable"]
+__all__ = ["OPTEntry", "OutgoingPageTable", "effective_timer"]
+
+
+def effective_timer(
+    entry: "OPTEntry",
+    config: MachineConfig,
+    faults: Optional[FaultInjector] = None,
+    node: Optional[int] = None,
+) -> float:
+    """The combining timeout the timer hardware will actually honour.
+
+    Normally the entry's ``timer_us`` override or the machine-wide
+    ``combine_timeout``.  This is also the ``opt.timer`` fault site: an
+    ``early`` misfire returns 0 (the open packet flushes immediately, a
+    premature send), a ``late`` misfire inflates the timeout by the
+    fault's ``factor`` (a sluggish flush).  Both are latency-only — the
+    packet contents are never affected.
+    """
+    timeout = entry.timer_us if entry.timer_us is not None else config.combine_timeout
+    if faults is not None and faults.enabled and entry.use_timer:
+        fault = faults.draw(FaultSite.OPT_TIMER, node=node)
+        if fault is not None:
+            if fault.kind == FaultKind.EARLY:
+                return 0.0
+            return timeout * fault.params.get("factor", 16.0)
+    return timeout
 
 
 @dataclass

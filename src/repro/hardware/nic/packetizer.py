@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ...sim import Simulator, Tracer, spawn
+from ...sim import FaultInjector, Simulator, Tracer, spawn
 from ..config import MachineConfig
 from ..router.packet import Packet, PacketKind
 from .fifo import OutgoingFifo
-from .opt import OPTEntry
+from .opt import OPTEntry, effective_timer
 
 __all__ = ["Packetizer"]
 
@@ -63,12 +63,14 @@ class Packetizer:
         node_id: int,
         fifo: OutgoingFifo,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.sim = sim
         self.config = config
         self.node_id = node_id
         self.fifo = fifo
         self.tracer = tracer or Tracer(sim)
+        self.faults = faults or FaultInjector(sim)
         self._open: Optional[_OpenPacket] = None
         self._timer_armed = False
         self._last_enqueue_at = 0.0
@@ -123,11 +125,7 @@ class Packetizer:
             # Not combinable with the open packet: close it and open fresh.
             self._close_open()
             chunk = data[position : position + cfg.max_packet_payload]
-            timeout = (
-                entry.timer_us
-                if entry.timer_us is not None
-                else cfg.combine_timeout
-            )
+            timeout = effective_timer(entry, cfg, self.faults, self.node_id)
             self._open = _OpenPacket(
                 entry.dst_node,
                 addr,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..sim import Simulator, Tracer
+from ..sim import FaultInjector, Simulator, Tracer
 from .bus import EisaBus, XpressBus
 from .config import CacheMode, MachineConfig
 from .memory import PhysicalMemory
@@ -31,20 +31,23 @@ class Node:
         node_id: int,
         mesh: MeshBackplane,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.sim = sim
         self.config = config
         self.node_id = node_id
         self.tracer = tracer or Tracer(sim)
+        self.faults = faults or FaultInjector(sim)
         self.memory = PhysicalMemory(config, node_id)
-        self.eisa = EisaBus(sim, config, node_id)
+        self.eisa = EisaBus(sim, config, node_id, faults=self.faults)
         self.eisa.tracer = self.tracer
         self.eisa.track = "n%d.bus.eisa" % node_id
         self.xpress = XpressBus(sim, config, node_id)
         self.xpress.tracer = self.tracer
         self.xpress.track = "n%d.bus.xpress" % node_id
         self.nic = NetworkInterface(
-            sim, config, node_id, self.memory, self.eisa, mesh, self.tracer
+            sim, config, node_id, self.memory, self.eisa, mesh, self.tracer,
+            faults=self.faults,
         )
 
     # -- the CPU's memory operations ------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ...sim import Simulator, Tracer
+from ...sim import FaultInjector, FaultKind, FaultSite, Simulator, Tracer
 from ..config import MachineConfig
 from .imrc import RouterNode
 from .packet import Packet
@@ -24,10 +24,12 @@ DeliverFn = Callable[[Packet], None]
 class MeshBackplane:
     """A ``width x height`` mesh of iMRC routers with NICs at the nodes."""
 
-    def __init__(self, sim: Simulator, config: MachineConfig, tracer: Optional[Tracer] = None):
+    def __init__(self, sim: Simulator, config: MachineConfig, tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultInjector] = None):
         self.sim = sim
         self.config = config
         self.tracer = tracer or Tracer(sim)
+        self.faults = faults or FaultInjector(sim)
         self.routers: Dict[Tuple[int, int], RouterNode] = {}
         for y in range(config.mesh_height):
             for x in range(config.mesh_width):
@@ -36,8 +38,18 @@ class MeshBackplane:
         # Loopback traffic still crosses the NIC/router port serially;
         # one pseudo-link per node keeps self-sends FIFO too.
         self._loopback: Dict[int, "Link"] = {}
+        # Conservation counters: routed == delivered + dropped + in-flight
+        # at every instant (the invariant the tests/conftest audit checks).
         self.packets_routed = 0
         self.bytes_routed = 0
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+        self.packets_in_flight = 0
+        self.bytes_in_flight = 0
+        self.packets_corrupted = 0
+        self.packets_delayed = 0
 
     # -- wiring ---------------------------------------------------------
     def attach(self, node_id: int, deliver: DeliverFn) -> None:
@@ -89,6 +101,43 @@ class MeshBackplane:
 
         self.packets_routed += 1
         self.bytes_routed += packet.size
+        if self.faults.enabled:
+            fault = self.faults.draw(FaultSite.MESH_LINK)
+            if fault is not None:
+                if fault.kind == FaultKind.DROP:
+                    # The packet dies in the fabric: nothing is scheduled
+                    # at the destination, the bytes are accounted as
+                    # dropped (conservation stays checkable).
+                    self.packets_dropped += 1
+                    self.bytes_dropped += packet.size
+                    self.tracer.log(
+                        "mesh",
+                        "packet #%d n%d->n%d DROPPED by fault"
+                        % (packet.seq, packet.src_node, packet.dst_node),
+                    )
+                    return arrival
+                if fault.kind == FaultKind.CORRUPT:
+                    # Flip one payload byte in flight; the seq is kept so
+                    # delivery ordering and tracing stay coherent.  The
+                    # libraries' CRC checks are what must catch this.
+                    offset = fault.params.get("offset", 0) % packet.size
+                    payload = bytearray(packet.payload)
+                    payload[offset] ^= 0xFF
+                    packet = Packet(
+                        src_node=packet.src_node,
+                        dst_node=packet.dst_node,
+                        dst_paddr=packet.dst_paddr,
+                        payload=bytes(payload),
+                        kind=packet.kind,
+                        interrupt=packet.interrupt,
+                        seq=packet.seq,
+                    )
+                    self.packets_corrupted += 1
+                elif fault.kind == FaultKind.DELAY:
+                    arrival += fault.params.get("delay_us", 20.0)
+                    self.packets_delayed += 1
+        self.packets_in_flight += 1
+        self.bytes_in_flight += packet.size
         if self.tracer.enabled:
             self.tracer.complete(
                 "mesh.transit",
@@ -109,6 +158,10 @@ class MeshBackplane:
         return arrival
 
     def _deliver(self, packet: Packet) -> None:
+        self.packets_in_flight -= 1
+        self.bytes_in_flight -= packet.size
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
         self._receivers[packet.dst_node](packet)
 
     # -- inspection --------------------------------------------------------

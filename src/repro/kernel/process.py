@@ -41,6 +41,9 @@ class UserProcess:
         # Cached for the one-attribute-check tracing guard on hot paths.
         self.tracer = node.tracer
         self.trace_track = "n%d.cpu.p%d" % (node.node_id, pid)
+        # Cached likewise so libraries can gate their recovery protocols
+        # on faults.enabled with one attribute check (docs/FAULTS.md).
+        self.faults = node.faults
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<UserProcess %s on node %d>" % (self.name, self.node.node_id)

@@ -13,7 +13,7 @@ from typing import Callable, List, Optional
 
 from ..hardware.config import MachineConfig
 from ..hardware.machine import Machine
-from ..sim import Process, Simulator, spawn
+from ..sim import FaultPlan, Process, Simulator, spawn
 from .daemon import ShrimpDaemon
 from .process import UserProcess
 from .syscalls import KernelServices
@@ -24,10 +24,12 @@ __all__ = ["ShrimpSystem"]
 class ShrimpSystem:
     """A running SHRIMP multicomputer (Figure 1, software included)."""
 
-    def __init__(self, config: Optional[MachineConfig] = None, trace: bool = False):
-        self.machine = Machine(config, trace=trace)
+    def __init__(self, config: Optional[MachineConfig] = None, trace: bool = False,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.machine = Machine(config, trace=trace, fault_plan=fault_plan)
         self.sim: Simulator = self.machine.sim
         self.config = self.machine.config
+        self.faults = self.machine.faults
         self.kernels: List[KernelServices] = [
             KernelServices(node) for node in self.machine.nodes
         ]

@@ -1,14 +1,25 @@
 """NX message-passing compatibility library (system S14 in DESIGN.md)."""
 
-from .api import ANY_TYPE, MsgId, NXProcess, NXVariant, VARIANTS, nx_world
+from .api import (
+    ANY_NODE,
+    ANY_TYPE,
+    MsgId,
+    NXProcess,
+    NXTimeoutError,
+    NXVariant,
+    VARIANTS,
+    nx_world,
+)
 from .connection import CHUNK_TYPE, Connection, PendingMessage
 
 __all__ = [
+    "ANY_NODE",
     "ANY_TYPE",
     "CHUNK_TYPE",
     "Connection",
     "MsgId",
     "NXProcess",
+    "NXTimeoutError",
     "NXVariant",
     "PendingMessage",
     "VARIANTS",

@@ -36,6 +36,7 @@ from .connection import (
     ANY_TYPE,
     CHUNK_TYPE,
     Connection,
+    NXTimeoutError,
     NXVariant,
     PendingMessage,
     REPLY_MODE_CHUNKED,
@@ -44,9 +45,14 @@ from .connection import (
 )
 
 __all__ = ["NXVariant", "NXProcess", "MsgId", "nx_world", "VARIANTS",
-           "ANY_TYPE", "ANY_NODE"]
+           "ANY_TYPE", "ANY_NODE", "NXTimeoutError"]
 
 ANY_NODE = -1
+
+# How long a hardened blocking receive sleeps with no message, CRC
+# rewrite, or replay request arriving before declaring the peer lost.
+# Generously above a sender's whole retry budget.
+_RECV_IDLE_US = 1_000_000.0
 
 VARIANTS: Dict[str, NXVariant] = {
     v.name: v
@@ -296,6 +302,7 @@ class NXProcess:
         yield from self.ep.dispatch_notifications()
         for peer in range(self.nranks):
             conn = self.connections[peer]
+            yield from conn.service_replays()
             while True:
                 parsed = yield from conn.scan_descriptor()
                 if parsed is None:
@@ -338,19 +345,30 @@ class NXProcess:
     def _wait_any_descriptor(self):
         """Sleep until any connection's next descriptor stamp can have
         arrived (a watch-based stand-in for the receiver's polling loop;
-        each wakeup charges one check)."""
+        each wakeup charges one check).
+
+        Hardened mode also watches each connection's CRC block and
+        replay-request beacon — a retransmission or a replay request
+        must wake the receiver even though the descriptor stamp it
+        expects is unchanged — and bounds the sleep, raising
+        :class:`NXTimeoutError` instead of hanging on a dead peer.
+        """
+        hardened = self.proc.faults.enabled
         woke = Event(self.proc.sim, name="nx-wait")
         watches = []
         memory = self.proc.node.memory
         for conn in self.connections.values():
-            stamp_vaddr = conn.descriptor_stamp_vaddr()
-            for paddr, length in self.proc.space.translate(stamp_vaddr, 4):
-                watches.append(
-                    memory.add_watch(
-                        paddr, length,
-                        lambda p, n: None if woke.triggered else woke.succeed(None),
+            ranges = [(conn.descriptor_stamp_vaddr(), 4)]
+            if hardened:
+                ranges.extend(conn.hardened_watch_ranges())
+            for vaddr, nbytes in ranges:
+                for paddr, length in self.proc.space.translate(vaddr, nbytes):
+                    watches.append(
+                        memory.add_watch(
+                            paddr, length,
+                            lambda p, n: None if woke.triggered else woke.succeed(None),
+                        )
                     )
-                )
         # Rescan once before sleeping (a descriptor may have landed
         # between the scan and the watch registration).
         arrived = False
@@ -359,7 +377,18 @@ class NXProcess:
             if data == conn.expected_stamp_bytes():
                 arrived = True
         if not arrived:
-            yield woke
+            if hardened:
+                timer = self.proc.sim.timeout(_RECV_IDLE_US)
+                yield self.proc.sim.any_of([woke, timer])
+                if not woke.triggered:
+                    for watch in watches:
+                        memory.remove_watch(watch)
+                    raise NXTimeoutError(
+                        "rank %d saw no message activity within %.0f us"
+                        % (self.rank, _RECV_IDLE_US)
+                    )
+            else:
+                yield woke
         for watch in watches:
             memory.remove_watch(watch)
         yield self.proc.sim.timeout(self.proc.config.costs.vmmc_poll_check)
@@ -389,6 +418,20 @@ class NXProcess:
             raise RuntimeError("one large send at a time per connection")
         conn.large_send_active = True
         try:
+            if conn.hardened:
+                # Hardened large sends always stream through the packet
+                # buffers: every chunk rides the CRC'd, credit-acked
+                # small-message protocol, and the scout reply (always
+                # CHUNKED from a hardened receiver) is covered by the
+                # replay beacon.  The zero-copy direct path would need
+                # its own ack machinery for no coverage gain.
+                _seq, _reply = yield from conn.send_scout_hardened(mtype, nbytes)
+                sent = 0
+                while sent < nbytes:
+                    step = min(self.payload_bytes, nbytes - sent)
+                    yield from conn.send_small(vaddr + sent, step, CHUNK_TYPE)
+                    sent += step
+                return
             seq = yield from conn.send_scout(mtype, nbytes)
             # 'The sender immediately begins copying the data into a
             # local buffer... The sender copies only when it has nothing
@@ -456,7 +499,7 @@ class NXProcess:
         region = (vaddr // page) * page
         end = -(-(vaddr + scout.size) // page) * page
         offset = vaddr - region
-        if offset % word == 0 and scout.size % word == 0:
+        if offset % word == 0 and scout.size % word == 0 and not conn.hardened:
             export = self._export_cache.get(region)
             if export is None or export.nbytes < end - region:
                 export_vaddr = region

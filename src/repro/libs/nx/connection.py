@@ -35,10 +35,12 @@ from ...hardware.config import CacheMode
 from ...kernel.process import UserProcess
 from ...testbed import Rendezvous
 from ...vmmc import VmmcEndpoint
+from ...vmmc.errors import VmmcTimeoutError, VmmcTransferError
+from ..recovery import MAX_XMIT, attempt_timeout_us, bounded_poll, crc32_of
 from .credits import CREDIT_SLOT_BYTES, CreditRing
 
-__all__ = ["NXVariant", "Connection", "HEADER_BYTES", "DESCRIPTOR_BYTES",
-           "SCOUT_SLOT", "CHUNK_TYPE", "ANY_TYPE"]
+__all__ = ["NXVariant", "Connection", "NXTimeoutError", "HEADER_BYTES",
+           "DESCRIPTOR_BYTES", "SCOUT_SLOT", "CHUNK_TYPE", "ANY_TYPE"]
 
 HEADER_BYTES = 12          # in-slot [type][seq][size]
 DESCRIPTOR_BYTES = 16      # ring entry [slot][type][size][seq]; seq is the flag
@@ -52,8 +54,22 @@ _DESC_RING_OFF = 0x100
 _REPLY_OFF = 0x400         # [export_id][buf_offset][mode][reply_seq]
 _REQUEST_OFF = 0x480       # [request_seq]
 _COMPLETE_OFF = 0x4C0      # [complete_seq]
+# Hardened-protocol words (docs/FAULTS.md; written only under an armed
+# fault plan, so the fault-free wire traffic is unchanged):
+_HCRC_OFF = 0x500          # [crc32][seq][xmit] of the newest transmission
+_RREQ_OFF = 0x540          # replay-request beacon (sender asks for control replay)
 REPLY_MODE_DIRECT = 1      # zero-copy: DU straight into the user buffer
 REPLY_MODE_CHUNKED = 2     # alignment fallback: stream through packet buffers
+
+# Hardened retransmission budget: fixed turnaround plus transfer time,
+# doubled per attempt (exponential backoff).
+_RETRY_BASE_US = 400.0
+_RETRY_PER_BYTE_US = 0.1
+
+
+class NXTimeoutError(VmmcTimeoutError):
+    """A hardened NX retry budget expired (message, credit, or reply
+    repeatedly lost); raised instead of hanging."""
 
 
 @dataclass(frozen=True)
@@ -139,6 +155,18 @@ class Connection:
         self.next_complete_seq = 1
         self.next_reply_out_seq = 1
         self.buffer_requests_seen = 0
+
+        # Hardened-protocol state (armed fault plan => CRC'd synchronous
+        # sends, credit-acks, and control-write replay; docs/FAULTS.md).
+        self.hardened = proc.faults.enabled
+        self._xmit_out = 0            # sender: hardened transmissions issued
+        self._rreq_out = 0            # sender: replay requests issued
+        self._rreq_seen = 0           # receiver: last replay request serviced
+        # Recent control writes (credits, replies, completes) as exact
+        # (vaddr, bytes) pairs.  Long enough to cover two full wraps of
+        # the credit ring, so replaying it in order reconstructs the
+        # latest intended state of every control word it spans.
+        self._replay_log: Deque[tuple] = deque(maxlen=4 * slots + 8)
 
     # ------------------------------------------------------------------
     # Setup
@@ -246,11 +274,25 @@ class Connection:
         """
         if size > self.payload_bytes:
             raise ValueError("message of %d bytes does not fit a packet buffer" % size)
-        proc, ep = self.proc, self.ep
-        variant = self.variant
+        if self.hardened:
+            seq = yield from self._send_small_hardened(user_vaddr, size, mtype)
+            return seq
         slot = yield from self.acquire_slot()
         seq = self.next_send_seq
         self.next_send_seq += 1
+        yield from self._write_small_payload(slot, user_vaddr, size, mtype, seq)
+        yield from self._write_descriptor(slot, mtype, size, seq)
+        return seq
+
+    def _write_small_payload(self, slot: int, user_vaddr: int, size: int,
+                             mtype: int, seq: int):
+        """Variant-specific payload placement for one small message.
+
+        Idempotent with respect to connection state — the hardened
+        sender replays it verbatim on retransmission.
+        """
+        proc, ep = self.proc, self.ep
+        variant = self.variant
         offset = self.slot_offset(slot)
         header = _u32(mtype & 0xFFFFFFFF, seq, size)
 
@@ -286,8 +328,104 @@ class Connection:
                                    offset=offset)
                 yield from ep.send(self.imp_data, user_vaddr, _pad4(size),
                                    offset=offset + HEADER_BYTES)
-        yield from self._write_descriptor(slot, mtype, size, seq)
-        return seq
+
+    def _send_small_hardened(self, user_vaddr: int, size: int, mtype: int):
+        """One small message, reliably: CRC + retransmit until acked.
+
+        Hardened sends are a synchronous rendezvous: the message's
+        credit coming back *is* the ack (the receiver only returns a
+        credit after consuming the payload), so at most one message is
+        outstanding per connection and a retransmission can blindly
+        rewrite the same slot.  A timed-out attempt also bumps the
+        peer's replay-request beacon, covering the case where the
+        message arrived but the credit was lost.  Raises
+        :class:`NXTimeoutError` when the retry budget is exhausted.
+        """
+        proc = self.proc
+        slot = yield from self.acquire_slot()
+        seq = self.next_send_seq
+        self.next_send_seq += 1
+        desc = _u32(slot, mtype & 0xFFFFFFFF, size, seq)
+        body = yield from proc.read(user_vaddr, size)    # checksum pass
+        crc = crc32_of(desc, bytes(body))
+        base_us = _RETRY_BASE_US + _RETRY_PER_BYTE_US * size
+        for attempt in range(MAX_XMIT):
+            self._xmit_out += 1
+            try:
+                yield from self._write_small_payload(slot, user_vaddr, size, mtype, seq)
+                yield from proc.write(self.au_ctrl_out + _HCRC_OFF,
+                                      _u32(crc, seq, self._xmit_out))
+                yield from self._write_descriptor(slot, mtype, size, seq)
+            except VmmcTransferError:
+                # The DU engine aborted this attempt; burn it and retry.
+                continue
+            acked = yield from self._await_credit(attempt_timeout_us(base_us, attempt))
+            if acked:
+                if slot not in self.free_slots:
+                    # The credit arrived but its index half was mangled
+                    # (and rejected); synchrony pins it to this slot.
+                    self.free_slots.append(slot)
+                return seq
+            yield from self.request_replay()
+        raise NXTimeoutError(
+            "no credit back from rank %d for seq %d (%d bytes) after %d transmissions"
+            % (self.peer_rank, seq, size, MAX_XMIT)
+        )
+
+    def _await_credit(self, timeout_us: float):
+        """Hardened ack wait: True once the next credit stamp lands."""
+        stamp_vaddr = self.credit_reader.expected_slot_vaddr() + 4
+        expected = self.credit_reader.expected_seq_bytes()
+        ok = yield from self._await_ctrl_word(stamp_vaddr, expected, timeout_us)
+        if not ok:
+            return False
+        yield from self.reclaim_credits(at_least=1)
+        return True
+
+    def _await_ctrl_word(self, vaddr: int, expected: bytes, timeout_us: float):
+        """Bounded wait for a control word, servicing the replay beacon.
+
+        Waits until the 4 bytes at ``vaddr`` (inside our control page)
+        equal ``expected``; True on success, False at the deadline.  The
+        wait covers the whole control window so it also wakes on the
+        peer's replay-request beacon and answers it — without this, two
+        peers whose rounds overlap after a lost ack would each sit in a
+        send-retry loop waiting for the other to reach library code (a
+        sender-sender standoff).
+        """
+        proc = self.proc
+        deadline = proc.sim.now + timeout_us
+        stamp_off = vaddr - self.ctrl_in
+        window = _RREQ_OFF + 4
+        while True:
+            remaining = deadline - proc.sim.now
+            if remaining <= 0:
+                return False
+            rreq_snapshot = proc.peek(self.ctrl_in + _RREQ_OFF, 4)
+
+            def stamp_or_beacon(data: bytes) -> bool:
+                return (data[stamp_off : stamp_off + 4] == expected
+                        or data[_RREQ_OFF : _RREQ_OFF + 4] != rreq_snapshot)
+
+            got = yield from bounded_poll(
+                proc, self.ctrl_in, window, stamp_or_beacon, remaining
+            )
+            if got is None:
+                return False
+            if got[stamp_off : stamp_off + 4] == expected:
+                return True
+            yield from self.service_replays()
+
+    def request_replay(self):
+        """Bump the peer's replay-request beacon (hardened recovery).
+
+        The receiver answers by rewriting its recent control writes —
+        credits, scout replies, completion words — repairing any the
+        fabric ate.  Idempotent on the receiver side, so a spurious
+        request costs only the replayed writes.
+        """
+        self._rreq_out += 1
+        yield from self.proc.write(self.au_ctrl_out + _RREQ_OFF, _u32(self._rreq_out))
 
     def send_scout(self, mtype: int, size: int):
         """Announce a large message (zero-copy protocol, step 1)."""
@@ -296,6 +434,40 @@ class Connection:
         yield from self.proc.compute(self.proc.config.costs.nx_scout_overhead)
         yield from self._write_descriptor(SCOUT_SLOT, mtype, size, seq)
         return seq
+
+    def send_scout_hardened(self, mtype: int, size: int):
+        """Hardened scout: retransmit until the receiver's reply arrives.
+
+        Returns ``(seq, (export_id, buf_offset, mode))``.  A hardened
+        receiver always replies CHUNKED (streaming keeps every byte
+        under the per-chunk CRC/ack protocol); the reply itself is in
+        the receiver's replay log, so a lost reply is recovered via the
+        replay-request beacon.
+        """
+        proc = self.proc
+        seq = self.next_send_seq
+        self.next_send_seq += 1
+        desc = _u32(SCOUT_SLOT, mtype & 0xFFFFFFFF, size, seq)
+        crc = crc32_of(desc)
+        for attempt in range(MAX_XMIT):
+            self._xmit_out += 1
+            yield from proc.compute(proc.config.costs.nx_scout_overhead)
+            yield from proc.write(self.au_ctrl_out + _HCRC_OFF,
+                                  _u32(crc, seq, self._xmit_out))
+            yield from self._write_descriptor(SCOUT_SLOT, mtype, size, seq)
+            landed = yield from self._await_ctrl_word(
+                self.ctrl_in + _REPLY_OFF + 12, _u32(self.next_reply_seq),
+                attempt_timeout_us(_RETRY_BASE_US, attempt),
+            )
+            if landed:
+                reply = yield from self.check_reply()
+                if reply is not None:
+                    return seq, reply
+            yield from self.request_replay()
+        raise NXTimeoutError(
+            "no scout reply from rank %d for a %d-byte message after %d transmissions"
+            % (self.peer_rank, size, MAX_XMIT)
+        )
 
     def _write_descriptor(self, slot: int, mtype: int, size: int, seq: int):
         ring_slot = seq % (2 * self.slots + 2)
@@ -326,7 +498,7 @@ class Connection:
 
     def send_complete(self, seq: int):
         """Flag the zero-copy data as fully in place (step 5, via AU)."""
-        yield from self.proc.write(self.au_ctrl_out + _COMPLETE_OFF, _u32(seq))
+        yield from self._ctrl_write(self.au_ctrl_out + _COMPLETE_OFF, _u32(seq))
 
     # ------------------------------------------------------------------
     # Receive side
@@ -346,9 +518,33 @@ class Connection:
         slot, mtype, size, seq = struct.unpack("<IIII", data)
         if seq != self.next_recv_seq:
             return None
+        if self.hardened:
+            ok = yield from self._validate_arrival(data, slot, size, seq)
+            if not ok:
+                # Corrupt, stale, or not fully landed: leave the ring
+                # state untouched and let the sender's retransmission
+                # (which rewrites the CRC block and descriptor) repair it.
+                return None
         self.next_recv_seq += 1
         yield from self.proc.compute(self.proc.config.costs.nx_match_overhead)
         return slot, mtype, size, seq
+
+    def _validate_arrival(self, desc: bytes, slot: int, size: int, seq: int):
+        """Hardened check: descriptor + payload match the sender's CRC."""
+        proc = self.proc
+        hdr = yield from proc.read(self.ctrl_in + _HCRC_OFF, 12)
+        crc, hseq, _xmit = struct.unpack("<III", hdr)
+        if hseq != seq:
+            return False
+        if slot == SCOUT_SLOT:
+            payload = b""
+        else:
+            if slot >= self.slots or size > self.payload_bytes:
+                return False
+            payload = yield from proc.read(
+                self.data_in + self.slot_offset(slot) + HEADER_BYTES, size
+            )
+        return crc32_of(desc, payload) == crc
 
     def descriptor_stamp_vaddr(self) -> int:
         """Address of the next expected descriptor's sequence stamp
@@ -376,16 +572,50 @@ class Connection:
         """Return ``slot``'s credit to the sender (via AU)."""
         yield from self.proc.compute(self.proc.config.costs.nx_credit_overhead)
         vaddr, data = self.next_credit_out.next_write(slot)
-        yield from self.proc.write(vaddr, data)
+        yield from self._ctrl_write(vaddr, data)
 
     def send_reply(self, export_id: int, buf_offset: int, mode: int):
         """Receiver side of the zero-copy protocol: tell the sender where
         to put the data (step 2->3)."""
         seq = self.next_reply_out_seq
         self.next_reply_out_seq += 1
-        yield from self.proc.write(
+        yield from self._ctrl_write(
             self.au_ctrl_out + _REPLY_OFF, _u32(export_id, buf_offset, mode, seq)
         )
+
+    def _ctrl_write(self, vaddr: int, data: bytes):
+        """Timed control write, recorded for replay in hardened mode."""
+        if self.hardened:
+            self._replay_log.append((vaddr, data))
+        yield from self.proc.write(vaddr, data)
+
+    def service_replays(self):
+        """Answer the peer's replay-request beacon (hardened recovery).
+
+        Rewrites the logged control writes in order — the newest write
+        to each word lands last, reconstructing the intended state of
+        every credit-ring slot, reply, and completion word the log
+        covers.  Rewriting a write that did arrive is harmless.
+        """
+        if not self.hardened:
+            return
+        raw = yield from self.proc.read(self.ctrl_in + _RREQ_OFF, 4)
+        (rreq,) = struct.unpack("<I", raw)
+        if rreq == self._rreq_seen:
+            return
+        self._rreq_seen = rreq
+        for vaddr, data in list(self._replay_log):
+            yield from self.proc.write(vaddr, data)
+
+    def hardened_watch_ranges(self):
+        """(vaddr, nbytes) control ranges a hardened receiver watches.
+
+        Retransmissions rewrite the CRC block and replay requests bump
+        the beacon; a sleeping receiver must wake for either (the
+        retransmitted descriptor lands in an already-consumed ring slot,
+        which the descriptor-stamp watch alone would sleep through).
+        """
+        return [(self.ctrl_in + _HCRC_OFF, 12), (self.ctrl_in + _RREQ_OFF, 4)]
 
     def poll_complete(self, seq: int):
         """Wait for the zero-copy completion word to show ``seq``."""

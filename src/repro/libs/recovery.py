@@ -1,0 +1,73 @@
+"""Shared recovery machinery for the hardened library protocols.
+
+When a :class:`~repro.sim.faults.FaultPlan` is armed, the communication
+libraries switch from the paper's reliable-network fast paths to
+*hardened* protocols (docs/FAULTS.md): payloads carry CRC32 checksums,
+senders retransmit with exponential backoff until the receiver
+acknowledges, and every blocking wait is bounded so a lost packet
+surfaces as a typed :class:`~repro.vmmc.errors.VmmcError` subclass
+instead of a hang.
+
+This module holds the pieces those protocols share:
+
+* :func:`crc32_of` — checksum over several byte chunks;
+* :func:`bounded_poll` — a deadline-bounded wait on remote memory
+  (watchpoint-driven like :meth:`UserProcess.poll`, so event count
+  scales with writes, not with the deadline);
+* the common retry constants (attempt budget, backoff schedule).
+
+Every helper is a pure function of simulated state, so hardened runs
+stay deterministic: same seed, same schedule, same outcome.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Optional
+
+from ..kernel.process import UserProcess
+
+__all__ = ["MAX_XMIT", "attempt_timeout_us", "bounded_poll", "crc32_of"]
+
+# Transmission attempts before a hardened sender gives up with a typed
+# timeout error.  With exponential backoff the total wait is
+# base * (2**MAX_XMIT - 1), comfortably under the harness watchdog.
+MAX_XMIT = 6
+
+
+def crc32_of(*chunks: bytes) -> int:
+    """CRC32 over the concatenation of ``chunks`` (no copy)."""
+    crc = 0
+    for chunk in chunks:
+        crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def attempt_timeout_us(base_us: float, attempt: int) -> float:
+    """Backoff schedule: the wait budget for retransmission ``attempt``.
+
+    Attempt 0 waits ``base_us``; each further attempt doubles it, so a
+    transient pile-up (delayed packets, a stalled DMA engine) gets
+    progressively more room before the next retransmission.
+    """
+    return base_us * (2.0 ** attempt)
+
+
+def bounded_poll(
+    proc: UserProcess,
+    vaddr: int,
+    nbytes: int,
+    predicate: Callable[[bytes], bool],
+    timeout_us: float,
+):
+    """Wait at most ``timeout_us`` for ``predicate`` to hold at ``vaddr``.
+
+    Returns the satisfying bytes, or None when the deadline passes
+    first.  A thin wrapper over :meth:`UserProcess.poll` with a relative
+    deadline — the hardened protocols' standard "wait for the ack, but
+    not forever" shape.
+    """
+    result = yield from proc.poll(
+        vaddr, nbytes, predicate, deadline=proc.sim.now + timeout_us
+    )
+    return result

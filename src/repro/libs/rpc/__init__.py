@@ -11,7 +11,7 @@ from .rpclib import (
     SUCCESS,
 )
 from .stream import VrpcStream
-from .vrpc import VrpcClient, VrpcServer, clnt_create, decode_void, encode_void
+from .vrpc import RpcTimeout, VrpcClient, VrpcServer, clnt_create, decode_void, encode_void
 from .xdr import XdrDecoder, XdrEncoder, XdrError
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "PROG_UNAVAIL",
     "RpcCallHeader",
     "RpcFault",
+    "RpcTimeout",
     "RpcReplyHeader",
     "SUCCESS",
     "VrpcClient",

@@ -19,6 +19,7 @@ from .xdr import XdrDecoder, XdrEncoder, XdrError
 __all__ = [
     "CALL", "REPLY", "RPC_VERSION", "AUTH_NULL",
     "MSG_ACCEPTED", "SUCCESS", "PROG_UNAVAIL", "PROC_UNAVAIL", "PROG_MISMATCH",
+    "GARBAGE_ARGS", "SYSTEM_ERR",
     "RpcCallHeader", "RpcReplyHeader", "RpcFault",
 ]
 
@@ -35,6 +36,7 @@ PROG_UNAVAIL = 1
 PROG_MISMATCH = 2
 PROC_UNAVAIL = 3
 GARBAGE_ARGS = 4
+SYSTEM_ERR = 5
 
 
 class RpcFault(Exception):

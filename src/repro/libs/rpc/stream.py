@@ -23,11 +23,18 @@ from typing import List, Optional, Tuple
 
 from ...hardware.config import CacheMode
 from ...kernel.process import UserProcess
-from ...vmmc import VmmcEndpoint
+from ...vmmc import VmmcEndpoint, VmmcTransferError
+from ..recovery import bounded_poll, crc32_of
 
 __all__ = ["VrpcStream", "STREAM_CTRL_BYTES"]
 
 STREAM_CTRL_BYTES = 8  # [flag][total_length]
+
+# Under an armed fault plan the stream grows two more reserved words —
+# [flag][total][xmit][crc] — so a receiver can tell a retransmission
+# from a new message (xmit) and reject corrupted payloads (crc).  The
+# fault-free layout is untouched.
+_HARDENED_CTRL_BYTES = 16
 
 
 class VrpcStream:
@@ -52,9 +59,13 @@ class VrpcStream:
         self.ep = ep
         self.in_vaddr = in_vaddr
         self.ring_bytes = ring_bytes
-        # The two reserved control words live at the region's start; the
-        # cyclic data area is what remains.
-        self.data_capacity = ring_bytes - STREAM_CTRL_BYTES
+        # The reserved control words live at the region's start; the
+        # cyclic data area is what remains.  Both endpoints derive the
+        # hardened flag from the same armed fault plan, so the layouts
+        # always agree.
+        self.hardened = proc.faults.enabled
+        self.ctrl_bytes = _HARDENED_CTRL_BYTES if self.hardened else STREAM_CTRL_BYTES
+        self.data_capacity = ring_bytes - self.ctrl_bytes
         self.automatic = automatic
         # Peer-side handles, installed by attach_peer():
         self.imp_out = None
@@ -66,6 +77,13 @@ class VrpcStream:
         # '...the receiver the next position to read':
         self.read_total = 0
         self.flag_in = 0
+        # Hardened-protocol state: retransmission stamps and the last
+        # message we sent (kept so a lost reply can be replayed when the
+        # peer retransmits an already-consumed request).
+        self._xmit_out = 0
+        self._xmit_seen = 0
+        self._last_payload: Optional[bytes] = None
+        self._last_base = 0
 
     # ------------------------------------------------------------------
     def attach_peer(self, imp_out, au_out: int, staging: int) -> None:
@@ -95,6 +113,16 @@ class VrpcStream:
             raise ValueError("stream payloads are XDR data (word multiples)")
         if nbytes > self.data_capacity:
             raise ValueError("message of %d bytes exceeds the stream queue" % nbytes)
+        if self.hardened:
+            # Commit the stream counters first, then transmit: a DU
+            # abort mid-transmit leaves the counters consistent and a
+            # later resend_last() replays the identical message.
+            self._last_payload = payload
+            self._last_base = self.write_total
+            self.write_total += nbytes
+            self.flag_out += 1
+            yield from self._transmit()
+            return
         proc = self.proc
         segments = self._ring_segments(self.write_total, nbytes)
         if self.automatic:
@@ -102,7 +130,7 @@ class VrpcStream:
             cursor = 0
             for offset, length in segments:
                 yield from proc.write(
-                    self.au_out + STREAM_CTRL_BYTES + offset,
+                    self.au_out + self.ctrl_bytes + offset,
                     payload[cursor : cursor + length],
                 )
                 cursor += length
@@ -114,7 +142,7 @@ class VrpcStream:
                 yield from proc.write(self.staging + offset, payload[cursor : cursor + length])
                 yield from self.ep.send(
                     self.imp_out, self.staging + offset, length,
-                    offset=STREAM_CTRL_BYTES + offset,
+                    offset=self.ctrl_bytes + offset,
                 )
                 cursor += length
         self.write_total += nbytes
@@ -123,6 +151,60 @@ class VrpcStream:
         yield from proc.write(
             self.au_out, struct.pack("<II", self.flag_out, self.write_total)
         )
+
+    def _transmit(self):
+        """(Re)write the newest message: data, [xmit][crc], [flag][total].
+
+        Idempotent with respect to the stream counters, so the hardened
+        retry paths call it as many times as the fault plan demands."""
+        payload = self._last_payload
+        proc = self.proc
+        self._xmit_out += 1
+        segments = self._ring_segments(self._last_base, len(payload))
+        cursor = 0
+        for offset, length in segments:
+            if self.automatic:
+                yield from proc.write(
+                    self.au_out + self.ctrl_bytes + offset,
+                    payload[cursor : cursor + length],
+                )
+            else:
+                yield from proc.write(
+                    self.staging + offset, payload[cursor : cursor + length]
+                )
+                yield from self.ep.send(
+                    self.imp_out, self.staging + offset, length,
+                    offset=self.ctrl_bytes + offset,
+                )
+            cursor += length
+        ctrl = struct.pack("<II", self.flag_out, self.write_total)
+        crc = crc32_of(ctrl, payload)
+        yield from proc.write(
+            self.au_out + 8, struct.pack("<II", self._xmit_out & 0xFFFFFFFF, crc)
+        )
+        yield from proc.write(self.au_out, ctrl)
+
+    def resend_last(self):
+        """Retransmit the most recent message (hardened only)."""
+        if self._last_payload is None:
+            return
+        yield from self._transmit()
+
+    def service_retransmits(self):
+        """Hardened probe: if the peer retransmitted a message we already
+        consumed, our last send (their ack) was lost — replay it."""
+        if not self.hardened:
+            return
+        raw = yield from self.proc.read(self.in_vaddr, 12)
+        flag, _total, xmit = struct.unpack("<III", raw)
+        if xmit != self._xmit_seen and flag == self.flag_in:
+            self._xmit_seen = xmit
+            try:
+                yield from self.resend_last()
+            except VmmcTransferError:
+                # The replay itself got aborted; the peer's next
+                # retransmission will trigger another one.
+                pass
 
     # ------------------------------------------------------------------
     # Receive side
@@ -134,21 +216,87 @@ class VrpcStream:
         (flag,) = struct.unpack("<I", raw)
         return flag == self.flag_in + 1
 
-    def recv_message(self):
-        """Wait for the next flagged transfer; returns its bytes."""
+    def recv_message(self, timeout_us: Optional[float] = None):
+        """Wait for the next flagged transfer; returns its bytes.
+
+        Hardened streams accept an optional ``timeout_us``; when the
+        deadline passes without a valid message, returns ``None`` (the
+        RPC layer maps that to a typed fault).  Corrupted arrivals are
+        rejected by CRC and the wait continues until the sender's
+        retransmission repairs them."""
+        proc = self.proc
+        if not self.hardened:
+            expected = struct.pack("<I", self.flag_in + 1)
+            yield from proc.poll(self.in_vaddr, 4, lambda b: b == expected)
+            raw = yield from proc.read(self.in_vaddr, STREAM_CTRL_BYTES)
+            flag, total = struct.unpack("<II", raw)
+            self.flag_in = flag
+            nbytes = total - self.read_total
+            segments = self._ring_segments(self.read_total, nbytes)
+            pieces = []
+            for offset, length in segments:
+                piece = yield from proc.read(
+                    self.in_vaddr + STREAM_CTRL_BYTES + offset, length
+                )
+                pieces.append(piece)
+            self.read_total = total
+            return b"".join(pieces)
+        return (yield from self._recv_message_hardened(timeout_us))
+
+    def _recv_message_hardened(self, timeout_us: Optional[float]):
         proc = self.proc
         expected = struct.pack("<I", self.flag_in + 1)
-        yield from proc.poll(self.in_vaddr, 4, lambda b: b == expected)
-        raw = yield from proc.read(self.in_vaddr, STREAM_CTRL_BYTES)
-        flag, total = struct.unpack("<II", raw)
-        self.flag_in = flag
-        nbytes = total - self.read_total
-        segments = self._ring_segments(self.read_total, nbytes)
-        pieces = []
-        for offset, length in segments:
-            piece = yield from proc.read(
-                self.in_vaddr + STREAM_CTRL_BYTES + offset, length
-            )
-            pieces.append(piece)
-        self.read_total = total
-        return b"".join(pieces)
+        deadline = None if timeout_us is None else proc.sim.now + timeout_us
+        while True:
+            # Wake on either a new flag or a bumped xmit word — the
+            # latter covers retransmissions whose flag we already hold
+            # (our reply was dropped) and corrupt flags repaired later.
+            snapshot = proc.peek(self.in_vaddr + 8, 4)
+
+            def fresh(window, expected=expected, snapshot=snapshot):
+                return window[:4] == expected or window[8:12] != snapshot
+
+            if deadline is None:
+                window = yield from proc.poll(
+                    self.in_vaddr, _HARDENED_CTRL_BYTES, fresh
+                )
+            else:
+                remaining = deadline - proc.sim.now
+                if remaining <= 0:
+                    return None
+                window = yield from bounded_poll(
+                    proc, self.in_vaddr, _HARDENED_CTRL_BYTES, fresh, remaining
+                )
+                if window is None:
+                    return None
+            raw = yield from proc.read(self.in_vaddr, _HARDENED_CTRL_BYTES)
+            flag, total, xmit, crc = struct.unpack("<IIII", raw)
+            if flag != self.flag_in + 1:
+                if flag == self.flag_in and xmit != self._xmit_seen:
+                    # Duplicate of the message we already consumed: the
+                    # peer never saw our answer — replay it.
+                    self._xmit_seen = xmit
+                    try:
+                        yield from self.resend_last()
+                    except VmmcTransferError:
+                        pass
+                # Otherwise the flag word itself is garbage; wait for
+                # the retransmission to rewrite it.
+                continue
+            self._xmit_seen = xmit
+            nbytes = total - self.read_total
+            if not (0 < nbytes <= self.data_capacity) or nbytes % 4 != 0:
+                continue  # corrupt length word — reject, await retransmit
+            segments = self._ring_segments(self.read_total, nbytes)
+            pieces = []
+            for offset, length in segments:
+                piece = yield from proc.read(
+                    self.in_vaddr + self.ctrl_bytes + offset, length
+                )
+                pieces.append(piece)
+            payload = b"".join(pieces)
+            if crc32_of(raw[:8], payload) != crc:
+                continue  # corrupt payload — reject, await retransmit
+            self.flag_in = flag
+            self.read_total = total
+            return payload

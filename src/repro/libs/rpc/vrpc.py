@@ -20,7 +20,8 @@ from typing import Callable, Dict, Optional, Tuple
 from ...hardware.config import CacheMode
 from ...kernel.process import UserProcess
 from ...kernel.system import ShrimpSystem
-from ...vmmc import VmmcEndpoint, attach
+from ...vmmc import VmmcEndpoint, VmmcTimeoutError, VmmcTransferError, attach
+from ..recovery import MAX_XMIT, attempt_timeout_us
 from .rpclib import (
     PROC_UNAVAIL,
     PROG_MISMATCH,
@@ -29,14 +30,28 @@ from .rpclib import (
     RpcFault,
     RpcReplyHeader,
     SUCCESS,
+    SYSTEM_ERR,
 )
 from .stream import STREAM_CTRL_BYTES, VrpcStream
 from .xdr import XdrDecoder, XdrEncoder
 
-__all__ = ["VrpcServer", "VrpcClient", "clnt_create", "RpcFault"]
+__all__ = ["VrpcServer", "VrpcClient", "clnt_create", "RpcFault", "RpcTimeout"]
+
+
+class RpcTimeout(RpcFault, VmmcTimeoutError):
+    """A hardened VRPC wait expired: the retransmission budget ran out
+    (client) or no call arrived within the idle bound (server)."""
+
+    def __init__(self, message: str):
+        RpcFault.__init__(self, SYSTEM_ERR, message)
 
 _ETH_RPC_BASE = 60000
 _ETH_REPLY_BASE = 80000
+# Hardened-protocol budgets (docs/FAULTS.md): exponential backoff from
+# a payload-scaled base on the client, a long idle bound on the server.
+_RETRY_BASE_US = 400.0
+_RETRY_PER_BYTE_US = 0.1
+_SVC_IDLE_US = 1_000_000.0
 _xids = itertools.count(0x5000)
 _CALL_HEADER_BYTES = 40
 _REPLY_HEADER_BYTES = 24
@@ -191,19 +206,27 @@ class VrpcServer(_Endpoint):
             return self.transports[0]
         start = self.calls_served % len(self.transports)
         memory = self.proc.node.memory
+        hardened = any(stream.hardened for stream in self.transports)
+        deadline = self.proc.sim.now + _SVC_IDLE_US
         while True:
             for shift in range(len(self.transports)):
                 stream = self.transports[(start + shift) % len(self.transports)]
                 flagged = yield from stream.check_flag()
                 if flagged:
                     return stream
+                # A bumped xmit word without a new flag means a client
+                # never saw its reply — replay it before sleeping.
+                yield from stream.service_retransmits()
             # Nothing flagged: sleep until any transport's flag word moves.
             from ...sim import Event
 
             woke = Event(self.proc.sim, name="svc-wait")
             watches = []
+            # Hardened streams also watch the xmit/crc words so a pure
+            # retransmission (same flag) wakes the loop.
+            window = 16 if hardened else 4
             for stream in self.transports:
-                for paddr, length in self.proc.space.translate(stream.in_vaddr, 4):
+                for paddr, length in self.proc.space.translate(stream.in_vaddr, window):
                     watches.append(memory.add_watch(
                         paddr, length,
                         lambda p, n: None if woke.triggered else woke.succeed(None),
@@ -213,7 +236,17 @@ class VrpcServer(_Endpoint):
                 for stream in self.transports
             )
             if not arrived:
-                yield woke
+                if hardened:
+                    idle = self.proc.sim.timeout(max(0.0, deadline - self.proc.sim.now))
+                    yield self.proc.sim.any_of([woke, idle])
+                    if not woke.triggered:
+                        for watch in watches:
+                            memory.remove_watch(watch)
+                        raise RpcTimeout(
+                            "svc_run idle: no call within %.0f us" % _SVC_IDLE_US
+                        )
+                else:
+                    yield woke
             for watch in watches:
                 memory.remove_watch(watch)
             yield self.proc.sim.timeout(self.proc.config.costs.vmmc_poll_check)
@@ -225,7 +258,14 @@ class VrpcServer(_Endpoint):
         served = 0
         while max_calls is None or served < max_calls:
             stream = yield from self._wait_any_call()
-            raw = yield from stream.recv_message()
+            if stream.hardened:
+                raw = yield from stream.recv_message(timeout_us=_SVC_IDLE_US)
+                if raw is None:
+                    raise RpcTimeout(
+                        "svc_run idle: no call within %.0f us" % _SVC_IDLE_US
+                    )
+            else:
+                raw = yield from stream.recv_message()
             span = None
             if self.proc.tracer.enabled:
                 span = self.proc.tracer.begin(
@@ -255,7 +295,15 @@ class VrpcServer(_Endpoint):
             yield from self.proc.compute(
                 costs.vrpc_xdr_per_byte * max(0, len(payload) - _REPLY_HEADER_BYTES)
             )
-            yield from stream.send_message(payload)
+            if stream.hardened:
+                try:
+                    yield from stream.send_message(payload)
+                except VmmcTransferError:
+                    # A DU abort dropped the reply; the client's
+                    # retransmission will trigger a replay.
+                    pass
+            else:
+                yield from stream.send_message(payload)
             self.calls_served += 1
             served += 1
             self.proc.tracer.end(span)
@@ -294,6 +342,29 @@ class VrpcClient(_Endpoint):
             stream, reply.server_node, reply.stream_export, reply.ring_bytes
         )
 
+    def _exchange_hardened(self, payload: bytes, xid: int):
+        """Send the call, retransmitting with backoff until the CRC-valid
+        reply lands; raises :class:`RpcTimeout` when the budget runs out."""
+        base_us = _RETRY_BASE_US + _RETRY_PER_BYTE_US * len(payload)
+        try:
+            yield from self.stream.send_message(payload)
+        except VmmcTransferError:
+            pass  # the retry loop below repairs a dropped first copy
+        for attempt in range(MAX_XMIT):
+            if attempt:
+                try:
+                    yield from self.stream.resend_last()
+                except VmmcTransferError:
+                    continue
+            raw = yield from self.stream.recv_message(
+                timeout_us=attempt_timeout_us(base_us, attempt)
+            )
+            if raw is not None:
+                return raw
+        raise RpcTimeout(
+            "no reply for xid %#x after %d transmissions" % (xid, MAX_XMIT)
+        )
+
     def call(self, proc_num: int, args: object = None,
              encode_args: EncodeFn = encode_void,
              decode_result: DecodeFn = decode_void):
@@ -315,8 +386,11 @@ class VrpcClient(_Endpoint):
         yield from self.proc.compute(
             costs.vrpc_xdr_per_byte * max(0, len(payload) - _CALL_HEADER_BYTES)
         )
-        yield from self.stream.send_message(payload)
-        raw = yield from self.stream.recv_message()
+        if self.stream.hardened:
+            raw = yield from self._exchange_hardened(payload, header.xid)
+        else:
+            yield from self.stream.send_message(payload)
+            raw = yield from self.stream.recv_message()
         yield from self.proc.compute(costs.vrpc_return_cost)
         dec = XdrDecoder(raw)
         reply = RpcReplyHeader.decode(dec)

@@ -2,7 +2,7 @@
 IDL parser, stub generator, and URPC-style runtime."""
 
 from .idl import IdlError, IdlType, Interface, Param, Procedure, parse_idl
-from .runtime import ParamRef, SrpcClientBase, SrpcError, SrpcServerBase
+from .runtime import ParamRef, SrpcClientBase, SrpcError, SrpcServerBase, SrpcTimeoutError
 from .stubgen import compile_stubs, generate_stubs
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "SrpcClientBase",
     "SrpcError",
     "SrpcServerBase",
+    "SrpcTimeoutError",
     "compile_stubs",
     "generate_stubs",
     "parse_idl",

@@ -30,11 +30,12 @@ from typing import Dict, List, Optional, Tuple
 from ...hardware.config import CacheMode
 from ...kernel.process import UserProcess
 from ...kernel.system import ShrimpSystem
-from ...vmmc import VmmcEndpoint, attach
+from ...vmmc import VmmcEndpoint, VmmcTimeoutError, attach
+from ..recovery import MAX_XMIT, attempt_timeout_us, bounded_poll, crc32_of
 from .idl import IdlType, Interface, Param
 
-__all__ = ["SrpcError", "SrpcClientBase", "SrpcServerBase", "ParamRef",
-           "pack_scalar", "unpack_scalar"]
+__all__ = ["SrpcError", "SrpcTimeoutError", "SrpcClientBase", "SrpcServerBase",
+           "ParamRef", "pack_scalar", "unpack_scalar"]
 
 _ETH_SRPC_BASE = 100000
 _ETH_REPLY_BASE = 120000
@@ -47,11 +48,25 @@ _STATUS_NO_PROC = 1
 # Short: the stubs coalesce each call's stores into single bursts.
 _SRPC_FLUSH_TIMER = 0.10
 
+# Hardened-protocol knobs (docs/FAULTS.md).  Under an armed fault plan
+# each binding grows four reserved words past the return word —
+# [call_xmit][call_crc][ret_xmit][ret_crc] — and both sides retransmit
+# full buffer images until the peer's CRC check passes.
+_HARDENED_EXT_BYTES = 16
+_RETRY_BASE_US = 400.0
+_RETRY_PER_BYTE_US = 0.1
+_SERVE_IDLE_US = 1_000_000.0
+
 _SCALAR_CODES = {"int": "<i", "uint": "<I", "float": "<f", "double": "<d"}
 
 
 class SrpcError(Exception):
     """Binding failure or protocol violation."""
+
+
+class SrpcTimeoutError(SrpcError, VmmcTimeoutError):
+    """A hardened SHRIMP RPC wait expired: the client's retransmission
+    budget ran out, or the server's idle bound passed with no call."""
 
 
 def pack_scalar(kind: str, value) -> bytes:
@@ -141,8 +156,14 @@ class _SrpcEndpointBase:
         self.call_word_off = interface.args_area_bytes
         self.ret_off = self.call_word_off + 4
         self.return_word_off = self.ret_off + interface.ret_area_bytes
+        # Hardened bindings reserve the CRC/xmit words after the return
+        # word; both sides derive the flag from the same armed fault
+        # plan, so the layouts always agree.
+        self.hardened = proc.faults.enabled
+        self.hx_off = self.return_word_off + 4
+        tail = self.hx_off + (_HARDENED_EXT_BYTES if self.hardened else 0)
         page = proc.config.page_size
-        self.region_bytes = -(-(self.return_word_off + 4) // page) * page
+        self.region_bytes = -(-tail // page) * page
         self.buf = 0  # local buffer vaddr (set during binding)
 
     def _make_buffer(self):
@@ -174,6 +195,7 @@ class SrpcClientBase(_SrpcEndpointBase):
         super().__init__(system, proc, **kwargs)
         self._seq = 0
         self.calls_made = 0
+        self._call_xmit = 0
 
     def bind(self, server_node: int, port: int):
         """Establish the binding with a serving SrpcServer."""
@@ -193,6 +215,69 @@ class SrpcClientBase(_SrpcEndpointBase):
         if not reply.ok:
             raise SrpcError("bind failed: %s" % reply.error)
         yield from self._bind_to_peer(reply.server_node, reply.buffer_export)
+
+    def _transmit_call(self, call_word: bytes):
+        """One hardened transmission: the full args image, the call word
+        and the [xmit][crc] stamp.  Idempotent — the retry loop replays
+        it until the server's CRC check accepts the call."""
+        args_img = yield from self._read(0, self.call_word_off)
+        crc = crc32_of(args_img, call_word)
+        self._call_xmit = (self._call_xmit + 1) & 0xFFFFFFFF
+        # Stamp last: the server treats a stamp bump whose CRC matches
+        # the already-present call image as the trigger, so the image
+        # must land first.
+        yield from self._write(0, args_img + call_word)
+        yield from self._write(self.hx_off, struct.pack("<II", self._call_xmit, crc))
+
+    def _exchange_hardened(self, call_word, writes, expected_ok, expected_bad):
+        """Retransmit the call until a CRC-valid reply lands; returns
+        (return word, args image, ret image) or raises SrpcTimeoutError.
+
+        The reply CRC covers the whole args area (where the server's
+        OUT/INOUT stores land), the result area, and the return word —
+        so a corrupted reply is rejected and served again from the
+        server's replay log."""
+        proc = self.proc
+        for offset, data in _coalesce(writes):
+            yield from self._write(offset, data)
+        base_us = _RETRY_BASE_US + _RETRY_PER_BYTE_US * self.call_word_off
+        ret_span = self.return_word_off - self.ret_off
+        window_off = self.return_word_off
+        window_len = self.hx_off + _HARDENED_EXT_BYTES - window_off
+        xm_lo = self.hx_off + 8 - window_off
+        for attempt in range(MAX_XMIT):
+            yield from self._transmit_call(call_word)
+            deadline = proc.sim.now + attempt_timeout_us(base_us, attempt)
+            while True:
+                remaining = deadline - proc.sim.now
+                if remaining <= 0:
+                    break
+                snapshot = proc.peek(self.buf + window_off + xm_lo, 4)
+
+                def fresh(w, snapshot=snapshot):
+                    return (w[:4] in (expected_ok, expected_bad)
+                            or w[xm_lo : xm_lo + 4] != snapshot)
+
+                window = yield from bounded_poll(
+                    proc, self.buf + window_off, window_len, fresh, remaining
+                )
+                if window is None:
+                    break
+                result = window[:4]
+                if result not in (expected_ok, expected_bad):
+                    continue  # only the xmit stamp moved; revalidate later
+                # Candidate reply: validate the CRC over full images.
+                args_img = yield from self._read(0, self.call_word_off)
+                ret_img = yield from self._read(self.ret_off, ret_span)
+                raw = yield from self._read(self.hx_off + 8, 8)
+                _ret_xmit, ret_crc = struct.unpack("<II", raw)
+                if crc32_of(args_img, ret_img, result) == ret_crc:
+                    return result, args_img, ret_img
+                # Corrupt or partial: wait for the server's next replay.
+        raise SrpcTimeoutError(
+            "no valid reply for seq %d after %d transmissions"
+            % (self._seq, MAX_XMIT)
+        )
 
     def _invoke(self, proc_id: int, writes: List[Tuple[int, bytes]],
                 ret_bytes: int, out_reads: List[Tuple[int, int]]):
@@ -217,10 +302,31 @@ class SrpcClientBase(_SrpcEndpointBase):
         yield from proc.compute(proc.config.costs.srpc_client_stub)
         self._seq = (self._seq % 0xFFFF) + 1
         call_word = struct.pack("<I", (self._seq << 16) | proc_id)
-        for offset, data in _coalesce(writes + [(self.call_word_off, call_word)]):
-            yield from self._write(offset, data)
         expected_ok = struct.pack("<I", (self._seq << 16) | _STATUS_OK)
         expected_bad = struct.pack("<I", (self._seq << 16) | _STATUS_NO_PROC)
+        if self.hardened:
+            result, args_img, ret_img = yield from self._exchange_hardened(
+                call_word, writes, expected_ok, expected_bad
+            )
+            if result == expected_bad:
+                raise SrpcError("server has no procedure %d" % proc_id)
+            # Everything was read (and CRC-validated) as full images;
+            # slice the slots out instead of re-reading them.
+            out = []
+            if ret_bytes:
+                out.append(ret_img[:ret_bytes])
+            for offset, nbytes, variable in out_reads:
+                raw = args_img[offset : offset + nbytes]
+                if variable:
+                    (length,) = struct.unpack_from("<I", raw)
+                    length = min(length, nbytes - 4)
+                    raw = raw[: 4 + length]
+                out.append(raw)
+            self.calls_made += 1
+            proc.tracer.end(span)
+            return out
+        for offset, data in _coalesce(writes + [(self.call_word_off, call_word)]):
+            yield from self._write(offset, data)
         result = yield from proc.poll(
             self.buf + self.return_word_off, 4,
             lambda b: b in (expected_ok, expected_bad),
@@ -300,6 +406,19 @@ class SrpcServerBase(_SrpcEndpointBase):
         self.impl = impl
         self._last_seq = 0
         self.calls_served = 0
+        # Hardened replay state: the exact (offset, bytes) stores of the
+        # last reply (OUT/INOUT sets included), so a duplicate call —
+        # the client never saw our answer — can be answered again even
+        # after its retransmission clobbered the buffer.
+        self._reply_log: List[Tuple[int, bytes]] = []
+        self._reply_crc = 0
+        self._ret_xmit = 0
+        self._call_xmit_seen = 0
+
+    def _write(self, offset: int, data: bytes):
+        if self.hardened:
+            self._reply_log.append((offset, bytes(data)))
+        yield from super()._write(offset, data)
 
     def serve_binding(self, port: int):
         """Accept one client binding on ``port``."""
@@ -327,12 +446,15 @@ class SrpcServerBase(_SrpcEndpointBase):
         proc = self.proc
         served = 0
         while max_calls is None or served < max_calls:
-            raw = yield from proc.poll(
-                self.buf + self.call_word_off, 4,
-                lambda b: (struct.unpack("<I", b)[0] >> 16) != self._last_seq
-                and struct.unpack("<I", b)[0] != 0,
-            )
-            word = struct.unpack("<I", raw)[0]
+            if self.hardened:
+                word = yield from self._await_call_hardened()
+            else:
+                raw = yield from proc.poll(
+                    self.buf + self.call_word_off, 4,
+                    lambda b: (struct.unpack("<I", b)[0] >> 16) != self._last_seq
+                    and struct.unpack("<I", b)[0] != 0,
+                )
+                word = struct.unpack("<I", raw)[0]
             seq, proc_id = word >> 16, word & 0xFFFF
             self._last_seq = seq
             span = None
@@ -341,6 +463,7 @@ class SrpcServerBase(_SrpcEndpointBase):
                     "srpc.serve", "serve proc %d" % proc_id,
                     track=proc.trace_track, data={"proc": proc_id},
                 )
+            self._reply_log = []
             yield from proc.compute(proc.config.costs.srpc_server_dispatch)
             dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
             status = _STATUS_OK
@@ -357,9 +480,88 @@ class SrpcServerBase(_SrpcEndpointBase):
                 writes.insert(0, (self.ret_off, ret_data))
             for offset, data in _coalesce(writes):
                 yield from self._write(offset, data)
+            if self.hardened:
+                yield from self._stamp_reply(return_word)
             self.calls_served += 1
             served += 1
             proc.tracer.end(span)
+
+    def _await_call_hardened(self):
+        """Wait (bounded) for a CRC-valid new call word; replays the
+        last reply when the client retransmits an already-served call."""
+        proc = self.proc
+        deadline = proc.sim.now + _SERVE_IDLE_US
+        window_off = self.call_word_off
+        window_len = self.hx_off + 8 - window_off
+        xm_lo = self.hx_off - window_off
+        while True:
+            remaining = deadline - proc.sim.now
+            if remaining <= 0:
+                raise SrpcTimeoutError(
+                    "no call within %.0f us" % _SERVE_IDLE_US
+                )
+            snapshot = proc.peek(self.buf + self.hx_off, 4)
+
+            def fresh(w, snapshot=snapshot):
+                word = struct.unpack_from("<I", w)[0]
+                return ((word >> 16) != self._last_seq and word != 0) \
+                    or w[xm_lo : xm_lo + 4] != snapshot
+
+            window = yield from bounded_poll(
+                proc, self.buf + window_off, window_len, fresh, remaining
+            )
+            if window is None:
+                continue
+            raw = yield from self._read(self.call_word_off, 4)
+            word = struct.unpack("<I", raw)[0]
+            hx = yield from self._read(self.hx_off, 8)
+            call_xmit, call_crc = struct.unpack("<II", hx)
+            seq = word >> 16
+            args_img = yield from self._read(0, self.call_word_off)
+            consistent = crc32_of(args_img, raw) == call_crc
+            if seq == self._last_seq or word == 0:
+                # A consistent image with the seq we already served is a
+                # genuine retransmission: the client never saw the reply
+                # — serve it again.  An inconsistent one is the next
+                # call's stamp racing ahead of its image (or corruption);
+                # replaying now would clobber the incoming arguments.
+                if (consistent and seq == self._last_seq and word != 0
+                        and call_xmit != self._call_xmit_seen
+                        and self._reply_log):
+                    self._call_xmit_seen = call_xmit
+                    yield from self._replay_reply()
+                continue
+            if not consistent:
+                continue  # corrupt arguments: await the retransmission
+            self._call_xmit_seen = call_xmit
+            return word
+
+    def _stamp_reply(self, return_word: bytes):
+        """Checksum the reply state and publish the [xmit][crc] stamp.
+
+        The CRC covers the args area (OUT/INOUT stores live there), the
+        result area and the return word — everything the client reads."""
+        args_img = yield from self._read(0, self.call_word_off)
+        ret_img = yield from self._read(
+            self.ret_off, self.return_word_off - self.ret_off
+        )
+        self._reply_crc = crc32_of(args_img, ret_img, return_word)
+        self._ret_xmit = (self._ret_xmit + 1) & 0xFFFFFFFF
+        yield from _SrpcEndpointBase._write(
+            self, self.hx_off + 8,
+            struct.pack("<II", self._ret_xmit, self._reply_crc),
+        )
+
+    def _replay_reply(self):
+        """Rewrite every store of the last reply, then bump the stamp —
+        restores OUT slots a retransmitted call image clobbered."""
+        for offset, data in self._reply_log:
+            yield from _SrpcEndpointBase._write(self, offset, data)
+        self._ret_xmit = (self._ret_xmit + 1) & 0xFFFFFFFF
+        yield from _SrpcEndpointBase._write(
+            self, self.hx_off + 8,
+            struct.pack("<II", self._ret_xmit, self._reply_crc),
+        )
 
     def _ref(self, proc_name: str, param_name: str) -> ParamRef:
         procedure = self.IDL.procedure(proc_name)

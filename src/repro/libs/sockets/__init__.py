@@ -5,6 +5,7 @@ from .api import (
     ShrimpSocket,
     SocketError,
     SocketLib,
+    SocketTimeoutError,
     SocketVariant,
     SOCKET_VARIANTS,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "ShrimpSocket",
     "SocketError",
     "SocketLib",
+    "SocketTimeoutError",
     "SocketVariant",
     "SOCKET_VARIANTS",
     "pad_word",

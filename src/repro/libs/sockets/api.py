@@ -35,14 +35,28 @@ from ...hardware.config import CacheMode
 from ...kernel.process import UserProcess
 from ...kernel.system import ShrimpSystem
 from ...vmmc import VmmcEndpoint, attach
-from .circular import RECORD_HEADER_BYTES, RecordRing, pad_word
+from ...vmmc.errors import VmmcTimeoutError, VmmcTransferError
+from ..recovery import MAX_XMIT, attempt_timeout_us, bounded_poll, crc32_of
+from .circular import RECORD_HEADER_BYTES, RecordRing, pad_word, record_bytes
 
 __all__ = ["SocketVariant", "SOCKET_VARIANTS", "SocketLib", "ShrimpSocket",
-           "Listener", "SocketError"]
+           "Listener", "SocketError", "SocketTimeoutError"]
 
 _PRODUCED_OFF = 0x00
 _CONSUMED_OFF = 0x40
 _FIN_OFF = 0x80
+# Hardened-protocol control words (docs/FAULTS.md): record CRC32 and a
+# transmission counter, written before the data so the receiver can
+# validate a record and detect retransmissions.  Unused (never written,
+# never read) when no fault plan is armed, so the fault-free wire
+# traffic is byte-identical to the paper's protocol.
+_CRC_OFF = 0xC0
+# Per-attempt ack budget: fixed turnaround allowance plus transfer time.
+_RETRY_BASE_US = 400.0
+_RETRY_PER_BYTE_US = 0.1
+# How long an idle hardened receiver waits before declaring the sender
+# lost.  Generously above a sender's whole retry budget (base * 2^6).
+_RECV_IDLE_US = 1_000_000.0
 _ETH_LISTEN_BASE = 20000
 _ETH_REPLY_BASE = 40000
 _reply_ports = itertools.count(1)
@@ -50,6 +64,14 @@ _reply_ports = itertools.count(1)
 
 class SocketError(Exception):
     """Connection-level failure (refused, state misuse)."""
+
+
+class SocketTimeoutError(SocketError, VmmcTimeoutError):
+    """A hardened-socket retry budget or bounded wait expired.
+
+    Raised instead of hanging when faults eat a record (or its ack)
+    more times than the retransmission budget allows.
+    """
 
 
 @dataclass(frozen=True)
@@ -214,6 +236,10 @@ class ShrimpSocket:
         self.peer_node = peer_node
         self.eth_peer = eth_peer
         self.half = half
+        # Hardened mode: armed fault plan => CRC + bounded retransmission.
+        self.hardened = self.proc.faults.enabled
+        self._xmit_count = 0           # sender: transmissions issued
+        self._xmit_seen = 0            # receiver: last peer xmit counter seen
         # Receive side (peer -> me).
         self.in_ring = RecordRing(lib.ring_bytes)
         self._partial = 0              # bytes of the current record already read
@@ -286,7 +312,10 @@ class ShrimpSocket:
                 yield from self._wait_for_space()
                 continue
             chunk = min(nbytes - sent, fit, max_record)
-            yield from self._send_record(vaddr + sent, chunk)
+            if self.hardened:
+                yield from self._send_record_hardened(vaddr + sent, chunk)
+            else:
+                yield from self._send_record(vaddr + sent, chunk)
             sent += chunk
         self.bytes_sent += nbytes
         self.proc.tracer.end(span)
@@ -295,10 +324,68 @@ class ShrimpSocket:
     def _send_record(self, vaddr: int, payload: int):
         proc = self.proc
         ring = self.out_ring
-        word = proc.config.word_size
         header_off = ring.offset_of(ring.produced)
         header, segments, produced = ring.place_record(payload)
+        yield from self._write_record_data(vaddr, payload, header, header_off, segments)
+        # Publish the new produced counter (control via AU, after data).
+        yield from proc.compute(proc.config.costs.socket_space_update)
+        yield from proc.write(self.au_ctrl_out + _PRODUCED_OFF, _u32(produced))
 
+    def _send_record_hardened(self, vaddr: int, payload: int):
+        """One record, reliably: CRC + retransmit until the peer acks.
+
+        The hardened protocol is a synchronous rendezvous per record:
+        the receiver's consumed counter reaching the new produced value
+        *is* the ack (no extra wire words), so the ring is drained
+        between records and a retransmission can blindly rewrite the
+        same offsets.  Raises :class:`SocketTimeoutError` once the
+        retry budget is exhausted.
+        """
+        proc = self.proc
+        ring = self.out_ring
+        header_off = ring.offset_of(ring.produced)
+        header, segments, produced = ring.place_record(payload)
+        body = yield from proc.read(vaddr, payload)      # checksum pass
+        crc = crc32_of(header, body)
+        target = _u32(produced)
+        base_us = _RETRY_BASE_US + _RETRY_PER_BYTE_US * payload
+        for attempt in range(MAX_XMIT):
+            self._xmit_count += 1
+            try:
+                yield from proc.write(
+                    self.au_ctrl_out + _CRC_OFF,
+                    _u32(crc) + _u32(self._xmit_count),
+                )
+                yield from self._write_record_data(
+                    vaddr, payload, header, header_off, segments
+                )
+                yield from proc.compute(proc.config.costs.socket_space_update)
+                yield from proc.write(self.au_ctrl_out + _PRODUCED_OFF, _u32(produced))
+            except VmmcTransferError:
+                # The DU engine aborted this attempt; burn it and retry.
+                continue
+            acked = yield from bounded_poll(
+                proc, self.half.ctrl_vaddr + _CONSUMED_OFF, 4,
+                lambda data: data == target,
+                attempt_timeout_us(base_us, attempt),
+            )
+            if acked is not None:
+                ring.consumed = produced
+                return
+        raise SocketTimeoutError(
+            "no ack for a %d-byte record after %d transmissions"
+            % (payload, MAX_XMIT)
+        )
+
+    def _write_record_data(self, vaddr: int, payload: int, header: bytes,
+                           header_off: int, segments):
+        """Variant-specific header+payload placement for one record.
+
+        Idempotent with respect to ring state — the hardened sender
+        replays it verbatim on retransmission.
+        """
+        proc = self.proc
+        word = proc.config.word_size
         if self.variant.automatic:
             yield from proc.write(self.au_ring_out + header_off, header)
             cursor = 0
@@ -353,9 +440,6 @@ class ShrimpSocket:
                             pad_word(tail), offset=seg.ring_offset + whole,
                         )
                     cursor += seg.length
-        # Publish the new produced counter (control via AU, after data).
-        yield from proc.compute(proc.config.costs.socket_space_update)
-        yield from proc.write(self.au_ctrl_out + _PRODUCED_OFF, _u32(produced))
 
     def _refresh_consumed(self):
         data = yield from self.proc.read(self.half.ctrl_vaddr + _CONSUMED_OFF, 4)
@@ -496,6 +580,9 @@ class ShrimpSocket:
         return copied
 
     def _refresh_produced(self):
+        if self.hardened:
+            yield from self._refresh_produced_hardened()
+            return
         data = yield from self.proc.read(self.half.ctrl_vaddr + _PRODUCED_OFF, 4)
         (produced,) = struct.unpack("<I", data)
         if produced > self.in_ring.produced:
@@ -504,6 +591,62 @@ class ShrimpSocket:
         if fin != b"\x00\x00\x00\x00":
             self._fin_seen = True
 
+    def _refresh_produced_hardened(self):
+        """Validate before accepting: reject garbage instead of trusting it.
+
+        A record is accepted only when the produced delta spans exactly
+        one well-formed record whose CRC (over header + payload) matches
+        the sender's — anything else (corrupted counter, stale or
+        corrupted data, a delayed packet that has not landed yet) leaves
+        the ring state untouched, and the sender's retransmission
+        repairs it.  A bumped xmit counter also replays our consumed
+        ack, since the retransmission may mean our ack was lost.
+        """
+        proc = self.proc
+        ring = self.in_ring
+        data = yield from proc.read(self.half.ctrl_vaddr + _PRODUCED_OFF, 4)
+        (produced,) = struct.unpack("<I", data)
+        crc_raw = yield from proc.read(self.half.ctrl_vaddr + _CRC_OFF, 8)
+        crc, xmit = struct.unpack("<II", crc_raw)
+        fin = proc.peek(self.half.ctrl_vaddr + _FIN_OFF, 4)
+        if fin != b"\x00\x00\x00\x00":
+            self._fin_seen = True
+        if produced != ring.produced:
+            delta = produced - ring.produced
+            if 0 < delta <= ring.capacity:
+                header = yield from proc.read(
+                    self.half.ring_vaddr + ring.next_header_offset(),
+                    RECORD_HEADER_BYTES,
+                )
+                (payload,) = struct.unpack("<I", header)
+                if 0 <= payload <= ring.capacity and record_bytes(payload) == delta:
+                    # Checksum pass over the (not yet consumed) payload.
+                    body = bytearray()
+                    remaining = payload
+                    probe = RecordRing(ring.capacity)
+                    probe.produced = produced
+                    probe.consumed = ring.consumed
+                    for seg in probe.payload_segments(payload):
+                        take = min(seg.length, remaining)
+                        if take <= 0:
+                            break
+                        piece = yield from proc.read(
+                            self.half.ring_vaddr + seg.ring_offset, take
+                        )
+                        body += piece
+                        remaining -= take
+                    if crc32_of(header, bytes(body)) == crc:
+                        ring.produced = produced
+        if xmit != self._xmit_seen:
+            # The sender retransmitted: our ack may have been lost or
+            # corrupted, so replay it.  Harmless when it did arrive
+            # (same value rewritten), and never a false ack — the
+            # sender waits for its exact target counter.
+            self._xmit_seen = xmit
+            yield from proc.write(
+                self.au_ctrl_out + _CONSUMED_OFF, _u32(ring.consumed)
+            )
+
     def _wait_for_data(self):
         """Sleep until the produced counter moves or the FIN flag lands.
 
@@ -511,6 +654,24 @@ class ShrimpSocket:
         the receiver (a watch on the counter alone would sleep through
         a close).
         """
+        if self.hardened:
+            # Watch the whole control window (counters + CRC + xmit):
+            # after rejecting a garbage record the produced word alone
+            # would still look "changed" and busy-spin, but a
+            # retransmission always bumps the xmit word.  Bounded so a
+            # dead sender surfaces as a typed error, not a hang.
+            window = _CRC_OFF + 8
+            snapshot = self.proc.peek(self.half.ctrl_vaddr, window)
+            woke = yield from bounded_poll(
+                self.proc, self.half.ctrl_vaddr, window,
+                lambda data: data != snapshot, _RECV_IDLE_US,
+            )
+            if woke is None:
+                raise SocketTimeoutError(
+                    "no data from peer node %d within %.0f us"
+                    % (self.peer_node, _RECV_IDLE_US)
+                )
+            return
         current = _u32(self.in_ring.produced)
 
         def data_or_fin(window: bytes) -> bool:
@@ -531,6 +692,13 @@ class ShrimpSocket:
             return
         self.send_closed = True
         yield from self.proc.write(self.au_ctrl_out + _FIN_OFF, _u32(1))
+        if self.hardened:
+            # The FIN flag is idempotent and unacknowledged, so blind
+            # retransmissions (spaced out to dodge a transient fault
+            # window) cover a dropped packet.
+            for gap_us in (50.0, 200.0):
+                yield from self.proc.compute(gap_us)
+                yield from self.proc.write(self.au_ctrl_out + _FIN_OFF, _u32(1))
         # The held-open internet socket also learns about the close.
         node, port = self.eth_peer
         self.lib.ethernet.send(self.proc.node.node_id, node, port, _Fin())

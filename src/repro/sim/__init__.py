@@ -29,6 +29,14 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .faults import (
+    DEFAULT_SITE_KINDS,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSite,
+)
 from .process import Interrupt, Process, spawn
 from .resources import BandwidthChannel, MetricsRegistry, Request, Resource, Store
 from .trace import Series, Span, Stopwatch, TraceRecord, Tracer
@@ -37,7 +45,13 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BandwidthChannel",
+    "DEFAULT_SITE_KINDS",
     "Event",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSite",
     "Interrupt",
     "MetricsRegistry",
     "Process",

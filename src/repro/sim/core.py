@@ -55,7 +55,8 @@ class Event:
     scheduled immediately.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_defused",
+                 "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -64,6 +65,7 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._triggered = False
+        self._defused = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -82,6 +84,21 @@ class Event:
         if not self._triggered:
             raise SimulationError("event %r has not been triggered" % (self,))
         return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True once some consumer has taken responsibility for this
+        event's failure (see :meth:`defuse`)."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event's exception as handled.
+
+        Called automatically when the exception is thrown into a waiting
+        process or consumed by a composite; anything else that swallows a
+        failure on purpose must call this, or the failure is re-raised
+        out of the event loop so bugs never pass silently."""
+        self._defused = True
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -162,12 +179,34 @@ class _Composite(Event):
     def _child_triggered(self, event: Event) -> None:
         raise NotImplementedError
 
+    def _consume_failure(self, event: Event) -> None:
+        """Fail the composite with the child's exception, taking
+        responsibility for it (waiters on the composite receive it)."""
+        event.defuse()
+        self.fail(event.value)
+
+    def _late_child_failure(self, event: Event) -> None:
+        """A child failed after the composite already triggered.
+
+        The composite can no longer propagate the exception, but it must
+        not vanish either: give the child's other consumers (scheduled at
+        the same instant, URGENT) a chance to defuse it, then re-raise it
+        out of the event loop."""
+        self.sim.schedule_call(0.0, self._surface_unhandled, event,
+                               priority=NORMAL)
+
+    def _surface_unhandled(self, event: Event) -> None:
+        if not event.defused:
+            raise event.value
+
 
 class AnyOf(_Composite):
     """Succeeds as soon as any child event triggers.
 
     The value is ``(event, event.value)`` for the first child to trigger.
-    A failing child fails the composite.
+    A failing child fails the composite; a child that fails *after*
+    another child already won is re-raised out of the event loop unless
+    some other consumer defuses it.
     """
 
     __slots__ = ()
@@ -177,18 +216,22 @@ class AnyOf(_Composite):
 
     def _child_triggered(self, event: Event) -> None:
         if self.triggered:
+            if event.ok is False:
+                self._late_child_failure(event)
             return
         if event.ok:
             self.succeed((event, event.value))
         else:
-            self.fail(event.value)
+            self._consume_failure(event)
 
 
 class AllOf(_Composite):
     """Succeeds when every child event has succeeded.
 
     The value is the list of child values, in construction order.  A failing
-    child fails the composite immediately.
+    child fails the composite immediately; further children failing after
+    that are re-raised out of the event loop unless some other consumer
+    defuses them.
     """
 
     __slots__ = ()
@@ -198,9 +241,11 @@ class AllOf(_Composite):
 
     def _child_triggered(self, event: Event) -> None:
         if self.triggered:
+            if event.ok is False:
+                self._late_child_failure(event)
             return
         if not event.ok:
-            self.fail(event.value)
+            self._consume_failure(event)
             return
         self._pending -= 1
         if self._pending == 0:

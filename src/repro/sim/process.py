@@ -100,6 +100,9 @@ class Process(Event):
         if event.ok:
             self._advance(("send", event.value))
         else:
+            # Throwing the exception into the waiter is consumption: the
+            # failure has an owner now.
+            event.defuse()
             self._advance(("throw", event.value))
 
     def _advance(self, action) -> None:

@@ -9,13 +9,58 @@ anything timing-relevant must flow through the modeled channels.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from .hardware.config import MachineConfig
 from .kernel.system import ShrimpSystem
-from .sim import Event
+from .sim import Event, FaultPlan
 
-__all__ = ["Rendezvous", "make_system"]
+__all__ = ["Rendezvous", "audit_invariants", "make_system"]
+
+# Hook for the tests/conftest.py invariant fixture: while a test has
+# this set to a list, every system built by :func:`make_system` is
+# appended so the fixture can audit conservation properties afterwards.
+_audit_registry: Optional[List[ShrimpSystem]] = None
+
+
+def audit_invariants(system: ShrimpSystem) -> List[str]:
+    """Audit conservation properties of a (finished) simulated run.
+
+    Returns human-readable violations, empty when healthy:
+
+    * mesh packet and byte conservation — everything routed was
+      delivered, dropped, or is still in flight;
+    * no negative busy/wait time on any registered resource;
+    * every tracer span that was opened was also closed.
+
+    The checks read counters the hardware keeps anyway, so auditing
+    costs nothing and runs after every test via ``tests/conftest.py``.
+    """
+    problems: List[str] = []
+    mesh = system.machine.mesh
+    for unit in ("packets", "bytes"):
+        routed = getattr(mesh, unit + "_routed")
+        delivered = getattr(mesh, unit + "_delivered")
+        dropped = getattr(mesh, unit + "_dropped")
+        in_flight = getattr(mesh, unit + "_in_flight")
+        if routed != delivered + dropped + in_flight:
+            problems.append(
+                "mesh %s conservation violated: routed=%s != delivered=%s "
+                "+ dropped=%s + in-flight=%s"
+                % (unit, routed, delivered, dropped, in_flight))
+        if min(routed, delivered, dropped, in_flight) < 0:
+            problems.append("mesh %s counter went negative" % unit)
+    for snap in system.machine.metrics.snapshot():
+        for key in ("busy_time", "wait_time"):
+            if snap.get(key, 0.0) < 0.0:
+                problems.append("%s: negative %s (%r)"
+                                % (snap.get("name"), key, snap[key]))
+    for span in system.machine.tracer.spans:
+        if span.end is None:
+            problems.append(
+                "tracer span %r (%s, track %s) opened at t=%.3f never closed"
+                % (span.name, span.category, span.track, span.start))
+    return problems
 
 
 class Rendezvous:
@@ -53,12 +98,21 @@ class Rendezvous:
         return self._values.get(key)
 
 
-def make_system(config: Optional[MachineConfig] = None, **config_overrides) -> ShrimpSystem:
-    """A booted prototype system, optionally with config field overrides."""
+def make_system(config: Optional[MachineConfig] = None,
+                fault_plan: Optional[FaultPlan] = None,
+                **config_overrides) -> ShrimpSystem:
+    """A booted prototype system, optionally with config field overrides.
+
+    ``fault_plan`` arms the machine's fault injector (docs/FAULTS.md);
+    without one the fault sites stay disabled and cost nothing.
+    """
     if config is None:
         config = MachineConfig.shrimp_prototype()
     if config_overrides:
         from dataclasses import replace
 
         config = replace(config, **config_overrides)
-    return ShrimpSystem(config)
+    system = ShrimpSystem(config, fault_plan=fault_plan)
+    if _audit_registry is not None:
+        _audit_registry.append(system)
+    return system

@@ -10,7 +10,14 @@ and notifications for control transfer.
 from ..kernel.daemon import AutomaticBinding, ImportedBuffer
 from .api import VmmcEndpoint, attach
 from .buffers import ExportedBuffer, NotificationHandler
-from .errors import MappingError, VmmcAlignmentError, VmmcError, VmmcStateError
+from .errors import (
+    MappingError,
+    VmmcAlignmentError,
+    VmmcError,
+    VmmcStateError,
+    VmmcTimeoutError,
+    VmmcTransferError,
+)
 from .notifications import NotificationCenter
 
 __all__ = [
@@ -24,5 +31,7 @@ __all__ = [
     "VmmcEndpoint",
     "VmmcError",
     "VmmcStateError",
+    "VmmcTimeoutError",
+    "VmmcTransferError",
     "attach",
 ]

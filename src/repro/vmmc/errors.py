@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from ..kernel.daemon import MappingError
 
-__all__ = ["VmmcError", "VmmcAlignmentError", "VmmcStateError", "MappingError"]
+__all__ = [
+    "VmmcError",
+    "VmmcAlignmentError",
+    "VmmcStateError",
+    "VmmcTransferError",
+    "VmmcTimeoutError",
+    "MappingError",
+]
 
 
 class VmmcError(Exception):
@@ -23,3 +30,21 @@ class VmmcAlignmentError(VmmcError):
 
 class VmmcStateError(VmmcError):
     """Operation on a destroyed mapping or otherwise invalid state."""
+
+
+class VmmcTransferError(VmmcError):
+    """A transfer failed in the hardware (e.g. the DU engine aborted it).
+
+    Raised out of a blocking send instead of leaving the caller hung on
+    a done event that will never fire; libraries with retransmission
+    treat it as a retryable loss (docs/FAULTS.md).
+    """
+
+
+class VmmcTimeoutError(VmmcError):
+    """A bounded wait on remote progress expired.
+
+    The library-level recovery protocols raise subclasses of this when
+    their retry budgets are exhausted; it always means the peer (or the
+    fabric) stopped making progress, never a silent local hang.
+    """

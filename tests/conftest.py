@@ -1,0 +1,30 @@
+"""Session-wide fixtures: post-run invariant auditing.
+
+Every system built through :func:`repro.testbed.make_system` during a
+test is audited after the test body finishes — mesh packet/byte
+conservation (routed == delivered + dropped + in-flight), non-negative
+resource busy/wait time, and span balance (every tracer ``begin`` got
+an ``end``).  The audit reads counters the hardware keeps anyway, so it
+costs nothing and catches accounting bugs in *every* integration test,
+not only the dedicated sweeps under ``tests/faults/``.
+"""
+
+import pytest
+
+from repro import testbed
+
+
+@pytest.fixture(autouse=True)
+def audit_sim_invariants():
+    """Audit every make_system() system after the test body runs."""
+    created = []
+    previous = testbed._audit_registry
+    testbed._audit_registry = created
+    try:
+        yield
+    finally:
+        testbed._audit_registry = previous
+    problems = []
+    for system in created:
+        problems.extend(testbed.audit_invariants(system))
+    assert not problems, "invariant audit failed:\n" + "\n".join(problems)

@@ -1,0 +1,10 @@
+"""Deterministic stress-test harness for the fault-injection subsystem.
+
+Seeded :class:`repro.sim.FaultPlan` sweeps drive every communication
+library (NX, sockets, VRPC, SHRIMP RPC) under mesh drops/corruption/
+delays, DU aborts, DMA stalls, EISA degradation, and OPT timer
+misfires, asserting the recovery contract of docs/FAULTS.md: every
+transfer either completes with an intact payload or raises a typed
+error — never hangs (bounded-sim-time watchdog) and never delivers
+silently corrupted data.
+"""

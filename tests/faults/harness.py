@@ -1,0 +1,227 @@
+"""Shared builders for the seeded fault sweeps.
+
+Each ``run_*`` helper builds a system armed with ``FaultPlan.from_seed``,
+drives one transfer pattern through a hardened library, and returns
+``(outcome, system)``.  Outcomes are ``"ok"`` (payload verified intact)
+or ``"timeout"`` (a typed :class:`~repro.vmmc.errors.VmmcTimeoutError`
+subclass surfaced).  Anything else — an untyped exception, a corrupt
+payload reaching the application, or a hang past ``WATCHDOG_US`` of
+simulated time — propagates and fails the calling test.
+"""
+
+from repro.libs.nx import VARIANTS, nx_world
+from repro.libs.rpc import VrpcServer, clnt_create
+from repro.libs.rpc.vrpc import RpcTimeout
+from repro.libs.shrimp_rpc import SrpcTimeoutError, compile_stubs
+from repro.libs.sockets import SOCKET_VARIANTS, SocketLib
+from repro.sim.faults import FaultPlan
+from repro.testbed import make_system
+from repro.vmmc import VmmcTimeoutError
+
+PAGE = 4096
+
+# Simulated-time bound: a protocol that stops making progress trips
+# run_processes' watchdog (RuntimeError naming the stuck processes)
+# long before any wall-clock timeout would.
+WATCHDOG_US = 20_000_000.0
+
+VRPC_PROG, VRPC_VERS = 0x20000A11, 1
+
+CALC_IDL = """
+program Calc version 1 {
+    int add(in int a, in int b);
+    void touch(inout opaque<200> buf);
+    string<64> greet(in string<32> name);
+    void fill(out opaque[8] pattern, in int seed);
+}
+"""
+
+
+def payload_for(seed, nbytes):
+    """A deterministic, seed-distinct test payload."""
+    return bytes((seed * 37 + i * 17 + 5) % 256 for i in range(nbytes))
+
+
+def run_nx_exchange(seed, variant="AU-1copy", nbytes=512, count=6,
+                    horizon_us=3000.0):
+    """One NX ping-pong (csend/crecv both directions) under faults."""
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count)
+    system = make_system(fault_plan=plan)
+    ping = payload_for(seed, nbytes)
+    pong = payload_for(seed + 1, nbytes)
+    outcome = {}
+    room = max(nbytes, PAGE)
+
+    def rank0(nx):
+        src = nx.proc.space.mmap(room)
+        dst = nx.proc.space.mmap(room)
+        nx.proc.poke(src, ping)
+        try:
+            yield from nx.csend(7, src, nbytes, to=1)
+            size = yield from nx.crecv(8, dst, room)
+            assert nx.proc.peek(dst, size) == pong, "corrupt payload at rank 0"
+            outcome["rank0"] = "ok"
+        except VmmcTimeoutError:
+            outcome["rank0"] = "timeout"
+
+    def rank1(nx):
+        src = nx.proc.space.mmap(room)
+        dst = nx.proc.space.mmap(room)
+        nx.proc.poke(src, pong)
+        try:
+            size = yield from nx.crecv(7, dst, room)
+            assert nx.proc.peek(dst, size) == ping, "corrupt payload at rank 1"
+            yield from nx.csend(8, src, nbytes, to=0)
+            outcome["rank1"] = "ok"
+        except VmmcTimeoutError:
+            outcome["rank1"] = "timeout"
+
+    handles = nx_world(system, [rank0, rank1], variant=VARIANTS[variant])
+    system.run_processes(handles, timeout=WATCHDOG_US)
+    return outcome, system
+
+
+def run_socket_exchange(seed, variant="AU-1copy", nbytes=1024, count=6,
+                        horizon_us=3000.0):
+    """One socket echo (client sends, server echoes back) under faults."""
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count)
+    system = make_system(fault_plan=plan)
+    data = payload_for(seed, nbytes)
+    outcome = {}
+    room = max(nbytes, PAGE)
+
+    def server(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS[variant])
+        sock = yield from lib.listen(7).accept()
+        buf = proc.space.mmap(room)
+        try:
+            got = yield from sock.recv_exactly(buf, nbytes)
+            yield from sock.send(buf, got)
+            outcome["server"] = "ok"
+        except VmmcTimeoutError:
+            outcome["server"] = "timeout"
+
+    def client(proc):
+        lib = SocketLib(system, proc, variant=SOCKET_VARIANTS[variant])
+        sock = yield from lib.connect(1, 7)
+        buf = proc.space.mmap(room)
+        proc.poke(buf, data)
+        try:
+            yield from sock.send(buf, nbytes)
+            echo = proc.space.mmap(room)
+            got = yield from sock.recv_exactly(echo, nbytes)
+            assert proc.peek(echo, got) == data, "corrupt payload at client"
+            outcome["client"] = "ok"
+        except VmmcTimeoutError:
+            outcome["client"] = "timeout"
+
+    s = system.spawn(1, server)
+    c = system.spawn(0, client)
+    system.run_processes([s, c], timeout=WATCHDOG_US)
+    return outcome, system
+
+
+def run_vrpc_exchange(seed, automatic=True, calls=3, count=6,
+                      horizon_us=4000.0):
+    """A few VRPC string-reversal calls under faults."""
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count)
+    system = make_system(fault_plan=plan)
+    outcome = {}
+
+    def server(proc):
+        srv = VrpcServer(system, proc, VRPC_PROG, VRPC_VERS,
+                         automatic=automatic)
+        srv.register(
+            1,
+            lambda s: s[::-1],
+            decode_args=lambda dec: dec.unpack_string(),
+            encode_result=lambda enc, v: enc.pack_string(v),
+        )
+        ok = yield from srv.accept_binding()
+        assert ok
+        try:
+            yield from srv.svc_run(max_calls=calls)
+            outcome["server"] = "ok"
+        except RpcTimeout:
+            outcome["server"] = "timeout"
+
+    def client(proc):
+        handle = yield from clnt_create(system, proc, 1, VRPC_PROG, VRPC_VERS,
+                                        automatic=automatic)
+        try:
+            for i in range(calls):
+                msg = "call-%d-%s" % (i, payload_for(seed, 12).hex())
+                result = yield from handle.call(
+                    1, msg,
+                    encode_args=lambda enc, v: enc.pack_string(v),
+                    decode_result=lambda dec: dec.unpack_string(),
+                )
+                assert result == msg[::-1], "corrupt reply at client"
+            outcome["client"] = "ok"
+        except RpcTimeout:
+            outcome["client"] = "timeout"
+
+    s = system.spawn(1, server)
+    c = system.spawn(0, client)
+    system.run_processes([s, c], timeout=WATCHDOG_US)
+    return outcome, system
+
+
+class _CalcImpl:
+    """Server-side implementation exercising IN, INOUT, and OUT slots."""
+
+    def add(self, a, b):
+        return a + b
+        yield  # pragma: no cover
+
+    def touch(self, buf):
+        data = yield from buf.get()
+        if data.startswith(b"flip"):
+            yield from buf.set(data[::-1])
+
+    def greet(self, name):
+        return "hello, %s!" % name
+        yield  # pragma: no cover
+
+    def fill(self, pattern, seed):
+        yield from pattern.set(bytes((seed + i) % 256 for i in range(8)))
+
+
+def run_srpc_exchange(seed, count=6, horizon_us=3000.0):
+    """Four SHRIMP RPC calls (IN/INOUT/string/OUT) under faults."""
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count)
+    system = make_system(fault_plan=plan)
+    client_cls, server_cls, _idl = compile_stubs(CALC_IDL)
+    outcome = {}
+
+    def server(proc):
+        srv = server_cls(system, proc, _CalcImpl())
+        yield from srv.serve_binding(port=5)
+        try:
+            yield from srv.run(max_calls=4)
+            outcome["server"] = "ok"
+        except SrpcTimeoutError:
+            outcome["server"] = "timeout"
+
+    def client(proc):
+        cl = client_cls(system, proc)
+        yield from cl.bind(1, port=5)
+        try:
+            r = yield from cl.add(20, 22)
+            assert r == 42, "corrupt int result"
+            blob = b"flip" + payload_for(seed, 96)
+            r = yield from cl.touch(blob)
+            assert r == blob[::-1], "corrupt INOUT result"
+            r = yield from cl.greet("shrimp-%d" % seed)
+            assert r == "hello, shrimp-%d!" % seed, "corrupt string result"
+            r = yield from cl.fill(seed)
+            assert r == bytes((seed + i) % 256 for i in range(8)), \
+                "corrupt OUT result"
+            outcome["client"] = "ok"
+        except SrpcTimeoutError:
+            outcome["client"] = "timeout"
+
+    s = system.spawn(1, server)
+    c = system.spawn(0, client)
+    system.run_processes([s, c], timeout=WATCHDOG_US)
+    return outcome, system

@@ -1,0 +1,74 @@
+"""FaultPlan / FaultInjector unit semantics and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.sim import Simulator
+from repro.sim.faults import (
+    DEFAULT_SITE_KINDS,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSite,
+)
+
+
+def test_from_seed_respects_count_horizon_and_sites():
+    plan = FaultPlan.from_seed(9, horizon_us=2000.0, count=12)
+    assert len(plan) == 12
+    for fault in plan:
+        assert 0.0 <= fault.time < 2000.0
+        assert fault.site in DEFAULT_SITE_KINDS
+        assert fault.kind in DEFAULT_SITE_KINDS[fault.site]
+
+
+def test_plan_is_sorted_by_time():
+    plan = FaultPlan.from_seed(4, count=10)
+    times = [f.time for f in plan]
+    assert times == sorted(times)
+
+
+def test_injector_fires_only_at_or_after_schedule():
+    sim = Simulator()
+    plan = FaultPlan([Fault(time=100.0, site=FaultSite.MESH_LINK,
+                            kind=FaultKind.DROP)])
+    injector = FaultInjector(sim, plan)
+    assert injector.enabled
+    assert injector.draw(FaultSite.MESH_LINK) is None  # t=0: not due yet
+    sim.schedule_call(150.0, lambda: None)
+    sim.run()
+    assert injector.draw(FaultSite.NIC_DU) is None  # wrong site
+    fault = injector.draw(FaultSite.MESH_LINK)
+    assert fault is not None and fault.kind == FaultKind.DROP
+    assert injector.draw(FaultSite.MESH_LINK) is None  # one strike only
+    assert injector.firing_log() == [(150.0, "mesh.link", "drop")]
+
+
+def test_node_scoped_fault_matches_only_that_node():
+    sim = Simulator()
+    plan = FaultPlan([Fault(time=0.0, site=FaultSite.NIC_DU,
+                            kind=FaultKind.ABORT, params={"node": 1})])
+    injector = FaultInjector(sim, plan)
+    assert injector.draw(FaultSite.NIC_DU, node=0) is None
+    assert injector.draw(FaultSite.NIC_DU, node=1) is not None
+
+
+def test_empty_plan_leaves_sites_disabled():
+    sim = Simulator()
+    injector = FaultInjector(sim, FaultPlan([]))
+    assert injector.enabled is False
+
+
+def test_cli_plan_only_prints_the_schedule(capsys):
+    assert main(["faults", "--seed", "3", "--plan-only"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan (seed 3): 8 faults" in out
+
+
+@pytest.mark.slow
+def test_cli_runs_workload_and_reports(capsys):
+    assert main(["faults", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "fault injector:" in out
+    assert "rank 0:" in out and "rank 1:" in out

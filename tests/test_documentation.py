@@ -61,6 +61,7 @@ def test_public_classes_and_functions_documented(module):
     "docs/CALIBRATION.md",
     "docs/PROTOCOLS.md",
     "docs/OBSERVABILITY.md",
+    "docs/FAULTS.md",
 ])
 def test_doc_files_exist_and_are_linked_from_readme(doc):
     path = REPO_ROOT / doc
@@ -78,6 +79,18 @@ def test_observability_doc_matches_the_code():
                    "cpu.store", "mesh.transit", "nic.dma_in",
                    "trace_event", "mesh.backplane"):
         assert needle in text, "OBSERVABILITY.md no longer mentions %r" % needle
+
+
+def test_faults_doc_matches_the_code():
+    text = (REPO_ROOT / "docs" / "FAULTS.md").read_text()
+    # The doc names the CLI, the injection sites, and the typed errors
+    # the code implements; pin them so the doc cannot silently drift.
+    for needle in ("python -m repro faults", "FaultPlan.from_seed",
+                   "mesh.link", "nic.du", "nic.dma_in", "bus.eisa",
+                   "opt.timer", "VmmcTimeoutError", "SocketTimeoutError",
+                   "NXTimeoutError", "RpcTimeout", "SrpcTimeoutError",
+                   "firing_log", "MAX_XMIT"):
+        assert needle in text, "FAULTS.md no longer mentions %r" % needle
 
 
 def test_every_package_dir_is_importable():
