@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast faults bench examples reports trace-demo clean
+.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ faults:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+workload:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro workload --seed $${SEED:-1} --load $${LOAD:-20000}
+
+serve-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro serve
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -6,6 +6,9 @@
     python -m repro budget           # analytic one-word latency budgets
     python -m repro trace            # traced one-word journey + Chrome JSON
     python -m repro faults --seed N  # replay a seeded fault schedule
+    python -m repro serve            # scripted demo against the KV service
+    python -m repro workload --seed N --load L   # one workload run
+    python -m repro capacity         # offered load vs tail latency sweep
     python -m repro all              # everything, in order
 
 Each figure command prints the same rows the paper plots (and that
@@ -161,6 +164,92 @@ def _cmd_trace(args) -> int:
     return 0 if result.agreement_error <= 0.01 else 1
 
 
+def _cmd_workload(args) -> int:
+    from .sim.faults import FaultPlan
+    from .workload import WorkloadSpec, run_workload
+
+    spec = WorkloadSpec(
+        seed=args.seed, transport=args.transport, arrival=args.arrival,
+        load=args.load, concurrency=args.concurrency, requests=args.requests,
+        keys=args.keys, read_fraction=args.read_fraction,
+        scan_fraction=args.scan_fraction, key_distribution=args.dist,
+        nodes=args.nodes, replicas=args.replicas)
+    plan = None
+    if args.fault_seed is not None:
+        plan = FaultPlan.from_seed(args.fault_seed,
+                                   horizon_us=args.fault_horizon,
+                                   count=args.fault_count)
+        print(plan.describe())
+        print()
+    report = run_workload(spec, fault_plan=plan)
+    print(report.report())
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from .bench.capacity import capacity_sweep
+    from .workload import WorkloadSpec
+
+    loads = [float(x) for x in args.loads.split(",")]
+    spec = WorkloadSpec(
+        seed=args.seed, transport=args.transport, arrival="open",
+        concurrency=args.concurrency, requests=args.requests, keys=args.keys)
+    print(capacity_sweep(loads, spec).report())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .apps.kv import KVClient, KVService, ST_MISS, ST_OK
+    from .testbed import make_system
+
+    system = make_system()
+    service = KVService(system)
+    service.preload({"boot/%02d" % i: b"seed-%02d" % i for i in range(8)})
+    service.start(srpc_handlers=1, socket_handlers=1)
+    lines = []
+
+    def driver(proc):
+        client = KVClient(service, proc, transport=args.transport,
+                          want_sockets=True)
+        yield from client.connect()
+        status = yield from client.put("demo/alpha", b"first value")
+        lines.append("put demo/alpha -> status %d" % status)
+        status, value = yield from client.get("demo/alpha")
+        lines.append("get demo/alpha -> status %d value %r"
+                     % (status, bytes(value) if value else None))
+        status, value = yield from client.get("demo/missing")
+        lines.append("get demo/missing -> %s"
+                     % ("miss" if status == ST_MISS else "status %d" % status))
+        status, records = yield from client.scan("boot/", 4)
+        lines.append("scan boot/ limit 4 -> %d records: %s"
+                     % (len(records), [k for k, _ in records]))
+        status = yield from client.delete("demo/alpha")
+        lines.append("delete demo/alpha -> status %d" % status)
+        status, _ = yield from client.get("demo/alpha")
+        lines.append("get demo/alpha -> %s (deleted)"
+                     % ("miss" if status == ST_MISS else "UNEXPECTED HIT"))
+        yield from client.shutdown()
+        assert status == ST_MISS or status == ST_OK
+
+    handle = system.spawn(0, driver, name="serve-demo")
+    system.run_processes([handle], timeout=30_000_000.0)
+    service.shutdown()
+    system.run_processes(service.handles, timeout=30_000_000.0)
+
+    print("KV service demo: %d nodes, %d replicas, transport %s"
+          % (len(service.nodes), service.replicas, args.transport))
+    for line in lines:
+        print("  " + line)
+    print()
+    for node_label, counters in service.counters().items():
+        print("  %s: %s" % (node_label,
+                            " ".join("%s=%d" % kv
+                                     for kv in sorted(counters.items()))))
+    print()
+    print(system.machine.utilization_report(min_count=1))
+    return 0
+
+
 _FIGURES = {
     "fig3": figure3_raw_vmmc,
     "fig4": figure4_nx,
@@ -205,6 +294,63 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="Chrome trace output path ('' to skip writing)")
     trace.add_argument("--check", default=None, metavar="FILE",
                        help="only validate an existing trace JSON file")
+    workload = sub.add_parser(
+        "workload",
+        help="run one deterministic workload against the KV service",
+    )
+    workload.add_argument("--seed", type=int, default=1,
+                          help="workload seed (same seed => same report)")
+    workload.add_argument("--transport", choices=["srpc", "sockets"],
+                          default="srpc", help="client transport")
+    workload.add_argument("--arrival", choices=["open", "closed"],
+                          default="open", help="arrival process")
+    workload.add_argument("--load", type=float, default=20000.0,
+                          help="open-loop offered load (ops/s)")
+    workload.add_argument("--concurrency", type=int, default=8,
+                          help="worker processes")
+    workload.add_argument("--requests", type=int, default=400,
+                          help="total requests")
+    workload.add_argument("--keys", type=int, default=200,
+                          help="keyspace size")
+    workload.add_argument("--read-fraction", type=float, default=0.90,
+                          help="fraction of requests that are GETs")
+    workload.add_argument("--scan-fraction", type=float, default=0.0,
+                          help="fraction that are scans (uses sockets)")
+    workload.add_argument("--dist", choices=["zipf", "uniform"],
+                          default="zipf", help="key popularity")
+    workload.add_argument("--nodes", type=int, choices=[4, 16], default=4,
+                          help="machine size")
+    workload.add_argument("--replicas", type=int, default=2,
+                          help="replicas per key")
+    workload.add_argument("--fault-seed", type=int, default=None,
+                          help="arm a seeded fault plan")
+    workload.add_argument("--fault-count", type=int, default=8,
+                          help="faults in the armed plan")
+    workload.add_argument("--fault-horizon", type=float, default=4000.0,
+                          help="fault schedule horizon (us)")
+    capacity = sub.add_parser(
+        "capacity",
+        help="sweep offered load vs tail latency and find the knee",
+    )
+    capacity.add_argument("--seed", type=int, default=1,
+                          help="workload seed for every point")
+    capacity.add_argument("--transport", choices=["srpc", "sockets"],
+                          default="srpc", help="client transport")
+    capacity.add_argument("--loads",
+                          default="10000,20000,40000,80000,160000,320000",
+                          help="comma-separated offered loads (ops/s)")
+    capacity.add_argument("--concurrency", type=int, default=8,
+                          help="worker processes per point")
+    capacity.add_argument("--requests", type=int, default=300,
+                          help="requests per point")
+    capacity.add_argument("--keys", type=int, default=200,
+                          help="keyspace size")
+    serve = sub.add_parser(
+        "serve",
+        help="boot the sharded KV service and run a scripted demo client",
+    )
+    serve.add_argument("--transport", choices=["srpc", "sockets"],
+                       default="srpc", help="transport for point ops")
     return parser
 
 
@@ -215,6 +361,12 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    if args.command == "capacity":
+        return _cmd_capacity(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command in _FIGURES:
         print(_FIGURES[args.command]().report())
     elif args.command == "scalars":

@@ -1,21 +1,170 @@
-"""Analytic latency decomposition of the VMMC datapaths.
+"""Analytic latency decomposition and shared latency statistics.
 
-Builds the one-word latency budget straight from
-:class:`~repro.hardware.config.MachineConfig` constants — the same
-arithmetic a designer would do on a whiteboard — and names each stage.
-`tests/calibration/test_analysis.py` checks the analytic totals against
-the simulated measurements, so the configuration, the simulator, and
-the documentation cannot drift apart silently.
+Two halves live here.  The first builds the one-word latency budget
+straight from :class:`~repro.hardware.config.MachineConfig` constants —
+the same arithmetic a designer would do on a whiteboard — and names each
+stage.  `tests/calibration/test_analysis.py` checks the analytic totals
+against the simulated measurements, so the configuration, the simulator,
+and the documentation cannot drift apart silently.
+
+The second half is the repo-wide percentile toolkit: an exact
+:func:`percentile` over a finite sample list, and a streaming
+:class:`LatencyHistogram` with geometric buckets for workloads whose
+sample counts would make keeping every latency wasteful.  Everything
+that reports p50/p95/p99/p99.9 (``repro.workload``, the capacity sweep
+in ``repro.bench``) goes through these two, so tail numbers are computed
+one way everywhere.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .hardware.config import CacheMode, MachineConfig
 
-__all__ = ["Stage", "LatencyBudget", "au_word_budget", "du_word_budget"]
+__all__ = [
+    "Stage",
+    "LatencyBudget",
+    "LatencyHistogram",
+    "TAIL_PERCENTILES",
+    "au_word_budget",
+    "du_word_budget",
+    "percentile",
+]
+
+# The canonical tail-latency report: median plus the three tails the
+# serving literature quotes.  Reports iterate this tuple so every table
+# lists the same columns in the same order.
+TAIL_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Exact percentile of a finite sample, with linear interpolation.
+
+    ``p`` is in percent (``percentile(xs, 99.9)``).  Uses the common
+    "linear" definition (NumPy's default): rank ``p/100 * (n-1)`` into
+    the sorted samples, interpolating between neighbors.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100], got %r" % p)
+    data = sorted(samples)
+    if not data:
+        raise ValueError("percentile of an empty sample")
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    return data[lo] + (data[hi] - data[lo]) * (rank - lo)
+
+
+class LatencyHistogram:
+    """A streaming latency histogram with geometric (log-scale) buckets.
+
+    Memory is bounded by the *dynamic range* of the samples, not their
+    count, so the workload engine can record one entry per request
+    without keeping the requests.  Bucket ``i >= 1`` covers
+    ``(resolution * growth**(i-1), resolution * growth**i]``; everything
+    at or below ``resolution`` lands in bucket 0.  With the default
+    ``growth`` of 1.02 a reported percentile is within 2% (one bucket)
+    of the exact value, and the exact ``min``/``max`` are kept so the
+    extreme percentiles are clamped to real samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_resolution", "_growth", "_log_growth", "_buckets")
+
+    def __init__(self, name: str = "latency", resolution: float = 0.01,
+                 growth: float = 1.02):
+        if resolution <= 0.0:
+            raise ValueError("resolution must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._resolution = resolution
+        self._growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        """Add one sample (non-negative; microseconds by convention)."""
+        if value < 0.0:
+            raise ValueError("latency samples cannot be negative: %r" % value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value <= self._resolution:
+            index = 0
+        else:
+            index = 1 + int(math.log(value / self._resolution)
+                            / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record every value in ``values``."""
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same geometry) into this one."""
+        if (other._resolution != self._resolution
+                or other._growth != self._growth):
+            raise ValueError("cannot merge histograms with different buckets")
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError("histogram %r has no samples" % self.name)
+        return self.total / self.count
+
+    def percentile(self, p: float) -> float:
+        """The latency at percentile ``p`` (upper bucket edge, clamped).
+
+        Bounded above by the bucket width: at most ``growth``-times the
+        exact sample, and never outside the observed ``[min, max]``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100], got %r" % p)
+        if not self.count:
+            raise ValueError("histogram %r has no samples" % self.name)
+        assert self.min is not None and self.max is not None
+        if p == 0.0:
+            return self.min
+        target = (p / 100.0) * self.count
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= target:
+                edge = self._resolution * math.exp(self._log_growth * index)
+                return max(self.min, min(self.max, edge))
+        return self.max
+
+    def percentiles(self, ps: Sequence[float] = TAIL_PERCENTILES) -> Dict[float, float]:
+        """``{p: latency}`` for each requested percentile."""
+        return {p: self.percentile(p) for p in ps}
+
+    def summary(self) -> str:
+        """One line: count, mean, and the canonical tail percentiles."""
+        if not self.count:
+            return "%s: no samples" % self.name
+        tails = " ".join("p%s=%.2f" % (("%g" % p), self.percentile(p))
+                         for p in TAIL_PERCENTILES)
+        return "%s: n=%d mean=%.2f %s max=%.2f" % (
+            self.name, self.count, self.mean, tails, self.max)
 
 
 @dataclass

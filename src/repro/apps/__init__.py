@@ -1,0 +1,7 @@
+"""In-simulation applications built on the SHRIMP communication stack.
+
+The paper evaluates the libraries with microbenchmarks; these packages
+consume them the way the ROADMAP north-star demands — as the transport
+of an actual service.  Currently: ``repro.apps.kv``, a sharded
+key-value service (docs/WORKLOADS.md).
+"""

@@ -1,0 +1,30 @@
+"""A sharded key-value service running inside the simulated machine.
+
+The first *application* layer of the repo: one shard server per mesh
+node, consistent-hash placement with replication, and a pluggable
+transport — SHRIMP RPC for request/response, sockets for streaming
+bulk get/scan, NX (plus the collectives library) for replication
+fan-out.  Driven by ``repro.workload``; see docs/WORKLOADS.md.
+"""
+
+from .client import KVClient
+from .hashing import HashRing, stable_hash
+from .protocol import KEY_BOUND, ST_ERROR, ST_MISS, ST_OK, VALUE_BOUND
+from .server import KV_IDL, apply_cost
+from .service import KVService
+from .store import ShardStore
+
+__all__ = [
+    "HashRing",
+    "KEY_BOUND",
+    "KVClient",
+    "KVService",
+    "KV_IDL",
+    "ST_ERROR",
+    "ST_MISS",
+    "ST_OK",
+    "ShardStore",
+    "VALUE_BOUND",
+    "apply_cost",
+    "stable_hash",
+]

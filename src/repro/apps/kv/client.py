@@ -1,0 +1,245 @@
+"""The KV client: transport-pluggable request path with replica failover.
+
+One :class:`KVClient` belongs to one simulated process (a workload
+worker) and holds one connection per shard server — SHRIMP RPC
+bindings for request/response, or stream sockets when the caller wants
+the streaming transport (SCAN always uses sockets).  All connections
+share a single VMMC endpoint, like a real process would.
+
+Failover: every operation walks the key's replica set in ring order.
+A typed ``VmmcTimeoutError``/``VmmcError`` from a connection (only
+possible under an armed fault plan, where the hardened libraries bound
+every wait) marks that connection dead and the operation retries on
+the next replica — the degraded mode the tentpole requires to be
+deterministically testable.  A request that exhausts the replica set
+returns ``ST_ERROR`` rather than raising, so a worker keeps serving.
+
+Each completed request records a ``kv.client`` span via
+``Tracer.complete`` (stack-free, so interleaved requests from many
+workers never unbalance a track).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...libs.sockets import SocketLib
+from ...vmmc import VmmcError, VmmcTimeoutError, attach
+from . import protocol as wire
+from .server import KvShardClient
+
+__all__ = ["KVClient"]
+
+
+class KVClient:
+    """A per-worker handle on the whole sharded service."""
+
+    def __init__(self, service, proc, transport: str = "srpc",
+                 want_sockets: Optional[bool] = None, client_id: int = 0):
+        if transport not in ("srpc", "sockets"):
+            raise ValueError("unknown transport %r" % transport)
+        self.service = service
+        self.system = service.system
+        self.proc = proc
+        self.transport = transport
+        self.want_sockets = (transport == "sockets"
+                             if want_sockets is None else want_sockets)
+        self.client_id = client_id
+        self.track = "n%d.kv.client%d" % (proc.node.node_id, client_id)
+        self.endpoint = attach(self.system, proc)
+        self.rpc: Dict[int, KvShardClient] = {}
+        self.socks: Dict[int, object] = {}
+        self.dead: Set[Tuple[str, int]] = set()
+        self._sbuf = proc.space.mmap(4096)
+        self._rbuf = proc.space.mmap(4096)
+        self.ops = 0
+        self.misses = 0
+        self.errors = 0
+        self.failovers = 0
+        self.corruptions = 0
+
+    # ------------------------------------------------------ connections
+
+    def connect(self):
+        """Open one connection per shard server (generator)."""
+        if self.transport == "srpc":
+            for node in self.service.nodes:
+                client = KvShardClient(self.system, self.proc,
+                                       endpoint=self.endpoint)
+                yield from client.bind(node, self.service.srpc_port)
+                self.rpc[node] = client
+        if self.want_sockets:
+            lib = SocketLib(self.system, self.proc,
+                            variant=self.service.socket_variant,
+                            endpoint=self.endpoint)
+            for node in self.service.nodes:
+                sock = yield from lib.connect(node, self.service.socket_port)
+                self.socks[node] = sock
+
+    def shutdown(self):
+        """Release every server-side handler this client owns."""
+        for node in self.service.nodes:
+            if node in self.rpc and ("rpc", node) not in self.dead:
+                try:
+                    yield from self.rpc[node].stop()
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+            if node in self.socks and ("sock", node) not in self.dead:
+                try:
+                    frame = wire.encode_request(wire.OP_QUIT, "")
+                    yield from self.proc.write(self._sbuf, frame)
+                    yield from self.socks[node].send(self._sbuf, len(frame))
+                    yield from self.socks[node].close()
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("sock", node))
+
+    # ------------------------------------------------------- operations
+
+    def get(self, key: str):
+        """Generator returning ``(status, value-or-None)``."""
+        status, value = yield from self._request(wire.OP_GET, key)
+        return status, value
+
+    def put(self, key: str, value: bytes):
+        """Generator returning a status code."""
+        status, _ = yield from self._request(wire.OP_PUT, key, value)
+        return status
+
+    def delete(self, key: str):
+        """Generator returning a status code."""
+        status, _ = yield from self._request(wire.OP_DELETE, key)
+        return status
+
+    def scan(self, prefix: str, limit: int):
+        """Generator returning ``(status, [(key, value), ...])``.
+
+        Scatter-gathers over *every* live shard (a prefix's keys are
+        hash-distributed), merges in key order, and truncates to
+        ``limit``.  Always streams over sockets.
+        """
+        self.ops += 1
+        start = self.sim_now()
+        merged: Dict[str, bytes] = {}
+        status = wire.ST_OK
+        for node in self.service.nodes:
+            if ("sock", node) in self.dead:
+                status = wire.ST_ERROR
+                continue
+            try:
+                records = yield from self._sock_scan(node, prefix, limit)
+                # Replicas return the same keys; first copy wins.
+                for rec_key, rec_value in records:
+                    merged.setdefault(rec_key, rec_value)
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add(("sock", node))
+                self.failovers += 1
+                status = wire.ST_ERROR
+        self._span("scan", start)
+        return status, [(k, merged[k]) for k in sorted(merged)][:limit]
+
+    # -------------------------------------------------------- internals
+
+    def sim_now(self) -> float:
+        """The current simulated time (microseconds)."""
+        return self.system.sim.now
+
+    def _span(self, name: str, start: float) -> None:
+        tracer = self.system.machine.tracer
+        if tracer.enabled:
+            tracer.complete("kv.client", name, start, track=self.track)
+
+    def _request(self, op: int, key: str, value: bytes = b""):
+        """Walk the replica set until one server answers."""
+        self.ops += 1
+        start = self.sim_now()
+        kind = "rpc" if self.transport == "srpc" else "sock"
+        tried_dead = False
+        try:
+            for node in self.service.replicas_for(key):
+                if (kind, node) in self.dead:
+                    tried_dead = True
+                    continue
+                try:
+                    if self.transport == "srpc":
+                        result = yield from self._rpc_op(node, op, key, value)
+                    else:
+                        result = yield from self._sock_op(node, op, key, value)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add((kind, node))
+                    self.failovers += 1
+                    continue
+                if tried_dead:
+                    self.failovers += 1
+                status, out = result
+                if status == wire.ST_MISS:
+                    self.misses += 1
+                return status, out
+            self.errors += 1
+            return wire.ST_ERROR, None
+        finally:
+            self._span(_OP_NAMES[op], start)
+
+    def _rpc_op(self, node: int, op: int, key: str, value: bytes):
+        client = self.rpc[node]
+        if op == wire.OP_GET:
+            blob = yield from client.get(key)
+            if not blob or blob[0] != wire.ST_OK:
+                return wire.ST_MISS, None
+            return wire.ST_OK, bytes(blob[1:])
+        if op == wire.OP_PUT:
+            status = yield from client.put(key, value)
+            return status, None
+        status = yield from client.delete(key)
+        return status, None
+
+    def _sock_op(self, node: int, op: int, key: str, value: bytes):
+        sock = self.socks[node]
+        frame = wire.encode_request(op, key, value)
+        yield from self.proc.write(self._sbuf, frame)
+        yield from sock.send(self._sbuf, len(frame))
+        got = yield from sock.recv_exactly(self._rbuf, wire.RESP_HEADER.size)
+        if got < wire.RESP_HEADER.size:
+            raise VmmcTimeoutError("kv: server closed the connection")
+        status, value_len = wire.decode_response_header(
+            self.proc.peek(self._rbuf, wire.RESP_HEADER.size))
+        out = None
+        if value_len:
+            got = yield from sock.recv_exactly(self._rbuf, value_len)
+            if got < value_len:
+                raise VmmcTimeoutError("kv: truncated response value")
+            out = self.proc.peek(self._rbuf, value_len)
+        return status, out
+
+    def _sock_scan(self, node: int, prefix: str, limit: int):
+        sock = self.socks[node]
+        frame = wire.encode_request(wire.OP_SCAN, prefix, scan_limit=limit)
+        yield from self.proc.write(self._sbuf, frame)
+        yield from sock.send(self._sbuf, len(frame))
+        records: List[Tuple[str, bytes]] = []
+        while True:
+            got = yield from sock.recv_exactly(self._rbuf, wire.SCAN_RECORD.size)
+            if got < wire.SCAN_RECORD.size:
+                raise VmmcTimeoutError("kv: scan stream cut short")
+            key_len, value_len = wire.SCAN_RECORD.unpack(
+                self.proc.peek(self._rbuf, wire.SCAN_RECORD.size))
+            if key_len == wire.SCAN_END:
+                return records
+            got = yield from sock.recv_exactly(self._rbuf, key_len + value_len)
+            if got < key_len + value_len:
+                raise VmmcTimeoutError("kv: truncated scan record")
+            blob = self.proc.peek(self._rbuf, key_len + value_len)
+            records.append((blob[:key_len].decode(), blob[key_len:]))
+
+    def stats(self) -> Dict[str, int]:
+        """This client's request counters."""
+        return {
+            "ops": self.ops,
+            "misses": self.misses,
+            "errors": self.errors,
+            "failovers": self.failovers,
+            "corruptions": self.corruptions,
+        }
+
+
+_OP_NAMES = {wire.OP_GET: "get", wire.OP_PUT: "put",
+             wire.OP_DELETE: "delete", wire.OP_SCAN: "scan"}

@@ -1,0 +1,117 @@
+"""Wire formats of the KV service.
+
+Two encodings share these constants:
+
+* the socket protocol — length-prefixed request/response frames over a
+  SHRIMP stream socket, plus a streamed record format for SCAN; and
+* the replication records the shard servers exchange over NX.
+
+The SHRIMP RPC transport needs no framing of its own (the IDL in
+``server.py`` is the contract), but reuses the status codes.
+
+All integers are little-endian, matching the rest of the simulated
+machine.  Bounds are part of the protocol: keys are at most
+``KEY_BOUND`` bytes, values at most ``VALUE_BOUND`` — small enough
+that an RPC argument area stays a couple of pages and a replication
+record always fits one NX small-message slot.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "KEY_BOUND", "VALUE_BOUND",
+    "OP_GET", "OP_PUT", "OP_DELETE", "OP_SCAN", "OP_QUIT",
+    "ST_OK", "ST_MISS", "ST_ERROR",
+    "REQ_HEADER", "RESP_HEADER", "SCAN_RECORD", "SCAN_END",
+    "REPL_DATA", "REPL_STOP", "REPL_RECORD",
+    "encode_request", "decode_request_header",
+    "encode_response", "decode_response_header",
+    "encode_scan_record", "scan_end_record",
+    "encode_repl_record", "decode_repl_record",
+]
+
+KEY_BOUND = 64       # bytes; "k%06d"-style workload keys use 7
+VALUE_BOUND = 1024   # bytes per value
+
+# Socket request ops.
+OP_GET = 1
+OP_PUT = 2
+OP_DELETE = 3
+OP_SCAN = 4   # value_len field carries the record limit
+OP_QUIT = 5   # client is done with this connection
+
+# Status codes (shared with the RPC transport's int returns).
+ST_OK = 0
+ST_MISS = 1
+ST_ERROR = 2
+
+REQ_HEADER = struct.Struct("<BHI")    # op, key_len, value_len (or scan limit)
+RESP_HEADER = struct.Struct("<BI")    # status, value_len
+SCAN_RECORD = struct.Struct("<HI")    # key_len, value_len
+SCAN_END = 0xFFFF                     # key_len sentinel closing a scan stream
+
+# Replication record kinds (first byte of the NX payload).
+REPL_DATA = 1    # upsert (value present) or delete (value_len == SCAN_END-free 0 with flag)
+REPL_STOP = 2    # sender is done; one per peer at shutdown
+REPL_RECORD = struct.Struct("<BBHH")  # kind, is_delete, key_len, value_len
+
+
+def encode_request(op: int, key: str, value: bytes = b"",
+                   scan_limit: int = 0) -> bytes:
+    """One socket request frame (header + key + value)."""
+    kb = key.encode()
+    if len(kb) > KEY_BOUND:
+        raise ValueError("key exceeds %d bytes" % KEY_BOUND)
+    if len(value) > VALUE_BOUND:
+        raise ValueError("value exceeds %d bytes" % VALUE_BOUND)
+    third = scan_limit if op == OP_SCAN else len(value)
+    return REQ_HEADER.pack(op, len(kb), third) + kb + value
+
+
+def decode_request_header(data: bytes) -> Tuple[int, int, int]:
+    """``(op, key_len, value_len_or_limit)`` from a request header."""
+    return REQ_HEADER.unpack(data[:REQ_HEADER.size])
+
+
+def encode_response(status: int, value: bytes = b"") -> bytes:
+    """One socket response frame."""
+    return RESP_HEADER.pack(status, len(value)) + value
+
+
+def decode_response_header(data: bytes) -> Tuple[int, int]:
+    """``(status, value_len)`` from a response header."""
+    return RESP_HEADER.unpack(data[:RESP_HEADER.size])
+
+
+def encode_scan_record(key: str, value: bytes) -> bytes:
+    """One streamed SCAN record."""
+    kb = key.encode()
+    return SCAN_RECORD.pack(len(kb), len(value)) + kb + value
+
+
+def scan_end_record() -> bytes:
+    """The sentinel record terminating a SCAN stream."""
+    return SCAN_RECORD.pack(SCAN_END, 0)
+
+
+def encode_repl_record(kind: int, key: str = "",
+                       value: Optional[bytes] = None) -> bytes:
+    """One NX replication record (fits a small-message slot)."""
+    kb = key.encode()
+    is_delete = 1 if (kind == REPL_DATA and value is None) else 0
+    body = b"" if value is None else value
+    return REPL_RECORD.pack(kind, is_delete, len(kb), len(body)) + kb + body
+
+
+def decode_repl_record(data: bytes) -> Tuple[int, str, Optional[bytes]]:
+    """``(kind, key, value-or-None)``; None value means delete."""
+    kind, is_delete, klen, vlen = REPL_RECORD.unpack(data[:REPL_RECORD.size])
+    off = REPL_RECORD.size
+    key = data[off:off + klen].decode()
+    value = None if is_delete else data[off + klen:off + klen + vlen]
+    if kind == REPL_STOP:
+        value = None
+    return kind, key, value

@@ -1,0 +1,308 @@
+"""Shard-server programs: the processes a KV node runs.
+
+One mesh node hosts one shard server, modeled as a multi-threaded
+process: each accepted client binding/connection gets its own handler
+generator, all sharing the node's :class:`ShardStore`.  CPU contention
+between handlers is not modeled (only the shared buses, NIC engines,
+and mesh links contend) — docs/WORKLOADS.md discusses the limitation.
+
+Three transports, per the tentpole split:
+
+* **SHRIMP RPC** for request/response — the ``KvShard`` IDL below;
+* **sockets** for streaming bulk transfer — framed GET/PUT/DELETE plus
+  the streamed SCAN of ``protocol.py``;
+* **NX** for replication fan-out — a per-node sender drains the
+  service's replication queue and ``csend``s records to the other
+  replicas, while the NX rank program receives and applies.  The
+  collectives library brackets the replication lifecycle: a binomial
+  ``broadcast`` distributes the shard map at startup and a
+  ``reduce_int`` sums applied-record counts at shutdown.
+
+Every long-running loop here catches the typed ``VmmcTimeoutError``
+family: under an armed :class:`~repro.sim.faults.FaultPlan` the
+hardened libraries bound all waits, and a handler whose peer died must
+exit cleanly instead of crashing the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...libs import collectives
+from ...libs.shrimp_rpc import SrpcTimeoutError, compile_stubs
+from ...libs.sockets import SocketLib, SocketTimeoutError
+from ...vmmc import VmmcError, VmmcTimeoutError
+from . import protocol as wire
+
+if TYPE_CHECKING:
+    from .service import KVService
+
+__all__ = [
+    "KV_IDL", "KvShardClient", "KvShardServer", "KV_INTERFACE",
+    "REPL_TYPE", "srpc_server_program", "socket_server_program",
+    "make_repl_program",
+]
+
+# The request/response contract.  GET returns a status byte followed by
+# the value (opaque length covers both), so a miss and an empty value
+# are distinguishable; the int-returning procedures use the ST_* codes.
+KV_IDL = """
+program KvShard version 1 {
+    opaque<%d> get(in string<%d> key);
+    int put(in string<%d> key, in opaque<%d> value);
+    int delete(in string<%d> key);
+    int stop();
+}
+""" % (wire.VALUE_BOUND + 1, wire.KEY_BOUND, wire.KEY_BOUND,
+       wire.VALUE_BOUND, wire.KEY_BOUND)
+
+KvShardClient, KvShardServer, KV_INTERFACE = compile_stubs(KV_IDL)
+
+# NX message type carrying replication records; data and stop records
+# share it so per-connection FIFO ordering makes the stop a barrier.
+REPL_TYPE = 0x6B760001
+
+# The explicit apply-cost model: what the server charges for hashing
+# into the shard and touching the value, per operation and per byte.
+# Transport time dominates by design — the paper's question is the
+# communication stack, not dict performance.
+APPLY_US = 0.8
+APPLY_PER_BYTE_US = 0.0005
+
+
+def apply_cost(nbytes: int) -> float:
+    """Simulated CPU time to apply one operation on ``nbytes`` of value."""
+    return APPLY_US + APPLY_PER_BYTE_US * nbytes
+
+
+class _ShardImpl:
+    """The RPC server implementation: one instance per binding handler."""
+
+    def __init__(self, service: "KVService", node_id: int, proc):
+        self.service = service
+        self.store = service.stores[node_id]
+        self.node_id = node_id
+        self.proc = proc
+        self.stopped = False
+
+    def get(self, key):
+        yield from self.proc.compute(apply_cost(0))
+        value = self.store.get(key)
+        if value is None:
+            return bytes([wire.ST_MISS])
+        return bytes([wire.ST_OK]) + value
+
+    def put(self, key, value):
+        yield from self.proc.compute(apply_cost(len(value)))
+        self.store.put(key, bytes(value))
+        self.service.enqueue_replication(self.node_id, key, bytes(value))
+        return wire.ST_OK
+
+    def delete(self, key):
+        yield from self.proc.compute(apply_cost(0))
+        existed = self.store.delete(key)
+        self.service.enqueue_replication(self.node_id, key, None)
+        return wire.ST_OK if existed else wire.ST_MISS
+
+    def stop(self):
+        self.stopped = True
+        return wire.ST_OK
+        yield  # pragma: no cover - generator protocol
+
+
+def srpc_server_program(service: "KVService", node_id: int):
+    """One SHRIMP RPC binding handler: accept one client, serve until
+    its ``stop()`` call (or the hardened idle bound under faults)."""
+
+    def program(proc):
+        impl = _ShardImpl(service, node_id, proc)
+        server = KvShardServer(service.system, proc, impl)
+        yield from server.serve_binding(service.srpc_port)
+        try:
+            while not impl.stopped:
+                yield from server.run(max_calls=1)
+        except (SrpcTimeoutError, VmmcTimeoutError):
+            pass  # client died mid-binding; bounded wait, clean exit
+        return server.calls_served
+
+    return program
+
+
+def socket_server_program(service: "KVService", node_id: int):
+    """One socket connection handler: accept once, serve framed
+    requests (and streamed SCANs) until QUIT/EOF."""
+
+    def program(proc):
+        lib = SocketLib(service.system, proc, variant=service.socket_variant)
+        listener = lib.listen(service.socket_port)
+        sock = yield from listener.accept()
+        store = service.stores[node_id]
+        buf = proc.space.mmap(4096)
+        out = proc.space.mmap(4096)
+        served = 0
+        try:
+            while True:
+                got = yield from sock.recv_exactly(buf, wire.REQ_HEADER.size)
+                if got < wire.REQ_HEADER.size:
+                    break  # EOF: peer closed without QUIT
+                op, key_len, third = wire.decode_request_header(
+                    proc.peek(buf, wire.REQ_HEADER.size))
+                if op == wire.OP_QUIT:
+                    break
+                body = key_len + (third if op == wire.OP_PUT else 0)
+                if body:
+                    got = yield from sock.recv_exactly(buf, body)
+                    if got < body:
+                        break
+                key = proc.peek(buf, key_len).decode()
+                served += 1
+                if op == wire.OP_GET:
+                    yield from proc.compute(apply_cost(0))
+                    value = store.get(key)
+                    frame = wire.encode_response(
+                        wire.ST_MISS if value is None else wire.ST_OK,
+                        value or b"")
+                    yield from proc.write(out, frame)
+                    yield from sock.send(out, len(frame))
+                elif op == wire.OP_PUT:
+                    value = proc.peek(buf + key_len, third)
+                    yield from proc.compute(apply_cost(len(value)))
+                    store.put(key, value)
+                    service.enqueue_replication(node_id, key, value)
+                    frame = wire.encode_response(wire.ST_OK)
+                    yield from proc.write(out, frame)
+                    yield from sock.send(out, len(frame))
+                elif op == wire.OP_DELETE:
+                    yield from proc.compute(apply_cost(0))
+                    existed = store.delete(key)
+                    service.enqueue_replication(node_id, key, None)
+                    frame = wire.encode_response(
+                        wire.ST_OK if existed else wire.ST_MISS)
+                    yield from proc.write(out, frame)
+                    yield from sock.send(out, len(frame))
+                elif op == wire.OP_SCAN:
+                    yield from proc.compute(apply_cost(0))
+                    records = store.scan(key, third)
+                    for rec_key, rec_value in records:
+                        yield from proc.compute(
+                            apply_cost(len(rec_value)))
+                        frame = wire.encode_scan_record(rec_key, rec_value)
+                        yield from proc.write(out, frame)
+                        yield from sock.send(out, len(frame))
+                    frame = wire.scan_end_record()
+                    yield from proc.write(out, frame)
+                    yield from sock.send(out, len(frame))
+                else:
+                    frame = wire.encode_response(wire.ST_ERROR)
+                    yield from proc.write(out, frame)
+                    yield from sock.send(out, len(frame))
+            yield from sock.close()
+        except (SocketTimeoutError, VmmcTimeoutError):
+            pass  # peer died; the hardened recv bounded the wait
+        return served
+
+    return program
+
+
+def make_repl_program(service: "KVService", rank: int):
+    """The NX rank program for node ``rank``: replication receive loop.
+
+    Startup: participate in the shard-map broadcast (root 0).  Then
+    spawn the sender co-process (it shares this rank's NXProcess; the
+    send and receive halves keep disjoint state) and apply incoming
+    records until every peer's stop has arrived.  Shutdown: wait for
+    the local sender, then reduce applied-record counts to rank 0 —
+    skipped under an armed fault plan, where a dead peer would turn
+    the collective into a bounded-timeout cascade.
+    """
+    system = service.system
+    size = len(service.nodes)
+
+    def program(nx):
+        proc = nx.proc
+        page = proc.space.mmap(4096)
+        blob = service.shard_map_blob()
+        try:
+            if rank == 0:
+                proc.poke(page, blob)
+            yield from collectives.broadcast(nx, page, len(blob), root=0)
+            if proc.peek(page, len(blob)) != blob:
+                service.map_mismatches.append(rank)
+        except VmmcTimeoutError:
+            pass  # faulted startup: fall back to the local map copy
+        sender_done = service.sim_event("kv-repl-tx-done-n%d" % rank)
+        service.handles.append(system.spawn(
+            rank, _sender_program(service, nx, rank, sender_done),
+            name="kv-repl-tx-n%d" % rank))
+        stops = 0
+        applied = 0
+        rbuf = proc.space.mmap(4096)
+        try:
+            while stops < size - 1:
+                nbytes = yield from nx.crecv(REPL_TYPE, rbuf, 2048)
+                kind, key, value = wire.decode_repl_record(
+                    proc.peek(rbuf, nbytes))
+                if kind == wire.REPL_STOP:
+                    stops += 1
+                    continue
+                yield from proc.compute(
+                    apply_cost(0 if value is None else len(value)))
+                service.stores[rank].apply_replication(key, value)
+                applied += 1
+        except VmmcTimeoutError:
+            pass  # a peer died; its stop will never come
+        yield sender_done
+        if not system.faults.enabled:
+            total = yield from collectives.reduce_int(
+                nx, applied, lambda a, b: a + b, root=0)
+            if rank == 0:
+                service.repl_applied_total = total
+        return applied
+
+    return program
+
+
+def _sender_program(service: "KVService", nx, rank: int, done):
+    """Drain this node's replication queue into NX point-to-point sends.
+
+    Runs as its own simulated process but drives the *rank's* NX send
+    half (slot acquisition and credit reclaim never touch the receive
+    half the rank program is blocked in).  A per-target send failure
+    under faults is counted and skipped — replication is best-effort
+    once the fabric is faulty; the client-visible contract is the
+    synchronous request path, not the fan-out.
+    """
+    queue = service.repl_queues[rank]
+    system = service.system
+
+    def program(_proc):
+        sbuf = nx.proc.space.mmap(4096)
+        sent = 0
+        try:
+            while True:
+                item = yield queue.get()
+                if item is None:
+                    break
+                targets, record = item
+                yield from nx.proc.write(sbuf, record)
+                for target in targets:
+                    try:
+                        yield from nx.csend(REPL_TYPE, sbuf,
+                                            len(record), to=target)
+                        sent += 1
+                    except (VmmcTimeoutError, VmmcError):
+                        service.repl_send_failures += 1
+            stop = wire.encode_repl_record(wire.REPL_STOP)
+            yield from nx.proc.write(sbuf, stop)
+            for peer in service.nodes:
+                if peer == rank:
+                    continue
+                try:
+                    yield from nx.csend(REPL_TYPE, sbuf, len(stop), to=peer)
+                except (VmmcTimeoutError, VmmcError):
+                    service.repl_send_failures += 1
+        finally:
+            done.succeed()
+        return sent
+
+    return program

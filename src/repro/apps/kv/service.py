@@ -1,0 +1,165 @@
+"""Service orchestration: boot shard servers, manage replication, stop.
+
+:class:`KVService` owns the shared state — the hash ring, the per-node
+:class:`ShardStore`\\ s, the replication queues — and spawns the server
+programs of ``server.py``.  The caller (a test, the workload engine,
+``python -m repro serve``) decides how many client bindings and socket
+connections each node should expect; handler processes are pre-spawned
+to match, so accept ordering is a deterministic FIFO.
+
+Lifecycle::
+
+    service = KVService(system, replicas=2)
+    service.preload({...})                  # untimed bulk load
+    service.start(srpc_handlers=W, socket_handlers=W)
+    ... run client processes to completion ...
+    service.shutdown()                      # queue replication sentinels
+    system.run_processes(service.handles)   # drain fan-out, collect ranks
+
+The replication queues register themselves in the machine metrics
+registry, so the conftest invariant audit (and the utilization report)
+sees service-level queues exactly like hardware FIFOs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from ...kernel.system import ShrimpSystem
+from ...libs.nx import VARIANTS, nx_world
+from ...libs.sockets import SOCKET_VARIANTS
+from ...sim import Event, Store
+from . import protocol as wire
+from .hashing import HashRing
+from .server import make_repl_program, socket_server_program, srpc_server_program
+from .store import ShardStore
+
+__all__ = ["KVService"]
+
+
+class KVService:
+    """A sharded KV service over the nodes of one simulated machine."""
+
+    def __init__(self, system: ShrimpSystem,
+                 nodes: Optional[List[int]] = None,
+                 replicas: int = 2,
+                 srpc_port: int = 7000,
+                 socket_port: int = 7100,
+                 socket_variant: str = "DU-1copy",
+                 nx_variant: str = "AU-1copy",
+                 vnodes: int = 64):
+        self.system = system
+        self.sim = system.sim
+        self.nodes = list(nodes) if nodes is not None else list(
+            range(system.config.n_nodes))
+        if self.nodes != list(range(len(self.nodes))):
+            # NX ranks are spawned on nodes 0..N-1; keep the shard set
+            # aligned with them rather than maintaining a rank map.
+            raise ValueError("service nodes must be 0..N-1, got %r"
+                             % self.nodes)
+        self.replicas = max(1, min(replicas, len(self.nodes)))
+        self.srpc_port = srpc_port
+        self.socket_port = socket_port
+        self.socket_variant = SOCKET_VARIANTS[socket_variant]
+        self.nx_variant = VARIANTS[nx_variant]
+        self.ring = HashRing(self.nodes, vnodes=vnodes)
+        self.stores: Dict[int, ShardStore] = {
+            node: ShardStore(node) for node in self.nodes}
+        self.repl_queues: Dict[int, Store] = {}
+        for node in self.nodes:
+            queue = Store(self.sim, name="kv-repl-q-n%d" % node)
+            system.machine.metrics.register(queue)
+            self.repl_queues[node] = queue
+        self.handles: List = []
+        self.started = False
+        self.repl_send_failures = 0
+        self.repl_applied_total: Optional[int] = None
+        self.map_mismatches: List[int] = []
+
+    # ---------------------------------------------------------- helpers
+
+    def sim_event(self, name: str) -> Event:
+        """A named raw event on this service's simulator."""
+        return Event(self.sim, name=name)
+
+    def shard_map_blob(self) -> bytes:
+        """The shard map as bytes, for the startup broadcast: node
+        count, replica count, and each node's vnode count."""
+        return struct.pack("<HH", len(self.nodes), self.replicas) + b"".join(
+            struct.pack("<HH", node, self.ring.vnodes) for node in self.nodes)
+
+    def replicas_for(self, key: str) -> List[int]:
+        """The replica set of ``key``, primary first."""
+        return self.ring.replicas(key, self.replicas)
+
+    # ------------------------------------------------------- lifecycle
+
+    def preload(self, items: Dict[str, bytes]) -> None:
+        """Bulk-load key/value pairs into every replica, untimed.
+
+        Models a dataset that existed before the measurement window —
+        loading through the timed path would just measure warmup.
+        """
+        for key, value in items.items():
+            for node in self.replicas_for(key):
+                self.stores[node].data[key] = value
+
+    def start(self, srpc_handlers: int = 0, socket_handlers: int = 0) -> None:
+        """Spawn all server processes.
+
+        ``srpc_handlers``/``socket_handlers`` are per node: spawn
+        exactly as many binding/connection handlers as clients that
+        will connect, so every accept pairs deterministically.
+        """
+        if self.started:
+            raise RuntimeError("service already started")
+        self.started = True
+        for node in self.nodes:
+            for i in range(srpc_handlers):
+                self.handles.append(self.system.spawn(
+                    node, srpc_server_program(self, node),
+                    name="kv-srpc-n%d-h%d" % (node, i)))
+            for i in range(socket_handlers):
+                self.handles.append(self.system.spawn(
+                    node, socket_server_program(self, node),
+                    name="kv-sock-n%d-h%d" % (node, i)))
+        if len(self.nodes) > 1:
+            self.handles.extend(nx_world(
+                self.system,
+                [make_repl_program(self, rank) for rank in self.nodes],
+                variant=self.nx_variant))
+
+    def enqueue_replication(self, origin: int, key: str,
+                            value: Optional[bytes]) -> None:
+        """Queue an upsert/delete for fan-out to the other replicas.
+
+        Called by whichever server applied a client write — normally
+        the primary, but under failover any replica (or even a
+        non-replica the client fell back to) accepts the write and
+        fans it out, Dynamo-style sloppy ownership.
+        """
+        targets = [node for node in self.replicas_for(key) if node != origin]
+        if targets and origin in self.repl_queues and len(self.nodes) > 1:
+            record = wire.encode_repl_record(wire.REPL_DATA, key, value)
+            self.repl_queues[origin].try_put((targets, record))
+
+    def shutdown(self) -> None:
+        """Queue the replication shutdown sentinels (host-level).
+
+        After this, run ``system.run_processes(service.handles)`` to
+        drain the fan-out queues and retire the NX ranks.
+        """
+        for node in self.nodes:
+            self.repl_queues[node].try_put(None)
+
+    # --------------------------------------------------------- figures
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-node store counters, keyed ``"n<id>"`` in node order."""
+        return {"n%d" % node: self.stores[node].counters()
+                for node in self.nodes}
+
+    def total_keys(self) -> int:
+        """Keys stored service-wide, replicas counted separately."""
+        return sum(len(s.data) for s in self.stores.values())

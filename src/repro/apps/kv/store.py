@@ -1,0 +1,77 @@
+"""The per-node shard store: a host-level dict plus serving counters.
+
+The *data structure* is untimed on purpose — the paper's question is
+what the communication stack costs, so the simulated time of a request
+is transport time plus an explicit apply cost the server charges with
+``proc.compute`` (see ``server.py``), not Python dict performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ShardStore"]
+
+
+class ShardStore:
+    """One shard server's keyspace and its operation counters."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.data: Dict[str, bytes] = {}
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.deletes = 0
+        self.scans = 0
+        self.repl_applied = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The value for ``key``, or None on a miss."""
+        self.gets += 1
+        value = self.data.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, key: str, value: bytes) -> None:
+        """Upsert ``key``."""
+        self.puts += 1
+        self.data[key] = value
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True if it existed."""
+        self.deletes += 1
+        return self.data.pop(key, None) is not None
+
+    def scan(self, prefix: str, limit: int) -> List[Tuple[str, bytes]]:
+        """Up to ``limit`` records with keys starting with ``prefix``,
+        in sorted key order (deterministic regardless of insert order)."""
+        self.scans += 1
+        out = []
+        for key in sorted(self.data):
+            if key.startswith(prefix):
+                out.append((key, self.data[key]))
+                if len(out) >= limit:
+                    break
+        return out
+
+    def apply_replication(self, key: str, value: Optional[bytes]) -> None:
+        """Apply a replicated upsert (or delete when ``value`` is None)."""
+        self.repl_applied += 1
+        if value is None:
+            self.data.pop(key, None)
+        else:
+            self.data[key] = value
+
+    def counters(self) -> Dict[str, int]:
+        """Operation counters plus the live key count."""
+        return {
+            "keys": len(self.data),
+            "gets": self.gets,
+            "hits": self.hits,
+            "puts": self.puts,
+            "deletes": self.deletes,
+            "scans": self.scans,
+            "repl_applied": self.repl_applied,
+        }

@@ -1,6 +1,7 @@
 """Benchmark harness (system S19 in DESIGN.md): the ping-pong engine,
 per-library drivers, and one harness per figure of the evaluation."""
 
+from .capacity import CapacityPoint, CapacityResult, capacity_sweep, find_knee
 from .figures import (
     BANDWIDTH_SIZES,
     LATENCY_SIZES,
@@ -30,6 +31,8 @@ from .report import FigureResult, FigureSeries, SeriesPoint, format_table
 
 __all__ = [
     "BANDWIDTH_SIZES",
+    "CapacityPoint",
+    "CapacityResult",
     "FigureResult",
     "FigureSeries",
     "LATENCY_SIZES",
@@ -37,11 +40,13 @@ __all__ = [
     "STRATEGIES",
     "SeriesPoint",
     "Strategy",
+    "capacity_sweep",
     "figure3_raw_vmmc",
     "figure4_nx",
     "figure5_vrpc",
     "figure7_sockets",
     "figure8_rpc_comparison",
+    "find_knee",
     "format_table",
     "headline_scalars",
     "nx_pingpong",

@@ -1,0 +1,117 @@
+"""Capacity sweep: offered load vs tail latency, per transport.
+
+The serving-side complement of the figure harnesses: instead of one
+message bouncing between two nodes, an open-loop workload offers load
+to the whole KV service and we watch where the tail departs.  Below
+capacity an open-loop system's p99 tracks p50; past the knee queueing
+delay accumulates without bound inside the measurement window, so p99
+diverges while achieved throughput plateaus at service capacity — the
+classic saturation signature (docs/WORKLOADS.md).
+
+:func:`find_knee` works on the measured points alone, so it can be unit
+tested on synthetic data without running a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..workload.engine import run_workload
+from ..workload.spec import WorkloadSpec
+from .report import format_table
+
+__all__ = ["CapacityPoint", "CapacityResult", "capacity_sweep", "find_knee"]
+
+
+@dataclass
+class CapacityPoint:
+    """One sweep sample: what was offered, what came back, how slowly."""
+
+    offered_load: float      # ops/s
+    throughput: float        # achieved ops/s
+    p50_us: float
+    p99_us: float
+    errors: int
+
+
+@dataclass
+class CapacityResult:
+    """A full sweep for one transport, plus the detected knee."""
+
+    transport: str
+    arrival: str
+    points: List[CapacityPoint] = field(default_factory=list)
+    knee_load: Optional[float] = None
+
+    def rows(self) -> List[List[str]]:
+        """The sweep as table rows (header first)."""
+        rows = [["offered ops/s", "achieved ops/s", "p50 us", "p99 us",
+                 "p99/p50", "errors"]]
+        for pt in self.points:
+            ratio = pt.p99_us / pt.p50_us if pt.p50_us > 0 else 0.0
+            rows.append(["%.0f" % pt.offered_load, "%.0f" % pt.throughput,
+                         "%.2f" % pt.p50_us, "%.2f" % pt.p99_us,
+                         "%.1f" % ratio, str(pt.errors)])
+        return rows
+
+    def report(self) -> str:
+        """Deterministic text: the sweep table and the knee verdict."""
+        lines = ["capacity sweep: transport=%s arrival=%s"
+                 % (self.transport, self.arrival)]
+        lines.extend(format_table(self.rows()))
+        if self.knee_load is not None:
+            lines.append("saturation knee at ~%.0f ops/s offered"
+                         % self.knee_load)
+        else:
+            lines.append("no saturation knee inside the swept range")
+        return "\n".join(lines)
+
+
+def find_knee(points: Sequence[CapacityPoint],
+              tail_factor: float = 3.0,
+              shortfall: float = 0.9) -> Optional[float]:
+    """The first offered load where the service is saturated, or None.
+
+    The baseline p99 is the lowest-load point's; a point marks the knee
+    when its p99 exceeds ``tail_factor`` times the baseline (queueing
+    delay has taken over the tail) **or** its achieved throughput falls
+    below ``shortfall`` of offered (the service can no longer keep up).
+    """
+    if not points:
+        return None
+    ordered = sorted(points, key=lambda pt: pt.offered_load)
+    baseline_p99 = ordered[0].p99_us
+    for pt in ordered[1:]:
+        saturated_tail = (baseline_p99 > 0.0
+                          and pt.p99_us > tail_factor * baseline_p99)
+        saturated_tput = pt.throughput < shortfall * pt.offered_load
+        if saturated_tail or saturated_tput:
+            return pt.offered_load
+    return None
+
+
+def capacity_sweep(loads: Sequence[float],
+                   base_spec: Optional[WorkloadSpec] = None,
+                   tail_factor: float = 3.0,
+                   shortfall: float = 0.9) -> CapacityResult:
+    """Run ``base_spec`` at each offered load and locate the knee.
+
+    ``base_spec`` must be (or is forced to be) open-loop — a closed
+    loop self-limits and never shows a knee.
+    """
+    spec = base_spec if base_spec is not None else WorkloadSpec()
+    if spec.arrival != "open":
+        raise ValueError("capacity sweeps need an open-loop spec")
+    result = CapacityResult(transport=spec.transport, arrival=spec.arrival)
+    for load in sorted(loads):
+        rep = run_workload(spec.with_load(load))
+        result.points.append(CapacityPoint(
+            offered_load=load,
+            throughput=rep.throughput_ops_s,
+            p50_us=rep.percentile(50.0),
+            p99_us=rep.percentile(99.0),
+            errors=rep.errors))
+    result.knee_load = find_knee(result.points, tail_factor=tail_factor,
+                                 shortfall=shortfall)
+    return result

@@ -50,6 +50,7 @@ class Machine:
             self.metrics.register(node.xpress)
             self.metrics.register(node.nic.fifo)
             self.metrics.register(node.nic.arbiter)
+            self.metrics.register(node.nic.du_engine)
 
     def node(self, node_id: int) -> Node:
         """The node with this id (ValueError if out of range)."""

@@ -141,6 +141,11 @@ class DeliberateUpdateEngine:
         self.bytes_sent = 0
         self.stalls = 0
         self.aborts = 0
+        # Occupancy accounting for the metrics registry: time from
+        # dequeuing a command to resolving it (done or aborted).  The
+        # engine is serial, so busy_time/now is its utilization.
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
         spawn(sim, self._run(), name="du-engine-n%d" % node_id)
 
     def submit(self, command: DUCommand) -> None:
@@ -148,11 +153,26 @@ class DeliberateUpdateEngine:
         if not self.commands.try_put(command):
             raise RuntimeError("DU command queue unexpectedly full")
 
+    def metrics_snapshot(self, now: Optional[float] = None) -> dict:
+        """Utilization counters for the metrics registry."""
+        now = self.sim.now if now is None else now
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return {
+            "name": "du-engine-n%d" % self.node_id,
+            "kind": "engine",
+            "busy_time": busy,
+            "count": self.transfers_done,
+            "bytes": self.bytes_sent,
+        }
+
     def _run(self):
         cfg = self.config
         track = "n%d.nic.du" % self.node_id
         while True:
             command = yield self.commands.get()
+            self._busy_since = self.sim.now
             if self.injector.enabled:
                 fault = self.injector.draw(FaultSite.NIC_DU, node=self.node_id)
                 if fault is not None:
@@ -172,6 +192,8 @@ class DeliberateUpdateEngine:
                             "deliberate update of %d bytes aborted by the "
                             "DU engine on node %d" % (command.size, self.node_id)
                         ))
+                        self.busy_time += self.sim.now - self._busy_since
+                        self._busy_since = None
                         continue
                     self.stalls += 1
                     yield self.sim.timeout(fault.params.get("stall_us", 50.0))
@@ -206,6 +228,8 @@ class DeliberateUpdateEngine:
                 remaining -= chunk
                 self.bytes_sent += chunk
             self.transfers_done += 1
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
             self.tracer.end(span)
             command.done.succeed()
 

@@ -160,7 +160,12 @@ class Packetizer:
         if open_packet is None or not open_packet.use_timer:
             return
         idle = self.sim.now - open_packet.last_write
-        if idle + 1e-12 >= open_packet.timeout:
+        # The tolerance must scale with the clock: ``now - last_write``
+        # loses up to one ulp of ``now``, and at large sim times a fixed
+        # epsilon is smaller than that rounding error — the timer would
+        # then reschedule itself by a sub-ulp remainder forever.
+        tolerance = 1e-9 * max(1.0, self.sim.now)
+        if idle + tolerance >= open_packet.timeout:
             self._close_open()
         else:
             # A write landed since arming; re-check after the remainder.

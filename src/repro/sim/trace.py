@@ -267,6 +267,14 @@ class Series:
         mu = self.mean
         return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1))
 
+    def percentile(self, p: float) -> float:
+        """Exact percentile of the samples (see :func:`repro.analysis.percentile`)."""
+        from ..analysis import percentile
+
+        if not self.samples:
+            raise ValueError("series %r has no samples" % self.name)
+        return percentile(self.samples, p)
+
 
 class Stopwatch:
     """Measures spans of simulated time.

@@ -30,8 +30,15 @@ def audit_invariants(system: ShrimpSystem) -> List[str]:
 
     * mesh packet and byte conservation — everything routed was
       delivered, dropped, or is still in flight;
-    * no negative busy/wait time on any registered resource;
-    * every tracer span that was opened was also closed.
+    * no negative busy/wait time on any registered resource, and no
+      serial resource busier than the elapsed simulated time;
+    * queue (Store) statistics are sane — non-negative put counts,
+      high-water marks, and occupancy integrals.  Application-level
+      queues (the KV service's replication queues, the workload
+      engine's dispatch queue) register themselves in the machine
+      metrics registry precisely so this audit covers them;
+    * every tracer span that was opened was also closed — including
+      the per-request ``kv.*`` spans the service emits.
 
     The checks read counters the hardware keeps anyway, so auditing
     costs nothing and runs after every test via ``tests/conftest.py``.
@@ -50,11 +57,26 @@ def audit_invariants(system: ShrimpSystem) -> List[str]:
                 % (unit, routed, delivered, dropped, in_flight))
         if min(routed, delivered, dropped, in_flight) < 0:
             problems.append("mesh %s counter went negative" % unit)
+    now = system.sim.now
     for snap in system.machine.metrics.snapshot():
+        name = snap.get("name")
         for key in ("busy_time", "wait_time"):
             if snap.get(key, 0.0) < 0.0:
                 problems.append("%s: negative %s (%r)"
-                                % (snap.get("name"), key, snap[key]))
+                                % (name, key, snap[key]))
+        # Serial contention points (channels, engines) cannot be busy
+        # longer than the clock has run.
+        if snap.get("kind") in ("channel", "engine"):
+            if snap.get("busy_time", 0.0) > now + 1e-6:
+                problems.append(
+                    "%s: busy_time %.3f exceeds elapsed time %.3f"
+                    % (name, snap["busy_time"], now))
+        if snap.get("kind") == "store":
+            if snap.get("count", 0) < 0 or snap.get("high_water", 0) < 0:
+                problems.append("%s: negative queue counters" % name)
+            if snap.get("mean_depth", 0.0) < -1e-9:
+                problems.append("%s: negative mean queue depth (%r)"
+                                % (name, snap["mean_depth"]))
     for span in system.machine.tracer.spans:
         if span.end is None:
             problems.append(

@@ -1,0 +1,37 @@
+"""Seed-deterministic workload generation against the in-sim KV service.
+
+The package splits into three pieces:
+
+* :mod:`~repro.workload.spec` — :class:`WorkloadSpec` and the samplers
+  (Poisson gaps, Zipf/uniform keys, discrete value sizes);
+* :mod:`~repro.workload.engine` — :func:`run_workload`, which boots a
+  machine, starts the service, and drives the traffic;
+* :mod:`~repro.workload.report` — :class:`WorkloadReport`, the
+  deterministic text report with the tail-latency table.
+
+See ``docs/WORKLOADS.md`` for the model and the CLI.
+"""
+
+from .engine import run_workload
+from .report import WorkloadReport
+from .spec import (
+    DEFAULT_VALUE_SIZES,
+    KeySampler,
+    ValueSizeSampler,
+    WorkloadSpec,
+    exponential_gap_us,
+    key_name,
+    value_bytes,
+)
+
+__all__ = [
+    "DEFAULT_VALUE_SIZES",
+    "KeySampler",
+    "ValueSizeSampler",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "exponential_gap_us",
+    "key_name",
+    "run_workload",
+    "value_bytes",
+]

@@ -1,0 +1,228 @@
+"""The traffic engine: drive the KV service inside the DES and measure.
+
+Workers are simulated processes placed round-robin over the mesh nodes,
+each owning a :class:`~repro.apps.kv.KVClient` (so every worker talks
+to every shard).  Arrivals are either:
+
+* **open loop** — a Poisson arrival process stamps requests into a
+  dispatch queue at the offered load, independent of completions;
+  latency is *completion minus arrival*, so queueing delay shows up in
+  the tail and the saturation knee emerges past capacity; or
+* **closed loop** — each worker issues back-to-back requests (plus
+  optional think time), the classic fixed-concurrency load generator
+  that can never overrun the service.
+
+The engine is seed-deterministic end to end: sampling uses dedicated
+``random.Random`` streams, the dispatch queue is FIFO, and the report
+contains only simulated quantities.  Runs use
+:func:`repro.testbed.make_system`, so every workload run is subject to
+the conftest invariant audit (mesh conservation, span balance, queue
+sanity) like any other test workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..apps.kv import KVClient, KVService, ST_ERROR, ST_OK
+from ..analysis import LatencyHistogram
+from ..hardware.config import MachineConfig
+from ..sim import Store
+from ..sim.faults import FaultPlan
+from ..testbed import Rendezvous, make_system
+from .report import WorkloadReport
+from .spec import (
+    KeySampler,
+    ValueSizeSampler,
+    WorkloadSpec,
+    exponential_gap_us,
+    key_name,
+    value_bytes,
+)
+
+__all__ = ["run_workload"]
+
+_OPS = ("get", "put", "scan")
+
+
+def _sample_request(rng: random.Random, spec: WorkloadSpec,
+                    keys: KeySampler, sizes: ValueSizeSampler):
+    """One request tuple ``(op, key, value_size, scan_limit)``."""
+    r = rng.random()
+    key = key_name(keys.sample(rng))
+    if r < spec.read_fraction:
+        return ("get", key, 0, 0)
+    if r < spec.read_fraction + spec.scan_fraction:
+        return ("scan", key[:4], 0, spec.scan_limit)
+    return ("put", key, sizes.sample(rng), 0)
+
+
+def run_workload(spec: WorkloadSpec,
+                 fault_plan: Optional[FaultPlan] = None) -> WorkloadReport:
+    """Run one complete workload and return its report.
+
+    Boots a machine, starts the KV service, pre-loads the keyspace,
+    drives ``spec.requests`` requests through it, then drains the
+    replication fan-out.  With ``fault_plan`` armed the run exercises
+    the degraded mode: hardened transports retry, clients fail over to
+    replicas, and the run completes (bounded by typed timeouts) rather
+    than hanging.
+    """
+    spec.validate()
+    config = (MachineConfig.shrimp_prototype() if spec.nodes == 4
+              else MachineConfig.sixteen_node())
+    system = make_system(config=config, fault_plan=fault_plan)
+    if spec.trace:
+        system.machine.tracer.enabled = True
+    sim = system.sim
+
+    service = KVService(system, replicas=spec.replicas)
+    prefill = random.Random(spec.seed * 7919 + 13)
+    sizes = ValueSizeSampler(spec.value_sizes)
+    service.preload({
+        key_name(i): value_bytes(key_name(i), sizes.sample(prefill))
+        for i in range(spec.keys)})
+
+    workers = spec.concurrency
+    service.start(
+        srpc_handlers=workers if spec.transport == "srpc" else 0,
+        socket_handlers=workers if spec.needs_sockets() else 0)
+
+    keys = KeySampler(spec.keys, spec.key_distribution, spec.zipf_s)
+    dispatch = Store(sim, name="wl-dispatch-q")
+    system.machine.metrics.register(dispatch)
+    rdv = Rendezvous(system)
+    ready = [0]
+    window = {"start": 0.0, "end": 0.0}
+    tally = {"completed": 0, "errors": 0}
+    overall = LatencyHistogram("overall")
+    per_op: Dict[str, LatencyHistogram] = {
+        op: LatencyHistogram(op) for op in _OPS}
+
+    def _execute(client, op, key, size, limit):
+        if op == "get":
+            status, value = yield from client.get(key)
+            if status == ST_OK and value:
+                if bytes(value) != value_bytes(key, len(value)):
+                    client.corruptions += 1
+        elif op == "put":
+            status = yield from client.put(key, value_bytes(key, size))
+        else:
+            status, _records = yield from client.scan(key, limit)
+        return status
+
+    def _record(op, latency, status):
+        overall.record(latency)
+        per_op[op].record(latency)
+        if status == ST_ERROR:
+            tally["errors"] += 1
+        else:
+            tally["completed"] += 1
+
+    clients = []
+
+    def make_worker(wid):
+        def worker(proc):
+            client = KVClient(service, proc, transport=spec.transport,
+                              want_sockets=spec.needs_sockets(),
+                              client_id=wid)
+            clients.append(client)
+            yield from client.connect()
+            ready[0] += 1
+            if ready[0] == workers:
+                window["start"] = sim.now
+                rdv.put("go", sim.now)
+            yield rdv.get("go")
+            if spec.arrival == "open":
+                while True:
+                    item = yield dispatch.get()
+                    if item is None:
+                        break
+                    op, key, size, limit, arrival = item
+                    status = yield from _execute(client, op, key, size, limit)
+                    _record(op, sim.now - arrival, status)
+                    window["end"] = max(window["end"], sim.now)
+            else:
+                rng = random.Random(spec.seed * 1_000_003 + wid)
+                quota = spec.requests // workers
+                if wid < spec.requests % workers:
+                    quota += 1
+                for _ in range(quota):
+                    op, key, size, limit = _sample_request(
+                        rng, spec, keys, sizes)
+                    issued = sim.now
+                    status = yield from _execute(client, op, key, size, limit)
+                    _record(op, sim.now - issued, status)
+                    window["end"] = max(window["end"], sim.now)
+                    if spec.think_us > 0.0:
+                        yield sim.timeout(spec.think_us)
+            yield from client.shutdown()
+            return client.stats()
+
+        return worker
+
+    handles = [system.spawn(wid % spec.nodes, make_worker(wid),
+                            name="wl-worker-%d" % wid)
+               for wid in range(workers)]
+
+    if spec.arrival == "open":
+        def arrivals(_proc):
+            rng = random.Random(spec.seed)
+            yield rdv.get("go")
+            for _ in range(spec.requests):
+                yield sim.timeout(exponential_gap_us(rng, spec.load))
+                op, key, size, limit = _sample_request(rng, spec, keys, sizes)
+                dispatch.try_put((op, key, size, limit, sim.now))
+            for _ in range(workers):
+                dispatch.try_put(None)
+
+        handles.append(system.spawn(0, arrivals, name="wl-arrivals"))
+
+    system.run_processes(handles, timeout=spec.timeout_us)
+    service.shutdown()
+    system.run_processes(service.handles, timeout=spec.timeout_us)
+
+    spec_line = ("workload seed=%d transport=%s arrival=%s load=%g "
+                 "concurrency=%d requests=%d keys=%d dist=%s nodes=%d "
+                 "replicas=%d read=%.2f scan=%.2f"
+                 % (spec.seed, spec.transport, spec.arrival, spec.load,
+                    spec.concurrency, spec.requests, spec.keys,
+                    spec.key_distribution, spec.nodes, spec.replicas,
+                    spec.read_fraction, spec.scan_fraction))
+    misses = sum(c.misses for c in clients)
+    failovers = sum(c.failovers for c in clients)
+    corruptions = sum(c.corruptions for c in clients)
+    service_lines = [
+        "service: keys=%d repl_applied_total=%s repl_send_failures=%d "
+        "map_mismatches=%s"
+        % (service.total_keys(), service.repl_applied_total,
+           service.repl_send_failures, service.map_mismatches)]
+    for node_label, counters in service.counters().items():
+        service_lines.append(
+            "  %s: keys=%d gets=%d hits=%d puts=%d deletes=%d scans=%d "
+            "repl_applied=%d"
+            % (node_label, counters["keys"], counters["gets"],
+               counters["hits"], counters["puts"], counters["deletes"],
+               counters["scans"], counters["repl_applied"]))
+    fault_lines = []
+    if fault_plan is not None:
+        fault_lines = system.faults.report().splitlines()
+
+    return WorkloadReport(
+        spec_line=spec_line,
+        transport=spec.transport,
+        arrival=spec.arrival,
+        offered_load=spec.load if spec.arrival == "open" else 0.0,
+        duration_us=max(0.0, window["end"] - window["start"]),
+        completed=tally["completed"],
+        errors=tally["errors"],
+        misses=misses,
+        failovers=failovers,
+        corruptions=corruptions,
+        overall=overall,
+        per_op=per_op,
+        utilization=system.machine.utilization_report(min_count=1),
+        service_lines=service_lines,
+        fault_lines=fault_lines,
+    )

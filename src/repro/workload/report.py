@@ -1,0 +1,89 @@
+"""The workload run report: tail latency, throughput, utilization.
+
+Rendered entirely from simulated quantities — no wall-clock, no host
+state — so the same seed produces a byte-identical report, which the
+determinism tests (and the acceptance criteria) compare directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis import TAIL_PERCENTILES, LatencyHistogram
+from ..bench.report import format_table
+
+__all__ = ["WorkloadReport"]
+
+
+@dataclass
+class WorkloadReport:
+    """Everything one :func:`~repro.workload.engine.run_workload` measured."""
+
+    spec_line: str
+    transport: str
+    arrival: str
+    offered_load: float          # ops/s (0.0 for closed loop)
+    duration_us: float           # measurement window
+    completed: int
+    errors: int
+    misses: int
+    failovers: int
+    corruptions: int
+    overall: LatencyHistogram
+    per_op: Dict[str, LatencyHistogram]
+    utilization: str             # the metrics-registry table
+    service_lines: List[str] = field(default_factory=list)
+    fault_lines: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Completed requests per second of measurement window."""
+        if self.duration_us <= 0.0:
+            return 0.0
+        return self.completed / (self.duration_us / 1e6)
+
+    def percentile(self, p: float) -> float:
+        """Overall latency percentile (µs)."""
+        return self.overall.percentile(p)
+
+    def latency_rows(self) -> List[List[str]]:
+        """The per-op latency table (one row per op plus OVERALL)."""
+        header = ["op", "count", "mean us"] + [
+            "p%g us" % p for p in TAIL_PERCENTILES] + ["max us"]
+        rows = [header]
+        entries = [(name, hist) for name, hist in sorted(self.per_op.items())
+                   if hist.count]
+        entries.append(("OVERALL", self.overall))
+        for name, hist in entries:
+            rows.append([name, str(hist.count), "%.2f" % hist.mean]
+                        + ["%.2f" % hist.percentile(p)
+                           for p in TAIL_PERCENTILES]
+                        + ["%.2f" % hist.max])
+        return rows
+
+    def report(self) -> str:
+        """The full run report as deterministic text."""
+        lines = [self.spec_line]
+        lines.append(
+            "window %.1f us  completed %d  throughput %.0f ops/s"
+            % (self.duration_us, self.completed, self.throughput_ops_s))
+        if self.offered_load > 0.0:
+            lines.append("offered load %.0f ops/s  (achieved/offered = %.2f)"
+                         % (self.offered_load,
+                            self.throughput_ops_s / self.offered_load))
+        lines.append(
+            "errors %d  misses %d  failovers %d  corruptions %d"
+            % (self.errors, self.misses, self.failovers, self.corruptions))
+        lines.append("")
+        lines.extend(format_table(self.latency_rows()))
+        if self.service_lines:
+            lines.append("")
+            lines.extend(self.service_lines)
+        if self.fault_lines:
+            lines.append("")
+            lines.extend(self.fault_lines)
+        lines.append("")
+        lines.append("per-resource utilization (registered metrics):")
+        lines.append(self.utilization)
+        return "\n".join(lines)

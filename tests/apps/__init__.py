@@ -1,0 +1,1 @@
+"""Tests for the in-simulation application layer (repro.apps)."""

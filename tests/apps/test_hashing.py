@@ -1,0 +1,51 @@
+"""Tests for consistent hashing: stability, balance, replica placement."""
+
+from repro.apps.kv.hashing import HashRing, stable_hash
+
+
+def test_stable_hash_is_interpreter_independent():
+    """Hardcoded reference values: the md5-based hash must never move
+    between Python releases or processes (unlike builtin hash())."""
+    assert stable_hash(b"") == 338333539836370388
+    assert stable_hash(b"k000042") == 11520637366607584202
+    assert stable_hash(b"shrimp") == 10530301376132449332
+
+
+def test_ring_placement_is_deterministic():
+    a = HashRing([0, 1, 2, 3])
+    b = HashRing([0, 1, 2, 3])
+    for i in range(200):
+        key = "key-%d" % i
+        assert a.primary(key) == b.primary(key)
+        assert a.replicas(key, 2) == b.replicas(key, 2)
+
+
+def test_replicas_are_distinct_and_primary_first():
+    ring = HashRing([0, 1, 2, 3])
+    for i in range(100):
+        key = "k%06d" % i
+        reps = ring.replicas(key, 3)
+        assert len(reps) == len(set(reps)) == 3
+        assert reps[0] == ring.primary(key)
+
+
+def test_replica_count_clamped_to_ring_size():
+    ring = HashRing([0, 1])
+    reps = ring.replicas("anything", 5)
+    assert sorted(reps) == [0, 1]
+
+
+def test_load_is_roughly_balanced():
+    ring = HashRing([0, 1, 2, 3], vnodes=64)
+    counts = ring.load_map(["k%06d" % i for i in range(2000)])
+    assert set(counts) == {0, 1, 2, 3}
+    for node, count in counts.items():
+        # vnode hashing is not perfect, but no node should be starved
+        # or own the majority of a 2000-key space.
+        assert 200 < count < 1000, (node, count)
+
+
+def test_single_node_ring_owns_everything():
+    ring = HashRing([7], vnodes=16)
+    assert ring.primary("x") == 7
+    assert ring.replicas("x", 2) == [7]

@@ -3,10 +3,16 @@
 Every system built through :func:`repro.testbed.make_system` during a
 test is audited after the test body finishes — mesh packet/byte
 conservation (routed == delivered + dropped + in-flight), non-negative
-resource busy/wait time, and span balance (every tracer ``begin`` got
-an ``end``).  The audit reads counters the hardware keeps anyway, so it
-costs nothing and catches accounting bugs in *every* integration test,
-not only the dedicated sweeps under ``tests/faults/``.
+resource busy/wait time (with serial channels/engines bounded by the
+elapsed clock), sane queue statistics for every registered Store, and
+span balance (every tracer ``begin`` got an ``end``).  Service-level
+components opt in by registering their queues with the machine metrics
+registry — the KV service's replication queues and the workload
+engine's dispatch queue do — so mesh conservation and span balance are
+re-checked under full serving workloads, not just microbenchmarks.
+The audit reads counters the hardware keeps anyway, so it costs
+nothing and catches accounting bugs in *every* integration test, not
+only the dedicated sweeps under ``tests/faults/``.
 """
 
 import pytest

@@ -79,6 +79,52 @@ def test_reduce_max_nonzero_root():
     assert results[0] is None
 
 
+@pytest.mark.parametrize("bcast", [broadcast, broadcast_naive])
+@pytest.mark.parametrize("size,root", [(3, 1), (3, 2)])
+def test_broadcast_non_power_of_two_world(bcast, size, root):
+    """The binomial tree must terminate cleanly when the world size is
+    not a power of two and the root is rank-shifted."""
+    payload = b"npot payload " * 3
+
+    def program(nx):
+        buf = nx.proc.space.mmap(PAGE)
+        if nx.mynode() == root:
+            nx.proc.poke(buf, payload)
+        yield from bcast(nx, buf, len(payload), root=root)
+        return nx.proc.peek(buf, len(payload))
+
+    _sys, results = run_world([program] * size)
+    assert all(r == payload for r in results)
+
+
+@pytest.mark.parametrize("size,root", [(3, 1), (3, 2), (4, 3)])
+def test_reduce_non_power_of_two_world(size, root):
+    def program(nx):
+        result = yield from reduce_int(nx, (nx.mynode() + 1) * 5,
+                                       lambda a, b: a + b, root=root)
+        return result
+
+    _sys, results = run_world([program] * size)
+    expected = sum((i + 1) * 5 for i in range(size))
+    for rank, value in enumerate(results):
+        assert value == (expected if rank == root else None)
+
+
+@pytest.mark.parametrize("size,root", [(3, 2), (4, 3)])
+def test_gather_non_power_of_two_world_nonzero_root(size, root):
+    def program(nx):
+        buf = nx.proc.space.mmap(PAGE)
+        nx.proc.poke(buf, bytes([nx.mynode() + 65]) * 8)
+        result = yield from gather(nx, buf, 8, root=root)
+        return result
+
+    _sys, results = run_world([program] * size)
+    assert results[root] == [bytes([i + 65]) * 8 for i in range(size)]
+    for rank, value in enumerate(results):
+        if rank != root:
+            assert value is None
+
+
 def test_gather_collects_per_rank_payloads():
     def program(nx):
         buf = nx.proc.space.mmap(PAGE)

@@ -1,0 +1,80 @@
+"""Tests for the capacity sweep: knee detection on synthetic points,
+and (slow) a real sweep showing the saturation signature."""
+
+import pytest
+
+from repro.bench.capacity import (
+    CapacityPoint,
+    capacity_sweep,
+    find_knee,
+)
+from repro.workload import WorkloadSpec
+
+
+def point(offered, throughput, p50, p99, errors=0):
+    return CapacityPoint(offered_load=offered, throughput=throughput,
+                         p50_us=p50, p99_us=p99, errors=errors)
+
+
+class TestFindKnee:
+    """Knee detection over synthetic sweep points."""
+
+    def test_no_points_no_knee(self):
+        assert find_knee([]) is None
+
+    def test_healthy_sweep_has_no_knee(self):
+        points = [point(load, load * 0.99, 40.0, 80.0)
+                  for load in (1000, 2000, 4000)]
+        assert find_knee(points) is None
+
+    def test_tail_divergence_marks_the_knee(self):
+        points = [
+            point(10_000, 9_900, 40.0, 80.0),
+            point(20_000, 19_800, 45.0, 95.0),
+            point(40_000, 39_000, 60.0, 400.0),   # p99 blows past 3x baseline
+            point(80_000, 41_000, 300.0, 2000.0),
+        ]
+        assert find_knee(points) == 40_000
+
+    def test_throughput_shortfall_marks_the_knee(self):
+        points = [
+            point(10_000, 9_900, 40.0, 80.0),
+            point(20_000, 19_800, 45.0, 90.0),
+            point(40_000, 22_000, 50.0, 100.0),   # achieved << offered
+        ]
+        assert find_knee(points) == 40_000
+
+    def test_unsorted_input_is_sorted_first(self):
+        points = [
+            point(40_000, 39_000, 60.0, 400.0),
+            point(10_000, 9_900, 40.0, 80.0),
+        ]
+        assert find_knee(points) == 40_000
+
+    def test_factor_is_tunable(self):
+        points = [
+            point(1_000, 990, 40.0, 80.0),
+            point(2_000, 1_980, 45.0, 170.0),
+        ]
+        assert find_knee(points, tail_factor=2.0) == 2_000
+        assert find_knee(points, tail_factor=3.0) is None
+
+
+def test_sweep_requires_open_loop():
+    with pytest.raises(ValueError):
+        capacity_sweep([1000.0], WorkloadSpec(arrival="closed"))
+
+
+@pytest.mark.slow
+def test_real_sweep_shows_the_saturation_knee():
+    """The acceptance-criteria sweep: past the knee, achieved throughput
+    plateaus while p99 diverges."""
+    spec = WorkloadSpec(seed=1, transport="srpc", arrival="open",
+                        concurrency=4, requests=120, keys=60)
+    result = capacity_sweep([10_000, 40_000, 80_000, 160_000, 320_000], spec)
+    assert result.knee_load is not None
+    ordered = sorted(result.points, key=lambda pt: pt.offered_load)
+    first, last = ordered[0], ordered[-1]
+    assert last.p99_us > 3.0 * first.p99_us          # tail diverged
+    assert last.throughput < 0.5 * last.offered_load  # throughput plateaued
+    assert "saturation knee" in result.report()
