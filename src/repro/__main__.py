@@ -173,7 +173,10 @@ def _cmd_workload(args) -> int:
         load=args.load, concurrency=args.concurrency, requests=args.requests,
         keys=args.keys, read_fraction=args.read_fraction,
         scan_fraction=args.scan_fraction, key_distribution=args.dist,
-        nodes=args.nodes, replicas=args.replicas)
+        zipf_s=args.zipf_s, nodes=args.nodes, replicas=args.replicas,
+        pipeline_window=args.pipeline_window, batch_keys=args.batch_keys,
+        cache_keys=args.cache_keys, cache_ttl_us=args.cache_ttl,
+        read_spread=args.read_spread)
     plan = None
     if args.fault_seed is not None:
         plan = FaultPlan.from_seed(args.fault_seed,
@@ -187,13 +190,36 @@ def _cmd_workload(args) -> int:
 
 
 def _cmd_capacity(args) -> int:
-    from .bench.capacity import capacity_sweep
+    from .bench.capacity import capacity_sweep, paired_capacity_sweep
     from .workload import WorkloadSpec
 
     loads = [float(x) for x in args.loads.split(",")]
     spec = WorkloadSpec(
         seed=args.seed, transport=args.transport, arrival="open",
-        concurrency=args.concurrency, requests=args.requests, keys=args.keys)
+        concurrency=args.concurrency, requests=args.requests, keys=args.keys,
+        read_fraction=args.read_fraction, key_distribution=args.dist,
+        zipf_s=args.zipf_s)
+    # Unset mitigation flags mean "off" for a plain sweep but the
+    # documented defaults for the --ab B side (an A/B with everything
+    # off would compare a run against itself).
+    if args.ab:
+        print(paired_capacity_sweep(
+            loads, spec,
+            pipeline_window=args.pipeline_window or 4,
+            batch_keys=args.batch_keys or 4,
+            cache_keys=args.cache_keys if args.cache_keys is not None else 64,
+            cache_ttl_us=args.cache_ttl if args.cache_ttl is not None
+            else 2000.0,
+            read_spread=True if args.read_spread is None
+            else args.read_spread).report())
+        return 0
+    from dataclasses import replace
+    spec = replace(spec,
+                   pipeline_window=args.pipeline_window or 1,
+                   batch_keys=args.batch_keys or 1,
+                   cache_keys=args.cache_keys or 0,
+                   cache_ttl_us=args.cache_ttl or 0.0,
+                   read_spread=bool(args.read_spread))
     print(capacity_sweep(loads, spec).report())
     return 0
 
@@ -318,10 +344,22 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="fraction that are scans (uses sockets)")
     workload.add_argument("--dist", choices=["zipf", "uniform"],
                           default="zipf", help="key popularity")
+    workload.add_argument("--zipf-s", type=float, default=1.1,
+                          help="Zipf skew exponent (hotter keys as s grows)")
     workload.add_argument("--nodes", type=int, choices=[4, 16], default=4,
                           help="machine size")
     workload.add_argument("--replicas", type=int, default=2,
                           help="replicas per key")
+    workload.add_argument("--pipeline-window", type=int, default=1,
+                          help="SRPC multi-call window per binding (1 = off)")
+    workload.add_argument("--batch-keys", type=int, default=1,
+                          help="group GETs into multi_get batches (1 = off)")
+    workload.add_argument("--cache-keys", type=int, default=0,
+                          help="client LRU cache entries (0 = off)")
+    workload.add_argument("--cache-ttl", type=float, default=0.0,
+                          help="cache entry lifetime in us (0 = no TTL)")
+    workload.add_argument("--read-spread", action="store_true",
+                          help="rotate reads over the replica set")
     workload.add_argument("--fault-seed", type=int, default=None,
                           help="arm a seeded fault plan")
     workload.add_argument("--fault-count", type=int, default=8,
@@ -345,6 +383,25 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="requests per point")
     capacity.add_argument("--keys", type=int, default=200,
                           help="keyspace size")
+    capacity.add_argument("--read-fraction", type=float, default=0.90,
+                          help="fraction of requests that are GETs")
+    capacity.add_argument("--dist", choices=["zipf", "uniform"],
+                          default="zipf", help="key popularity")
+    capacity.add_argument("--zipf-s", type=float, default=1.1,
+                          help="Zipf skew exponent (hotter keys as s grows)")
+    capacity.add_argument("--ab", action="store_true",
+                          help="paired A/B sweep: mitigations off, then on")
+    capacity.add_argument("--pipeline-window", type=int, default=None,
+                          help="SRPC multi-call window (B side of --ab)")
+    capacity.add_argument("--batch-keys", type=int, default=None,
+                          help="multi_get batch size (B side of --ab)")
+    capacity.add_argument("--cache-keys", type=int, default=None,
+                          help="client LRU cache entries (B side of --ab)")
+    capacity.add_argument("--cache-ttl", type=float, default=None,
+                          help="cache entry lifetime in us (B side of --ab)")
+    capacity.add_argument("--read-spread", action="store_const", const=True,
+                          default=None,
+                          help="rotate reads over replicas (B side of --ab)")
     serve = sub.add_parser(
         "serve",
         help="boot the sharded KV service and run a scripted demo client",

@@ -14,6 +14,24 @@ the next replica — the degraded mode the tentpole requires to be
 deterministically testable.  A request that exhausts the replica set
 returns ``ST_ERROR`` rather than raising, so a worker keeps serving.
 
+Hot-key mitigation (docs/WORKLOADS.md "Mitigation knobs"):
+
+* **client cache** — ``cache_keys`` bounds an LRU of recently read
+  values, aged out after ``cache_ttl_us`` and invalidated immediately
+  by this client's own writes (a per-key write epoch guards against a
+  concurrent fetch re-inserting a value the write just invalidated);
+* **read-spreading** — with ``read_spread`` GETs rotate over the key's
+  replica set instead of always hitting the primary (writes stay
+  primary-first, and a read of a key with an in-flight pipelined write
+  is pinned to that write's node so the binding's FIFO serializes it);
+* **pipelining** — when the service's SRPC window is > 1, ``*_begin``
+  submits a point op without waiting and ``collect`` redeems the
+  handle; ``multi_get`` packs up to ``MULTI_GET_MAX`` keys into one
+  batched RPC when the service speaks the v2 interface.
+
+All knobs default off, leaving the request path byte-identical to the
+unmitigated client.
+
 Each completed request records a ``kv.client`` span via
 ``Tracer.complete`` (stack-free, so interleaved requests from many
 workers never unbalance a track).
@@ -21,21 +39,49 @@ workers never unbalance a track).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
 from ...libs.sockets import SocketLib
 from ...vmmc import VmmcError, VmmcTimeoutError, attach
 from . import protocol as wire
-from .server import KvShardClient
+from .server import KvBatchClient, KvShardClient
 
 __all__ = ["KVClient"]
 
 
 class KVClient:
-    """A per-worker handle on the whole sharded service."""
+    """A per-worker handle on the whole sharded service.
+
+    Routing: keys map to their replica set via the service's
+    ``HashRing``; point ops go over SHRIMP RPC (or sockets), scans
+    stream over sockets, and a failed node is struck from the
+    connection table and the next replica tried (``failovers`` counts
+    these).
+
+    Hot-key mitigations, all off by default:
+
+    * ``cache_keys``/``cache_ttl_us`` — a bounded LRU of GET results,
+      aged by simulated time; the client's own ``put``/``delete``
+      invalidates the entry *before* touching the wire, so a client
+      can never read its own stale write back.
+    * ``read_spread`` — rotate GETs round-robin over the key's replica
+      set instead of always hitting the primary.  A GET for a key this
+      client still has a write in flight for pins to the written node.
+    * pipelining — ``get_begin``/``put_begin``/``delete_begin`` return
+      tickets that ``collect`` finishes in any order, riding the SRPC
+      binding's ``window`` (docs/PROTOCOLS.md).
+    * batching — ``multi_get`` packs up to ``MULTI_GET_MAX`` keys per
+      shard call on the v2 program (``KVService(batch=True)``).
+
+    Counters (``ops``, ``misses``, ``cache_hits``, ``spread_reads``,
+    ``batch_calls`` ...) feed the workload report's mitigation line.
+    """
 
     def __init__(self, service, proc, transport: str = "srpc",
-                 want_sockets: Optional[bool] = None, client_id: int = 0):
+                 want_sockets: Optional[bool] = None, client_id: int = 0,
+                 cache_keys: int = 0, cache_ttl_us: float = 0.0,
+                 read_spread: bool = False):
         if transport not in ("srpc", "sockets"):
             raise ValueError("unknown transport %r" % transport)
         self.service = service
@@ -57,15 +103,39 @@ class KVClient:
         self.errors = 0
         self.failovers = 0
         self.corruptions = 0
+        # Mitigation state: the bounded LRU (key -> (value, stored_us)),
+        # per-key write epochs, the read-spread rotation counter, and
+        # pipelined-write pinning for read-after-write on one client.
+        self.cache_keys = cache_keys
+        self.cache_ttl_us = cache_ttl_us
+        self.read_spread = read_spread
+        self._cache: "OrderedDict[str, Tuple[bytes, float]]" = OrderedDict()
+        self._wepoch: Dict[str, int] = {}
+        self._rr = 0
+        self._pending_writes: Dict[str, int] = {}
+        self._pending_write_node: Dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_lookups = 0
+        self.spread_reads = 0
+        self.batch_calls = 0
+        self.batched_keys = 0
 
     # ------------------------------------------------------ connections
 
     def connect(self):
-        """Open one connection per shard server (generator)."""
+        """Open one connection per shard server (generator).
+
+        The SRPC client class and pipelining window follow the
+        service's ``batch``/``srpc_window`` settings, so both sides of
+        every binding agree on the interface version and frame layout.
+        """
         if self.transport == "srpc":
+            client_cls = (KvBatchClient if self.service.batch
+                          else KvShardClient)
             for node in self.service.nodes:
-                client = KvShardClient(self.system, self.proc,
-                                       endpoint=self.endpoint)
+                client = client_cls(self.system, self.proc,
+                                    endpoint=self.endpoint,
+                                    window=self.service.srpc_window)
                 yield from client.bind(node, self.service.srpc_port)
                 self.rpc[node] = client
         if self.want_sockets:
@@ -96,19 +166,229 @@ class KVClient:
     # ------------------------------------------------------- operations
 
     def get(self, key: str):
-        """Generator returning ``(status, value-or-None)``."""
+        """Generator returning ``(status, value-or-None)``.
+
+        Served from the client cache when enabled and fresh; a miss
+        takes the network path and inserts the fetched value (unless a
+        write to the key raced the fetch)."""
+        if self.cache_keys > 0:
+            value = self._cache_get(key)
+            if value is not None:
+                self.ops += 1
+                self._span("get", self.sim_now())
+                return wire.ST_OK, value
+        epoch = self._wepoch.get(key, 0)
         status, value = yield from self._request(wire.OP_GET, key)
+        if status == wire.ST_OK:
+            self._cache_put(key, value, epoch)
         return status, value
 
     def put(self, key: str, value: bytes):
-        """Generator returning a status code."""
+        """Generator returning a status code.  Invalidates the key's
+        cache entry *before* the network write, so no later read on
+        this client can observe the pre-write cached value."""
+        self._cache_invalidate(key)
         status, _ = yield from self._request(wire.OP_PUT, key, value)
         return status
 
     def delete(self, key: str):
-        """Generator returning a status code."""
+        """Generator returning a status code (cache-invalidating, like
+        :meth:`put`)."""
+        self._cache_invalidate(key)
         status, _ = yield from self._request(wire.OP_DELETE, key)
         return status
+
+    def multi_get(self, keys: List[str]):
+        """Generator returning ``[(status, value-or-None), ...]``
+        aligned with ``keys``.
+
+        Cache hits are peeled off first; the remainder is grouped by
+        routing node and fetched with batched v2 ``multi_get`` calls
+        (up to ``MULTI_GET_MAX`` keys each) when the service speaks the
+        batch interface, else with individual GETs.  A node failure
+        mid-batch falls back to per-key replica walks."""
+        results: List[Optional[Tuple[int, Optional[bytes]]]] = \
+            [None] * len(keys)
+        fetch = []
+        for i, key in enumerate(keys):
+            if self.cache_keys > 0:
+                value = self._cache_get(key)
+                if value is not None:
+                    results[i] = (wire.ST_OK, value)
+                    continue
+            fetch.append(i)
+        if not self._batched():
+            for i in fetch:
+                results[i] = yield from self.get(keys[i])
+            return results
+        start = self.sim_now()
+        groups: Dict[Optional[int], List[int]] = {}
+        epochs: Dict[int, int] = {}
+        for i in fetch:
+            key = keys[i]
+            epochs[i] = self._wepoch.get(key, 0)
+            node = None
+            for cand in self._candidates(wire.OP_GET, key):
+                if ("rpc", cand) not in self.dead:
+                    node = cand
+                    break
+            groups.setdefault(node, []).append(i)
+        for node, indices in groups.items():
+            if node is None:
+                for i in indices:
+                    self.ops += 1
+                    self.errors += 1
+                    results[i] = (wire.ST_ERROR, None)
+                continue
+            for lo in range(0, len(indices), wire.MULTI_GET_MAX):
+                chunk = indices[lo:lo + wire.MULTI_GET_MAX]
+                blob = wire.encode_multi_get_request(
+                    [keys[i] for i in chunk])
+                entries = None
+                try:
+                    resp = yield from self.rpc[node].multi_get(blob)
+                    entries = wire.decode_multi_get_response(resp)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+                    self.failovers += 1
+                if entries is None or len(entries) != len(chunk):
+                    for i in chunk:  # per-key replica walk, dead skipped
+                        results[i] = yield from self.get(keys[i])
+                    continue
+                self.ops += 1
+                self.batch_calls += 1
+                self.batched_keys += len(chunk)
+                for i, (status, value) in zip(chunk, entries):
+                    if status == wire.ST_MISS:
+                        self.misses += 1
+                    elif status == wire.ST_OK:
+                        self._cache_put(keys[i], value, epochs[i])
+                    results[i] = (status, value)
+        if fetch:
+            self._span("multi_get", start)
+        return results
+
+    # ------------------------------------------- pipelined point ops
+
+    def get_begin(self, key: str):
+        """Submit a GET without waiting; redeem with :meth:`collect`.
+        Falls back to a deferred synchronous GET when the binding is
+        not pipelined (handle semantics are identical)."""
+        if self.cache_keys > 0:
+            value = self._cache_get(key)
+            if value is not None:
+                self.ops += 1
+                return ("done", "get", self.sim_now(), wire.ST_OK, value)
+        if not self._pipelined():
+            return ("lazy", wire.OP_GET, key, b"")
+        self.ops += 1
+        start = self.sim_now()
+        epoch = self._wepoch.get(key, 0)
+        for node in self._candidates(wire.OP_GET, key):
+            if ("rpc", node) in self.dead:
+                continue
+            try:
+                ticket = yield from self.rpc[node].get_begin(key)
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add(("rpc", node))
+                self.failovers += 1
+                continue
+            return ("rpc", "get", start, node, ticket, key, b"", epoch)
+        self.errors += 1
+        return ("done", "get", start, wire.ST_ERROR, None)
+
+    def put_begin(self, key: str, value: bytes):
+        """Submit a PUT without waiting (cache-invalidating at submit,
+        like :meth:`put`); redeem with :meth:`collect`."""
+        self._cache_invalidate(key)
+        if not self._pipelined():
+            return ("lazy", wire.OP_PUT, key, value)
+        self.ops += 1
+        start = self.sim_now()
+        for node in self._candidates(wire.OP_PUT, key):
+            if ("rpc", node) in self.dead:
+                continue
+            try:
+                ticket = yield from self.rpc[node].put_begin(key, value)
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add(("rpc", node))
+                self.failovers += 1
+                continue
+            self._pending_writes[key] = self._pending_writes.get(key, 0) + 1
+            self._pending_write_node[key] = node
+            return ("rpc", "put", start, node, ticket, key, value, 0)
+        self.errors += 1
+        return ("done", "put", start, wire.ST_ERROR, None)
+
+    def delete_begin(self, key: str):
+        """Submit a DELETE without waiting; redeem with :meth:`collect`."""
+        self._cache_invalidate(key)
+        if not self._pipelined():
+            return ("lazy", wire.OP_DELETE, key, b"")
+        self.ops += 1
+        start = self.sim_now()
+        for node in self._candidates(wire.OP_DELETE, key):
+            if ("rpc", node) in self.dead:
+                continue
+            try:
+                ticket = yield from self.rpc[node].delete_begin(key)
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add(("rpc", node))
+                self.failovers += 1
+                continue
+            self._pending_writes[key] = self._pending_writes.get(key, 0) + 1
+            self._pending_write_node[key] = node
+            return ("rpc", "delete", start, node, ticket, key, b"", 0)
+        self.errors += 1
+        return ("done", "delete", start, wire.ST_ERROR, None)
+
+    def collect(self, handle):
+        """Complete a ``*_begin`` handle: ``(status, value-or-None)``.
+
+        Handles may be collected in any order.  A node that dies while
+        its ticket is outstanding is marked dead and the operation
+        retries synchronously through the surviving replicas."""
+        kind = handle[0]
+        if kind == "done":
+            _, op, start, status, value = handle
+            self._span(op, start)
+            return status, value
+        if kind == "lazy":
+            _, opc, key, value = handle
+            if opc == wire.OP_GET:
+                result = yield from self.get(key)
+                return result
+            if opc == wire.OP_PUT:
+                status = yield from self.put(key, value)
+                return status, None
+            status = yield from self.delete(key)
+            return status, None
+        _, op, start, node, ticket, key, value, epoch = handle
+        if op != "get":
+            self._unpin_write(key)
+        try:
+            raw = yield from self.rpc[node].finish(ticket)
+        except (VmmcTimeoutError, VmmcError):
+            self.dead.add(("rpc", node))
+            self.failovers += 1
+            opc = {"get": wire.OP_GET, "put": wire.OP_PUT,
+                   "delete": wire.OP_DELETE}[op]
+            status, out = yield from self._request(opc, key, value)
+            self.ops -= 1  # _request re-counts the op begin counted
+            return status, out
+        if op == "get":
+            if not raw or raw[0] != wire.ST_OK:
+                self.misses += 1
+                status, out = wire.ST_MISS, None
+            else:
+                status, out = wire.ST_OK, bytes(raw[1:])
+                self._cache_put(key, out, epoch)
+        else:
+            status, out = raw, None
+            if status == wire.ST_MISS:
+                self.misses += 1
+        self._span(op, start)
+        return status, out
 
     def scan(self, prefix: str, limit: int):
         """Generator returning ``(status, [(key, value), ...])``.
@@ -148,6 +428,75 @@ class KVClient:
         if tracer.enabled:
             tracer.complete("kv.client", name, start, track=self.track)
 
+    def _pipelined(self) -> bool:
+        """True when point ops can ride a multi-call SRPC window."""
+        return self.transport == "srpc" and self.service.srpc_window > 1
+
+    def _batched(self) -> bool:
+        """True when the service speaks the v2 (multi_get) interface."""
+        return self.transport == "srpc" and self.service.batch
+
+    def _cache_get(self, key: str) -> Optional[bytes]:
+        """A fresh cached value, or None (expired entries are evicted)."""
+        self.cache_lookups += 1
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        value, stored = entry
+        if self.cache_ttl_us > 0 and self.sim_now() - stored > self.cache_ttl_us:
+            del self._cache[key]
+            return None
+        self._cache.move_to_end(key)
+        self.cache_hits += 1
+        return value
+
+    def _cache_put(self, key: str, value: Optional[bytes], epoch: int) -> None:
+        """Insert a fetched value unless a write raced the fetch."""
+        if self.cache_keys <= 0 or value is None:
+            return
+        if self._wepoch.get(key, 0) != epoch:
+            return  # invalidated while the fetch was in flight: stale
+        self._cache[key] = (bytes(value), self.sim_now())
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_keys:
+            self._cache.popitem(last=False)
+
+    def _cache_invalidate(self, key: str) -> None:
+        """Drop the key's entry and bump its write epoch."""
+        if self.cache_keys > 0:
+            self._wepoch[key] = self._wepoch.get(key, 0) + 1
+            self._cache.pop(key, None)
+
+    def _unpin_write(self, key: str) -> None:
+        """Retire one pending pipelined write of ``key``."""
+        count = self._pending_writes.get(key, 0) - 1
+        if count > 0:
+            self._pending_writes[key] = count
+        else:
+            self._pending_writes.pop(key, None)
+            self._pending_write_node.pop(key, None)
+
+    def _candidates(self, op: int, key: str) -> List[int]:
+        """The node order an operation tries, failover included.
+
+        Writes walk the replica set primary-first.  Reads do too,
+        unless read-spreading rotates the set — except that a read of a
+        key with an in-flight pipelined write is pinned to that write's
+        node, where the binding's FIFO serializes it after the write.
+        """
+        reps = self.service.replicas_for(key)
+        if op != wire.OP_GET or not self.read_spread or len(reps) < 2:
+            return reps
+        pin = self._pending_write_node.get(key)
+        if pin is not None:
+            return [pin] + [n for n in reps if n != pin]
+        r = self._rr % len(reps)
+        self._rr += 1
+        if r == 0:
+            return reps
+        self.spread_reads += 1
+        return reps[r:] + reps[:r]
+
     def _request(self, op: int, key: str, value: bytes = b""):
         """Walk the replica set until one server answers."""
         self.ops += 1
@@ -155,7 +504,7 @@ class KVClient:
         kind = "rpc" if self.transport == "srpc" else "sock"
         tried_dead = False
         try:
-            for node in self.service.replicas_for(key):
+            for node in self._candidates(op, key):
                 if (kind, node) in self.dead:
                     tried_dead = True
                     continue
@@ -231,13 +580,18 @@ class KVClient:
             records.append((blob[:key_len].decode(), blob[key_len:]))
 
     def stats(self) -> Dict[str, int]:
-        """This client's request counters."""
+        """This client's request counters (mitigation counters included)."""
         return {
             "ops": self.ops,
             "misses": self.misses,
             "errors": self.errors,
             "failovers": self.failovers,
             "corruptions": self.corruptions,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+            "spread_reads": self.spread_reads,
+            "batch_calls": self.batch_calls,
+            "batched_keys": self.batched_keys,
         }
 
 

@@ -27,14 +27,29 @@ __all__ = [
     "ST_OK", "ST_MISS", "ST_ERROR",
     "REQ_HEADER", "RESP_HEADER", "SCAN_RECORD", "SCAN_END",
     "REPL_DATA", "REPL_STOP", "REPL_RECORD",
+    "MULTI_GET_MAX", "MG_REQ_BOUND", "MG_RESP_BOUND",
     "encode_request", "decode_request_header",
     "encode_response", "decode_response_header",
     "encode_scan_record", "scan_end_record",
     "encode_repl_record", "decode_repl_record",
+    "encode_multi_get_request", "decode_multi_get_request",
+    "encode_multi_get_response", "decode_multi_get_response",
 ]
 
 KEY_BOUND = 64       # bytes; "k%06d"-style workload keys use 7
 VALUE_BOUND = 1024   # bytes per value
+
+# Batched reads: one multi_get RPC carries up to MULTI_GET_MAX keys and
+# returns per-key (status, value) entries.  The bounds size the batch
+# IDL's opaque slots — the v2 binding's buffer grows to fit the worst
+# case, which is why batching is a separate interface version rather
+# than a new procedure on v1 (v1 layouts must stay bit-identical).
+MULTI_GET_MAX = 8
+_MG_COUNT = struct.Struct("<H")          # number of keys / entries
+_MG_KEY = struct.Struct("<H")            # key_len
+_MG_ENTRY = struct.Struct("<BH")         # status, value_len
+MG_REQ_BOUND = _MG_COUNT.size + MULTI_GET_MAX * (_MG_KEY.size + KEY_BOUND)
+MG_RESP_BOUND = _MG_COUNT.size + MULTI_GET_MAX * (_MG_ENTRY.size + VALUE_BOUND)
 
 # Socket request ops.
 OP_GET = 1
@@ -95,6 +110,55 @@ def encode_scan_record(key: str, value: bytes) -> bytes:
 def scan_end_record() -> bytes:
     """The sentinel record terminating a SCAN stream."""
     return SCAN_RECORD.pack(SCAN_END, 0)
+
+
+def encode_multi_get_request(keys: List[str]) -> bytes:
+    """The packed key list of one multi_get call."""
+    if len(keys) > MULTI_GET_MAX:
+        raise ValueError("multi_get carries at most %d keys" % MULTI_GET_MAX)
+    parts = [_MG_COUNT.pack(len(keys))]
+    for key in keys:
+        kb = key.encode()
+        if len(kb) > KEY_BOUND:
+            raise ValueError("key exceeds %d bytes" % KEY_BOUND)
+        parts.append(_MG_KEY.pack(len(kb)) + kb)
+    return b"".join(parts)
+
+
+def decode_multi_get_request(blob: bytes) -> List[str]:
+    """The key list from a multi_get request blob."""
+    (count,) = _MG_COUNT.unpack_from(blob)
+    off = _MG_COUNT.size
+    keys = []
+    for _ in range(count):
+        (klen,) = _MG_KEY.unpack_from(blob, off)
+        off += _MG_KEY.size
+        keys.append(bytes(blob[off:off + klen]).decode())
+        off += klen
+    return keys
+
+
+def encode_multi_get_response(entries: List[Tuple[int, Optional[bytes]]]) -> bytes:
+    """The packed (status, value-or-None) entries of a multi_get reply."""
+    parts = [_MG_COUNT.pack(len(entries))]
+    for status, value in entries:
+        body = value or b""
+        parts.append(_MG_ENTRY.pack(status, len(body)) + body)
+    return b"".join(parts)
+
+
+def decode_multi_get_response(blob: bytes) -> List[Tuple[int, Optional[bytes]]]:
+    """Per-key ``(status, value-or-None)`` entries from a reply blob."""
+    (count,) = _MG_COUNT.unpack_from(blob)
+    off = _MG_COUNT.size
+    entries: List[Tuple[int, Optional[bytes]]] = []
+    for _ in range(count):
+        status, vlen = _MG_ENTRY.unpack_from(blob, off)
+        off += _MG_ENTRY.size
+        value = bytes(blob[off:off + vlen]) if status == ST_OK else None
+        off += vlen
+        entries.append((status, value))
+    return entries
 
 
 def encode_repl_record(kind: int, key: str = "",

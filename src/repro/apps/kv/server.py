@@ -39,6 +39,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "KV_IDL", "KvShardClient", "KvShardServer", "KV_INTERFACE",
+    "KV_BATCH_IDL", "KvBatchClient", "KvBatchServer", "KV_BATCH_INTERFACE",
     "REPL_TYPE", "srpc_server_program", "socket_server_program",
     "make_repl_program",
 ]
@@ -57,6 +58,28 @@ program KvShard version 1 {
        wire.VALUE_BOUND, wire.KEY_BOUND)
 
 KvShardClient, KvShardServer, KV_INTERFACE = compile_stubs(KV_IDL)
+
+# The batched contract: everything v1 has plus multi_get, which carries
+# up to MULTI_GET_MAX keys per call (protocol.py packs the blobs).  A
+# separate interface *version* because the bigger opaque slots change
+# the binding's buffer layout — v1 timing stays bit-identical.  The
+# entries travel in an OUT parameter, not the return slot: a bounded
+# return is read back whole (all MG_RESP_BOUND bytes), while an OUT
+# slot reads its length word and only the bytes actually present, so a
+# short batch costs what it carries.
+KV_BATCH_IDL = """
+program KvShard version 2 {
+    opaque<%d> get(in string<%d> key);
+    int put(in string<%d> key, in opaque<%d> value);
+    int delete(in string<%d> key);
+    int stop();
+    void multi_get(in opaque<%d> keys, out opaque<%d> entries);
+}
+""" % (wire.VALUE_BOUND + 1, wire.KEY_BOUND, wire.KEY_BOUND,
+       wire.VALUE_BOUND, wire.KEY_BOUND,
+       wire.MG_REQ_BOUND, wire.MG_RESP_BOUND)
+
+KvBatchClient, KvBatchServer, KV_BATCH_INTERFACE = compile_stubs(KV_BATCH_IDL)
 
 # NX message type carrying replication records; data and stop records
 # share it so per-connection FIFO ordering makes the stop a barrier.
@@ -109,14 +132,33 @@ class _ShardImpl:
         return wire.ST_OK
         yield  # pragma: no cover - generator protocol
 
+    def multi_get(self, keys_blob, entries):
+        """The v2 batched read: N keys in, N (status, value) entries
+        written into the OUT slot (propagated back by automatic update
+        as they are set)."""
+        found = []
+        for key in wire.decode_multi_get_request(keys_blob):
+            yield from self.proc.compute(apply_cost(0))
+            value = self.store.get(key)
+            found.append((wire.ST_MISS, None) if value is None
+                         else (wire.ST_OK, value))
+        yield from entries.set(wire.encode_multi_get_response(found))
+
 
 def srpc_server_program(service: "KVService", node_id: int):
     """One SHRIMP RPC binding handler: accept one client, serve until
-    its ``stop()`` call (or the hardened idle bound under faults)."""
+    its ``stop()`` call (or the hardened idle bound under faults).
+
+    The service's ``batch``/``srpc_window`` knobs pick the interface
+    version (v2 adds multi_get) and the pipelining window; clients must
+    be built with the same settings, which the workload plumbing and
+    :class:`~repro.apps.kv.client.KVClient` guarantee."""
 
     def program(proc):
         impl = _ShardImpl(service, node_id, proc)
-        server = KvShardServer(service.system, proc, impl)
+        server_cls = KvBatchServer if service.batch else KvShardServer
+        server = server_cls(service.system, proc, impl,
+                            window=service.srpc_window)
         yield from server.serve_binding(service.srpc_port)
         try:
             while not impl.stopped:

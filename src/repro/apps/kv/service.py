@@ -48,8 +48,16 @@ class KVService:
                  socket_port: int = 7100,
                  socket_variant: str = "DU-1copy",
                  nx_variant: str = "AU-1copy",
-                 vnodes: int = 64):
+                 vnodes: int = 64,
+                 batch: bool = False,
+                 srpc_window: int = 1):
         self.system = system
+        # Serving-stack knobs both sides of an SRPC binding must agree
+        # on: ``batch`` selects the v2 interface (multi_get available),
+        # ``srpc_window`` the pipelining depth.  Defaults reproduce the
+        # v1 single-call protocol bit for bit.
+        self.batch = batch
+        self.srpc_window = srpc_window
         self.sim = system.sim
         self.nodes = list(nodes) if nodes is not None else list(
             range(system.config.n_nodes))

@@ -14,14 +14,14 @@ tested on synthetic data without running a sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
-from ..workload.engine import run_workload
 from ..workload.spec import WorkloadSpec
 from .report import format_table
 
-__all__ = ["CapacityPoint", "CapacityResult", "capacity_sweep", "find_knee"]
+__all__ = ["CapacityPoint", "CapacityResult", "PairedCapacityResult",
+           "capacity_sweep", "find_knee", "paired_capacity_sweep"]
 
 
 @dataclass
@@ -100,6 +100,11 @@ def capacity_sweep(loads: Sequence[float],
     ``base_spec`` must be (or is forced to be) open-loop — a closed
     loop self-limits and never shows a knee.
     """
+    # Imported here, not at module scope: repro.workload.report renders
+    # tables via repro.bench.report, so a module-level import of the
+    # engine would close an import cycle.
+    from ..workload.engine import run_workload
+
     spec = base_spec if base_spec is not None else WorkloadSpec()
     if spec.arrival != "open":
         raise ValueError("capacity sweeps need an open-loop spec")
@@ -115,3 +120,81 @@ def capacity_sweep(loads: Sequence[float],
     result.knee_load = find_knee(result.points, tail_factor=tail_factor,
                                  shortfall=shortfall)
     return result
+
+
+@dataclass
+class PairedCapacityResult:
+    """An A/B capacity sweep: identical spec and seed, mitigations off/on.
+
+    The paired comparison is the serving-stack experiment of
+    docs/WORKLOADS.md: same arrival sequence, same key popularity, same
+    value sizes — the only difference is the client-side mitigation
+    knobs, so any knee movement is attributable to them.
+    """
+
+    baseline: CapacityResult
+    mitigated: CapacityResult
+    label: str = ""
+
+    def report(self) -> str:
+        """Both sweep tables plus the knee comparison verdict."""
+        lines = ["paired capacity sweep (A = baseline, B = %s)"
+                 % (self.label or "mitigated")]
+        lines.append("")
+        lines.append("A: " + self.baseline.report())
+        lines.append("")
+        lines.append("B: " + self.mitigated.report())
+        lines.append("")
+        a, b = self.baseline.knee_load, self.mitigated.knee_load
+        if a is not None and b is not None:
+            if b > a:
+                lines.append("verdict: mitigation moved the knee from "
+                             "~%.0f to ~%.0f ops/s (+%.0f%%)"
+                             % (a, b, 100.0 * (b - a) / a))
+            elif b < a:
+                lines.append("verdict: mitigation moved the knee from "
+                             "~%.0f DOWN to ~%.0f ops/s" % (a, b))
+            else:
+                lines.append("verdict: knee unchanged at ~%.0f ops/s" % a)
+        elif a is not None:
+            lines.append("verdict: baseline saturates at ~%.0f ops/s; "
+                         "mitigated run never saturated in range" % a)
+        elif b is not None:
+            lines.append("verdict: mitigated run saturates at ~%.0f ops/s; "
+                         "baseline never saturated in range (unexpected)" % b)
+        else:
+            lines.append("verdict: neither run saturated inside the "
+                         "swept range")
+        return "\n".join(lines)
+
+
+def paired_capacity_sweep(loads: Sequence[float],
+                          base_spec: Optional[WorkloadSpec] = None,
+                          pipeline_window: int = 4,
+                          batch_keys: int = 4,
+                          cache_keys: int = 64,
+                          cache_ttl_us: float = 2000.0,
+                          read_spread: bool = True,
+                          tail_factor: float = 3.0,
+                          shortfall: float = 0.9) -> PairedCapacityResult:
+    """Sweep the same loads twice — mitigations off, then on.
+
+    ``base_spec`` supplies seed, mix, and keyspace; its mitigation
+    knobs are forced OFF for the A run and replaced with the given
+    values for the B run, so the pair differs only in the serving-stack
+    mitigations under test.
+    """
+    spec = base_spec if base_spec is not None else WorkloadSpec()
+    baseline_spec = replace(spec, pipeline_window=1, batch_keys=1,
+                            cache_keys=0, cache_ttl_us=0.0,
+                            read_spread=False)
+    mitigated_spec = replace(spec, pipeline_window=pipeline_window,
+                             batch_keys=batch_keys, cache_keys=cache_keys,
+                             cache_ttl_us=cache_ttl_us,
+                             read_spread=read_spread)
+    baseline = capacity_sweep(loads, baseline_spec, tail_factor=tail_factor,
+                              shortfall=shortfall)
+    mitigated = capacity_sweep(loads, mitigated_spec, tail_factor=tail_factor,
+                               shortfall=shortfall)
+    return PairedCapacityResult(baseline=baseline, mitigated=mitigated,
+                                label=mitigated_spec.mitigation_label())

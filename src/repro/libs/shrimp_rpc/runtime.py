@@ -18,6 +18,19 @@ reference* — pointers into the server's communication buffer — so
 whatever the procedure writes propagates back to the client by
 automatic update, overlapped with the server's computation; an INOUT
 the server never writes costs nothing on the return path.
+
+**Multi-call pipelining** (docs/PROTOCOLS.md "Pipelined SHRIMP RPC"):
+a binding created with ``window=W > 1`` replicates the whole buffer
+layout into W consecutive *frames* of identical stride.  Call ``seq``
+occupies frame ``(seq - 1) % W``; the client keeps up to W calls in
+flight (``*_begin`` stub methods return a :class:`SrpcTicket`,
+``finish`` matches the reply by sequence number, in any order), while
+the server serves strictly in sequence order — requests travel the
+same AU binding and arrive in issue order, so per-binding FIFO is
+preserved and the reply for seq *n* can never overtake *n - 1*.  With
+``window=1`` (the default) the layout and every timed operation are
+bit-identical to the unpipelined protocol, which the zero-regression
+goldens pin.
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ from ..recovery import MAX_XMIT, attempt_timeout_us, bounded_poll, crc32_of
 from .idl import IdlType, Interface, Param
 
 __all__ = ["SrpcError", "SrpcTimeoutError", "SrpcClientBase", "SrpcServerBase",
-           "ParamRef", "pack_scalar", "unpack_scalar"]
+           "SrpcTicket", "ParamRef", "pack_scalar", "unpack_scalar"]
 
 _ETH_SRPC_BASE = 100000
 _ETH_REPLY_BASE = 120000
@@ -138,18 +151,28 @@ class _SrpcBindReply:
 
 
 class _SrpcEndpointBase:
-    """Shared binding machinery: the mirrored buffer pair."""
+    """Shared binding machinery: the mirrored buffer pair.
+
+    ``window`` is the multi-call pipelining depth: the buffer holds
+    that many identical frames, and up to that many calls may be in
+    flight on the binding at once.  Both sides of a binding must agree
+    on the window (the workload plumbing guarantees it); ``window=1``
+    reproduces the unpipelined single-frame protocol exactly.
+    """
 
     IDL: Interface  # installed by the stub generator on subclasses
 
     def __init__(self, system: ShrimpSystem, proc: UserProcess,
-                 endpoint: Optional[VmmcEndpoint] = None):
+                 endpoint: Optional[VmmcEndpoint] = None, window: int = 1):
+        if window < 1 or window > 64:
+            raise SrpcError("pipeline window must be in [1, 64], got %d"
+                            % window)
         self.system = system
         self.proc = proc
         self.ep = endpoint or attach(system, proc)
         self.ethernet = system.machine.ethernet
         interface = self.IDL
-        # Buffer layout: [args area][call word][ret area][return word].
+        # Frame layout: [args area][call word][ret area][return word].
         # Marshaled arguments run right up to the call word, and return
         # values right up to the return word, so each side's stores form
         # one ascending stream the combining hardware packs together.
@@ -162,9 +185,18 @@ class _SrpcEndpointBase:
         self.hardened = proc.faults.enabled
         self.hx_off = self.return_word_off + 4
         tail = self.hx_off + (_HARDENED_EXT_BYTES if self.hardened else 0)
+        self.window = window
+        self.frame_stride = tail
         page = proc.config.page_size
-        self.region_bytes = -(-tail // page) * page
+        self.region_bytes = -(-(tail * window) // page) * page
         self.buf = 0  # local buffer vaddr (set during binding)
+        # Windowed calls temporarily re-base buffer access onto their
+        # frame; 0 keeps the window=1 paths byte-identical.
+        self._active_base = 0
+
+    def _frame_base(self, seq: int) -> int:
+        """The buffer offset of the frame call ``seq`` occupies."""
+        return ((seq - 1) % self.window) * self.frame_stride
 
     def _make_buffer(self):
         self.buf = self.ep.alloc_buffer(self.region_bytes,
@@ -181,21 +213,63 @@ class _SrpcEndpointBase:
 
     # -- timed buffer access helpers used by generated stubs ---------------
     def _read(self, offset: int, nbytes: int):
-        data = yield from self.proc.read(self.buf + offset, nbytes)
+        data = yield from self.proc.read(
+            self.buf + self._active_base + offset, nbytes)
         return data
 
     def _write(self, offset: int, data: bytes):
-        yield from self.proc.write(self.buf + offset, data)
+        yield from self.proc.write(self.buf + self._active_base + offset, data)
+
+
+class SrpcTicket:
+    """One in-flight pipelined call, matched to its reply by sequence.
+
+    Returned by the generated ``*_begin`` stub methods; redeem it with
+    :meth:`SrpcClientBase.finish` (in any order — replies land in their
+    own frame, so tickets may be finished out of submission order).
+    """
+
+    __slots__ = ("seq", "proc_id", "frame", "ret_bytes", "out_reads",
+                 "start_us", "raw", "bad", "done")
+
+    def __init__(self, seq: int, proc_id: int, frame: int,
+                 ret_bytes: int, out_reads, start_us: float):
+        self.seq = seq
+        self.proc_id = proc_id
+        self.frame = frame
+        self.ret_bytes = ret_bytes
+        self.out_reads = out_reads
+        self.start_us = start_us
+        self.raw: Optional[List[bytes]] = None
+        self.bad = False
+        self.done = False
 
 
 class SrpcClientBase(_SrpcEndpointBase):
-    """Base class of generated client stubs."""
+    """Base class of generated client stubs.
+
+    Generated subclasses carry one plain method per IDL procedure
+    (synchronous call) and, for pipelined bindings, one ``*_begin``
+    method per procedure that submits the call and returns an
+    :class:`SrpcTicket`; :meth:`finish` completes it.  At most
+    ``window`` tickets can be outstanding; submitting past the window
+    first harvests the frame's previous occupant (classic sliding-
+    window flow control).
+    """
 
     def __init__(self, system, proc, **kwargs):
         super().__init__(system, proc, **kwargs)
         self._seq = 0
         self.calls_made = 0
         self._call_xmit = 0
+        # Pipelining state: frame index -> outstanding (unharvested)
+        # ticket, per-frame hardened transmission counters, and the
+        # depth statistics the workload metrics report.
+        self._frames: Dict[int, SrpcTicket] = {}
+        self._call_xmits: Dict[int, int] = {}
+        self.submits = 0
+        self.inflight_high_water = 0
+        self._depth_total = 0
 
     def bind(self, server_node: int, port: int):
         """Establish the binding with a serving SrpcServer."""
@@ -292,6 +366,16 @@ class SrpcClientBase(_SrpcEndpointBase):
         ``out_reads``: (offset, nbytes) OUT/INOUT slots to read back.
         Returns [ret_raw?] + out slot bytes, in order.
         """
+        if self.window > 1:
+            # Pipelined binding: a synchronous call is submit + finish
+            # behind every outstanding ticket, so per-binding order holds.
+            yield from self.drain()
+            ticket = yield from self._submit(proc_id, writes, ret_bytes,
+                                             out_reads)
+            yield from self._harvest(ticket)
+            if ticket.bad:
+                raise SrpcError("server has no procedure %d" % proc_id)
+            return ticket.raw
         proc = self.proc
         span = None
         if proc.tracer.enabled:
@@ -356,6 +440,190 @@ class SrpcClientBase(_SrpcEndpointBase):
         proc.tracer.end(span)
         return out
 
+    # -- pipelined (windowed) call machinery --------------------------------
+    def _submit(self, proc_id: int, writes: List[Tuple[int, bytes]],
+                ret_bytes: int, out_reads: List[Tuple[int, int]]):
+        """Issue one pipelined call and return its :class:`SrpcTicket`.
+
+        If the call's frame still holds an unharvested ticket (the
+        window is full) that occupant is harvested first — sliding-
+        window flow control.  The arguments and call word land in the
+        call's own frame; the reply is collected later by
+        :meth:`finish` or :meth:`drain`.
+        """
+        proc = self.proc
+        yield from proc.compute(proc.config.costs.srpc_client_stub)
+        self._seq = (self._seq % 0xFFFF) + 1
+        seq = self._seq
+        frame = (seq - 1) % self.window
+        occupant = self._frames.get(frame)
+        if occupant is not None:
+            yield from self._harvest(occupant)
+        call_word = struct.pack("<I", (seq << 16) | proc_id)
+        ticket = SrpcTicket(seq, proc_id, frame, ret_bytes, out_reads,
+                            proc.sim.now)
+        prev_base = self._active_base
+        self._active_base = frame * self.frame_stride
+        try:
+            if self.hardened:
+                for offset, data in _coalesce(writes):
+                    yield from self._write(offset, data)
+                yield from self._transmit_frame(frame, call_word)
+            else:
+                for offset, data in _coalesce(
+                        writes + [(self.call_word_off, call_word)]):
+                    yield from self._write(offset, data)
+        finally:
+            self._active_base = prev_base
+        self._frames[frame] = ticket
+        self.submits += 1
+        depth = len(self._frames)
+        if depth > self.inflight_high_water:
+            self.inflight_high_water = depth
+        self._depth_total += depth
+        return ticket
+
+    def _transmit_frame(self, frame: int, call_word: bytes):
+        """One hardened transmission of a frame's call image.  The
+        caller must have ``_active_base`` set to the frame; per-frame
+        xmit counters keep concurrent calls' replays distinguishable."""
+        args_img = yield from self._read(0, self.call_word_off)
+        crc = crc32_of(args_img, call_word)
+        xmit = (self._call_xmits.get(frame, 0) + 1) & 0xFFFFFFFF
+        self._call_xmits[frame] = xmit
+        yield from self._write(0, args_img + call_word)
+        yield from self._write(self.hx_off, struct.pack("<II", xmit, crc))
+
+    def _harvest(self, ticket: SrpcTicket):
+        """Collect one ticket's reply, blocking until it lands."""
+        if ticket.done:
+            return
+        proc = self.proc
+        seq = ticket.seq
+        expected_ok = struct.pack("<I", (seq << 16) | _STATUS_OK)
+        expected_bad = struct.pack("<I", (seq << 16) | _STATUS_NO_PROC)
+        base = ticket.frame * self.frame_stride
+        prev_base = self._active_base
+        self._active_base = base
+        try:
+            if self.hardened:
+                call_word = struct.pack("<I", (seq << 16) | ticket.proc_id)
+                result, args_img, ret_img = yield from self._retry_frame(
+                    ticket, call_word, expected_ok, expected_bad)
+                out = []
+                if ticket.ret_bytes:
+                    out.append(ret_img[: ticket.ret_bytes])
+                for offset, nbytes, variable in ticket.out_reads:
+                    raw = args_img[offset : offset + nbytes]
+                    if variable:
+                        (length,) = struct.unpack_from("<I", raw)
+                        length = min(length, nbytes - 4)
+                        raw = raw[: 4 + length]
+                    out.append(raw)
+            else:
+                result = yield from proc.poll(
+                    self.buf + base + self.return_word_off, 4,
+                    lambda b: b in (expected_ok, expected_bad),
+                )
+                out = []
+                if ticket.ret_bytes:
+                    data = yield from self._read(self.ret_off,
+                                                 ticket.ret_bytes)
+                    out.append(data)
+                for offset, nbytes, variable in ticket.out_reads:
+                    if variable:
+                        lraw = yield from self._read(offset, 4)
+                        (length,) = struct.unpack("<I", lraw)
+                        length = min(length, nbytes - 4)
+                        data = lraw
+                        if length:
+                            rest = yield from self._read(offset + 4, length)
+                            data += rest
+                    else:
+                        data = yield from self._read(offset, nbytes)
+                    out.append(data)
+        finally:
+            self._active_base = prev_base
+        ticket.raw = out
+        ticket.bad = result == expected_bad
+        ticket.done = True
+        if self._frames.get(ticket.frame) is ticket:
+            del self._frames[ticket.frame]
+        self.calls_made += 1
+        if proc.tracer.enabled:
+            proc.tracer.complete(
+                "srpc.call", "call proc %d" % ticket.proc_id,
+                ticket.start_us, track=proc.trace_track,
+                data={"proc": ticket.proc_id, "seq": seq},
+            )
+
+    def _retry_frame(self, ticket, call_word, expected_ok, expected_bad):
+        """Hardened harvest: wait for a CRC-valid reply in the ticket's
+        frame, retransmitting its call image on timeout.  The submit
+        itself counts as the first transmission, so attempt 0 only
+        waits.  The caller must have ``_active_base`` on the frame."""
+        proc = self.proc
+        base = ticket.frame * self.frame_stride
+        base_us = _RETRY_BASE_US + _RETRY_PER_BYTE_US * self.call_word_off
+        ret_span = self.return_word_off - self.ret_off
+        window_off = self.return_word_off
+        window_len = self.hx_off + _HARDENED_EXT_BYTES - window_off
+        xm_lo = self.hx_off + 8 - window_off
+        for attempt in range(MAX_XMIT):
+            if attempt:
+                yield from self._transmit_frame(ticket.frame, call_word)
+            deadline = proc.sim.now + attempt_timeout_us(base_us, attempt)
+            while True:
+                remaining = deadline - proc.sim.now
+                if remaining <= 0:
+                    break
+                snapshot = proc.peek(self.buf + base + window_off + xm_lo, 4)
+
+                def fresh(w, snapshot=snapshot):
+                    return (w[:4] in (expected_ok, expected_bad)
+                            or w[xm_lo : xm_lo + 4] != snapshot)
+
+                window = yield from bounded_poll(
+                    proc, self.buf + base + window_off, window_len, fresh,
+                    remaining,
+                )
+                if window is None:
+                    break
+                result = window[:4]
+                if result not in (expected_ok, expected_bad):
+                    continue  # only the xmit stamp moved; revalidate later
+                args_img = yield from self._read(0, self.call_word_off)
+                ret_img = yield from self._read(self.ret_off, ret_span)
+                raw = yield from self._read(self.hx_off + 8, 8)
+                _ret_xmit, ret_crc = struct.unpack("<II", raw)
+                if crc32_of(args_img, ret_img, result) == ret_crc:
+                    return result, args_img, ret_img
+                # Corrupt or partial: wait for the server's next replay.
+        raise SrpcTimeoutError(
+            "no valid reply for seq %d after %d transmissions"
+            % (ticket.seq, MAX_XMIT)
+        )
+
+    def finish(self, ticket: SrpcTicket):
+        """Complete a pipelined call: wait for the matching reply and
+        return the procedure's decoded result.  Tickets of one binding
+        may be finished in any order."""
+        yield from self._harvest(ticket)
+        if ticket.bad:
+            raise SrpcError("server has no procedure %d" % ticket.proc_id)
+        return getattr(self, "_decode_%d" % ticket.proc_id)(ticket.raw)
+
+    def drain(self):
+        """Harvest every outstanding ticket, oldest first.  Results stay
+        available via :meth:`finish` (which is then immediate)."""
+        for ticket in sorted(self._frames.values(), key=lambda t: t.seq):
+            yield from self._harvest(ticket)
+
+    @property
+    def mean_depth(self) -> float:
+        """Mean in-flight depth observed at submit time."""
+        return self._depth_total / self.submits if self.submits else 0.0
+
 
 class ParamRef:
     """A by-reference OUT/INOUT parameter handed to server procedures.
@@ -414,10 +682,20 @@ class SrpcServerBase(_SrpcEndpointBase):
         self._reply_crc = 0
         self._ret_xmit = 0
         self._call_xmit_seen = 0
+        # Windowed serving state: the next sequence number to serve and
+        # the per-frame mirrors of the replay machinery above.
+        self._next_seq = 1
+        self._frame_seqs: Dict[int, int] = {}
+        self._reply_logs: Dict[int, List[Tuple[int, bytes]]] = {}
+        self._reply_crcs: Dict[int, int] = {}
+        self._ret_xmits: Dict[int, int] = {}
+        self._call_xmit_seen_f: Dict[int, int] = {}
 
     def _write(self, offset: int, data: bytes):
         if self.hardened:
-            self._reply_log.append((offset, bytes(data)))
+            # Log absolute offsets so a windowed frame's replay works
+            # after _active_base has been reset (base 0 at window=1).
+            self._reply_log.append((self._active_base + offset, bytes(data)))
         yield from super()._write(offset, data)
 
     def serve_binding(self, port: int):
@@ -443,6 +721,9 @@ class SrpcServerBase(_SrpcEndpointBase):
 
     def run(self, max_calls: Optional[int] = None):
         """The server loop: poll the call word, dispatch, flag return."""
+        if self.window > 1:
+            yield from self._run_windowed(max_calls)
+            return
         proc = self.proc
         served = 0
         while max_calls is None or served < max_calls:
@@ -485,6 +766,167 @@ class SrpcServerBase(_SrpcEndpointBase):
             self.calls_served += 1
             served += 1
             proc.tracer.end(span)
+
+    def _run_windowed(self, max_calls: Optional[int] = None):
+        """The pipelined server loop: serve strictly in sequence order.
+
+        Calls travel one AU binding and land in issue order, so waiting
+        on seq *n* before *n + 1* never deadlocks; each reply lands in
+        its own frame, which lets the client collect out of order."""
+        proc = self.proc
+        served = 0
+        while max_calls is None or served < max_calls:
+            expected = self._next_seq
+            frame = (expected - 1) % self.window
+            base = frame * self.frame_stride
+            if self.hardened:
+                word = yield from self._await_call_windowed(
+                    expected, frame, base)
+            else:
+                raw = yield from proc.poll(
+                    self.buf + base + self.call_word_off, 4,
+                    lambda b: (struct.unpack("<I", b)[0] >> 16) == expected,
+                )
+                word = struct.unpack("<I", raw)[0]
+            seq, proc_id = word >> 16, word & 0xFFFF
+            self._last_seq = seq
+            span = None
+            if proc.tracer.enabled:
+                span = proc.tracer.begin(
+                    "srpc.serve", "serve proc %d" % proc_id,
+                    track=proc.trace_track,
+                    data={"proc": proc_id, "seq": seq},
+                )
+            self._reply_log = []
+            self._active_base = base
+            try:
+                yield from proc.compute(
+                    proc.config.costs.srpc_server_dispatch)
+                dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
+                status = _STATUS_OK
+                ret_data = b""
+                if dispatcher is None:
+                    status = _STATUS_NO_PROC
+                else:
+                    ret_data = (yield from dispatcher()) or b""
+                return_word = struct.pack("<I", (seq << 16) | status)
+                writes = [(self.return_word_off, return_word)]
+                if ret_data:
+                    writes.insert(0, (self.ret_off, ret_data))
+                for offset, data in _coalesce(writes):
+                    yield from self._write(offset, data)
+                if self.hardened:
+                    yield from self._stamp_frame(frame, return_word)
+            finally:
+                self._active_base = 0
+            self._frame_seqs[frame] = seq
+            self._reply_logs[frame] = self._reply_log
+            self._reply_log = []
+            self._next_seq = (expected % 0xFFFF) + 1
+            self.calls_served += 1
+            served += 1
+            proc.tracer.end(span)
+
+    def _await_call_windowed(self, expected: int, frame: int, base: int):
+        """Hardened windowed wait for a CRC-valid call with sequence
+        ``expected`` in its frame.  While waiting, replays any already-
+        served frame whose call image the client demonstrably
+        retransmitted (new xmit stamp, consistent CRC): that frame's
+        reply was lost, and the client's harvest is blocked on it."""
+        proc = self.proc
+        deadline = proc.sim.now + _SERVE_IDLE_US
+        stride = self.frame_stride
+        region_len = stride * self.window
+        call_off = self.call_word_off
+        while True:
+            remaining = deadline - proc.sim.now
+            if remaining <= 0:
+                raise SrpcTimeoutError(
+                    "no call within %.0f us" % _SERVE_IDLE_US
+                )
+            snapshots = [
+                proc.peek(self.buf + f * stride + self.hx_off, 4)
+                for f in range(self.window)
+            ]
+
+            def fresh(region, snapshots=snapshots):
+                word = struct.unpack_from(
+                    "<I", region, frame * stride + call_off)[0]
+                if (word >> 16) == expected and word != 0:
+                    return True
+                for f, snap in enumerate(snapshots):
+                    lo = f * stride + self.hx_off
+                    if region[lo : lo + 4] != snap:
+                        return True
+                return False
+
+            region = yield from bounded_poll(
+                proc, self.buf, region_len, fresh, remaining
+            )
+            if region is None:
+                continue
+            # First sweep the window for retransmissions of calls we
+            # already served — the stamp moved but the seq did not —
+            # and replay their logged replies.
+            for f in range(self.window):
+                fb = f * stride
+                raw = yield from self._read(fb + call_off, 4)
+                word_f = struct.unpack("<I", raw)[0]
+                seq_f = word_f >> 16
+                if seq_f == 0 or seq_f != self._frame_seqs.get(f):
+                    continue
+                hx = yield from self._read(fb + self.hx_off, 8)
+                call_xmit, call_crc = struct.unpack("<II", hx)
+                if call_xmit == self._call_xmit_seen_f.get(f):
+                    continue
+                args_img = yield from self._read(fb, call_off)
+                if crc32_of(args_img, raw) != call_crc:
+                    continue  # a new call's stamp racing its image
+                if not self._reply_logs.get(f):
+                    continue
+                self._call_xmit_seen_f[f] = call_xmit
+                yield from self._replay_frame(f)
+            # Then check the expected frame for the next call.
+            fb = frame * stride
+            raw = yield from self._read(fb + call_off, 4)
+            word = struct.unpack("<I", raw)[0]
+            if (word >> 16) != expected or word == 0:
+                continue
+            hx = yield from self._read(fb + self.hx_off, 8)
+            call_xmit, call_crc = struct.unpack("<II", hx)
+            args_img = yield from self._read(fb, call_off)
+            if crc32_of(args_img, raw) != call_crc:
+                continue  # corrupt arguments: await the retransmission
+            self._call_xmit_seen_f[frame] = call_xmit
+            return word
+
+    def _stamp_frame(self, frame: int, return_word: bytes):
+        """Checksum and stamp one frame's reply.  The caller must have
+        ``_active_base`` on the frame; per-frame stamp/CRC state lets
+        the client validate every in-flight frame independently."""
+        args_img = yield from self._read(0, self.call_word_off)
+        ret_img = yield from self._read(
+            self.ret_off, self.return_word_off - self.ret_off
+        )
+        crc = crc32_of(args_img, ret_img, return_word)
+        self._reply_crcs[frame] = crc
+        xmit = (self._ret_xmits.get(frame, 0) + 1) & 0xFFFFFFFF
+        self._ret_xmits[frame] = xmit
+        yield from _SrpcEndpointBase._write(
+            self, self.hx_off + 8, struct.pack("<II", xmit, crc),
+        )
+
+    def _replay_frame(self, frame: int):
+        """Rewrite one frame's logged reply stores (absolute offsets),
+        then bump its stamp — runs between calls, with base 0."""
+        for offset, data in self._reply_logs[frame]:
+            yield from _SrpcEndpointBase._write(self, offset, data)
+        xmit = (self._ret_xmits.get(frame, 0) + 1) & 0xFFFFFFFF
+        self._ret_xmits[frame] = xmit
+        yield from _SrpcEndpointBase._write(
+            self, frame * self.frame_stride + self.hx_off + 8,
+            struct.pack("<II", xmit, self._reply_crcs[frame]),
+        )
 
     def _await_call_hardened(self):
         """Wait (bounded) for a CRC-valid new call word; replays the

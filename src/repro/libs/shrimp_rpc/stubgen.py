@@ -9,9 +9,13 @@ The generated client marshals every procedure's arguments at their
 fixed slot offsets with straight-line packing, emits them as one
 ascending store stream (which the combining hardware turns into as few
 packets as possible), and reads back only the return slot and the
-OUT/INOUT slots.  The generated server skeleton decodes IN parameters
-eagerly and hands OUT/INOUT parameters to the implementation as
-by-reference :class:`~.runtime.ParamRef` objects.
+OUT/INOUT slots.  Alongside each synchronous method the client also
+gets a ``<name>_begin`` method — the pipelined submit half, returning
+an :class:`~.runtime.SrpcTicket` to redeem with
+:meth:`~.runtime.SrpcClientBase.finish` — and a shared ``_decode_<id>``
+reply decoder both paths use.  The generated server skeleton decodes
+IN parameters eagerly and hands OUT/INOUT parameters to the
+implementation as by-reference :class:`~.runtime.ParamRef` objects.
 
 Use :func:`generate_stubs` to get the source text (write it to a file,
 inspect it, check it in) or :func:`compile_stubs` to exec it directly.
@@ -28,19 +32,10 @@ __all__ = ["generate_stubs", "compile_stubs"]
 _SCALARS = ("int", "uint", "float", "double")
 
 
-def _client_method(proc: Procedure) -> str:
-    """Source of one generated client stub method."""
-    in_params = [p for p in proc.params if p.is_in]
-    out_params = [p for p in proc.params if p.is_out]
-    args = ", ".join(p.name for p in in_params)
-    lines = []
-    lines.append("    def %s(self%s):" % (proc.name, ", " + args if args else ""))
-    signature = ", ".join(
-        "%s %s %s" % (p.direction, p.type.describe(), p.name) for p in proc.params
-    )
-    lines.append('        """%s %s(%s)"""' % (proc.return_type.describe(), proc.name, signature))
-    lines.append("        _writes = []")
-    for param in in_params:
+def _marshal_lines(proc: Procedure) -> list:
+    """Source lines building a procedure's ``_writes`` store list."""
+    lines = ["        _writes = []"]
+    for param in (p for p in proc.params if p.is_in):
         if param.type.kind in _SCALARS:
             lines.append(
                 "        _writes.append((%d, pack_scalar(%r, %s)))"
@@ -52,6 +47,11 @@ def _client_method(proc: Procedure) -> str:
                 ".params[%d].type, %s)))"
                 % (param.offset, proc.name, proc.params.index(param), param.name)
             )
+    return lines
+
+
+def _reply_shape(proc: Procedure):
+    """(ret_bytes, out_reads, read_exprs) of a procedure's reply."""
     ret_bytes = 0 if proc.return_type.kind == "void" else proc.return_type.slot_bytes
     out_reads = []
     read_exprs = []
@@ -59,15 +59,60 @@ def _client_method(proc: Procedure) -> str:
         read_exprs.append(
             "decode_value(self.IDL.procedure(%r).return_type, _raw[0])" % proc.name
         )
-    for param in out_params:
+    for param in (p for p in proc.params if p.is_out):
         out_reads.append((param.offset, param.type.slot_bytes, param.type.is_variable))
         read_exprs.append(
             "decode_value(self.IDL.procedure(%r).params[%d].type, _raw[%d])"
             % (proc.name, proc.params.index(param),
                (1 if ret_bytes else 0) + len(out_reads) - 1)
         )
+    return ret_bytes, out_reads, read_exprs
+
+
+def _signature(proc: Procedure) -> str:
+    return ", ".join(
+        "%s %s %s" % (p.direction, p.type.describe(), p.name) for p in proc.params
+    )
+
+
+def _client_method(proc: Procedure) -> str:
+    """Source of one generated client stub method (synchronous call)."""
+    args = ", ".join(p.name for p in proc.params if p.is_in)
+    lines = []
+    lines.append("    def %s(self%s):" % (proc.name, ", " + args if args else ""))
+    lines.append('        """%s %s(%s)"""'
+                 % (proc.return_type.describe(), proc.name, _signature(proc)))
+    lines.extend(_marshal_lines(proc))
+    ret_bytes, out_reads, _ = _reply_shape(proc)
     lines.append("        _raw = yield from self._invoke(%d, _writes, %d, %r)"
                  % (proc.proc_id, ret_bytes, out_reads))
+    lines.append("        return self._decode_%d(_raw)" % proc.proc_id)
+    return "\n".join(lines)
+
+
+def _client_begin_method(proc: Procedure) -> str:
+    """Source of one generated pipelined-submit stub method."""
+    args = ", ".join(p.name for p in proc.params if p.is_in)
+    lines = []
+    lines.append("    def %s_begin(self%s):"
+                 % (proc.name, ", " + args if args else ""))
+    lines.append('        """Pipelined %s(%s): submit without waiting; returns'
+                 % (proc.name, _signature(proc)))
+    lines.append("        an SrpcTicket to redeem with finish().\"\"\"")
+    lines.extend(_marshal_lines(proc))
+    ret_bytes, out_reads, _ = _reply_shape(proc)
+    lines.append("        _t = yield from self._submit(%d, _writes, %d, %r)"
+                 % (proc.proc_id, ret_bytes, out_reads))
+    lines.append("        return _t")
+    return "\n".join(lines)
+
+
+def _client_decode_method(proc: Procedure) -> str:
+    """Source of one generated reply decoder (shared by call paths)."""
+    _, _, read_exprs = _reply_shape(proc)
+    lines = []
+    lines.append("    def _decode_%d(self, _raw):  # %s"
+                 % (proc.proc_id, proc.name))
     if not read_exprs:
         lines.append("        return None")
     elif len(read_exprs) == 1:
@@ -152,6 +197,8 @@ def generate_stubs(idl_text: str) -> str:
         "",
     ]
     parts.extend(_client_method(proc) + "\n" for proc in interface.procedures)
+    parts.extend(_client_begin_method(proc) + "\n" for proc in interface.procedures)
+    parts.extend(_client_decode_method(proc) + "\n" for proc in interface.procedures)
     parts.extend([
         "",
         "class %sServer(SrpcServerBase):" % name,

@@ -187,6 +187,20 @@ class Store:
         self._settle()
         return True
 
+    def try_get(self, default: Any = None) -> Any:
+        """Non-blocking get; returns ``default`` when nothing is buffered.
+
+        ``default`` disambiguates an empty store from a buffered item
+        that is itself None (e.g. a shutdown sentinel) — pass a private
+        sentinel object when None items are possible.
+        """
+        if not self._items:
+            return default
+        self._account()
+        item = self._items.popleft()
+        self._settle()
+        return item
+
     def _account(self) -> None:
         now = self.sim.now
         self._occupancy_integral += len(self._items) * (now - self._occupancy_since)

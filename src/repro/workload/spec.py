@@ -141,6 +141,24 @@ class WorkloadSpec:
     think_us: float = 0.0            # closed-loop think time
     trace: bool = False              # record kv.client spans
     timeout_us: float = 120_000_000.0
+    # Serving-stack mitigation knobs (all default off — the defaults
+    # reproduce the unmitigated engine byte for byte):
+    pipeline_window: int = 1         # SRPC multi-call window per binding
+    batch_keys: int = 1              # >1 groups GETs into multi_get calls
+    cache_keys: int = 0              # client LRU entries (0 = off)
+    cache_ttl_us: float = 0.0        # cache entry lifetime (0 = no TTL)
+    read_spread: bool = False        # rotate reads over the replica set
+
+    def mitigated(self) -> bool:
+        """Whether any hot-key/pipelining mitigation knob is non-default."""
+        return (self.pipeline_window > 1 or self.batch_keys > 1
+                or self.cache_keys > 0 or self.read_spread)
+
+    def mitigation_label(self) -> str:
+        """The spec-line suffix describing the enabled mitigations."""
+        return ("pipeline=%d batch=%d cache=%d ttl=%g spread=%d"
+                % (self.pipeline_window, self.batch_keys, self.cache_keys,
+                   self.cache_ttl_us, int(self.read_spread)))
 
     def validate(self) -> None:
         """Raise ValueError on an inconsistent spec."""
@@ -161,6 +179,19 @@ class WorkloadSpec:
             raise ValueError("scan_fraction must fit beside read_fraction")
         if self.arrival == "open" and self.load <= 0.0:
             raise ValueError("open-loop load must be positive")
+        if not 1 <= self.pipeline_window <= 64:
+            raise ValueError("pipeline_window must be in [1, 64]")
+        if not 1 <= self.batch_keys <= wire.MULTI_GET_MAX:
+            raise ValueError("batch_keys must be in [1, %d]"
+                             % wire.MULTI_GET_MAX)
+        if self.cache_keys < 0:
+            raise ValueError("cache_keys must be >= 0")
+        if self.cache_ttl_us < 0.0:
+            raise ValueError("cache_ttl_us must be >= 0")
+        if (self.pipeline_window > 1 or self.batch_keys > 1) \
+                and self.transport != "srpc":
+            raise ValueError("pipelining and batching need the srpc "
+                             "transport")
         KeySampler(self.keys, self.key_distribution, self.zipf_s)
         ValueSizeSampler(self.value_sizes)
 

@@ -167,6 +167,55 @@ def run_vrpc_exchange(seed, automatic=True, calls=3, count=6,
     return outcome, system
 
 
+def run_srpc_pipelined_exchange(seed, window=4, count=6, horizon_us=3000.0):
+    """Eight pipelined SHRIMP RPC calls finished out of order, under
+    faults.
+
+    The client keeps ``window`` sequence-numbered calls in flight and
+    finishes each batch newest-first, so reply matching (and, in
+    hardened mode, per-frame retransmission and reply replay) is
+    exercised against the fault schedule.  Every finished call's value
+    is checked against the expected function of its arguments — a
+    reply matched to the wrong ticket shows up as corruption, not luck.
+    """
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count)
+    system = make_system(fault_plan=plan)
+    client_cls, server_cls, _idl = compile_stubs(CALC_IDL)
+    outcome = {}
+
+    def server(proc):
+        srv = server_cls(system, proc, _CalcImpl(), window=window)
+        yield from srv.serve_binding(port=5)
+        try:
+            yield from srv.run(max_calls=8)
+            outcome["server"] = "ok"
+        except SrpcTimeoutError:
+            outcome["server"] = "timeout"
+
+    def client(proc):
+        cl = client_cls(system, proc, window=window)
+        yield from cl.bind(1, port=5)
+        try:
+            for base in (0, 4):
+                tickets = []
+                for i in range(base, base + 4):
+                    t = yield from cl.add_begin(i, seed)
+                    tickets.append((i, t))
+                for i, t in reversed(tickets):
+                    r = yield from cl.finish(t)
+                    assert r == i + seed, \
+                        "reply matched to wrong ticket (%d != %d)" \
+                        % (r, i + seed)
+            outcome["client"] = "ok"
+        except SrpcTimeoutError:
+            outcome["client"] = "timeout"
+
+    s = system.spawn(1, server)
+    c = system.spawn(0, client)
+    system.run_processes([s, c], timeout=WATCHDOG_US)
+    return outcome, system
+
+
 class _CalcImpl:
     """Server-side implementation exercising IN, INOUT, and OUT slots."""
 

@@ -1,0 +1,117 @@
+"""Documentation link and CLI-example integrity.
+
+Two structural checks over every Markdown file in the repo root and
+``docs/``:
+
+* every intra-repo Markdown link (``[text](path)`` or ``[text](path#anchor)``)
+  resolves to a file or directory that exists — external ``http(s)``
+  links are out of scope;
+* every ``python -m repro ...`` invocation shown in a doc parses
+  against the real argument parser, so a renamed flag or subcommand
+  cannot strand a stale example.
+
+These run in the docs CI job (.github/workflows/ci.yml) as well as in
+the default test suite.
+"""
+
+import contextlib
+import io
+import pathlib
+import re
+import shlex
+
+import pytest
+
+from repro.__main__ import _build_parser
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Process files (the per-PR task sheet and changelog) are not user
+# documentation; their prose mentions pseudo-commands on purpose.
+_NOT_DOCS = {"ISSUE.md", "CHANGES.md"}
+
+DOC_FILES = sorted(
+    path for path in
+    list(REPO_ROOT.glob("*.md")) + list((REPO_ROOT / "docs").glob("*.md"))
+    if path.name not in _NOT_DOCS)
+
+# [text](target) — excluding images and inline code; reference-style
+# links are not used in this repo.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+# A doc command example: "python -m repro <args...>" up to end of line,
+# a pipe, or a redirect.
+_CLI = re.compile(r"python -m repro\s+([^\n|>#`]*)")
+
+
+def _md_id(path):
+    return str(path.relative_to(REPO_ROOT))
+
+
+def _intra_repo_links(text):
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_md_id)
+def test_intra_repo_links_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for target in _intra_repo_links(text):
+        if not target:
+            continue  # pure-anchor link into the same file
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, "%s has broken links: %s" % (_md_id(doc), broken)
+
+
+# Bare-uppercase doc placeholders ("--seed N", "--load L") stand in
+# for numbers; substitute before parsing.
+_PLACEHOLDER = re.compile(r"^[A-Z]+$")
+
+
+def _example_parses(parser, argv):
+    argv = ["1" if _PLACEHOLDER.match(tok) else tok for tok in argv]
+    while True:
+        try:
+            with contextlib.redirect_stderr(io.StringIO()):
+                parser.parse_args(argv)
+            return True
+        except SystemExit:
+            # Trailing prose on the same line ("python -m repro scalars
+            # prints the table") trims away token by token; a genuinely
+            # stale flag or subcommand never parses.
+            if argv and not argv[-1].startswith("-"):
+                argv = argv[:-1]
+            else:
+                return False
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_md_id)
+def test_cli_examples_parse(doc):
+    parser = _build_parser()
+    failures = []
+    for match in _CLI.finditer(doc.read_text()):
+        argv = shlex.split(match.group(1).strip())
+        if not _example_parses(parser, argv):
+            failures.append(match.group(0).strip())
+    assert not failures, "%s has stale CLI examples: %s" % (
+        _md_id(doc), failures)
+
+
+def test_architecture_doc_is_linked_everywhere():
+    """ARCHITECTURE.md is the map: the README and every other doc in
+    docs/ must point a reader at it."""
+    arch = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+    assert arch.is_file(), "docs/ARCHITECTURE.md is missing"
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        if doc.name == "ARCHITECTURE.md":
+            continue
+        assert "ARCHITECTURE.md" in doc.read_text(), (
+            "%s does not link to the architecture map" % _md_id(doc))

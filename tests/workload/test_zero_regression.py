@@ -1,0 +1,52 @@
+"""Zero-regression goldens: with every mitigation knob at its default
+(window=1, batch off, cache off, spread off) the workload engine must
+reproduce its pre-pipelining reports byte for byte.
+
+The goldens were captured from the engine before the mitigation layer
+existed, so any timing drift, layout change, or report-format change
+in the default path shows up here as a diff — not as a silent
+recalibration.  If a change is *intended* to shift the default path,
+regenerate the goldens with the snippet in each file's spec line and
+say so in the commit.
+"""
+
+import pathlib
+
+from repro.workload import WorkloadSpec, run_workload
+
+GOLDENS = pathlib.Path(__file__).parent / "goldens"
+
+SPECS = {
+    "open_srpc_seed1": WorkloadSpec(
+        seed=1, transport="srpc", arrival="open", load=6000.0,
+        concurrency=4, requests=40, keys=50, read_fraction=0.80),
+    "closed_mixed_seed3": WorkloadSpec(
+        seed=3, transport="srpc", arrival="closed",
+        concurrency=4, requests=40, keys=50,
+        read_fraction=0.70, scan_fraction=0.10),
+}
+
+
+def _golden(name):
+    return (GOLDENS / ("%s.txt" % name)).read_text()
+
+
+def test_open_loop_srpc_report_is_byte_identical():
+    text = run_workload(SPECS["open_srpc_seed1"]).report()
+    assert text + "\n" == _golden("open_srpc_seed1")
+
+
+def test_closed_loop_mixed_report_is_byte_identical():
+    text = run_workload(SPECS["closed_mixed_seed3"]).report()
+    assert text + "\n" == _golden("closed_mixed_seed3")
+
+
+def test_explicit_default_knobs_match_golden_too():
+    """Passing the mitigation defaults explicitly is the same engine
+    configuration as not mentioning them at all."""
+    from dataclasses import replace
+    spec = replace(SPECS["open_srpc_seed1"], pipeline_window=1,
+                   batch_keys=1, cache_keys=0, cache_ttl_us=0.0,
+                   read_spread=False)
+    text = run_workload(spec).report()
+    assert text + "\n" == _golden("open_srpc_seed1")
