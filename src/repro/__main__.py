@@ -9,6 +9,7 @@
     python -m repro serve            # scripted demo against the KV service
     python -m repro workload --seed N --load L   # one workload run
     python -m repro capacity         # offered load vs tail latency sweep
+    python -m repro explain          # one request's cross-node causal tree
     python -m repro all              # everything, in order
 
 Each figure command prints the same rows the paper plots (and that
@@ -190,7 +191,10 @@ def _cmd_workload(args) -> int:
 
 
 def _cmd_capacity(args) -> int:
-    from .bench.capacity import capacity_sweep, paired_capacity_sweep
+    import json
+
+    from .bench.capacity import (capacity_payload, capacity_sweep,
+                                 paired_capacity_sweep)
     from .workload import WorkloadSpec
 
     loads = [float(x) for x in args.loads.split(",")]
@@ -203,7 +207,7 @@ def _cmd_capacity(args) -> int:
     # documented defaults for the --ab B side (an A/B with everything
     # off would compare a run against itself).
     if args.ab:
-        print(paired_capacity_sweep(
+        result = paired_capacity_sweep(
             loads, spec,
             pipeline_window=args.pipeline_window or 4,
             batch_keys=args.batch_keys or 4,
@@ -211,17 +215,82 @@ def _cmd_capacity(args) -> int:
             cache_ttl_us=args.cache_ttl if args.cache_ttl is not None
             else 2000.0,
             read_spread=True if args.read_spread is None
-            else args.read_spread).report())
-        return 0
-    from dataclasses import replace
-    spec = replace(spec,
-                   pipeline_window=args.pipeline_window or 1,
-                   batch_keys=args.batch_keys or 1,
-                   cache_keys=args.cache_keys or 0,
-                   cache_ttl_us=args.cache_ttl or 0.0,
-                   read_spread=bool(args.read_spread))
-    print(capacity_sweep(loads, spec).report())
+            else args.read_spread)
+    else:
+        from dataclasses import replace
+        spec = replace(spec,
+                       pipeline_window=args.pipeline_window or 1,
+                       batch_keys=args.batch_keys or 1,
+                       cache_keys=args.cache_keys or 0,
+                       cache_ttl_us=args.cache_ttl or 0.0,
+                       read_spread=bool(args.read_spread))
+        result = capacity_sweep(loads, spec)
+    print(result.report())
+    if args.json:
+        payload = capacity_payload(result, spec, loads)
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc.strerror))
+            return 1
+        print()
+        print("wrote %s" % args.json)
     return 0
+
+
+def _cmd_explain(args) -> int:
+    from .obs import assemble_traces, audit, explain_trace, format_tree
+    from .workload import WorkloadSpec, run_workload
+
+    spec = WorkloadSpec(
+        seed=args.seed, transport=args.transport, arrival="open",
+        load=args.load, concurrency=args.concurrency,
+        requests=args.requests, keys=args.keys,
+        read_fraction=args.read_fraction, trace=True,
+        telemetry=not args.no_telemetry,
+        slo_latency_us=args.slo_latency,
+        slo_latency_budget=args.slo_latency_budget,
+        slo_error_budget=args.slo_error_budget)
+    report = run_workload(spec)
+    spans = report.spans or []
+    trees = assemble_traces(spans)
+    if not trees:
+        print("no request traces recorded (is tracing enabled?)")
+        return 1
+    problems = audit(spans)
+    if args.trace_id is not None:
+        tree = trees.get(args.trace_id)
+        if tree is None:
+            print("trace id %d not found (%d traces recorded: %d..%d)"
+                  % (args.trace_id, len(trees), min(trees), max(trees)))
+            return 1
+    else:
+        # Default to the widest tree: most mesh nodes touched, then
+        # most spans — a replicated PUT rather than a cache-local GET.
+        tree = max(trees.values(),
+                   key=lambda t: (len(t.nodes()), len(t.spans), -t.tid))
+    result = explain_trace(tree, spans)
+    print("assembled %d request traces from %d spans (%d audit problems)"
+          % (len(trees), len(spans), len(problems)))
+    print()
+    print(format_tree(tree))
+    print()
+    print(result.budget.report())
+    print("measured %.2f us  stage sum %.2f us  error %.2f%%"
+          % (result.measured_us, result.budget.total,
+             100.0 * result.budget_error))
+    if problems:
+        print()
+        print("audit problems:")
+        for problem in problems:
+            print("  " + problem)
+    if report.telemetry_lines:
+        print()
+        print("\n".join(report.telemetry_lines))
+    ok = result.budget_error <= 0.01 and not problems and not tree.problems
+    return 0 if ok else 1
 
 
 def _cmd_serve(args) -> int:
@@ -402,6 +471,38 @@ def _build_parser() -> argparse.ArgumentParser:
     capacity.add_argument("--read-spread", action="store_const", const=True,
                           default=None,
                           help="rotate reads over replicas (B side of --ab)")
+    capacity.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the machine-readable sweep "
+                               "(knee, p50/p95/p99 per point, config, seed)")
+    explain = sub.add_parser(
+        "explain",
+        help="run a traced workload and explain one request's causal tree",
+    )
+    explain.add_argument("--seed", type=int, default=1,
+                         help="workload seed (same seed => same trees)")
+    explain.add_argument("--transport", choices=["srpc", "sockets"],
+                         default="srpc", help="client transport")
+    explain.add_argument("--load", type=float, default=20000.0,
+                         help="open-loop offered load (ops/s)")
+    explain.add_argument("--concurrency", type=int, default=4,
+                         help="worker processes")
+    explain.add_argument("--requests", type=int, default=80,
+                         help="total requests in the traced run")
+    explain.add_argument("--keys", type=int, default=64,
+                         help="keyspace size")
+    explain.add_argument("--read-fraction", type=float, default=0.70,
+                         help="GET fraction (writes replicate cross-node)")
+    explain.add_argument("--trace-id", type=int, default=None,
+                         help="explain this trace id (default: the tree "
+                              "touching the most mesh nodes)")
+    explain.add_argument("--no-telemetry", action="store_true",
+                         help="skip the time-series sampler and SLO report")
+    explain.add_argument("--slo-latency", type=float, default=400.0,
+                         help="per-request slow threshold (us)")
+    explain.add_argument("--slo-latency-budget", type=float, default=0.1,
+                         help="allowed slow-request fraction")
+    explain.add_argument("--slo-error-budget", type=float, default=0.01,
+                         help="allowed error fraction")
     serve = sub.add_parser(
         "serve",
         help="boot the sharded KV service and run a scripted demo client",
@@ -422,6 +523,8 @@ def main(argv=None) -> int:
         return _cmd_workload(args)
     if args.command == "capacity":
         return _cmd_capacity(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command in _FIGURES:

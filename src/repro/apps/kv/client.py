@@ -222,50 +222,53 @@ class KVClient:
                 results[i] = yield from self.get(keys[i])
             return results
         start = self.sim_now()
-        groups: Dict[Optional[int], List[int]] = {}
-        epochs: Dict[int, int] = {}
-        for i in fetch:
-            key = keys[i]
-            epochs[i] = self._wepoch.get(key, 0)
-            node = None
-            for cand in self._candidates(wire.OP_GET, key):
-                if ("rpc", cand) not in self.dead:
-                    node = cand
-                    break
-            groups.setdefault(node, []).append(i)
-        for node, indices in groups.items():
-            if node is None:
-                for i in indices:
-                    self.ops += 1
-                    self.errors += 1
-                    results[i] = (wire.ST_ERROR, None)
-                continue
-            for lo in range(0, len(indices), wire.MULTI_GET_MAX):
-                chunk = indices[lo:lo + wire.MULTI_GET_MAX]
-                blob = wire.encode_multi_get_request(
-                    [keys[i] for i in chunk])
-                entries = None
-                try:
-                    resp = yield from self.rpc[node].multi_get(blob)
-                    entries = wire.decode_multi_get_response(resp)
-                except (VmmcTimeoutError, VmmcError):
-                    self.dead.add(("rpc", node))
-                    self.failovers += 1
-                if entries is None or len(entries) != len(chunk):
-                    for i in chunk:  # per-key replica walk, dead skipped
-                        results[i] = yield from self.get(keys[i])
+        root = self._root_begin() if fetch else None
+        try:
+            groups: Dict[Optional[int], List[int]] = {}
+            epochs: Dict[int, int] = {}
+            for i in fetch:
+                key = keys[i]
+                epochs[i] = self._wepoch.get(key, 0)
+                node = None
+                for cand in self._candidates(wire.OP_GET, key):
+                    if ("rpc", cand) not in self.dead:
+                        node = cand
+                        break
+                groups.setdefault(node, []).append(i)
+            for node, indices in groups.items():
+                if node is None:
+                    for i in indices:
+                        self.ops += 1
+                        self.errors += 1
+                        results[i] = (wire.ST_ERROR, None)
                     continue
-                self.ops += 1
-                self.batch_calls += 1
-                self.batched_keys += len(chunk)
-                for i, (status, value) in zip(chunk, entries):
-                    if status == wire.ST_MISS:
-                        self.misses += 1
-                    elif status == wire.ST_OK:
-                        self._cache_put(keys[i], value, epochs[i])
-                    results[i] = (status, value)
-        if fetch:
-            self._span("multi_get", start)
+                for lo in range(0, len(indices), wire.MULTI_GET_MAX):
+                    chunk = indices[lo:lo + wire.MULTI_GET_MAX]
+                    blob = wire.encode_multi_get_request(
+                        [keys[i] for i in chunk])
+                    entries = None
+                    try:
+                        resp = yield from self.rpc[node].multi_get(blob)
+                        entries = wire.decode_multi_get_response(resp)
+                    except (VmmcTimeoutError, VmmcError):
+                        self.dead.add(("rpc", node))
+                        self.failovers += 1
+                    if entries is None or len(entries) != len(chunk):
+                        for i in chunk:  # per-key replica walk, dead skipped
+                            results[i] = yield from self.get(keys[i])
+                        continue
+                    self.ops += 1
+                    self.batch_calls += 1
+                    self.batched_keys += len(chunk)
+                    for i, (status, value) in zip(chunk, entries):
+                        if status == wire.ST_MISS:
+                            self.misses += 1
+                        elif status == wire.ST_OK:
+                            self._cache_put(keys[i], value, epochs[i])
+                        results[i] = (status, value)
+        finally:
+            if fetch:
+                self._span("multi_get", start, root)
         return results
 
     # ------------------------------------------- pipelined point ops
@@ -278,24 +281,30 @@ class KVClient:
             value = self._cache_get(key)
             if value is not None:
                 self.ops += 1
-                return ("done", "get", self.sim_now(), wire.ST_OK, value)
+                return ("done", "get", self.sim_now(), wire.ST_OK, value,
+                        None)
         if not self._pipelined():
             return ("lazy", wire.OP_GET, key, b"")
         self.ops += 1
         start = self.sim_now()
+        root = self._root_begin()
         epoch = self._wepoch.get(key, 0)
-        for node in self._candidates(wire.OP_GET, key):
-            if ("rpc", node) in self.dead:
-                continue
-            try:
-                ticket = yield from self.rpc[node].get_begin(key)
-            except (VmmcTimeoutError, VmmcError):
-                self.dead.add(("rpc", node))
-                self.failovers += 1
-                continue
-            return ("rpc", "get", start, node, ticket, key, b"", epoch)
-        self.errors += 1
-        return ("done", "get", start, wire.ST_ERROR, None)
+        try:
+            for node in self._candidates(wire.OP_GET, key):
+                if ("rpc", node) in self.dead:
+                    continue
+                try:
+                    ticket = yield from self.rpc[node].get_begin(key)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+                    self.failovers += 1
+                    continue
+                return ("rpc", "get", start, node, ticket, key, b"", epoch,
+                        root)
+            self.errors += 1
+            return ("done", "get", start, wire.ST_ERROR, None, root)
+        finally:
+            self._root_detach(root)
 
     def put_begin(self, key: str, value: bytes):
         """Submit a PUT without waiting (cache-invalidating at submit,
@@ -305,20 +314,26 @@ class KVClient:
             return ("lazy", wire.OP_PUT, key, value)
         self.ops += 1
         start = self.sim_now()
-        for node in self._candidates(wire.OP_PUT, key):
-            if ("rpc", node) in self.dead:
-                continue
-            try:
-                ticket = yield from self.rpc[node].put_begin(key, value)
-            except (VmmcTimeoutError, VmmcError):
-                self.dead.add(("rpc", node))
-                self.failovers += 1
-                continue
-            self._pending_writes[key] = self._pending_writes.get(key, 0) + 1
-            self._pending_write_node[key] = node
-            return ("rpc", "put", start, node, ticket, key, value, 0)
-        self.errors += 1
-        return ("done", "put", start, wire.ST_ERROR, None)
+        root = self._root_begin()
+        try:
+            for node in self._candidates(wire.OP_PUT, key):
+                if ("rpc", node) in self.dead:
+                    continue
+                try:
+                    ticket = yield from self.rpc[node].put_begin(key, value)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+                    self.failovers += 1
+                    continue
+                self._pending_writes[key] = \
+                    self._pending_writes.get(key, 0) + 1
+                self._pending_write_node[key] = node
+                return ("rpc", "put", start, node, ticket, key, value, 0,
+                        root)
+            self.errors += 1
+            return ("done", "put", start, wire.ST_ERROR, None, root)
+        finally:
+            self._root_detach(root)
 
     def delete_begin(self, key: str):
         """Submit a DELETE without waiting; redeem with :meth:`collect`."""
@@ -327,20 +342,26 @@ class KVClient:
             return ("lazy", wire.OP_DELETE, key, b"")
         self.ops += 1
         start = self.sim_now()
-        for node in self._candidates(wire.OP_DELETE, key):
-            if ("rpc", node) in self.dead:
-                continue
-            try:
-                ticket = yield from self.rpc[node].delete_begin(key)
-            except (VmmcTimeoutError, VmmcError):
-                self.dead.add(("rpc", node))
-                self.failovers += 1
-                continue
-            self._pending_writes[key] = self._pending_writes.get(key, 0) + 1
-            self._pending_write_node[key] = node
-            return ("rpc", "delete", start, node, ticket, key, b"", 0)
-        self.errors += 1
-        return ("done", "delete", start, wire.ST_ERROR, None)
+        root = self._root_begin()
+        try:
+            for node in self._candidates(wire.OP_DELETE, key):
+                if ("rpc", node) in self.dead:
+                    continue
+                try:
+                    ticket = yield from self.rpc[node].delete_begin(key)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+                    self.failovers += 1
+                    continue
+                self._pending_writes[key] = \
+                    self._pending_writes.get(key, 0) + 1
+                self._pending_write_node[key] = node
+                return ("rpc", "delete", start, node, ticket, key, b"", 0,
+                        root)
+            self.errors += 1
+            return ("done", "delete", start, wire.ST_ERROR, None, root)
+        finally:
+            self._root_detach(root)
 
     def collect(self, handle):
         """Complete a ``*_begin`` handle: ``(status, value-or-None)``.
@@ -350,8 +371,8 @@ class KVClient:
         retries synchronously through the surviving replicas."""
         kind = handle[0]
         if kind == "done":
-            _, op, start, status, value = handle
-            self._span(op, start)
+            _, op, start, status, value, root = handle
+            self._span(op, start, root)
             return status, value
         if kind == "lazy":
             _, opc, key, value = handle
@@ -363,7 +384,7 @@ class KVClient:
                 return status, None
             status = yield from self.delete(key)
             return status, None
-        _, op, start, node, ticket, key, value, epoch = handle
+        _, op, start, node, ticket, key, value, epoch, root = handle
         if op != "get":
             self._unpin_write(key)
         try:
@@ -371,6 +392,10 @@ class KVClient:
         except (VmmcTimeoutError, VmmcError):
             self.dead.add(("rpc", node))
             self.failovers += 1
+            # Close the abandoned pipelined attempt's root first — its
+            # sid travelled on the wire, so children already point at
+            # it; the synchronous retry opens a trace of its own.
+            self._span(op, start, root)
             opc = {"get": wire.OP_GET, "put": wire.OP_PUT,
                    "delete": wire.OP_DELETE}[op]
             status, out = yield from self._request(opc, key, value)
@@ -387,7 +412,7 @@ class KVClient:
             status, out = raw, None
             if status == wire.ST_MISS:
                 self.misses += 1
-        self._span(op, start)
+        self._span(op, start, root)
         return status, out
 
     def scan(self, prefix: str, limit: int):
@@ -399,22 +424,25 @@ class KVClient:
         """
         self.ops += 1
         start = self.sim_now()
+        root = self._root_begin()
         merged: Dict[str, bytes] = {}
         status = wire.ST_OK
-        for node in self.service.nodes:
-            if ("sock", node) in self.dead:
-                status = wire.ST_ERROR
-                continue
-            try:
-                records = yield from self._sock_scan(node, prefix, limit)
-                # Replicas return the same keys; first copy wins.
-                for rec_key, rec_value in records:
-                    merged.setdefault(rec_key, rec_value)
-            except (VmmcTimeoutError, VmmcError):
-                self.dead.add(("sock", node))
-                self.failovers += 1
-                status = wire.ST_ERROR
-        self._span("scan", start)
+        try:
+            for node in self.service.nodes:
+                if ("sock", node) in self.dead:
+                    status = wire.ST_ERROR
+                    continue
+                try:
+                    records = yield from self._sock_scan(node, prefix, limit)
+                    # Replicas return the same keys; first copy wins.
+                    for rec_key, rec_value in records:
+                        merged.setdefault(rec_key, rec_value)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("sock", node))
+                    self.failovers += 1
+                    status = wire.ST_ERROR
+        finally:
+            self._span("scan", start, root)
         return status, [(k, merged[k]) for k in sorted(merged)][:limit]
 
     # -------------------------------------------------------- internals
@@ -423,10 +451,75 @@ class KVClient:
         """The current simulated time (microseconds)."""
         return self.system.sim.now
 
-    def _span(self, name: str, start: float) -> None:
+    def _span(self, name: str, start: float, root=None) -> None:
+        """Record the request's ``kv.client`` root span.
+
+        With a ``root`` token from :meth:`_root_begin` the span is
+        recorded under the sid that travelled on the wire (and the
+        process context is restored first, idempotently)."""
+        self._root_detach(root)
         tracer = self.system.machine.tracer
-        if tracer.enabled:
+        if not tracer.enabled:
+            return
+        if root is None:
             tracer.complete("kv.client", name, start, track=self.track)
+        else:
+            tracer.complete("kv.client", name, start, track=self.track,
+                            data={"tid": root[0]}, sid=root[1])
+
+    def _root_begin(self):
+        """Open a causal-trace root for one client request.
+
+        Allocates a fresh trace id and reserves the root span's sid so
+        both can ride the wire immediately; installs them as the
+        process trace context and returns a mutable token
+        ``[tid, sid, prev_ctx, detached]`` that :meth:`_span` (or
+        :meth:`_root_detach`) must see again, or None when tracing is
+        off."""
+        tracer = self.system.machine.tracer
+        if not tracer.enabled:
+            return None
+        tid = tracer.new_trace_id()
+        sid = tracer.reserve_sid()
+        token = [tid, sid, self.proc.trace_ctx, False]
+        self.proc.trace_ctx = (tid, sid)
+        return token
+
+    def _root_detach(self, root) -> None:
+        """Restore the process trace context saved by :meth:`_root_begin`
+        (idempotent; None is a no-op)."""
+        if root is not None and not root[3]:
+            self.proc.trace_ctx = root[2]
+            root[3] = True
+
+    def _sock_trace(self, sock):
+        """Announce the next socket request's context (generator).
+
+        Sends the ``OP_TRACE`` prefix frame carrying the trace id and a
+        freshly reserved *per-attempt* span sid — each replica-walk
+        attempt (and each node of a scan fan-out) must name a distinct
+        wire parent, or retried requests would produce serve spans that
+        collide in the duplicate-delivery audit.  Returns the
+        ``(ctx, sid, start)`` token :meth:`_sock_span` completes, or
+        None when the process carries no context."""
+        ctx = self.proc.trace_ctx
+        tracer = self.system.machine.tracer
+        if ctx is None or not tracer.enabled:
+            return None
+        sid = tracer.reserve_sid()
+        prefix = wire.encode_trace_prefix(ctx[0], sid)
+        yield from self.proc.write(self._sbuf, prefix)
+        yield from sock.send(self._sbuf, len(prefix))
+        return (ctx, sid, self.sim_now())
+
+    def _sock_span(self, call, name: str) -> None:
+        """Complete the per-attempt ``kv.call`` span opened by
+        :meth:`_sock_trace` (None is a no-op)."""
+        if call is not None:
+            ctx, sid, start = call
+            self.system.machine.tracer.complete(
+                "kv.call", name, start, track=self.track,
+                data={"tid": ctx[0], "cparent": ctx[1]}, sid=sid)
 
     def _pipelined(self) -> bool:
         """True when point ops can ride a multi-call SRPC window."""
@@ -501,6 +594,7 @@ class KVClient:
         """Walk the replica set until one server answers."""
         self.ops += 1
         start = self.sim_now()
+        root = self._root_begin()
         kind = "rpc" if self.transport == "srpc" else "sock"
         tried_dead = False
         try:
@@ -526,7 +620,7 @@ class KVClient:
             self.errors += 1
             return wire.ST_ERROR, None
         finally:
-            self._span(_OP_NAMES[op], start)
+            self._span(_OP_NAMES[op], start, root)
 
     def _rpc_op(self, node: int, op: int, key: str, value: bytes):
         client = self.rpc[node]
@@ -543,41 +637,55 @@ class KVClient:
 
     def _sock_op(self, node: int, op: int, key: str, value: bytes):
         sock = self.socks[node]
-        frame = wire.encode_request(op, key, value)
-        yield from self.proc.write(self._sbuf, frame)
-        yield from sock.send(self._sbuf, len(frame))
-        got = yield from sock.recv_exactly(self._rbuf, wire.RESP_HEADER.size)
-        if got < wire.RESP_HEADER.size:
-            raise VmmcTimeoutError("kv: server closed the connection")
-        status, value_len = wire.decode_response_header(
-            self.proc.peek(self._rbuf, wire.RESP_HEADER.size))
-        out = None
-        if value_len:
-            got = yield from sock.recv_exactly(self._rbuf, value_len)
-            if got < value_len:
-                raise VmmcTimeoutError("kv: truncated response value")
-            out = self.proc.peek(self._rbuf, value_len)
-        return status, out
+        call = None
+        try:
+            call = yield from self._sock_trace(sock)
+            frame = wire.encode_request(op, key, value)
+            yield from self.proc.write(self._sbuf, frame)
+            yield from sock.send(self._sbuf, len(frame))
+            got = yield from sock.recv_exactly(self._rbuf,
+                                               wire.RESP_HEADER.size)
+            if got < wire.RESP_HEADER.size:
+                raise VmmcTimeoutError("kv: server closed the connection")
+            status, value_len = wire.decode_response_header(
+                self.proc.peek(self._rbuf, wire.RESP_HEADER.size))
+            out = None
+            if value_len:
+                got = yield from sock.recv_exactly(self._rbuf, value_len)
+                if got < value_len:
+                    raise VmmcTimeoutError("kv: truncated response value")
+                out = self.proc.peek(self._rbuf, value_len)
+            return status, out
+        finally:
+            self._sock_span(call, _OP_NAMES[op])
 
     def _sock_scan(self, node: int, prefix: str, limit: int):
         sock = self.socks[node]
-        frame = wire.encode_request(wire.OP_SCAN, prefix, scan_limit=limit)
-        yield from self.proc.write(self._sbuf, frame)
-        yield from sock.send(self._sbuf, len(frame))
-        records: List[Tuple[str, bytes]] = []
-        while True:
-            got = yield from sock.recv_exactly(self._rbuf, wire.SCAN_RECORD.size)
-            if got < wire.SCAN_RECORD.size:
-                raise VmmcTimeoutError("kv: scan stream cut short")
-            key_len, value_len = wire.SCAN_RECORD.unpack(
-                self.proc.peek(self._rbuf, wire.SCAN_RECORD.size))
-            if key_len == wire.SCAN_END:
-                return records
-            got = yield from sock.recv_exactly(self._rbuf, key_len + value_len)
-            if got < key_len + value_len:
-                raise VmmcTimeoutError("kv: truncated scan record")
-            blob = self.proc.peek(self._rbuf, key_len + value_len)
-            records.append((blob[:key_len].decode(), blob[key_len:]))
+        call = None
+        try:
+            call = yield from self._sock_trace(sock)
+            frame = wire.encode_request(wire.OP_SCAN, prefix,
+                                        scan_limit=limit)
+            yield from self.proc.write(self._sbuf, frame)
+            yield from sock.send(self._sbuf, len(frame))
+            records: List[Tuple[str, bytes]] = []
+            while True:
+                got = yield from sock.recv_exactly(self._rbuf,
+                                                   wire.SCAN_RECORD.size)
+                if got < wire.SCAN_RECORD.size:
+                    raise VmmcTimeoutError("kv: scan stream cut short")
+                key_len, value_len = wire.SCAN_RECORD.unpack(
+                    self.proc.peek(self._rbuf, wire.SCAN_RECORD.size))
+                if key_len == wire.SCAN_END:
+                    return records
+                got = yield from sock.recv_exactly(
+                    self._rbuf, key_len + value_len)
+                if got < key_len + value_len:
+                    raise VmmcTimeoutError("kv: truncated scan record")
+                blob = self.proc.peek(self._rbuf, key_len + value_len)
+                records.append((blob[:key_len].decode(), blob[key_len:]))
+        finally:
+            self._sock_span(call, "scan")
 
     def stats(self) -> Dict[str, int]:
         """This client's request counters (mitigation counters included)."""

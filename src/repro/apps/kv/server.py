@@ -118,13 +118,15 @@ class _ShardImpl:
     def put(self, key, value):
         yield from self.proc.compute(apply_cost(len(value)))
         self.store.put(key, bytes(value))
-        self.service.enqueue_replication(self.node_id, key, bytes(value))
+        self.service.enqueue_replication(self.node_id, key, bytes(value),
+                                         trace_ctx=self.proc.trace_ctx)
         return wire.ST_OK
 
     def delete(self, key):
         yield from self.proc.compute(apply_cost(0))
         existed = self.store.delete(key)
-        self.service.enqueue_replication(self.node_id, key, None)
+        self.service.enqueue_replication(self.node_id, key, None,
+                                         trace_ctx=self.proc.trace_ctx)
         return wire.ST_OK if existed else wire.ST_MISS
 
     def stop(self):
@@ -182,6 +184,7 @@ def socket_server_program(service: "KVService", node_id: int):
         buf = proc.space.mmap(4096)
         out = proc.space.mmap(4096)
         served = 0
+        pending_ctx = None
         try:
             while True:
                 got = yield from sock.recv_exactly(buf, wire.REQ_HEADER.size)
@@ -189,6 +192,14 @@ def socket_server_program(service: "KVService", node_id: int):
                     break  # EOF: peer closed without QUIT
                 op, key_len, third = wire.decode_request_header(
                     proc.peek(buf, wire.REQ_HEADER.size))
+                if op == wire.OP_TRACE:
+                    # Self-describing prefix: stash the context for the
+                    # next real request (no response frame).
+                    got = yield from sock.recv_exactly(buf, third)
+                    if got < third:
+                        break
+                    pending_ctx = wire.decode_trace_ctx(proc.peek(buf, third))
+                    continue
                 if op == wire.OP_QUIT:
                     break
                 body = key_len + (third if op == wire.OP_PUT else 0)
@@ -198,46 +209,66 @@ def socket_server_program(service: "KVService", node_id: int):
                         break
                 key = proc.peek(buf, key_len).decode()
                 served += 1
-                if op == wire.OP_GET:
-                    yield from proc.compute(apply_cost(0))
-                    value = store.get(key)
-                    frame = wire.encode_response(
-                        wire.ST_MISS if value is None else wire.ST_OK,
-                        value or b"")
-                    yield from proc.write(out, frame)
-                    yield from sock.send(out, len(frame))
-                elif op == wire.OP_PUT:
-                    value = proc.peek(buf + key_len, third)
-                    yield from proc.compute(apply_cost(len(value)))
-                    store.put(key, value)
-                    service.enqueue_replication(node_id, key, value)
-                    frame = wire.encode_response(wire.ST_OK)
-                    yield from proc.write(out, frame)
-                    yield from sock.send(out, len(frame))
-                elif op == wire.OP_DELETE:
-                    yield from proc.compute(apply_cost(0))
-                    existed = store.delete(key)
-                    service.enqueue_replication(node_id, key, None)
-                    frame = wire.encode_response(
-                        wire.ST_OK if existed else wire.ST_MISS)
-                    yield from proc.write(out, frame)
-                    yield from sock.send(out, len(frame))
-                elif op == wire.OP_SCAN:
-                    yield from proc.compute(apply_cost(0))
-                    records = store.scan(key, third)
-                    for rec_key, rec_value in records:
-                        yield from proc.compute(
-                            apply_cost(len(rec_value)))
-                        frame = wire.encode_scan_record(rec_key, rec_value)
+                span = None
+                if proc.tracer.enabled:
+                    span = proc.tracer.begin(
+                        "kv.serve", "sock op %d" % op,
+                        track=proc.trace_track, data={"op": op})
+                    if span is not None and pending_ctx is not None:
+                        span.data["tid"] = pending_ctx[0]
+                        span.data["xparent"] = pending_ctx[1]
+                prev_ctx = proc.trace_ctx
+                if pending_ctx is not None:
+                    proc.trace_ctx = (pending_ctx[0],
+                                      span.sid if span is not None
+                                      else pending_ctx[1])
+                try:
+                    if op == wire.OP_GET:
+                        yield from proc.compute(apply_cost(0))
+                        value = store.get(key)
+                        frame = wire.encode_response(
+                            wire.ST_MISS if value is None else wire.ST_OK,
+                            value or b"")
                         yield from proc.write(out, frame)
                         yield from sock.send(out, len(frame))
-                    frame = wire.scan_end_record()
-                    yield from proc.write(out, frame)
-                    yield from sock.send(out, len(frame))
-                else:
-                    frame = wire.encode_response(wire.ST_ERROR)
-                    yield from proc.write(out, frame)
-                    yield from sock.send(out, len(frame))
+                    elif op == wire.OP_PUT:
+                        value = proc.peek(buf + key_len, third)
+                        yield from proc.compute(apply_cost(len(value)))
+                        store.put(key, value)
+                        service.enqueue_replication(
+                            node_id, key, value, trace_ctx=proc.trace_ctx)
+                        frame = wire.encode_response(wire.ST_OK)
+                        yield from proc.write(out, frame)
+                        yield from sock.send(out, len(frame))
+                    elif op == wire.OP_DELETE:
+                        yield from proc.compute(apply_cost(0))
+                        existed = store.delete(key)
+                        service.enqueue_replication(
+                            node_id, key, None, trace_ctx=proc.trace_ctx)
+                        frame = wire.encode_response(
+                            wire.ST_OK if existed else wire.ST_MISS)
+                        yield from proc.write(out, frame)
+                        yield from sock.send(out, len(frame))
+                    elif op == wire.OP_SCAN:
+                        yield from proc.compute(apply_cost(0))
+                        records = store.scan(key, third)
+                        for rec_key, rec_value in records:
+                            yield from proc.compute(
+                                apply_cost(len(rec_value)))
+                            frame = wire.encode_scan_record(rec_key, rec_value)
+                            yield from proc.write(out, frame)
+                            yield from sock.send(out, len(frame))
+                        frame = wire.scan_end_record()
+                        yield from proc.write(out, frame)
+                        yield from sock.send(out, len(frame))
+                    else:
+                        frame = wire.encode_response(wire.ST_ERROR)
+                        yield from proc.write(out, frame)
+                        yield from sock.send(out, len(frame))
+                finally:
+                    proc.trace_ctx = prev_ctx
+                    proc.tracer.end(span)
+                    pending_ctx = None
             yield from sock.close()
         except (SocketTimeoutError, VmmcTimeoutError):
             pass  # peer died; the hardened recv bounded the wait
@@ -325,15 +356,22 @@ def _sender_program(service: "KVService", nx, rank: int, done):
                 item = yield queue.get()
                 if item is None:
                     break
-                targets, record = item
+                targets, record, ctx = item
                 yield from nx.proc.write(sbuf, record)
-                for target in targets:
-                    try:
-                        yield from nx.csend(REPL_TYPE, sbuf,
-                                            len(record), to=target)
-                        sent += 1
-                    except (VmmcTimeoutError, VmmcError):
-                        service.repl_send_failures += 1
+                # Adopt the serving span's context around the fan-out so
+                # each csend parents under the request that queued it.
+                prev_ctx = nx.proc.trace_ctx
+                nx.proc.trace_ctx = ctx
+                try:
+                    for target in targets:
+                        try:
+                            yield from nx.csend(REPL_TYPE, sbuf,
+                                                len(record), to=target)
+                            sent += 1
+                        except (VmmcTimeoutError, VmmcError):
+                            service.repl_send_failures += 1
+                finally:
+                    nx.proc.trace_ctx = prev_ctx
             stop = wire.encode_repl_record(wire.REPL_STOP)
             yield from nx.proc.write(sbuf, stop)
             for peer in service.nodes:

@@ -139,18 +139,22 @@ class KVService:
                 variant=self.nx_variant))
 
     def enqueue_replication(self, origin: int, key: str,
-                            value: Optional[bytes]) -> None:
+                            value: Optional[bytes],
+                            trace_ctx=None) -> None:
         """Queue an upsert/delete for fan-out to the other replicas.
 
         Called by whichever server applied a client write — normally
         the primary, but under failover any replica (or even a
         non-replica the client fell back to) accepts the write and
-        fans it out, Dynamo-style sloppy ownership.
+        fans it out, Dynamo-style sloppy ownership.  ``trace_ctx`` is
+        the serving span's (trace_id, sid): the sender process adopts
+        it around the fan-out ``csend`` so the replication messages
+        stay causally linked to the request that triggered them.
         """
         targets = [node for node in self.replicas_for(key) if node != origin]
         if targets and origin in self.repl_queues and len(self.nodes) > 1:
             record = wire.encode_repl_record(wire.REPL_DATA, key, value)
-            self.repl_queues[origin].try_put((targets, record))
+            self.repl_queues[origin].try_put((targets, record, trace_ctx))
 
     def shutdown(self) -> None:
         """Queue the replication shutdown sentinels (host-level).

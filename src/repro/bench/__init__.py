@@ -1,7 +1,15 @@
 """Benchmark harness (system S19 in DESIGN.md): the ping-pong engine,
 per-library drivers, and one harness per figure of the evaluation."""
 
-from .capacity import CapacityPoint, CapacityResult, capacity_sweep, find_knee
+from .capacity import (
+    CapacityPoint,
+    CapacityResult,
+    PairedCapacityResult,
+    capacity_payload,
+    capacity_sweep,
+    find_knee,
+    paired_capacity_sweep,
+)
 from .figures import (
     BANDWIDTH_SIZES,
     LATENCY_SIZES,
@@ -36,11 +44,14 @@ __all__ = [
     "FigureResult",
     "FigureSeries",
     "LATENCY_SIZES",
+    "PairedCapacityResult",
     "PingPongResult",
     "STRATEGIES",
     "SeriesPoint",
     "Strategy",
+    "capacity_payload",
     "capacity_sweep",
+    "paired_capacity_sweep",
     "figure3_raw_vmmc",
     "figure4_nx",
     "figure5_vrpc",

@@ -14,14 +14,15 @@ tested on synthetic data without running a sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from ..workload.spec import WorkloadSpec
 from .report import format_table
 
 __all__ = ["CapacityPoint", "CapacityResult", "PairedCapacityResult",
-           "capacity_sweep", "find_knee", "paired_capacity_sweep"]
+           "capacity_sweep", "find_knee", "paired_capacity_sweep",
+           "capacity_payload"]
 
 
 @dataclass
@@ -33,6 +34,7 @@ class CapacityPoint:
     p50_us: float
     p99_us: float
     errors: int
+    p95_us: float = 0.0      # defaulted last: older call sites omit it
 
 
 @dataclass
@@ -46,14 +48,31 @@ class CapacityResult:
 
     def rows(self) -> List[List[str]]:
         """The sweep as table rows (header first)."""
-        rows = [["offered ops/s", "achieved ops/s", "p50 us", "p99 us",
-                 "p99/p50", "errors"]]
+        rows = [["offered ops/s", "achieved ops/s", "p50 us", "p95 us",
+                 "p99 us", "p99/p50", "errors"]]
         for pt in self.points:
             ratio = pt.p99_us / pt.p50_us if pt.p50_us > 0 else 0.0
             rows.append(["%.0f" % pt.offered_load, "%.0f" % pt.throughput,
-                         "%.2f" % pt.p50_us, "%.2f" % pt.p99_us,
+                         "%.2f" % pt.p50_us, "%.2f" % pt.p95_us,
+                         "%.2f" % pt.p99_us,
                          "%.1f" % ratio, str(pt.errors)])
         return rows
+
+    def to_payload(self) -> dict:
+        """This sweep as a JSON-ready dict (points, knee, labels)."""
+        return {
+            "transport": self.transport,
+            "arrival": self.arrival,
+            "knee_load": self.knee_load,
+            "points": [
+                {"offered_load": pt.offered_load,
+                 "throughput": pt.throughput,
+                 "p50_us": pt.p50_us,
+                 "p95_us": pt.p95_us,
+                 "p99_us": pt.p99_us,
+                 "errors": pt.errors}
+                for pt in self.points],
+        }
 
     def report(self) -> str:
         """Deterministic text: the sweep table and the knee verdict."""
@@ -115,6 +134,7 @@ def capacity_sweep(loads: Sequence[float],
             offered_load=load,
             throughput=rep.throughput_ops_s,
             p50_us=rep.percentile(50.0),
+            p95_us=rep.percentile(95.0),
             p99_us=rep.percentile(99.0),
             errors=rep.errors))
     result.knee_load = find_knee(result.points, tail_factor=tail_factor,
@@ -167,6 +187,15 @@ class PairedCapacityResult:
                          "swept range")
         return "\n".join(lines)
 
+    def to_payload(self) -> dict:
+        """Both sweeps as a JSON-ready dict keyed A/B."""
+        return {
+            "mode": "ab",
+            "label": self.label,
+            "baseline": self.baseline.to_payload(),
+            "mitigated": self.mitigated.to_payload(),
+        }
+
 
 def paired_capacity_sweep(loads: Sequence[float],
                           base_spec: Optional[WorkloadSpec] = None,
@@ -198,3 +227,23 @@ def paired_capacity_sweep(loads: Sequence[float],
                                shortfall=shortfall)
     return PairedCapacityResult(baseline=baseline, mitigated=mitigated,
                                 label=mitigated_spec.mitigation_label())
+
+
+def capacity_payload(result, spec: WorkloadSpec,
+                     loads: Sequence[float]) -> dict:
+    """The machine-readable sweep document (``BENCH_capacity.json``).
+
+    Wraps a :class:`CapacityResult` or :class:`PairedCapacityResult`
+    with the full workload configuration and seed, so a later session
+    (or CI artifact consumer) can reproduce the exact sweep: same spec,
+    same loads, same knee.
+    """
+    payload = {
+        "schema": "repro.bench.capacity/v1",
+        "seed": spec.seed,
+        "loads": sorted(float(x) for x in loads),
+        "config": asdict(spec),
+    }
+    payload.update(result.to_payload())
+    payload.setdefault("mode", "sweep")
+    return payload

@@ -41,6 +41,12 @@ class UserProcess:
         # Cached for the one-attribute-check tracing guard on hot paths.
         self.tracer = node.tracer
         self.trace_track = "n%d.cpu.p%d" % (node.node_id, pid)
+        # The causal trace context this process is currently working
+        # under: ``(trace_id, parent_span_sid)`` or None.  Request
+        # entry points (the KV client, RPC servers mid-dispatch) set
+        # it; transport send paths read it to tag their spans and
+        # stamp wire headers (repro.obs).
+        self.trace_ctx = None
         # Cached likewise so libraries can gate their recovery protocols
         # on faults.enabled with one attribute check (docs/FAULTS.md).
         self.faults = node.faults

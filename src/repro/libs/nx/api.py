@@ -109,6 +109,7 @@ class NXProcess:
         self._posted: List[MsgId] = []
         self._arrival = 0
         self._last_info: Tuple[int, int, int] = (0, -1, -1)  # (count, node, type)
+        self.last_trace_ctx: Optional[Tuple[int, int]] = None  # last consumed msg
         # Zero-copy machinery caches.
         self._export_cache: Dict[int, object] = {}     # region base -> ExportedBuffer
         self._import_cache: Dict[Tuple[int, int], object] = {}
@@ -151,18 +152,32 @@ class NXProcess:
             raise ValueError("message types must be non-negative")
         conn = self.connections[to]
         span = None
+        ctx = self.proc.trace_ctx
         if self.proc.tracer.enabled:
             span = self.proc.tracer.begin(
                 "nx.csend", "csend %dB -> r%d" % (nbytes, to),
                 track=self.proc.trace_track, data={"bytes": nbytes, "type": mtype},
             )
-        yield from self.proc.compute(self.proc.config.costs.nx_send_overhead)
-        if nbytes <= self.payload_bytes and not self.variant.force_zero_copy:
-            yield from conn.send_small(vaddr, nbytes, mtype)
-        else:
-            yield from self._send_large(conn, mtype, vaddr, nbytes)
+            if span is not None and ctx is not None:
+                span.data["tid"] = ctx[0]
+                span.data["cparent"] = ctx[1]
+        if conn.traced and ctx is not None:
+            # The descriptor advertises this csend span as the receive
+            # side's cross-wire parent; retransmissions rewrite the same
+            # image, so a replayed descriptor names the same parent.
+            conn.trace_out = (ctx[0], span.sid if span is not None else ctx[1])
+        try:
+            yield from self.proc.compute(self.proc.config.costs.nx_send_overhead)
+            if nbytes <= self.payload_bytes and not self.variant.force_zero_copy:
+                yield from conn.send_small(vaddr, nbytes, mtype)
+            else:
+                yield from self._send_large(conn, mtype, vaddr, nbytes)
+        finally:
+            conn.trace_out = None
+            # Close the span on fault-raised exits too, or the
+            # span-balance audit flags a leak on every retried send.
+            self.proc.tracer.end(span)
         self.messages_sent += 1
-        self.proc.tracer.end(span)
 
     def crecv(self, typesel: int, vaddr: int, max_bytes: int):
         """Blocking typed receive into ``vaddr``; returns the byte count.
@@ -182,15 +197,26 @@ class NXProcess:
             span = self.proc.tracer.begin(
                 "nx.crecv", "crecv type %d" % typesel, track=self.proc.trace_track,
             )
-        yield from self.proc.compute(self.proc.config.costs.nx_recv_overhead)
-        while True:
-            yield from self._progress()
-            match = self._take_match(typesel, nodesel)
-            if match is not None:
-                size = yield from self._consume(match, vaddr, max_bytes)
-                self.proc.tracer.end(span, data={"bytes": size} if span else None)
-                return size
-            yield from self._wait_any_descriptor()
+        try:
+            yield from self.proc.compute(self.proc.config.costs.nx_recv_overhead)
+            while True:
+                yield from self._progress()
+                match = self._take_match(typesel, nodesel)
+                if match is not None:
+                    size = yield from self._consume(match, vaddr, max_bytes)
+                    if span is not None:
+                        data = {"bytes": size}
+                        if match.tctx is not None:
+                            data["tid"], data["xparent"] = match.tctx
+                        self.proc.tracer.end(span, data=data)
+                    return size
+                yield from self._wait_any_descriptor()
+        finally:
+            # A fault-raised NXTimeoutError exits through here with the
+            # span still open; close it (the success path above already
+            # ended it, which makes this a no-op).
+            if span is not None and span.end is None:
+                self.proc.tracer.end(span)
 
     # ------------------------------------------------------------------
     # Non-blocking operations
@@ -307,10 +333,11 @@ class NXProcess:
                 parsed = yield from conn.scan_descriptor()
                 if parsed is None:
                     break
-                slot, mtype, size, seq = parsed
+                slot, mtype, size, seq, tctx = parsed
                 self._arrival += 1
                 self._pending.append(
-                    PendingMessage(peer, slot, mtype, size, seq, self._arrival)
+                    PendingMessage(peer, slot, mtype, size, seq,
+                                   self._arrival, tctx)
                 )
         # Lazy completion of posted receives, in post order.
         for mid in list(self._posted):
@@ -409,6 +436,7 @@ class NXProcess:
             yield from conn.consume_payload(match.slot, match.size, vaddr)
             size = match.size
         self._last_info = (size, match.peer, match.mtype)
+        self.last_trace_ctx = match.tctx
         self.messages_received += 1
         return size
 

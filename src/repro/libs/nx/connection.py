@@ -44,6 +44,10 @@ __all__ = ["NXVariant", "Connection", "NXTimeoutError", "HEADER_BYTES",
 
 HEADER_BYTES = 12          # in-slot [type][seq][size]
 DESCRIPTOR_BYTES = 16      # ring entry [slot][type][size][seq]; seq is the flag
+TRACE_DESC_EXT = 8         # traced rings widen entries to
+                           # [slot][type][size][tid][psid][seq]; the seq
+                           # stamp stays last, so arrival flagging is
+                           # unchanged (docs/OBSERVABILITY.md)
 SCOUT_SLOT = 0xFFFFFFFF    # descriptor slot index meaning "scout, no payload"
 CHUNK_TYPE = 0xFFFFFFFE    # internal message type for the chunked fallback
 ANY_TYPE = -1
@@ -102,6 +106,7 @@ class PendingMessage:
     size: int
     seq: int
     arrival: int            # global arrival tick for ANY_TYPE fairness
+    tctx: Optional[tuple] = None  # (trace_id, parent_sid) off a traced ring
 
 
 def _u32(*values: int) -> bytes:
@@ -155,6 +160,19 @@ class Connection:
         self.next_complete_seq = 1
         self.next_reply_out_seq = 1
         self.buffer_requests_seen = 0
+
+        # Causal-tracing state: traced connections widen descriptor-ring
+        # entries with [trace_id][parent_sid] words.  Both peers derive
+        # the flag from the machine-wide tracer and the shared slot
+        # count, so the ring layouts always agree; oversized rings that
+        # would overflow into the reply field fall back to untraced
+        # descriptors on both sides.
+        self.traced = proc.tracer.enabled and (
+            (2 * slots + 2) * (DESCRIPTOR_BYTES + TRACE_DESC_EXT)
+            <= _REPLY_OFF - _DESC_RING_OFF)
+        self.desc_bytes = DESCRIPTOR_BYTES + (TRACE_DESC_EXT if self.traced
+                                              else 0)
+        self.trace_out: Optional[tuple] = None  # ctx the next send carries
 
         # Hardened-protocol state (armed fault plan => CRC'd synchronous
         # sends, credit-acks, and control-write replay; docs/FAULTS.md).
@@ -345,7 +363,7 @@ class Connection:
         slot = yield from self.acquire_slot()
         seq = self.next_send_seq
         self.next_send_seq += 1
-        desc = _u32(slot, mtype & 0xFFFFFFFF, size, seq)
+        desc = self._desc_image(slot, mtype, size, seq)
         body = yield from proc.read(user_vaddr, size)    # checksum pass
         crc = crc32_of(desc, bytes(body))
         base_us = _RETRY_BASE_US + _RETRY_PER_BYTE_US * size
@@ -447,7 +465,7 @@ class Connection:
         proc = self.proc
         seq = self.next_send_seq
         self.next_send_seq += 1
-        desc = _u32(SCOUT_SLOT, mtype & 0xFFFFFFFF, size, seq)
+        desc = self._desc_image(SCOUT_SLOT, mtype, size, seq)
         crc = crc32_of(desc)
         for attempt in range(MAX_XMIT):
             self._xmit_out += 1
@@ -469,11 +487,23 @@ class Connection:
             % (self.peer_rank, size, MAX_XMIT)
         )
 
+    def _desc_image(self, slot: int, mtype: int, size: int, seq: int) -> bytes:
+        """The wire image of one descriptor-ring entry.
+
+        Traced rings carry the sender's trace context between size and
+        seq; zeros when the send has none, so a reused ring slot never
+        leaks a previous message's identifiers.
+        """
+        if self.traced:
+            tid, psid = self.trace_out or (0, 0)
+            return _u32(slot, mtype & 0xFFFFFFFF, size, tid, psid, seq)
+        return _u32(slot, mtype & 0xFFFFFFFF, size, seq)
+
     def _write_descriptor(self, slot: int, mtype: int, size: int, seq: int):
         ring_slot = seq % (2 * self.slots + 2)
-        vaddr = self.au_ctrl_out + _DESC_RING_OFF + ring_slot * DESCRIPTOR_BYTES
+        vaddr = self.au_ctrl_out + _DESC_RING_OFF + ring_slot * self.desc_bytes
         yield from self.proc.write(
-            vaddr, _u32(slot, mtype & 0xFFFFFFFF, size, seq)
+            vaddr, self._desc_image(slot, mtype, size, seq)
         )
 
     def poll_reply(self):
@@ -510,12 +540,18 @@ class Connection:
         read only on a hit (the common no-message scan is one load).
         """
         ring_slot = self.next_recv_seq % (2 * self.slots + 2)
-        vaddr = self.ctrl_in + _DESC_RING_OFF + ring_slot * DESCRIPTOR_BYTES
-        stamp = yield from self.proc.read(vaddr + 12, 4)
+        vaddr = self.ctrl_in + _DESC_RING_OFF + ring_slot * self.desc_bytes
+        stamp = yield from self.proc.read(vaddr + self.desc_bytes - 4, 4)
         if stamp != _u32(self.next_recv_seq):
             return None
-        data = yield from self.proc.read(vaddr, DESCRIPTOR_BYTES)
-        slot, mtype, size, seq = struct.unpack("<IIII", data)
+        data = yield from self.proc.read(vaddr, self.desc_bytes)
+        tctx = None
+        if self.traced:
+            slot, mtype, size, tid, psid, seq = struct.unpack("<6I", data)
+            if tid:
+                tctx = (tid, psid)
+        else:
+            slot, mtype, size, seq = struct.unpack("<IIII", data)
         if seq != self.next_recv_seq:
             return None
         if self.hardened:
@@ -527,7 +563,7 @@ class Connection:
                 return None
         self.next_recv_seq += 1
         yield from self.proc.compute(self.proc.config.costs.nx_match_overhead)
-        return slot, mtype, size, seq
+        return slot, mtype, size, seq, tctx
 
     def _validate_arrival(self, desc: bytes, slot: int, size: int, seq: int):
         """Hardened check: descriptor + payload match the sender's CRC."""
@@ -551,7 +587,7 @@ class Connection:
         (what a blocking receive polls)."""
         ring_slot = self.next_recv_seq % (2 * self.slots + 2)
         return (self.ctrl_in + _DESC_RING_OFF
-                + ring_slot * DESCRIPTOR_BYTES + 12)
+                + ring_slot * self.desc_bytes + self.desc_bytes - 4)
 
     def expected_stamp_bytes(self) -> bytes:
         """Encoded stamp the next descriptor must carry."""

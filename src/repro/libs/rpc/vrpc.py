@@ -31,6 +31,8 @@ from .rpclib import (
     RpcReplyHeader,
     SUCCESS,
     SYSTEM_ERR,
+    decode_trace_cred,
+    encode_trace_cred,
 )
 from .stream import STREAM_CTRL_BYTES, VrpcStream
 from .xdr import XdrDecoder, XdrEncoder
@@ -274,39 +276,54 @@ class VrpcServer(_Endpoint):
             yield from self.proc.compute(costs.vrpc_header_process)
             dec = XdrDecoder(raw)
             header = RpcCallHeader.decode(dec)
-            reply_enc = XdrEncoder()
-            if header.prog != self.prog:
-                RpcReplyHeader(header.xid, PROG_UNAVAIL).encode(reply_enc)
-            elif header.vers != self.vers:
-                RpcReplyHeader(header.xid, PROG_MISMATCH,
-                               (self.vers, self.vers)).encode(reply_enc)
-            elif header.proc not in self.procedures:
-                RpcReplyHeader(header.xid, PROC_UNAVAIL).encode(reply_enc)
-            else:
-                procedure = self.procedures[header.proc]
-                args = procedure.decode_args(dec)
+            wire_ctx = decode_trace_cred(header.cred)
+            if span is not None and wire_ctx is not None:
+                span.data = {"tid": wire_ctx[0], "xparent": wire_ctx[1]}
+            prev_ctx = self.proc.trace_ctx
+            if wire_ctx is not None:
+                self.proc.trace_ctx = (
+                    wire_ctx[0],
+                    span.sid if span is not None else wire_ctx[1])
+            try:
+                reply_enc = XdrEncoder()
+                if header.prog != self.prog:
+                    RpcReplyHeader(header.xid, PROG_UNAVAIL).encode(reply_enc)
+                elif header.vers != self.vers:
+                    RpcReplyHeader(header.xid, PROG_MISMATCH,
+                                   (self.vers, self.vers)).encode(reply_enc)
+                elif header.proc not in self.procedures:
+                    RpcReplyHeader(header.xid, PROC_UNAVAIL).encode(reply_enc)
+                else:
+                    procedure = self.procedures[header.proc]
+                    args = procedure.decode_args(dec)
+                    yield from self.proc.compute(
+                        costs.vrpc_xdr_per_byte
+                        * max(0, dec.offset - _CALL_HEADER_BYTES)
+                    )
+                    result = procedure.func(args)
+                    RpcReplyHeader(header.xid, SUCCESS).encode(reply_enc)
+                    procedure.encode_result(reply_enc, result)
+                payload = reply_enc.getvalue()
                 yield from self.proc.compute(
-                    costs.vrpc_xdr_per_byte * max(0, dec.offset - _CALL_HEADER_BYTES)
+                    costs.vrpc_xdr_per_byte
+                    * max(0, len(payload) - _REPLY_HEADER_BYTES)
                 )
-                result = procedure.func(args)
-                RpcReplyHeader(header.xid, SUCCESS).encode(reply_enc)
-                procedure.encode_result(reply_enc, result)
-            payload = reply_enc.getvalue()
-            yield from self.proc.compute(
-                costs.vrpc_xdr_per_byte * max(0, len(payload) - _REPLY_HEADER_BYTES)
-            )
-            if stream.hardened:
-                try:
+                if stream.hardened:
+                    try:
+                        yield from stream.send_message(payload)
+                    except VmmcTransferError:
+                        # A DU abort dropped the reply; the client's
+                        # retransmission will trigger a replay.
+                        pass
+                else:
                     yield from stream.send_message(payload)
-                except VmmcTransferError:
-                    # A DU abort dropped the reply; the client's
-                    # retransmission will trigger a replay.
-                    pass
-            else:
-                yield from stream.send_message(payload)
+            finally:
+                self.proc.trace_ctx = prev_ctx
+                # Close here, not after: a fault-raised timeout in the
+                # reply send must not leak the serve span.
+                self.proc.tracer.end(span)
             self.calls_served += 1
             served += 1
-            self.proc.tracer.end(span)
 
 
 class VrpcClient(_Endpoint):
@@ -371,41 +388,60 @@ class VrpcClient(_Endpoint):
         """clnt_call: synchronous remote procedure call."""
         costs = self.proc.config.costs
         span = None
+        cred = b""
         if self.proc.tracer.enabled:
+            ctx = self.proc.trace_ctx
+            data = {"proc": proc_num}
+            if ctx is not None:
+                data["tid"] = ctx[0]
+                data["cparent"] = ctx[1]
             span = self.proc.tracer.begin(
                 "vrpc.call", "call proc %d" % proc_num,
-                track=self.proc.trace_track, data={"proc": proc_num},
+                track=self.proc.trace_track, data=data,
             )
-        yield from self.proc.compute(costs.vrpc_call_prep)
-        enc = XdrEncoder()
-        header = RpcCallHeader(xid=next(_xids), prog=self.prog,
-                               vers=self.vers, proc=proc_num)
-        header.encode(enc)
-        encode_args(enc, args)
-        payload = enc.getvalue()
-        yield from self.proc.compute(
-            costs.vrpc_xdr_per_byte * max(0, len(payload) - _CALL_HEADER_BYTES)
-        )
-        if self.stream.hardened:
-            raw = yield from self._exchange_hardened(payload, header.xid)
-        else:
-            yield from self.stream.send_message(payload)
-            raw = yield from self.stream.recv_message()
-        yield from self.proc.compute(costs.vrpc_return_cost)
-        dec = XdrDecoder(raw)
-        reply = RpcReplyHeader.decode(dec)
-        if reply.xid != header.xid:
-            raise RpcFault(SUCCESS, "xid mismatch: got %#x want %#x"
-                           % (reply.xid, header.xid))
-        if reply.accept_status != SUCCESS:
-            raise RpcFault(reply.accept_status,
-                           "call not executed (status %d)" % reply.accept_status)
-        result = decode_result(dec)
-        yield from self.proc.compute(
-            costs.vrpc_xdr_per_byte * max(0, dec.offset - _REPLY_HEADER_BYTES)
-        )
-        self.calls_made += 1
-        self.proc.tracer.end(span)
+            if ctx is not None:
+                # The call span's own sid becomes the wire parent, so
+                # the serve span on the other node links under *this*
+                # call; a hardened resend carries identical bytes and
+                # the replay path never re-serves, so no double-count.
+                cred = encode_trace_cred(
+                    ctx[0], span.sid if span is not None else ctx[1])
+        try:
+            yield from self.proc.compute(costs.vrpc_call_prep)
+            enc = XdrEncoder()
+            header = RpcCallHeader(xid=next(_xids), prog=self.prog,
+                                   vers=self.vers, proc=proc_num, cred=cred)
+            header.encode(enc)
+            encode_args(enc, args)
+            payload = enc.getvalue()
+            yield from self.proc.compute(
+                costs.vrpc_xdr_per_byte
+                * max(0, len(payload) - _CALL_HEADER_BYTES)
+            )
+            if self.stream.hardened:
+                raw = yield from self._exchange_hardened(payload, header.xid)
+            else:
+                yield from self.stream.send_message(payload)
+                raw = yield from self.stream.recv_message()
+            yield from self.proc.compute(costs.vrpc_return_cost)
+            dec = XdrDecoder(raw)
+            reply = RpcReplyHeader.decode(dec)
+            if reply.xid != header.xid:
+                raise RpcFault(SUCCESS, "xid mismatch: got %#x want %#x"
+                               % (reply.xid, header.xid))
+            if reply.accept_status != SUCCESS:
+                raise RpcFault(reply.accept_status,
+                               "call not executed (status %d)"
+                               % reply.accept_status)
+            result = decode_result(dec)
+            yield from self.proc.compute(
+                costs.vrpc_xdr_per_byte
+                * max(0, dec.offset - _REPLY_HEADER_BYTES)
+            )
+            self.calls_made += 1
+        finally:
+            # finally: RpcTimeout/RpcFault exits must close the span.
+            self.proc.tracer.end(span)
         return result
 
 

@@ -66,6 +66,21 @@ _SRPC_FLUSH_TIMER = 0.10
 # [call_xmit][call_crc][ret_xmit][ret_crc] — and both sides retransmit
 # full buffer images until the peer's CRC check passes.
 _HARDENED_EXT_BYTES = 16
+
+# Causal-tracing extension (docs/OBSERVABILITY.md "Causal traces").
+# When the machine-wide tracer is enabled at binding construction, each
+# frame grows two words — [trace_id][parent_sid] — written by the
+# client before the call word so the server can link its serve span to
+# the client's call span.  Tracing off keeps the layout byte-identical.
+_TRACE_EXT_BYTES = 8
+_TRACE_EXT = struct.Struct("<II")
+
+
+def _tag_span(span, ctx, cross: bool = False) -> None:
+    """Link an open span under trace context ``ctx`` (no-ops on None)."""
+    if span is not None and ctx is not None and isinstance(span.data, dict):
+        span.data["tid"] = ctx[0]
+        span.data["xparent" if cross else "cparent"] = ctx[1]
 _RETRY_BASE_US = 400.0
 _RETRY_PER_BYTE_US = 0.1
 _SERVE_IDLE_US = 1_000_000.0
@@ -184,7 +199,13 @@ class _SrpcEndpointBase:
         # plan, so the layouts always agree.
         self.hardened = proc.faults.enabled
         self.hx_off = self.return_word_off + 4
-        tail = self.hx_off + (_HARDENED_EXT_BYTES if self.hardened else 0)
+        # Traced bindings likewise reserve the [trace_id][parent_sid]
+        # words past the hardened extension; the flag comes from the
+        # machine-wide tracer, so both sides agree here too.
+        self.traced = proc.tracer.enabled
+        self.tx_off = self.hx_off + (_HARDENED_EXT_BYTES if self.hardened
+                                     else 0)
+        tail = self.tx_off + (_TRACE_EXT_BYTES if self.traced else 0)
         self.window = window
         self.frame_stride = tail
         page = proc.config.page_size
@@ -220,6 +241,19 @@ class _SrpcEndpointBase:
     def _write(self, offset: int, data: bytes):
         yield from self.proc.write(self.buf + self._active_base + offset, data)
 
+    def _trace_words(self, ctx, psid: int = 0) -> bytes:
+        """Wire image of one frame's trace words (b"" when untraced).
+
+        Zeros are written when the caller has no trace context so a
+        frame reused across requests never leaks the previous call's
+        identifiers to the server.
+        """
+        if not self.traced:
+            return b""
+        if ctx is None:
+            return _TRACE_EXT.pack(0, 0)
+        return _TRACE_EXT.pack(ctx[0], psid if psid else ctx[1])
+
 
 class SrpcTicket:
     """One in-flight pipelined call, matched to its reply by sequence.
@@ -230,7 +264,7 @@ class SrpcTicket:
     """
 
     __slots__ = ("seq", "proc_id", "frame", "ret_bytes", "out_reads",
-                 "start_us", "raw", "bad", "done")
+                 "start_us", "raw", "bad", "done", "trace_sid", "trace_ctx")
 
     def __init__(self, seq: int, proc_id: int, frame: int,
                  ret_bytes: int, out_reads, start_us: float):
@@ -243,6 +277,11 @@ class SrpcTicket:
         self.raw: Optional[List[bytes]] = None
         self.bad = False
         self.done = False
+        # Pre-reserved call-span sid and the caller's trace context,
+        # captured at submit so the span completed at harvest links into
+        # the same causal tree the wire advertised.
+        self.trace_sid: Optional[int] = None
+        self.trace_ctx = None
 
 
 class SrpcClientBase(_SrpcEndpointBase):
@@ -290,20 +329,23 @@ class SrpcClientBase(_SrpcEndpointBase):
             raise SrpcError("bind failed: %s" % reply.error)
         yield from self._bind_to_peer(reply.server_node, reply.buffer_export)
 
-    def _transmit_call(self, call_word: bytes):
+    def _transmit_call(self, call_word: bytes, trace_words: bytes = b""):
         """One hardened transmission: the full args image, the call word
         and the [xmit][crc] stamp.  Idempotent — the retry loop replays
         it until the server's CRC check accepts the call."""
         args_img = yield from self._read(0, self.call_word_off)
-        crc = crc32_of(args_img, call_word)
+        crc = crc32_of(args_img, call_word, trace_words)
         self._call_xmit = (self._call_xmit + 1) & 0xFFFFFFFF
         # Stamp last: the server treats a stamp bump whose CRC matches
         # the already-present call image as the trigger, so the image
         # must land first.
         yield from self._write(0, args_img + call_word)
+        if trace_words:
+            yield from self._write(self.tx_off, trace_words)
         yield from self._write(self.hx_off, struct.pack("<II", self._call_xmit, crc))
 
-    def _exchange_hardened(self, call_word, writes, expected_ok, expected_bad):
+    def _exchange_hardened(self, call_word, writes, expected_ok, expected_bad,
+                           trace_words: bytes = b""):
         """Retransmit the call until a CRC-valid reply lands; returns
         (return word, args image, ret image) or raises SrpcTimeoutError.
 
@@ -320,7 +362,7 @@ class SrpcClientBase(_SrpcEndpointBase):
         window_len = self.hx_off + _HARDENED_EXT_BYTES - window_off
         xm_lo = self.hx_off + 8 - window_off
         for attempt in range(MAX_XMIT):
-            yield from self._transmit_call(call_word)
+            yield from self._transmit_call(call_word, trace_words)
             deadline = proc.sim.now + attempt_timeout_us(base_us, attempt)
             while True:
                 remaining = deadline - proc.sim.now
@@ -383,62 +425,75 @@ class SrpcClientBase(_SrpcEndpointBase):
                 "srpc.call", "call proc %d" % proc_id, track=proc.trace_track,
                 data={"proc": proc_id},
             )
-        yield from proc.compute(proc.config.costs.srpc_client_stub)
-        self._seq = (self._seq % 0xFFFF) + 1
-        call_word = struct.pack("<I", (self._seq << 16) | proc_id)
-        expected_ok = struct.pack("<I", (self._seq << 16) | _STATUS_OK)
-        expected_bad = struct.pack("<I", (self._seq << 16) | _STATUS_NO_PROC)
-        if self.hardened:
-            result, args_img, ret_img = yield from self._exchange_hardened(
-                call_word, writes, expected_ok, expected_bad
+            _tag_span(span, proc.trace_ctx)
+        trace_words = self._trace_words(
+            proc.trace_ctx, span.sid if span is not None else 0)
+        try:
+            yield from proc.compute(proc.config.costs.srpc_client_stub)
+            self._seq = (self._seq % 0xFFFF) + 1
+            call_word = struct.pack("<I", (self._seq << 16) | proc_id)
+            expected_ok = struct.pack("<I", (self._seq << 16) | _STATUS_OK)
+            expected_bad = struct.pack(
+                "<I", (self._seq << 16) | _STATUS_NO_PROC)
+            if self.hardened:
+                result, args_img, ret_img = yield from self._exchange_hardened(
+                    call_word, writes, expected_ok, expected_bad, trace_words
+                )
+                if result == expected_bad:
+                    raise SrpcError("server has no procedure %d" % proc_id)
+                # Everything was read (and CRC-validated) as full images;
+                # slice the slots out instead of re-reading them.
+                out = []
+                if ret_bytes:
+                    out.append(ret_img[:ret_bytes])
+                for offset, nbytes, variable in out_reads:
+                    raw = args_img[offset : offset + nbytes]
+                    if variable:
+                        (length,) = struct.unpack_from("<I", raw)
+                        length = min(length, nbytes - 4)
+                        raw = raw[: 4 + length]
+                    out.append(raw)
+                self.calls_made += 1
+                return out
+            if trace_words:
+                # The trace words sit past the call word, so they cannot
+                # join the coalesced stream — they must land before the
+                # call word wakes the server's poll.
+                yield from self._write(self.tx_off, trace_words)
+            for offset, data in _coalesce(writes
+                                          + [(self.call_word_off, call_word)]):
+                yield from self._write(offset, data)
+            result = yield from proc.poll(
+                self.buf + self.return_word_off, 4,
+                lambda b: b in (expected_ok, expected_bad),
             )
             if result == expected_bad:
                 raise SrpcError("server has no procedure %d" % proc_id)
-            # Everything was read (and CRC-validated) as full images;
-            # slice the slots out instead of re-reading them.
             out = []
             if ret_bytes:
-                out.append(ret_img[:ret_bytes])
+                data = yield from self._read(self.ret_off, ret_bytes)
+                out.append(data)
             for offset, nbytes, variable in out_reads:
-                raw = args_img[offset : offset + nbytes]
                 if variable:
-                    (length,) = struct.unpack_from("<I", raw)
+                    # Bounded-variable slot: read the length word, then only
+                    # the bytes actually present (an empty INOUT costs one
+                    # word, not the whole bound).
+                    lraw = yield from self._read(offset, 4)
+                    (length,) = struct.unpack("<I", lraw)
                     length = min(length, nbytes - 4)
-                    raw = raw[: 4 + length]
-                out.append(raw)
+                    data = lraw
+                    if length:
+                        rest = yield from self._read(offset + 4, length)
+                        data += rest
+                else:
+                    data = yield from self._read(offset, nbytes)
+                out.append(data)
             self.calls_made += 1
-            proc.tracer.end(span)
             return out
-        for offset, data in _coalesce(writes + [(self.call_word_off, call_word)]):
-            yield from self._write(offset, data)
-        result = yield from proc.poll(
-            self.buf + self.return_word_off, 4,
-            lambda b: b in (expected_ok, expected_bad),
-        )
-        if result == expected_bad:
-            raise SrpcError("server has no procedure %d" % proc_id)
-        out = []
-        if ret_bytes:
-            data = yield from self._read(self.ret_off, ret_bytes)
-            out.append(data)
-        for offset, nbytes, variable in out_reads:
-            if variable:
-                # Bounded-variable slot: read the length word, then only
-                # the bytes actually present (an empty INOUT costs one
-                # word, not the whole bound).
-                lraw = yield from self._read(offset, 4)
-                (length,) = struct.unpack("<I", lraw)
-                length = min(length, nbytes - 4)
-                data = lraw
-                if length:
-                    rest = yield from self._read(offset + 4, length)
-                    data += rest
-            else:
-                data = yield from self._read(offset, nbytes)
-            out.append(data)
-        self.calls_made += 1
-        proc.tracer.end(span)
-        return out
+        finally:
+            # finally: fault-raised timeouts and SrpcError exits must
+            # not leak the call span (span-balance audit).
+            proc.tracer.end(span)
 
     # -- pipelined (windowed) call machinery --------------------------------
     def _submit(self, proc_id: int, writes: List[Tuple[int, bytes]],
@@ -462,14 +517,23 @@ class SrpcClientBase(_SrpcEndpointBase):
         call_word = struct.pack("<I", (seq << 16) | proc_id)
         ticket = SrpcTicket(seq, proc_id, frame, ret_bytes, out_reads,
                             proc.sim.now)
+        if proc.tracer.enabled:
+            # The call span is completed at harvest time, but its sid
+            # must ride the wire now — reserve it up front.
+            ticket.trace_ctx = proc.trace_ctx
+            ticket.trace_sid = proc.tracer.reserve_sid()
+        trace_words = self._trace_words(ticket.trace_ctx,
+                                        ticket.trace_sid or 0)
         prev_base = self._active_base
         self._active_base = frame * self.frame_stride
         try:
             if self.hardened:
                 for offset, data in _coalesce(writes):
                     yield from self._write(offset, data)
-                yield from self._transmit_frame(frame, call_word)
+                yield from self._transmit_frame(frame, call_word, trace_words)
             else:
+                if trace_words:
+                    yield from self._write(self.tx_off, trace_words)
                 for offset, data in _coalesce(
                         writes + [(self.call_word_off, call_word)]):
                     yield from self._write(offset, data)
@@ -483,15 +547,18 @@ class SrpcClientBase(_SrpcEndpointBase):
         self._depth_total += depth
         return ticket
 
-    def _transmit_frame(self, frame: int, call_word: bytes):
+    def _transmit_frame(self, frame: int, call_word: bytes,
+                        trace_words: bytes = b""):
         """One hardened transmission of a frame's call image.  The
         caller must have ``_active_base`` set to the frame; per-frame
         xmit counters keep concurrent calls' replays distinguishable."""
         args_img = yield from self._read(0, self.call_word_off)
-        crc = crc32_of(args_img, call_word)
+        crc = crc32_of(args_img, call_word, trace_words)
         xmit = (self._call_xmits.get(frame, 0) + 1) & 0xFFFFFFFF
         self._call_xmits[frame] = xmit
         yield from self._write(0, args_img + call_word)
+        if trace_words:
+            yield from self._write(self.tx_off, trace_words)
         yield from self._write(self.hx_off, struct.pack("<II", xmit, crc))
 
     def _harvest(self, ticket: SrpcTicket):
@@ -509,7 +576,9 @@ class SrpcClientBase(_SrpcEndpointBase):
             if self.hardened:
                 call_word = struct.pack("<I", (seq << 16) | ticket.proc_id)
                 result, args_img, ret_img = yield from self._retry_frame(
-                    ticket, call_word, expected_ok, expected_bad)
+                    ticket, call_word, expected_ok, expected_bad,
+                    self._trace_words(ticket.trace_ctx,
+                                      ticket.trace_sid or 0))
                 out = []
                 if ticket.ret_bytes:
                     out.append(ret_img[: ticket.ret_bytes])
@@ -551,13 +620,18 @@ class SrpcClientBase(_SrpcEndpointBase):
             del self._frames[ticket.frame]
         self.calls_made += 1
         if proc.tracer.enabled:
+            data = {"proc": ticket.proc_id, "seq": seq}
+            if ticket.trace_ctx is not None:
+                data["tid"] = ticket.trace_ctx[0]
+                data["cparent"] = ticket.trace_ctx[1]
             proc.tracer.complete(
                 "srpc.call", "call proc %d" % ticket.proc_id,
                 ticket.start_us, track=proc.trace_track,
-                data={"proc": ticket.proc_id, "seq": seq},
+                data=data, sid=ticket.trace_sid,
             )
 
-    def _retry_frame(self, ticket, call_word, expected_ok, expected_bad):
+    def _retry_frame(self, ticket, call_word, expected_ok, expected_bad,
+                     trace_words: bytes = b""):
         """Hardened harvest: wait for a CRC-valid reply in the ticket's
         frame, retransmitting its call image on timeout.  The submit
         itself counts as the first transmission, so attempt 0 only
@@ -571,7 +645,8 @@ class SrpcClientBase(_SrpcEndpointBase):
         xm_lo = self.hx_off + 8 - window_off
         for attempt in range(MAX_XMIT):
             if attempt:
-                yield from self._transmit_frame(ticket.frame, call_word)
+                yield from self._transmit_frame(ticket.frame, call_word,
+                                                trace_words)
             deadline = proc.sim.now + attempt_timeout_us(base_us, attempt)
             while True:
                 remaining = deadline - proc.sim.now
@@ -738,34 +813,52 @@ class SrpcServerBase(_SrpcEndpointBase):
                 word = struct.unpack("<I", raw)[0]
             seq, proc_id = word >> 16, word & 0xFFFF
             self._last_seq = seq
+            wire_ctx = None
+            if self.traced:
+                tw = yield from self._read(self.tx_off, _TRACE_EXT_BYTES)
+                tid, psid = _TRACE_EXT.unpack(tw)
+                if tid:
+                    wire_ctx = (tid, psid)
             span = None
             if proc.tracer.enabled:
                 span = proc.tracer.begin(
                     "srpc.serve", "serve proc %d" % proc_id,
                     track=proc.trace_track, data={"proc": proc_id},
                 )
+                _tag_span(span, wire_ctx, cross=True)
             self._reply_log = []
-            yield from proc.compute(proc.config.costs.srpc_server_dispatch)
-            dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
-            status = _STATUS_OK
-            ret_data = b""
-            if dispatcher is None:
-                status = _STATUS_NO_PROC
-            else:
-                ret_data = (yield from dispatcher()) or b""
-            # Return value + return word as one coalesced stream: when
-            # the value fills the result area they leave as one packet.
-            return_word = struct.pack("<I", (seq << 16) | status)
-            writes = [(self.return_word_off, return_word)]
-            if ret_data:
-                writes.insert(0, (self.ret_off, ret_data))
-            for offset, data in _coalesce(writes):
-                yield from self._write(offset, data)
-            if self.hardened:
-                yield from self._stamp_reply(return_word)
+            prev_ctx = proc.trace_ctx
+            if wire_ctx is not None:
+                # Downstream work the dispatcher starts (replication,
+                # nested calls) parents under this serve span.
+                proc.trace_ctx = (wire_ctx[0], span.sid if span is not None
+                                  else wire_ctx[1])
+            try:
+                yield from proc.compute(proc.config.costs.srpc_server_dispatch)
+                dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
+                status = _STATUS_OK
+                ret_data = b""
+                if dispatcher is None:
+                    status = _STATUS_NO_PROC
+                else:
+                    ret_data = (yield from dispatcher()) or b""
+                # Return value + return word as one coalesced stream: when
+                # the value fills the result area they leave as one packet.
+                return_word = struct.pack("<I", (seq << 16) | status)
+                writes = [(self.return_word_off, return_word)]
+                if ret_data:
+                    writes.insert(0, (self.ret_off, ret_data))
+                for offset, data in _coalesce(writes):
+                    yield from self._write(offset, data)
+                if self.hardened:
+                    yield from self._stamp_reply(return_word)
+            finally:
+                proc.trace_ctx = prev_ctx
+                # finally: a fault-raised timeout mid-dispatch must not
+                # leak the serve span (span-balance audit).
+                proc.tracer.end(span)
             self.calls_served += 1
             served += 1
-            proc.tracer.end(span)
 
     def _run_windowed(self, max_calls: Optional[int] = None):
         """The pipelined server loop: serve strictly in sequence order.
@@ -790,6 +883,13 @@ class SrpcServerBase(_SrpcEndpointBase):
                 word = struct.unpack("<I", raw)[0]
             seq, proc_id = word >> 16, word & 0xFFFF
             self._last_seq = seq
+            wire_ctx = None
+            if self.traced:
+                tw = yield from self._read(base + self.tx_off,
+                                           _TRACE_EXT_BYTES)
+                tid, psid = _TRACE_EXT.unpack(tw)
+                if tid:
+                    wire_ctx = (tid, psid)
             span = None
             if proc.tracer.enabled:
                 span = proc.tracer.begin(
@@ -797,7 +897,12 @@ class SrpcServerBase(_SrpcEndpointBase):
                     track=proc.trace_track,
                     data={"proc": proc_id, "seq": seq},
                 )
+                _tag_span(span, wire_ctx, cross=True)
             self._reply_log = []
+            prev_ctx = proc.trace_ctx
+            if wire_ctx is not None:
+                proc.trace_ctx = (wire_ctx[0], span.sid if span is not None
+                                  else wire_ctx[1])
             self._active_base = base
             try:
                 yield from proc.compute(
@@ -819,13 +924,16 @@ class SrpcServerBase(_SrpcEndpointBase):
                     yield from self._stamp_frame(frame, return_word)
             finally:
                 self._active_base = 0
+                proc.trace_ctx = prev_ctx
+                # finally: a fault-raised timeout mid-dispatch must not
+                # leak the serve span (span-balance audit).
+                proc.tracer.end(span)
             self._frame_seqs[frame] = seq
             self._reply_logs[frame] = self._reply_log
             self._reply_log = []
             self._next_seq = (expected % 0xFFFF) + 1
             self.calls_served += 1
             served += 1
-            proc.tracer.end(span)
 
     def _await_call_windowed(self, expected: int, frame: int, base: int):
         """Hardened windowed wait for a CRC-valid call with sequence
@@ -880,7 +988,11 @@ class SrpcServerBase(_SrpcEndpointBase):
                 if call_xmit == self._call_xmit_seen_f.get(f):
                     continue
                 args_img = yield from self._read(fb, call_off)
-                if crc32_of(args_img, raw) != call_crc:
+                tw = b""
+                if self.traced:
+                    tw = yield from self._read(fb + self.tx_off,
+                                               _TRACE_EXT_BYTES)
+                if crc32_of(args_img, raw, tw) != call_crc:
                     continue  # a new call's stamp racing its image
                 if not self._reply_logs.get(f):
                     continue
@@ -895,7 +1007,11 @@ class SrpcServerBase(_SrpcEndpointBase):
             hx = yield from self._read(fb + self.hx_off, 8)
             call_xmit, call_crc = struct.unpack("<II", hx)
             args_img = yield from self._read(fb, call_off)
-            if crc32_of(args_img, raw) != call_crc:
+            tw = b""
+            if self.traced:
+                tw = yield from self._read(fb + self.tx_off,
+                                           _TRACE_EXT_BYTES)
+            if crc32_of(args_img, raw, tw) != call_crc:
                 continue  # corrupt arguments: await the retransmission
             self._call_xmit_seen_f[frame] = call_xmit
             return word
@@ -960,7 +1076,10 @@ class SrpcServerBase(_SrpcEndpointBase):
             call_xmit, call_crc = struct.unpack("<II", hx)
             seq = word >> 16
             args_img = yield from self._read(0, self.call_word_off)
-            consistent = crc32_of(args_img, raw) == call_crc
+            tw = b""
+            if self.traced:
+                tw = yield from self._read(self.tx_off, _TRACE_EXT_BYTES)
+            consistent = crc32_of(args_img, raw, tw) == call_crc
             if seq == self._last_seq or word == 0:
                 # A consistent image with the seq we already served is a
                 # genuine retransmission: the client never saw the reply

@@ -302,23 +302,26 @@ class ShrimpSocket:
                 "sock.send", "send %dB" % nbytes, track=self.proc.trace_track,
                 data={"bytes": nbytes},
             )
-        yield from self.proc.compute(costs.socket_send_overhead)
-        sent = 0
-        max_record = self.out_ring.capacity // 4
-        while sent < nbytes:
-            yield from self._refresh_consumed()
-            fit = self.out_ring.max_payload_fitting()
-            if fit <= 0:
-                yield from self._wait_for_space()
-                continue
-            chunk = min(nbytes - sent, fit, max_record)
-            if self.hardened:
-                yield from self._send_record_hardened(vaddr + sent, chunk)
-            else:
-                yield from self._send_record(vaddr + sent, chunk)
-            sent += chunk
-        self.bytes_sent += nbytes
-        self.proc.tracer.end(span)
+        try:
+            yield from self.proc.compute(costs.socket_send_overhead)
+            sent = 0
+            max_record = self.out_ring.capacity // 4
+            while sent < nbytes:
+                yield from self._refresh_consumed()
+                fit = self.out_ring.max_payload_fitting()
+                if fit <= 0:
+                    yield from self._wait_for_space()
+                    continue
+                chunk = min(nbytes - sent, fit, max_record)
+                if self.hardened:
+                    yield from self._send_record_hardened(vaddr + sent, chunk)
+                else:
+                    yield from self._send_record(vaddr + sent, chunk)
+                sent += chunk
+            self.bytes_sent += nbytes
+        finally:
+            # finally: fault-raised timeouts must not leak an open span.
+            self.proc.tracer.end(span)
         return nbytes
 
     def _send_record(self, vaddr: int, payload: int):
@@ -474,21 +477,29 @@ class ShrimpSocket:
                 "sock.recv", "recv up to %dB" % max_bytes,
                 track=self.proc.trace_track,
             )
-        yield from self.proc.compute(costs.socket_recv_overhead)
-        while True:
-            yield from self._refresh_produced()
-            if self.in_ring.used > 0:
-                break
-            if self._fin_seen:
-                self.proc.tracer.end(span, data={"bytes": 0} if span else None)
-                return 0
-            yield from self._wait_for_data()
-        got = 0
-        while got < max_bytes and self.in_ring.used > 0:
-            got += yield from self._read_from_current_record(vaddr + got, max_bytes - got)
-        self.bytes_received += got
-        self.proc.tracer.end(span, data={"bytes": got} if span else None)
-        return got
+        try:
+            yield from self.proc.compute(costs.socket_recv_overhead)
+            while True:
+                yield from self._refresh_produced()
+                if self.in_ring.used > 0:
+                    break
+                if self._fin_seen:
+                    self.proc.tracer.end(span,
+                                         data={"bytes": 0} if span else None)
+                    return 0
+                yield from self._wait_for_data()
+            got = 0
+            while got < max_bytes and self.in_ring.used > 0:
+                got += yield from self._read_from_current_record(
+                    vaddr + got, max_bytes - got)
+            self.bytes_received += got
+            self.proc.tracer.end(span, data={"bytes": got} if span else None)
+            return got
+        finally:
+            # Fault-raised timeouts exit with the span still open; the
+            # success paths above already closed it (no-op then).
+            if span is not None and span.end is None:
+                self.proc.tracer.end(span)
 
     def bytes_available(self):
         """Timed check: payload bytes readable right now without blocking.

@@ -1,0 +1,31 @@
+"""repro.obs — causal tracing, time-series telemetry, SLO monitoring.
+
+Layered on :mod:`repro.sim.trace`: the transports tag their spans with
+trace contexts (:mod:`~repro.obs.context`) carried in their wire
+formats, :mod:`~repro.obs.assemble` reconstructs cross-node causal
+trees with critical paths and stage budgets, and
+:mod:`~repro.obs.timeseries`/:mod:`~repro.obs.slo` watch the system's
+health over time.  See docs/OBSERVABILITY.md "Causal traces & SLOs".
+"""
+
+from .assemble import (
+    ExplainResult,
+    PathSegment,
+    STAGE_ORDER,
+    TraceTree,
+    assemble_traces,
+    audit,
+    explain_trace,
+    format_tree,
+)
+from .context import TRACE_EXT, TRACE_EXT_BYTES, pack_ctx, span_tags, unpack_ctx
+from .slo import FlightRecorder, SloAlert, SloMonitor, SloObjective
+from .timeseries import RingBuffer, TelemetrySampler, WindowedLatency, WindowSample
+
+__all__ = [
+    "TRACE_EXT", "TRACE_EXT_BYTES", "pack_ctx", "unpack_ctx", "span_tags",
+    "TraceTree", "PathSegment", "ExplainResult", "STAGE_ORDER",
+    "assemble_traces", "audit", "explain_trace", "format_tree",
+    "RingBuffer", "WindowedLatency", "WindowSample", "TelemetrySampler",
+    "SloObjective", "SloAlert", "SloMonitor", "FlightRecorder",
+]

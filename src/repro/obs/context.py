@@ -1,0 +1,63 @@
+"""Causal trace context: the two words every transport carries.
+
+A *trace context* is ``(trace_id, parent_sid)``:
+
+* ``trace_id`` — allocated by :meth:`repro.sim.trace.Tracer.new_trace_id`
+  once per top-level request (one ``kv.client`` operation, one VRPC
+  call from outside a request, ...).  Every span belonging to the
+  request's causal tree carries it in its data under ``"tid"``.
+* ``parent_sid`` — the span id of the causal parent.  Within one
+  process the link is recorded as ``"cparent"`` (set from
+  ``proc.trace_ctx`` at span creation); across a wire hop the receiver
+  records the *sender-side* span id as ``"xparent"`` (read from the
+  frame header / message envelope / cred bytes).
+
+The root span of a tree is the one tagged with a ``tid`` but neither
+parent key.  :mod:`repro.obs.assemble` reconstructs trees from these
+three keys plus the tracer's ordinary same-track ``parent`` links.
+
+Wire format: both words travel as :data:`TRACE_EXT` — two little-endian
+uint32s, ``(trace_id, parent_sid)`` — appended to a frame only when the
+machine-wide tracer was enabled at endpoint construction, so telemetry
+off means byte-identical wires (the zero-regression contract).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+__all__ = ["TRACE_EXT", "TRACE_EXT_BYTES", "pack_ctx", "unpack_ctx",
+           "span_tags"]
+
+#: The on-wire trace context: ``<II`` = (trace_id, parent_sid).
+TRACE_EXT = struct.Struct("<II")
+TRACE_EXT_BYTES = TRACE_EXT.size
+
+
+def pack_ctx(ctx: Optional[Tuple[int, int]]) -> bytes:
+    """``ctx`` as wire bytes; ``None`` packs as zeros (= no context)."""
+    if ctx is None:
+        return TRACE_EXT.pack(0, 0)
+    return TRACE_EXT.pack(ctx[0] & 0xFFFFFFFF, ctx[1] & 0xFFFFFFFF)
+
+
+def unpack_ctx(blob: bytes) -> Optional[Tuple[int, int]]:
+    """Wire bytes back to a context; the all-zero encoding is ``None``."""
+    tid, psid = TRACE_EXT.unpack(blob[:TRACE_EXT_BYTES])
+    if tid == 0:
+        return None
+    return (tid, psid)
+
+
+def span_tags(ctx: Optional[Tuple[int, int]], cross: bool = False) -> Optional[dict]:
+    """The span-data dict linking a span under ``ctx``, or None.
+
+    ``cross=True`` records the parent as an ``xparent`` (the parent
+    span lives across a wire hop); otherwise ``cparent`` (same
+    process).
+    """
+    if ctx is None:
+        return None
+    tid, psid = ctx
+    return {"tid": tid, ("xparent" if cross else "cparent"): psid}

@@ -1,0 +1,202 @@
+"""SLO objectives, burn-rate alerting, and the flight recorder.
+
+An :class:`SloMonitor` watches the sampler's window stream against two
+kinds of objectives:
+
+* **latency** — the fraction of requests slower than the objective's
+  threshold must stay under the error budget;
+* **error rate** — the fraction of requests that failed must stay
+  under the error budget.
+
+Alerting uses the standard two-window burn-rate rule: an alert fires
+when the budget is being consumed at more than ``burn_factor`` times
+the sustainable rate over *both* a short and a long window — the short
+window makes the alert fast, the long window keeps a single bad sample
+from paging.  Everything is driven by simulated time and the
+deterministic sample stream, so the same seed produces the same
+alerts.
+
+The :class:`FlightRecorder` keeps nothing during normal operation; on
+``capture`` (an SLO breach, a ``VmmcTimeoutError`` surfacing as a
+request error) it snapshots the last N spans and telemetry samples
+into a bounded dump list for post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from collections import deque
+
+__all__ = ["SloObjective", "SloAlert", "SloMonitor", "FlightRecorder"]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: bound the bad-request fraction by a budget."""
+
+    name: str                 # "latency" | "errors" (report label)
+    kind: str                 # "slow" | "error" — which window counter
+    budget: float             # allowed bad fraction (e.g. 0.01)
+
+    def __post_init__(self):
+        if self.kind not in ("slow", "error"):
+            raise ValueError("unknown SLO kind %r" % self.kind)
+        if not 0.0 < self.budget < 1.0:
+            raise ValueError("error budget must be in (0, 1)")
+
+
+@dataclass
+class SloAlert:
+    """One burn-rate alert (the monitor keeps every one it raised)."""
+
+    time_us: float
+    objective: str
+    burn_short: float
+    burn_long: float
+
+    def describe(self) -> str:
+        """One human-readable line for reports and flight dumps."""
+        return ("t=%.0f us  %s burn rate %.1fx short / %.1fx long"
+                % (self.time_us, self.objective, self.burn_short,
+                   self.burn_long))
+
+
+class SloMonitor:
+    """Burn-rate evaluation over the sampler's window stream.
+
+    ``observe`` is called once per sampling tick with that tick's
+    :class:`~repro.obs.timeseries.WindowSample`; it returns the name of
+    a newly-breached objective (for flight-recorder triggering) or
+    None.  ``short_windows``/``long_windows`` are tick counts.
+    """
+
+    def __init__(self, objectives: List[SloObjective],
+                 short_windows: int = 4, long_windows: int = 24,
+                 burn_factor: float = 4.0):
+        if short_windows < 1 or long_windows < short_windows:
+            raise ValueError("need 1 <= short_windows <= long_windows")
+        self.objectives = list(objectives)
+        self.short_windows = short_windows
+        self.long_windows = long_windows
+        self.burn_factor = burn_factor
+        self.alerts: List[SloAlert] = []
+        self.total = 0
+        self.bad = {obj.name: 0 for obj in self.objectives}
+        self._history: Deque[Tuple[int, dict]] = deque(maxlen=long_windows)
+
+    @classmethod
+    def from_thresholds(cls, latency_budget: float = 0.0,
+                        error_budget: float = 0.0,
+                        **kwargs) -> "SloMonitor":
+        """Monitor with the standard latency and/or error objectives."""
+        objectives = []
+        if latency_budget > 0.0:
+            objectives.append(SloObjective("latency", "slow", latency_budget))
+        if error_budget > 0.0:
+            objectives.append(SloObjective("errors", "error", error_budget))
+        return cls(objectives, **kwargs)
+
+    def observe(self, now_us: float, window) -> Optional[str]:
+        """Fold one window sample in; returns a breached objective name."""
+        bad = {"slow": window.slow, "error": window.errors}
+        self.total += window.count
+        for obj in self.objectives:
+            self.bad[obj.name] += bad[obj.kind]
+        self._history.append((window.count, bad))
+        breached = None
+        for obj in self.objectives:
+            burn_s = self._burn(obj, self.short_windows)
+            burn_l = self._burn(obj, self.long_windows)
+            if burn_s >= self.burn_factor and burn_l >= self.burn_factor:
+                self.alerts.append(SloAlert(now_us, obj.name, burn_s, burn_l))
+                if breached is None:
+                    breached = obj.name
+        return breached
+
+    def _burn(self, obj: SloObjective, windows: int) -> float:
+        """Bad fraction over the last ``windows`` ticks, over the budget."""
+        recent = list(self._history)[-windows:]
+        count = sum(c for c, _ in recent)
+        if count == 0:
+            return 0.0
+        bad = sum(b[obj.kind] for _, b in recent)
+        return (bad / count) / obj.budget
+
+    @property
+    def breached(self) -> bool:
+        return bool(self.alerts)
+
+    def report(self) -> str:
+        """Objective compliance plus every alert raised, as text."""
+        lines = ["slo: %d objectives, %d requests observed, %d alerts"
+                 % (len(self.objectives), self.total, len(self.alerts))]
+        for obj in self.objectives:
+            bad = self.bad[obj.name]
+            frac = bad / self.total if self.total else 0.0
+            verdict = "OK" if frac <= obj.budget else "VIOLATED"
+            lines.append(
+                "  %-8s budget %.3f%%  observed %.3f%% (%d/%d)  %s"
+                % (obj.name, 100.0 * obj.budget, 100.0 * frac, bad,
+                   self.total, verdict))
+        for alert in self.alerts[:8]:
+            lines.append("  ALERT " + alert.describe())
+        if len(self.alerts) > 8:
+            lines.append("  ... %d more alerts" % (len(self.alerts) - 8))
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Bounded post-mortem dumps of recent spans and telemetry.
+
+    ``capture`` snapshots the tracer's last ``span_limit`` spans and
+    the sampler's last ``sample_limit`` samples under a reason string;
+    at most ``max_dumps`` dumps are kept (first-come, so the dumps
+    bracket the *earliest* incidents, which is what a post-mortem
+    wants).
+    """
+
+    def __init__(self, tracer, sampler=None, span_limit: int = 200,
+                 sample_limit: int = 32, max_dumps: int = 4):
+        self.tracer = tracer
+        self.sampler = sampler
+        self.span_limit = span_limit
+        self.sample_limit = sample_limit
+        self.max_dumps = max_dumps
+        self.dumps: List[dict] = []
+        self.suppressed = 0
+
+    def capture(self, reason: str, now_us: float) -> Optional[dict]:
+        """Snapshot now; returns the dump (None when at capacity)."""
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed += 1
+            return None
+        spans = self.tracer.spans[-self.span_limit:]
+        dump = {
+            "reason": reason,
+            "time_us": now_us,
+            "spans": [{
+                "sid": s.sid, "category": s.category, "name": s.name,
+                "track": s.track, "start": s.start, "end": s.end,
+                "data": s.data if isinstance(s.data, dict) else None,
+            } for s in spans],
+            "samples": (self.sampler.samples.last(self.sample_limit)
+                        if self.sampler is not None else []),
+        }
+        self.dumps.append(dump)
+        return dump
+
+    def report(self) -> str:
+        """One line per dump (what fired, when, how much was kept)."""
+        if not self.dumps:
+            return "flight recorder: no incidents"
+        lines = ["flight recorder: %d dump(s)%s"
+                 % (len(self.dumps),
+                    ", %d suppressed" % self.suppressed
+                    if self.suppressed else "")]
+        for dump in self.dumps:
+            lines.append("  t=%.0f us  %-16s  %d spans, %d samples"
+                         % (dump["time_us"], dump["reason"],
+                            len(dump["spans"]), len(dump["samples"])))
+        return "\n".join(lines)

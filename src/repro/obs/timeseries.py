@@ -1,0 +1,205 @@
+"""Time-series telemetry: ring buffers, windowed tails, the sampler.
+
+The sampler is a simulated process that wakes on a fixed interval and
+records, into bounded ring buffers:
+
+* per-resource utilization over the interval (busy-time deltas against
+  the machine metrics registry);
+* queue depths (high-water marks of registered stores);
+* the windowed request-latency tail (p50/p99 over the requests that
+  completed during the interval, fed by the workload engine).
+
+Everything is sized up front and overwrites oldest-first, so telemetry
+memory is bounded no matter how long the run is — the flight recorder
+(:mod:`repro.obs.slo`) dumps these buffers when something goes wrong.
+
+The sampler must be spawned *outside* the process list handed to
+``run_processes`` (it never finishes); the engine does this and simply
+abandons it when the measured processes complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..analysis import percentile
+
+__all__ = ["RingBuffer", "WindowedLatency", "WindowSample",
+           "TelemetrySampler"]
+
+
+class RingBuffer:
+    """A fixed-capacity FIFO that overwrites oldest entries."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._items: List[Any] = []
+        self._head = 0
+
+    def append(self, item: Any) -> None:
+        """Add one item, evicting the oldest when full."""
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+        else:
+            self._items[self._head] = item
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def items(self) -> List[Any]:
+        """Contents, oldest first."""
+        return self._items[self._head:] + self._items[:self._head]
+
+    def last(self, n: int) -> List[Any]:
+        """The most recent ``n`` items, oldest first."""
+        items = self.items()
+        return items[-n:] if n < len(items) else items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class WindowSample:
+    """One sampling interval's request-latency summary."""
+
+    time_us: float
+    count: int
+    errors: int
+    slow: int            # requests over the SLO latency threshold
+    p50_us: float
+    p99_us: float
+
+
+class WindowedLatency:
+    """Per-interval latency collection the engine's hot path feeds.
+
+    ``record`` appends to the current window; ``roll`` summarizes and
+    resets it.  Exact percentiles are fine here: a window holds at most
+    one interval's completions.
+    """
+
+    def __init__(self, slow_threshold_us: float = 0.0):
+        self.slow_threshold_us = slow_threshold_us
+        self._samples: List[float] = []
+        self._errors = 0
+        self._slow = 0
+
+    def record(self, latency_us: float, error: bool = False) -> None:
+        """Add one completed request to the current window."""
+        self._samples.append(latency_us)
+        if error:
+            self._errors += 1
+        if self.slow_threshold_us > 0.0 and latency_us > self.slow_threshold_us:
+            self._slow += 1
+
+    def roll(self, now_us: float) -> WindowSample:
+        """Close the current window and start a fresh one."""
+        samples, errors, slow = self._samples, self._errors, self._slow
+        self._samples, self._errors, self._slow = [], 0, 0
+        if samples:
+            p50 = percentile(samples, 50.0)
+            p99 = percentile(samples, 99.0)
+        else:
+            p50 = p99 = 0.0
+        return WindowSample(time_us=now_us, count=len(samples),
+                            errors=errors, slow=slow, p50_us=p50, p99_us=p99)
+
+
+class TelemetrySampler:
+    """The fixed-interval sampling process over one system.
+
+    ``install()`` spawns the sampler on node 0 and returns the process
+    handle (which the caller must *not* wait on).  Each tick snapshots
+    the metrics registry, computes utilization deltas, rolls the latency
+    window, and feeds the SLO monitor when one is attached.
+    """
+
+    def __init__(self, system, interval_us: float = 500.0,
+                 capacity: int = 512, slow_threshold_us: float = 0.0,
+                 slo=None, recorder=None):
+        if interval_us <= 0.0:
+            raise ValueError("sampling interval must be positive")
+        self.system = system
+        self.interval_us = interval_us
+        self.window = WindowedLatency(slow_threshold_us)
+        self.samples: RingBuffer = RingBuffer(capacity)
+        self.latency: RingBuffer = RingBuffer(capacity)
+        self.slo = slo
+        self.recorder = recorder
+        self.ticks = 0
+        self._last_busy: Dict[str, float] = {}
+        self._handle = None
+
+    def install(self):
+        """Spawn the sampling loop (caller must not wait on the handle)."""
+
+        def sampler(_proc):
+            sim = self.system.sim
+            while True:
+                yield sim.timeout(self.interval_us)
+                self.sample_once()
+
+        self._handle = self.system.spawn(0, sampler, name="obs-sampler")
+        return self._handle
+
+    def sample_once(self) -> WindowSample:
+        """Take one sample now (also callable directly from tests)."""
+        sim = self.system.sim
+        self.ticks += 1
+        snapshot = self.system.machine.metrics.snapshot(sim.now)
+        util: Dict[str, float] = {}
+        depths: Dict[str, int] = {}
+        for entry in snapshot:
+            name = entry.get("name", "?")
+            busy = entry.get("busy_time")
+            if busy is not None:
+                prev = self._last_busy.get(name, 0.0)
+                self._last_busy[name] = busy
+                util[name] = max(0.0, busy - prev) / self.interval_us
+            if "high_water" in entry:
+                depths[name] = entry["high_water"]
+        window = self.window.roll(sim.now)
+        self.latency.append(window)
+        self.samples.append({
+            "time_us": sim.now,
+            "util": util,
+            "depths": depths,
+            "window": window,
+        })
+        if self.slo is not None:
+            breached = self.slo.observe(sim.now, window)
+            if breached and self.recorder is not None:
+                self.recorder.capture("slo:%s" % breached, sim.now)
+        return window
+
+    def busiest(self, n: int = 3) -> List[str]:
+        """The ``n`` busiest resources in the most recent sample."""
+        if not len(self.samples):
+            return []
+        util = self.samples.items()[-1]["util"]
+        ranked = sorted(util.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ["%s=%.0f%%" % (name, 100.0 * frac)
+                for name, frac in ranked[:n] if frac > 0.0]
+
+    def report(self) -> str:
+        """A deterministic multi-line telemetry summary."""
+        windows: List[WindowSample] = [w for w in self.latency.items()]
+        active = [w for w in windows if w.count]
+        lines = ["telemetry: %d samples at %g us interval (%d dropped)"
+                 % (self.ticks, self.interval_us, self.samples.dropped)]
+        if active:
+            worst = max(active, key=lambda w: w.p99_us)
+            lines.append(
+                "  windows with traffic %d/%d  worst window p99 %.2f us "
+                "(t=%.0f us, n=%d)"
+                % (len(active), len(windows), worst.p99_us, worst.time_us,
+                   worst.count))
+        busiest = self.busiest()
+        if busiest:
+            lines.append("  busiest resources (last window): %s"
+                         % " ".join(busiest))
+        return "\n".join(lines)

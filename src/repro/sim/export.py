@@ -79,11 +79,16 @@ def chrome_trace_events(tracer: Tracer, include_logs: bool = True) -> List[dict]
 
     Spans become ``X`` (complete) events; still-open spans are closed
     at the simulator's current time and flagged ``{"open": true}``.
-    Legacy :meth:`~repro.sim.trace.Tracer.log` records become ``i``
-    (instant) events when ``include_logs`` is set.
+    Spans carrying an ``xparent`` causal edge additionally emit an
+    ``s``/``f`` flow-event pair so cross-node request trees render as
+    arrows.  Legacy :meth:`~repro.sim.trace.Tracer.log` records become
+    ``i`` (instant) events when ``include_logs`` is set.
     """
     ids = _IdAllocator()
     events: List[dict] = []
+    flows: List[dict] = []
+    by_sid = {span.sid: span for span in tracer.spans}
+    flow_id = 0
     now = tracer.sim.now
     for span in tracer.spans:
         pid, tid = ids.ids_for(span.track)
@@ -100,6 +105,25 @@ def chrome_trace_events(tracer: Tracer, include_logs: bool = True) -> List[dict]
             "tid": tid,
             "args": args,
         })
+        # Causal cross-wire edges ("xparent" span data, written by the
+        # context-propagation layer) render as flow arrows: an s event
+        # anchored inside the parent slice, an f event at the child.
+        data = span.data if isinstance(span.data, dict) else None
+        if data is not None and "xparent" in data:
+            parent = by_sid.get(data["xparent"])
+            if parent is not None:
+                flow_id += 1
+                ppid, ptid = ids.ids_for(parent.track)
+                flows.append({
+                    "name": span.category, "cat": "flow", "ph": "s",
+                    "id": flow_id, "ts": parent.start,
+                    "pid": ppid, "tid": ptid,
+                })
+                flows.append({
+                    "name": span.category, "cat": "flow", "ph": "f",
+                    "bp": "e", "id": flow_id, "ts": span.start,
+                    "pid": pid, "tid": tid,
+                })
     if include_logs:
         for record in tracer.records:
             pid, tid = ids.ids_for("log." + record.category)
@@ -113,7 +137,7 @@ def chrome_trace_events(tracer: Tracer, include_logs: bool = True) -> List[dict]
                 "tid": tid,
                 "args": {} if record.data is None else {"data": repr(record.data)},
             })
-    return ids.metadata_events() + events
+    return ids.metadata_events() + events + flows
 
 
 def chrome_trace_dict(tracer: Tracer, include_logs: bool = True) -> dict:
@@ -188,6 +212,8 @@ def validate_chrome_trace(trace: Union[str, bytes, dict, list]) -> List[str]:
                 problems.append("%s: complete event needs dur >= 0" % where)
         if phase == "i" and event.get("s", "t") not in ("g", "p", "t"):
             problems.append("%s: instant scope must be g/p/t" % where)
+        if phase in ("s", "t", "f") and "id" not in event:
+            problems.append("%s: flow event needs an id" % where)
         args = event.get("args")
         if args is not None and not isinstance(args, dict):
             problems.append("%s: args must be an object" % where)

@@ -110,6 +110,7 @@ class Tracer:
         self.counts: Counter = Counter()
         self.spans: List[Span] = []
         self._next_sid = 0
+        self._next_tid = 0
         self._stacks: Dict[str, List[Span]] = {}
 
     # -- point events ---------------------------------------------------
@@ -161,23 +162,46 @@ class Tracer:
 
     def complete(self, category: str, name: str, start: float,
                  end: Optional[float] = None, track: str = "sim",
-                 data: Any = None) -> Optional[Span]:
+                 data: Any = None, sid: Optional[int] = None) -> Optional[Span]:
         """Record a span whose start and end are both already known.
 
         Used where one call site computes the whole interval (a bus
         transfer's occupancy, a packet's mesh transit).  Does not touch
         the track's open-span stack, but does adopt the innermost open
         span of the track as parent.
+
+        ``sid`` lets a call site that announced a span id before the
+        interval closed (via :meth:`reserve_sid`, so the id could
+        travel in a wire header) record the span under that id.
         """
         if not self.enabled or len(self.spans) >= self.limit:
             return None
         stack = self._stacks.get(track)
         parent = stack[-1].sid if stack else None
-        self._next_sid += 1
-        span = Span(self._next_sid, parent, category, name, track, start,
+        if sid is None:
+            self._next_sid += 1
+            sid = self._next_sid
+        span = Span(sid, parent, category, name, track, start,
                     end=self.sim.now if end is None else end, data=data)
         self.spans.append(span)
         return span
+
+    def reserve_sid(self) -> int:
+        """Allocate a span id now for a span recorded later.
+
+        Causal-context propagation needs a request's root span id at
+        *send* time (it rides the wire so remote spans can point back),
+        but the root span itself is recorded via :meth:`complete` only
+        once the request finishes.  Pass the reserved id back through
+        ``complete(..., sid=...)``.
+        """
+        self._next_sid += 1
+        return self._next_sid
+
+    def new_trace_id(self) -> int:
+        """Allocate a fresh causal-trace id (one per top-level request)."""
+        self._next_tid += 1
+        return self._next_tid
 
     def instant(self, category: str, name: str, track: str = "sim",
                 data: Any = None) -> Optional[Span]:

@@ -83,12 +83,15 @@ class VmmcEndpoint:
                 "vmmc.export", "export %dB" % nbytes,
                 track=self.proc.trace_track, data={"bytes": nbytes},
             )
-        record = yield from self.daemon.export(
-            self.proc, vaddr, nbytes,
-            allow_nodes=allow_nodes,
-            notify=handler is not None,
-        )
-        self.proc.tracer.end(span)
+        try:
+            record = yield from self.daemon.export(
+                self.proc, vaddr, nbytes,
+                allow_nodes=allow_nodes,
+                notify=handler is not None,
+            )
+        finally:
+            # finally: a fault-raised timeout must not leak an open span.
+            self.proc.tracer.end(span)
         buffer = ExportedBuffer(record=record, handler=handler)
         if handler is not None:
             self.notifications.register(buffer)
@@ -117,8 +120,11 @@ class VmmcEndpoint:
                 "vmmc.import", "import n%d/%d" % (remote_node, export_id),
                 track=self.proc.trace_track,
             )
-        imported = yield from self.daemon.import_buffer(self.proc, remote_node, export_id)
-        self.proc.tracer.end(span)
+        try:
+            imported = yield from self.daemon.import_buffer(
+                self.proc, remote_node, export_id)
+        finally:
+            self.proc.tracer.end(span)
         return imported
 
     def unimport(self, imported: ImportedBuffer):
@@ -172,20 +178,26 @@ class VmmcEndpoint:
                 "vmmc.send", "send %dB" % nbytes, track=self.proc.trace_track,
                 data={"bytes": nbytes},
             )
-        yield self.proc.sim.timeout(costs.vmmc_send_call)
-        segments = self.proc.space.translate(local_vaddr, nbytes, write=False)
-        yield self.proc.sim.timeout(self.proc.node.eisa.pio_cost(2))
-        done = self.proc.node.nic.initiate_deliberate_update(
-            src_segments=segments,
-            opt_base=imported.opt_base,
-            offset=offset,
-            size=nbytes,
-            interrupt=notify,
-        )
-        self.sends += 1
-        self.bytes_sent += nbytes
-        yield done
-        tracer.end(span)
+        try:
+            yield self.proc.sim.timeout(costs.vmmc_send_call)
+            segments = self.proc.space.translate(local_vaddr, nbytes,
+                                                 write=False)
+            yield self.proc.sim.timeout(self.proc.node.eisa.pio_cost(2))
+            done = self.proc.node.nic.initiate_deliberate_update(
+                src_segments=segments,
+                opt_base=imported.opt_base,
+                offset=offset,
+                size=nbytes,
+                interrupt=notify,
+            )
+            self.sends += 1
+            self.bytes_sent += nbytes
+            yield done
+        finally:
+            # finally: a hardened caller catches fault-raised timeouts
+            # and retries; the abandoned attempt must still close its
+            # span or the span-balance audit flags a leak.
+            tracer.end(span)
 
     def send_nonblocking(
         self,

@@ -28,6 +28,7 @@ from typing import Dict, Optional
 from ..apps.kv import KVClient, KVService, ST_ERROR, ST_OK
 from ..analysis import LatencyHistogram
 from ..hardware.config import MachineConfig
+from ..obs import FlightRecorder, SloMonitor, TelemetrySampler
 from ..sim import Store
 from ..sim.faults import FaultPlan
 from ..testbed import Rendezvous, make_system
@@ -102,6 +103,22 @@ def run_workload(spec: WorkloadSpec,
     per_op: Dict[str, LatencyHistogram] = {
         op: LatencyHistogram(op) for op in _OPS}
 
+    # Telemetry is strictly additive: the sampler is its own simulated
+    # process spawned OUTSIDE the measured handle list (it never
+    # finishes), and every hook below checks ``sampler is not None``.
+    sampler = slo = recorder = None
+    if spec.telemetry:
+        if spec.slo_latency_budget > 0.0 or spec.slo_error_budget > 0.0:
+            slo = SloMonitor.from_thresholds(
+                latency_budget=spec.slo_latency_budget,
+                error_budget=spec.slo_error_budget)
+        sampler = TelemetrySampler(
+            system, interval_us=spec.telemetry_interval_us,
+            slow_threshold_us=spec.slo_latency_us, slo=slo)
+        recorder = FlightRecorder(system.machine.tracer, sampler)
+        sampler.recorder = recorder
+        sampler.install()
+
     def _execute(client, op, key, size, limit):
         if op == "get":
             status, value = yield from client.get(key)
@@ -117,8 +134,15 @@ def run_workload(spec: WorkloadSpec,
     def _record(op, latency, status):
         overall.record(latency)
         per_op[op].record(latency)
+        if sampler is not None:
+            sampler.window.record(latency, error=status == ST_ERROR)
         if status == ST_ERROR:
             tally["errors"] += 1
+            # An ST_ERROR means the replica walk exhausted its typed
+            # VmmcTimeoutError retries — exactly the incident the
+            # flight recorder exists for.
+            if recorder is not None:
+                recorder.capture("request-error", sim.now)
         else:
             tally["completed"] += 1
 
@@ -303,6 +327,8 @@ def run_workload(spec: WorkloadSpec,
         # Conditional so unmitigated reports stay byte-identical to the
         # pre-mitigation engine (the zero-regression goldens).
         spec_line += " " + spec.mitigation_label()
+    if spec.telemetry:
+        spec_line += " " + spec.telemetry_label()
     misses = sum(c.misses for c in clients)
     failovers = sum(c.failovers for c in clients)
     corruptions = sum(c.corruptions for c in clients)
@@ -338,6 +364,12 @@ def run_workload(spec: WorkloadSpec,
     fault_lines = []
     if fault_plan is not None:
         fault_lines = system.faults.report().splitlines()
+    telemetry_lines = []
+    if sampler is not None:
+        telemetry_lines.extend(sampler.report().splitlines())
+        if slo is not None:
+            telemetry_lines.extend(slo.report().splitlines())
+        telemetry_lines.extend(recorder.report().splitlines())
 
     return WorkloadReport(
         spec_line=spec_line,
@@ -355,4 +387,6 @@ def run_workload(spec: WorkloadSpec,
         utilization=system.machine.utilization_report(min_count=1),
         service_lines=service_lines,
         fault_lines=fault_lines,
+        telemetry_lines=telemetry_lines,
+        spans=list(system.machine.tracer.spans) if spec.trace else None,
     )

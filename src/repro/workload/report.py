@@ -35,6 +35,12 @@ class WorkloadReport:
     utilization: str             # the metrics-registry table
     service_lines: List[str] = field(default_factory=list)
     fault_lines: List[str] = field(default_factory=list)
+    telemetry_lines: List[str] = field(default_factory=list)
+    #: The run's recorded spans when ``spec.trace`` was set, else None.
+    #: Carried for trace assembly (``python -m repro explain``) and the
+    #: observability tests; never rendered into the text report, so the
+    #: determinism goldens are unaffected.
+    spans: Optional[list] = None
 
     @property
     def throughput_ops_s(self) -> float:
@@ -80,6 +86,11 @@ class WorkloadReport:
         if self.service_lines:
             lines.append("")
             lines.extend(self.service_lines)
+        if self.telemetry_lines:
+            # Conditional, like the fault block: telemetry-off reports
+            # stay byte-identical to the zero-regression goldens.
+            lines.append("")
+            lines.extend(self.telemetry_lines)
         if self.fault_lines:
             lines.append("")
             lines.extend(self.fault_lines)

@@ -141,6 +141,14 @@ class WorkloadSpec:
     think_us: float = 0.0            # closed-loop think time
     trace: bool = False              # record kv.client spans
     timeout_us: float = 120_000_000.0
+    # Telemetry / SLO knobs (all default off — with them off the run,
+    # its wire traffic, and its report are byte-identical to the
+    # pre-telemetry engine, which the zero-regression goldens pin):
+    telemetry: bool = False          # run the time-series sampler
+    telemetry_interval_us: float = 500.0
+    slo_latency_us: float = 0.0      # per-request "slow" threshold
+    slo_latency_budget: float = 0.0  # allowed slow fraction (0 = off)
+    slo_error_budget: float = 0.0    # allowed error fraction (0 = off)
     # Serving-stack mitigation knobs (all default off — the defaults
     # reproduce the unmitigated engine byte for byte):
     pipeline_window: int = 1         # SRPC multi-call window per binding
@@ -159,6 +167,13 @@ class WorkloadSpec:
         return ("pipeline=%d batch=%d cache=%d ttl=%g spread=%d"
                 % (self.pipeline_window, self.batch_keys, self.cache_keys,
                    self.cache_ttl_us, int(self.read_spread)))
+
+    def telemetry_label(self) -> str:
+        """The spec-line suffix describing the telemetry configuration."""
+        return ("telemetry interval=%g slo_lat=%g lat_budget=%g "
+                "err_budget=%g"
+                % (self.telemetry_interval_us, self.slo_latency_us,
+                   self.slo_latency_budget, self.slo_error_budget))
 
     def validate(self) -> None:
         """Raise ValueError on an inconsistent spec."""
@@ -192,6 +207,15 @@ class WorkloadSpec:
                 and self.transport != "srpc":
             raise ValueError("pipelining and batching need the srpc "
                              "transport")
+        if self.telemetry_interval_us <= 0.0:
+            raise ValueError("telemetry_interval_us must be positive")
+        if self.slo_latency_us < 0.0:
+            raise ValueError("slo_latency_us must be >= 0")
+        for budget in (self.slo_latency_budget, self.slo_error_budget):
+            if budget and not 0.0 < budget < 1.0:
+                raise ValueError("SLO budgets must be 0 (off) or in (0, 1)")
+        if self.slo_latency_budget > 0.0 and self.slo_latency_us <= 0.0:
+            raise ValueError("slo_latency_budget needs slo_latency_us")
         KeySampler(self.keys, self.key_distribution, self.zipf_s)
         ValueSizeSampler(self.value_sizes)
 

@@ -1,0 +1,69 @@
+"""Causal-tree integrity under seeded fault schedules.
+
+Drop, corrupt, and delay faults force the hardened transports to
+retransmit frames and replay logged replies.  The trace-context layer
+must keep the story straight through all of that: every request still
+assembles into exactly one causal tree, a retransmitted frame's serve
+span attaches to the *original* tree (no duplicated delivery spans),
+and no span is orphaned from a tree it claims membership of.  The
+``audit`` pass checks precisely those invariants, so a clean audit
+across a seed sweep is the whole assertion.
+"""
+
+import pytest
+
+from repro.obs import assemble_traces, audit
+from repro.sim.faults import FaultPlan
+from repro.workload import WorkloadSpec, run_workload
+
+
+def _traced_faulty_run(seed, transport="srpc", count=8, horizon_us=4000.0):
+    spec = WorkloadSpec(
+        seed=seed, transport=transport, load=20000.0, concurrency=4,
+        requests=50, keys=32, read_fraction=0.6, trace=True)
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count)
+    return run_workload(spec, fault_plan=plan)
+
+
+def _check_trees(report):
+    spans = report.spans
+    problems = audit(spans)
+    assert problems == [], "\n".join(problems)
+    trees = assemble_traces(spans)
+    assert trees, "faulty run recorded no request trees"
+    for tree in trees.values():
+        assert tree.root is not None, "tree %d lost its root" % tree.tid
+        assert not tree.problems, tree.problems
+    return trees
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_srpc_trees_survive_faults(seed):
+    _check_trees(_traced_faulty_run(seed))
+
+
+def test_sockets_trees_survive_faults():
+    _check_trees(_traced_faulty_run(13, transport="sockets"))
+
+
+def test_same_seed_same_trees():
+    first = _check_trees(_traced_faulty_run(14))
+    second = _check_trees(_traced_faulty_run(14))
+    assert sorted(first) == sorted(second)
+    for tid in first:
+        assert len(first[tid].spans) == len(second[tid].spans)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(60, 72))
+def test_trace_integrity_seed_sweep(seed):
+    """A wider sweep over mixed drop/corrupt/delay schedules."""
+    transport = "sockets" if seed % 3 == 0 else "srpc"
+    _check_trees(_traced_faulty_run(seed, transport=transport))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(80, 86))
+def test_trace_integrity_dense_schedule(seed):
+    """Denser schedules lean on retransmission and replay paths."""
+    _check_trees(_traced_faulty_run(seed, count=16, horizon_us=2000.0))

@@ -1,0 +1,33 @@
+"""Unit tests for the wire trace-context encoding and span tags."""
+
+from repro.obs import (TRACE_EXT_BYTES, pack_ctx, span_tags, unpack_ctx)
+
+
+def test_pack_unpack_roundtrip():
+    ctx = (0xDEADBEEF & 0x7FFFFFFF, 42)
+    blob = pack_ctx(ctx)
+    assert len(blob) == TRACE_EXT_BYTES
+    assert unpack_ctx(blob) == ctx
+
+
+def test_none_packs_as_zeros_and_unpacks_as_none():
+    blob = pack_ctx(None)
+    assert blob == b"\x00" * TRACE_EXT_BYTES
+    assert unpack_ctx(blob) is None
+
+
+def test_zero_trace_id_means_no_context():
+    # trace ids are allocated from 1, so the all-zero word is reserved
+    # as the "no context" encoding on every transport.
+    assert unpack_ctx(pack_ctx((0, 7))) is None
+
+
+def test_unpack_ignores_trailing_bytes():
+    blob = pack_ctx((9, 4)) + b"payload follows"
+    assert unpack_ctx(blob) == (9, 4)
+
+
+def test_span_tags_same_process_vs_cross_wire():
+    assert span_tags(None) is None
+    assert span_tags((5, 11)) == {"tid": 5, "cparent": 11}
+    assert span_tags((5, 11), cross=True) == {"tid": 5, "xparent": 11}

@@ -1,0 +1,96 @@
+"""Unit tests for SLO burn-rate alerting and the flight recorder."""
+
+import pytest
+
+from repro.obs import FlightRecorder, SloMonitor, SloObjective, WindowSample
+
+
+def _window(t, count, errors=0, slow=0):
+    return WindowSample(time_us=t, count=count, errors=errors, slow=slow,
+                        p50_us=10.0, p99_us=20.0)
+
+
+def test_objective_validates_budget_and_kind():
+    with pytest.raises(ValueError):
+        SloObjective("latency", "slow", 0.0)
+    with pytest.raises(ValueError):
+        SloObjective("latency", "banana", 0.1)
+
+
+def test_healthy_stream_raises_no_alerts():
+    mon = SloMonitor.from_thresholds(latency_budget=0.1, error_budget=0.05)
+    for tick in range(30):
+        assert mon.observe(tick * 100.0, _window(tick * 100.0, 10)) is None
+    assert not mon.breached
+    assert "0 alerts" in mon.report()
+    assert "OK" in mon.report()
+
+
+def test_sustained_burn_fires_after_both_windows():
+    mon = SloMonitor.from_thresholds(error_budget=0.01,
+                                     short_windows=2, long_windows=4,
+                                     burn_factor=4.0)
+    # 50% of requests erroring burns a 1% budget at 50x; the alert must
+    # wait until the long window has seen enough bad samples too.
+    breached = [mon.observe(t * 100.0, _window(t * 100.0, 10, errors=5))
+                for t in range(4)]
+    assert any(b == "errors" for b in breached)
+    assert mon.breached
+    assert "ALERT" in mon.report()
+
+
+def test_single_bad_sample_does_not_page():
+    mon = SloMonitor.from_thresholds(error_budget=0.05,
+                                     short_windows=2, long_windows=12)
+    for t in range(11):
+        mon.observe(t * 100.0, _window(t * 100.0, 20))
+    # One terrible window against eleven clean ones: the long window
+    # dilutes the burn below the factor, so nothing fires.
+    assert mon.observe(1100.0, _window(1100.0, 2, errors=2)) is None
+    assert not mon.breached
+
+
+def test_report_flags_violated_budget():
+    mon = SloMonitor([SloObjective("errors", "error", 0.01)],
+                     short_windows=1, long_windows=1)
+    mon.observe(0.0, _window(0.0, 10, errors=10))
+    assert "VIOLATED" in mon.report()
+
+
+class _FakeTracer:
+    def __init__(self, n):
+        self.spans = list(range(n))
+
+
+def test_flight_recorder_keeps_bounded_dumps():
+    recorder = FlightRecorder(_FakeTracer(0), span_limit=10, max_dumps=2)
+    assert recorder.capture("first", 1.0) is not None
+    assert recorder.capture("second", 2.0) is not None
+    assert recorder.capture("third", 3.0) is None
+    assert recorder.suppressed == 1
+    text = recorder.report()
+    assert "2 dump(s)" in text and "1 suppressed" in text
+
+
+def test_flight_recorder_snapshots_last_spans():
+    class _Span:
+        def __init__(self, sid):
+            self.sid = sid
+            self.category = "kv.client"
+            self.name = "put"
+            self.track = "n0.cpu.p0"
+            self.start = float(sid)
+            self.end = float(sid) + 1.0
+            self.data = {"tid": 1}
+
+    tracer = _FakeTracer(0)
+    tracer.spans = [_Span(i) for i in range(20)]
+    recorder = FlightRecorder(tracer, span_limit=5)
+    dump = recorder.capture("slo:errors", 99.0)
+    assert dump["reason"] == "slo:errors"
+    assert [s["sid"] for s in dump["spans"]] == [15, 16, 17, 18, 19]
+
+
+def test_quiet_recorder_reports_no_incidents():
+    recorder = FlightRecorder(_FakeTracer(0))
+    assert recorder.report() == "flight recorder: no incidents"

@@ -1,0 +1,77 @@
+"""Unit and integration tests for the time-series telemetry layer."""
+
+from repro.obs import RingBuffer, TelemetrySampler, WindowedLatency
+from repro.workload import WorkloadSpec, run_workload
+
+
+def test_ring_buffer_overwrites_oldest():
+    ring = RingBuffer(3)
+    for i in range(5):
+        ring.append(i)
+    assert ring.items() == [2, 3, 4]
+    assert ring.dropped == 2
+    assert len(ring) == 3
+
+
+def test_ring_buffer_last_n():
+    ring = RingBuffer(4)
+    for i in range(6):
+        ring.append(i)
+    assert ring.last(2) == [4, 5]
+    assert ring.last(10) == [2, 3, 4, 5]
+
+
+def test_windowed_latency_rolls_and_resets():
+    window = WindowedLatency(slow_threshold_us=100.0)
+    for lat in (10.0, 50.0, 150.0, 250.0):
+        window.record(lat, error=lat > 200.0)
+    sample = window.roll(1000.0)
+    assert sample.count == 4
+    assert sample.slow == 2
+    assert sample.errors == 1
+    assert sample.p50_us <= sample.p99_us
+    # The roll started a fresh window.
+    empty = window.roll(2000.0)
+    assert empty.count == 0 and empty.p99_us == 0.0
+
+
+def test_sampler_runs_inside_a_telemetry_workload():
+    spec = WorkloadSpec(seed=3, requests=50, concurrency=4, keys=32,
+                        telemetry=True, telemetry_interval_us=400.0)
+    report = run_workload(spec)
+    assert report.telemetry_lines
+    head = report.telemetry_lines[0]
+    assert head.startswith("telemetry:")
+    assert "samples at 400 us interval" in head
+    assert spec.telemetry_label() in report.spec_line
+
+
+def test_telemetry_off_means_no_telemetry_lines():
+    report = run_workload(WorkloadSpec(seed=3, requests=50, concurrency=4,
+                                       keys=32))
+    assert report.telemetry_lines == []
+    assert "telemetry" not in report.spec_line
+
+
+def test_sampler_tracks_utilization_and_queue_depths():
+    from repro.testbed import make_system
+
+    system = make_system()
+    sampler = TelemetrySampler(system, interval_us=100.0)
+    sampler.install()
+    system.sim.run(until=1000.0)
+    assert sampler.ticks >= 9
+    assert len(sampler.samples)
+    latest = sampler.samples.items()[-1]
+    assert set(latest) == {"time_us", "util", "depths", "window"}
+    # An idle machine is 0% utilized everywhere; fractions are bounded.
+    for frac in latest["util"].values():
+        assert 0.0 <= frac <= 1.0
+
+
+def test_sampler_report_is_deterministic_text():
+    spec = WorkloadSpec(seed=9, requests=40, concurrency=4, keys=32,
+                        telemetry=True)
+    a = run_workload(spec).telemetry_lines
+    b = run_workload(spec).telemetry_lines
+    assert a == b

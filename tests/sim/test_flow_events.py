@@ -1,0 +1,104 @@
+"""Cross-node flow events in the Chrome exporter and its validator.
+
+Spans carrying an ``xparent`` causal edge (written by the trace-context
+propagation layer when a request hops a wire) must export as ``s``/``f``
+flow-event pairs so Perfetto renders the causal tree as arrows, and
+``validate_chrome_trace`` must accept those events while still flagging
+malformed ones.
+"""
+
+import json
+
+from repro.sim import (
+    Simulator,
+    Tracer,
+    chrome_trace_events,
+    chrome_trace_json,
+    validate_chrome_trace,
+)
+
+
+def cross_node_tracer():
+    """A two-node trace: a client call whose server span points back."""
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    call_sid = tracer.reserve_sid()
+    tracer.complete("srpc.call", "call proc 3", 0.0, 40.0,
+                    track="n0.cpu.p1", data={"tid": call_sid}, sid=call_sid)
+    tracer.complete("srpc.serve", "serve proc 3", 12.0, 30.0,
+                    track="n1.cpu.p2",
+                    data={"tid": call_sid, "xparent": call_sid})
+    return tracer, call_sid
+
+
+def phase_events(events, phase):
+    return [e for e in events if e["ph"] == phase]
+
+
+def test_xparent_span_emits_flow_pair_with_shared_id():
+    tracer, call_sid = cross_node_tracer()
+    events = chrome_trace_events(tracer)
+    starts = phase_events(events, "s")
+    finishes = phase_events(events, "f")
+    assert len(starts) == 1 and len(finishes) == 1
+    start, finish = starts[0], finishes[0]
+    # One arrow: same id on both halves, binding-point "e" on the finish.
+    assert start["id"] == finish["id"]
+    assert finish["bp"] == "e"
+    # The s event anchors in the parent slice on the parent's track; the
+    # f event lands at the child span's start on the child's track.
+    complete = {e["args"]["sid"]: e for e in phase_events(events, "X")}
+    parent = complete[call_sid]
+    child = next(e for e in phase_events(events, "X")
+                 if e["args"].get("xparent") == call_sid)
+    assert (start["pid"], start["tid"]) == (parent["pid"], parent["tid"])
+    assert (finish["pid"], finish["tid"]) == (child["pid"], child["tid"])
+    assert start["ts"] == parent["ts"]
+    assert finish["ts"] == child["ts"]
+
+
+def test_xparent_to_unknown_sid_emits_no_dangling_flow():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.complete("srpc.serve", "serve proc 3", 12.0, 30.0,
+                    track="n1.cpu.p2", data={"xparent": 9999})
+    events = chrome_trace_events(tracer)
+    assert not phase_events(events, "s")
+    assert not phase_events(events, "f")
+    assert validate_chrome_trace(events) == []
+
+
+def test_distinct_edges_get_distinct_flow_ids():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    for hop in range(3):
+        parent_sid = tracer.reserve_sid()
+        tracer.complete("kv.call", "call #%d" % hop, 10.0 * hop,
+                        10.0 * hop + 8.0, track="n0.cpu.p1", sid=parent_sid)
+        tracer.complete("kv.serve", "serve #%d" % hop, 10.0 * hop + 2.0,
+                        10.0 * hop + 6.0, track="n%d.cpu.p2" % (hop + 1),
+                        data={"xparent": parent_sid})
+    events = chrome_trace_events(tracer)
+    ids = [e["id"] for e in phase_events(events, "s")]
+    assert len(ids) == 3 and len(set(ids)) == 3
+
+
+def test_validator_accepts_cross_node_flow_trace():
+    tracer, _ = cross_node_tracer()
+    text = chrome_trace_json(tracer)
+    assert validate_chrome_trace(text) == []
+    # The JSON-object form and the bare array both validate.
+    payload = json.loads(text)
+    assert validate_chrome_trace(payload) == []
+    assert validate_chrome_trace(payload["traceEvents"]) == []
+
+
+def test_validator_flags_flow_event_without_id():
+    tracer, _ = cross_node_tracer()
+    events = chrome_trace_events(tracer)
+    for event in events:
+        if event["ph"] in ("s", "f"):
+            event.pop("id", None)
+    problems = validate_chrome_trace(events)
+    assert len(problems) == 2
+    assert all("flow event needs an id" in p for p in problems)
