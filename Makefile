@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json clean
+.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json onesided-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,6 +28,16 @@ explain-demo:
 
 capacity-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro capacity --loads $${LOADS:-10000,40000} --requests $${REQUESTS:-120} --json BENCH_capacity.json
+
+# Paired A/B sweep isolating the one-sided server bypass (docs/ONESIDED.md);
+# the committed BENCH_capacity.json uses REQUESTS=2000.
+capacity-ab-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro capacity --ab --onesided --seed $${SEED:-11} --concurrency $${CONCURRENCY:-16} --requests $${REQUESTS:-2000} --loads $${LOADS:-150000,200000,250000,300000} --json BENCH_capacity.json
+
+# The runnable examples from docs/ONESIDED.md, at doc-exact arguments.
+onesided-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro workload --onesided --requests 2000 --concurrency 16 --load 200000
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro explain --onesided --read-fraction 1.0 --requests 80
 
 examples:
 	$(PYTHON) examples/quickstart.py

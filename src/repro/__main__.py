@@ -177,7 +177,7 @@ def _cmd_workload(args) -> int:
         zipf_s=args.zipf_s, nodes=args.nodes, replicas=args.replicas,
         pipeline_window=args.pipeline_window, batch_keys=args.batch_keys,
         cache_keys=args.cache_keys, cache_ttl_us=args.cache_ttl,
-        read_spread=args.read_spread)
+        read_spread=args.read_spread, onesided_reads=args.onesided)
     plan = None
     if args.fault_seed is not None:
         plan = FaultPlan.from_seed(args.fault_seed,
@@ -207,15 +207,29 @@ def _cmd_capacity(args) -> int:
     # documented defaults for the --ab B side (an A/B with everything
     # off would compare a run against itself).
     if args.ab:
-        result = paired_capacity_sweep(
-            loads, spec,
-            pipeline_window=args.pipeline_window or 4,
-            batch_keys=args.batch_keys or 4,
-            cache_keys=args.cache_keys if args.cache_keys is not None else 64,
-            cache_ttl_us=args.cache_ttl if args.cache_ttl is not None
-            else 2000.0,
-            read_spread=True if args.read_spread is None
-            else args.read_spread)
+        if args.onesided:
+            # Isolate the bypass: unset client-side knobs stay neutral
+            # on the B side, so the knee movement is attributable to
+            # the one-sided read path alone.
+            result = paired_capacity_sweep(
+                loads, spec,
+                pipeline_window=args.pipeline_window or 1,
+                batch_keys=args.batch_keys or 1,
+                cache_keys=args.cache_keys or 0,
+                cache_ttl_us=args.cache_ttl or 0.0,
+                read_spread=bool(args.read_spread),
+                onesided=True)
+        else:
+            result = paired_capacity_sweep(
+                loads, spec,
+                pipeline_window=args.pipeline_window or 4,
+                batch_keys=args.batch_keys or 4,
+                cache_keys=args.cache_keys if args.cache_keys is not None
+                else 64,
+                cache_ttl_us=args.cache_ttl if args.cache_ttl is not None
+                else 2000.0,
+                read_spread=True if args.read_spread is None
+                else args.read_spread)
     else:
         from dataclasses import replace
         spec = replace(spec,
@@ -223,7 +237,8 @@ def _cmd_capacity(args) -> int:
                        batch_keys=args.batch_keys or 1,
                        cache_keys=args.cache_keys or 0,
                        cache_ttl_us=args.cache_ttl or 0.0,
-                       read_spread=bool(args.read_spread))
+                       read_spread=bool(args.read_spread),
+                       onesided_reads=args.onesided)
         result = capacity_sweep(loads, spec)
     print(result.report())
     if args.json:
@@ -249,6 +264,7 @@ def _cmd_explain(args) -> int:
         load=args.load, concurrency=args.concurrency,
         requests=args.requests, keys=args.keys,
         read_fraction=args.read_fraction, trace=True,
+        onesided_reads=args.onesided,
         telemetry=not args.no_telemetry,
         slo_latency_us=args.slo_latency,
         slo_latency_budget=args.slo_latency_budget,
@@ -429,6 +445,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="cache entry lifetime in us (0 = no TTL)")
     workload.add_argument("--read-spread", action="store_true",
                           help="rotate reads over the replica set")
+    workload.add_argument("--onesided", action="store_true",
+                          help="one-sided bypass GETs from exported shard "
+                               "regions (docs/ONESIDED.md)")
     workload.add_argument("--fault-seed", type=int, default=None,
                           help="arm a seeded fault plan")
     workload.add_argument("--fault-count", type=int, default=8,
@@ -471,6 +490,10 @@ def _build_parser() -> argparse.ArgumentParser:
     capacity.add_argument("--read-spread", action="store_const", const=True,
                           default=None,
                           help="rotate reads over replicas (B side of --ab)")
+    capacity.add_argument("--onesided", action="store_true",
+                          help="one-sided bypass GETs; as the B side of "
+                               "--ab the client-side mitigations default "
+                               "to off so the bypass is isolated")
     capacity.add_argument("--json", default=None, metavar="PATH",
                           help="also write the machine-readable sweep "
                                "(knee, p50/p95/p99 per point, config, seed)")
@@ -495,6 +518,8 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--trace-id", type=int, default=None,
                          help="explain this trace id (default: the tree "
                               "touching the most mesh nodes)")
+    explain.add_argument("--onesided", action="store_true",
+                         help="trace with one-sided bypass GETs enabled")
     explain.add_argument("--no-telemetry", action="store_true",
                          help="skip the time-series sampler and SLO report")
     explain.add_argument("--slo-latency", type=float, default=400.0,

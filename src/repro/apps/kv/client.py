@@ -42,10 +42,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
+from ...libs.onesided import RegionReader, SlotHints
 from ...libs.sockets import SocketLib
 from ...vmmc import VmmcError, VmmcTimeoutError, attach
 from . import protocol as wire
 from .server import KvBatchClient, KvShardClient
+from .service import region_name
 
 __all__ = ["KVClient"]
 
@@ -81,7 +83,8 @@ class KVClient:
     def __init__(self, service, proc, transport: str = "srpc",
                  want_sockets: Optional[bool] = None, client_id: int = 0,
                  cache_keys: int = 0, cache_ttl_us: float = 0.0,
-                 read_spread: bool = False):
+                 read_spread: bool = False, onesided: bool = False,
+                 onesided_hints: Optional[Dict[int, SlotHints]] = None):
         if transport not in ("srpc", "sockets"):
             raise ValueError("unknown transport %r" % transport)
         self.service = service
@@ -119,6 +122,18 @@ class KVClient:
         self.spread_reads = 0
         self.batch_calls = 0
         self.batched_keys = 0
+        # One-sided bypass state (docs/ONESIDED.md): per-shard region
+        # readers over one locally exported reply page.  Populated by
+        # connect() when the knob is on and the transport is SRPC; with
+        # it off the GET path is byte-identical to the RPC-only client.
+        # ``onesided_hints`` (shard node -> SlotHints) is the host-wide
+        # occupancy cache — pass the same map to every client on a node
+        # so they pool what their reads and writes learn.
+        self.onesided = onesided
+        self._onesided_hints = onesided_hints
+        self._readers: Dict[int, RegionReader] = {}
+        self.onesided_hits = 0
+        self.onesided_fallbacks = 0
 
     # ------------------------------------------------------ connections
 
@@ -145,6 +160,34 @@ class KVClient:
             for node in self.service.nodes:
                 sock = yield from lib.connect(node, self.service.socket_port)
                 self.socks[node] = sock
+        if self.onesided and self.transport == "srpc":
+            yield from self._open_onesided()
+
+    def _open_onesided(self):
+        """Import every shard's slot region for bypass reads (generator).
+
+        Exports one local reply page (the target NIC's reply packets
+        must pass this node's Incoming Page Table), then completes the
+        rendezvous handshake per shard: wait for the region advert,
+        import the export, build a :class:`RegionReader` over it.  A
+        blocking client has one read outstanding at a time, so one
+        reply page serves every region.
+        """
+        reply = yield from self.endpoint.export_new(
+            self.proc.config.page_size)
+        reply_vaddr = reply.record.vaddr
+        for node in self.service.nodes:
+            advert = yield self.service.region_rendezvous.get(
+                region_name(node))
+            imported = yield from self.endpoint.import_buffer(
+                advert.node_id, advert.export_id)
+            hints = None
+            if self._onesided_hints is not None:
+                hints = self._onesided_hints.setdefault(node, SlotHints())
+            self._readers[node] = RegionReader(
+                self.endpoint, imported,
+                advert.format(self.proc.config.page_size), reply_vaddr,
+                hints=hints)
 
     def shutdown(self):
         """Release every server-side handler this client owns."""
@@ -178,7 +221,10 @@ class KVClient:
                 self._span("get", self.sim_now())
                 return wire.ST_OK, value
         epoch = self._wepoch.get(key, 0)
-        status, value = yield from self._request(wire.OP_GET, key)
+        if self._bypassable(key):
+            status, value = yield from self._onesided_get(key)
+        else:
+            status, value = yield from self._request(wire.OP_GET, key)
         if status == wire.ST_OK:
             self._cache_put(key, value, epoch)
         return status, value
@@ -189,6 +235,8 @@ class KVClient:
         this client can observe the pre-write cached value."""
         self._cache_invalidate(key)
         status, _ = yield from self._request(wire.OP_PUT, key, value)
+        if status == wire.ST_OK:
+            self._note_write(key, len(value))
         return status
 
     def delete(self, key: str):
@@ -196,6 +244,8 @@ class KVClient:
         :meth:`put`)."""
         self._cache_invalidate(key)
         status, _ = yield from self._request(wire.OP_DELETE, key)
+        if status in (wire.ST_OK, wire.ST_MISS):
+            self._note_write(key, None)
         return status
 
     def multi_get(self, keys: List[str]):
@@ -263,8 +313,10 @@ class KVClient:
                     for i, (status, value) in zip(chunk, entries):
                         if status == wire.ST_MISS:
                             self.misses += 1
+                            self._note_size(keys[i], None)
                         elif status == wire.ST_OK:
                             self._cache_put(keys[i], value, epochs[i])
+                            self._note_size(keys[i], len(value))
                         results[i] = (status, value)
         finally:
             if fetch:
@@ -283,6 +335,15 @@ class KVClient:
                 self.ops += 1
                 return ("done", "get", self.sim_now(), wire.ST_OK, value,
                         None)
+        if self._bypassable(key):
+            # The bypass is already the low-latency path; take it
+            # synchronously rather than submitting into the pipeline
+            # (it never occupies a binding slot).
+            epoch = self._wepoch.get(key, 0)
+            status, value = yield from self._onesided_get(key)
+            if status == wire.ST_OK:
+                self._cache_put(key, value, epoch)
+            return ("ready", status, value)
         if not self._pipelined():
             return ("lazy", wire.OP_GET, key, b"")
         self.ops += 1
@@ -370,6 +431,11 @@ class KVClient:
         its ticket is outstanding is marked dead and the operation
         retries synchronously through the surviving replicas."""
         kind = handle[0]
+        if kind == "ready":
+            # A one-sided bypass GET completed at submit time; its span
+            # and counters were recorded there.
+            _, status, value = handle
+            return status, value
         if kind == "done":
             _, op, start, status, value, root = handle
             self._span(op, start, root)
@@ -405,13 +471,19 @@ class KVClient:
             if not raw or raw[0] != wire.ST_OK:
                 self.misses += 1
                 status, out = wire.ST_MISS, None
+                self._note_size(key, None)
             else:
                 status, out = wire.ST_OK, bytes(raw[1:])
                 self._cache_put(key, out, epoch)
+                self._note_size(key, len(out))
         else:
             status, out = raw, None
             if status == wire.ST_MISS:
                 self.misses += 1
+            if op == "put" and status == wire.ST_OK:
+                self._note_write(key, len(value))
+            elif op == "delete" and status in (wire.ST_OK, wire.ST_MISS):
+                self._note_write(key, None)
         self._span(op, start, root)
         return status, out
 
@@ -590,11 +662,87 @@ class KVClient:
         self.spread_reads += 1
         return reps[r:] + reps[:r]
 
-    def _request(self, op: int, key: str, value: bytes = b""):
-        """Walk the replica set until one server answers."""
+    def _note_write(self, key: str, nbytes: Optional[int]) -> None:
+        """Teach the bypass readers a key's new occupancy after a write
+        this client completed (no-op with one-sided reads off)."""
+        if not self._readers:
+            return
+        for node in self.service.replicas_for(key):
+            reader = self._readers.get(node)
+            if reader is not None:
+                reader.note_write(key, nbytes)
+
+    def _note_size(self, key: str, nbytes: Optional[int]) -> None:
+        """Teach the bypass readers a key's occupancy from an RPC GET's
+        answer (no-op with one-sided reads off).  Read lessons never
+        clear a skip mark — see :meth:`RegionReader.note_size`."""
+        if not self._readers:
+            return
+        for node in self.service.replicas_for(key):
+            reader = self._readers.get(node)
+            if reader is not None:
+                reader.note_size(key, nbytes)
+
+    def _bypassable(self, key: str) -> bool:
+        """Whether a GET of ``key`` may take the one-sided bypass.
+
+        A key with a pipelined write still in flight is excluded: the
+        bypass does not ride the binding's FIFO, so only the RPC path
+        (pinned to the written node) can serialize read-after-write.
+        """
+        return bool(self._readers) and key not in self._pending_writes
+
+    def _onesided_get(self, key: str):
+        """The bypass GET: one-sided slot fetch, RPC fallback (generator).
+
+        Walks the same candidate order as the RPC path (read-spreading
+        composes) and fetches the key's slot straight from the first
+        candidate's exported region — no server handler runs.  Any
+        non-hit — empty or colliding slot, oversize value, bounded
+        seqlock retries exhausted — falls back to :meth:`_request`,
+        which alone can distinguish a true miss.  The fallback
+        continues under the bypass attempt's root span, so one request
+        stays one ``kv.client`` span either way.
+        """
         self.ops += 1
         start = self.sim_now()
         root = self._root_begin()
+        for node in self._candidates(wire.OP_GET, key):
+            reader = self._readers.get(node)
+            if reader is None or not reader.knows(key):
+                continue
+            try:
+                found, value = yield from reader.lookup(key)
+            except VmmcTimeoutError:
+                break  # stalled writer or lost replies: ask the server
+            if found:
+                self.onesided_hits += 1
+                self._span("get", start, root)
+                return wire.ST_OK, value
+            break  # absent here means absent everywhere it can answer
+        self.onesided_fallbacks += 1
+        status, value = yield from self._request(wire.OP_GET, key,
+                                                 start=start, root=root)
+        # The server's answer teaches the occupancy cache, so the next
+        # GET of this key can take an exact-size bypass read (or skip
+        # the region for a missing key until someone writes it).
+        if status == wire.ST_OK:
+            self._note_size(key, len(value))
+        elif status == wire.ST_MISS:
+            self._note_size(key, None)
+        return status, value
+
+    def _request(self, op: int, key: str, value: bytes = b"",
+                 start: Optional[float] = None, root=None):
+        """Walk the replica set until one server answers.
+
+        ``start``/``root`` continue a request the one-sided bypass
+        already opened: the op was counted there and the walk completes
+        under the same root span."""
+        if start is None:
+            self.ops += 1
+            start = self.sim_now()
+            root = self._root_begin()
         kind = "rpc" if self.transport == "srpc" else "sock"
         tried_dead = False
         try:
@@ -700,6 +848,8 @@ class KVClient:
             "spread_reads": self.spread_reads,
             "batch_calls": self.batch_calls,
             "batched_keys": self.batched_keys,
+            "onesided_hits": self.onesided_hits,
+            "onesided_fallbacks": self.onesided_fallbacks,
         }
 
 

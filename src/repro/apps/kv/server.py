@@ -118,6 +118,8 @@ class _ShardImpl:
     def put(self, key, value):
         yield from self.proc.compute(apply_cost(len(value)))
         self.store.put(key, bytes(value))
+        yield from self.service.region_store(self.node_id, self.proc,
+                                             key, bytes(value))
         self.service.enqueue_replication(self.node_id, key, bytes(value),
                                          trace_ctx=self.proc.trace_ctx)
         return wire.ST_OK
@@ -125,6 +127,8 @@ class _ShardImpl:
     def delete(self, key):
         yield from self.proc.compute(apply_cost(0))
         existed = self.store.delete(key)
+        yield from self.service.region_store(self.node_id, self.proc,
+                                             key, None)
         self.service.enqueue_replication(self.node_id, key, None,
                                          trace_ctx=self.proc.trace_ctx)
         return wire.ST_OK if existed else wire.ST_MISS
@@ -235,6 +239,8 @@ def socket_server_program(service: "KVService", node_id: int):
                         value = proc.peek(buf + key_len, third)
                         yield from proc.compute(apply_cost(len(value)))
                         store.put(key, value)
+                        yield from service.region_store(
+                            node_id, proc, key, value)
                         service.enqueue_replication(
                             node_id, key, value, trace_ctx=proc.trace_ctx)
                         frame = wire.encode_response(wire.ST_OK)
@@ -243,6 +249,8 @@ def socket_server_program(service: "KVService", node_id: int):
                     elif op == wire.OP_DELETE:
                         yield from proc.compute(apply_cost(0))
                         existed = store.delete(key)
+                        yield from service.region_store(
+                            node_id, proc, key, None)
                         service.enqueue_replication(
                             node_id, key, None, trace_ctx=proc.trace_ctx)
                         frame = wire.encode_response(
@@ -321,6 +329,7 @@ def make_repl_program(service: "KVService", rank: int):
                 yield from proc.compute(
                     apply_cost(0 if value is None else len(value)))
                 service.stores[rank].apply_replication(key, value)
+                yield from service.region_store(rank, proc, key, value)
                 applied += 1
         except VmmcTimeoutError:
             pass  # a peer died; its stop will never come

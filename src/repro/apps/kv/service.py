@@ -28,14 +28,22 @@ from typing import Dict, List, Optional
 
 from ...kernel.system import ShrimpSystem
 from ...libs.nx import VARIANTS, nx_world
+from ...libs.onesided import RegionAdvert, RegionFormat, RegionWriter
 from ...libs.sockets import SOCKET_VARIANTS
 from ...sim import Event, Store
+from ...testbed import Rendezvous
+from ...vmmc import attach
 from . import protocol as wire
 from .hashing import HashRing
 from .server import make_repl_program, socket_server_program, srpc_server_program
 from .store import ShardStore
 
-__all__ = ["KVService"]
+__all__ = ["KVService", "region_name"]
+
+
+def region_name(node: int) -> str:
+    """The rendezvous key a shard's one-sided region is advertised under."""
+    return "kv-region-n%d" % node
 
 
 class KVService:
@@ -50,7 +58,10 @@ class KVService:
                  nx_variant: str = "AU-1copy",
                  vnodes: int = 64,
                  batch: bool = False,
-                 srpc_window: int = 1):
+                 srpc_window: int = 1,
+                 onesided: bool = False,
+                 onesided_slots: int = 1024,
+                 onesided_slot_bytes: int = 0):
         self.system = system
         # Serving-stack knobs both sides of an SRPC binding must agree
         # on: ``batch`` selects the v2 interface (multi_get available),
@@ -58,6 +69,17 @@ class KVService:
         # v1 single-call protocol bit for bit.
         self.batch = batch
         self.srpc_window = srpc_window
+        # One-sided bypass reads (docs/ONESIDED.md): each node exports
+        # a slot-table region mirroring its shard; clients discover the
+        # export ids through the rendezvous and GET straight from
+        # remote memory.  Off by default — with the knob off no region
+        # is exported, no writer hook runs, and every timed path is
+        # byte-identical to the RPC-only service.
+        self.onesided = onesided
+        self.onesided_slots = onesided_slots
+        self.onesided_slot_bytes = onesided_slot_bytes  # 0 = library default
+        self.writers: Dict[int, RegionWriter] = {}
+        self.region_rendezvous = Rendezvous(system) if onesided else None
         self.sim = system.sim
         self.nodes = list(nodes) if nodes is not None else list(
             range(system.config.n_nodes))
@@ -123,6 +145,11 @@ class KVService:
         if self.started:
             raise RuntimeError("service already started")
         self.started = True
+        if self.onesided:
+            for node in self.nodes:
+                self.handles.append(self.system.spawn(
+                    node, self._region_export_program(node),
+                    name="kv-region-n%d" % node))
         for node in self.nodes:
             for i in range(srpc_handlers):
                 self.handles.append(self.system.spawn(
@@ -137,6 +164,65 @@ class KVService:
                 self.system,
                 [make_repl_program(self, rank) for rank in self.nodes],
                 variant=self.nx_variant))
+
+    def _region_export_program(self, node: int):
+        """The per-node one-sided bootstrap: export, fill, advertise.
+
+        Runs once at service start.  The exporting process pins the
+        region's frames and hands the shard's handlers a
+        :class:`RegionWriter` over them; the region stays exported for
+        the life of the run (readers hold imports into it), so the
+        program simply returns after publishing the advert.
+        """
+
+        def program(proc):
+            if self.onesided_slot_bytes:
+                fmt = RegionFormat(self.onesided_slots,
+                                   self.onesided_slot_bytes,
+                                   page_size=proc.config.page_size)
+            else:
+                fmt = RegionFormat(self.onesided_slots,
+                                   page_size=proc.config.page_size)
+            endpoint = attach(self.system, proc)
+            region = yield from endpoint.export_new(fmt.nbytes)
+            # Register the region with the NIC's snoop-fed serve cache;
+            # if it fits, remote reads never touch this host's bus.  A
+            # region over the shadow's capacity still works — its reads
+            # are served by host DMA instead.
+            shadow = proc.node.nic.shadow
+            if not shadow.register(region.record.frames):
+                shadow = None
+            writer = RegionWriter(proc.node.memory, region.record.frames,
+                                  fmt, proc.config, shadow=shadow)
+            # Mirror the preloaded shard before advertising, so no
+            # reader can import a region that lags the store.
+            for key, value in self.stores[node].data.items():
+                writer.preload(key, value)
+            self.writers[node] = writer
+            self.region_rendezvous.put(region_name(node), RegionAdvert(
+                node_id=node, export_id=region.record.export_id,
+                slots=fmt.slots, slot_size=fmt.slot_size))
+            return fmt.slots
+
+        return program
+
+    def region_store(self, node: int, proc, key: str,
+                     value: Optional[bytes]):
+        """Mirror one applied write into the node's exported region.
+
+        Generator; called by whichever handler applied the write (RPC,
+        socket, or replication), charging the seqlock update there.  A
+        no-op while the one-sided knob is off or before the node's
+        bootstrap has run (nothing can be imported before the advert is
+        published, so readers never observe the gap).
+        """
+        writer = self.writers.get(node)
+        if writer is None:
+            return
+        if value is None:
+            yield from writer.clear(proc, key)
+        else:
+            yield from writer.store(proc, key, value)
 
     def enqueue_replication(self, origin: int, key: str,
                             value: Optional[bytes],

@@ -204,6 +204,7 @@ def paired_capacity_sweep(loads: Sequence[float],
                           cache_keys: int = 64,
                           cache_ttl_us: float = 2000.0,
                           read_spread: bool = True,
+                          onesided: bool = False,
                           tail_factor: float = 3.0,
                           shortfall: float = 0.9) -> PairedCapacityResult:
     """Sweep the same loads twice — mitigations off, then on.
@@ -211,16 +212,20 @@ def paired_capacity_sweep(loads: Sequence[float],
     ``base_spec`` supplies seed, mix, and keyspace; its mitigation
     knobs are forced OFF for the A run and replaced with the given
     values for the B run, so the pair differs only in the serving-stack
-    mitigations under test.
+    mitigations under test.  ``onesided=True`` runs the B side with
+    one-sided bypass reads (docs/ONESIDED.md) — usually *instead of*
+    the client-side mitigations, so pass the neutral values for the
+    others when isolating the bypass.
     """
     spec = base_spec if base_spec is not None else WorkloadSpec()
     baseline_spec = replace(spec, pipeline_window=1, batch_keys=1,
                             cache_keys=0, cache_ttl_us=0.0,
-                            read_spread=False)
+                            read_spread=False, onesided_reads=False)
     mitigated_spec = replace(spec, pipeline_window=pipeline_window,
                              batch_keys=batch_keys, cache_keys=cache_keys,
                              cache_ttl_us=cache_ttl_us,
-                             read_spread=read_spread)
+                             read_spread=read_spread,
+                             onesided_reads=onesided)
     baseline = capacity_sweep(loads, baseline_spec, tail_factor=tail_factor,
                               shortfall=shortfall)
     mitigated = capacity_sweep(loads, mitigated_spec, tail_factor=tail_factor,

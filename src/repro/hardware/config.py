@@ -264,6 +264,21 @@ class MachineConfig:
     ipt_lookup: float = 0.15
     """Indexing the Incoming Page Table with the packet's destination page."""
 
+    nic_shadow_bytes: int = 1 << 20
+    """On-card region shadow capacity (the snoop-fed serve cache of
+    docs/ONESIDED.md): exported read-served pages whose snooped stores
+    the NIC retains in its on-board DRAM, so READ_REQUESTs are answered
+    without touching the host bus.  0 disables the shadow; every read
+    request is then served by host DMA over EISA."""
+
+    nic_shadow_read_setup: float = 0.50
+    """Per-chunk serve turnaround out of the on-card shadow: no bus
+    arbitration or DMA startup, just the engine indexing its own DRAM."""
+
+    nic_shadow_read_rate: float = 0.010
+    """Per-byte cost of streaming shadow bytes from on-card DRAM into a
+    reply packet (µs/B) — card-local, so much faster than EISA DMA."""
+
     interrupt_latency: float = 18.0
     """Raising an interrupt to the node CPU and entering the kernel
     handler (used by notifications and by receive-path faults)."""

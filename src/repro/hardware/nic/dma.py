@@ -38,6 +38,8 @@ from ...sim import (
 )
 from ..config import MachineConfig
 from ..memory import PhysicalMemory
+from ..router.packet import (PacketKind, decode_read_request,
+                             encode_read_reply_header)
 from .arbiter import Arbiter, INCOMING_PRIORITY
 from .ipt import IncomingPageTable
 from .opt import OutgoingPageTable
@@ -262,6 +264,19 @@ class IncomingDmaEngine:
         self.incoming: Store = Store(
             sim, capacity=config.incoming_queue_packets, name="incoming-n%d" % node_id
         )
+        # The node's packetizer, wired by NetworkInterface after both
+        # exist: READ_REQUEST replies leave through the normal outgoing
+        # datapath as deliberate-update packets.
+        self.packetizer = None
+        # The on-card region shadow, wired by NetworkInterface: serves
+        # READ_REQUESTs for registered pages without touching the host
+        # bus, and is kept coherent by this engine's own landing writes.
+        self.shadow = None
+        self.read_requests_served = 0
+        self.read_requests_shadowed = 0
+        self.read_requests_dropped = 0
+        self.read_requests_denied = 0
+        self.read_reply_bytes = 0
         # Kernel hooks, installed at boot:
         self.fault_handler: Optional[Callable[[ReceiveFault], None]] = None
         self.notify_handler: Optional[Callable[[int, int], None]] = None
@@ -308,6 +323,9 @@ class IncomingDmaEngine:
                     # while longer.  Latency-only; data is untouched.
                     self.stalls += 1
                     yield self.sim.timeout(fault.params.get("stall_us", 50.0))
+            if packet.kind is PacketKind.READ_REQUEST:
+                yield from self._serve_remote_read(packet)
+                continue
             grant = self.arbiter.request(priority=INCOMING_PRIORITY)
             yield grant
             span = None
@@ -350,6 +368,10 @@ class IncomingDmaEngine:
             yield self.sim.timeout(cfg.incoming_dma_setup)
             yield self.eisa.transfer(packet.size)
             self.memory.write(packet.dst_paddr, packet.payload)
+            if self.shadow is not None:
+                # The card mirrors its own landing DMA into the shadow,
+                # the second of the two datapaths that keep it coherent.
+                self.shadow.write(packet.dst_paddr, packet.payload)
             self.packets_received += 1
             self.bytes_received += packet.size
             self.tracer.log(
@@ -367,3 +389,142 @@ class IncomingDmaEngine:
                     self.sim.schedule_call(
                         cfg.interrupt_latency, self.notify_handler, first_page, packet.size
                     )
+
+    def _serve_remote_read(self, packet):
+        """Serve one READ_REQUEST entirely on the NIC — no CPU involved.
+
+        The descriptor is validated (bad length, magic, or CRC drops the
+        request; the reader's bounded completion poll then expires and
+        it falls back to its RPC path) and the source range is checked
+        against the Incoming Page Table like any remote access; both
+        are card-local, so no bus grant is taken for them.  If the
+        range is resident in the on-card region shadow the reply is
+        assembled straight from NIC memory — the host bus and its
+        arbiter are never touched, and the target host cannot even
+        observe the read.  Otherwise the data is DMA'd out of main
+        memory chunk by chunk under an arbiter grant.  Either way the
+        reply leaves as ordinary deliberate-update packets addressed to
+        the reply buffer named in the descriptor, completion header
+        *last*: per-pair in-order delivery guarantees the data has
+        landed when the reader's poll sees the header
+        (docs/ONESIDED.md).  A denied or malformed request is dropped
+        rather than frozen — unlike a landing write, nothing was
+        received that the kernel could re-enable a page for.
+        """
+        cfg = self.config
+        yield self.sim.timeout(cfg.ipt_lookup)
+        request = decode_read_request(packet.payload)
+        if request is None:
+            self.read_requests_dropped += 1
+            self.tracer.log(
+                "dma-in",
+                "n%d dropped malformed read request from n%d"
+                % (self.node_id, packet.src_node),
+            )
+            return
+        span = None
+        if self.tracer.enabled:
+            data = {"bytes": request.nbytes, "src_node": packet.src_node}
+            if request.trace_id:
+                data["tid"] = request.trace_id
+                data["xparent"] = request.parent_sid
+            span = self.tracer.begin(
+                "nic.remote_read", "rread %dB" % request.nbytes,
+                track="n%d.nic.rr" % self.node_id, data=data,
+            )
+        if not self.ipt.check_range(request.src_paddr, request.nbytes):
+            self.read_requests_denied += 1
+            self.tracer.log(
+                "dma-in",
+                "n%d denied read request at %#x (+%d) from n%d"
+                % (self.node_id, request.src_paddr, request.nbytes,
+                   packet.src_node),
+            )
+            self.tracer.end(span, data={"denied": True})
+            return
+        # The completion header (seq, length, CRC, status) is
+        # synthesized on the card from the data streaming past — it is
+        # never fetched from host memory.
+        header_size = len(encode_read_reply_header(0, b""))
+        shadowed = (self.shadow.read(request.src_paddr, request.nbytes)
+                    if self.shadow is not None else None)
+        if shadowed is not None:
+            # Shadow hit: the snoop logic already carried these bytes
+            # past the card when they were stored, so the serve is a
+            # read of on-card DRAM — no arbiter grant, no EISA cycle.
+            if header_size + request.nbytes <= cfg.max_packet_payload:
+                yield self.sim.timeout(
+                    cfg.nic_shadow_read_setup
+                    + cfg.nic_shadow_read_rate * request.nbytes)
+                header = encode_read_reply_header(request.seq, shadowed)
+                self.packetizer.du_emit(
+                    packet.src_node, request.reply_paddr, header + shadowed,
+                    interrupt=False,
+                )
+            else:
+                reply_data_base = request.reply_paddr + header_size
+                offset = 0
+                while offset < request.nbytes:
+                    chunk = min(request.nbytes - offset,
+                                cfg.max_packet_payload)
+                    yield self.sim.timeout(
+                        cfg.nic_shadow_read_setup
+                        + cfg.nic_shadow_read_rate * chunk)
+                    self.packetizer.du_emit(
+                        packet.src_node, reply_data_base + offset,
+                        shadowed[offset:offset + chunk],
+                        interrupt=False,
+                    )
+                    offset += chunk
+                header = encode_read_reply_header(request.seq, shadowed)
+                self.packetizer.du_emit(
+                    packet.src_node, request.reply_paddr, header,
+                    interrupt=False,
+                )
+            self.read_requests_shadowed += 1
+        else:
+            grant = self.arbiter.request(priority=INCOMING_PRIORITY)
+            yield grant
+            if header_size + request.nbytes <= cfg.max_packet_payload:
+                # Header and data ride one packet, delivered (and
+                # written to the reply buffer) atomically — the common
+                # case for the small reads the bypass is tuned for.
+                yield self.sim.timeout(cfg.du_dma_read_setup)
+                yield self.eisa.transfer(request.nbytes)
+                data = self.memory.read(request.src_paddr, request.nbytes)
+                header = encode_read_reply_header(request.seq, data)
+                self.packetizer.du_emit(
+                    packet.src_node, request.reply_paddr, header + data,
+                    interrupt=False,
+                )
+            else:
+                reply_data_base = request.reply_paddr + header_size
+                chunks = []
+                offset = 0
+                while offset < request.nbytes:
+                    chunk = min(request.nbytes - offset,
+                                cfg.max_packet_payload)
+                    yield self.sim.timeout(cfg.du_dma_read_setup)
+                    yield self.eisa.transfer(chunk)
+                    data = self.memory.read(request.src_paddr + offset, chunk)
+                    self.packetizer.du_emit(
+                        packet.src_node, reply_data_base + offset, data,
+                        interrupt=False,
+                    )
+                    chunks.append(data)
+                    offset += chunk
+                header = encode_read_reply_header(request.seq, b"".join(chunks))
+                self.packetizer.du_emit(
+                    packet.src_node, request.reply_paddr, header,
+                    interrupt=False,
+                )
+            self.arbiter.release(grant)
+        self.read_requests_served += 1
+        self.read_reply_bytes += request.nbytes
+        self.tracer.log(
+            "dma-in",
+            "n%d served read request %#x +%d -> n%d%s"
+            % (self.node_id, request.src_paddr, request.nbytes,
+               packet.src_node, " (shadow)" if shadowed is not None else ""),
+        )
+        self.tracer.end(span, data={"shadow": shadowed is not None})

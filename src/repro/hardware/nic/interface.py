@@ -30,6 +30,7 @@ from .fifo import OutgoingFifo
 from .ipt import IncomingPageTable
 from .opt import OutgoingPageTable
 from .packetizer import Packetizer
+from .shadow import RegionShadow
 from .snoop import SnoopLogic
 
 __all__ = ["NetworkInterface"]
@@ -73,6 +74,14 @@ class NetworkInterface:
             sim, config, node_id, memory, eisa, self.ipt, self.arbiter,
             self.tracer, faults=self.faults
         )
+        # One-sided READ_REQUEST replies leave through this node's own
+        # outgoing datapath (packetizer -> FIFO -> inject -> mesh).
+        self.incoming.packetizer = self.packetizer
+        # Snoop-fed serve cache for exported read-served regions: fed by
+        # snoop_write and by the landing engine's own DMA writes, read
+        # by the READ_REQUEST serve path (docs/ONESIDED.md).
+        self.shadow = RegionShadow(config)
+        self.incoming.shadow = self.shadow
         mesh.attach(node_id, self.incoming.deliver)
         spawn(sim, self._inject_loop(), name="nic-inject-n%d" % node_id)
 
@@ -80,6 +89,7 @@ class NetworkInterface:
     def snoop_write(self, paddr: int, data: bytes) -> None:
         """Feed one completed CPU store into the snoop logic."""
         self.snoop.on_write(paddr, data)
+        self.shadow.write(paddr, data)
 
     def initiate_deliberate_update(
         self,
@@ -168,5 +178,10 @@ class NetworkInterface:
             "packets_received": self.incoming.packets_received,
             "bytes_received": self.incoming.bytes_received,
             "receive_faults": self.incoming.faults,
+            "read_requests_served": self.incoming.read_requests_served,
+            "read_requests_shadowed": self.incoming.read_requests_shadowed,
+            "read_requests_dropped": self.incoming.read_requests_dropped,
+            "read_requests_denied": self.incoming.read_requests_denied,
+            "shadow_resident_bytes": self.shadow.resident_bytes,
             "fifo_high_water": self.fifo.high_water,
         }

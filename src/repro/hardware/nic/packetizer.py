@@ -147,6 +147,18 @@ class Packetizer:
         self._close_open()
         self._emit_closed(dst_node, dst_paddr, payload, PacketKind.DELIBERATE_UPDATE, interrupt)
 
+    # -- one-sided read request path ---------------------------------------------
+    def request_emit(self, dst_node: int, payload: bytes) -> None:
+        """Queue a READ_REQUEST descriptor as one packet.
+
+        Request packets carry no destination store address (the target
+        NIC interprets the descriptor instead of landing the payload),
+        but they share the FIFO and the mesh with update traffic, so
+        per-pair ordering and the mesh fault sites apply to them too.
+        """
+        self._close_open()
+        self._emit_closed(dst_node, 0, payload, PacketKind.READ_REQUEST, False)
+
     # -- timer ---------------------------------------------------------------------
     def _arm_timer(self) -> None:
         if self._timer_armed or self._open is None:

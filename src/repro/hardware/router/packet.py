@@ -5,15 +5,28 @@ a header carrying the *destination physical base address* (VMMC packets
 address memory, not processes) plus flags, followed by the payload bytes.
 The mesh preserves per-(source, destination) order, which VMMC turns
 into its in-order delivery guarantee.
+
+Besides the two store-carrying kinds (automatic and deliberate update),
+the NIC understands one *request* kind: a ``READ_REQUEST`` carries a
+fixed-size descriptor asking the destination NIC to DMA a physical
+range out of its memory and return it as ordinary deliberate-update
+packets addressed to a reply buffer named in the descriptor
+(docs/ONESIDED.md).  The descriptor and the reply completion header are
+hardware wire formats, so their structs live here next to the packet.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import struct
+import zlib
 from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
 
-__all__ = ["PacketKind", "Packet"]
+__all__ = ["PacketKind", "Packet", "ReadRequest", "READ_REPLY_HEADER",
+           "READ_REQUEST_MAGIC", "encode_read_request",
+           "decode_read_request", "encode_read_reply_header"]
 
 _SEQUENCE = itertools.count(1)
 
@@ -23,6 +36,63 @@ class PacketKind(enum.Enum):
 
     AUTOMATIC_UPDATE = "au"
     DELIBERATE_UPDATE = "du"
+    READ_REQUEST = "rr"
+
+
+# One-sided read request descriptor: magic, seq, src_paddr, nbytes,
+# reply_paddr, trace id, parent span id, crc32 of the preceding fields.
+# Trace id zero means "untraced" (repro.obs.context convention).
+READ_REQUEST_MAGIC = 0x52445231  # "RDR1"
+_READ_REQUEST = struct.Struct("<IIIIIII")
+_READ_REQUEST_CRC = struct.Struct("<I")
+
+# Reply completion header, written at offset 0 of the reply buffer
+# *after* the data chunks (in-order per-pair delivery makes it the
+# commit point): seq, data length, crc32 of the data, status.
+READ_REPLY_HEADER = struct.Struct("<IIII")
+READ_REPLY_OK = 0
+
+
+class ReadRequest(NamedTuple):
+    """A decoded, CRC-verified READ_REQUEST descriptor."""
+
+    seq: int
+    src_paddr: int
+    nbytes: int
+    reply_paddr: int
+    trace_id: int
+    parent_sid: int
+
+
+def encode_read_request(seq: int, src_paddr: int, nbytes: int,
+                        reply_paddr: int, trace_id: int = 0,
+                        parent_sid: int = 0) -> bytes:
+    """The wire descriptor of one one-sided read request."""
+    body = _READ_REQUEST.pack(READ_REQUEST_MAGIC, seq, src_paddr, nbytes,
+                              reply_paddr, trace_id, parent_sid)
+    return body + _READ_REQUEST_CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def decode_read_request(payload: bytes) -> Optional[ReadRequest]:
+    """Validate and decode a descriptor; None if malformed or corrupt."""
+    if len(payload) != _READ_REQUEST.size + _READ_REQUEST_CRC.size:
+        return None
+    body = payload[:_READ_REQUEST.size]
+    (crc,) = _READ_REQUEST_CRC.unpack(payload[_READ_REQUEST.size:])
+    if crc != zlib.crc32(body) & 0xFFFFFFFF:
+        return None
+    magic, seq, src_paddr, nbytes, reply_paddr, tid, psid = \
+        _READ_REQUEST.unpack(body)
+    if magic != READ_REQUEST_MAGIC or nbytes <= 0:
+        return None
+    return ReadRequest(seq, src_paddr, nbytes, reply_paddr, tid, psid)
+
+
+def encode_read_reply_header(seq: int, data: bytes,
+                             status: int = READ_REPLY_OK) -> bytes:
+    """The completion header stamped after the reply data landed."""
+    return READ_REPLY_HEADER.pack(seq, len(data),
+                                  zlib.crc32(data) & 0xFFFFFFFF, status)
 
 
 @dataclass

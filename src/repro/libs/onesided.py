@@ -1,0 +1,501 @@
+"""One-sided remote-memory channels over VMMC (docs/ONESIDED.md).
+
+The RDMA-style layer the serving stack's bypass reads use: a *region*
+is an exported buffer laid out as a table of fixed-size slots, each
+protected by a seqlock (version stamp at the head and tail of the slot)
+and a CRC over its key/value body.  Writers on the owning node update
+slots in place through :class:`RegionWriter`; remote readers fetch a
+whole slot with one :meth:`~repro.vmmc.VmmcEndpoint.read_remote` call —
+no CPU runs on the owning node — and validate the stamps locally
+through :class:`RegionReader`.
+
+Protocol summary (the full walk-through is docs/ONESIDED.md):
+
+* a slot is ``[version_head][key_len][value_len][crc][key][value]
+  [version_tail]`` with the tail stamp *adjacent to the body*, so a
+  reader that fetches only a prefix of the slot (adaptive readers track
+  per-key lengths and read just what they expect) still sees both
+  stamps; stable slots have ``head == tail`` and even;
+* a writer bumps the head to odd, writes the body, then stamps tail and
+  head back to the next even version — a concurrent remote read sees
+  either a stable version or a torn one it can detect and retry;
+* the CRC covers key+value, so a reply corrupted on the mesh (or data
+  interleaved from a stale late reply) is also detected and retried;
+* reader retries are *bounded*: a writer that stalls mid-update under
+  fault injection surfaces as :class:`SeqlockTimeoutError` (a
+  :class:`~repro.vmmc.errors.VmmcTimeoutError`), never a spin;
+* region discovery is a rendezvous handshake: the exporter advertises a
+  :class:`RegionAdvert` under a well-known name, importers look it up
+  and pay the daemon import round trip; values too large for a slot are
+  marked oversize, telling the reader to rendezvous with the owner over
+  its RPC path instead.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..vmmc.errors import (VmmcReadTimeoutError, VmmcTimeoutError,
+                           VmmcTransferError)
+from .recovery import attempt_timeout_us
+
+__all__ = ["SLOT_HEADER", "SLOT_TAIL", "OVERSIZE", "RegionFormat",
+           "RegionAdvert", "RegionWriter", "RegionReader", "SlotHints",
+           "SeqlockTimeoutError", "decode_slot"]
+
+# Slot body header: version_head, key_len, value_len, crc32(key+value).
+SLOT_HEADER = struct.Struct("<IHHI")
+_HEAD = struct.Struct("<I")
+SLOT_TAIL = struct.Struct("<I")
+
+#: ``value_len`` sentinel: the key's value did not fit the slot — the
+#: reader must rendezvous with the owner over the RPC path instead.
+OVERSIZE = 0xFFFF
+
+# Slot stride tuned to the serving mix: one slot is one one-sided read,
+# so the stride bounds the bytes every bypass GET moves over the EISA
+# buses and the mesh.  256 covers the common small values; larger ones
+# publish an oversize marker and ride the RPC fallback.
+DEFAULT_SLOT_SIZE = 256
+
+
+class SlotHints:
+    """Occupancy cache for one remote region, shareable across readers.
+
+    ``sizes`` maps key -> exact slot-read length; ``skip`` holds keys
+    the region is known not to answer (oversize values, colliding
+    slots, deletions).  Both are learned from reads and this host's own
+    writes, so sharing one table among the clients of one host (a
+    client-library cache) is the natural deployment: a key's occupancy
+    is a property of the region, not of who asked.  Stale entries cost
+    one "short" corrective read or a missed bypass opportunity — never
+    a wrong answer.
+    """
+
+    __slots__ = ("sizes", "skip")
+
+    def __init__(self):
+        self.sizes: dict = {}
+        self.skip: set = set()
+
+
+class SeqlockTimeoutError(VmmcTimeoutError):
+    """Bounded seqlock retries exhausted on a one-sided read.
+
+    Every attempt observed a torn/in-flight slot (a writer stalled
+    mid-update), a corrupt reply, or a read timeout.  Callers fall back
+    to their RPC path; the default workload knobs never reach here.
+    """
+
+
+@dataclass(frozen=True)
+class RegionFormat:
+    """Geometry of one slot-table region.
+
+    ``slot_size`` must divide the page size: imported frames need not
+    be physically contiguous and a one-sided read cannot cross a remote
+    page boundary, so every slot must sit inside one page.
+    """
+
+    slots: int
+    slot_size: int = DEFAULT_SLOT_SIZE
+    page_size: int = 4096
+
+    def __post_init__(self):
+        if self.slots <= 0:
+            raise ValueError("a region needs at least one slot")
+        if self.slot_size <= SLOT_HEADER.size + SLOT_TAIL.size:
+            raise ValueError("slot size %d leaves no body room" % self.slot_size)
+        if self.page_size % self.slot_size != 0:
+            raise ValueError(
+                "slot size %d must divide the page size %d (slots may not "
+                "cross page boundaries)" % (self.slot_size, self.page_size))
+
+    @property
+    def nbytes(self) -> int:
+        """Page-rounded region size."""
+        raw = self.slots * self.slot_size
+        return -(-raw // self.page_size) * self.page_size
+
+    @property
+    def capacity(self) -> int:
+        """Body bytes one slot can hold (key plus value)."""
+        return self.slot_size - SLOT_HEADER.size - SLOT_TAIL.size
+
+    def slot_of(self, key: str) -> int:
+        """The slot index a key hashes to (colliding keys evict)."""
+        return zlib.crc32(key.encode()) % self.slots
+
+    def slot_offset(self, index: int) -> int:
+        """Byte offset of slot ``index`` within the region."""
+        return index * self.slot_size
+
+
+@dataclass(frozen=True)
+class RegionAdvert:
+    """What an exporter publishes for the rendezvous handshake."""
+
+    node_id: int
+    export_id: int
+    slots: int
+    slot_size: int
+
+    def format(self, page_size: int = 4096) -> RegionFormat:
+        """The advertised geometry as a :class:`RegionFormat`."""
+        return RegionFormat(self.slots, self.slot_size, page_size)
+
+
+def decode_slot(fmt: RegionFormat, raw: bytes, key: str):
+    """Validate a fetched slot prefix against ``key``.
+
+    ``raw`` may be any prefix of the slot — adaptive readers fetch only
+    the bytes they expect to need.  Returns one of:
+
+    * ``("hit", value)`` — stable slot holding ``key``;
+    * ``("absent", None)`` — empty slot, other key, or oversize value
+      (the caller falls back to RPC);
+    * ``("torn", None)`` — in-flight or corrupt (the caller retries);
+    * ``("short", total)`` — the prefix ends before the tail stamp;
+      re-read ``total`` bytes.
+    """
+    if len(raw) < SLOT_HEADER.size + SLOT_TAIL.size:
+        return "short", SLOT_HEADER.size + SLOT_TAIL.size
+    head, key_len, value_len, crc = SLOT_HEADER.unpack_from(raw, 0)
+    if head % 2 != 0:
+        return "torn", None
+    if head == 0:
+        return "absent", None
+    body_len = key_len + (0 if value_len == OVERSIZE else value_len)
+    total = SLOT_HEADER.size + body_len + SLOT_TAIL.size
+    if total > fmt.slot_size:
+        return "torn", None  # lengths from a corrupt/in-flight header
+    if len(raw) < total:
+        return "short", total
+    (tail,) = SLOT_TAIL.unpack_from(raw, total - SLOT_TAIL.size)
+    if tail != head:
+        return "torn", None
+    if key_len == 0:
+        return "absent", None
+    kb = key.encode()
+    body = raw[SLOT_HEADER.size:]
+    if body[:key_len] != kb:
+        return "absent", None
+    if value_len == OVERSIZE:
+        return "absent", None
+    value = bytes(body[key_len:key_len + value_len])
+    if zlib.crc32(kb + value) & 0xFFFFFFFF != crc:
+        return "torn", None
+    return "hit", value
+
+
+class RegionWriter:
+    """Seqlock writer over an exported slot region.
+
+    Shared by every request handler of the owning node: writes go
+    through *physical* memory against the export's pinned frames (the
+    handlers run in their own address spaces), with the timed store
+    cost charged to the calling process.  A cooperative lock serializes
+    concurrent handlers — the seqlock protects readers against one
+    in-flight writer, not writers against each other.
+    """
+
+    def __init__(self, memory, frames: List[int], fmt: RegionFormat, config,
+                 shadow=None):
+        self.memory = memory
+        self.frames = frames
+        self.fmt = fmt
+        self.config = config
+        # The NIC's on-card region shadow, when the export registered
+        # its frames there.  Region pages are write-through, so every
+        # store below is on the bus where the card snoops it; mirroring
+        # here models that retention — same bytes, same instant, no
+        # extra cost (hardware/nic/shadow.py).
+        self.shadow = shadow
+        self._versions = [0] * fmt.slots
+        self._busy = False
+        self._waiters: list = []
+        self.stores = 0
+        self.clears = 0
+        self.oversize = 0
+
+    # -- physical region access ---------------------------------------
+    def _phys_write(self, offset: int, data: bytes) -> None:
+        page = self.fmt.page_size
+        while data:
+            frame = self.frames[offset // page]
+            within = offset % page
+            take = min(len(data), page - within)
+            self.memory.write(frame * page + within, data[:take])
+            if self.shadow is not None:
+                self.shadow.write(frame * page + within, data[:take])
+            offset += take
+            data = data[take:]
+
+    def _phys_read(self, offset: int, nbytes: int) -> bytes:
+        page = self.fmt.page_size
+        out = bytearray()
+        while nbytes > 0:
+            frame = self.frames[offset // page]
+            within = offset % page
+            take = min(nbytes, page - within)
+            out += self.memory.read(frame * page + within, take)
+            offset += take
+            nbytes -= take
+        return bytes(out)
+
+    # -- writer serialization ------------------------------------------
+    def _acquire(self, proc):
+        while self._busy:
+            event = proc.sim.event("onesided-writer-wait")
+            self._waiters.append(event)
+            yield event
+        self._busy = True
+
+    def _release(self) -> None:
+        self._busy = False
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    # -- slot bodies ---------------------------------------------------
+    def _body(self, version: int, key: str, value: Optional[bytes],
+              oversize: bool) -> bytes:
+        """One complete slot image: header, key, value, tail stamp."""
+        kb = key.encode()
+        if oversize:
+            header = SLOT_HEADER.pack(version, len(kb), OVERSIZE, 0)
+            return header + kb + SLOT_TAIL.pack(version)
+        body = value or b""
+        crc = zlib.crc32(kb + body) & 0xFFFFFFFF
+        return (SLOT_HEADER.pack(version, len(kb), len(body), crc)
+                + kb + body + SLOT_TAIL.pack(version))
+
+    def _commit(self, proc, index: int, body_after_head: bytes):
+        """The timed seqlock sequence: odd head, body+tail, even head.
+
+        The body write is charged at the calling process's store rate
+        *between* the odd and even stamps, so a concurrent remote read
+        really can observe the in-flight (odd) state — which is what
+        the fault sweeps drive at.
+        """
+        from ..hardware.config import CacheMode
+
+        fmt = self.fmt
+        base = fmt.slot_offset(index)
+        next_version = self._versions[index] + 2
+        base_us, per_byte = self.config.write_rate(CacheMode.WRITE_THROUGH)
+        yield proc.sim.timeout(base_us)
+        self._phys_write(base, _HEAD.pack(next_version - 1))
+        yield proc.sim.timeout(base_us + per_byte * len(body_after_head))
+        self._phys_write(base + _HEAD.size, body_after_head)
+        yield proc.sim.timeout(base_us)
+        self._phys_write(base, _HEAD.pack(next_version))
+        self._versions[index] = next_version
+
+    # -- the write-side API --------------------------------------------
+    def store(self, proc, key: str, value: bytes):
+        """Publish ``key -> value`` (timed; called from a handler).
+
+        A value too large for the slot is published as an oversize
+        marker instead — readers then rendezvous over the RPC path.
+        """
+        fmt = self.fmt
+        index = fmt.slot_of(key)
+        kb = key.encode()
+        oversize = len(kb) + len(value) > fmt.capacity
+        if oversize:
+            self.oversize += 1
+        yield from self._acquire(proc)
+        try:
+            version = self._versions[index] + 2
+            body = self._body(version, key, None if oversize else value,
+                              oversize)
+            yield from self._commit(proc, index, body[_HEAD.size:])
+            self.stores += 1
+        finally:
+            self._release()
+
+    def clear(self, proc, key: str):
+        """Retire ``key``'s slot if it still holds that key (timed)."""
+        fmt = self.fmt
+        index = fmt.slot_of(key)
+        base = fmt.slot_offset(index)
+        yield from self._acquire(proc)
+        try:
+            _head, key_len, _vlen, _crc = SLOT_HEADER.unpack(
+                self._phys_read(base, SLOT_HEADER.size))
+            held = self._phys_read(base + SLOT_HEADER.size, key_len) if key_len else b""
+            if held != key.encode():
+                return
+            version = self._versions[index] + 2
+            empty = SLOT_HEADER.pack(version, 0, 0, 0)
+            yield from self._commit(proc, index, empty[_HEAD.size:])
+            self.clears += 1
+        finally:
+            self._release()
+
+    def preload(self, key: str, value: bytes) -> None:
+        """Untimed boot-time slot fill (mirrors the store preload)."""
+        fmt = self.fmt
+        index = fmt.slot_of(key)
+        kb = key.encode()
+        oversize = len(kb) + len(value) > fmt.capacity
+        version = self._versions[index] + 2
+        body = self._body(version, key, None if oversize else value, oversize)
+        base = fmt.slot_offset(index)
+        self._phys_write(base + _HEAD.size, body[_HEAD.size:])
+        self._phys_write(base, _HEAD.pack(version))
+        self._versions[index] = version
+
+
+class RegionReader:
+    """Client-side bypass reader: one-sided slot fetch + validation.
+
+    ``reply_vaddr`` points into a locally *exported* page (the target
+    NIC's reply packets must pass this node's Incoming Page Table); one
+    page serves every region a client reads, since a blocking client
+    has one read outstanding at a time.
+    """
+
+    #: Bounded retry budget; each attempt's completion-poll deadline
+    #: grows exponentially (libs/recovery.py discipline).
+    MAX_ATTEMPTS = 4
+    #: Backoff between seqlock retries: enough for an in-flight writer
+    #: to finish its body write at the modeled store rate.
+    RETRY_BACKOFF_US = 3.0
+    #: First-touch read size: header plus a typical small key and value.
+    #: One-sided bytes are the bypass's scarce resource, so readers
+    #: learn each key's exact slot occupancy and fetch just that.
+    INITIAL_READ_BYTES = 160
+
+    def __init__(self, endpoint, imported, fmt: RegionFormat,
+                 reply_vaddr: int, base_timeout_us: float = 400.0,
+                 hints: Optional[SlotHints] = None):
+        self.endpoint = endpoint
+        self.imported = imported
+        self.fmt = fmt
+        self.reply_vaddr = reply_vaddr
+        self.base_timeout_us = base_timeout_us
+        # The region's occupancy cache: exact read lengths (a wrong
+        # hint costs one "short" re-read, never a wrong answer — the
+        # tail stamp is part of the validated bytes) plus the keys the
+        # region cannot answer (skipped straight to RPC rather than
+        # paying a doomed read on every GET).  Pass a shared
+        # :class:`SlotHints` to pool what co-located clients learn.
+        self.hints = hints if hints is not None else SlotHints()
+        self.hits = 0
+        self.absences = 0
+        self.retries = 0
+        self.rereads = 0
+        self.skips = 0
+
+    def knows(self, key: str) -> bool:
+        """Whether the cache pins ``key`` to an exact, fitting read.
+
+        KV clients only bypass for known keys: a first GET rides the
+        RPC path anyway (only the server can answer a true miss), and
+        its reply teaches the exact slot occupancy — so no bypass read
+        is ever issued blind, and every one moves just the bytes the
+        slot holds.
+        """
+        return key in self.hints.sizes and key not in self.hints.skip
+
+    def note_write(self, key: str, nbytes: Optional[int]) -> None:
+        """Learn a key's new occupancy from a write this host made.
+
+        ``nbytes`` is the written value's size, or None for a delete.
+        A fitting value yields an exact read-length hint; a delete or
+        an oversize value marks the key skip-to-RPC.  A write is
+        authoritative — the slot now holds (or no longer holds) this
+        key — so it may clear a skip mark that a read never could.
+        """
+        if nbytes is not None and nbytes <= self.fmt.capacity:
+            self.hints.sizes[key] = (SLOT_HEADER.size + len(key.encode())
+                                     + nbytes + SLOT_TAIL.size)
+            self.hints.skip.discard(key)
+        else:
+            self.hints.sizes.pop(key, None)
+            self.hints.skip.add(key)
+
+    def note_size(self, key: str, nbytes: Optional[int]) -> None:
+        """Learn a key's occupancy from an RPC *read* of it.
+
+        Like :meth:`note_write` for sizing, but it never clears a skip
+        mark: a skipped key whose slot another key occupies (a
+        collision) would otherwise ping-pong — each RPC answer
+        re-arming a bypass read that is doomed to come back absent.
+        Only a write to the key (which re-stamps the slot) re-opens it.
+        """
+        if nbytes is None:
+            self.hints.sizes.pop(key, None)
+            self.hints.skip.add(key)
+        elif key not in self.hints.skip:
+            if nbytes <= self.fmt.capacity:
+                self.hints.sizes[key] = (SLOT_HEADER.size
+                                         + len(key.encode())
+                                         + nbytes + SLOT_TAIL.size)
+            else:
+                self.hints.skip.add(key)
+
+    def lookup(self, key: str):
+        """Fetch ``key``'s slot one-sidedly; ``(found, value-or-None)``.
+
+        ``(False, None)`` means the region cannot answer (empty slot,
+        colliding key, oversize value) — fall back to RPC.  Raises
+        :class:`SeqlockTimeoutError` once the bounded retry budget is
+        spent on torn slots, corrupt replies, or read timeouts.
+        """
+        fmt = self.fmt
+        if key in self.hints.skip:
+            self.skips += 1
+            return False, None
+        offset = fmt.slot_offset(fmt.slot_of(key))
+        proc = self.endpoint.proc
+        floor = SLOT_HEADER.size + SLOT_TAIL.size
+        want = max(floor, min(self.hints.sizes.get(key,
+                                                   self.INITIAL_READ_BYTES),
+                              fmt.slot_size))
+        last_error: Optional[Exception] = None
+        attempt = 0
+        corrections = 0
+        while attempt < self.MAX_ATTEMPTS:
+            if attempt:
+                self.retries += 1
+                yield from proc.compute(self.RETRY_BACKOFF_US * attempt)
+            try:
+                raw = yield from self.endpoint.read_remote(
+                    self.imported, offset, want, self.reply_vaddr,
+                    timeout_us=attempt_timeout_us(self.base_timeout_us,
+                                                  attempt))
+            except (VmmcReadTimeoutError, VmmcTransferError) as exc:
+                last_error = exc
+                attempt += 1
+                continue
+            state, extra = decode_slot(fmt, raw, key)
+            if state == "short":
+                # A length correction, not a failure — but bounded: a
+                # slot rewritten under us could keep moving the goal.
+                want = extra
+                corrections += 1
+                self.rereads += 1
+                if corrections > 2:
+                    attempt += 1
+                continue
+            if state == "hit":
+                self.hits += 1
+                self.hints.sizes[key] = (SLOT_HEADER.size + len(key.encode())
+                                         + len(extra) + SLOT_TAIL.size)
+                self.hints.skip.discard(key)
+                return True, extra
+            if state == "absent":
+                self.absences += 1
+                self.hints.skip.add(key)
+                return False, None
+            last_error = None  # torn: the writer is (or was) in flight
+            attempt += 1
+        raise SeqlockTimeoutError(
+            "one-sided lookup of %r gave no stable slot in %d attempts"
+            % (key, self.MAX_ATTEMPTS)) from last_error

@@ -14,6 +14,7 @@ from .errors import (
     MappingError,
     VmmcAlignmentError,
     VmmcError,
+    VmmcReadTimeoutError,
     VmmcStateError,
     VmmcTimeoutError,
     VmmcTransferError,
@@ -30,6 +31,7 @@ __all__ = [
     "VmmcAlignmentError",
     "VmmcEndpoint",
     "VmmcError",
+    "VmmcReadTimeoutError",
     "VmmcStateError",
     "VmmcTimeoutError",
     "VmmcTransferError",

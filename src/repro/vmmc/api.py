@@ -23,12 +23,16 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+import zlib
+
 from ..hardware.config import CacheMode
+from ..hardware.router.packet import READ_REPLY_HEADER, encode_read_request
 from ..kernel.daemon import AutomaticBinding, ImportedBuffer, ShrimpDaemon
 from ..kernel.process import UserProcess
 from ..kernel.system import ShrimpSystem
 from .buffers import ExportedBuffer, NotificationHandler
-from .errors import VmmcAlignmentError, VmmcStateError
+from .errors import (VmmcAlignmentError, VmmcReadTimeoutError,
+                     VmmcStateError, VmmcTransferError)
 from .notifications import NotificationCenter
 
 __all__ = ["VmmcEndpoint", "attach"]
@@ -46,6 +50,9 @@ class VmmcEndpoint:
         proc.vmmc = self
         self.sends = 0
         self.bytes_sent = 0
+        self.reads = 0
+        self.bytes_read = 0
+        self._read_seq = 0
 
     # ------------------------------------------------------------------
     # Buffer allocation convenience
@@ -242,6 +249,126 @@ class VmmcEndpoint:
     def wait_send(self, done_event):
         """Block until a non-blocking send's source has been read."""
         yield done_event
+
+    # ------------------------------------------------------------------
+    # One-sided remote read (docs/ONESIDED.md)
+    # ------------------------------------------------------------------
+    def read_remote(
+        self,
+        imported: ImportedBuffer,
+        offset: int,
+        nbytes: int,
+        reply_vaddr: int,
+        timeout_us: float = 200.0,
+    ):
+        """One-sided read of an imported buffer — no remote CPU involved.
+
+        Emits a READ_REQUEST descriptor naming the remote physical range
+        and a local *exported* reply buffer; the target NIC DMAs the data
+        back as deliberate-update packets (data first, completion header
+        last) while the remote CPU stays out of the loop.  Blocks polling
+        the completion header; returns the payload bytes.
+
+        The read must not cross a remote page boundary (imported frames
+        need not be physically contiguous), and header plus data must fit
+        one local page of the reply buffer.  Raises
+        :class:`VmmcReadTimeoutError` if the completion stamp does not
+        arrive within ``timeout_us`` (lost or IPT-denied request — the
+        target drops rather than replies), and
+        :class:`VmmcTransferError` on a reply that fails its CRC or
+        length check (e.g. a late stale reply interleaving with this
+        one's data).
+        """
+        page = self.proc.config.page_size
+        if not imported.active:
+            raise VmmcStateError("read through a destroyed import")
+        if nbytes <= 0:
+            raise ValueError("read size must be positive")
+        if offset < 0 or offset + nbytes > imported.nbytes:
+            raise ValueError(
+                "read of %d bytes at offset %d exceeds the %d-byte buffer"
+                % (nbytes, offset, imported.nbytes)
+            )
+        if (offset % page) + nbytes > page:
+            raise VmmcAlignmentError(
+                "one-sided read must not cross a remote page boundary"
+            )
+        header_size = READ_REPLY_HEADER.size
+        reply_segments = self.proc.space.translate(
+            reply_vaddr, header_size + nbytes, write=True)
+        if len(reply_segments) != 1:
+            raise VmmcAlignmentError(
+                "reply header plus data must fit one page of the reply buffer"
+            )
+        reply_paddr = reply_segments[0][0]
+        if not self.proc.node.nic.ipt.is_enabled(reply_paddr // page):
+            raise VmmcStateError(
+                "the reply buffer must be exported before one-sided reads"
+            )
+        src_paddr = (imported.remote_frames[offset // page] * page
+                     + offset % page)
+        costs = self.proc.config.costs
+        tracer = self.proc.tracer
+        span = None
+        if tracer.enabled:
+            data = {"bytes": nbytes}
+            ctx = self.proc.trace_ctx
+            if ctx is not None:
+                data["tid"] = ctx[0]
+                data["cparent"] = ctx[1]
+            span = tracer.begin(
+                "vmmc.read", "read %dB" % nbytes,
+                track=self.proc.trace_track, data=data,
+            )
+        try:
+            yield self.proc.sim.timeout(costs.vmmc_send_call)
+            self._read_seq += 1
+            seq = self._read_seq
+            ctx = self.proc.trace_ctx if span is not None else None
+            descriptor = encode_read_request(
+                seq, src_paddr, nbytes, reply_paddr,
+                trace_id=ctx[0] if ctx is not None else 0,
+                parent_sid=span.sid if span is not None else 0,
+            )
+            # The initiation sequence: two programmed-I/O accesses — a
+            # doorbell write of the descriptor's address plus the status
+            # read-back — and the NIC fetches the descriptor by DMA.
+            yield self.proc.sim.timeout(self.proc.node.eisa.pio_cost(2))
+            self.proc.node.nic.packetizer.request_emit(
+                imported.remote_node, descriptor)
+            deadline = self.proc.sim.now + timeout_us
+
+            def _completed(stamp: bytes) -> bool:
+                return READ_REPLY_HEADER.unpack(stamp)[0] == seq
+
+            stamp = yield from self.proc.poll(
+                reply_vaddr, header_size, _completed, deadline)
+            if stamp is None:
+                raise VmmcReadTimeoutError(
+                    "one-sided read of %d bytes from node %d timed out "
+                    "after %.1f us" % (nbytes, imported.remote_node,
+                                       timeout_us)
+                )
+            _seq, length, crc, status = READ_REPLY_HEADER.unpack(stamp)
+            if status != 0 or length != nbytes:
+                raise VmmcTransferError(
+                    "one-sided read reply malformed (status %d, %d/%d bytes)"
+                    % (status, length, nbytes)
+                )
+            payload = yield from self.proc.read(
+                reply_vaddr + header_size, length)
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                raise VmmcTransferError(
+                    "one-sided read reply of %d bytes failed its CRC"
+                    % length
+                )
+            self.reads += 1
+            self.bytes_read += length
+            return payload
+        finally:
+            # finally: callers retry typed failures; the abandoned
+            # attempt must still close its span (span-balance audit).
+            tracer.end(span)
 
     # ------------------------------------------------------------------
     # Automatic update (Section 2.2)

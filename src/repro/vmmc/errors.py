@@ -10,6 +10,7 @@ __all__ = [
     "VmmcStateError",
     "VmmcTransferError",
     "VmmcTimeoutError",
+    "VmmcReadTimeoutError",
     "MappingError",
 ]
 
@@ -47,4 +48,14 @@ class VmmcTimeoutError(VmmcError):
     The library-level recovery protocols raise subclasses of this when
     their retry budgets are exhausted; it always means the peer (or the
     fabric) stopped making progress, never a silent local hang.
+    """
+
+
+class VmmcReadTimeoutError(VmmcTimeoutError):
+    """A one-sided remote read's completion stamp never arrived.
+
+    The reader's bounded poll on its reply buffer expired: the request
+    or a reply packet was lost (or denied by the target's Incoming Page
+    Table, which drops rather than replies).  Callers treat it as a
+    retryable loss and fall back to their RPC path (docs/ONESIDED.md).
     """

@@ -80,7 +80,8 @@ def run_workload(spec: WorkloadSpec,
 
     service = KVService(system, replicas=spec.replicas,
                         batch=spec.batch_keys > 1,
-                        srpc_window=spec.pipeline_window)
+                        srpc_window=spec.pipeline_window,
+                        onesided=spec.onesided_reads)
     prefill = random.Random(spec.seed * 7919 + 13)
     sizes = ValueSizeSampler(spec.value_sizes)
     service.preload({
@@ -231,10 +232,19 @@ def run_workload(spec: WorkloadSpec,
                 "spread_reads": sum(c.spread_reads for c in clients),
                 "batch_calls": sum(c.batch_calls for c in clients),
                 "batched_keys": sum(c.batched_keys for c in clients),
+                "onesided_hits": sum(c.onesided_hits for c in clients),
+                "onesided_fallbacks": sum(c.onesided_fallbacks
+                                          for c in clients),
             }
 
     if spec.mitigated():
         system.machine.metrics.register(_MitigationMetrics())
+
+    # Host-wide slot-occupancy caches for the one-sided bypass: the
+    # workers of one node share what their reads and writes learn about
+    # each shard's region, like any per-host client-library cache.
+    host_hints = ({node: {} for node in range(spec.nodes)}
+                  if spec.onesided_reads else None)
 
     def make_worker(wid):
         def worker(proc):
@@ -243,7 +253,11 @@ def run_workload(spec: WorkloadSpec,
                               client_id=wid,
                               cache_keys=spec.cache_keys,
                               cache_ttl_us=spec.cache_ttl_us,
-                              read_spread=spec.read_spread)
+                              read_spread=spec.read_spread,
+                              onesided=spec.onesided_reads,
+                              onesided_hints=(
+                                  host_hints[wid % spec.nodes]
+                                  if host_hints is not None else None))
             clients.append(client)
             yield from client.connect()
             ready[0] += 1
@@ -355,12 +369,14 @@ def run_workload(spec: WorkloadSpec,
         service_lines.append(
             "mitigation: cache_hits=%d/%d (%.1f%%) spread_reads=%d "
             "batch_calls=%d batched_keys=%d pipeline_submits=%d "
-            "mean_depth=%.2f"
+            "mean_depth=%.2f onesided_hits=%d onesided_fallbacks=%d"
             % (hits, lookups, 100.0 * hits / lookups if lookups else 0.0,
                sum(c.spread_reads for c in clients),
                sum(c.batch_calls for c in clients),
                sum(c.batched_keys for c in clients),
-               submits, depth_total / submits if submits else 0.0))
+               submits, depth_total / submits if submits else 0.0,
+               sum(c.onesided_hits for c in clients),
+               sum(c.onesided_fallbacks for c in clients)))
     fault_lines = []
     if fault_plan is not None:
         fault_lines = system.faults.report().splitlines()

@@ -156,17 +156,20 @@ class WorkloadSpec:
     cache_keys: int = 0              # client LRU entries (0 = off)
     cache_ttl_us: float = 0.0        # cache entry lifetime (0 = no TTL)
     read_spread: bool = False        # rotate reads over the replica set
+    onesided_reads: bool = False     # GETs bypass the server over VMMC
 
     def mitigated(self) -> bool:
         """Whether any hot-key/pipelining mitigation knob is non-default."""
         return (self.pipeline_window > 1 or self.batch_keys > 1
-                or self.cache_keys > 0 or self.read_spread)
+                or self.cache_keys > 0 or self.read_spread
+                or self.onesided_reads)
 
     def mitigation_label(self) -> str:
         """The spec-line suffix describing the enabled mitigations."""
-        return ("pipeline=%d batch=%d cache=%d ttl=%g spread=%d"
+        return ("pipeline=%d batch=%d cache=%d ttl=%g spread=%d onesided=%d"
                 % (self.pipeline_window, self.batch_keys, self.cache_keys,
-                   self.cache_ttl_us, int(self.read_spread)))
+                   self.cache_ttl_us, int(self.read_spread),
+                   int(self.onesided_reads)))
 
     def telemetry_label(self) -> str:
         """The spec-line suffix describing the telemetry configuration."""
@@ -207,6 +210,9 @@ class WorkloadSpec:
                 and self.transport != "srpc":
             raise ValueError("pipelining and batching need the srpc "
                              "transport")
+        if self.onesided_reads and self.transport != "srpc":
+            raise ValueError("one-sided reads need the srpc transport "
+                             "(their fallback path)")
         if self.telemetry_interval_us <= 0.0:
             raise ValueError("telemetry_interval_us must be positive")
         if self.slo_latency_us < 0.0:

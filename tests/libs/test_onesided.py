@@ -1,0 +1,383 @@
+"""One-sided remote-memory channel: slot codec, hints, reads, shadow.
+
+Covers the layers of docs/ONESIDED.md bottom-up: the slot codec as
+pure functions, the occupancy-hint semantics (including the
+skip-resurrection hazard), the end-to-end rendezvous/read flow over
+VMMC, the bounded seqlock retry with its typed timeout, and the NIC's
+snoop-fed region shadow.
+"""
+
+import pytest
+
+from repro.hardware.nic.shadow import RegionShadow
+from repro.libs.onesided import (OVERSIZE, SLOT_HEADER, SLOT_TAIL,
+                                 RegionAdvert, RegionFormat, RegionReader,
+                                 RegionWriter, SeqlockTimeoutError, SlotHints,
+                                 decode_slot)
+from repro.testbed import Rendezvous, make_system
+from repro.vmmc import VmmcTimeoutError, attach
+
+PAGE = 4096
+FMT = RegionFormat(slots=64, slot_size=256, page_size=PAGE)
+
+
+def _slot(fmt, key, value, version=2, oversize=False):
+    """A stable slot image, as RegionWriter would write it."""
+    import zlib
+    kb = key.encode()
+    if oversize:
+        return (SLOT_HEADER.pack(version, len(kb), OVERSIZE, 0) + kb
+                + SLOT_TAIL.pack(version))
+    crc = zlib.crc32(kb + value) & 0xFFFFFFFF
+    return (SLOT_HEADER.pack(version, len(kb), len(value), crc)
+            + kb + value + SLOT_TAIL.pack(version))
+
+
+# ---------------------------------------------------------------- codec
+
+def test_decode_hit():
+    raw = _slot(FMT, "k1", b"hello")
+    assert decode_slot(FMT, raw, "k1") == ("hit", b"hello")
+
+
+def test_decode_prefix_hit_ignores_trailing_garbage():
+    raw = _slot(FMT, "k1", b"hello") + b"\xff" * 32
+    assert decode_slot(FMT, raw, "k1") == ("hit", b"hello")
+
+
+def test_decode_empty_slot_is_absent():
+    assert decode_slot(FMT, bytes(FMT.slot_size), "k1") == ("absent", None)
+
+
+def test_decode_other_key_is_absent():
+    raw = _slot(FMT, "other", b"x")
+    assert decode_slot(FMT, raw, "k1") == ("absent", None)
+
+
+def test_decode_oversize_marker_is_absent():
+    raw = _slot(FMT, "k1", b"", oversize=True)
+    assert decode_slot(FMT, raw, "k1") == ("absent", None)
+
+
+def test_decode_odd_head_is_torn():
+    raw = _slot(FMT, "k1", b"hello", version=3)
+    assert decode_slot(FMT, raw, "k1") == ("torn", None)
+
+
+def test_decode_tail_mismatch_is_torn():
+    raw = bytearray(_slot(FMT, "k1", b"hello"))
+    raw[-SLOT_TAIL.size:] = SLOT_TAIL.pack(4)
+    assert decode_slot(FMT, bytes(raw), "k1") == ("torn", None)
+
+
+def test_decode_crc_mismatch_is_torn():
+    raw = bytearray(_slot(FMT, "k1", b"hello"))
+    raw[SLOT_HEADER.size + 2] ^= 0x40  # flip one body byte
+    assert decode_slot(FMT, bytes(raw), "k1") == ("torn", None)
+
+
+def test_decode_short_prefix_names_needed_total():
+    raw = _slot(FMT, "k1", b"x" * 100)
+    state, total = decode_slot(FMT, raw[:40], "k1")
+    assert state == "short"
+    assert total == len(raw)
+    assert decode_slot(FMT, raw[:total], "k1") == ("hit", b"x" * 100)
+
+
+def test_decode_bogus_lengths_are_torn_not_crash():
+    raw = SLOT_HEADER.pack(2, 5000, 5000, 0) + b"\0" * 64
+    assert decode_slot(FMT, raw, "k1") == ("torn", None)
+
+
+def test_format_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        RegionFormat(slots=0)
+    with pytest.raises(ValueError):
+        RegionFormat(slots=4, slot_size=8)          # no body room
+    with pytest.raises(ValueError):
+        RegionFormat(slots=4, slot_size=240)        # does not divide 4096
+
+
+# ---------------------------------------------------------------- hints
+
+def _bare_reader(hints=None):
+    """A reader for hint bookkeeping only — no endpoint behind it."""
+    return RegionReader(None, None, FMT, 0, hints=hints)
+
+
+def test_note_size_teaches_exact_read_length():
+    r = _bare_reader()
+    assert not r.knows("k1")
+    r.note_size("k1", 100)
+    assert r.knows("k1")
+    assert r.hints.sizes["k1"] == SLOT_HEADER.size + 2 + 100 + SLOT_TAIL.size
+
+
+def test_note_size_miss_marks_skip():
+    r = _bare_reader()
+    r.note_size("k1", None)
+    assert not r.knows("k1")
+    assert "k1" in r.hints.skip
+
+
+def test_note_size_oversize_marks_skip():
+    r = _bare_reader()
+    r.note_size("k1", FMT.capacity + 1)
+    assert not r.knows("k1")
+
+
+def test_note_size_never_resurrects_a_skipped_key():
+    """The collision ping-pong guard: an RPC answer for a skipped key
+    must not re-arm a bypass read that is doomed to come back absent."""
+    r = _bare_reader()
+    r.hints.skip.add("k1")
+    r.note_size("k1", 64)
+    assert not r.knows("k1")
+    assert "k1" not in r.hints.sizes
+
+
+def test_note_write_is_authoritative_and_clears_skip():
+    r = _bare_reader()
+    r.hints.skip.add("k1")
+    r.note_write("k1", 64)
+    assert r.knows("k1")
+
+
+def test_note_write_delete_and_oversize_mark_skip():
+    r = _bare_reader()
+    r.note_write("k1", 64)
+    r.note_write("k1", None)
+    assert not r.knows("k1")
+    r.note_write("k2", FMT.capacity + 1)
+    assert not r.knows("k2")
+
+
+def test_shared_hints_pool_learning_across_readers():
+    hints = SlotHints()
+    a, b = _bare_reader(hints), _bare_reader(hints)
+    a.note_size("k1", 40)
+    assert b.knows("k1")
+
+
+# ------------------------------------------------------ end-to-end reads
+
+def _exporter(system, rdv, fmt, items, hold=None):
+    """Region bootstrap program: export, preload, advertise.
+
+    ``hold`` (an int) leaves that key's slot head stamped odd after the
+    advert — a writer stalled mid-update, frozen forever.
+    """
+    def program(proc):
+        ep = attach(system, proc)
+        region = yield from ep.export_new(fmt.nbytes)
+        shadow = proc.node.nic.shadow
+        if not shadow.register(region.record.frames):
+            shadow = None
+        writer = RegionWriter(proc.node.memory, region.record.frames, fmt,
+                              proc.config, shadow=shadow)
+        for key, value in items.items():
+            writer.preload(key, value)
+        if hold is not None:
+            base = fmt.slot_offset(fmt.slot_of(hold))
+            head = writer._phys_read(base, 4)
+            odd = (int.from_bytes(head, "little") + 1).to_bytes(4, "little")
+            writer._phys_write(base, odd)
+        rdv.put("region", RegionAdvert(
+            node_id=proc.node.node_id, export_id=region.record.export_id,
+            slots=fmt.slots, slot_size=fmt.slot_size))
+        return writer
+
+    return program
+
+
+def _reader_program(system, rdv, fmt, body, hints=None):
+    """Import the advertised region, build a reader, run ``body``."""
+    def program(proc):
+        ep = attach(system, proc)
+        advert = yield rdv.get("region")
+        imported = yield from ep.import_buffer(advert.node_id,
+                                               advert.export_id)
+        reply = yield from ep.export_new(proc.config.page_size)
+        reader = RegionReader(ep, imported,
+                              advert.format(proc.config.page_size),
+                              reply.record.vaddr, hints=hints)
+        result = yield from body(proc, reader)
+        return result
+
+    return program
+
+
+def _run_pair(items, body, fmt=FMT, hold=None, hints=None):
+    system = make_system()
+    rdv = Rendezvous(system)
+    exp = system.spawn(1, _exporter(system, rdv, fmt, items, hold=hold))
+    rdr = system.spawn(0, _reader_program(system, rdv, fmt, body,
+                                          hints=hints))
+    system.run_processes([exp, rdr])
+    return exp, rdr
+
+
+def test_remote_lookup_hits_preloaded_key():
+    def body(proc, reader):
+        found, value = yield from reader.lookup("alpha")
+        return found, value, reader.hits
+
+    _, rdr = _run_pair({"alpha": b"A" * 80}, body)
+    assert rdr.value == (True, b"A" * 80, 1)
+
+
+def test_remote_lookup_absent_key_marks_skip_then_skips():
+    def body(proc, reader):
+        first = yield from reader.lookup("ghost")
+        second = yield from reader.lookup("ghost")
+        return first, second, reader.absences, reader.skips
+
+    _, rdr = _run_pair({"alpha": b"A"}, body)
+    first, second, absences, skips = rdr.value
+    assert first == (False, None) and second == (False, None)
+    assert absences == 1 and skips == 1
+
+
+def test_remote_lookup_oversize_value_falls_back():
+    big = b"B" * (FMT.capacity + 50)
+
+    def body(proc, reader):
+        return (yield from reader.lookup("big"))
+
+    _, rdr = _run_pair({"big": big}, body)
+    assert rdr.value == (False, None)
+
+
+def test_wrong_size_hint_corrects_with_one_reread():
+    def body(proc, reader):
+        reader.note_size("alpha", 4)    # stale: the slot holds 90 bytes
+        found, value = yield from reader.lookup("alpha")
+        return found, value, reader.rereads
+
+    _, rdr = _run_pair({"alpha": b"A" * 90}, body)
+    assert rdr.value == (True, b"A" * 90, 1)
+
+
+def test_stalled_writer_raises_typed_seqlock_timeout():
+    def body(proc, reader):
+        try:
+            yield from reader.lookup("alpha")
+        except SeqlockTimeoutError as exc:
+            assert isinstance(exc, VmmcTimeoutError)
+            return "typed-timeout", reader.retries
+        return "no-error", reader.retries
+
+    _, rdr = _run_pair({"alpha": b"A" * 40}, body, hold="alpha")
+    outcome, retries = rdr.value
+    assert outcome == "typed-timeout"
+    assert retries == RegionReader.MAX_ATTEMPTS - 1
+
+
+def test_ipt_denied_read_times_out_typed():
+    """Disabling the region's pages models an unexport racing a read:
+    the target drops the request, the poll expires, and the bounded
+    retries surface as the typed seqlock timeout."""
+    system = make_system()
+    rdv = Rendezvous(system)
+    target = system.machine.nodes[1]
+
+    def body(proc, reader):
+        # Disable every IPT page on the target that belongs to the
+        # imported region (its frames are the export's pages).
+        for frame in reader.imported.remote_frames:
+            target.nic.ipt.disable(frame)
+        reader.base_timeout_us = 40.0
+        try:
+            yield from reader.lookup("alpha")
+        except SeqlockTimeoutError:
+            return "typed-timeout"
+        return "no-error"
+
+    exp = system.spawn(1, _exporter(system, rdv, FMT, {"alpha": b"A" * 40}))
+    rdr = system.spawn(0, _reader_program(system, rdv, FMT, body))
+    system.run_processes([exp, rdr])
+    assert rdr.value == "typed-timeout"
+
+
+# ------------------------------------------------------- region shadow
+
+class _ShadowConfig:
+    page_size = PAGE
+    nic_shadow_bytes = 2 * PAGE
+
+
+def test_shadow_register_is_all_or_nothing():
+    shadow = RegionShadow(_ShadowConfig())
+    assert shadow.register([7, 9])
+    assert shadow.resident_bytes == 2 * PAGE
+    assert not shadow.register([11])        # over capacity: rejected
+    assert shadow.resident_bytes == 2 * PAGE
+    assert shadow.rejects == 1
+
+
+def test_shadow_read_returns_none_for_unregistered_pages():
+    shadow = RegionShadow(_ShadowConfig())
+    shadow.register([7])
+    assert shadow.read(7 * PAGE, 16) == b"\0" * 16
+    assert shadow.read(8 * PAGE, 16) is None
+
+
+def test_shadow_mirrors_writes_across_page_boundary():
+    shadow = RegionShadow(_ShadowConfig())
+    shadow.register([7, 8])
+    data = bytes(range(64))
+    shadow.write(7 * PAGE + PAGE - 32, data)
+    assert shadow.read(7 * PAGE + PAGE - 32, 64) == data
+
+
+def test_remote_read_is_served_from_shadow_without_bus():
+    """With the region resident on-card, the serve path never takes the
+    target's arbiter: the shadowed counter accounts for every read."""
+    system = make_system()
+    rdv = Rendezvous(system)
+    target = system.machine.nodes[1]
+
+    def body(proc, reader):
+        found, value = yield from reader.lookup("alpha")
+        return found, value, target.nic.stats()["read_requests_shadowed"]
+
+    exp = system.spawn(1, _exporter(system, rdv, FMT, {"alpha": b"A" * 80}))
+    rdr = system.spawn(0, _reader_program(system, rdv, FMT, body))
+    system.run_processes([exp, rdr])
+    found, value, shadowed = rdr.value
+    assert (found, value) == (True, b"A" * 80)
+    assert shadowed >= 1
+
+
+def test_shadow_stays_coherent_with_writer_stores():
+    """A post-boot store must be visible to the next shadow-served read
+    (the snooped write-through keeps the card's copy current)."""
+    def body(proc, reader):
+        first = yield from reader.lookup("alpha")
+        yield proc.sim.timeout(10_000.0)   # let the exporter's store land
+        second = yield from reader.lookup("alpha")
+        return first, second
+
+    system = make_system()
+    rdv = Rendezvous(system)
+
+    def exporter(proc):
+        ep = attach(system, proc)
+        region = yield from ep.export_new(FMT.nbytes)
+        shadow = proc.node.nic.shadow
+        assert shadow.register(region.record.frames)
+        writer = RegionWriter(proc.node.memory, region.record.frames, FMT,
+                              proc.config, shadow=shadow)
+        writer.preload("alpha", b"old")
+        rdv.put("region", RegionAdvert(
+            node_id=proc.node.node_id, export_id=region.record.export_id,
+            slots=FMT.slots, slot_size=FMT.slot_size))
+        yield proc.sim.timeout(5_000.0)
+        yield from writer.store(proc, "alpha", b"new-value")
+
+    exp = system.spawn(1, exporter)
+    rdr = system.spawn(0, _reader_program(system, rdv, FMT, body))
+    system.run_processes([exp, rdr])
+    first, second = rdr.value
+    assert first == (True, b"old")
+    assert second == (True, b"new-value")

@@ -62,6 +62,7 @@ def test_public_classes_and_functions_documented(module):
     "docs/PROTOCOLS.md",
     "docs/OBSERVABILITY.md",
     "docs/FAULTS.md",
+    "docs/ONESIDED.md",
 ])
 def test_doc_files_exist_and_are_linked_from_readme(doc):
     path = REPO_ROOT / doc

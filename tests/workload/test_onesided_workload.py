@@ -1,0 +1,59 @@
+"""The one-sided bypass knob at workload level: counters, traces, budget.
+
+The serving-stack acceptance criteria for docs/ONESIDED.md: a bypass
+GET's causal tree must contain no server-handler span (the read is
+served by the target NIC alone), the trace's stage budget must close,
+and the hit/fallback counters must conserve GETs.
+"""
+
+from dataclasses import replace
+
+from repro.obs import assemble_traces, explain_trace
+from repro.workload import WorkloadSpec, run_workload
+
+SPEC = WorkloadSpec(seed=1, arrival="open", load=30000.0, concurrency=4,
+                    requests=200, keys=64, read_fraction=0.9,
+                    onesided_reads=True)
+
+
+def test_onesided_run_is_clean_and_counters_conserve():
+    report = run_workload(SPEC)
+    assert report.completed == 200
+    assert report.errors == 0
+    assert report.corruptions == 0
+    text = report.report()
+    assert "onesided=1" in text
+    line = next(l for l in text.splitlines() if "onesided_hits" in l)
+    hits = int(line.split("onesided_hits=")[1].split()[0])
+    fallbacks = int(line.split("onesided_fallbacks=")[1].split()[0])
+    assert hits + fallbacks == report.per_op["get"].count
+    assert hits > 0
+
+
+def test_bypass_get_tree_has_no_server_span_and_budget_closes():
+    report = run_workload(replace(SPEC, requests=80, read_fraction=1.0,
+                                  trace=True))
+    trees = assemble_traces(report.spans or [])
+    bypass = []
+    for tree in trees.values():
+        cats = {span.category for span in tree.spans}
+        if "vmmc.read" in cats and "srpc.call" not in cats:
+            bypass.append((tree, cats))
+    assert bypass, "no bypass GET got traced"
+    for tree, cats in bypass:
+        # Server bypass means exactly that: no RPC serve, no KV handler,
+        # no server-side CPU span anywhere in the request's causal tree.
+        assert "srpc.serve" not in cats
+        assert "kv.serve" not in cats
+        assert "nic.remote_read" in cats
+    tree, _cats = bypass[0]
+    result = explain_trace(tree, report.spans)
+    assert result.budget_error <= 0.01
+
+
+def test_onesided_disabled_exports_nothing():
+    """With the knob off the service must not export regions or spawn
+    writer hooks — the zero-regression goldens depend on it."""
+    report = run_workload(replace(SPEC, onesided_reads=False))
+    assert report.completed == 200
+    assert "onesided=1" not in report.report()

@@ -47,6 +47,6 @@ def test_explicit_default_knobs_match_golden_too():
     from dataclasses import replace
     spec = replace(SPECS["open_srpc_seed1"], pipeline_window=1,
                    batch_keys=1, cache_keys=0, cache_ttl_us=0.0,
-                   read_spread=False)
+                   read_spread=False, onesided_reads=False)
     text = run_workload(spec).report()
     assert text + "\n" == _golden("open_srpc_seed1")
