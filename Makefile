@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json onesided-demo clean
+.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json onesided-demo overload-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,10 +34,22 @@ capacity-json:
 capacity-ab-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro capacity --ab --onesided --seed $${SEED:-11} --concurrency $${CONCURRENCY:-16} --requests $${REQUESTS:-2000} --loads $${LOADS:-150000,200000,250000,300000} --json BENCH_capacity.json
 
+# Overload-control A/B (docs/OVERLOAD.md): both sides model contended
+# node CPUs, only B arms admission + retry budgets + backpressure.  The
+# committed BENCH_capacity.json was produced by this target's defaults.
+capacity-overload-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro capacity --overload --seed $${SEED:-11} --concurrency $${CONCURRENCY:-16} --requests $${REQUESTS:-2000} --loads $${LOADS:-20000,40000,60000,80000} --json BENCH_capacity.json
+
 # The runnable examples from docs/ONESIDED.md, at doc-exact arguments.
 onesided-demo:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro workload --onesided --requests 2000 --concurrency 16 --load 200000
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro explain --onesided --read-fraction 1.0 --requests 80
+
+# The runnable example from docs/OVERLOAD.md, at doc-exact arguments:
+# a controlled run at 2x the calibrated knee, showing the rejected:/
+# goodput: report lines and the conservation invariant.
+overload-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro workload --seed 11 --requests 2000 --concurrency 16 --load 80000 --cpu-slots 1 --cpu-op-us 50 --slo-latency 1000 --admission --admit-queue 8 --admit-deadline 400 --retry-budget 1 --retry-base 50 --backpressure
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -177,7 +177,13 @@ def _cmd_workload(args) -> int:
         zipf_s=args.zipf_s, nodes=args.nodes, replicas=args.replicas,
         pipeline_window=args.pipeline_window, batch_keys=args.batch_keys,
         cache_keys=args.cache_keys, cache_ttl_us=args.cache_ttl,
-        read_spread=args.read_spread, onesided_reads=args.onesided)
+        read_spread=args.read_spread, onesided_reads=args.onesided,
+        cpu_slots=args.cpu_slots, cpu_op_us=args.cpu_op_us,
+        admission=args.admission, admit_queue=args.admit_queue,
+        admit_deadline_us=args.admit_deadline,
+        retry_budget=args.retry_budget, retry_base_us=args.retry_base,
+        retry_jitter=args.retry_jitter, backpressure=args.backpressure,
+        slo_latency_us=args.slo_latency)
     plan = None
     if args.fault_seed is not None:
         plan = FaultPlan.from_seed(args.fault_seed,
@@ -206,7 +212,32 @@ def _cmd_capacity(args) -> int:
     # Unset mitigation flags mean "off" for a plain sweep but the
     # documented defaults for the --ab B side (an A/B with everything
     # off would compare a run against itself).
-    if args.ab:
+    if args.overload:
+        # The overload experiment (docs/OVERLOAD.md): both sides model
+        # contended node CPUs; only B arms admission + retry +
+        # backpressure.  Implies --ab.
+        result = paired_capacity_sweep(
+            loads, spec, overload=True,
+            cpu_slots=args.cpu_slots, cpu_op_us=args.cpu_op_us,
+            admit_queue=args.admit_queue,
+            admit_deadline_us=args.admit_deadline,
+            retry_budget=args.retry_budget,
+            retry_base_us=args.retry_base,
+            backpressure=not args.no_backpressure,
+            slo_latency_us=args.slo_latency)
+        # Document the B side in the JSON config block so the artifact
+        # is reproducible from its own payload (and the acceptance test
+        # can read the SLO threshold out of it).
+        from dataclasses import replace
+        spec = replace(spec, cpu_slots=args.cpu_slots,
+                       cpu_op_us=args.cpu_op_us,
+                       slo_latency_us=args.slo_latency,
+                       admission=True, admit_queue=args.admit_queue,
+                       admit_deadline_us=args.admit_deadline,
+                       retry_budget=args.retry_budget,
+                       retry_base_us=args.retry_base,
+                       backpressure=not args.no_backpressure)
+    elif args.ab:
         if args.onesided:
             # Isolate the bypass: unset client-side knobs stay neutral
             # on the B side, so the knee movement is attributable to
@@ -448,6 +479,29 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--onesided", action="store_true",
                           help="one-sided bypass GETs from exported shard "
                                "regions (docs/ONESIDED.md)")
+    workload.add_argument("--cpu-slots", type=int, default=0,
+                          help="per-node CPU scheduler slots (0 = off)")
+    workload.add_argument("--cpu-op-us", type=float, default=10.0,
+                          help="handler CPU charge per op once --cpu-slots "
+                               "is set")
+    workload.add_argument("--admission", action="store_true",
+                          help="server-side admission control "
+                               "(docs/OVERLOAD.md)")
+    workload.add_argument("--admit-queue", type=int, default=32,
+                          help="bounded accept-queue occupancy per node")
+    workload.add_argument("--admit-deadline", type=float, default=0.0,
+                          help="queueing-delay budget in us (0 = none)")
+    workload.add_argument("--retry-budget", type=int, default=0,
+                          help="client retries after a rejection")
+    workload.add_argument("--retry-base", type=float, default=100.0,
+                          help="backoff base in us (doubles per attempt)")
+    workload.add_argument("--retry-jitter", type=float, default=0.5,
+                          help="jitter fraction on each backoff")
+    workload.add_argument("--backpressure", action="store_true",
+                          help="adaptive open-loop rate trimming on "
+                               "rejections")
+    workload.add_argument("--slo-latency", type=float, default=0.0,
+                          help="goodput threshold in us (0 = off)")
     workload.add_argument("--fault-seed", type=int, default=None,
                           help="arm a seeded fault plan")
     workload.add_argument("--fault-count", type=int, default=8,
@@ -494,6 +548,27 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="one-sided bypass GETs; as the B side of "
                                "--ab the client-side mitigations default "
                                "to off so the bypass is isolated")
+    capacity.add_argument("--overload", action="store_true",
+                          help="overload-control A/B (docs/OVERLOAD.md): "
+                               "both sides model contended CPUs, only B "
+                               "arms admission + retry + backpressure")
+    capacity.add_argument("--cpu-slots", type=int, default=1,
+                          help="per-node CPU slots (--overload both sides)")
+    capacity.add_argument("--cpu-op-us", type=float, default=50.0,
+                          help="handler CPU per op (--overload both sides)")
+    capacity.add_argument("--admit-queue", type=int, default=8,
+                          help="accept-queue bound (--overload B side)")
+    capacity.add_argument("--admit-deadline", type=float, default=400.0,
+                          help="queueing deadline us (--overload B side)")
+    capacity.add_argument("--retry-budget", type=int, default=1,
+                          help="client retry budget (--overload B side)")
+    capacity.add_argument("--retry-base", type=float, default=50.0,
+                          help="backoff base us (--overload B side)")
+    capacity.add_argument("--no-backpressure", action="store_true",
+                          help="disable the B side's rate trimming "
+                               "(--overload)")
+    capacity.add_argument("--slo-latency", type=float, default=1000.0,
+                          help="goodput threshold us (--overload)")
     capacity.add_argument("--json", default=None, metavar="PATH",
                           help="also write the machine-readable sweep "
                                "(knee, p50/p95/p99 per point, config, seed)")

@@ -7,22 +7,44 @@ bulk get/scan, NX (plus the collectives library) for replication
 fan-out.  Driven by ``repro.workload``; see docs/WORKLOADS.md.
 """
 
+from .admission import (
+    LANE_BACKGROUND,
+    LANE_BULK,
+    LANE_CHEAP,
+    AdmissionController,
+    AdmissionQueue,
+    KvRejectedError,
+)
 from .client import KVClient
 from .hashing import HashRing, stable_hash
-from .protocol import KEY_BOUND, ST_ERROR, ST_MISS, ST_OK, VALUE_BOUND
+from .protocol import (
+    KEY_BOUND,
+    ST_ERROR,
+    ST_MISS,
+    ST_OK,
+    ST_REJECTED,
+    VALUE_BOUND,
+)
 from .server import KV_IDL, apply_cost
 from .service import KVService
 from .store import ShardStore
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionQueue",
     "HashRing",
     "KEY_BOUND",
     "KVClient",
     "KVService",
     "KV_IDL",
+    "KvRejectedError",
+    "LANE_BACKGROUND",
+    "LANE_BULK",
+    "LANE_CHEAP",
     "ST_ERROR",
     "ST_MISS",
     "ST_OK",
+    "ST_REJECTED",
     "ShardStore",
     "VALUE_BOUND",
     "apply_cost",

@@ -39,6 +39,7 @@ workers never unbalance a track).
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -46,10 +47,11 @@ from ...libs.onesided import RegionReader, SlotHints
 from ...libs.sockets import SocketLib
 from ...vmmc import VmmcError, VmmcTimeoutError, attach
 from . import protocol as wire
+from .admission import KvRejectedError
 from .server import KvBatchClient, KvShardClient
 from .service import region_name
 
-__all__ = ["KVClient"]
+__all__ = ["KVClient", "KvRejectedError"]
 
 
 class KVClient:
@@ -84,7 +86,9 @@ class KVClient:
                  want_sockets: Optional[bool] = None, client_id: int = 0,
                  cache_keys: int = 0, cache_ttl_us: float = 0.0,
                  read_spread: bool = False, onesided: bool = False,
-                 onesided_hints: Optional[Dict[int, SlotHints]] = None):
+                 onesided_hints: Optional[Dict[int, SlotHints]] = None,
+                 retry_budget: int = 0, retry_base_us: float = 100.0,
+                 retry_jitter: float = 0.5):
         if transport not in ("srpc", "sockets"):
             raise ValueError("unknown transport %r" % transport)
         self.service = service
@@ -134,6 +138,19 @@ class KVClient:
         self._readers: Dict[int, RegionReader] = {}
         self.onesided_hits = 0
         self.onesided_fallbacks = 0
+        # Overload cooperation (docs/OVERLOAD.md): a request answered
+        # ``ST_REJECTED`` is retried up to ``retry_budget`` times with
+        # exponential backoff (``retry_base_us * 2**(attempt-1)``) plus
+        # deterministic jitter; past the budget the typed
+        # :class:`KvRejectedError` surfaces to the caller.  Budget 0
+        # (the default) raises on the first rejection.
+        self.retry_budget = retry_budget
+        self.retry_base_us = retry_base_us
+        self.retry_jitter = retry_jitter
+        self._retry_rng = random.Random(0x4B56 * 2654435761
+                                        + 1_000_003 * client_id)
+        self.rejected = 0
+        self.retries = 0
 
     # ------------------------------------------------------ connections
 
@@ -311,6 +328,11 @@ class KVClient:
                     self.batch_calls += 1
                     self.batched_keys += len(chunk)
                     for i, (status, value) in zip(chunk, entries):
+                        if status == wire.ST_REJECTED:
+                            # Shed per-key: the retrying GET path owns
+                            # backoff and the typed rejection.
+                            results[i] = yield from self.get(keys[i])
+                            continue
                         if status == wire.ST_MISS:
                             self.misses += 1
                             self._note_size(keys[i], None)
@@ -467,6 +489,18 @@ class KVClient:
             status, out = yield from self._request(opc, key, value)
             self.ops -= 1  # _request re-counts the op begin counted
             return status, out
+        rejected = (bool(raw) and raw[0] == wire.ST_REJECTED
+                    if op == "get" else raw == wire.ST_REJECTED)
+        if rejected:
+            # The pipelined attempt was shed.  Close its root span and
+            # hand the request to the synchronous path, whose retry
+            # loop owns backoff and the typed KvRejectedError.
+            self._span(op, start, root)
+            opc = {"get": wire.OP_GET, "put": wire.OP_PUT,
+                   "delete": wire.OP_DELETE}[op]
+            status, out = yield from self._request(opc, key, value)
+            self.ops -= 1  # _request re-counts the op begin counted
+            return status, out
         if op == "get":
             if not raw or raw[0] != wire.ST_OK:
                 self.misses += 1
@@ -497,24 +531,44 @@ class KVClient:
         self.ops += 1
         start = self.sim_now()
         root = self._root_begin()
-        merged: Dict[str, bytes] = {}
-        status = wire.ST_OK
+        attempt = 0
         try:
-            for node in self.service.nodes:
-                if ("sock", node) in self.dead:
-                    status = wire.ST_ERROR
-                    continue
-                try:
-                    records = yield from self._sock_scan(node, prefix, limit)
-                    # Replicas return the same keys; first copy wins.
-                    for rec_key, rec_value in records:
-                        merged.setdefault(rec_key, rec_value)
-                except (VmmcTimeoutError, VmmcError):
-                    self.dead.add(("sock", node))
-                    self.failovers += 1
-                    status = wire.ST_ERROR
+            while True:
+                status, rows = yield from self._scan_once(prefix, limit)
+                if status != wire.ST_REJECTED:
+                    return status, rows
+                if attempt >= self.retry_budget:
+                    self.rejected += 1
+                    raise KvRejectedError("scan", prefix, attempt + 1)
+                attempt += 1
+                self.retries += 1
+                yield from self._backoff(attempt)
         finally:
             self._span("scan", start, root)
+
+    def _scan_once(self, prefix: str, limit: int):
+        """One scatter-gather scan attempt (generator).
+
+        Any shard shedding its leg rejects the whole attempt — a
+        partial merge would silently under-report the prefix, which is
+        worse than an honest rejection."""
+        merged: Dict[str, bytes] = {}
+        status = wire.ST_OK
+        for node in self.service.nodes:
+            if ("sock", node) in self.dead:
+                status = wire.ST_ERROR
+                continue
+            try:
+                records = yield from self._sock_scan(node, prefix, limit)
+                if records is None:
+                    return wire.ST_REJECTED, []
+                # Replicas return the same keys; first copy wins.
+                for rec_key, rec_value in records:
+                    merged.setdefault(rec_key, rec_value)
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add(("sock", node))
+                self.failovers += 1
+                status = wire.ST_ERROR
         return status, [(k, merged[k]) for k in sorted(merged)][:limit]
 
     # -------------------------------------------------------- internals
@@ -734,46 +788,89 @@ class KVClient:
 
     def _request(self, op: int, key: str, value: bytes = b"",
                  start: Optional[float] = None, root=None):
-        """Walk the replica set until one server answers.
+        """One client request: replica walk plus the rejection retry loop.
 
         ``start``/``root`` continue a request the one-sided bypass
         already opened: the op was counted there and the walk completes
-        under the same root span."""
+        under the same root span.  An ``ST_REJECTED`` answer (admission
+        control shed the request) is retried after exponential backoff
+        until the retry budget runs out, at which point the typed
+        :class:`KvRejectedError` surfaces — the request still counts as
+        ONE op and ONE ``kv.client`` root span, with one ``kv.retry``
+        span per backoff so a causal trace counts attempts exactly."""
         if start is None:
             self.ops += 1
             start = self.sim_now()
             root = self._root_begin()
-        kind = "rpc" if self.transport == "srpc" else "sock"
-        tried_dead = False
+        attempt = 0
         try:
-            for node in self._candidates(op, key):
-                if (kind, node) in self.dead:
-                    tried_dead = True
-                    continue
-                try:
-                    if self.transport == "srpc":
-                        result = yield from self._rpc_op(node, op, key, value)
-                    else:
-                        result = yield from self._sock_op(node, op, key, value)
-                except (VmmcTimeoutError, VmmcError):
-                    self.dead.add((kind, node))
-                    self.failovers += 1
-                    continue
-                if tried_dead:
-                    self.failovers += 1
-                status, out = result
-                if status == wire.ST_MISS:
-                    self.misses += 1
-                return status, out
-            self.errors += 1
-            return wire.ST_ERROR, None
+            while True:
+                status, out = yield from self._walk(op, key, value)
+                if status != wire.ST_REJECTED:
+                    return status, out
+                if attempt >= self.retry_budget:
+                    self.rejected += 1
+                    raise KvRejectedError(_OP_NAMES[op], key, attempt + 1)
+                attempt += 1
+                self.retries += 1
+                yield from self._backoff(attempt)
         finally:
             self._span(_OP_NAMES[op], start, root)
+
+    def _walk(self, op: int, key: str, value: bytes):
+        """Walk the replica set until one server answers (generator).
+
+        A rejection ends the walk immediately: every replica applies
+        the same admission policy, and hammering the next one during an
+        overload would defeat the shed (the *retry loop* above, with
+        backoff, is the sanctioned second chance)."""
+        kind = "rpc" if self.transport == "srpc" else "sock"
+        tried_dead = False
+        for node in self._candidates(op, key):
+            if (kind, node) in self.dead:
+                tried_dead = True
+                continue
+            try:
+                if self.transport == "srpc":
+                    result = yield from self._rpc_op(node, op, key, value)
+                else:
+                    result = yield from self._sock_op(node, op, key, value)
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add((kind, node))
+                self.failovers += 1
+                continue
+            if tried_dead:
+                self.failovers += 1
+            status, out = result
+            if status == wire.ST_MISS:
+                self.misses += 1
+            return status, out
+        self.errors += 1
+        return wire.ST_ERROR, None
+
+    def _backoff(self, attempt: int):
+        """Sleep the attempt's backoff (generator): exponential in the
+        attempt number, with deterministic per-client jitter."""
+        delay = self.retry_base_us * (2.0 ** (attempt - 1))
+        delay *= 1.0 + self.retry_jitter * self._retry_rng.random()
+        start = self.sim_now()
+        yield self.system.sim.timeout(delay)
+        tracer = self.system.machine.tracer
+        if tracer.enabled:
+            data = {"attempt": attempt, "delay_us": delay}
+            ctx = self.proc.trace_ctx
+            if ctx is not None:
+                data["tid"] = ctx[0]
+                data["cparent"] = ctx[1]
+            tracer.complete("kv.retry", "backoff %d" % attempt, start,
+                            track=self.track, data=data)
 
     def _rpc_op(self, node: int, op: int, key: str, value: bytes):
         client = self.rpc[node]
         if op == wire.OP_GET:
             blob = yield from client.get(key)
+            if blob and blob[0] == wire.ST_REJECTED:
+                return wire.ST_REJECTED, None
             if not blob or blob[0] != wire.ST_OK:
                 return wire.ST_MISS, None
             return wire.ST_OK, bytes(blob[1:])
@@ -826,6 +923,8 @@ class KVClient:
                     self.proc.peek(self._rbuf, wire.SCAN_RECORD.size))
                 if key_len == wire.SCAN_END:
                     return records
+                if key_len == wire.SCAN_REJECT:
+                    return None  # server shed this scan at admission
                 got = yield from sock.recv_exactly(
                     self._rbuf, key_len + value_len)
                 if got < key_len + value_len:
@@ -850,6 +949,8 @@ class KVClient:
             "batched_keys": self.batched_keys,
             "onesided_hits": self.onesided_hits,
             "onesided_fallbacks": self.onesided_fallbacks,
+            "rejected": self.rejected,
+            "retries": self.retries,
         }
 
 

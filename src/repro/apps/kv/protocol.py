@@ -24,13 +24,13 @@ from typing import List, Optional, Tuple
 __all__ = [
     "KEY_BOUND", "VALUE_BOUND",
     "OP_GET", "OP_PUT", "OP_DELETE", "OP_SCAN", "OP_QUIT", "OP_TRACE",
-    "ST_OK", "ST_MISS", "ST_ERROR",
-    "REQ_HEADER", "RESP_HEADER", "SCAN_RECORD", "SCAN_END",
+    "ST_OK", "ST_MISS", "ST_ERROR", "ST_REJECTED",
+    "REQ_HEADER", "RESP_HEADER", "SCAN_RECORD", "SCAN_END", "SCAN_REJECT",
     "REPL_DATA", "REPL_STOP", "REPL_RECORD", "TRACE_CTX",
     "MULTI_GET_MAX", "MG_REQ_BOUND", "MG_RESP_BOUND",
     "encode_request", "decode_request_header",
     "encode_response", "decode_response_header",
-    "encode_scan_record", "scan_end_record",
+    "encode_scan_record", "scan_end_record", "scan_reject_record",
     "encode_repl_record", "decode_repl_record",
     "encode_multi_get_request", "decode_multi_get_request",
     "encode_multi_get_response", "decode_multi_get_response",
@@ -68,11 +68,14 @@ OP_TRACE = 6  # self-describing trace-context prefix frame: a traced
 ST_OK = 0
 ST_MISS = 1
 ST_ERROR = 2
+ST_REJECTED = 3  # admission control shed the request before serving it
+                 # (docs/OVERLOAD.md) — retryable, unlike ST_ERROR
 
 REQ_HEADER = struct.Struct("<BHI")    # op, key_len, value_len (or scan limit)
 RESP_HEADER = struct.Struct("<BI")    # status, value_len
 SCAN_RECORD = struct.Struct("<HI")    # key_len, value_len
 SCAN_END = 0xFFFF                     # key_len sentinel closing a scan stream
+SCAN_REJECT = 0xFFFE                  # key_len sentinel: scan shed by admission
 
 # Replication record kinds (first byte of the NX payload).
 REPL_DATA = 1    # upsert (value present) or delete (value_len == SCAN_END-free 0 with flag)
@@ -118,6 +121,11 @@ def encode_scan_record(key: str, value: bytes) -> bytes:
 def scan_end_record() -> bytes:
     """The sentinel record terminating a SCAN stream."""
     return SCAN_RECORD.pack(SCAN_END, 0)
+
+
+def scan_reject_record() -> bytes:
+    """The sentinel record closing a SCAN the server shed (admission)."""
+    return SCAN_RECORD.pack(SCAN_REJECT, 0)
 
 
 def encode_multi_get_request(keys: List[str]) -> bytes:

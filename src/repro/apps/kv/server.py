@@ -33,6 +33,7 @@ from ...libs.shrimp_rpc import SrpcTimeoutError, compile_stubs
 from ...libs.sockets import SocketLib, SocketTimeoutError
 from ...vmmc import VmmcError, VmmcTimeoutError
 from . import protocol as wire
+from .admission import LANE_BACKGROUND, LANE_BULK, LANE_CHEAP
 
 if TYPE_CHECKING:
     from .service import KVService
@@ -107,31 +108,87 @@ class _ShardImpl:
         self.node_id = node_id
         self.proc = proc
         self.stopped = False
+        # The node's admission controller, or None (admission off).
+        # Lane priorities still apply to the bare CPU scheduler when
+        # only cpu modeling is enabled (docs/OVERLOAD.md).
+        self.admission = service.admission.get(node_id)
+
+    def _admit(self, lane, cost):
+        """Charge the op's CPU cost, through admission when enabled.
+
+        Generator returning False when the request was shed — the
+        caller must answer ``ST_REJECTED`` without running the handler.
+        With admission off this is exactly the historical
+        ``proc.compute(cost)`` (contended only if the CPU scheduler is
+        on), so the default path stays byte-identical.
+        """
+        if self.admission is not None:
+            ok = yield from self.admission.admit(self.proc, lane, cost)
+            return ok
+        yield from self.proc.compute(cost, priority=lane)
+        return True
+
+    def _op_span(self, name):
+        """Open the handler span for an *admitted* op (None when off).
+
+        Only emitted under admission control, so default-path traces
+        are unchanged; its absence from a rejected request's tree is
+        what the shed-tree golden pins.
+        """
+        tracer = self.proc.tracer
+        if self.admission is None or not tracer.enabled:
+            return None
+        data = {"node": self.node_id}
+        ctx = self.proc.trace_ctx
+        if ctx is not None:
+            data["tid"] = ctx[0]
+            data["cparent"] = ctx[1]
+        return tracer.begin("kv.server", name, track=self.proc.trace_track,
+                            data=data)
 
     def get(self, key):
-        yield from self.proc.compute(apply_cost(0))
-        value = self.store.get(key)
-        if value is None:
-            return bytes([wire.ST_MISS])
-        return bytes([wire.ST_OK]) + value
+        ok = yield from self._admit(LANE_CHEAP, self.service.op_cost(0))
+        if not ok:
+            return bytes([wire.ST_REJECTED])
+        span = self._op_span("get")
+        try:
+            value = self.store.get(key)
+            if value is None:
+                return bytes([wire.ST_MISS])
+            return bytes([wire.ST_OK]) + value
+        finally:
+            self.proc.tracer.end(span)
 
     def put(self, key, value):
-        yield from self.proc.compute(apply_cost(len(value)))
-        self.store.put(key, bytes(value))
-        yield from self.service.region_store(self.node_id, self.proc,
-                                             key, bytes(value))
-        self.service.enqueue_replication(self.node_id, key, bytes(value),
-                                         trace_ctx=self.proc.trace_ctx)
-        return wire.ST_OK
+        ok = yield from self._admit(LANE_BULK,
+                                    self.service.op_cost(len(value)))
+        if not ok:
+            return wire.ST_REJECTED
+        span = self._op_span("put")
+        try:
+            self.store.put(key, bytes(value))
+            yield from self.service.region_store(self.node_id, self.proc,
+                                                 key, bytes(value))
+            self.service.enqueue_replication(self.node_id, key, bytes(value),
+                                             trace_ctx=self.proc.trace_ctx)
+            return wire.ST_OK
+        finally:
+            self.proc.tracer.end(span)
 
     def delete(self, key):
-        yield from self.proc.compute(apply_cost(0))
-        existed = self.store.delete(key)
-        yield from self.service.region_store(self.node_id, self.proc,
-                                             key, None)
-        self.service.enqueue_replication(self.node_id, key, None,
-                                         trace_ctx=self.proc.trace_ctx)
-        return wire.ST_OK if existed else wire.ST_MISS
+        ok = yield from self._admit(LANE_BULK, self.service.op_cost(0))
+        if not ok:
+            return wire.ST_REJECTED
+        span = self._op_span("delete")
+        try:
+            existed = self.store.delete(key)
+            yield from self.service.region_store(self.node_id, self.proc,
+                                                 key, None)
+            self.service.enqueue_replication(self.node_id, key, None,
+                                             trace_ctx=self.proc.trace_ctx)
+            return wire.ST_OK if existed else wire.ST_MISS
+        finally:
+            self.proc.tracer.end(span)
 
     def stop(self):
         self.stopped = True
@@ -142,9 +199,32 @@ class _ShardImpl:
         """The v2 batched read: N keys in, N (status, value) entries
         written into the OUT slot (propagated back by automatic update
         as they are set)."""
+        keys = wire.decode_multi_get_request(keys_blob)
+        if self.admission is not None:
+            # One admission decision covers the batch (it is one CPU
+            # dispatch); a shed batch answers ST_REJECTED per entry so
+            # the client can retry each key on its own budget.
+            ok = yield from self.admission.admit(
+                self.proc, LANE_CHEAP,
+                len(keys) * self.service.op_cost(0))
+            if not ok:
+                yield from entries.set(wire.encode_multi_get_response(
+                    [(wire.ST_REJECTED, None)] * len(keys)))
+                return
+            span = self._op_span("multi_get")
+            try:
+                found = []
+                for key in keys:
+                    value = self.store.get(key)
+                    found.append((wire.ST_MISS, None) if value is None
+                                 else (wire.ST_OK, value))
+                yield from entries.set(wire.encode_multi_get_response(found))
+            finally:
+                self.proc.tracer.end(span)
+            return
         found = []
-        for key in wire.decode_multi_get_request(keys_blob):
-            yield from self.proc.compute(apply_cost(0))
+        for key in keys:
+            yield from self.proc.compute(apply_cost(0), priority=LANE_CHEAP)
             value = self.store.get(key)
             found.append((wire.ST_MISS, None) if value is None
                          else (wire.ST_OK, value))
@@ -189,6 +269,16 @@ def socket_server_program(service: "KVService", node_id: int):
         out = proc.space.mmap(4096)
         served = 0
         pending_ctx = None
+        admission = service.admission.get(node_id)
+
+        def _admit(lane, cost):
+            """Socket-side twin of ``_ShardImpl._admit`` (generator)."""
+            if admission is not None:
+                ok = yield from admission.admit(proc, lane, cost)
+                return ok
+            yield from proc.compute(cost, priority=lane)
+            return True
+
         try:
             while True:
                 got = yield from sock.recv_exactly(buf, wire.REQ_HEADER.size)
@@ -228,7 +318,13 @@ def socket_server_program(service: "KVService", node_id: int):
                                       else pending_ctx[1])
                 try:
                     if op == wire.OP_GET:
-                        yield from proc.compute(apply_cost(0))
+                        ok = yield from _admit(LANE_CHEAP,
+                                               service.op_cost(0))
+                        if not ok:
+                            frame = wire.encode_response(wire.ST_REJECTED)
+                            yield from proc.write(out, frame)
+                            yield from sock.send(out, len(frame))
+                            continue
                         value = store.get(key)
                         frame = wire.encode_response(
                             wire.ST_MISS if value is None else wire.ST_OK,
@@ -237,7 +333,13 @@ def socket_server_program(service: "KVService", node_id: int):
                         yield from sock.send(out, len(frame))
                     elif op == wire.OP_PUT:
                         value = proc.peek(buf + key_len, third)
-                        yield from proc.compute(apply_cost(len(value)))
+                        ok = yield from _admit(LANE_BULK,
+                                               service.op_cost(len(value)))
+                        if not ok:
+                            frame = wire.encode_response(wire.ST_REJECTED)
+                            yield from proc.write(out, frame)
+                            yield from sock.send(out, len(frame))
+                            continue
                         store.put(key, value)
                         yield from service.region_store(
                             node_id, proc, key, value)
@@ -247,7 +349,13 @@ def socket_server_program(service: "KVService", node_id: int):
                         yield from proc.write(out, frame)
                         yield from sock.send(out, len(frame))
                     elif op == wire.OP_DELETE:
-                        yield from proc.compute(apply_cost(0))
+                        ok = yield from _admit(LANE_BULK,
+                                               service.op_cost(0))
+                        if not ok:
+                            frame = wire.encode_response(wire.ST_REJECTED)
+                            yield from proc.write(out, frame)
+                            yield from sock.send(out, len(frame))
+                            continue
                         existed = store.delete(key)
                         yield from service.region_store(
                             node_id, proc, key, None)
@@ -258,11 +366,21 @@ def socket_server_program(service: "KVService", node_id: int):
                         yield from proc.write(out, frame)
                         yield from sock.send(out, len(frame))
                     elif op == wire.OP_SCAN:
-                        yield from proc.compute(apply_cost(0))
+                        ok = yield from _admit(LANE_BULK,
+                                               service.op_cost(0))
+                        if not ok:
+                            # Streams have no response header; a
+                            # distinguished sentinel record tells the
+                            # client the whole scan was shed.
+                            frame = wire.scan_reject_record()
+                            yield from proc.write(out, frame)
+                            yield from sock.send(out, len(frame))
+                            continue
                         records = store.scan(key, third)
                         for rec_key, rec_value in records:
                             yield from proc.compute(
-                                apply_cost(len(rec_value)))
+                                apply_cost(len(rec_value)),
+                                priority=LANE_BULK)
                             frame = wire.encode_scan_record(rec_key, rec_value)
                             yield from proc.write(out, frame)
                             yield from sock.send(out, len(frame))
@@ -326,8 +444,12 @@ def make_repl_program(service: "KVService", rank: int):
                 if kind == wire.REPL_STOP:
                     stops += 1
                     continue
+                # Replication apply rides the background lane: it only
+                # gets the CPU when no client op is waiting, so fan-out
+                # work cannot steal capacity from the request path.
                 yield from proc.compute(
-                    apply_cost(0 if value is None else len(value)))
+                    service.op_cost(0 if value is None else len(value)),
+                    priority=LANE_BACKGROUND)
                 service.stores[rank].apply_replication(key, value)
                 yield from service.region_store(rank, proc, key, value)
                 applied += 1

@@ -34,8 +34,14 @@ from ...sim import Event, Store
 from ...testbed import Rendezvous
 from ...vmmc import attach
 from . import protocol as wire
+from .admission import AdmissionController
 from .hashing import HashRing
-from .server import make_repl_program, socket_server_program, srpc_server_program
+from .server import (
+    apply_cost,
+    make_repl_program,
+    socket_server_program,
+    srpc_server_program,
+)
 from .store import ShardStore
 
 __all__ = ["KVService", "region_name"]
@@ -61,7 +67,11 @@ class KVService:
                  srpc_window: int = 1,
                  onesided: bool = False,
                  onesided_slots: int = 1024,
-                 onesided_slot_bytes: int = 0):
+                 onesided_slot_bytes: int = 0,
+                 admission: bool = False,
+                 admit_queue: int = 32,
+                 admit_deadline_us: float = 0.0,
+                 handler_cpu_us: float = 0.0):
         self.system = system
         # Serving-stack knobs both sides of an SRPC binding must agree
         # on: ``batch`` selects the v2 interface (multi_get available),
@@ -106,6 +116,26 @@ class KVService:
         self.repl_send_failures = 0
         self.repl_applied_total: Optional[int] = None
         self.map_mismatches: List[int] = []
+        # Overload control (docs/OVERLOAD.md): ``handler_cpu_us`` is
+        # the per-op CPU charge added on top of ``apply_cost`` (only
+        # meaningful once the node CPU schedulers are enabled), and
+        # with ``admission`` on each node gets an AdmissionController
+        # fronting its CPU.  Both default off: op_cost == apply_cost
+        # and the admission map stays empty, so every default-path
+        # timing is untouched.
+        self.handler_cpu_us = handler_cpu_us
+        self.admission: Dict[int, AdmissionController] = {}
+        if admission:
+            for node in self.nodes:
+                controller = AdmissionController(
+                    system, node, system.machine.nodes[node].cpu,
+                    bound=admit_queue, deadline_us=admit_deadline_us)
+                system.machine.metrics.register(controller)
+                self.admission[node] = controller
+
+    def op_cost(self, nbytes: int) -> float:
+        """One op's server CPU charge: apply cost plus the handler tax."""
+        return apply_cost(nbytes) + self.handler_cpu_us
 
     # ---------------------------------------------------------- helpers
 

@@ -35,6 +35,8 @@ class CapacityPoint:
     p99_us: float
     errors: int
     p95_us: float = 0.0      # defaulted last: older call sites omit it
+    rejected: int = 0        # requests shed past the retry budget
+    goodput: float = 0.0     # within-SLO completions per second
 
 
 @dataclass
@@ -48,14 +50,16 @@ class CapacityResult:
 
     def rows(self) -> List[List[str]]:
         """The sweep as table rows (header first)."""
-        rows = [["offered ops/s", "achieved ops/s", "p50 us", "p95 us",
-                 "p99 us", "p99/p50", "errors"]]
+        rows = [["offered ops/s", "achieved ops/s", "goodput ops/s",
+                 "p50 us", "p95 us", "p99 us", "p99/p50", "rejected",
+                 "errors"]]
         for pt in self.points:
             ratio = pt.p99_us / pt.p50_us if pt.p50_us > 0 else 0.0
             rows.append(["%.0f" % pt.offered_load, "%.0f" % pt.throughput,
+                         "%.0f" % pt.goodput,
                          "%.2f" % pt.p50_us, "%.2f" % pt.p95_us,
                          "%.2f" % pt.p99_us,
-                         "%.1f" % ratio, str(pt.errors)])
+                         "%.1f" % ratio, str(pt.rejected), str(pt.errors)])
         return rows
 
     def to_payload(self) -> dict:
@@ -67,9 +71,11 @@ class CapacityResult:
             "points": [
                 {"offered_load": pt.offered_load,
                  "throughput": pt.throughput,
+                 "goodput": pt.goodput,
                  "p50_us": pt.p50_us,
                  "p95_us": pt.p95_us,
                  "p99_us": pt.p99_us,
+                 "rejected": pt.rejected,
                  "errors": pt.errors}
                 for pt in self.points],
         }
@@ -90,24 +96,41 @@ class CapacityResult:
 def find_knee(points: Sequence[CapacityPoint],
               tail_factor: float = 3.0,
               shortfall: float = 0.9) -> Optional[float]:
-    """The first offered load where the service is saturated, or None.
+    """The offered load delivering maximum useful output, or None.
 
-    The baseline p99 is the lowest-load point's; a point marks the knee
-    when its p99 exceeds ``tail_factor`` times the baseline (queueing
-    delay has taken over the tail) **or** its achieved throughput falls
-    below ``shortfall`` of offered (the service can no longer keep up).
+    A sweep *saturates* when some point past the lowest load shows the
+    classic signature — p99 beyond ``tail_factor`` times the
+    lowest-load baseline (queueing delay owns the tail) or achieved
+    throughput below ``shortfall`` of offered (the service can no
+    longer keep up).  An unsaturated sweep has no knee.
+
+    Within a saturated sweep the knee is the point of **maximum
+    goodput** (falling back to throughput for sweeps that measured
+    none), ties broken toward the *lower* offered load.  The first
+    saturated point is the wrong answer on a non-monotonic collapse:
+    an overloaded service's throughput can keep climbing past the
+    point where the tail first diverges, then fall off a cliff — the
+    capacity worth reporting is where the output *peaks*, not where
+    the tail first twitched.
     """
     if not points:
         return None
     ordered = sorted(points, key=lambda pt: pt.offered_load)
     baseline_p99 = ordered[0].p99_us
+    saturated = False
     for pt in ordered[1:]:
         saturated_tail = (baseline_p99 > 0.0
                           and pt.p99_us > tail_factor * baseline_p99)
         saturated_tput = pt.throughput < shortfall * pt.offered_load
         if saturated_tail or saturated_tput:
-            return pt.offered_load
-    return None
+            saturated = True
+            break
+    if not saturated:
+        return None
+    best = max(ordered,
+               key=lambda pt: ((pt.goodput or pt.throughput),
+                               -pt.offered_load))
+    return best.offered_load
 
 
 def capacity_sweep(loads: Sequence[float],
@@ -136,7 +159,9 @@ def capacity_sweep(loads: Sequence[float],
             p50_us=rep.percentile(50.0),
             p95_us=rep.percentile(95.0),
             p99_us=rep.percentile(99.0),
-            errors=rep.errors))
+            errors=rep.errors,
+            rejected=rep.rejected,
+            goodput=rep.goodput_ops_s))
     result.knee_load = find_knee(result.points, tail_factor=tail_factor,
                                  shortfall=shortfall)
     return result
@@ -155,6 +180,10 @@ class PairedCapacityResult:
     baseline: CapacityResult
     mitigated: CapacityResult
     label: str = ""
+    #: True for an overload-control pair (A = uncontrolled, B =
+    #: admission + retry + backpressure): the verdict then compares
+    #: goodput survival past the knee rather than knee movement.
+    overload: bool = False
 
     def report(self) -> str:
         """Both sweep tables plus the knee comparison verdict."""
@@ -185,12 +214,35 @@ class PairedCapacityResult:
         else:
             lines.append("verdict: neither run saturated inside the "
                          "swept range")
+        if self.overload and self.mitigated.knee_load is not None:
+            knee = self.mitigated.knee_load
+            knee_goodput = max(
+                (pt.goodput for pt in self.mitigated.points
+                 if pt.offered_load <= knee), default=0.0)
+            past = [pt for pt in self.mitigated.points
+                    if pt.offered_load > knee]
+            base_past = [pt for pt in self.baseline.points
+                         if pt.offered_load > knee]
+            if past and knee_goodput > 0.0:
+                worst = min(pt.goodput for pt in past)
+                lines.append(
+                    "overload verdict: past the knee (~%.0f ops/s) "
+                    "controlled goodput holds >= %.0f ops/s (%.0f%% of "
+                    "knee goodput %.0f)"
+                    % (knee, worst, 100.0 * worst / knee_goodput,
+                       knee_goodput))
+                if base_past:
+                    lines.append(
+                        "                  uncontrolled goodput past the "
+                        "knee falls to %.0f ops/s"
+                        % min(pt.goodput for pt in base_past))
         return "\n".join(lines)
 
     def to_payload(self) -> dict:
         """Both sweeps as a JSON-ready dict keyed A/B."""
         return {
             "mode": "ab",
+            "overload": self.overload,
             "label": self.label,
             "baseline": self.baseline.to_payload(),
             "mitigated": self.mitigated.to_payload(),
@@ -205,6 +257,15 @@ def paired_capacity_sweep(loads: Sequence[float],
                           cache_ttl_us: float = 2000.0,
                           read_spread: bool = True,
                           onesided: bool = False,
+                          overload: bool = False,
+                          cpu_slots: int = 1,
+                          cpu_op_us: float = 50.0,
+                          admit_queue: int = 8,
+                          admit_deadline_us: float = 400.0,
+                          retry_budget: int = 1,
+                          retry_base_us: float = 50.0,
+                          backpressure: bool = True,
+                          slo_latency_us: float = 1000.0,
                           tail_factor: float = 3.0,
                           shortfall: float = 0.9) -> PairedCapacityResult:
     """Sweep the same loads twice — mitigations off, then on.
@@ -216,8 +277,43 @@ def paired_capacity_sweep(loads: Sequence[float],
     one-sided bypass reads (docs/ONESIDED.md) — usually *instead of*
     the client-side mitigations, so pass the neutral values for the
     others when isolating the bypass.
+
+    ``overload=True`` selects the overload-control experiment instead
+    (docs/OVERLOAD.md): BOTH sides model contended node CPUs
+    (``cpu_slots``/``cpu_op_us``) and score goodput against
+    ``slo_latency_us``, the hot-key mitigations stay off on both
+    sides, and only the B side arms admission control, retry budgets,
+    and backpressure — so the pair isolates whether the *controls*
+    (not a faster server) preserve goodput past the knee.  The
+    ``cpu_op_us`` default of 50 (~3000 cycles on a 60 MHz Pentium) is
+    the calibrated point where handler CPU — not the client worker
+    pool — is the binding resource, so the knee lives server-side
+    where admission can see it (docs/OVERLOAD.md).
     """
     spec = base_spec if base_spec is not None else WorkloadSpec()
+    if overload:
+        baseline_spec = replace(spec, pipeline_window=1, batch_keys=1,
+                                cache_keys=0, cache_ttl_us=0.0,
+                                read_spread=False, onesided_reads=False,
+                                cpu_slots=cpu_slots, cpu_op_us=cpu_op_us,
+                                slo_latency_us=slo_latency_us,
+                                admission=False, retry_budget=0,
+                                backpressure=False)
+        controlled_spec = replace(baseline_spec, admission=True,
+                                  admit_queue=admit_queue,
+                                  admit_deadline_us=admit_deadline_us,
+                                  retry_budget=retry_budget,
+                                  retry_base_us=retry_base_us,
+                                  backpressure=backpressure)
+        baseline = capacity_sweep(loads, baseline_spec,
+                                  tail_factor=tail_factor,
+                                  shortfall=shortfall)
+        controlled = capacity_sweep(loads, controlled_spec,
+                                    tail_factor=tail_factor,
+                                    shortfall=shortfall)
+        return PairedCapacityResult(baseline=baseline, mitigated=controlled,
+                                    label=controlled_spec.overload_label(),
+                                    overload=True)
     baseline_spec = replace(spec, pipeline_window=1, batch_keys=1,
                             cache_keys=0, cache_ttl_us=0.0,
                             read_spread=False, onesided_reads=False)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..sim import FaultInjector, Simulator, Tracer
+from ..sim import FaultInjector, Resource, Simulator, Tracer
 from .bus import EisaBus, XpressBus
 from .config import CacheMode, MachineConfig
 from .memory import PhysicalMemory
@@ -49,6 +49,26 @@ class Node:
             sim, config, node_id, self.memory, self.eisa, mesh, self.tracer,
             faults=self.faults,
         )
+        # Optional CPU scheduler: None means the historical model where
+        # every process computes on its own infinite CPU (handlers on
+        # one node never contend).  ``enable_cpu`` turns contention on
+        # for overload studies; with it off every timed path is
+        # byte-identical to the uncontended machine.
+        self.cpu: Optional[Resource] = None
+
+    def enable_cpu(self, slots: int = 1) -> Resource:
+        """Model this node's CPU as ``slots`` schedulable execution slots.
+
+        Idempotent: a second call returns the existing scheduler (the
+        slot count of the first call wins).  Processes opt in per
+        compute call via :meth:`repro.kernel.process.UserProcess.compute`'s
+        ``priority`` argument — lower values run first, matching
+        :class:`~repro.sim.Resource` semantics.
+        """
+        if self.cpu is None:
+            self.cpu = Resource(self.sim, capacity=slots,
+                                name="n%d.cpu" % self.node_id)
+        return self.cpu
 
     # -- the CPU's memory operations ------------------------------------------
     def cpu_write(self, paddr: int, data: bytes, mode: CacheMode):

@@ -140,9 +140,26 @@ class UserProcess:
             offset += length
         self.tracer.end(span)
 
-    def compute(self, microseconds: float):
-        """Pure CPU time (library bookkeeping, marshaling logic, ...)."""
-        yield self.sim.timeout(microseconds)
+    def compute(self, microseconds: float, priority: Optional[int] = None):
+        """Pure CPU time (library bookkeeping, marshaling logic, ...).
+
+        With ``priority`` set *and* the node's CPU scheduler enabled
+        (:meth:`~repro.hardware.node.Node.enable_cpu`), the time is
+        charged while holding one CPU slot, so concurrent handlers on
+        the node contend in (priority, FIFO) order.  Either condition
+        absent, this is the historical uncontended timeout —
+        byte-identical to the pre-scheduler model.
+        """
+        cpu = self.node.cpu
+        if cpu is None or priority is None:
+            yield self.sim.timeout(microseconds)
+            return
+        req = cpu.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(microseconds)
+        finally:
+            cpu.release(req)
 
     # -- polling -----------------------------------------------------------------
     def poll(

@@ -25,13 +25,14 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
-from ..apps.kv import KVClient, KVService, ST_ERROR, ST_OK
+from ..apps.kv import KVClient, KVService, KvRejectedError, ST_ERROR, ST_OK
 from ..analysis import LatencyHistogram
 from ..hardware.config import MachineConfig
 from ..obs import FlightRecorder, SloMonitor, TelemetrySampler
 from ..sim import Store
 from ..sim.faults import FaultPlan
 from ..testbed import Rendezvous, make_system
+from .backpressure import BackpressureGovernor
 from .report import WorkloadReport
 from .spec import (
     KeySampler,
@@ -78,10 +79,23 @@ def run_workload(spec: WorkloadSpec,
         system.machine.tracer.enabled = True
     sim = system.sim
 
+    # Overload modeling (docs/OVERLOAD.md): with ``cpu_slots`` the
+    # node CPUs become contended resources every prioritized compute
+    # charge queues on — enabled before the service boots, so its
+    # admission controllers front the same schedulers.
+    if spec.cpu_slots > 0:
+        for node in system.machine.nodes:
+            system.machine.metrics.register(node.enable_cpu(spec.cpu_slots))
+
     service = KVService(system, replicas=spec.replicas,
                         batch=spec.batch_keys > 1,
                         srpc_window=spec.pipeline_window,
-                        onesided=spec.onesided_reads)
+                        onesided=spec.onesided_reads,
+                        admission=spec.admission,
+                        admit_queue=spec.admit_queue,
+                        admit_deadline_us=spec.admit_deadline_us,
+                        handler_cpu_us=(spec.cpu_op_us
+                                        if spec.cpu_slots > 0 else 0.0))
     prefill = random.Random(spec.seed * 7919 + 13)
     sizes = ValueSizeSampler(spec.value_sizes)
     service.preload({
@@ -99,7 +113,7 @@ def run_workload(spec: WorkloadSpec,
     rdv = Rendezvous(system)
     ready = [0]
     window = {"start": 0.0, "end": 0.0}
-    tally = {"completed": 0, "errors": 0}
+    tally = {"completed": 0, "errors": 0, "rejected": 0, "in_slo": 0}
     overall = LatencyHistogram("overall")
     per_op: Dict[str, LatencyHistogram] = {
         op: LatencyHistogram(op) for op in _OPS}
@@ -120,6 +134,10 @@ def run_workload(spec: WorkloadSpec,
         sampler.recorder = recorder
         sampler.install()
 
+    # Client-side cooperation: the governor stretches open-loop
+    # inter-arrival gaps while rejections exceed its target fraction.
+    governor = BackpressureGovernor() if spec.backpressure else None
+
     def _execute(client, op, key, size, limit):
         if op == "get":
             status, value = yield from client.get(key)
@@ -137,6 +155,11 @@ def run_workload(spec: WorkloadSpec,
         per_op[op].record(latency)
         if sampler is not None:
             sampler.window.record(latency, error=status == ST_ERROR)
+        if governor is not None:
+            governor.note(False)
+        if status != ST_ERROR and spec.slo_latency_us > 0.0 \
+                and latency <= spec.slo_latency_us:
+            tally["in_slo"] += 1
         if status == ST_ERROR:
             tally["errors"] += 1
             # An ST_ERROR means the replica walk exhausted its typed
@@ -146,6 +169,12 @@ def run_workload(spec: WorkloadSpec,
                 recorder.capture("request-error", sim.now)
         else:
             tally["completed"] += 1
+
+    def _reject():
+        """Account one request the retry budget could not recover."""
+        tally["rejected"] += 1
+        if governor is not None:
+            governor.note(True)
 
     def _check_value(client, key, status, value):
         if status == ST_OK and value:
@@ -257,7 +286,10 @@ def run_workload(spec: WorkloadSpec,
                               onesided=spec.onesided_reads,
                               onesided_hints=(
                                   host_hints[wid % spec.nodes]
-                                  if host_hints is not None else None))
+                                  if host_hints is not None else None),
+                              retry_budget=spec.retry_budget,
+                              retry_base_us=spec.retry_base_us,
+                              retry_jitter=spec.retry_jitter)
             clients.append(client)
             yield from client.connect()
             ready[0] += 1
@@ -287,8 +319,13 @@ def run_workload(spec: WorkloadSpec,
                     if item is None:
                         break
                     op, key, size, limit, arrival = item
-                    status = yield from _execute(client, op, key, size, limit)
-                    _record(op, sim.now - arrival, status)
+                    try:
+                        status = yield from _execute(
+                            client, op, key, size, limit)
+                    except KvRejectedError:
+                        _reject()
+                    else:
+                        _record(op, sim.now - arrival, status)
                     window["end"] = max(window["end"], sim.now)
             else:
                 rng = random.Random(spec.seed * 1_000_003 + wid)
@@ -299,8 +336,13 @@ def run_workload(spec: WorkloadSpec,
                     op, key, size, limit = _sample_request(
                         rng, spec, keys, sizes)
                     issued = sim.now
-                    status = yield from _execute(client, op, key, size, limit)
-                    _record(op, sim.now - issued, status)
+                    try:
+                        status = yield from _execute(
+                            client, op, key, size, limit)
+                    except KvRejectedError:
+                        _reject()
+                    else:
+                        _record(op, sim.now - issued, status)
                     window["end"] = max(window["end"], sim.now)
                     if spec.think_us > 0.0:
                         yield sim.timeout(spec.think_us)
@@ -318,7 +360,10 @@ def run_workload(spec: WorkloadSpec,
             rng = random.Random(spec.seed)
             yield rdv.get("go")
             for _ in range(spec.requests):
-                yield sim.timeout(exponential_gap_us(rng, spec.load))
+                gap = exponential_gap_us(rng, spec.load)
+                if governor is not None:
+                    gap *= governor.gap_scale()
+                yield sim.timeout(gap)
                 op, key, size, limit = _sample_request(rng, spec, keys, sizes)
                 dispatch.try_put((op, key, size, limit, sim.now))
             for _ in range(workers):
@@ -343,6 +388,8 @@ def run_workload(spec: WorkloadSpec,
         spec_line += " " + spec.mitigation_label()
     if spec.telemetry:
         spec_line += " " + spec.telemetry_label()
+    if spec.overloaded():
+        spec_line += " " + spec.overload_label()
     misses = sum(c.misses for c in clients)
     failovers = sum(c.failovers for c in clients)
     corruptions = sum(c.corruptions for c in clients)
@@ -386,6 +433,36 @@ def run_workload(spec: WorkloadSpec,
         if slo is not None:
             telemetry_lines.extend(slo.report().splitlines())
         telemetry_lines.extend(recorder.report().splitlines())
+    overload_lines = []
+    if spec.overloaded():
+        controllers = list(service.admission.values())
+        overload_lines.append(
+            "overload: served=%d shed_full=%d shed_brownout=%d "
+            "shed_deadline=%d brownouts=%d retries=%d slowdown_peak=%.2f"
+            % (sum(c.served for c in controllers),
+               sum(c.rejected_full for c in controllers),
+               sum(c.rejected_brownout for c in controllers),
+               sum(c.shed_deadline for c in controllers),
+               sum(c.brownouts for c in controllers),
+               sum(c.retries for c in clients),
+               governor.peak if governor is not None else 1.0))
+        duration = max(0.0, window["end"] - window["start"])
+        answered = tally["completed"] + tally["errors"]
+        total = answered + tally["rejected"]
+        overload_lines.append(
+            "rejected: %d of %d offered (%.1f%%)"
+            % (tally["rejected"], spec.requests,
+               100.0 * tally["rejected"] / spec.requests))
+        goodput = (tally["in_slo"] if spec.slo_latency_us > 0.0
+                   else tally["completed"])
+        overload_lines.append(
+            "goodput: %d in-slo of %d completed (%.0f ops/s); "
+            "completed+errors+rejected = %d+%d+%d = %d of %d offered [%s]"
+            % (goodput, tally["completed"],
+               goodput * 1e6 / duration if duration > 0 else 0.0,
+               tally["completed"], tally["errors"], tally["rejected"],
+               total, spec.requests,
+               "OK" if total == spec.requests else "VIOLATED"))
 
     return WorkloadReport(
         spec_line=spec_line,
@@ -395,6 +472,9 @@ def run_workload(spec: WorkloadSpec,
         duration_us=max(0.0, window["end"] - window["start"]),
         completed=tally["completed"],
         errors=tally["errors"],
+        rejected=tally["rejected"],
+        in_slo=tally["in_slo"],
+        slo_latency_us=spec.slo_latency_us,
         misses=misses,
         failovers=failovers,
         corruptions=corruptions,
@@ -404,5 +484,6 @@ def run_workload(spec: WorkloadSpec,
         service_lines=service_lines,
         fault_lines=fault_lines,
         telemetry_lines=telemetry_lines,
+        overload_lines=overload_lines,
         spans=list(system.machine.tracer.spans) if spec.trace else None,
     )

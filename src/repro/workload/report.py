@@ -36,6 +36,10 @@ class WorkloadReport:
     service_lines: List[str] = field(default_factory=list)
     fault_lines: List[str] = field(default_factory=list)
     telemetry_lines: List[str] = field(default_factory=list)
+    overload_lines: List[str] = field(default_factory=list)
+    rejected: int = 0            # requests shed past the retry budget
+    in_slo: int = 0              # completions within slo_latency_us
+    slo_latency_us: float = 0.0  # the goodput threshold (0 = off)
     #: The run's recorded spans when ``spec.trace`` was set, else None.
     #: Carried for trace assembly (``python -m repro explain``) and the
     #: observability tests; never rendered into the text report, so the
@@ -48,6 +52,15 @@ class WorkloadReport:
         if self.duration_us <= 0.0:
             return 0.0
         return self.completed / (self.duration_us / 1e6)
+
+    @property
+    def goodput_ops_s(self) -> float:
+        """Useful completions per second: within-SLO when an SLO
+        threshold was set, otherwise all completions."""
+        if self.duration_us <= 0.0:
+            return 0.0
+        useful = self.in_slo if self.slo_latency_us > 0.0 else self.completed
+        return useful / (self.duration_us / 1e6)
 
     def percentile(self, p: float) -> float:
         """Overall latency percentile (µs)."""
@@ -86,6 +99,11 @@ class WorkloadReport:
         if self.service_lines:
             lines.append("")
             lines.extend(self.service_lines)
+        if self.overload_lines:
+            # Conditional, like the telemetry block: overload-off
+            # reports stay byte-identical to the goldens.
+            lines.append("")
+            lines.extend(self.overload_lines)
         if self.telemetry_lines:
             # Conditional, like the fault block: telemetry-off reports
             # stay byte-identical to the zero-regression goldens.

@@ -157,6 +157,17 @@ class WorkloadSpec:
     cache_ttl_us: float = 0.0        # cache entry lifetime (0 = no TTL)
     read_spread: bool = False        # rotate reads over the replica set
     onesided_reads: bool = False     # GETs bypass the server over VMMC
+    # Overload-control knobs (docs/OVERLOAD.md; all default off — the
+    # defaults reproduce the uncontrolled engine byte for byte):
+    cpu_slots: int = 0               # per-node CPU scheduler slots (0 = off)
+    cpu_op_us: float = 10.0          # handler CPU per op once cpu_slots > 0
+    admission: bool = False          # server-side admission control
+    admit_queue: int = 32            # bounded accept-queue occupancy
+    admit_deadline_us: float = 0.0   # queueing-delay budget (0 = no deadline)
+    retry_budget: int = 0            # client retries after a rejection
+    retry_base_us: float = 100.0     # backoff base (doubles per attempt)
+    retry_jitter: float = 0.5        # jitter fraction on each backoff
+    backpressure: bool = False       # adaptive open-loop rate trimming
 
     def mitigated(self) -> bool:
         """Whether any hot-key/pipelining mitigation knob is non-default."""
@@ -177,6 +188,20 @@ class WorkloadSpec:
                 "err_budget=%g"
                 % (self.telemetry_interval_us, self.slo_latency_us,
                    self.slo_latency_budget, self.slo_error_budget))
+
+    def overloaded(self) -> bool:
+        """Whether any overload-control knob is non-default."""
+        return (self.cpu_slots > 0 or self.admission
+                or self.retry_budget > 0 or self.backpressure)
+
+    def overload_label(self) -> str:
+        """The spec-line suffix describing the overload configuration."""
+        return ("overload cpu=%d op_us=%g admission=%d queue=%d "
+                "deadline=%g retry=%d base=%g jitter=%g backpressure=%d"
+                % (self.cpu_slots, self.cpu_op_us, int(self.admission),
+                   self.admit_queue, self.admit_deadline_us,
+                   self.retry_budget, self.retry_base_us, self.retry_jitter,
+                   int(self.backpressure)))
 
     def validate(self) -> None:
         """Raise ValueError on an inconsistent spec."""
@@ -222,6 +247,28 @@ class WorkloadSpec:
                 raise ValueError("SLO budgets must be 0 (off) or in (0, 1)")
         if self.slo_latency_budget > 0.0 and self.slo_latency_us <= 0.0:
             raise ValueError("slo_latency_budget needs slo_latency_us")
+        if self.cpu_slots < 0:
+            raise ValueError("cpu_slots must be >= 0")
+        if self.cpu_op_us < 0.0:
+            raise ValueError("cpu_op_us must be >= 0")
+        if self.admit_queue < 1:
+            raise ValueError("admit_queue must be >= 1")
+        if self.admit_deadline_us < 0.0:
+            raise ValueError("admit_deadline_us must be >= 0")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.retry_base_us <= 0.0:
+            raise ValueError("retry_base_us must be positive")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+        if (self.admission or self.retry_budget > 0 or self.backpressure) \
+                and (self.pipeline_window > 1 or self.batch_keys > 1):
+            raise ValueError("overload control composes with the plain "
+                             "request path only (pipeline_window=1, "
+                             "batch_keys=1)")
+        if self.backpressure and self.arrival != "open":
+            raise ValueError("backpressure governs the open-loop arrival "
+                             "process only")
         KeySampler(self.keys, self.key_distribution, self.zipf_s)
         ValueSizeSampler(self.value_sizes)
 

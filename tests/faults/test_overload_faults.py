@@ -1,0 +1,119 @@
+"""Seeded fault sweeps over the overload-control path (docs/OVERLOAD.md).
+
+Overload control adds a second answer a request can get — a typed
+rejection — and a second client loop — backoff and retry.  Faults must
+not be able to turn either into a silent failure mode: under any
+drop/corrupt/delay/stall schedule, every offered request still resolves
+as exactly one of completed, errored, or rejected (``KvRejectedError``
+surfaces past the retry budget; the engine counts nothing else), no
+worker hangs (the run's simulated-time watchdog would raise), the
+causal trace still audits clean (span balance, no orphans, no
+duplicate deliveries), and no request ever records more ``kv.retry``
+spans than its retry budget allows.
+
+Every run is also audited by the session fixture in tests/conftest.py
+(mesh packet/byte conservation, queue drain, arbiter release).
+"""
+
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.obs import assemble_traces, audit
+from repro.sim.faults import FaultPlan, FaultSite
+from repro.workload import WorkloadSpec, run_workload
+
+REQUESTS = 60
+RETRY_BUDGET = 1
+
+SPEC = WorkloadSpec(arrival="open", load=100_000.0, concurrency=4,
+                    requests=REQUESTS, keys=64, read_fraction=0.8,
+                    cpu_slots=1, cpu_op_us=50.0, slo_latency_us=1000.0,
+                    admission=True, admit_queue=4, admit_deadline_us=200.0,
+                    retry_budget=RETRY_BUDGET, retry_base_us=50.0,
+                    backpressure=True, trace=True)
+
+
+def _run(seed, sites=None, count=8, horizon_us=3000.0, **over):
+    plan = FaultPlan.from_seed(seed, horizon_us=horizon_us, count=count,
+                               sites=sites)
+    return run_workload(replace(SPEC, seed=seed, **over), fault_plan=plan)
+
+
+def _retries_per_request(spans):
+    """kv.retry spans grouped by trace id — one tree per request."""
+    counts = Counter()
+    for span in spans:
+        if span.category != "kv.retry":
+            continue
+        assert span.data and "tid" in span.data, \
+            "kv.retry span lost its trace id"
+        counts[span.data["tid"]] += 1
+    return counts
+
+
+def _check(report, retry_budget=RETRY_BUDGET):
+    # Conservation: a faulted, shedding run may slow requests down or
+    # reject them, but every offered request resolves exactly once.
+    # (A hang would have tripped the run's simulated-time watchdog
+    # before we got here.)
+    assert report.completed + report.errors + report.rejected == REQUESTS
+    assert "rejected: %d of %d offered" % (report.rejected, REQUESTS) \
+        in "\n".join(report.overload_lines)
+    assert report.corruptions == 0
+    # Causal story stays straight: balanced spans, no orphans, no
+    # duplicated deliveries, every tree rooted.
+    spans = report.spans
+    problems = audit(spans)
+    assert problems == [], "\n".join(problems)
+    trees = assemble_traces(spans)
+    for tree in trees.values():
+        assert tree.root is not None and not tree.problems
+    # Retry budgets are hard ceilings: no request's tree ever records
+    # more backoffs than the budget, faults or not.
+    for tid, retries in _retries_per_request(spans).items():
+        assert retries <= retry_budget, \
+            "request %d took %d retries (budget %d)" \
+            % (tid, retries, retry_budget)
+    return report
+
+
+@pytest.mark.parametrize("seed", range(700, 706))
+def test_overload_survives_mixed_faults(seed):
+    """All fault sites armed against a shedding, retrying workload."""
+    _check(_run(seed))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(706, 724))
+def test_overload_fault_sweep(seed):
+    """The wide sweep: mixed schedules, denser every third seed."""
+    count = 16 if seed % 3 == 0 else 8
+    _check(_run(seed, count=count))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(724, 730))
+def test_overload_survives_mesh_faults(seed):
+    """Mesh-only faults target requests, replies, and replication
+    traffic — the paths a shed reply shares with a served one."""
+    _check(_run(seed, sites=[FaultSite.MESH_LINK], count=12))
+
+
+def test_rejections_and_retries_actually_happen_under_faults():
+    """The sweep is not vacuous: deep overload under faults produces
+    typed rejections AND budgeted retries (some request burns its whole
+    budget and still surfaces ``KvRejectedError`` into the tally)."""
+    report = _check(_run(733, load=300_000.0, concurrency=12,
+                         cpu_op_us=150.0, admit_queue=1,
+                         admit_deadline_us=50.0, horizon_us=2000.0))
+    assert report.rejected > 0
+    assert sum(_retries_per_request(report.spans).values()) > 0
+
+
+@pytest.mark.slow
+def test_faulted_overload_run_is_deterministic():
+    first = _check(_run(711)).report()
+    second = _check(_run(711)).report()
+    assert first == second

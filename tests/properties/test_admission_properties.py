@@ -1,0 +1,142 @@
+"""Property tests: the admission queue's discipline holds under any
+schedule.
+
+:class:`~repro.apps.kv.admission.AdmissionQueue` is the pure half of
+server-side admission control (docs/OVERLOAD.md): bounded occupancy,
+FIFO within each priority lane, lanes served in ascending order, and
+deadline-aware shedding.  Time is an explicit argument, so these tests
+drive it with randomized arrival/service schedules — interleaved
+offers, pops, and claims at monotonically increasing timestamps — and
+check the discipline against a mirror model after every step:
+
+* occupancy never exceeds the bound, and an offer is refused *iff* the
+  queue was full at that instant;
+* pops serve lanes in priority order and each lane in offer order, and
+  a lane is only skipped past by shedding it dry;
+* an entry is shed iff its queueing delay exceeded the deadline at the
+  moment it reached the head — never served late, never shed early;
+* every offered ticket is accounted exactly once:
+  ``offers == rejected_full + shed + popped + waiting``.
+
+``derandomize=True`` keeps the schedules fixed-seed: the sweep is the
+same on every run, like the seeded fault schedules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kv.admission import AdmissionQueue
+
+LANES = (0, 1, 2)
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["offer", "pop", "claim"]),
+        st.sampled_from(LANES),
+        st.floats(min_value=0.0, max_value=150.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=200,
+)
+bounds = st.integers(min_value=1, max_value=6)
+deadlines = st.sampled_from([0.0, 40.0, 120.0])
+
+
+class Mirror:
+    """The reference model: what the queue should be holding."""
+
+    def __init__(self):
+        self.waiting = {}           # ticket -> (lane, enqueued_at)
+
+    def offer(self, ticket, lane, now):
+        self.waiting[ticket] = (lane, now)
+
+    def remove(self, ticket):
+        return self.waiting.pop(ticket)
+
+    def lanes_below(self, lane):
+        """Tickets currently waiting in lanes of higher priority."""
+        return [t for t, (l, _at) in self.waiting.items() if l < lane]
+
+
+def drive(schedule, bound, deadline_us):
+    """Run one schedule, checking every invariant at every step."""
+    q = AdmissionQueue(bound, deadline_us)
+    mirror = Mirror()
+    served_order = []               # (lane, ticket) in pop order
+    now = 0.0
+    for action, lane, dt in schedule:
+        now += dt
+        if action == "offer":
+            was_full = q.waiting >= bound
+            ticket = q.offer(now, lane)
+            if was_full:
+                assert ticket is None, "offer admitted past the bound"
+            else:
+                assert ticket is not None, "offer refused below the bound"
+                mirror.offer(ticket, lane, now)
+        elif action == "pop":
+            ticket, shed = q.pop(now)
+            for t in shed:
+                _lane, at = mirror.remove(t)
+                assert now - at > deadline_us > 0.0, \
+                    "shed ticket %d had not expired" % t
+            if ticket is not None:
+                t_lane, at = mirror.remove(ticket)
+                assert deadline_us == 0.0 or now - at <= deadline_us, \
+                    "served ticket %d past its deadline" % ticket
+                # Priority: pop only reaches lane L by shedding every
+                # higher-priority lane dry, so nothing of a lower lane
+                # number may still be waiting.
+                assert mirror.lanes_below(t_lane) == [], \
+                    "lane %d served while a higher lane waited" % t_lane
+                served_order.append((t_lane, ticket))
+            else:
+                assert not mirror.waiting, \
+                    "pop came up empty with entries waiting"
+        else:  # claim: service the queue's own choice of head, if any
+            head = next(iter(sorted(
+                mirror.waiting,
+                key=lambda t: (mirror.waiting[t][0], t))), None)
+            if head is None:
+                continue
+            _lane, at = mirror.remove(head)
+            verdict = q.claim(head, now)
+            expired = deadline_us > 0.0 and now - at > deadline_us
+            assert verdict == ("shed" if expired else "serve")
+        # Step invariants: occupancy and conservation.
+        assert q.waiting == len(mirror.waiting)
+        assert q.waiting <= bound
+        assert q.high_water <= bound
+        assert q.offers == q.rejected_full + q.shed + q.popped + q.waiting
+    # FIFO within each lane: tickets are issued in offer order, so the
+    # served sequence restricted to one lane must be increasing.
+    for lane in LANES:
+        lane_served = [t for l, t in served_order if l == lane]
+        assert lane_served == sorted(lane_served), \
+            "lane %d served out of offer order" % lane
+    return q
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(schedule=events, bound=bounds, deadline_us=deadlines)
+def test_admission_queue_discipline(schedule, bound, deadline_us):
+    drive(schedule, bound, deadline_us)
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(schedule=events, bound=bounds)
+def test_no_deadline_means_no_shedding(schedule, bound):
+    q = drive(schedule, bound, 0.0)
+    assert q.shed == 0
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(bound=bounds, lanes=st.lists(st.sampled_from(LANES),
+                                    min_size=1, max_size=6))
+def test_full_queue_rejects_exactly_the_overflow(bound, lanes):
+    """Offering k arrivals into a bound-b queue admits min(k, b) and
+    refuses the rest, regardless of lane mix."""
+    q = AdmissionQueue(bound)
+    admitted = sum(1 for lane in lanes if q.offer(0.0, lane) is not None)
+    assert admitted == min(len(lanes), bound)
+    assert q.rejected_full == len(lanes) - admitted

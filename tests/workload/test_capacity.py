@@ -32,7 +32,46 @@ class TestFindKnee:
             point(10_000, 9_900, 40.0, 80.0),
             point(20_000, 19_800, 45.0, 95.0),
             point(40_000, 39_000, 60.0, 400.0),   # p99 blows past 3x baseline
-            point(80_000, 41_000, 300.0, 2000.0),
+            point(80_000, 35_000, 300.0, 2000.0),  # output falls past the peak
+        ]
+        assert find_knee(points) == 40_000
+
+    def test_knee_is_the_output_maximum_not_first_saturation(self):
+        """A non-monotonic collapse: the tail first diverges at 40k, but
+        throughput keeps climbing to 60k before falling off a cliff.
+        The knee worth reporting is the output peak, not the first
+        saturated point."""
+        points = [
+            point(10_000, 9_900, 40.0, 80.0),
+            point(20_000, 19_800, 45.0, 95.0),
+            point(40_000, 39_500, 60.0, 400.0),   # tail diverges here...
+            point(60_000, 52_000, 120.0, 900.0),  # ...but output still grows
+            point(80_000, 11_000, 500.0, 5000.0),  # collapse
+        ]
+        assert find_knee(points) == 60_000
+
+    def test_goodput_outranks_throughput_for_the_knee(self):
+        """When goodput was measured, the knee is its maximum: retries
+        can push raw throughput up at a load where almost nothing
+        finishes inside the SLO."""
+        points = [
+            CapacityPoint(offered_load=10_000, throughput=9_900,
+                          p50_us=40.0, p99_us=80.0, errors=0,
+                          goodput=9_800),
+            CapacityPoint(offered_load=40_000, throughput=39_000,
+                          p50_us=60.0, p99_us=400.0, errors=0,
+                          goodput=36_000),
+            CapacityPoint(offered_load=80_000, throughput=41_000,
+                          p50_us=300.0, p99_us=2000.0, errors=0,
+                          goodput=4_000),
+        ]
+        assert find_knee(points) == 40_000
+
+    def test_knee_tie_prefers_the_lower_load(self):
+        points = [
+            point(10_000, 9_900, 40.0, 80.0),
+            point(40_000, 39_000, 60.0, 400.0),
+            point(80_000, 39_000, 300.0, 2000.0),  # same output, worse tail
         ]
         assert find_knee(points) == 40_000
 

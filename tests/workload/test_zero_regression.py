@@ -42,11 +42,39 @@ def test_closed_loop_mixed_report_is_byte_identical():
 
 
 def test_explicit_default_knobs_match_golden_too():
-    """Passing the mitigation defaults explicitly is the same engine
-    configuration as not mentioning them at all."""
+    """Passing the mitigation AND overload defaults explicitly is the
+    same engine configuration as not mentioning them at all."""
     from dataclasses import replace
     spec = replace(SPECS["open_srpc_seed1"], pipeline_window=1,
                    batch_keys=1, cache_keys=0, cache_ttl_us=0.0,
-                   read_spread=False, onesided_reads=False)
+                   read_spread=False, onesided_reads=False,
+                   cpu_slots=0, cpu_op_us=10.0, admission=False,
+                   admit_queue=32, admit_deadline_us=0.0,
+                   retry_budget=0, retry_base_us=100.0, retry_jitter=0.5,
+                   backpressure=False, slo_latency_us=0.0)
     text = run_workload(spec).report()
     assert text + "\n" == _golden("open_srpc_seed1")
+
+
+SHED_TREE_SPEC = WorkloadSpec(
+    seed=5, transport="srpc", arrival="open", load=250_000.0,
+    concurrency=8, requests=40, keys=50, read_fraction=0.8,
+    cpu_slots=1, cpu_op_us=150.0, admission=True,
+    admit_queue=1, admit_deadline_us=50.0, retry_budget=0, trace=True)
+
+
+def test_shed_request_tree_ends_at_the_reject_span():
+    """The causal tree of a shed request is golden-pinned: it ends at
+    ``kv.server.reject`` and contains NO handler span — admission
+    refused the work before any shard code ran (docs/OVERLOAD.md)."""
+    from repro.obs import assemble_traces, format_tree
+
+    report = run_workload(SHED_TREE_SPEC)
+    trees = assemble_traces(report.spans)
+    shed = [tree for _tid, tree in sorted(trees.items())
+            if any(s.category == "kv.server.reject" for s in tree.spans)]
+    assert shed, "overloaded run produced no shed request"
+    for tree in shed:
+        assert not any(s.category == "kv.server" for s in tree.spans), \
+            "tree %d ran a handler after being shed" % tree.tid
+    assert format_tree(shed[0]) + "\n" == _golden("shed_tree")
