@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json onesided-demo overload-demo clean
+.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json capacity-consistency-json onesided-demo overload-demo antientropy-demo antientropy-json clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,23 @@ capacity-ab-json:
 # committed BENCH_capacity.json was produced by this target's defaults.
 capacity-overload-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro capacity --overload --seed $${SEED:-11} --concurrency $${CONCURRENCY:-16} --requests $${REQUESTS:-2000} --loads $${LOADS:-20000,40000,60000,80000} --json BENCH_capacity.json
+
+# Consistency A/B (docs/REPLICATION.md): A = eventual + read-spreading
+# (nonzero stale-read rate), B = quorum reads/writes + read repair
+# (must serve zero stale reads at every load).
+capacity-consistency-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro capacity --consistency --seed $${SEED:-11} --requests $${REQUESTS:-400} --keys $${KEYS:-80} --read-fraction $${READ_FRACTION:-0.7} --loads $${LOADS:-20000,40000,80000} --json BENCH_capacity.json
+
+# The runnable example from docs/REPLICATION.md: a capped replication
+# queue plus a replica-crash fault create divergence, and the Merkle
+# anti-entropy sweeper heals it (the report's convergence: lines).
+antientropy-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro antientropy --seed $${SEED:-1}
+
+# Same run, also writing the machine-readable convergence record
+# (divergent-keys-over-time series) for the CI artifact.
+antientropy-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro antientropy --seed $${SEED:-1} --json BENCH_antientropy.json
 
 # The runnable examples from docs/ONESIDED.md, at doc-exact arguments.
 onesided-demo:

@@ -9,6 +9,7 @@
     python -m repro serve            # scripted demo against the KV service
     python -m repro workload --seed N --load L   # one workload run
     python -m repro capacity         # offered load vs tail latency sweep
+    python -m repro antientropy      # replica divergence + Merkle healing
     python -m repro explain          # one request's cross-node causal tree
     python -m repro all              # everything, in order
 
@@ -183,7 +184,12 @@ def _cmd_workload(args) -> int:
         admit_deadline_us=args.admit_deadline,
         retry_budget=args.retry_budget, retry_base_us=args.retry_base,
         retry_jitter=args.retry_jitter, backpressure=args.backpressure,
-        slo_latency_us=args.slo_latency)
+        slo_latency_us=args.slo_latency,
+        consistency=args.consistency, quorum_r=args.quorum_r,
+        quorum_w=args.quorum_w, read_repair=args.read_repair,
+        staleness=args.staleness, antientropy=args.antientropy,
+        antientropy_interval_us=args.antientropy_interval,
+        repl_queue_cap=args.repl_queue_cap)
     plan = None
     if args.fault_seed is not None:
         plan = FaultPlan.from_seed(args.fault_seed,
@@ -212,7 +218,18 @@ def _cmd_capacity(args) -> int:
     # Unset mitigation flags mean "off" for a plain sweep but the
     # documented defaults for the --ab B side (an A/B with everything
     # off would compare a run against itself).
-    if args.overload:
+    if args.consistency:
+        # The replica-correctness experiment (docs/REPLICATION.md):
+        # A = eventual + read-spreading, B = quorum + read repair.
+        # Implies --ab.
+        result = paired_capacity_sweep(
+            loads, spec, consistency=True,
+            quorum_r=args.quorum_r, quorum_w=args.quorum_w)
+        from dataclasses import replace
+        spec = replace(spec, consistency="quorum", read_repair=True,
+                       staleness=True, quorum_r=args.quorum_r,
+                       quorum_w=args.quorum_w)
+    elif args.overload:
         # The overload experiment (docs/OVERLOAD.md): both sides model
         # contended node CPUs; only B arms admission + retry +
         # backpressure.  Implies --ab.
@@ -284,6 +301,64 @@ def _cmd_capacity(args) -> int:
         print()
         print("wrote %s" % args.json)
     return 0
+
+
+def _cmd_antientropy(args) -> int:
+    import json
+
+    from .sim.faults import Fault, FaultKind, FaultPlan, FaultSite
+    from .workload import WorkloadSpec, run_workload
+
+    spec = WorkloadSpec(
+        seed=args.seed, arrival="open", load=args.load,
+        concurrency=args.concurrency, requests=args.requests,
+        keys=args.keys, read_fraction=args.read_fraction,
+        staleness=True, antientropy=True,
+        antientropy_interval_us=args.interval,
+        repl_queue_cap=args.repl_queue_cap)
+    plan = None
+    if args.crash_node >= 0:
+        # One explicit replica-crash fault: the victim's apply loop
+        # silently discards incoming replication records for the
+        # window, so its shard diverges until anti-entropy repairs it.
+        plan = FaultPlan([Fault(time=args.crash_at,
+                                site=FaultSite.KV_REPLICA,
+                                kind=FaultKind.CRASH,
+                                params={"node": args.crash_node,
+                                        "duration_us": args.crash_for})])
+        print(plan.describe())
+        print()
+    report = run_workload(spec, fault_plan=plan)
+    print(report.report())
+    conv = report.convergence or {}
+    if args.json:
+        payload = {
+            "schema": "repro.antientropy.convergence/v1",
+            "seed": spec.seed,
+            "interval_us": spec.antientropy_interval_us,
+            "repl_queue_cap": spec.repl_queue_cap,
+            "fault": ({"site": FaultSite.KV_REPLICA,
+                       "kind": FaultKind.CRASH,
+                       "node": args.crash_node,
+                       "time_us": args.crash_at,
+                       "duration_us": args.crash_for}
+                      if plan is not None else None),
+            "staleness": report.staleness,
+            "convergence": conv,
+            "spec_line": report.spec_line,
+        }
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc.strerror))
+            return 1
+        print()
+        print("wrote %s" % args.json)
+    # Success means the sweeper drove the divergence back to zero.
+    return 0 if conv.get("divergent_last", 1) == 0 and conv.get("rounds") \
+        else 1
 
 
 def _cmd_explain(args) -> int:
@@ -502,6 +577,29 @@ def _build_parser() -> argparse.ArgumentParser:
                                "rejections")
     workload.add_argument("--slo-latency", type=float, default=0.0,
                           help="goodput threshold in us (0 = off)")
+    workload.add_argument("--consistency",
+                          choices=["eventual", "session", "quorum"],
+                          default="eventual",
+                          help="client consistency mode "
+                               "(docs/REPLICATION.md)")
+    workload.add_argument("--quorum-r", type=int, default=0,
+                          help="read quorum size (0 = majority)")
+    workload.add_argument("--quorum-w", type=int, default=0,
+                          help="write quorum size (0 = majority)")
+    workload.add_argument("--read-repair", action="store_true",
+                          help="repair stale replicas off the request path")
+    workload.add_argument("--staleness", action="store_true",
+                          help="score every GET against the newest "
+                               "acknowledged write")
+    workload.add_argument("--antientropy", action="store_true",
+                          help="run the background Merkle anti-entropy "
+                               "sweeper")
+    workload.add_argument("--antientropy-interval", type=float,
+                          default=2000.0,
+                          help="gap between anti-entropy sweeps (us)")
+    workload.add_argument("--repl-queue-cap", type=int, default=0,
+                          help="bound the replication queues (0 = "
+                               "unbounded; full queues drop and count)")
     workload.add_argument("--fault-seed", type=int, default=None,
                           help="arm a seeded fault plan")
     workload.add_argument("--fault-count", type=int, default=8,
@@ -564,6 +662,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="client retry budget (--overload B side)")
     capacity.add_argument("--retry-base", type=float, default=50.0,
                           help="backoff base us (--overload B side)")
+    capacity.add_argument("--consistency", action="store_true",
+                          help="consistency A/B (docs/REPLICATION.md): A "
+                               "spreads reads under eventual consistency, "
+                               "B runs quorum reads/writes + read repair "
+                               "and must serve zero stale reads")
+    capacity.add_argument("--quorum-r", type=int, default=0,
+                          help="read quorum size (--consistency B side; "
+                               "0 = majority)")
+    capacity.add_argument("--quorum-w", type=int, default=0,
+                          help="write quorum size (--consistency B side; "
+                               "0 = majority)")
     capacity.add_argument("--no-backpressure", action="store_true",
                           help="disable the B side's rate trimming "
                                "(--overload)")
@@ -572,6 +681,40 @@ def _build_parser() -> argparse.ArgumentParser:
     capacity.add_argument("--json", default=None, metavar="PATH",
                           help="also write the machine-readable sweep "
                                "(knee, p50/p95/p99 per point, config, seed)")
+    antientropy = sub.add_parser(
+        "antientropy",
+        help="provoke replica divergence and watch anti-entropy heal it",
+    )
+    antientropy.add_argument("--seed", type=int, default=1,
+                             help="workload seed (same seed => same run)")
+    antientropy.add_argument("--load", type=float, default=40000.0,
+                             help="open-loop offered load (ops/s)")
+    antientropy.add_argument("--concurrency", type=int, default=4,
+                             help="worker processes")
+    antientropy.add_argument("--requests", type=int, default=300,
+                             help="total requests")
+    antientropy.add_argument("--keys", type=int, default=80,
+                             help="keyspace size")
+    antientropy.add_argument("--read-fraction", type=float, default=0.60,
+                             help="GET fraction (writes create divergence "
+                                  "when replication drops)")
+    antientropy.add_argument("--interval", type=float, default=1500.0,
+                             help="gap between anti-entropy sweeps (us)")
+    antientropy.add_argument("--repl-queue-cap", type=int, default=2,
+                             help="replication queue bound; full queues "
+                                  "drop records (0 = unbounded, no loss)")
+    antientropy.add_argument("--crash-node", type=int, default=1,
+                             help="replica whose apply loop crashes "
+                                  "(-1 = no crash fault)")
+    antientropy.add_argument("--crash-at", type=float, default=1500.0,
+                             help="crash time (us)")
+    antientropy.add_argument("--crash-for", type=float, default=4000.0,
+                             help="crash window: incoming replication "
+                                  "records are discarded this long (us)")
+    antientropy.add_argument("--json", default=None, metavar="PATH",
+                             help="also write the machine-readable "
+                                  "convergence record (divergent-keys "
+                                  "series, rounds, repairs)")
     explain = sub.add_parser(
         "explain",
         help="run a traced workload and explain one request's causal tree",
@@ -623,6 +766,8 @@ def main(argv=None) -> int:
         return _cmd_workload(args)
     if args.command == "capacity":
         return _cmd_capacity(args)
+    if args.command == "antientropy":
+        return _cmd_antientropy(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "serve":

@@ -25,6 +25,13 @@ from .protocol import (
     ST_REJECTED,
     VALUE_BOUND,
 )
+from .replication import (
+    VERSION_ZERO,
+    AntiEntropyStats,
+    MerkleTree,
+    Version,
+    wins,
+)
 from .server import KV_IDL, apply_cost
 from .service import KVService
 from .store import ShardStore
@@ -32,6 +39,7 @@ from .store import ShardStore
 __all__ = [
     "AdmissionController",
     "AdmissionQueue",
+    "AntiEntropyStats",
     "HashRing",
     "KEY_BOUND",
     "KVClient",
@@ -41,12 +49,16 @@ __all__ = [
     "LANE_BACKGROUND",
     "LANE_BULK",
     "LANE_CHEAP",
+    "MerkleTree",
     "ST_ERROR",
     "ST_MISS",
     "ST_OK",
     "ST_REJECTED",
     "ShardStore",
     "VALUE_BOUND",
+    "VERSION_ZERO",
+    "Version",
     "apply_cost",
     "stable_hash",
+    "wins",
 ]

@@ -48,7 +48,13 @@ from ...libs.sockets import SocketLib
 from ...vmmc import VmmcError, VmmcTimeoutError, attach
 from . import protocol as wire
 from .admission import KvRejectedError
-from .server import KvBatchClient, KvShardClient
+from .replication.versions import (
+    VERSION_ZERO,
+    pack_version,
+    unpack_version,
+    wins,
+)
+from .server import KvBatchClient, KvShardClient, KvVerClient
 from .service import region_name
 
 __all__ = ["KVClient", "KvRejectedError"]
@@ -88,9 +94,13 @@ class KVClient:
                  read_spread: bool = False, onesided: bool = False,
                  onesided_hints: Optional[Dict[int, SlotHints]] = None,
                  retry_budget: int = 0, retry_base_us: float = 100.0,
-                 retry_jitter: float = 0.5):
+                 retry_jitter: float = 0.5,
+                 consistency: str = "eventual", quorum_r: int = 0,
+                 quorum_w: int = 0, read_repair: bool = False):
         if transport not in ("srpc", "sockets"):
             raise ValueError("unknown transport %r" % transport)
+        if consistency not in ("eventual", "session", "quorum"):
+            raise ValueError("unknown consistency mode %r" % consistency)
         self.service = service
         self.system = service.system
         self.proc = proc
@@ -151,6 +161,33 @@ class KVClient:
                                         + 1_000_003 * client_id)
         self.rejected = 0
         self.retries = 0
+        # Consistency modes (docs/REPLICATION.md).  ``eventual`` is the
+        # historical client, byte-identical.  ``session`` pins reads of
+        # keys this client wrote to the node that acked the write
+        # (write-epoch pinning: the ack means the dot is durably
+        # applied there, so the pinned read is read-your-writes).
+        # ``quorum`` reads R and writes W replicas synchronously with
+        # R + W > N, so every read quorum intersects the last write's
+        # ack set.  ``read_repair`` queues a versioned overwrite for
+        # any replica observed returning a stale dot; the engine
+        # flushes the queue *off* the request's latency path.
+        self.consistency = consistency
+        self.read_repair = read_repair
+        self.versioned = getattr(service, "versioned", False)
+        majority = service.replicas // 2 + 1
+        self.quorum_r = quorum_r or majority
+        self.quorum_w = quorum_w or majority
+        self._floor: Dict[str, Tuple[int, int]] = {}
+        self._floor_node: Dict[str, int] = {}
+        self._seen: Dict[str, Tuple[Tuple[int, int], Optional[bytes]]] = {}
+        self._repairs: List[tuple] = []
+        self.last_version: Tuple[int, int] = VERSION_ZERO
+        self._last_get_node: Optional[int] = None
+        self._last_ctx: Optional[Tuple[int, int]] = None
+        self.repairs = 0
+        self.stale_detected = 0
+        self.quorum_reads = 0
+        self.quorum_writes = 0
 
     # ------------------------------------------------------ connections
 
@@ -162,8 +199,12 @@ class KVClient:
         every binding agree on the interface version and frame layout.
         """
         if self.transport == "srpc":
-            client_cls = (KvBatchClient if self.service.batch
-                          else KvShardClient)
+            if self.versioned:
+                client_cls = KvVerClient
+            elif self.service.batch:
+                client_cls = KvBatchClient
+            else:
+                client_cls = KvShardClient
             for node in self.service.nodes:
                 client = client_cls(self.system, self.proc,
                                     endpoint=self.endpoint,
@@ -231,6 +272,9 @@ class KVClient:
         Served from the client cache when enabled and fresh; a miss
         takes the network path and inserts the fetched value (unless a
         write to the key raced the fetch)."""
+        if self.consistency == "quorum":
+            result = yield from self._quorum_get(key)
+            return result
         if self.cache_keys > 0:
             value = self._cache_get(key)
             if value is not None:
@@ -242,6 +286,10 @@ class KVClient:
             status, value = yield from self._onesided_get(key)
         else:
             status, value = yield from self._request(wire.OP_GET, key)
+        if self.versioned and status in (wire.ST_OK, wire.ST_MISS):
+            self._observe_read(key, self.last_version,
+                               value if status == wire.ST_OK else None,
+                               self._last_get_node)
         if status == wire.ST_OK:
             self._cache_put(key, value, epoch)
         return status, value
@@ -250,6 +298,9 @@ class KVClient:
         """Generator returning a status code.  Invalidates the key's
         cache entry *before* the network write, so no later read on
         this client can observe the pre-write cached value."""
+        if self.consistency == "quorum":
+            status = yield from self._quorum_write(key, value)
+            return status
         self._cache_invalidate(key)
         status, _ = yield from self._request(wire.OP_PUT, key, value)
         if status == wire.ST_OK:
@@ -259,6 +310,9 @@ class KVClient:
     def delete(self, key: str):
         """Generator returning a status code (cache-invalidating, like
         :meth:`put`)."""
+        if self.consistency == "quorum":
+            status = yield from self._quorum_write(key, None)
+            return status
         self._cache_invalidate(key)
         status, _ = yield from self._request(wire.OP_DELETE, key)
         if status in (wire.ST_OK, wire.ST_MISS):
@@ -704,6 +758,13 @@ class KVClient:
         node, where the binding's FIFO serializes it after the write.
         """
         reps = self.service.replicas_for(key)
+        if op == wire.OP_GET and self.consistency == "session":
+            # Read-your-writes: a key this client has written reads
+            # from the node that acked the write — the dot is durably
+            # applied there, whatever the replication fan-out is up to.
+            pin = self._floor_node.get(key)
+            if pin is not None:
+                return [pin] + [n for n in reps if n != pin]
         if op != wire.OP_GET or not self.read_spread or len(reps) < 2:
             return reps
         pin = self._pending_write_node.get(key)
@@ -802,6 +863,7 @@ class KVClient:
             self.ops += 1
             start = self.sim_now()
             root = self._root_begin()
+            self._last_ctx = (root[0], root[1]) if root is not None else None
         attempt = 0
         try:
             while True:
@@ -866,6 +928,9 @@ class KVClient:
                             track=self.track, data=data)
 
     def _rpc_op(self, node: int, op: int, key: str, value: bytes):
+        if self.versioned:
+            result = yield from self._ver_op(node, op, key, value)
+            return result
         client = self.rpc[node]
         if op == wire.OP_GET:
             blob = yield from client.get(key)
@@ -879,6 +944,222 @@ class KVClient:
             return status, None
         status = yield from client.delete(key)
         return status, None
+
+    def _ver_op(self, node: int, op: int, key: str, value: bytes):
+        """The v3 (versioned) point ops (generator).
+
+        Every answer carries the shard's winning dot; reads feed it to
+        :meth:`_observe_read` (staleness detection, read repair), writes
+        raise the client's per-key floor — the basis of session mode's
+        read-your-writes pinning.  Writes propose ``VERSION_ZERO`` so
+        the owning shard coordinates the epoch (quorum mode is the one
+        place the client proposes a real dot, in
+        :meth:`_quorum_write`)."""
+        client = self.rpc[node]
+        if op == wire.OP_GET:
+            blob = yield from client.vget(key)
+            if blob and blob[0] == wire.ST_REJECTED:
+                return wire.ST_REJECTED, None
+            if not blob:
+                return wire.ST_MISS, None
+            self.last_version = unpack_version(bytes(blob[1:9]))
+            self._last_get_node = node
+            if blob[0] != wire.ST_OK:
+                return wire.ST_MISS, None
+            return wire.ST_OK, bytes(blob[9:])
+        proposed = pack_version(VERSION_ZERO)
+        if op == wire.OP_PUT:
+            blob = yield from client.vput(key, proposed, value)
+        else:
+            blob = yield from client.vdelete(key, proposed)
+        if blob and blob[0] == wire.ST_REJECTED:
+            return wire.ST_REJECTED, None
+        if not blob:
+            return wire.ST_ERROR, None
+        version = unpack_version(bytes(blob[1:9]))
+        self.last_version = version
+        if version > self._floor.get(key, VERSION_ZERO):
+            self._floor[key] = version
+        if self.consistency == "session":
+            self._floor_node[key] = node
+        self._seen[key] = (version, value if op == wire.OP_PUT else None)
+        return blob[0], None
+
+    def _observe_read(self, key: str, version: Tuple[int, int],
+                      value: Optional[bytes], node: Optional[int]) -> None:
+        """Track the newest dot this client has proven per key.
+
+        A replica answering with an *older* dot than one already proven
+        is caught red-handed serving a stale read; with read repair on,
+        a versioned overwrite of that replica is queued (applied off
+        the request path by :meth:`flush_repairs`)."""
+        seen = self._seen.get(key)
+        if seen is None or version > seen[0]:
+            self._seen[key] = (version, value)
+            return
+        if version < seen[0]:
+            self.stale_detected += 1
+            if self.read_repair and node is not None:
+                self._queue_repair(node, key, seen[0], seen[1])
+
+    def _queue_repair(self, node: int, key: str,
+                      version: Tuple[int, int],
+                      value: Optional[bytes]) -> None:
+        """Queue one repair write, remembering the detecting request's
+        trace context so the repair span joins its causal tree."""
+        self._repairs.append((node, key, version, value, self._last_ctx))
+
+    def flush_repairs(self):
+        """Apply queued read repairs (generator) — off the hot path.
+
+        Each repair overwrites the stale replica with the newest dot
+        this client has proven for the key; shard-side LWW makes the
+        write idempotent and safe against racing fresher writes.  The
+        repair RPC runs *outside* any trace context, so the detecting
+        request's causal tree ends at the ``kv.repair`` span — the
+        shape docs/REPLICATION.md's explain example pins."""
+        while self._repairs:
+            node, key, version, value, ctx = self._repairs.pop(0)
+            if node not in self.rpc or ("rpc", node) in self.dead:
+                continue
+            start = self.sim_now()
+            prev = self.proc.trace_ctx
+            self.proc.trace_ctx = None
+            try:
+                wire_v = pack_version(version)
+                if value is None:
+                    blob = yield from self.rpc[node].vdelete(key, wire_v)
+                else:
+                    blob = yield from self.rpc[node].vput(key, wire_v, value)
+                if blob and blob[0] != wire.ST_REJECTED:
+                    self.repairs += 1
+            except (VmmcTimeoutError, VmmcError):
+                self.dead.add(("rpc", node))
+                self.failovers += 1
+                continue
+            finally:
+                self.proc.trace_ctx = prev
+            tracer = self.system.machine.tracer
+            if tracer.enabled and ctx is not None:
+                tracer.complete("kv.repair", key, start, track=self.track,
+                                data={"tid": ctx[0], "cparent": ctx[1],
+                                      "node": node})
+
+    def _vget_at(self, node: int, key: str):
+        """One replica's versioned answer: ``(status, version, value)``
+        (generator; no failover — quorum assembly owns the walk)."""
+        blob = yield from self.rpc[node].vget(key)
+        if not blob or blob[0] == wire.ST_REJECTED:
+            return wire.ST_REJECTED, VERSION_ZERO, None
+        version = unpack_version(bytes(blob[1:9]))
+        if blob[0] != wire.ST_OK:
+            return wire.ST_MISS, version, None
+        return wire.ST_OK, version, bytes(blob[9:])
+
+    def _quorum_get(self, key: str):
+        """R-replica read (generator).
+
+        Asks replicas in placement order until R answer, takes the
+        winning dot, and (with read repair on) queues repairs for every
+        laggard that answered.  With R + W > N every read quorum
+        intersects the last acknowledged write's ack set, so the winner
+        is at least as new as that write — zero stale reads by
+        construction, the property the eventual-vs-quorum experiment in
+        docs/REPLICATION.md measures."""
+        self.ops += 1
+        self.quorum_reads += 1
+        start = self.sim_now()
+        root = self._root_begin()
+        self._last_ctx = (root[0], root[1]) if root is not None else None
+        try:
+            answers = []
+            for node in self.service.replicas_for(key):
+                if ("rpc", node) in self.dead:
+                    continue
+                try:
+                    st, version, value = yield from self._vget_at(node, key)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+                    self.failovers += 1
+                    continue
+                if st == wire.ST_REJECTED:
+                    continue
+                answers.append((node, version, value))
+                if len(answers) >= self.quorum_r:
+                    break
+            if len(answers) < self.quorum_r:
+                self.errors += 1
+                return wire.ST_ERROR, None
+            best_v, best_val = answers[0][1], answers[0][2]
+            for _, version, value in answers[1:]:
+                if wins(version, value, best_v, best_val):
+                    best_v, best_val = version, value
+            self.last_version = best_v
+            seen = self._seen.get(key)
+            if seen is None or best_v > seen[0]:
+                self._seen[key] = (best_v, best_val)
+            if self.read_repair:
+                for node, version, value in answers:
+                    if version < best_v:
+                        self.stale_detected += 1
+                        self._queue_repair(node, key, best_v, best_val)
+            if best_val is None:
+                self.misses += 1
+                return wire.ST_MISS, None
+            return wire.ST_OK, best_val
+        finally:
+            self._span("get", start, root)
+
+    def _quorum_write(self, key: str, value: Optional[bytes]):
+        """W-replica synchronous write (generator); None value deletes.
+
+        The client coordinates the dot itself: one epoch past the
+        newest it has seen or written for the key, with a writer id
+        disjoint from the shards' (100 + client id) so concurrent
+        writers tie-break deterministically.  Success requires W acks;
+        the proposed dot then becomes the client's floor, which is what
+        a later quorum read proves freshness against."""
+        self._cache_invalidate(key)
+        self.ops += 1
+        self.quorum_writes += 1
+        start = self.sim_now()
+        root = self._root_begin()
+        self._last_ctx = (root[0], root[1]) if root is not None else None
+        try:
+            base = self._floor.get(key, VERSION_ZERO)
+            seen = self._seen.get(key)
+            if seen is not None and seen[0] > base:
+                base = seen[0]
+            proposed = (base[0] + 1, 100 + self.client_id)
+            wire_v = pack_version(proposed)
+            acks = 0
+            for node in self.service.replicas_for(key):
+                if ("rpc", node) in self.dead:
+                    continue
+                try:
+                    if value is None:
+                        blob = yield from self.rpc[node].vdelete(key, wire_v)
+                    else:
+                        blob = yield from self.rpc[node].vput(key, wire_v,
+                                                              value)
+                except (VmmcTimeoutError, VmmcError):
+                    self.dead.add(("rpc", node))
+                    self.failovers += 1
+                    continue
+                if blob and blob[0] == wire.ST_REJECTED:
+                    continue
+                acks += 1
+                if acks >= self.quorum_w:
+                    break
+            if acks < self.quorum_w:
+                self.errors += 1
+                return wire.ST_ERROR
+            self._floor[key] = proposed
+            self._seen[key] = (proposed, value)
+            self.last_version = proposed
+            return wire.ST_OK
+        finally:
+            self._span("delete" if value is None else "put", start, root)
 
     def _sock_op(self, node: int, op: int, key: str, value: bytes):
         sock = self.socks[node]
@@ -951,6 +1232,10 @@ class KVClient:
             "onesided_fallbacks": self.onesided_fallbacks,
             "rejected": self.rejected,
             "retries": self.retries,
+            "repairs": self.repairs,
+            "stale_detected": self.stale_detected,
+            "quorum_reads": self.quorum_reads,
+            "quorum_writes": self.quorum_writes,
         }
 
 

@@ -26,12 +26,14 @@ __all__ = [
     "OP_GET", "OP_PUT", "OP_DELETE", "OP_SCAN", "OP_QUIT", "OP_TRACE",
     "ST_OK", "ST_MISS", "ST_ERROR", "ST_REJECTED",
     "REQ_HEADER", "RESP_HEADER", "SCAN_RECORD", "SCAN_END", "SCAN_REJECT",
-    "REPL_DATA", "REPL_STOP", "REPL_RECORD", "TRACE_CTX",
+    "REPL_DATA", "REPL_STOP", "REPL_VDATA", "REPL_RECORD", "REPL_VRECORD",
+    "TRACE_CTX", "VGET_BOUND",
     "MULTI_GET_MAX", "MG_REQ_BOUND", "MG_RESP_BOUND",
     "encode_request", "decode_request_header",
     "encode_response", "decode_response_header",
     "encode_scan_record", "scan_end_record", "scan_reject_record",
     "encode_repl_record", "decode_repl_record",
+    "encode_vrepl_record", "decode_vrepl_record",
     "encode_multi_get_request", "decode_multi_get_request",
     "encode_multi_get_response", "decode_multi_get_response",
     "encode_trace_prefix", "decode_trace_ctx",
@@ -80,9 +82,16 @@ SCAN_REJECT = 0xFFFE                  # key_len sentinel: scan shed by admission
 # Replication record kinds (first byte of the NX payload).
 REPL_DATA = 1    # upsert (value present) or delete (value_len == SCAN_END-free 0 with flag)
 REPL_STOP = 2    # sender is done; one per peer at shutdown
+REPL_VDATA = 3   # versioned record: REPL_RECORD grown by an (epoch,
+                 # writer) dot, applied through the store's LWW guard
+                 # (versioned service only — docs/REPLICATION.md)
 REPL_RECORD = struct.Struct("<BBHH")  # kind, is_delete, key_len, value_len
+REPL_VRECORD = struct.Struct("<BBHHII")  # ... plus epoch, writer
 
 TRACE_CTX = struct.Struct("<II")      # trace_id, parent span sid
+
+# A versioned GET reply: status byte, 8-byte version dot, value bytes.
+VGET_BOUND = 1 + 8 + VALUE_BOUND
 
 
 def encode_request(op: int, key: str, value: bytes = b"",
@@ -209,3 +218,24 @@ def decode_repl_record(data: bytes) -> Tuple[int, str, Optional[bytes]]:
     if kind == REPL_STOP:
         value = None
     return kind, key, value
+
+
+def encode_vrepl_record(key: str, version: Tuple[int, int],
+                        value: Optional[bytes]) -> bytes:
+    """One versioned NX replication record (still one small message)."""
+    kb = key.encode()
+    body = b"" if value is None else value
+    return (REPL_VRECORD.pack(REPL_VDATA, 1 if value is None else 0,
+                              len(kb), len(body), version[0], version[1])
+            + kb + body)
+
+
+def decode_vrepl_record(
+        data: bytes) -> Tuple[str, Tuple[int, int], Optional[bytes]]:
+    """``(key, version, value-or-None)`` from a REPL_VDATA payload."""
+    _kind, is_delete, klen, vlen, epoch, writer = REPL_VRECORD.unpack(
+        data[:REPL_VRECORD.size])
+    off = REPL_VRECORD.size
+    key = data[off:off + klen].decode()
+    value = None if is_delete else data[off + klen:off + klen + vlen]
+    return key, (epoch, writer), value

@@ -1,0 +1,42 @@
+"""Replica correctness: version dots, Merkle trees, and anti-entropy.
+
+Three cooperating pieces (docs/REPLICATION.md):
+
+* :mod:`.versions` — per-key ``(epoch, writer)`` dots and the
+  convergent last-writer-wins order every apply path shares.
+* :mod:`.merkle` — the incrementally-updated hash tree each replica
+  pair maintains over its common key range.
+* :mod:`.antientropy` — the background sweeper that exchanges digests
+  over a dedicated NX world and ships only divergent records.
+"""
+
+from .antientropy import (
+    AntiEntropyStats,
+    make_antientropy_program,
+    pair_schedule,
+)
+from .merkle import DEFAULT_LEAVES, MerkleTree
+from .versions import (
+    VERSION_STRUCT,
+    VERSION_ZERO,
+    Version,
+    entry_digest,
+    pack_version,
+    unpack_version,
+    wins,
+)
+
+__all__ = [
+    "AntiEntropyStats",
+    "make_antientropy_program",
+    "pair_schedule",
+    "DEFAULT_LEAVES",
+    "MerkleTree",
+    "VERSION_STRUCT",
+    "VERSION_ZERO",
+    "Version",
+    "entry_digest",
+    "pack_version",
+    "unpack_version",
+    "wins",
+]

@@ -1,0 +1,441 @@
+"""The background anti-entropy sweeper: Merkle sync over an NX world.
+
+One sweeper rank runs per node, in its *own* NX world (its own
+rendezvous and message types, so it never interferes with the
+replication fan-out world).  Rounds are root-gated: rank 0 broadcasts a
+continue/stop flag through the collectives layer, every rank works the
+same deterministic round-robin tournament of node pairs (each sub-round
+is a perfect matching, so pair exchanges never deadlock), and per-round
+divergence totals are reduced back to rank 0, which appends the
+``(time, divergent keys)`` convergence series — the metric the
+``convergence:`` report line and the CI artifact render.
+
+One pair exchange, initiator ``a`` (the lower rank) and responder
+``b``:
+
+1. ``a`` sends its pair tree's **root** (8 bytes, one small message);
+   ``b`` acks ``in_sync`` — the common case costs two tiny messages.
+2. Divergent: ``b`` ships its **leaf-digest page** (``8 * n_leaves``
+   bytes — past the small-message payload, so it rides the NX bulk
+   rendezvous path), ``a`` diffs it and sends the divergent bucket
+   list plus its **key/version listing** for those buckets.
+3. ``b`` decides per key who wins (:func:`~.versions.wins` order),
+   ships the records ``a`` lacks, and asks for the ones it lacks;
+   both sides apply through the store's LWW guard, charging the
+   background-lane apply cost like replication does.
+
+Spans: ``kv.antientropy.round`` (rank 0), ``kv.antientropy.pair`` and
+``kv.antientropy.page`` (initiator) — all guarded, so untraced runs pay
+nothing (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ....libs import collectives
+from ....vmmc import VmmcError, VmmcTimeoutError
+from ..admission import LANE_BACKGROUND
+from .merkle import MerkleTree
+from .versions import Version
+
+__all__ = [
+    "AntiEntropyStats", "make_antientropy_program", "pair_schedule",
+]
+
+# Message types of the sweeper world (disjoint from REPL_TYPE; the
+# world is separate anyway, but grep-able constants help).
+AE_ROOT = 0x6B760010
+AE_ACK = 0x6B760011
+AE_LEAVES = 0x6B760012
+AE_BUCKETS = 0x6B760013
+AE_KEYS = 0x6B760014
+AE_RECORDS = 0x6B760015
+AE_WANT = 0x6B760016
+
+_ROOT = struct.Struct("<Q")
+_ACK = struct.Struct("<B")
+_CHUNK = struct.Struct("<HB")          # entry count, last-chunk flag
+_BUCKET = struct.Struct("<H")
+_KEY_ENTRY = struct.Struct("<HIIQ")    # key_len, epoch, writer, digest
+_RECORD = struct.Struct("<HIIBH")      # key_len, epoch, writer, tomb, val_len
+
+#: Chunk payload bound; listings and record batches split past it.
+AE_CHUNK_BYTES = 8192
+_BUF_BYTES = 16384
+
+#: Per-round (divergent, repaired) ride one reduction as
+#: ``divergent * _COUNT_PACK + repaired`` — sums decompose exactly as
+#: long as each stays under the radix, far beyond any real keyspace.
+_COUNT_PACK = 1 << 31
+
+
+class AntiEntropyStats:
+    """Sweep counters plus the divergent-keys-over-time series.
+
+    Registered in the machine metrics registry (``high_water`` is the
+    current divergence backlog, so the telemetry sampler renders a
+    live backlog row next to the replication queues).
+    """
+
+    name = "kv-antientropy"
+
+    def __init__(self):
+        self.rounds = 0
+        self.repaired = 0
+        self.divergent_last = 0
+        self.divergent_high = 0
+        self.series: List[Tuple[float, int]] = []
+        self.converged_at: Optional[float] = None
+        self.sweep_failures = 0
+
+    def record_round(self, now: float, divergent: int,
+                     repaired: int) -> None:
+        """Append one completed round's totals (rank 0 only)."""
+        self.rounds += 1
+        self.repaired += repaired
+        self.divergent_last = divergent
+        self.divergent_high = max(self.divergent_high, divergent)
+        self.series.append((now, divergent))
+        if divergent == 0:
+            if self.converged_at is None:
+                self.converged_at = now
+        else:
+            self.converged_at = None
+
+    def metrics_snapshot(self, now: Optional[float] = None) -> dict:
+        """Registry row: rounds swept and the current divergence backlog."""
+        return {
+            "name": self.name,
+            "kind": "antientropy",
+            "count": self.rounds,
+            "repaired": self.repaired,
+            "sweep_failures": self.sweep_failures,
+            "mean_depth": 0.0,
+            "high_water": self.divergent_last,
+        }
+
+    def series_payload(self) -> List[Dict[str, float]]:
+        """The convergence series as JSON-ready rows."""
+        return [{"t_us": t, "divergent": n} for t, n in self.series]
+
+
+def pair_schedule(size: int) -> List[Dict[int, int]]:
+    """The round-robin tournament over ``size`` ranks.
+
+    Each sub-round maps every participating rank to its peer (a perfect
+    matching, odd sizes sit one rank out per sub-round), covering every
+    unordered pair exactly once.  Deterministic in ``size`` alone, so
+    all ranks compute the same schedule without exchanging it.
+    """
+    ids: List[Optional[int]] = list(range(size))
+    if size % 2:
+        ids.append(None)
+    m = len(ids)
+    rounds: List[Dict[int, int]] = []
+    arr = ids[:]
+    for _ in range(max(0, m - 1)):
+        pairs: Dict[int, int] = {}
+        for i in range(m // 2):
+            x, y = arr[i], arr[m - 1 - i]
+            if x is not None and y is not None:
+                pairs[x] = y
+                pairs[y] = x
+        rounds.append(pairs)
+        arr = [arr[0], arr[-1]] + arr[1:-1]
+    return rounds
+
+
+def _pack_chunks(payloads: List[bytes]) -> List[bytes]:
+    """Group encoded entries into chunk frames under the byte bound."""
+    chunks: List[bytes] = []
+    batch: List[bytes] = []
+    size = 0
+    for blob in payloads:
+        if batch and size + len(blob) > AE_CHUNK_BYTES:
+            chunks.append(_CHUNK.pack(len(batch), 0) + b"".join(batch))
+            batch, size = [], 0
+        batch.append(blob)
+        size += len(blob)
+    chunks.append(_CHUNK.pack(len(batch), 1) + b"".join(batch))
+    return chunks
+
+
+def _send_chunks(nx, sbuf: int, mtype: int, payloads: List[bytes],
+                 to: int):
+    """Ship encoded entries as chunk frames (generator)."""
+    for chunk in _pack_chunks(payloads):
+        yield from nx.proc.write(sbuf, chunk)
+        yield from nx.csend(mtype, sbuf, len(chunk), to=to)
+
+
+def _recv_chunks(nx, rbuf: int, mtype: int, sender: int):
+    """Receive chunk frames until the last-flag (generator -> blobs)."""
+    frames: List[bytes] = []
+    while True:
+        nbytes = yield from nx.crecvx(mtype, rbuf, _BUF_BYTES,
+                                      nodesel=sender)
+        frame = nx.proc.peek(rbuf, nbytes)
+        count, last = _CHUNK.unpack_from(frame)
+        frames.append(bytes(frame[_CHUNK.size:]))
+        if last:
+            return frames
+
+
+def _encode_listing(key: str, version: Version, digest: int) -> bytes:
+    kb = key.encode()
+    return _KEY_ENTRY.pack(len(kb), version[0], version[1], digest) + kb
+
+
+def _decode_listing(frames: List[bytes]) -> Dict[str, Tuple[Version, int]]:
+    out: Dict[str, Tuple[Version, int]] = {}
+    for frame in frames:
+        off = 0
+        while off < len(frame):
+            klen, epoch, writer, digest = _KEY_ENTRY.unpack_from(frame, off)
+            off += _KEY_ENTRY.size
+            key = frame[off:off + klen].decode()
+            off += klen
+            out[key] = ((epoch, writer), digest)
+    return out
+
+
+def _encode_record(key: str, version: Version,
+                   value: Optional[bytes]) -> bytes:
+    kb = key.encode()
+    body = b"" if value is None else bytes(value)
+    return (_RECORD.pack(len(kb), version[0], version[1],
+                         1 if value is None else 0, len(body)) + kb + body)
+
+
+def _decode_records(frames: List[bytes]):
+    records: List[Tuple[str, Version, Optional[bytes]]] = []
+    for frame in frames:
+        off = 0
+        while off < len(frame):
+            klen, epoch, writer, tomb, vlen = _RECORD.unpack_from(frame, off)
+            off += _RECORD.size
+            key = frame[off:off + klen].decode()
+            off += klen
+            value = None if tomb else frame[off:off + vlen]
+            off += vlen
+            records.append((key, (epoch, writer), value))
+    return records
+
+
+def _apply_records(service, nx, rank: int, records) -> int:
+    """Apply shipped records through the LWW guard (generator -> count).
+
+    Charges the background-lane apply cost per record, exactly like the
+    replication receive loop, so repair work cannot starve client ops.
+    """
+    from ..server import apply_cost
+
+    proc = nx.proc
+    repaired = 0
+    store = service.stores[rank]
+    for key, version, value in records:
+        yield from proc.compute(
+            apply_cost(0 if value is None else len(value)),
+            priority=LANE_BACKGROUND)
+        if store.apply_versioned(key, version, value):
+            repaired += 1
+            yield from service.region_store(rank, proc, key, value)
+    return repaired
+
+
+def _exchange(service, nx, rank: int, peer: int, sbuf: int, rbuf: int):
+    """One pair exchange (generator -> ``(divergent, repaired)``)."""
+    proc = nx.proc
+    tree: MerkleTree = service.merkle[rank][peer]
+    store = service.stores[rank]
+    start = proc.sim.now
+    tracer = proc.tracer
+    if rank < peer:
+        # Initiator: root probe, leaf-page diff, listing, exchange.
+        divergent = repaired = 0
+        try:
+            yield from proc.write(sbuf, _ROOT.pack(tree.root()))
+            yield from nx.csend(AE_ROOT, sbuf, _ROOT.size, to=peer)
+            yield from nx.crecvx(AE_ACK, rbuf, _ACK.size, nodesel=peer)
+            if proc.peek(rbuf, 1)[0]:
+                return 0, 0
+            page_bytes = 8 * tree.n_leaves
+            page_start = proc.sim.now
+            yield from nx.crecvx(AE_LEAVES, rbuf, page_bytes, nodesel=peer)
+            if tracer.enabled:
+                tracer.complete("kv.antientropy.page",
+                                "leaf page from n%d" % peer, page_start,
+                                track=proc.trace_track,
+                                data={"peer": peer, "bytes": page_bytes})
+            theirs = MerkleTree.unpack_leaves(
+                proc.peek(rbuf, page_bytes), tree.n_leaves)
+            buckets = tree.diff_leaves(theirs)
+            yield from _send_chunks(
+                nx, sbuf, AE_BUCKETS,
+                [_BUCKET.pack(i) for i in buckets], to=peer)
+            listing: List[bytes] = []
+            for index in buckets:
+                entries = tree.leaf_entries(index)
+                for key in sorted(entries):
+                    listing.append(_encode_listing(
+                        key, store.version_of(key), entries[key]))
+            yield from _send_chunks(nx, sbuf, AE_KEYS, listing, to=peer)
+            frames = yield from _recv_chunks(nx, rbuf, AE_RECORDS,
+                                             sender=peer)
+            records = _decode_records(frames)
+            repaired += yield from _apply_records(service, nx, rank,
+                                                  records)
+            want_frames = yield from _recv_chunks(nx, rbuf, AE_WANT,
+                                                  sender=peer)
+            wanted = [key for key, _v, _d
+                      in _decode_records(want_frames)]
+            replies: List[bytes] = []
+            for key in wanted:
+                replies.append(_encode_record(
+                    key, store.version_of(key), store.data.get(key)))
+            yield from _send_chunks(nx, sbuf, AE_RECORDS, replies, to=peer)
+            divergent = len({key for key, _v, _val in records} |
+                            set(wanted))
+            return divergent, repaired
+        finally:
+            if tracer.enabled:
+                tracer.complete("kv.antientropy.pair",
+                                "n%d~n%d" % (rank, peer), start,
+                                track=proc.trace_track,
+                                data={"peer": peer,
+                                      "divergent": divergent})
+    # Responder: answer the probe, ship the page, settle the listing.
+    yield from nx.crecvx(AE_ROOT, rbuf, _ROOT.size, nodesel=peer)
+    (their_root,) = _ROOT.unpack(bytes(proc.peek(rbuf, _ROOT.size)))
+    in_sync = 1 if their_root == tree.root() else 0
+    yield from proc.write(sbuf, _ACK.pack(in_sync))
+    yield from nx.csend(AE_ACK, sbuf, _ACK.size, to=peer)
+    if in_sync:
+        return 0, 0
+    page = tree.pack_leaves()
+    yield from proc.write(sbuf, page)
+    yield from nx.csend(AE_LEAVES, sbuf, len(page), to=peer)
+    bucket_frames = yield from _recv_chunks(nx, rbuf, AE_BUCKETS,
+                                            sender=peer)
+    buckets: List[int] = []
+    for frame in bucket_frames:
+        for off in range(0, len(frame), _BUCKET.size):
+            buckets.append(_BUCKET.unpack_from(frame, off)[0])
+    key_frames = yield from _recv_chunks(nx, rbuf, AE_KEYS, sender=peer)
+    their_listing = _decode_listing(key_frames)
+    to_send: List[str] = []
+    to_want: List[str] = []
+    for index in buckets:
+        mine = tree.leaf_entries(index)
+        keys = set(mine) | {key for key in their_listing
+                            if tree.leaf_of(key) == index}
+        for key in sorted(keys):
+            my_digest = mine.get(key)
+            their = their_listing.get(key)
+            if their is None:
+                to_send.append(key)
+                continue
+            their_version, their_digest = their
+            if my_digest is None:
+                to_want.append(key)
+                continue
+            if my_digest == their_digest:
+                continue
+            my_version = store.version_of(key)
+            if my_version > their_version:
+                to_send.append(key)
+            elif my_version < their_version:
+                to_want.append(key)
+            else:
+                # Same dot, different bytes (unversioned races): ship
+                # both ways and let the value-hash tie-break settle it
+                # identically on each side.
+                to_send.append(key)
+                to_want.append(key)
+    yield from _send_chunks(
+        nx, sbuf, AE_RECORDS,
+        [_encode_record(key, store.version_of(key), store.data.get(key))
+         for key in to_send], to=peer)
+    yield from _send_chunks(
+        nx, sbuf, AE_WANT,
+        [_encode_record(key, (0, 0), None) for key in to_want], to=peer)
+    frames = yield from _recv_chunks(nx, rbuf, AE_RECORDS, sender=peer)
+    repaired = yield from _apply_records(service, nx, rank,
+                                         _decode_records(frames))
+    return 0, repaired
+
+
+def make_antientropy_program(service, rank: int):
+    """The per-node sweeper rank program (for a dedicated ``nx_world``).
+
+    Rounds continue until the service requests a stop (``ae_stop``)
+    *and* the latest round found zero divergent keys — so a run's final
+    state is always converged unless the sweep itself died to faults
+    (counted in ``sweep_failures``; the next sweep repairs).
+    """
+    size = len(service.nodes)
+
+    def program(nx):
+        proc = nx.proc
+        sbuf = proc.space.mmap(_BUF_BYTES)
+        rbuf = proc.space.mmap(_BUF_BYTES)
+        flag = proc.space.mmap(proc.config.page_size)
+        stats: AntiEntropyStats = service.ae_stats
+        schedule = pair_schedule(size)
+        round_no = 0
+        tracer = proc.tracer
+        try:
+            while True:
+                if rank == 0:
+                    go = 1
+                    if service.ae_stop and stats.rounds > 0 \
+                            and stats.divergent_last == 0:
+                        go = 0
+                    if round_no >= service.antientropy_max_rounds:
+                        go = 0
+                    if go and round_no > 0:
+                        yield proc.sim.timeout(
+                            service.antientropy_interval_us)
+                    proc.poke(flag, bytes([go]))
+                yield from collectives.broadcast(nx, flag, 1, root=0)
+                if proc.peek(flag, 1)[0] == 0:
+                    break
+                round_no += 1
+                span = None
+                if rank == 0 and tracer.enabled:
+                    span = tracer.begin(
+                        "kv.antientropy.round", "round %d" % round_no,
+                        track=proc.trace_track, data={"round": round_no})
+                divergent = repaired = 0
+                try:
+                    for pairs in schedule:
+                        peer = pairs.get(rank)
+                        if peer is None or peer >= size:
+                            continue
+                        d, r = yield from _exchange(service, nx, rank,
+                                                    peer, sbuf, rbuf)
+                        divergent += d
+                        repaired += r
+                finally:
+                    tracer.end(span)
+                # ONE reduce per round, both counts packed into a single
+                # int: two back-to-back reduce_int calls share a message
+                # type, so a fast rank's second contribution could be
+                # consumed into a slow parent's first reduction.
+                packed = yield from collectives.reduce_int(
+                    nx, divergent * _COUNT_PACK + repaired,
+                    lambda a, b: a + b, root=0)
+                if rank == 0:
+                    stats.record_round(proc.sim.now,
+                                       packed // _COUNT_PACK,
+                                       packed % _COUNT_PACK)
+        except (VmmcTimeoutError, VmmcError):
+            # A peer died mid-sweep (only possible under an armed fault
+            # plan): abandon this rank's sweep cleanly; divergence stays
+            # measurable and the next sweep repairs it.
+            stats.sweep_failures += 1
+        return round_no
+
+    return program

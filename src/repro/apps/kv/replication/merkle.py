@@ -1,0 +1,157 @@
+"""The incrementally-updated hash tree over one replica pair's keyspace.
+
+Layout: a complete binary tree over ``n_leaves`` fixed buckets (heap
+array, root at index 1, leaves at ``[n_leaves, 2*n_leaves)``).  A key
+hashes to one bucket with the same interpreter-stable 64-bit hash the
+ring uses, a bucket's digest is the XOR of its records' entry digests
+(:func:`~repro.apps.kv.replication.versions.entry_digest`), and every
+internal node hashes its two children.  An update touches one bucket
+and the ``log2(n_leaves)`` nodes above it — the *incremental* path the
+property tests pin against a rebuild from scratch.
+
+The anti-entropy wire protocol ships two granularities out of this
+structure: the 8-byte root (one small message decides "in sync"), and
+the full leaf-digest page (``8 * n_leaves`` bytes — sized past the NX
+small-message payload on purpose, so digest pages exercise the bulk
+rendezvous path).  ``diff_leaves``/``leaf_entries`` then narrow a
+divergent page to the exact records to ship (docs/REPLICATION.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..hashing import stable_hash
+from .versions import Version, entry_digest
+
+__all__ = ["MerkleTree", "DEFAULT_LEAVES"]
+
+#: 512 leaves * 8 bytes = a 4 KB digest page — one NX bulk transfer.
+DEFAULT_LEAVES = 512
+
+_PAIR = struct.Struct("<QQ")
+
+
+def _combine(left: int, right: int) -> int:
+    """An internal node's digest (0 stays 0 so empty subtrees match)."""
+    if not left and not right:
+        return 0
+    return stable_hash(_PAIR.pack(left, right))
+
+
+class MerkleTree:
+    """A fixed-shape hash tree over key/version/value records."""
+
+    def __init__(self, n_leaves: int = DEFAULT_LEAVES):
+        if n_leaves < 1 or (n_leaves & (n_leaves - 1)) != 0:
+            raise ValueError("n_leaves must be a power of two")
+        self.n_leaves = n_leaves
+        self._buckets: List[Dict[str, int]] = [{} for _ in range(n_leaves)]
+        self._nodes: List[int] = [0] * (2 * n_leaves)
+        self.updates = 0
+
+    @classmethod
+    def build(cls, records: Iterable[Tuple[str, Version, Optional[bytes]]],
+              n_leaves: int = DEFAULT_LEAVES) -> "MerkleTree":
+        """A tree rebuilt from scratch over ``records`` (the oracle the
+        incremental-update property tests compare against)."""
+        tree = cls(n_leaves)
+        for key, version, value in records:
+            tree.update(key, version, value)
+        return tree
+
+    def leaf_of(self, key: str) -> int:
+        """The bucket index ``key`` hashes into."""
+        return stable_hash(key.encode()) % self.n_leaves
+
+    def update(self, key: str, version: Version,
+               value: Optional[bytes]) -> None:
+        """Record ``key``'s current (version, value-or-tombstone)."""
+        digest = entry_digest(key, version, value)
+        index = self.leaf_of(key)
+        if self._buckets[index].get(key) == digest:
+            return
+        self._buckets[index][key] = digest
+        self._refresh(index)
+
+    def discard(self, key: str) -> None:
+        """Forget ``key`` entirely (tombstones use :meth:`update`)."""
+        index = self.leaf_of(key)
+        if self._buckets[index].pop(key, None) is not None:
+            self._refresh(index)
+
+    def _refresh(self, index: int) -> None:
+        """Recompute one leaf and the path above it."""
+        self.updates += 1
+        acc = 0
+        for digest in self._buckets[index].values():
+            acc ^= digest
+        node = self.n_leaves + index
+        self._nodes[node] = acc
+        node //= 2
+        while node >= 1:
+            self._nodes[node] = _combine(self._nodes[2 * node],
+                                         self._nodes[2 * node + 1])
+            node //= 2
+
+    # ------------------------------------------------------- digests
+
+    def root(self) -> int:
+        """The 64-bit root digest (equal roots mean equal record sets)."""
+        return self._nodes[1]
+
+    def leaf_digests(self) -> List[int]:
+        """All leaf digests, bucket order (the bulk digest page)."""
+        return self._nodes[self.n_leaves:2 * self.n_leaves]
+
+    def pack_leaves(self) -> bytes:
+        """The leaf-digest page as wire bytes (``8 * n_leaves``)."""
+        return struct.pack("<%dQ" % self.n_leaves, *self.leaf_digests())
+
+    @staticmethod
+    def unpack_leaves(blob: bytes, n_leaves: int) -> List[int]:
+        """The leaf digests from a wire page."""
+        return list(struct.unpack("<%dQ" % n_leaves, bytes(blob)))
+
+    def diff_leaves(self, other_digests: List[int]) -> List[int]:
+        """Bucket indices where this tree disagrees with a peer's page."""
+        mine = self.leaf_digests()
+        if len(other_digests) != len(mine):
+            raise ValueError("leaf page shape mismatch")
+        return [i for i, (a, b) in enumerate(zip(mine, other_digests))
+                if a != b]
+
+    # ------------------------------------------------------- records
+
+    def leaf_entries(self, index: int) -> Dict[str, int]:
+        """One bucket's ``key -> entry digest`` map (a copy)."""
+        return dict(self._buckets[index])
+
+    def keys(self) -> List[str]:
+        """Every key the tree covers, sorted."""
+        out: List[str] = []
+        for bucket in self._buckets:
+            out.extend(bucket)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def diff(self, other: "MerkleTree") -> List[str]:
+        """Exactly the keys whose records differ between two trees.
+
+        Walks only the divergent leaves — the host-side mirror of what
+        the wire protocol ships — and returns the sorted union of keys
+        present on one side only or present with different digests.
+        """
+        if other.n_leaves != self.n_leaves:
+            raise ValueError("trees must share a leaf count")
+        divergent: List[str] = []
+        for index in self.diff_leaves(other.leaf_digests()):
+            mine = self._buckets[index]
+            theirs = other._buckets[index]
+            for key in set(mine) | set(theirs):
+                if mine.get(key) != theirs.get(key):
+                    divergent.append(key)
+        return sorted(divergent)

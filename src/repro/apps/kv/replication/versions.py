@@ -1,0 +1,91 @@
+"""Per-key version dots and the convergent last-writer-wins order.
+
+A version is a ``(epoch, writer)`` pair: the write epoch (a per-key
+counter bumped by whichever node or client coordinated the write) and a
+nonzero writer id breaking ties between concurrent writes at the same
+epoch.  The pair ``VERSION_ZERO == (0, 0)`` is reserved for the
+unversioned default path: every replica stamps it on plain writes, so
+replicas that hold the same bytes also hold the same version metadata
+and their Merkle digests agree (docs/REPLICATION.md).
+
+The total order is lexicographic on ``(epoch, writer)`` with a
+deterministic value-hash tie-break at equal versions — both sides of an
+anti-entropy exchange evaluate :func:`wins` on the same inputs and pick
+the same survivor, which is what makes the sweep convergent.
+
+This is a deliberate simplification of full per-key version vectors:
+one dot per key rather than one counter per writer.  Concurrent writes
+are *ordered*, not surfaced as siblings — the read-repair and quorum
+layers only need a convergent total order (docs/REPLICATION.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from ..hashing import stable_hash
+
+__all__ = [
+    "VERSION_ZERO", "VERSION_STRUCT", "Version",
+    "pack_version", "unpack_version", "wins", "entry_digest",
+]
+
+Version = Tuple[int, int]
+
+#: The unversioned default-path stamp (plain put/delete/replication).
+VERSION_ZERO: Version = (0, 0)
+
+#: Wire form: epoch, writer — little-endian like the rest of the machine.
+VERSION_STRUCT = struct.Struct("<II")
+
+#: A tombstone's contribution to digests (no value bytes can collide
+#: with it because stored values are hashed with a presence prefix).
+_TOMBSTONE_TAG = b"\x00"
+_VALUE_TAG = b"\x01"
+
+
+def pack_version(version: Version) -> bytes:
+    """The 8-byte wire form of a version dot."""
+    return VERSION_STRUCT.pack(version[0], version[1])
+
+
+def unpack_version(blob: bytes) -> Version:
+    """The version dot from its 8-byte wire form."""
+    epoch, writer = VERSION_STRUCT.unpack(bytes(blob[:VERSION_STRUCT.size]))
+    return (epoch, writer)
+
+
+def _value_rank(value: Optional[bytes]) -> int:
+    """The deterministic tie-break rank of a value (tombstone lowest)."""
+    if value is None:
+        return -1
+    return stable_hash(_VALUE_TAG + bytes(value))
+
+
+def wins(new_version: Version, new_value: Optional[bytes],
+         cur_version: Version, cur_value: Optional[bytes]) -> bool:
+    """Whether ``(new_version, new_value)`` replaces the current record.
+
+    Strictly-newer versions win outright; at equal versions the higher
+    value hash wins (a tombstone loses to any value).  Equal version
+    *and* equal rank is a no-op — applying it would churn the Merkle
+    tree for nothing.
+    """
+    if new_version != cur_version:
+        return new_version > cur_version
+    return _value_rank(new_value) > _value_rank(cur_value)
+
+
+def entry_digest(key: str, version: Version,
+                 value: Optional[bytes]) -> int:
+    """The 64-bit digest one record contributes to a Merkle leaf.
+
+    Covers the key, the version dot, and the value bytes (or the
+    tombstone tag), so two replicas agree on a leaf digest exactly when
+    they agree on every record in it.
+    """
+    payload = (key.encode() + _TOMBSTONE_TAG + pack_version(version)
+               + (_VALUE_TAG + bytes(value) if value is not None
+                  else _TOMBSTONE_TAG))
+    return stable_hash(payload)

@@ -31,9 +31,13 @@ from typing import TYPE_CHECKING
 from ...libs import collectives
 from ...libs.shrimp_rpc import SrpcTimeoutError, compile_stubs
 from ...libs.sockets import SocketLib, SocketTimeoutError
+from ...sim.faults import FaultKind, FaultSite
 from ...vmmc import VmmcError, VmmcTimeoutError
 from . import protocol as wire
 from .admission import LANE_BACKGROUND, LANE_BULK, LANE_CHEAP
+from .replication.versions import (
+    VERSION_ZERO, pack_version, unpack_version,
+)
 
 if TYPE_CHECKING:
     from .service import KVService
@@ -41,6 +45,7 @@ if TYPE_CHECKING:
 __all__ = [
     "KV_IDL", "KvShardClient", "KvShardServer", "KV_INTERFACE",
     "KV_BATCH_IDL", "KvBatchClient", "KvBatchServer", "KV_BATCH_INTERFACE",
+    "KV_VER_IDL", "KvVerClient", "KvVerServer", "KV_VER_INTERFACE",
     "REPL_TYPE", "srpc_server_program", "socket_server_program",
     "make_repl_program",
 ]
@@ -81,6 +86,24 @@ program KvShard version 2 {
        wire.MG_REQ_BOUND, wire.MG_RESP_BOUND)
 
 KvBatchClient, KvBatchServer, KV_BATCH_INTERFACE = compile_stubs(KV_BATCH_IDL)
+
+# The versioned contract (consistency modes — docs/REPLICATION.md).
+# vget returns status byte + 8-byte version dot + value; vput/vdelete
+# carry the client's proposed dot (VERSION_ZERO asks the server to
+# assign the next epoch) and return status + the winning dot.  A third
+# interface *version* for the same reason v2 was: new buffer layouts
+# must never perturb v1/v2 timing.
+KV_VER_IDL = """
+program KvShard version 3 {
+    opaque<%d> vget(in string<%d> key);
+    opaque<9> vput(in string<%d> key, in opaque<8> version, in opaque<%d> value);
+    opaque<9> vdelete(in string<%d> key, in opaque<8> version);
+    int stop();
+}
+""" % (wire.VGET_BOUND, wire.KEY_BOUND, wire.KEY_BOUND,
+       wire.VALUE_BOUND, wire.KEY_BOUND)
+
+KvVerClient, KvVerServer, KV_VER_INTERFACE = compile_stubs(KV_VER_IDL)
 
 # NX message type carrying replication records; data and stop records
 # share it so per-connection FIFO ordering makes the stop a barrier.
@@ -230,6 +253,78 @@ class _ShardImpl:
                          else (wire.ST_OK, value))
         yield from entries.set(wire.encode_multi_get_response(found))
 
+    # --------------------------------------------- versioned ops (v3)
+
+    def vget(self, key):
+        """GET with the record's version dot (status, version, value)."""
+        ok = yield from self._admit(LANE_CHEAP, self.service.op_cost(0))
+        if not ok:
+            return bytes([wire.ST_REJECTED]) + pack_version(VERSION_ZERO)
+        span = self._op_span("vget")
+        try:
+            value = self.store.get(key)
+            version = self.store.version_of(key)
+            if value is None:
+                return bytes([wire.ST_MISS]) + pack_version(version)
+            return bytes([wire.ST_OK]) + pack_version(version) + value
+        finally:
+            self.proc.tracer.end(span)
+
+    def vput(self, key, version, value):
+        """PUT through the LWW guard; returns status + the winning dot.
+
+        A ``VERSION_ZERO`` proposal asks this server to coordinate: it
+        assigns the key's next epoch with its own writer id.  A losing
+        proposal still answers ``ST_OK`` — last-writer-wins means the
+        write *happened*, it was just superseded; the returned dot
+        tells the client who won.
+        """
+        value = bytes(value)
+        ok = yield from self._admit(LANE_BULK,
+                                    self.service.op_cost(len(value)))
+        if not ok:
+            return bytes([wire.ST_REJECTED]) + pack_version(VERSION_ZERO)
+        span = self._op_span("vput")
+        try:
+            self.store.puts += 1
+            proposed = unpack_version(version)
+            if proposed == VERSION_ZERO:
+                proposed = self.store.assign_version(key, self.node_id + 1)
+            if self.store.apply_versioned(key, proposed, value):
+                yield from self.service.region_store(self.node_id, self.proc,
+                                                     key, value)
+                self.service.enqueue_replication(
+                    self.node_id, key, value,
+                    trace_ctx=self.proc.trace_ctx, version=proposed)
+            return (bytes([wire.ST_OK])
+                    + pack_version(self.store.version_of(key)))
+        finally:
+            self.proc.tracer.end(span)
+
+    def vdelete(self, key, version):
+        """DELETE through the LWW guard (leaves a versioned tombstone)."""
+        ok = yield from self._admit(LANE_BULK, self.service.op_cost(0))
+        if not ok:
+            return bytes([wire.ST_REJECTED]) + pack_version(VERSION_ZERO)
+        span = self._op_span("vdelete")
+        try:
+            self.store.deletes += 1
+            existed = key in self.store.data
+            proposed = unpack_version(version)
+            if proposed == VERSION_ZERO:
+                proposed = self.store.assign_version(key, self.node_id + 1)
+            if self.store.apply_versioned(key, proposed, None):
+                yield from self.service.region_store(self.node_id, self.proc,
+                                                     key, None)
+                self.service.enqueue_replication(
+                    self.node_id, key, None,
+                    trace_ctx=self.proc.trace_ctx, version=proposed)
+            return ((bytes([wire.ST_OK]) if existed
+                     else bytes([wire.ST_MISS]))
+                    + pack_version(self.store.version_of(key)))
+        finally:
+            self.proc.tracer.end(span)
+
 
 def srpc_server_program(service: "KVService", node_id: int):
     """One SHRIMP RPC binding handler: accept one client, serve until
@@ -242,7 +337,12 @@ def srpc_server_program(service: "KVService", node_id: int):
 
     def program(proc):
         impl = _ShardImpl(service, node_id, proc)
-        server_cls = KvBatchServer if service.batch else KvShardServer
+        if service.versioned:
+            server_cls = KvVerServer
+        elif service.batch:
+            server_cls = KvBatchServer
+        else:
+            server_cls = KvShardServer
         server = server_cls(service.system, proc, impl,
                             window=service.srpc_window)
         yield from server.serve_binding(service.srpc_port)
@@ -435,22 +535,44 @@ def make_repl_program(service: "KVService", rank: int):
             name="kv-repl-tx-n%d" % rank))
         stops = 0
         applied = 0
+        down_until = 0.0
+        hardened = system.faults.enabled
         rbuf = proc.space.mmap(4096)
         try:
             while stops < size - 1:
                 nbytes = yield from nx.crecv(REPL_TYPE, rbuf, 2048)
-                kind, key, value = wire.decode_repl_record(
-                    proc.peek(rbuf, nbytes))
+                blob = proc.peek(rbuf, nbytes)
+                kind = blob[0]
+                # Stops pass first — a crashed replica still shuts down
+                # cleanly; only *data* records are lost while it is gone.
                 if kind == wire.REPL_STOP:
                     stops += 1
                     continue
+                if hardened:
+                    fault = system.faults.draw(FaultSite.KV_REPLICA,
+                                               node=rank)
+                    if fault is not None and fault.kind == FaultKind.CRASH:
+                        down_until = proc.sim.now + float(
+                            fault.params.get("duration_us", 0.0))
+                    if proc.sim.now < down_until:
+                        # The replica is "down": records arrive but the
+                        # apply side discards them — the silent
+                        # divergence anti-entropy exists to repair.
+                        service.repl_crash_drops += 1
+                        continue
                 # Replication apply rides the background lane: it only
                 # gets the CPU when no client op is waiting, so fan-out
                 # work cannot steal capacity from the request path.
+                if kind == wire.REPL_VDATA:
+                    key, version, value = wire.decode_vrepl_record(blob)
+                else:
+                    _kind, key, value = wire.decode_repl_record(blob)
+                    version = None
                 yield from proc.compute(
                     service.op_cost(0 if value is None else len(value)),
                     priority=LANE_BACKGROUND)
-                service.stores[rank].apply_replication(key, value)
+                service.stores[rank].apply_replication(key, value,
+                                                       version=version)
                 yield from service.region_store(rank, proc, key, value)
                 applied += 1
         except VmmcTimeoutError:

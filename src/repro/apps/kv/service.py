@@ -36,6 +36,11 @@ from ...vmmc import attach
 from . import protocol as wire
 from .admission import AdmissionController
 from .hashing import HashRing
+from .replication import (
+    AntiEntropyStats,
+    MerkleTree,
+    make_antientropy_program,
+)
 from .server import (
     apply_cost,
     make_repl_program,
@@ -45,6 +50,30 @@ from .server import (
 from .store import ShardStore
 
 __all__ = ["KVService", "region_name"]
+
+
+class _ReplDropMetrics:
+    """Registry adapter surfacing dropped replication records.
+
+    Only registered when a replication queue bound is set — the default
+    unbounded queue cannot drop, and the registry (and its report)
+    stays byte-identical.
+    """
+
+    name = "kv-repl-drops"
+
+    def __init__(self, service: "KVService"):
+        self._service = service
+
+    def metrics_snapshot(self, now: Optional[float] = None) -> dict:
+        total = sum(self._service.repl_drops.values())
+        return {
+            "name": self.name,
+            "kind": "counter",
+            "count": total,
+            "mean_depth": 0.0,
+            "high_water": total,
+        }
 
 
 def region_name(node: int) -> str:
@@ -71,7 +100,12 @@ class KVService:
                  admission: bool = False,
                  admit_queue: int = 32,
                  admit_deadline_us: float = 0.0,
-                 handler_cpu_us: float = 0.0):
+                 handler_cpu_us: float = 0.0,
+                 versioned: bool = False,
+                 repl_queue_cap: int = 0,
+                 antientropy: bool = False,
+                 antientropy_interval_us: float = 2000.0,
+                 antientropy_max_rounds: int = 64):
         self.system = system
         # Serving-stack knobs both sides of an SRPC binding must agree
         # on: ``batch`` selects the v2 interface (multi_get available),
@@ -106,9 +140,21 @@ class KVService:
         self.ring = HashRing(self.nodes, vnodes=vnodes)
         self.stores: Dict[int, ShardStore] = {
             node: ShardStore(node) for node in self.nodes}
+        # Replica correctness (docs/REPLICATION.md): ``versioned``
+        # switches the SRPC servers to the v3 interface (version dots on
+        # every op), ``repl_queue_cap`` bounds the fan-out queues (0 =
+        # unbounded, the historical behavior), and ``antientropy`` arms
+        # the background Merkle sweeper.  All default off.
+        self.versioned = versioned
+        self.repl_queue_cap = repl_queue_cap
+        self.antientropy = antientropy
+        self.antientropy_interval_us = antientropy_interval_us
+        self.antientropy_max_rounds = antientropy_max_rounds
         self.repl_queues: Dict[int, Store] = {}
         for node in self.nodes:
-            queue = Store(self.sim, name="kv-repl-q-n%d" % node)
+            queue = Store(self.sim,
+                          capacity=repl_queue_cap or float("inf"),
+                          name="kv-repl-q-n%d" % node)
             system.machine.metrics.register(queue)
             self.repl_queues[node] = queue
         self.handles: List = []
@@ -116,6 +162,24 @@ class KVService:
         self.repl_send_failures = 0
         self.repl_applied_total: Optional[int] = None
         self.map_mismatches: List[int] = []
+        self.repl_drops: Dict[int, int] = {node: 0 for node in self.nodes}
+        self.repl_crash_drops = 0
+        if repl_queue_cap:
+            system.machine.metrics.register(_ReplDropMetrics(self))
+        # Per-pair Merkle trees: ``merkle[a][b]`` on node ``a`` covers
+        # exactly the keys whose replica set contains both ``a`` and
+        # ``b``, so it and its twin ``merkle[b][a]`` digest the same
+        # key range and equal roots mean the pair is in sync.
+        self.merkle: Dict[int, Dict[int, MerkleTree]] = {}
+        self.ae_stats: Optional[AntiEntropyStats] = None
+        self.ae_stop = False
+        if antientropy:
+            for a in self.nodes:
+                self.merkle[a] = {b: MerkleTree() for b in self.nodes
+                                  if b != a}
+                self.stores[a].on_mutate = self._mutation_noter(a)
+            self.ae_stats = AntiEntropyStats()
+            system.machine.metrics.register(self.ae_stats)
         # Overload control (docs/OVERLOAD.md): ``handler_cpu_us`` is
         # the per-op CPU charge added on top of ``apply_cost`` (only
         # meaningful once the node CPU schedulers are enabled), and
@@ -153,6 +217,26 @@ class KVService:
         """The replica set of ``key``, primary first."""
         return self.ring.replicas(key, self.replicas)
 
+    def _mutation_noter(self, node: int):
+        """The store hook keeping node ``node``'s pair trees current.
+
+        Host-level (untimed) on purpose: the tree update is O(log
+        leaves) dict-and-XOR work, the simulated cost of divergence
+        detection is charged where bytes move — in the sweeper's NX
+        exchanges.
+        """
+        trees = self.merkle[node]
+
+        def note(key, version, value):
+            reps = self.replicas_for(key)
+            if node not in reps:
+                return  # stray failover write; not in any pair range
+            for peer in reps:
+                if peer != node:
+                    trees[peer].update(key, version, value)
+
+        return note
+
     # ------------------------------------------------------- lifecycle
 
     def preload(self, items: Dict[str, bytes]) -> None:
@@ -163,7 +247,7 @@ class KVService:
         """
         for key, value in items.items():
             for node in self.replicas_for(key):
-                self.stores[node].data[key] = value
+                self.stores[node].preload(key, value)
 
     def start(self, srpc_handlers: int = 0, socket_handlers: int = 0) -> None:
         """Spawn all server processes.
@@ -193,6 +277,15 @@ class KVService:
             self.handles.extend(nx_world(
                 self.system,
                 [make_repl_program(self, rank) for rank in self.nodes],
+                variant=self.nx_variant))
+        if self.antientropy and len(self.nodes) > 1:
+            # The sweeper gets its own NX world (own rendezvous, own
+            # connections): digest pages and replication records never
+            # share a receive queue.
+            self.handles.extend(nx_world(
+                self.system,
+                [make_antientropy_program(self, rank)
+                 for rank in self.nodes],
                 variant=self.nx_variant))
 
     def _region_export_program(self, node: int):
@@ -256,7 +349,7 @@ class KVService:
 
     def enqueue_replication(self, origin: int, key: str,
                             value: Optional[bytes],
-                            trace_ctx=None) -> None:
+                            trace_ctx=None, version=None) -> None:
         """Queue an upsert/delete for fan-out to the other replicas.
 
         Called by whichever server applied a client write — normally
@@ -266,20 +359,45 @@ class KVService:
         the serving span's (trace_id, sid): the sender process adopts
         it around the fan-out ``csend`` so the replication messages
         stay causally linked to the request that triggered them.
+
+        A full (bounded) queue drops the record *visibly*: the drop is
+        counted, marked with a ``kv.repl.drop`` instant, and left for
+        anti-entropy to repair — the silent-loss path this used to be.
         """
         targets = [node for node in self.replicas_for(key) if node != origin]
         if targets and origin in self.repl_queues and len(self.nodes) > 1:
-            record = wire.encode_repl_record(wire.REPL_DATA, key, value)
-            self.repl_queues[origin].try_put((targets, record, trace_ctx))
+            if version is not None:
+                record = wire.encode_vrepl_record(key, version, value)
+            else:
+                record = wire.encode_repl_record(wire.REPL_DATA, key, value)
+            if not self.repl_queues[origin].try_put(
+                    (targets, record, trace_ctx)):
+                self.repl_drops[origin] += 1
+                tracer = self.system.machine.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "kv.repl.drop", "queue full on n%d" % origin,
+                        track="n%d.kv.repl" % origin,
+                        data={"node": origin, "key": key})
 
     def shutdown(self) -> None:
         """Queue the replication shutdown sentinels (host-level).
 
         After this, run ``system.run_processes(service.handles)`` to
-        drain the fan-out queues and retire the NX ranks.
+        drain the fan-out queues and retire the NX ranks.  The
+        anti-entropy sweeper is asked to stop too; it exits after its
+        next *clean* (zero-divergence) round, so a drained run always
+        ends converged unless the sweep itself died to faults.
         """
+        self.ae_stop = True
         for node in self.nodes:
-            self.repl_queues[node].try_put(None)
+            if self.repl_queue_cap:
+                # A full bounded queue must not drop the sentinel: park
+                # it as a pending putter, delivered as the drain frees
+                # a slot (drops only ever lose data records).
+                self.repl_queues[node].put(None)
+            else:
+                self.repl_queues[node].try_put(None)
 
     # --------------------------------------------------------- figures
 

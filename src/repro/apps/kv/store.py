@@ -4,11 +4,21 @@ The *data structure* is untimed on purpose — the paper's question is
 what the communication stack costs, so the simulated time of a request
 is transport time plus an explicit apply cost the server charges with
 ``proc.compute`` (see ``server.py``), not Python dict performance.
+
+Every record also carries a version dot (``meta``), stamped
+:data:`~.replication.versions.VERSION_ZERO` on the plain default path
+so unversioned replicas that hold the same bytes also hold the same
+metadata — their Merkle digests agree without any new wire traffic.
+A key present in ``meta`` but absent from ``data`` is a tombstone: the
+versioned delete path leaves one so anti-entropy can tell "deleted
+here" from "never written here" (docs/REPLICATION.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .replication.versions import VERSION_ZERO, Version, wins
 
 __all__ = ["ShardStore"]
 
@@ -19,12 +29,25 @@ class ShardStore:
     def __init__(self, node_id: int):
         self.node_id = node_id
         self.data: Dict[str, bytes] = {}
+        self.meta: Dict[str, Version] = {}
         self.gets = 0
         self.hits = 0
         self.puts = 0
         self.deletes = 0
         self.scans = 0
         self.repl_applied = 0
+        self.repl_stale = 0
+        # The service hooks this (anti-entropy on) to keep pair Merkle
+        # trees current; None on the default path so plain runs pay no
+        # callback dispatch.
+        self.on_mutate: Optional[
+            Callable[[str, Version, Optional[bytes]], None]] = None
+
+    def _note(self, key: str, version: Version,
+              value: Optional[bytes]) -> None:
+        self.meta[key] = version
+        if self.on_mutate is not None:
+            self.on_mutate(key, version, value)
 
     def get(self, key: str) -> Optional[bytes]:
         """The value for ``key``, or None on a miss."""
@@ -34,15 +57,24 @@ class ShardStore:
             self.hits += 1
         return value
 
-    def put(self, key: str, value: bytes) -> None:
-        """Upsert ``key``."""
+    def put(self, key: str, value: bytes,
+            version: Optional[Version] = None) -> None:
+        """Upsert ``key`` (the plain path stamps :data:`VERSION_ZERO`)."""
         self.puts += 1
         self.data[key] = value
+        self._note(key, VERSION_ZERO if version is None else version, value)
 
-    def delete(self, key: str) -> bool:
-        """Remove ``key``; True if it existed."""
+    def delete(self, key: str, version: Optional[Version] = None) -> bool:
+        """Remove ``key``; True if it existed.  Leaves a tombstone."""
         self.deletes += 1
-        return self.data.pop(key, None) is not None
+        existed = self.data.pop(key, None) is not None
+        self._note(key, VERSION_ZERO if version is None else version, None)
+        return existed
+
+    def preload(self, key: str, value: bytes) -> None:
+        """Seed ``key`` without touching serving counters."""
+        self.data[key] = value
+        self._note(key, VERSION_ZERO, value)
 
     def scan(self, prefix: str, limit: int) -> List[Tuple[str, bytes]]:
         """Up to ``limit`` records with keys starting with ``prefix``,
@@ -56,13 +88,49 @@ class ShardStore:
                     break
         return out
 
-    def apply_replication(self, key: str, value: Optional[bytes]) -> None:
-        """Apply a replicated upsert (or delete when ``value`` is None)."""
-        self.repl_applied += 1
+    # ------------------------------------------------------ versions
+
+    def version_of(self, key: str) -> Version:
+        """The version dot ``key`` last committed at (ZERO if unseen)."""
+        return self.meta.get(key, VERSION_ZERO)
+
+    def assign_version(self, key: str, writer: int) -> Version:
+        """The next version a coordinated write of ``key`` should carry."""
+        return (self.version_of(key)[0] + 1, writer)
+
+    def apply_versioned(self, key: str, version: Version,
+                        value: Optional[bytes]) -> bool:
+        """Apply a versioned record through the LWW guard.
+
+        Returns True when the record won and was stored (or tombstoned);
+        stale records are rejected and counted, which is what keeps
+        concurrent replication, read repair, and anti-entropy applies
+        convergent — every replica keeps the same winner.
+        """
+        if key in self.meta and not wins(version, value,
+                                         self.meta[key],
+                                         self.data.get(key)):
+            self.repl_stale += 1
+            return False
         if value is None:
             self.data.pop(key, None)
         else:
             self.data[key] = value
+        self._note(key, version, value)
+        return True
+
+    def apply_replication(self, key: str, value: Optional[bytes],
+                          version: Optional[Version] = None) -> None:
+        """Apply a replicated upsert (or delete when ``value`` is None)."""
+        self.repl_applied += 1
+        if version is not None:
+            self.apply_versioned(key, version, value)
+            return
+        if value is None:
+            self.data.pop(key, None)
+        else:
+            self.data[key] = value
+        self._note(key, VERSION_ZERO, value)
 
     def counters(self) -> Dict[str, int]:
         """Operation counters plus the live key count."""

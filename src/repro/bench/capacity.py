@@ -37,6 +37,8 @@ class CapacityPoint:
     p95_us: float = 0.0      # defaulted last: older call sites omit it
     rejected: int = 0        # requests shed past the retry budget
     goodput: float = 0.0     # within-SLO completions per second
+    versioned_reads: int = 0  # staleness-scored GETs (consistency sweeps)
+    stale_reads: int = 0     # of those, answers an acked write superseded
 
 
 @dataclass
@@ -63,21 +65,32 @@ class CapacityResult:
         return rows
 
     def to_payload(self) -> dict:
-        """This sweep as a JSON-ready dict (points, knee, labels)."""
+        """This sweep as a JSON-ready dict (points, knee, labels).
+
+        Staleness counters appear only when the sweep armed the
+        oracle, so artifacts from sweeps that never measured them
+        (and the committed ones that predate them) keep their shape.
+        """
+        graded = any(pt.versioned_reads for pt in self.points)
+        points = []
+        for pt in self.points:
+            entry = {"offered_load": pt.offered_load,
+                     "throughput": pt.throughput,
+                     "goodput": pt.goodput,
+                     "p50_us": pt.p50_us,
+                     "p95_us": pt.p95_us,
+                     "p99_us": pt.p99_us,
+                     "rejected": pt.rejected,
+                     "errors": pt.errors}
+            if graded:
+                entry["versioned_reads"] = pt.versioned_reads
+                entry["stale_reads"] = pt.stale_reads
+            points.append(entry)
         return {
             "transport": self.transport,
             "arrival": self.arrival,
             "knee_load": self.knee_load,
-            "points": [
-                {"offered_load": pt.offered_load,
-                 "throughput": pt.throughput,
-                 "goodput": pt.goodput,
-                 "p50_us": pt.p50_us,
-                 "p95_us": pt.p95_us,
-                 "p99_us": pt.p99_us,
-                 "rejected": pt.rejected,
-                 "errors": pt.errors}
-                for pt in self.points],
+            "points": points,
         }
 
     def report(self) -> str:
@@ -161,7 +174,9 @@ def capacity_sweep(loads: Sequence[float],
             p99_us=rep.percentile(99.0),
             errors=rep.errors,
             rejected=rep.rejected,
-            goodput=rep.goodput_ops_s))
+            goodput=rep.goodput_ops_s,
+            versioned_reads=(rep.staleness or {}).get("reads", 0),
+            stale_reads=(rep.staleness or {}).get("stale", 0)))
     result.knee_load = find_knee(result.points, tail_factor=tail_factor,
                                  shortfall=shortfall)
     return result
@@ -184,6 +199,10 @@ class PairedCapacityResult:
     #: admission + retry + backpressure): the verdict then compares
     #: goodput survival past the knee rather than knee movement.
     overload: bool = False
+    #: True for a consistency pair (A = eventual + read-spreading,
+    #: B = quorum + read repair): the verdict then compares stale-read
+    #: rates — quorum must serve zero (docs/REPLICATION.md).
+    consistency: bool = False
 
     def report(self) -> str:
         """Both sweep tables plus the knee comparison verdict."""
@@ -195,7 +214,25 @@ class PairedCapacityResult:
         lines.append("B: " + self.mitigated.report())
         lines.append("")
         a, b = self.baseline.knee_load, self.mitigated.knee_load
-        if a is not None and b is not None:
+        if self.consistency:
+            # A consistency pair trades capacity for correctness on
+            # purpose; frame the knees as quorum's cost, not as a
+            # mitigation that failed to help.
+            if a is not None and b is not None:
+                lines.append("consistency cost: quorum knee at ~%.0f "
+                             "ops/s vs eventual ~%.0f" % (b, a))
+            elif b is not None:
+                lines.append("consistency cost: quorum saturates at "
+                             "~%.0f ops/s; eventual never saturated "
+                             "in range" % b)
+            elif a is not None:
+                lines.append("consistency cost: eventual saturates at "
+                             "~%.0f ops/s; quorum never saturated "
+                             "in range" % a)
+            else:
+                lines.append("consistency cost: neither mode saturated "
+                             "inside the swept range")
+        elif a is not None and b is not None:
             if b > a:
                 lines.append("verdict: mitigation moved the knee from "
                              "~%.0f to ~%.0f ops/s (+%.0f%%)"
@@ -236,6 +273,18 @@ class PairedCapacityResult:
                         "                  uncontrolled goodput past the "
                         "knee falls to %.0f ops/s"
                         % min(pt.goodput for pt in base_past))
+        if self.consistency:
+            a_reads = sum(pt.versioned_reads for pt in self.baseline.points)
+            a_stale = sum(pt.stale_reads for pt in self.baseline.points)
+            b_reads = sum(pt.versioned_reads for pt in self.mitigated.points)
+            b_stale = sum(pt.stale_reads for pt in self.mitigated.points)
+            lines.append(
+                "consistency verdict: eventual served %d stale of %d reads "
+                "(%.2f%%); quorum served %d stale of %d reads [%s]"
+                % (a_stale, a_reads,
+                   100.0 * a_stale / a_reads if a_reads else 0.0,
+                   b_stale, b_reads,
+                   "OK" if b_stale == 0 else "VIOLATED"))
         return "\n".join(lines)
 
     def to_payload(self) -> dict:
@@ -243,6 +292,7 @@ class PairedCapacityResult:
         return {
             "mode": "ab",
             "overload": self.overload,
+            "consistency": self.consistency,
             "label": self.label,
             "baseline": self.baseline.to_payload(),
             "mitigated": self.mitigated.to_payload(),
@@ -266,6 +316,9 @@ def paired_capacity_sweep(loads: Sequence[float],
                           retry_base_us: float = 50.0,
                           backpressure: bool = True,
                           slo_latency_us: float = 1000.0,
+                          consistency: bool = False,
+                          quorum_r: int = 0,
+                          quorum_w: int = 0,
                           tail_factor: float = 3.0,
                           shortfall: float = 0.9) -> PairedCapacityResult:
     """Sweep the same loads twice — mitigations off, then on.
@@ -291,6 +344,29 @@ def paired_capacity_sweep(loads: Sequence[float],
     where admission can see it (docs/OVERLOAD.md).
     """
     spec = base_spec if base_spec is not None else WorkloadSpec()
+    if consistency:
+        # The replica-correctness experiment (docs/REPLICATION.md):
+        # both sides score every GET against the newest acknowledged
+        # write.  A spreads reads over the replica set under eventual
+        # consistency — replication lag shows up as a nonzero stale
+        # rate; B pays for quorum reads and writes (R + W > N) plus
+        # read repair and must serve zero stale reads at every load.
+        eventual_spec = replace(spec, pipeline_window=1, batch_keys=1,
+                                cache_keys=0, cache_ttl_us=0.0,
+                                onesided_reads=False, read_spread=True,
+                                consistency="eventual", staleness=True)
+        quorum_spec = replace(eventual_spec, read_spread=False,
+                              consistency="quorum", read_repair=True,
+                              quorum_r=quorum_r, quorum_w=quorum_w)
+        baseline = capacity_sweep(loads, eventual_spec,
+                                  tail_factor=tail_factor,
+                                  shortfall=shortfall)
+        quorum = capacity_sweep(loads, quorum_spec,
+                                tail_factor=tail_factor,
+                                shortfall=shortfall)
+        return PairedCapacityResult(baseline=baseline, mitigated=quorum,
+                                    label=quorum_spec.consistency_label(),
+                                    consistency=True)
     if overload:
         baseline_spec = replace(spec, pipeline_window=1, batch_keys=1,
                                 cache_keys=0, cache_ttl_us=0.0,

@@ -56,6 +56,11 @@ class FaultSite:
     NIC_DMA_IN = "nic.dma_in"
     BUS_EISA = "bus.eisa"
     OPT_TIMER = "opt.timer"
+    # Application-level site: the KV replication apply loop consults it
+    # per incoming record (docs/REPLICATION.md).  Deliberately NOT in
+    # DEFAULT_SITE_KINDS — seeded hardware plans must stay stable —
+    # so torture tests schedule it with explicit Fault entries.
+    KV_REPLICA = "kv.replica"
 
 
 class FaultKind:
@@ -69,6 +74,8 @@ class FaultKind:
     DEGRADE = "degrade"    # eisa: bandwidth divided for a time window
     EARLY = "early"        # opt timer: fires immediately (premature flush)
     LATE = "late"          # opt timer: inflated timeout (sluggish flush)
+    CRASH = "crash"        # kv.replica: the apply loop discards incoming
+                           # records for duration_us (silent divergence)
 
 
 # The kinds a seeded plan draws from, per site (weights are uniform).

@@ -25,7 +25,14 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
-from ..apps.kv import KVClient, KVService, KvRejectedError, ST_ERROR, ST_OK
+from ..apps.kv import (
+    KVClient,
+    KVService,
+    KvRejectedError,
+    ST_ERROR,
+    ST_OK,
+    VERSION_ZERO,
+)
 from ..analysis import LatencyHistogram
 from ..hardware.config import MachineConfig
 from ..obs import FlightRecorder, SloMonitor, TelemetrySampler
@@ -95,7 +102,11 @@ def run_workload(spec: WorkloadSpec,
                         admit_queue=spec.admit_queue,
                         admit_deadline_us=spec.admit_deadline_us,
                         handler_cpu_us=(spec.cpu_op_us
-                                        if spec.cpu_slots > 0 else 0.0))
+                                        if spec.cpu_slots > 0 else 0.0),
+                        versioned=spec.versioned(),
+                        repl_queue_cap=spec.repl_queue_cap,
+                        antientropy=spec.antientropy,
+                        antientropy_interval_us=spec.antientropy_interval_us)
     prefill = random.Random(spec.seed * 7919 + 13)
     sizes = ValueSizeSampler(spec.value_sizes)
     service.preload({
@@ -138,14 +149,31 @@ def run_workload(spec: WorkloadSpec,
     # inter-arrival gaps while rejections exceed its target fraction.
     governor = BackpressureGovernor() if spec.backpressure else None
 
+    # Staleness accounting (``spec.staleness``): ``expected`` holds the
+    # newest dot any client's write has been *acknowledged* at, per key,
+    # snapshotted when a GET dispatches.  A read answering with an older
+    # dot than the snapshot returned a value some acknowledged write
+    # already superseded — the replication-lag reads the quorum
+    # experiment in docs/REPLICATION.md must drive to zero.
+    expected: Dict[str, tuple] = {}
+    vreads = {"reads": 0, "stale": 0}
+
     def _execute(client, op, key, size, limit):
         if op == "get":
+            snap = expected.get(key, VERSION_ZERO) if spec.staleness else None
             status, value = yield from client.get(key)
             if status == ST_OK and value:
                 if bytes(value) != value_bytes(key, len(value)):
                     client.corruptions += 1
+            if snap is not None and status != ST_ERROR:
+                vreads["reads"] += 1
+                if client.last_version < snap:
+                    vreads["stale"] += 1
         elif op == "put":
             status = yield from client.put(key, value_bytes(key, size))
+            if spec.staleness and status == ST_OK \
+                    and client.last_version > expected.get(key, VERSION_ZERO):
+                expected[key] = client.last_version
         else:
             status, _records = yield from client.scan(key, limit)
         return status
@@ -289,7 +317,11 @@ def run_workload(spec: WorkloadSpec,
                                   if host_hints is not None else None),
                               retry_budget=spec.retry_budget,
                               retry_base_us=spec.retry_base_us,
-                              retry_jitter=spec.retry_jitter)
+                              retry_jitter=spec.retry_jitter,
+                              consistency=spec.consistency,
+                              quorum_r=spec.quorum_r,
+                              quorum_w=spec.quorum_w,
+                              read_repair=spec.read_repair)
             clients.append(client)
             yield from client.connect()
             ready[0] += 1
@@ -327,6 +359,10 @@ def run_workload(spec: WorkloadSpec,
                     else:
                         _record(op, sim.now - arrival, status)
                     window["end"] = max(window["end"], sim.now)
+                    if spec.read_repair:
+                        # After the latency was recorded: repairs ride
+                        # the worker's idle gap, not the request tail.
+                        yield from client.flush_repairs()
             else:
                 rng = random.Random(spec.seed * 1_000_003 + wid)
                 quota = spec.requests // workers
@@ -344,6 +380,8 @@ def run_workload(spec: WorkloadSpec,
                     else:
                         _record(op, sim.now - issued, status)
                     window["end"] = max(window["end"], sim.now)
+                    if spec.read_repair:
+                        yield from client.flush_repairs()
                     if spec.think_us > 0.0:
                         yield sim.timeout(spec.think_us)
             yield from client.shutdown()
@@ -390,6 +428,10 @@ def run_workload(spec: WorkloadSpec,
         spec_line += " " + spec.telemetry_label()
     if spec.overloaded():
         spec_line += " " + spec.overload_label()
+    if spec.consistent():
+        # Conditional so eventually-consistent reports stay
+        # byte-identical to the zero-regression goldens.
+        spec_line += " " + spec.consistency_label()
     misses = sum(c.misses for c in clients)
     failovers = sum(c.failovers for c in clients)
     corruptions = sum(c.corruptions for c in clients)
@@ -464,6 +506,54 @@ def run_workload(spec: WorkloadSpec,
                total, spec.requests,
                "OK" if total == spec.requests else "VIOLATED"))
 
+    staleness = convergence = None
+    if spec.staleness:
+        staleness = {"reads": vreads["reads"], "stale": vreads["stale"]}
+    if spec.antientropy:
+        ae = service.ae_stats
+        convergence = {
+            "rounds": ae.rounds,
+            "repaired": ae.repaired,
+            "divergent_last": ae.divergent_last,
+            "divergent_high": ae.divergent_high,
+            "converged_at_us": ae.converged_at,
+            "sweep_failures": ae.sweep_failures,
+            "series": ae.series_payload(),
+        }
+    consistency_lines = []
+    if spec.consistent():
+        if spec.staleness:
+            reads = vreads["reads"]
+            consistency_lines.append(
+                "staleness: reads=%d stale=%d rate=%.4f"
+                % (reads, vreads["stale"],
+                   vreads["stale"] / reads if reads else 0.0))
+        if spec.versioned():
+            consistency_lines.append(
+                "repair: detected=%d repaired=%d quorum_reads=%d "
+                "quorum_writes=%d"
+                % (sum(c.stale_detected for c in clients),
+                   sum(c.repairs for c in clients),
+                   sum(c.quorum_reads for c in clients),
+                   sum(c.quorum_writes for c in clients)))
+        if spec.repl_queue_cap > 0:
+            consistency_lines.append(
+                "repl drops: queue_full=%d crash_window=%d"
+                % (sum(service.repl_drops.values()),
+                   service.repl_crash_drops))
+        if spec.antientropy:
+            ae = service.ae_stats
+            consistency_lines.append(
+                "convergence: rounds=%d repaired=%d divergent=%d "
+                "converged_at=%s"
+                % (ae.rounds, ae.repaired, ae.divergent_last,
+                   ("%.1f" % ae.converged_at)
+                   if ae.converged_at is not None else "never"))
+            if ae.series:
+                consistency_lines.append(
+                    "  series: " + " ".join(
+                        "%.0f:%d" % (t, n) for t, n in ae.series))
+
     return WorkloadReport(
         spec_line=spec_line,
         transport=spec.transport,
@@ -485,5 +575,8 @@ def run_workload(spec: WorkloadSpec,
         fault_lines=fault_lines,
         telemetry_lines=telemetry_lines,
         overload_lines=overload_lines,
+        consistency_lines=consistency_lines,
+        staleness=staleness,
+        convergence=convergence,
         spans=list(system.machine.tracer.spans) if spec.trace else None,
     )

@@ -37,9 +37,17 @@ class WorkloadReport:
     fault_lines: List[str] = field(default_factory=list)
     telemetry_lines: List[str] = field(default_factory=list)
     overload_lines: List[str] = field(default_factory=list)
+    consistency_lines: List[str] = field(default_factory=list)
     rejected: int = 0            # requests shed past the retry budget
     in_slo: int = 0              # completions within slo_latency_us
     slo_latency_us: float = 0.0  # the goodput threshold (0 = off)
+    #: Structured replica-correctness extras (None when the knobs are
+    #: off): the staleness tallies (``reads``/``stale``) and the
+    #: anti-entropy convergence record (rounds, repaired, series).
+    #: Machine-readable companions to ``consistency_lines`` for the
+    #: JSON artifacts and the consistency experiments.
+    staleness: Optional[Dict[str, int]] = None
+    convergence: Optional[dict] = None
     #: The run's recorded spans when ``spec.trace`` was set, else None.
     #: Carried for trace assembly (``python -m repro explain``) and the
     #: observability tests; never rendered into the text report, so the
@@ -104,6 +112,11 @@ class WorkloadReport:
             # reports stay byte-identical to the goldens.
             lines.append("")
             lines.extend(self.overload_lines)
+        if self.consistency_lines:
+            # Conditional, like the overload block: runs without the
+            # replica-correctness knobs keep golden-identical reports.
+            lines.append("")
+            lines.extend(self.consistency_lines)
         if self.telemetry_lines:
             # Conditional, like the fault block: telemetry-off reports
             # stay byte-identical to the zero-regression goldens.

@@ -168,6 +168,17 @@ class WorkloadSpec:
     retry_base_us: float = 100.0     # backoff base (doubles per attempt)
     retry_jitter: float = 0.5        # jitter fraction on each backoff
     backpressure: bool = False       # adaptive open-loop rate trimming
+    # Replica-correctness knobs (docs/REPLICATION.md; all default off —
+    # the defaults reproduce the eventually-consistent engine byte for
+    # byte, which the zero-regression goldens pin):
+    consistency: str = "eventual"    # "eventual" | "session" | "quorum"
+    quorum_r: int = 0                # read quorum size (0 = majority)
+    quorum_w: int = 0                # write quorum size (0 = majority)
+    read_repair: bool = False        # repair stale replicas off-path
+    staleness: bool = False          # measure the stale-read rate
+    antientropy: bool = False        # background Merkle sweeper
+    antientropy_interval_us: float = 2000.0  # gap between sweeps
+    repl_queue_cap: int = 0          # bound replication queues (0 = inf)
 
     def mitigated(self) -> bool:
         """Whether any hot-key/pipelining mitigation knob is non-default."""
@@ -202,6 +213,25 @@ class WorkloadSpec:
                    self.admit_queue, self.admit_deadline_us,
                    self.retry_budget, self.retry_base_us, self.retry_jitter,
                    int(self.backpressure)))
+
+    def versioned(self) -> bool:
+        """Whether the run needs the v3 (versioned) shard interface."""
+        return (self.consistency != "eventual" or self.read_repair
+                or self.staleness)
+
+    def consistent(self) -> bool:
+        """Whether any replica-correctness knob is non-default."""
+        return (self.versioned() or self.antientropy
+                or self.repl_queue_cap > 0)
+
+    def consistency_label(self) -> str:
+        """The spec-line suffix describing the consistency configuration."""
+        return ("consistency=%s r=%d w=%d repair=%d staleness=%d "
+                "antientropy=%d ae_interval=%g repl_cap=%d"
+                % (self.consistency, self.quorum_r, self.quorum_w,
+                   int(self.read_repair), int(self.staleness),
+                   int(self.antientropy), self.antientropy_interval_us,
+                   self.repl_queue_cap))
 
     def validate(self) -> None:
         """Raise ValueError on an inconsistent spec."""
@@ -269,6 +299,42 @@ class WorkloadSpec:
         if self.backpressure and self.arrival != "open":
             raise ValueError("backpressure governs the open-loop arrival "
                              "process only")
+        if self.consistency not in ("eventual", "session", "quorum"):
+            raise ValueError("unknown consistency mode %r"
+                             % self.consistency)
+        if self.quorum_r < 0 or self.quorum_w < 0:
+            raise ValueError("quorum_r/quorum_w must be >= 0")
+        if (self.quorum_r or self.quorum_w) and self.consistency != "quorum":
+            raise ValueError("quorum_r/quorum_w apply to quorum mode only")
+        if self.consistency == "quorum":
+            majority = self.replicas // 2 + 1
+            r = self.quorum_r or majority
+            w = self.quorum_w or majority
+            if not 1 <= r <= self.replicas or not 1 <= w <= self.replicas:
+                raise ValueError("quorum sizes must be in [1, replicas]")
+            if r + w <= self.replicas:
+                raise ValueError("quorum mode needs R + W > replicas "
+                                 "(read/write quorum intersection)")
+        if self.versioned():
+            if self.transport != "srpc":
+                raise ValueError("consistency modes need the srpc "
+                                 "transport (the v3 shard interface)")
+            if self.pipeline_window > 1 or self.batch_keys > 1:
+                raise ValueError("consistency modes compose with the "
+                                 "plain request path only "
+                                 "(pipeline_window=1, batch_keys=1)")
+            if self.onesided_reads:
+                raise ValueError("one-sided reads bypass the versioned "
+                                 "interface; disable them with "
+                                 "consistency modes")
+            if self.cache_keys > 0:
+                raise ValueError("the client cache serves unversioned "
+                                 "values; disable it with consistency "
+                                 "modes")
+        if self.antientropy_interval_us <= 0.0:
+            raise ValueError("antientropy_interval_us must be positive")
+        if self.repl_queue_cap < 0:
+            raise ValueError("repl_queue_cap must be >= 0")
         KeySampler(self.keys, self.key_distribution, self.zipf_s)
         ValueSizeSampler(self.value_sizes)
 

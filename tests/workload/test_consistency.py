@@ -1,0 +1,139 @@
+"""Workload-level consistency tests (docs/REPLICATION.md).
+
+The acceptance property of the replica-correctness subsystem, measured
+where it matters — whole workload runs with the engine's global
+staleness oracle armed:
+
+* eventual consistency with read spreading serves a *nonzero* stale
+  fraction (replication is asynchronous; a spread read can land on a
+  replica the fan-out has not reached yet);
+* quorum mode on the *same* run serves exactly zero stale reads
+  (R + W > N: every read quorum intersects the last write's ack set);
+* a capped replication queue drops records under load, and the
+  anti-entropy sweeper converges the run anyway — the report's
+  ``repl drops:``/``convergence:`` lines and the divergence series;
+* the causal tree of a read-repaired request is golden-pinned: the
+  repair span hangs off the detecting GET and runs *after* it, off the
+  request's latency path.
+"""
+
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+from repro.workload import WorkloadSpec, run_workload
+
+GOLDENS = pathlib.Path(__file__).parent / "goldens"
+
+BASE = WorkloadSpec(seed=7, transport="srpc", arrival="open",
+                    load=40000.0, concurrency=4, requests=120,
+                    keys=40, read_fraction=0.7, staleness=True)
+
+
+def _golden(name):
+    return (GOLDENS / ("%s.txt" % name)).read_text()
+
+
+def test_eventual_with_spreading_serves_stale_reads():
+    report = run_workload(replace(BASE, read_spread=True))
+    assert report.staleness is not None
+    assert report.staleness["reads"] > 0
+    assert report.staleness["stale"] > 0
+    text = report.report()
+    assert "staleness: reads=%d stale=%d" % (
+        report.staleness["reads"], report.staleness["stale"]) in text
+
+
+def test_quorum_serves_zero_stale_reads_where_eventual_does_not():
+    """The paired acceptance check (EXPERIMENTS.md): same seed, same
+    arrivals, same keys — only the consistency mode differs."""
+    eventual = run_workload(replace(BASE, read_spread=True))
+    quorum = run_workload(replace(BASE, consistency="quorum",
+                                  read_repair=True))
+    assert eventual.staleness["stale"] > 0
+    assert quorum.staleness["stale"] == 0
+    # Both oracles graded the same read mix.
+    assert quorum.staleness["reads"] == eventual.staleness["reads"]
+
+
+def test_session_mode_never_observes_stale_own_writes():
+    report = run_workload(replace(BASE, read_spread=True,
+                                  consistency="session"))
+    # Workers only read keys; the oracle grades every read against the
+    # newest acked write, and session pinning keeps each worker on the
+    # acking replica for keys it wrote.  Read-only keys can still be
+    # served stale by other replicas, so the rate only has to *drop*.
+    spread = run_workload(replace(BASE, read_spread=True))
+    assert report.staleness["stale"] <= spread.staleness["stale"]
+
+
+def test_antientropy_converges_a_lossy_run():
+    report = run_workload(replace(BASE, read_spread=True,
+                                  repl_queue_cap=2, antientropy=True,
+                                  antientropy_interval_us=1000.0))
+    conv = report.convergence
+    assert conv is not None
+    assert conv["rounds"] > 0
+    assert conv["divergent_last"] == 0
+    assert conv["converged_at_us"] is not None
+    assert conv["sweep_failures"] == 0
+    # The divergence series ends at zero — the convergence-over-time
+    # record the CI artifact ships.
+    assert conv["series"], "sweeper recorded no rounds"
+    assert conv["series"][-1]["divergent"] == 0
+    text = report.report()
+    assert "repl drops: queue_full=" in text
+    assert "convergence: rounds=%d" % conv["rounds"] in text
+    # The replication queues, the drop counter, and the sweeper all
+    # surface as metrics rows in the report's utilization table.
+    assert "kv-repl-q-n0" in text
+    assert "kv-repl-drops" in text
+    assert "kv-antientropy" in text
+
+
+REPAIR_TREE_SPEC = replace(BASE, requests=60, read_spread=True,
+                           read_repair=True, trace=True)
+
+
+def test_repair_tree_hangs_repair_off_the_detecting_get():
+    """The causal tree of a repaired request is golden-pinned: the
+    ``kv.repair`` span is a leaf, joined to the GET that detected the
+    stale replica, and *starts after the GET finished* — repair rides
+    the worker's idle gap, never the request's latency path."""
+    from repro.obs import assemble_traces, format_tree
+
+    report = run_workload(REPAIR_TREE_SPEC)
+    trees = assemble_traces(report.spans)
+    repaired = [tree for _tid, tree in sorted(trees.items())
+                if any(s.category == "kv.repair" for s in tree.spans)]
+    assert repaired, "run produced no read repair"
+    for tree in repaired:
+        gets = [s for s in tree.spans if s.category == "kv.client"]
+        for span in tree.spans:
+            if span.category != "kv.repair":
+                continue
+            assert not tree.children.get(span.sid), \
+                "repair span has children"
+            assert all(span.start >= g.end for g in gets), \
+                "repair ran on the latency path"
+    assert format_tree(repaired[0]) + "\n" == _golden("repair_tree")
+
+
+@pytest.mark.parametrize("kwargs,hint", [
+    (dict(consistency="strong"), "unknown consistency"),
+    (dict(quorum_r=1), "quorum mode only"),
+    (dict(consistency="quorum", quorum_r=1, quorum_w=1),
+     "quorum intersection"),
+    (dict(consistency="quorum", quorum_r=3), "quorum sizes"),
+    (dict(consistency="session", pipeline_window=4), "plain request"),
+    (dict(consistency="session", cache_keys=8), "cache"),
+    (dict(consistency="session", onesided_reads=True), "one-sided"),
+    (dict(consistency="session", transport="sockets",
+          read_fraction=0.5), "srpc"),
+    (dict(antientropy_interval_us=0.0), "must be positive"),
+    (dict(repl_queue_cap=-1), ">= 0"),
+])
+def test_inconsistent_consistency_specs_are_rejected(kwargs, hint):
+    with pytest.raises(ValueError, match=hint):
+        replace(BASE, **kwargs).validate()

@@ -42,8 +42,9 @@ def test_closed_loop_mixed_report_is_byte_identical():
 
 
 def test_explicit_default_knobs_match_golden_too():
-    """Passing the mitigation AND overload defaults explicitly is the
-    same engine configuration as not mentioning them at all."""
+    """Passing the mitigation, overload, and consistency defaults
+    explicitly is the same engine configuration as not mentioning them
+    at all."""
     from dataclasses import replace
     spec = replace(SPECS["open_srpc_seed1"], pipeline_window=1,
                    batch_keys=1, cache_keys=0, cache_ttl_us=0.0,
@@ -51,7 +52,10 @@ def test_explicit_default_knobs_match_golden_too():
                    cpu_slots=0, cpu_op_us=10.0, admission=False,
                    admit_queue=32, admit_deadline_us=0.0,
                    retry_budget=0, retry_base_us=100.0, retry_jitter=0.5,
-                   backpressure=False, slo_latency_us=0.0)
+                   backpressure=False, slo_latency_us=0.0,
+                   consistency="eventual", quorum_r=0, quorum_w=0,
+                   read_repair=False, staleness=False, antientropy=False,
+                   antientropy_interval_us=2000.0, repl_queue_cap=0)
     text = run_workload(spec).report()
     assert text + "\n" == _golden("open_srpc_seed1")
 
