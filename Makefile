@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json capacity-consistency-json onesided-demo overload-demo antientropy-demo antientropy-json clean
+.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json capacity-consistency-json onesided-demo overload-demo antientropy-demo antientropy-json bench-sim-json record-replay-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -67,6 +67,20 @@ onesided-demo:
 # goodput: report lines and the conservation invariant.
 overload-demo:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro workload --seed 11 --requests 2000 --concurrency 16 --load 80000 --cpu-slots 1 --cpu-op-us 50 --slo-latency 1000 --admission --admit-queue 8 --admit-deadline 400 --retry-budget 1 --retry-base 50 --backpressure
+
+# Engine-speed artifact (docs/SIMULATOR.md): raw dispatch events/sec
+# plus capacity-workload wall time, with seed-engine baselines and the
+# measurement methodology embedded.  QUICK=--quick for a CI smoke pass.
+bench-sim-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.bench.simspeed --json BENCH_sim.json $${QUICK:-}
+
+# The runnable examples from docs/WORKLOADS.md "Record & replay", at
+# doc-exact arguments: freeze a stream, replay it verbatim, then a
+# paired A/B over the one-sided bypass on the same offered traffic.
+record-replay-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro record --out stream.json --seed 11 --requests 400 --load 40000
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro replay --stream stream.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro replay --stream stream.json --ab onesided_reads=true
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -202,6 +202,132 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _coerce_spec_field(name: str, raw: str):
+    """Coerce a ``field=value`` CLI override to the spec field's type."""
+    import dataclasses
+
+    from .workload import WorkloadSpec
+
+    types = {f.name: f.type for f in dataclasses.fields(WorkloadSpec)}
+    if name not in types:
+        raise SystemExit("unknown WorkloadSpec field %r" % name)
+    kind = str(types[name])
+    if "bool" in kind:
+        if raw.lower() in ("1", "true", "yes", "on"):
+            return True
+        if raw.lower() in ("0", "false", "no", "off"):
+            return False
+        raise SystemExit("boolean field %s takes true/false, not %r"
+                         % (name, raw))
+    if "int" in kind:
+        return int(raw)
+    if "float" in kind:
+        return float(raw)
+    if "str" in kind:
+        return raw
+    raise SystemExit("field %s cannot be set from the command line" % name)
+
+
+def _spec_overrides(pairs):
+    """Parse repeated ``field=value`` arguments into a replace() dict."""
+    overrides = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit("expected field=value, got %r" % pair)
+        name, raw = pair.split("=", 1)
+        overrides[name] = _coerce_spec_field(name, raw)
+    return overrides
+
+
+def _cmd_record(args) -> int:
+    from .workload import (WorkloadSpec, diurnal, flash_crowd,
+                           record_stream, save_stream, skew_shift)
+
+    spec = WorkloadSpec(
+        seed=args.seed, arrival=args.arrival, load=args.load,
+        concurrency=args.concurrency, requests=args.requests,
+        keys=args.keys, read_fraction=args.read_fraction,
+        scan_fraction=args.scan_fraction, key_distribution=args.dist,
+        zipf_s=args.zipf_s)
+    stream = record_stream(spec)
+    for scenario in args.scenario or []:
+        if scenario == "flash_crowd":
+            stream = flash_crowd(stream, start_us=args.flash_at,
+                                 duration_us=args.flash_duration,
+                                 factor=args.flash_factor)
+        elif scenario == "diurnal":
+            stream = diurnal(stream, period_us=args.diurnal_period,
+                             amplitude=args.diurnal_amplitude)
+        else:
+            stream = skew_shift(stream, at_request=args.shift_at,
+                                key_distribution=args.shift_dist,
+                                zipf_s=args.shift_zipf_s)
+    save_stream(stream, args.out)
+    print(stream.describe())
+    print("wrote %s" % args.out)
+    return 0
+
+
+def _replay_spec(args, stream):
+    """The replay spec: stream provenance + CLI serving overrides."""
+    import dataclasses
+
+    from .workload import WorkloadSpec
+
+    meta = stream.meta
+    spec = WorkloadSpec(
+        seed=int(meta.get("seed", 1)),
+        arrival=stream.arrival,
+        load=float(meta.get("load", 20000.0)),
+        concurrency=int(meta.get("concurrency", 8)),
+        requests=len(stream),
+        keys=int(meta.get("keys", 200)),
+        read_fraction=float(meta.get("read_fraction", 0.90)),
+        scan_fraction=float(meta.get("scan_fraction", 0.0)),
+        key_distribution=str(meta.get("key_distribution", "zipf")),
+        zipf_s=float(meta.get("zipf_s", 1.1)))
+    overrides = _spec_overrides(args.set)
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    return spec
+
+
+def _cmd_replay(args) -> int:
+    import dataclasses
+
+    from .workload import load_stream, run_workload
+
+    stream = load_stream(args.stream)
+    print(stream.describe())
+    print()
+    spec = _replay_spec(args, stream)
+    report_a = run_workload(spec, stream=stream)
+    if not args.ab:
+        print(report_a.report())
+        return 0
+    spec_b = dataclasses.replace(spec, **_spec_overrides(args.ab))
+    report_b = run_workload(spec_b, stream=stream)
+    print("== A: baseline ==")
+    print(report_a.report())
+    print()
+    print("== B: %s ==" % " ".join(args.ab))
+    print(report_b.report())
+    print()
+    print("== paired A/B (same offered traffic, request for request) ==")
+    rows = [["metric", "A", "B"]]
+    rows.append(["completed", "%d" % report_a.completed,
+                 "%d" % report_b.completed])
+    rows.append(["errors", "%d" % report_a.errors, "%d" % report_b.errors])
+    rows.append(["throughput ops/s", "%.0f" % report_a.throughput_ops_s,
+                 "%.0f" % report_b.throughput_ops_s])
+    for p in (50.0, 95.0, 99.0):
+        rows.append(["p%g us" % p, "%.1f" % report_a.percentile(p),
+                     "%.1f" % report_b.percentile(p)])
+    from .bench.report import format_table
+    print("\n".join(format_table(rows)))
+    return 0
+
+
 def _cmd_capacity(args) -> int:
     import json
 
@@ -606,6 +732,66 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="faults in the armed plan")
     workload.add_argument("--fault-horizon", type=float, default=4000.0,
                           help="fault schedule horizon (us)")
+    record = sub.add_parser(
+        "record",
+        help="freeze a workload's request stream into a JSON artifact",
+    )
+    record.add_argument("--out", default="stream.json", metavar="PATH",
+                        help="stream artifact output path")
+    record.add_argument("--seed", type=int, default=1,
+                        help="sampler seed (same seed => same stream)")
+    record.add_argument("--arrival", choices=["open", "closed"],
+                        default="open", help="arrival process to freeze")
+    record.add_argument("--load", type=float, default=20000.0,
+                        help="open-loop offered load (ops/s)")
+    record.add_argument("--concurrency", type=int, default=8,
+                        help="worker processes the stream is shaped for")
+    record.add_argument("--requests", type=int, default=400,
+                        help="total requests")
+    record.add_argument("--keys", type=int, default=200,
+                        help="keyspace size")
+    record.add_argument("--read-fraction", type=float, default=0.90,
+                        help="fraction of requests that are GETs")
+    record.add_argument("--scan-fraction", type=float, default=0.0,
+                        help="fraction that are scans")
+    record.add_argument("--dist", choices=["zipf", "uniform"],
+                        default="zipf", help="key popularity")
+    record.add_argument("--zipf-s", type=float, default=1.1,
+                        help="Zipf skew exponent")
+    record.add_argument("--scenario", action="append",
+                        choices=["flash_crowd", "diurnal", "skew_shift"],
+                        help="shape the stream (repeatable, applied in "
+                             "order; see docs/WORKLOADS.md)")
+    record.add_argument("--flash-at", type=float, default=5000.0,
+                        help="flash crowd: surge start (us)")
+    record.add_argument("--flash-duration", type=float, default=3000.0,
+                        help="flash crowd: surge length (us)")
+    record.add_argument("--flash-factor", type=float, default=4.0,
+                        help="flash crowd: arrival-rate multiplier")
+    record.add_argument("--diurnal-period", type=float, default=10000.0,
+                        help="diurnal: sinusoid period (us)")
+    record.add_argument("--diurnal-amplitude", type=float, default=0.6,
+                        help="diurnal: load swing fraction in [0, 1)")
+    record.add_argument("--shift-at", type=int, default=200,
+                        help="skew shift: request index of the hot-set cut")
+    record.add_argument("--shift-dist", choices=["zipf", "uniform"],
+                        default="zipf",
+                        help="skew shift: post-cut key distribution")
+    record.add_argument("--shift-zipf-s", type=float, default=1.1,
+                        help="skew shift: post-cut Zipf exponent")
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded stream verbatim (optionally as a "
+             "paired A/B)",
+    )
+    replay.add_argument("--stream", required=True, metavar="PATH",
+                        help="stream artifact from 'record'")
+    replay.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                        help="override a WorkloadSpec field for the run "
+                             "(repeatable), e.g. --set transport=sockets")
+    replay.add_argument("--ab", action="append", metavar="FIELD=VALUE",
+                        help="run twice on the same stream: baseline vs "
+                             "these overrides (repeatable)")
     capacity = sub.add_parser(
         "capacity",
         help="sweep offered load vs tail latency and find the knee",
@@ -764,6 +950,10 @@ def main(argv=None) -> int:
         return _cmd_faults(args)
     if args.command == "workload":
         return _cmd_workload(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "capacity":
         return _cmd_capacity(args)
     if args.command == "antientropy":

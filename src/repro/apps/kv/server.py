@@ -136,7 +136,7 @@ class _ShardImpl:
         # only cpu modeling is enabled (docs/OVERLOAD.md).
         self.admission = service.admission.get(node_id)
 
-    def _admit(self, lane, cost):
+    def _admit(self, lane, cost, defer=False):
         """Charge the op's CPU cost, through admission when enabled.
 
         Generator returning False when the request was shed — the
@@ -144,11 +144,21 @@ class _ShardImpl:
         With admission off this is exactly the historical
         ``proc.compute(cost)`` (contended only if the CPU scheduler is
         on), so the default path stays byte-identical.
+
+        ``defer=True`` is set by read-only handlers whose remaining
+        work until the reply write is pure (store lookup + encode): the
+        charge then rides the reply write's deadline via
+        :meth:`~repro.kernel.process.UserProcess.charge`, saving a wake
+        at a bit-exact instant.  Mutating handlers must not defer —
+        their replication enqueue would run before the charge elapsed.
         """
         if self.admission is not None:
             ok = yield from self.admission.admit(self.proc, lane, cost)
             return ok
-        yield from self.proc.compute(cost, priority=lane)
+        if defer and self.proc.node.cpu is None:
+            self.proc.charge(cost)
+        else:
+            yield from self.proc.compute(cost, priority=lane)
         return True
 
     def _op_span(self, name):
@@ -170,7 +180,8 @@ class _ShardImpl:
                             data=data)
 
     def get(self, key):
-        ok = yield from self._admit(LANE_CHEAP, self.service.op_cost(0))
+        ok = yield from self._admit(LANE_CHEAP, self.service.op_cost(0),
+                                    defer=True)
         if not ok:
             return bytes([wire.ST_REJECTED])
         span = self._op_span("get")
@@ -257,7 +268,8 @@ class _ShardImpl:
 
     def vget(self, key):
         """GET with the record's version dot (status, version, value)."""
-        ok = yield from self._admit(LANE_CHEAP, self.service.op_cost(0))
+        ok = yield from self._admit(LANE_CHEAP, self.service.op_cost(0),
+                                    defer=True)
         if not ok:
             return bytes([wire.ST_REJECTED]) + pack_version(VERSION_ZERO)
         span = self._op_span("vget")

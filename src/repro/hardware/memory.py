@@ -39,13 +39,14 @@ class Watch:
     :meth:`PhysicalMemory.remove_watch`.
     """
 
-    __slots__ = ("start", "length", "callback", "active")
+    __slots__ = ("start", "length", "callback", "active", "_id")
 
     def __init__(self, start: int, length: int, callback: Callable[[int, int], None]):
         self.start = start
         self.length = length
         self.callback = callback
         self.active = True
+        self._id = 0  # registration order, set by PhysicalMemory.add_watch
 
     def overlaps(self, paddr: int, nbytes: int) -> bool:
         """Does a write at ``paddr`` of ``nbytes`` touch this watch?"""
@@ -61,7 +62,14 @@ class PhysicalMemory:
         self.size = config.memory_bytes
         self.page_size = config.page_size
         self._pages: Dict[int, bytearray] = {}
-        self._watches: List[Watch] = []
+        # Watches are bucketed by the page(s) they span, so a write only
+        # scans the watchers of the pages it touches (pollers register
+        # and remove watches every sleep, and writes far outnumber
+        # matches).  ``_watch_count``/``_watch_seq`` keep the public
+        # count and the deterministic registration order.
+        self._watch_pages: Dict[int, List[Watch]] = {}
+        self._watch_count = 0
+        self._watch_seq = 0
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -85,14 +93,24 @@ class PhysicalMemory:
     # -- access --------------------------------------------------------------
     def read(self, paddr: int, nbytes: int) -> bytes:
         """Read ``nbytes`` starting at ``paddr`` (may span pages)."""
-        self._check(paddr, nbytes)
+        if nbytes < 0 or paddr < 0 or paddr + nbytes > self.size:
+            self._check(paddr, nbytes)
         self.bytes_read += nbytes
+        page_size = self.page_size
+        page_number, page_offset = divmod(paddr, page_size)
+        if page_offset + nbytes <= page_size:
+            # Fast path: the read sits inside one page (flag polls and
+            # small transfers, i.e. almost everything).
+            page = self._pages.get(page_number)
+            if page is None:
+                return bytes(nbytes)
+            return bytes(page[page_offset : page_offset + nbytes])
         out = bytearray(nbytes)
         offset = 0
         while offset < nbytes:
             addr = paddr + offset
-            page_number, page_offset = divmod(addr, self.page_size)
-            chunk = min(nbytes - offset, self.page_size - page_offset)
+            page_number, page_offset = divmod(addr, page_size)
+            chunk = min(nbytes - offset, page_size - page_offset)
             page = self._pages.get(page_number)
             if page is not None:
                 out[offset : offset + chunk] = page[page_offset : page_offset + chunk]
@@ -102,24 +120,58 @@ class PhysicalMemory:
     def write(self, paddr: int, data: bytes) -> None:
         """Store ``data`` at ``paddr`` and fire overlapping watches."""
         nbytes = len(data)
-        self._check(paddr, nbytes)
+        if nbytes < 0 or paddr < 0 or paddr + nbytes > self.size:
+            self._check(paddr, nbytes)
         self.bytes_written += nbytes
-        offset = 0
-        while offset < nbytes:
-            addr = paddr + offset
-            page_number, page_offset = divmod(addr, self.page_size)
-            chunk = min(nbytes - offset, self.page_size - page_offset)
-            self._page(page_number)[page_offset : page_offset + chunk] = data[
-                offset : offset + chunk
-            ]
-            offset += chunk
-        if self._watches:
+        page_size = self.page_size
+        page_number, page_offset = divmod(paddr, page_size)
+        if page_offset + nbytes <= page_size:
+            page = self._pages.get(page_number)
+            if page is None:
+                page = bytearray(page_size)
+                self._pages[page_number] = page
+            page[page_offset : page_offset + nbytes] = data
+        else:
+            offset = 0
+            while offset < nbytes:
+                addr = paddr + offset
+                page_number, page_offset = divmod(addr, page_size)
+                chunk = min(nbytes - offset, page_size - page_offset)
+                self._page(page_number)[page_offset : page_offset + chunk] = data[
+                    offset : offset + chunk
+                ]
+                offset += chunk
+        if self._watch_count:
             self._fire_watches(paddr, nbytes)
 
     def _fire_watches(self, paddr: int, nbytes: int) -> None:
-        # Copy: callbacks may remove watches (typical: a poll that matched).
-        for watch in list(self._watches):
-            if watch.active and watch.overlaps(paddr, nbytes):
+        first_page = paddr // self.page_size
+        last_page = (paddr + nbytes - 1) // self.page_size if nbytes else first_page
+        watch_pages = self._watch_pages
+        if last_page == first_page:
+            bucket = watch_pages.get(first_page)
+            if not bucket:
+                return
+            matches = [w for w in bucket
+                       if w.active and w.start < paddr + nbytes
+                       and paddr < w.start + w.length]
+        else:
+            matches = []
+            for page in range(first_page, last_page + 1):
+                bucket = watch_pages.get(page)
+                if bucket:
+                    matches.extend(
+                        w for w in bucket
+                        if w.active and w.start < paddr + nbytes
+                        and paddr < w.start + w.length)
+            if len(matches) > 1:
+                # A watch spanning a page boundary appears in several
+                # buckets; fire each watch once, in registration order.
+                matches = sorted(set(matches), key=lambda w: w._id)
+        # Callbacks may add/remove watches (typical: a poll that
+        # matched); ``matches`` is already a private snapshot.
+        for watch in matches:
+            if watch.active:
                 watch.callback(paddr, nbytes)
 
     # -- watches ---------------------------------------------------------------
@@ -129,20 +181,40 @@ class PhysicalMemory:
         """Watch writes to ``[paddr, paddr+nbytes)``."""
         self._check(paddr, nbytes)
         watch = Watch(paddr, nbytes, callback)
-        self._watches.append(watch)
+        self._watch_seq += 1
+        watch._id = self._watch_seq
+        first_page = paddr // self.page_size
+        last_page = (paddr + nbytes - 1) // self.page_size if nbytes else first_page
+        for page in range(first_page, last_page + 1):
+            bucket = self._watch_pages.get(page)
+            if bucket is None:
+                bucket = self._watch_pages[page] = []
+            bucket.append(watch)
+        self._watch_count += 1
         return watch
 
     def remove_watch(self, watch: Watch) -> None:
         """Deregister a watch (harmless if already removed)."""
+        if not watch.active:
+            return
         watch.active = False
-        try:
-            self._watches.remove(watch)
-        except ValueError:
-            pass
+        self._watch_count -= 1
+        first_page = watch.start // self.page_size
+        end = watch.start + watch.length
+        last_page = (end - 1) // self.page_size if watch.length else first_page
+        for page in range(first_page, last_page + 1):
+            bucket = self._watch_pages.get(page)
+            if bucket is not None:
+                try:
+                    bucket.remove(watch)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._watch_pages[page]
 
     @property
     def watch_count(self) -> int:
-        return len(self._watches)
+        return self._watch_count
 
     @property
     def resident_pages(self) -> int:

@@ -172,8 +172,13 @@ class DeliberateUpdateEngine:
     def _run(self):
         cfg = self.config
         track = "n%d.nic.du" % self.node_id
+        commands = self.commands
+        empty = object()
         while True:
-            command = yield self.commands.get()
+            # Queued-command fast path (see IncomingEngine._run).
+            command = commands.try_get(empty)
+            if command is empty:
+                command = yield commands.get()
             self._busy_since = self.sim.now
             if self.injector.enabled:
                 fault = self.injector.draw(FaultSite.NIC_DU, node=self.node_id)
@@ -187,8 +192,8 @@ class DeliberateUpdateEngine:
                         self.aborts += 1
                         self.tracer.log(
                             "fault",
-                            "n%d DU command %dB ABORTED by fault"
-                            % (self.node_id, command.size),
+                            "n%d DU command %dB ABORTED by fault",
+                            self.node_id, command.size,
                         )
                         command.done.fail(VmmcTransferError(
                             "deliberate update of %d bytes aborted by the "
@@ -205,16 +210,27 @@ class DeliberateUpdateEngine:
                     "nic.du", "du %dB" % command.size, track=track,
                     data={"bytes": command.size},
                 )
-            yield self.sim.timeout(cfg.du_engine_setup)
             reader = _SegmentReader(self.memory, command.src_segments)
             offset = command.offset
             remaining = command.size
+            if remaining <= 0:  # degenerate command: charge setup alone
+                yield self.sim.timeout(cfg.du_engine_setup)
+            first = True
             while remaining > 0:
                 # Chunk at both the packet-size bound and destination page
                 # boundaries so each packet maps through one OPT entry.
                 page_room = cfg.page_size - (offset % cfg.page_size)
                 chunk = min(remaining, cfg.max_packet_payload, page_room)
-                yield self.sim.timeout(cfg.du_dma_read_setup)
+                if first:
+                    # Engine setup and the first chunk's read setup are
+                    # back-to-back sleeps with no side effects between
+                    # them: one wake, bit-exact deadline arithmetic.
+                    first = False
+                    yield self.sim.timeout_at(
+                        (self.sim.now + cfg.du_engine_setup)
+                        + cfg.du_dma_read_setup)
+                else:
+                    yield self.sim.timeout(cfg.du_dma_read_setup)
                 yield self.eisa.transfer(chunk)
                 data = reader.read(chunk)
                 entry = self.opt.proxy_entry(command.opt_base + offset // cfg.page_size)
@@ -291,6 +307,10 @@ class IncomingDmaEngine:
 
     def deliver(self, packet) -> None:
         """Entry point wired to the mesh: a packet reached this NIC."""
+        if self.incoming.try_put(packet):
+            return
+        # Queue full: fall back to a blocking putter process so the
+        # packet enters the store in FIFO order once space frees.
         def putter():
             yield self.incoming.put(packet)
 
@@ -313,8 +333,14 @@ class IncomingDmaEngine:
 
     def _run(self):
         cfg = self.config
+        incoming = self.incoming
+        empty = object()
         while True:
-            packet = yield self.incoming.get()
+            # Buffered-packet fast path: skip the scheduler round-trip a
+            # yield on an already-triggered get event would cost.
+            packet = incoming.try_get(empty)
+            if packet is empty:
+                packet = yield incoming.get()
             if self.injector.enabled:
                 fault = self.injector.draw(FaultSite.NIC_DMA_IN, node=self.node_id)
                 if fault is not None:
@@ -327,7 +353,8 @@ class IncomingDmaEngine:
                 yield from self._serve_remote_read(packet)
                 continue
             grant = self.arbiter.request(priority=INCOMING_PRIORITY)
-            yield grant
+            if not grant.triggered:
+                yield grant
             span = None
             if self.tracer.enabled:
                 span = self.tracer.begin(
@@ -335,7 +362,19 @@ class IncomingDmaEngine:
                     track="n%d.nic.in" % self.node_id,
                     data={"bytes": packet.size, "src_node": packet.src_node},
                 )
-            yield self.sim.timeout(cfg.ipt_lookup)
+            # Steady-state fast path: the IPT already enables the range,
+            # so the lookup and DMA-setup delays collapse into a single
+            # wake.  The deadline repeats the two-sleep float arithmetic
+            # ((now + lookup) + setup), so the landing instant is
+            # bit-exact; the check is re-run after the wake in case the
+            # kernel revoked the mapping while the engine slept (the
+            # setup charge is not repeated on that rare fault path).
+            fast = self.ipt.check_range(packet.dst_paddr, packet.size)
+            if fast:
+                yield self.sim.timeout_at(
+                    (self.sim.now + cfg.ipt_lookup) + cfg.incoming_dma_setup)
+            else:
+                yield self.sim.timeout(cfg.ipt_lookup)
             discarded = False
             while not self.ipt.check_range(packet.dst_paddr, packet.size):
                 # Page not enabled: freeze the receive datapath and
@@ -347,7 +386,8 @@ class IncomingDmaEngine:
                 self.faults += 1
                 self._unfreeze = self.sim.event("unfreeze-n%d" % self.node_id)
                 fault = ReceiveFault(self.node_id, packet.dst_paddr, packet.size, packet.src_node)
-                self.tracer.log("fault", "n%d receive fault at %#x" % (self.node_id, packet.dst_paddr))
+                self.tracer.log("fault", "n%d receive fault at %#x",
+                                self.node_id, packet.dst_paddr)
                 if self.fault_handler is None:
                     self.arbiter.release(grant)
                     raise RuntimeError(
@@ -365,7 +405,8 @@ class IncomingDmaEngine:
                 self.tracer.end(span, data={"discarded": True})
                 self.arbiter.release(grant)
                 continue
-            yield self.sim.timeout(cfg.incoming_dma_setup)
+            if not fast:
+                yield self.sim.timeout(cfg.incoming_dma_setup)
             yield self.eisa.transfer(packet.size)
             self.memory.write(packet.dst_paddr, packet.payload)
             if self.shadow is not None:
@@ -375,9 +416,8 @@ class IncomingDmaEngine:
             self.packets_received += 1
             self.bytes_received += packet.size
             self.tracer.log(
-                "dma-in",
-                "n%d landed #%d %dB at %#x"
-                % (self.node_id, packet.seq, packet.size, packet.dst_paddr),
+                "dma-in", "n%d landed #%d %dB at %#x",
+                self.node_id, packet.seq, packet.size, packet.dst_paddr,
             )
             self.tracer.end(span)
             self.arbiter.release(grant)
@@ -417,9 +457,8 @@ class IncomingDmaEngine:
         if request is None:
             self.read_requests_dropped += 1
             self.tracer.log(
-                "dma-in",
-                "n%d dropped malformed read request from n%d"
-                % (self.node_id, packet.src_node),
+                "dma-in", "n%d dropped malformed read request from n%d",
+                self.node_id, packet.src_node,
             )
             return
         span = None
@@ -435,10 +474,9 @@ class IncomingDmaEngine:
         if not self.ipt.check_range(request.src_paddr, request.nbytes):
             self.read_requests_denied += 1
             self.tracer.log(
-                "dma-in",
-                "n%d denied read request at %#x (+%d) from n%d"
-                % (self.node_id, request.src_paddr, request.nbytes,
-                   packet.src_node),
+                "dma-in", "n%d denied read request at %#x (+%d) from n%d",
+                self.node_id, request.src_paddr, request.nbytes,
+                packet.src_node,
             )
             self.tracer.end(span, data={"denied": True})
             return
@@ -484,7 +522,8 @@ class IncomingDmaEngine:
             self.read_requests_shadowed += 1
         else:
             grant = self.arbiter.request(priority=INCOMING_PRIORITY)
-            yield grant
+            if not grant.triggered:
+                yield grant
             if header_size + request.nbytes <= cfg.max_packet_payload:
                 # Header and data ride one packet, delivered (and
                 # written to the reply buffer) atomically — the common
@@ -522,9 +561,8 @@ class IncomingDmaEngine:
         self.read_requests_served += 1
         self.read_reply_bytes += request.nbytes
         self.tracer.log(
-            "dma-in",
-            "n%d served read request %#x +%d -> n%d%s"
-            % (self.node_id, request.src_paddr, request.nbytes,
-               packet.src_node, " (shadow)" if shadowed is not None else ""),
+            "dma-in", "n%d served read request %#x +%d -> n%d%s",
+            self.node_id, request.src_paddr, request.nbytes,
+            packet.src_node, " (shadow)" if shadowed is not None else "",
         )
         self.tracer.end(span, data={"shadow": shadowed is not None})

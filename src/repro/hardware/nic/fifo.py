@@ -39,6 +39,10 @@ class OutgoingFifo:
         """Dequeue the oldest packet (the arbiter/injection side)."""
         return self._store.get()
 
+    def try_get(self, default=None):
+        """Non-blocking dequeue; ``default`` when the FIFO is empty."""
+        return self._store.try_get(default)
+
     def __len__(self) -> int:
         return len(self._store)
 

@@ -147,8 +147,13 @@ class NetworkInterface:
         """
         cfg = self.config
         track = "n%d.nic.inject" % self.node_id
+        fifo = self.fifo
+        empty = object()
         while True:
-            packet = yield self.fifo.get()
+            # Buffered-packet fast path (see IncomingEngine._run).
+            packet = fifo.try_get(empty)
+            if packet is empty:
+                packet = yield fifo.get()
             span = None
             if self.tracer.enabled:
                 span = self.tracer.begin(
@@ -156,10 +161,11 @@ class NetworkInterface:
                     track=track, data={"bytes": packet.size},
                 )
             grant = self.arbiter.request(priority=OUTGOING_PRIORITY)
-            yield grant
+            if not grant.triggered:
+                yield grant
             yield self.sim.timeout(cfg.nic_injection_latency)
             self.tracer.log(
-                "inject", "n%d injected #%d" % (self.node_id, packet.seq)
+                "inject", "n%d injected #%d", self.node_id, packet.seq
             )
             self.mesh.inject(packet)
             self.tracer.end(span)

@@ -28,6 +28,7 @@ from ..config import MachineConfig
 from ..router.packet import Packet, PacketKind
 from .fifo import OutgoingFifo
 from .opt import OPTEntry, effective_timer
+from ...sim.timers import IdleTimer
 
 __all__ = ["Packetizer"]
 
@@ -72,7 +73,7 @@ class Packetizer:
         self.tracer = tracer or Tracer(sim)
         self.faults = faults or FaultInjector(sim)
         self._open: Optional[_OpenPacket] = None
-        self._timer_armed = False
+        self._timer = IdleTimer(sim, self._timer_probe, self._close_open)
         self._last_enqueue_at = 0.0
         self.packets_formed = 0
         self.combined_writes = 0
@@ -161,28 +162,17 @@ class Packetizer:
 
     # -- timer ---------------------------------------------------------------------
     def _arm_timer(self) -> None:
-        if self._timer_armed or self._open is None:
+        if self._open is None:
             return
-        self._timer_armed = True
-        self.sim.schedule_call(self._open.timeout, self._timer_fired)
+        self._timer.arm(self._open.timeout)
 
-    def _timer_fired(self) -> None:
-        self._timer_armed = False
+    def _timer_probe(self):
+        # IdleTimer probe: the guarded object is the open packet; a
+        # closed or timer-less packet disarms the check entirely.
         open_packet = self._open
         if open_packet is None or not open_packet.use_timer:
-            return
-        idle = self.sim.now - open_packet.last_write
-        # The tolerance must scale with the clock: ``now - last_write``
-        # loses up to one ulp of ``now``, and at large sim times a fixed
-        # epsilon is smaller than that rounding error — the timer would
-        # then reschedule itself by a sub-ulp remainder forever.
-        tolerance = 1e-9 * max(1.0, self.sim.now)
-        if idle + tolerance >= open_packet.timeout:
-            self._close_open()
-        else:
-            # A write landed since arming; re-check after the remainder.
-            self._timer_armed = True
-            self.sim.schedule_call(open_packet.timeout - idle, self._timer_fired)
+            return None
+        return (open_packet.timeout, open_packet.last_write)
 
     def flush(self) -> None:
         """Force the open packet (if any) onto the FIFO."""
@@ -219,9 +209,9 @@ class Packetizer:
         )
         self.packets_formed += 1
         self.tracer.log(
-            "packetize",
-            "n%d formed #%d %s %dB -> n%d@%#x"
-            % (self.node_id, packet.seq, kind.value, packet.size, dst_node, dst_paddr),
+            "packetize", "n%d formed #%d %s %dB -> n%d@%#x",
+            self.node_id, packet.seq, kind.value, packet.size, dst_node,
+            dst_paddr,
         )
         # Header formation + FIFO entry take packetize_latency; AU packets
         # additionally went through the snoop/OPT lookup stage.  Enqueue
@@ -247,7 +237,12 @@ class Packetizer:
         self.sim.schedule_call(target - self.sim.now, self._enqueue, packet)
 
     def _enqueue(self, packet: Packet) -> None:
+        event = self.fifo.put(packet)
+        if event.triggered:
+            return
+        # FIFO full: park a process on the pending put so backpressure
+        # reaches the packetizer in FIFO order.
         def putter():
-            yield self.fifo.put(packet)
+            yield event
 
         spawn(self.sim, putter(), name="fifo-put-n%d" % self.node_id)

@@ -38,6 +38,10 @@ class MeshBackplane:
         # Loopback traffic still crosses the NIC/router port serially;
         # one pseudo-link per node keeps self-sends FIFO too.
         self._loopback: Dict[int, "Link"] = {}
+        # Dimension-order routing is deterministic, so the link sequence
+        # of each (src, dst) pair is computed once and cached; inject()
+        # then just walks the cached links.
+        self._paths: Dict[Tuple[int, int], List] = {}
         # Conservation counters: routed == delivered + dropped + in-flight
         # at every instant (the invariant the tests/conftest audit checks).
         self.packets_routed = 0
@@ -57,6 +61,28 @@ class MeshBackplane:
         if node_id in self._receivers:
             raise ValueError("node %d already attached" % node_id)
         self._receivers[node_id] = deliver
+
+    def _build_path(self, src_node: int, dst_node: int) -> List:
+        """The ordered links a (src, dst) packet claims, per dimension-
+        order routing (one pseudo-link for loopback)."""
+        cfg = self.config
+        if src_node == dst_node:
+            loop = self._loopback.get(src_node)
+            if loop is None:
+                from .imrc import Link
+
+                loop = Link("loopback-n%d" % src_node, cfg.link_bandwidth)
+                self._loopback[src_node] = loop
+            return [loop]
+        links: List = []
+        x, y = cfg.node_position(src_node)
+        dest_x, dest_y = cfg.node_position(dst_node)
+        while (x, y) != (dest_x, dest_y):
+            router = self.routers[(x, y)]
+            next_x, next_y = router.route_step(dest_x, dest_y)
+            links.append(router.link_to(self.routers[(next_x, next_y)]))
+            x, y = next_x, next_y
+        return links
 
     def hops(self, src_node: int, dst_node: int) -> int:
         """Manhattan hop count between two nodes' routers."""
@@ -80,23 +106,13 @@ class MeshBackplane:
         now = self.sim.now
 
         head = now + cfg.nic_link_latency
-        if packet.src_node != packet.dst_node:
-            x, y = cfg.node_position(packet.src_node)
-            dest_x, dest_y = cfg.node_position(packet.dst_node)
-            while (x, y) != (dest_x, dest_y):
-                router = self.routers[(x, y)]
-                next_x, next_y = router.route_step(dest_x, dest_y)
-                link = router.link_to(self.routers[(next_x, next_y)])
-                head = link.claim(now, head + cfg.router_hop_latency, wire_bytes)
-                x, y = next_x, next_y
-        else:
-            loop = self._loopback.get(packet.src_node)
-            if loop is None:
-                from .imrc import Link
-
-                loop = Link("loopback-n%d" % packet.src_node, cfg.link_bandwidth)
-                self._loopback[packet.src_node] = loop
-            head = loop.claim(now, head + cfg.router_hop_latency, wire_bytes)
+        hop_latency = cfg.router_hop_latency
+        path = self._paths.get((packet.src_node, packet.dst_node))
+        if path is None:
+            path = self._build_path(packet.src_node, packet.dst_node)
+            self._paths[(packet.src_node, packet.dst_node)] = path
+        for link in path:
+            head = link.claim(now, head + hop_latency, wire_bytes)
         arrival = head + wire_bytes / cfg.link_bandwidth + cfg.nic_link_latency
 
         self.packets_routed += 1
@@ -111,9 +127,8 @@ class MeshBackplane:
                     self.packets_dropped += 1
                     self.bytes_dropped += packet.size
                     self.tracer.log(
-                        "mesh",
-                        "packet #%d n%d->n%d DROPPED by fault"
-                        % (packet.seq, packet.src_node, packet.dst_node),
+                        "mesh", "packet #%d n%d->n%d DROPPED by fault",
+                        packet.seq, packet.src_node, packet.dst_node,
                     )
                     return arrival
                 if fault.kind == FaultKind.CORRUPT:
@@ -150,9 +165,9 @@ class MeshBackplane:
                       "hops": self.hops(packet.src_node, packet.dst_node)},
             )
         self.tracer.log(
-            "mesh",
-            "packet #%d n%d->n%d %dB arrives %.3f"
-            % (packet.seq, packet.src_node, packet.dst_node, packet.size, arrival),
+            "mesh", "packet #%d n%d->n%d %dB arrives %.3f",
+            packet.seq, packet.src_node, packet.dst_node, packet.size,
+            arrival,
         )
         self.sim.schedule_call(arrival - now, self._deliver, packet)
         return arrival

@@ -114,6 +114,9 @@ class Packet:
     interrupt: bool = False
     seq: int = field(default_factory=lambda: next(_SEQUENCE))
 
+    #: Payload size in bytes (fixed at construction; payload is immutable).
+    size: int = field(init=False)
+
     def __post_init__(self) -> None:
         if not self.payload:
             raise ValueError("packet must carry at least one byte")
@@ -121,11 +124,7 @@ class Packet:
         # sender's memory (the hardware latches the written data).
         if not isinstance(self.payload, bytes):
             self.payload = bytes(self.payload)
-
-    @property
-    def size(self) -> int:
-        """Payload size in bytes."""
-        return len(self.payload)
+        self.size = len(self.payload)
 
     def wire_size(self, header_bytes: int) -> int:
         """Total bytes on a link, including the header."""

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from ..hardware.config import CacheMode
 from ..hardware.node import Node
 from ..sim import Event, Simulator
+from ..sim.timers import TimerWheel
 from .signals import SignalState
 from .vm import AddressSpace
 
@@ -50,6 +51,30 @@ class UserProcess:
         # Cached likewise so libraries can gate their recovery protocols
         # on faults.enabled with one attribute check (docs/FAULTS.md).
         self.faults = node.faults
+        # Deferred CPU charge (see charge()): folded into the next timed
+        # operation's deadline instead of costing its own scheduler wake.
+        self._lead = 0.0
+        # Deadline timers for bounded polls: one wheel slot per distinct
+        # deadline, cancelled O(1) on early wake (repro.sim.timers).
+        self._wheel = TimerWheel(self.sim)
+
+    def charge(self, microseconds: float) -> None:
+        """Defer a pure CPU charge into this process's next timed op.
+
+        Semantically ``yield from compute(microseconds)`` — but instead
+        of sleeping now, the charge is folded into the deadline of the
+        next ``read``/``write``/``copy``/``poll``/``compute``, saving
+        one scheduler wake.  The deadline arithmetic repeats the
+        two-sleep float operations ((now + charge) + cost), so the
+        final instant is bit-exact with the separate-sleep form.
+
+        Only valid when ALL code between the charge and the process's
+        next timed operation is side-effect free (no stores, sends,
+        queue operations, or span emissions): anything in between runs
+        at charge time rather than after the charge elapsed.  Callers
+        are responsible for that proof (docs/SIMULATOR.md).
+        """
+        self._lead += microseconds
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<UserProcess %s on node %d>" % (self.name, self.node.node_id)
@@ -63,6 +88,16 @@ class UserProcess:
         AU-bound copy with the network — the base cost is charged once,
         per-byte cost per chunk.
         """
+        lead = self._lead
+        if lead:
+            self._lead = 0.0
+            if self.tracer.enabled:
+                # Traced runs keep the historical shape: the deferred
+                # charge sleeps on its own (exactly the compute() it
+                # replaced) so span starts, durations, and sid order
+                # are untouched by the wake merge.
+                yield self.sim.timeout_at(self.sim.now + lead)
+                lead = 0.0
         mode = self.space.cache_mode_of(vaddr)
         base, per_byte = self.config.write_rate(mode)
         span = None
@@ -71,8 +106,25 @@ class UserProcess:
                 "cpu.store", "store %dB" % len(data), track=self.trace_track,
                 data={"bytes": len(data)},
             )
-        yield self.sim.timeout(base)
-        yield from self._stream_out(vaddr, data, per_byte)
+        nbytes = len(data)
+        start = self.sim.now
+        if lead:
+            start = start + lead
+        if nbytes <= self.config.cpu_stream_chunk:
+            # Single-chunk fast path: one wake instead of two.  The
+            # deadline is computed with the same float operations the
+            # two-sleep version performs ((now + base) + n*per_byte), so
+            # the landing instant is bit-exact.
+            yield self.sim.timeout_at((start + base) + nbytes * per_byte)
+            piece = data
+            for paddr, length in self.space.translate(vaddr, nbytes, write=True):
+                sub = piece[:length]
+                self.node.memory.write(paddr, sub)
+                self.node.nic.snoop_write(paddr, sub)
+                piece = piece[length:]
+        else:
+            yield self.sim.timeout_at(start + base)
+            yield from self._stream_out(vaddr, data, per_byte)
         self.tracer.end(span)
 
     def _stream_out(self, vaddr: int, data: bytes, per_byte: float):
@@ -93,9 +145,18 @@ class UserProcess:
 
     def read(self, vaddr: int, nbytes: int):
         """Timed load of ``nbytes`` at ``vaddr``; returns the bytes."""
+        lead = self._lead
+        if lead:
+            self._lead = 0.0
+            if self.tracer.enabled:  # see write(): traced runs don't merge
+                yield self.sim.timeout_at(self.sim.now + lead)
+                lead = 0.0
         segments = self.space.translate(vaddr, nbytes, write=False)
         mode = self.space.cache_mode_of(vaddr)
-        yield self.sim.timeout(self.config.read_cost(mode, nbytes))
+        start = self.sim.now
+        if lead:
+            start = start + lead
+        yield self.sim.timeout_at(start + self.config.read_cost(mode, nbytes))
         return b"".join(self.node.memory.read(paddr, length) for paddr, length in segments)
 
     def copy(self, src_vaddr: int, dst_vaddr: int, nbytes: int):
@@ -107,6 +168,12 @@ class UserProcess:
         the freshest bytes), charging read+write per-byte costs per
         chunk and the two base costs once.
         """
+        lead = self._lead
+        if lead:
+            self._lead = 0.0
+            if self.tracer.enabled:  # see write(): traced runs don't merge
+                yield self.sim.timeout_at(self.sim.now + lead)
+                lead = 0.0
         src_mode = self.space.cache_mode_of(src_vaddr)
         dst_mode = self.space.cache_mode_of(dst_vaddr)
         read_base, read_pb = self.config.read_rate(src_mode)
@@ -117,12 +184,22 @@ class UserProcess:
                 "cpu.copy", "copy %dB" % nbytes, track=self.trace_track,
                 data={"bytes": nbytes},
             )
-        yield self.sim.timeout(read_base + write_base)
         chunk_size = self.config.cpu_stream_chunk
+        start = self.sim.now
+        if lead:
+            start = start + lead
+        if nbytes <= chunk_size:
+            # Single-chunk fast path, bit-exact with the two-sleep form.
+            yield self.sim.timeout_at(
+                (start + (read_base + write_base))
+                + nbytes * (read_pb + write_pb))
+        else:
+            yield self.sim.timeout_at(start + (read_base + write_base))
         offset = 0
         while offset < nbytes:
             length = min(chunk_size, nbytes - offset)
-            yield self.sim.timeout(length * (read_pb + write_pb))
+            if offset or nbytes > chunk_size:
+                yield self.sim.timeout(length * (read_pb + write_pb))
             data = b"".join(
                 self.node.memory.read(paddr, seg_len)
                 for paddr, seg_len in self.space.translate(
@@ -152,8 +229,24 @@ class UserProcess:
         """
         cpu = self.node.cpu
         if cpu is None or priority is None:
-            yield self.sim.timeout(microseconds)
+            lead = self._lead
+            if lead:
+                self._lead = 0.0
+                if self.tracer.enabled:  # see write(): traced, no merge
+                    yield self.sim.timeout_at(self.sim.now + lead)
+                    lead = 0.0
+            start = self.sim.now
+            if lead:
+                start = start + lead
+            yield self.sim.timeout_at(start + microseconds)
             return
+        lead = self._lead
+        if lead:
+            # Contended path: pay the deferred charge as its own sleep
+            # (exactly what the caller's separate compute() would have
+            # cost) before queueing for a CPU slot.
+            self._lead = 0.0
+            yield self.sim.timeout_at(self.sim.now + lead)
         req = cpu.request(priority)
         yield req
         try:
@@ -185,6 +278,14 @@ class UserProcess:
             self.config.read_cost(mode, nbytes) + self.config.costs.vmmc_poll_check
         )
         memory = self.node.memory
+        lead = self._lead
+        if lead:
+            self._lead = 0.0
+            if self.tracer.enabled:  # see write(): traced runs don't merge
+                yield self.sim.timeout_at(self.sim.now + lead)
+                lead = 0.0
+        sim = self.sim
+        charged = False
         while True:
             self.poll_checks += 1
             span = None
@@ -193,7 +294,13 @@ class UserProcess:
                     "cpu.poll", "poll check", track=self.trace_track,
                     data={"bytes": nbytes},
                 )
-            yield self.sim.timeout(check_cost)
+            if charged:
+                charged = False  # the watch wake already carried the charge
+            elif lead:
+                yield sim.timeout_at((sim.now + lead) + check_cost)
+                lead = 0.0
+            else:
+                yield sim.timeout(check_cost)
             data = b"".join(memory.read(paddr, length) for paddr, length in segments)
             hit = predicate(data)
             if span is not None:
@@ -202,18 +309,50 @@ class UserProcess:
                 return data
             if deadline is not None and self.sim.now >= deadline:
                 return None
-            woke = Event(self.sim, name="poll-wake")
-            watches = [
-                memory.add_watch(
-                    paddr, length,
-                    lambda p, n: None if woke.triggered else woke.succeed(None),
-                )
-                for paddr, length in segments
-            ]
-            if deadline is not None:
-                wait = self.sim.any_of([woke, self.sim.timeout(deadline - self.sim.now)])
-            else:
+            woke = Event(sim, name="poll-wake")
+            dl_handle = None
+            fast = deadline is None and not self.tracer.enabled
+            if fast:
+                # Merged wake: the watchpoint schedules the wake event
+                # to succeed at (write instant + check cost), so one
+                # scheduler entry lands the process directly past the
+                # post-wake check charge — bit-exact with
+                # wake-then-charge, one entry and one resume cheaper.
+                # The fired guard keeps further writes in the charge
+                # window from re-arming it.  Traced polls keep the
+                # two-step shape so check spans are unchanged.
+                state = [False]
+
+                def _wake(p, n, _woke=woke, _state=state):
+                    if _state[0]:
+                        return
+                    _state[0] = True
+                    _woke.succeed_later(check_cost)
+
+                watches = [
+                    memory.add_watch(paddr, length, _wake)
+                    for paddr, length in segments
+                ]
                 wait = woke
+            else:
+                watches = [
+                    memory.add_watch(
+                        paddr, length,
+                        lambda p, n: None if woke.triggered else woke.succeed(None),
+                    )
+                    for paddr, length in segments
+                ]
+                if deadline is not None:
+                    # One wheel slot per distinct deadline: re-arms on
+                    # later loop iterations share the first iteration's
+                    # scheduler entry, and the cancel after the yield
+                    # keeps early-wake iterations from leaving dead
+                    # deadline dispatches behind.
+                    expired = Event(sim, name="poll-deadline")
+                    dl_handle = self._wheel.at(deadline, expired.succeed, None)
+                    wait = sim.any_of([woke, expired])
+                else:
+                    wait = woke
             # Re-check once before sleeping: a write may have landed
             # between our read above and the watch registration.
             data = b"".join(memory.read(paddr, length) for paddr, length in segments)
@@ -224,6 +363,9 @@ class UserProcess:
             yield wait
             for watch in watches:
                 memory.remove_watch(watch)
+            if dl_handle is not None:
+                self._wheel.cancel(dl_handle)
+            charged = fast
 
     def poll_flag(self, vaddr: int, expected: bytes, deadline: Optional[float] = None):
         """Poll until the bytes at ``vaddr`` equal ``expected``."""

@@ -429,7 +429,10 @@ class SrpcClientBase(_SrpcEndpointBase):
         trace_words = self._trace_words(
             proc.trace_ctx, span.sid if span is not None else 0)
         try:
-            yield from proc.compute(proc.config.costs.srpc_client_stub)
+            # Deferred charge: everything between here and the first
+            # buffer write is pure marshaling, so the stub cost folds
+            # into that write's deadline (one wake instead of two).
+            proc.charge(proc.config.costs.srpc_client_stub)
             self._seq = (self._seq % 0xFFFF) + 1
             call_word = struct.pack("<I", (self._seq << 16) | proc_id)
             expected_ok = struct.pack("<I", (self._seq << 16) | _STATUS_OK)
@@ -507,7 +510,9 @@ class SrpcClientBase(_SrpcEndpointBase):
         :meth:`finish` or :meth:`drain`.
         """
         proc = self.proc
-        yield from proc.compute(proc.config.costs.srpc_client_stub)
+        # Deferred into the frame's first buffer access (see _invoke);
+        # a full-window harvest consumes it at its first poll check.
+        proc.charge(proc.config.costs.srpc_client_stub)
         self._seq = (self._seq % 0xFFFF) + 1
         seq = self._seq
         frame = (seq - 1) % self.window
@@ -834,7 +839,11 @@ class SrpcServerBase(_SrpcEndpointBase):
                 proc.trace_ctx = (wire_ctx[0], span.sid if span is not None
                                   else wire_ctx[1])
             try:
-                yield from proc.compute(proc.config.costs.srpc_server_dispatch)
+                # Deferred charge: dispatcher lookup and ParamRef setup
+                # are pure, so the dispatch cost folds into the first
+                # parameter read (or, for no-arg procedures, into the
+                # reply write) — one wake instead of two.
+                proc.charge(proc.config.costs.srpc_server_dispatch)
                 dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
                 status = _STATUS_OK
                 ret_data = b""
@@ -905,8 +914,8 @@ class SrpcServerBase(_SrpcEndpointBase):
                                   else wire_ctx[1])
             self._active_base = base
             try:
-                yield from proc.compute(
-                    proc.config.costs.srpc_server_dispatch)
+                # Deferred into the first parameter read (see run()).
+                proc.charge(proc.config.costs.srpc_server_dispatch)
                 dispatcher = getattr(self, "_dispatch_%d" % proc_id, None)
                 status = _STATUS_OK
                 ret_data = b""

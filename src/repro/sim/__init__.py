@@ -39,6 +39,7 @@ from .faults import (
 )
 from .process import Interrupt, Process, spawn
 from .resources import BandwidthChannel, MetricsRegistry, Request, Resource, Store
+from .timers import IdleTimer, TimerWheel
 from .trace import Series, Span, Stopwatch, TraceRecord, Tracer
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultSite",
+    "IdleTimer",
     "Interrupt",
     "MetricsRegistry",
     "Process",
@@ -64,6 +66,7 @@ __all__ = [
     "StopSimulation",
     "Stopwatch",
     "Store",
+    "TimerWheel",
     "Timeout",
     "TraceRecord",
     "Tracer",

@@ -261,9 +261,8 @@ class FaultInjector:
                                   scheduled=fault.time),
                     )
                 tracer.log(
-                    "fault",
-                    "injected %s/%s at t=%.3f (scheduled %.3f) %r"
-                    % (fault.site, fault.kind, now, fault.time, fault.params),
+                    "fault", "injected %s/%s at t=%.3f (scheduled %.3f) %r",
+                    fault.site, fault.kind, now, fault.time, fault.params,
                 )
                 return fault
         return None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .core import Event, SimulationError, Simulator
+from .core import URGENT, Event, SimulationError, Simulator, Timeout
 
 __all__ = ["Interrupt", "Process", "spawn"]
 
@@ -87,38 +87,37 @@ class Process(Event):
             # process isn't resumed twice.
             if waited.callbacks is not None and self._event_done in waited.callbacks:
                 waited.callbacks.remove(self._event_done)
-        self._advance(("throw", Interrupt(cause)))
+        self._advance(Interrupt(cause), throwing=True)
 
     # -- generator driving -------------------------------------------------
     def _resume(self, send_value: Any) -> None:
-        self._advance(("send", send_value))
+        self._advance(send_value)
 
     def _event_done(self, event: Event) -> None:
         if self._waiting_on is not event:
             return  # stale callback (we were interrupted away from it)
         self._waiting_on = None
-        if event.ok:
-            self._advance(("send", event.value))
+        if event._ok:
+            self._advance(event._value)
         else:
             # Throwing the exception into the waiter is consumption: the
             # failure has an owner now.
-            event.defuse()
-            self._advance(("throw", event.value))
+            event._defused = True
+            self._advance(event._value, throwing=True)
 
-    def _advance(self, action) -> None:
-        kind, payload = action
+    def _advance(self, payload: Any, throwing: bool = False) -> None:
         try:
-            if kind == "send":
-                target = self._generator.send(payload)
-            else:
+            if throwing:
                 target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
         except BaseException as exc:
             self._crash(exc)
             return
-        if not isinstance(target, Event):
+        if target.__class__ is not Timeout and not isinstance(target, Event):
             exc = TypeError(
                 "process %r yielded %r; processes must yield Event objects "
                 "(Timeout, Event, Process, resource requests, ...)" % (self.name, target)
@@ -131,7 +130,13 @@ class Process(Event):
             self._crash(SimulationError("yielded event belongs to a different simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._event_done)
+        # Inlined Event.add_callback: this runs once per process step and
+        # the attribute dance is measurable at workload scale.
+        callbacks = target.callbacks
+        if callbacks is None:
+            self.sim.schedule_call(0.0, self._event_done, target, priority=URGENT)
+        else:
+            callbacks.append(self._event_done)
 
     def _crash(self, exc: BaseException) -> None:
         if self.callbacks:

@@ -114,13 +114,23 @@ class Tracer:
         self._stacks: Dict[str, List[Span]] = {}
 
     # -- point events ---------------------------------------------------
-    def log(self, category: str, message: str, data: Any = None) -> None:
-        """Record one event if tracing is enabled (counts are always kept)."""
+    def log(self, category: str, message: str, *args: Any,
+            data: Any = None) -> None:
+        """Record one event if tracing is enabled (counts are always kept).
+
+        Extra positional ``args`` are lazily ``%``-formatted into
+        ``message`` only when the record is actually kept — hot hardware
+        paths log thousands of events per run, and eager string
+        formatting on a disabled tracer was a measurable cost (the
+        "cheap-span fast path"; see docs/SIMULATOR.md).
+        """
         self.counts[category] += 1
         if not self.enabled:
             return
         if len(self.records) >= self.limit:
             return
+        if args:
+            message = message % args
         self.records.append(TraceRecord(self.sim.now, category, message, data))
 
     # -- spans ----------------------------------------------------------

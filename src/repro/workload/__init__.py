@@ -7,12 +7,25 @@ The package splits into three pieces:
 * :mod:`~repro.workload.engine` — :func:`run_workload`, which boots a
   machine, starts the service, and drives the traffic;
 * :mod:`~repro.workload.report` — :class:`WorkloadReport`, the
-  deterministic text report with the tail-latency table.
+  deterministic text report with the tail-latency table;
+* :mod:`~repro.workload.recorder` — frozen request streams
+  (:func:`record_stream`/:func:`load_stream`) replayed verbatim for
+  exactly-paired A/Bs, plus the shaped scenarios (flash crowd,
+  diurnal, skew shift).
 
 See ``docs/WORKLOADS.md`` for the model and the CLI.
 """
 
 from .engine import run_workload
+from .recorder import (
+    RecordedStream,
+    diurnal,
+    flash_crowd,
+    load_stream,
+    record_stream,
+    save_stream,
+    skew_shift,
+)
 from .report import WorkloadReport
 from .spec import (
     DEFAULT_VALUE_SIZES,
@@ -27,11 +40,18 @@ from .spec import (
 __all__ = [
     "DEFAULT_VALUE_SIZES",
     "KeySampler",
+    "RecordedStream",
     "ValueSizeSampler",
     "WorkloadReport",
     "WorkloadSpec",
+    "diurnal",
     "exponential_gap_us",
+    "flash_crowd",
     "key_name",
+    "load_stream",
+    "record_stream",
     "run_workload",
+    "save_stream",
+    "skew_shift",
     "value_bytes",
 ]

@@ -40,6 +40,7 @@ from ..sim import Store
 from ..sim.faults import FaultPlan
 from ..testbed import Rendezvous, make_system
 from .backpressure import BackpressureGovernor
+from .recorder import RecordedStream
 from .report import WorkloadReport
 from .spec import (
     KeySampler,
@@ -68,7 +69,8 @@ def _sample_request(rng: random.Random, spec: WorkloadSpec,
 
 
 def run_workload(spec: WorkloadSpec,
-                 fault_plan: Optional[FaultPlan] = None) -> WorkloadReport:
+                 fault_plan: Optional[FaultPlan] = None,
+                 stream: Optional[RecordedStream] = None) -> WorkloadReport:
     """Run one complete workload and return its report.
 
     Boots a machine, starts the KV service, pre-loads the keyspace,
@@ -77,8 +79,27 @@ def run_workload(spec: WorkloadSpec,
     the degraded mode: hardened transports retry, clients fail over to
     replicas, and the run completes (bounded by typed timeouts) rather
     than hanging.
+
+    With ``stream`` (a :class:`~repro.workload.RecordedStream`) the
+    engine *replays* that frozen request sequence instead of sampling
+    its own: gaps, ops, keys, and sizes come from the artifact, so two
+    replays under different serving configs see byte-identical offered
+    traffic (docs/WORKLOADS.md, "Record & replay").  The stream must
+    match the spec's arrival shape and request count.
     """
     spec.validate()
+    if stream is not None:
+        if stream.arrival != spec.arrival:
+            raise ValueError("stream arrival %r does not match spec "
+                             "arrival %r" % (stream.arrival, spec.arrival))
+        if len(stream) != spec.requests:
+            raise ValueError("stream carries %d requests but the spec "
+                             "expects %d" % (len(stream), spec.requests))
+        if spec.arrival == "closed" \
+                and len(stream.workers) != spec.concurrency:
+            raise ValueError("closed stream was recorded for %d workers, "
+                             "spec has %d"
+                             % (len(stream.workers), spec.concurrency))
     config = (MachineConfig.shrimp_prototype() if spec.nodes == 4
               else MachineConfig.sixteen_node())
     system = make_system(config=config, fault_plan=fault_plan)
@@ -332,7 +353,9 @@ def run_workload(spec: WorkloadSpec,
             if spec.arrival == "open" and grouped:
                 stopped = False
                 while not stopped:
-                    item = yield dispatch.get()
+                    item = dispatch.try_get(_EMPTY)
+                    if item is _EMPTY:
+                        item = yield dispatch.get()
                     if item is None:
                         break
                     batch = [item]
@@ -347,7 +370,9 @@ def run_workload(spec: WorkloadSpec,
                     yield from _execute_group(client, batch)
             elif spec.arrival == "open":
                 while True:
-                    item = yield dispatch.get()
+                    item = dispatch.try_get(_EMPTY)
+                    if item is _EMPTY:
+                        item = yield dispatch.get()
                     if item is None:
                         break
                     op, key, size, limit, arrival = item
@@ -368,9 +393,12 @@ def run_workload(spec: WorkloadSpec,
                 quota = spec.requests // workers
                 if wid < spec.requests % workers:
                     quota += 1
-                for _ in range(quota):
-                    op, key, size, limit = _sample_request(
-                        rng, spec, keys, sizes)
+                for index in range(quota):
+                    if stream is not None:
+                        op, key, size, limit = stream.workers[wid][index]
+                    else:
+                        op, key, size, limit = _sample_request(
+                            rng, spec, keys, sizes)
                     issued = sim.now
                     try:
                         status = yield from _execute(
@@ -397,12 +425,20 @@ def run_workload(spec: WorkloadSpec,
         def arrivals(_proc):
             rng = random.Random(spec.seed)
             yield rdv.get("go")
-            for _ in range(spec.requests):
-                gap = exponential_gap_us(rng, spec.load)
+            for index in range(spec.requests):
+                # Replay keeps the generator's exact shape: gap first,
+                # then the request — the instants and tuples a replayed
+                # run stamps are bit-identical to the recorded run's.
+                if stream is not None:
+                    gap, op, key, size, limit = stream.requests[index]
+                else:
+                    gap = exponential_gap_us(rng, spec.load)
                 if governor is not None:
                     gap *= governor.gap_scale()
                 yield sim.timeout(gap)
-                op, key, size, limit = _sample_request(rng, spec, keys, sizes)
+                if stream is None:
+                    op, key, size, limit = _sample_request(
+                        rng, spec, keys, sizes)
                 dispatch.try_put((op, key, size, limit, sim.now))
             for _ in range(workers):
                 dispatch.try_put(None)
@@ -578,5 +614,6 @@ def run_workload(spec: WorkloadSpec,
         consistency_lines=consistency_lines,
         staleness=staleness,
         convergence=convergence,
+        events_executed=sim.events_executed,
         spans=list(system.machine.tracer.spans) if spec.trace else None,
     )

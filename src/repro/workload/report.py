@@ -48,6 +48,11 @@ class WorkloadReport:
     #: JSON artifacts and the consistency experiments.
     staleness: Optional[Dict[str, int]] = None
     convergence: Optional[dict] = None
+    #: Scheduler entries the run dispatched (``Simulator.
+    #: events_executed``) — the denominator of the engine-speed metric
+    #: (bench/simspeed).  Never rendered into the text report, so the
+    #: determinism goldens are unaffected.
+    events_executed: int = 0
     #: The run's recorded spans when ``spec.trace`` was set, else None.
     #: Carried for trace assembly (``python -m repro explain``) and the
     #: observability tests; never rendered into the text report, so the

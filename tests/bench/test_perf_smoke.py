@@ -1,0 +1,54 @@
+"""Perf smoke guard: the engine must not quietly lose its speed.
+
+The committed ``BENCH_sim.json`` records the dispatch-microbench
+events/sec the current engine achieved on the reference machine.  This
+guard re-measures a small dispatch pass and fails when throughput has
+regressed more than 30% below the committed number — the canary for an
+accidentally quadratic hot path or a fast path silently disabled.
+
+Wall-clock guards are machine-sensitive by nature: the committed
+number came from one machine, CI runs on another.  The 30% margin on
+a best-of-3 measurement absorbs normal scheduling noise; a genuinely
+slower host can opt out with ``REPRO_SKIP_PERF_SMOKE=1`` (see
+docs/SIMULATOR.md, "How to profile").
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.simspeed import dispatch_rate
+
+BENCH = pathlib.Path(__file__).resolve().parents[2] / "BENCH_sim.json"
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF_SMOKE") == "1",
+                    reason="perf smoke disabled for this host")
+def test_dispatch_rate_within_30pct_of_committed():
+    """events/sec >= 70% of the committed BENCH_sim.json dispatch rate."""
+    committed = json.loads(BENCH.read_text())
+    target = committed["dispatch"]["events_per_s"]
+    measured = dispatch_rate(events=50000, repeats=3)["events_per_s"]
+    assert measured >= 0.7 * target, (
+        "dispatch throughput %.0f events/s is more than 30%% below the "
+        "committed %.0f events/s — engine regression, or a slow host "
+        "(set REPRO_SKIP_PERF_SMOKE=1 if it's the host)"
+        % (measured, target))
+
+
+def test_bench_artifact_schema_and_claims():
+    """The committed artifact is well-formed and self-consistent."""
+    committed = json.loads(BENCH.read_text())
+    assert committed["schema"] == "repro.bench.simspeed/v1"
+    assert not committed["quick"], "commit full measurements, not --quick"
+    base = committed["baseline_seed_engine"]
+    dispatch = committed["dispatch"]
+    speed = committed["speedup_vs_seed"]
+    assert dispatch["events"] >= 200000
+    ratio = dispatch["events_per_s"] / base["dispatch_events_per_s"]
+    assert abs(ratio - speed["dispatch_events_per_s"]) < 1e-9
+    # The PR 9 tentpole claim, pinned: >= 2x dispatch events/sec.
+    assert speed["dispatch_events_per_s"] >= 2.0
+    assert 0.0 < speed["capacity_events_eliminated"] < 1.0

@@ -19,7 +19,7 @@ def traced_sim():
     tracer.complete("cpu.store", "store 4B", 0.0, 0.87, track="n0.cpu.p1",
                     data={"bytes": 4})
     tracer.complete("mesh.transit", "pkt #0", 2.02, 2.48, track="mesh.backplane")
-    tracer.log("net", "packet sent", {"size": 20})
+    tracer.log("net", "packet sent", data={"size": 20})
     return sim, tracer
 
 

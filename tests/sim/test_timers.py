@@ -1,0 +1,127 @@
+"""Unit tests for the slotted/coalesced timers (repro.sim.timers)."""
+
+from repro.sim import Simulator
+from repro.sim.timers import IdleTimer, TimerWheel
+
+import pytest
+
+
+def test_wheel_fires_at_deadline_in_registration_order():
+    """One slot, several timers: all fire at the instant, in order."""
+    sim = Simulator()
+    wheel = TimerWheel(sim)
+    fired = []
+    wheel.at(10.0, fired.append, "a")
+    wheel.at(10.0, fired.append, "b")
+    wheel.at(5.0, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "a", "b"]
+    assert sim.now == 10.0
+
+
+def test_wheel_coalesces_same_deadline_into_one_entry():
+    """N registrations at one float cost one scheduler dispatch."""
+    sim = Simulator()
+    wheel = TimerWheel(sim)
+    hits = []
+    for i in range(50):
+        wheel.at(7.0, hits.append, i)
+    assert wheel.pending(7.0) == 50
+    sim.run()
+    # 50 callbacks, one entry: the wheel's own dispatch plus nothing.
+    assert sim.events_executed == 1
+    assert hits == list(range(50))
+
+
+def test_wheel_cancel_is_idempotent_and_skips_the_callback():
+    """Cancelled cells never run; cancelling twice (or late) is safe."""
+    sim = Simulator()
+    wheel = TimerWheel(sim)
+    fired = []
+    keep = wheel.at(3.0, fired.append, "keep")
+    drop = wheel.at(3.0, fired.append, "drop")
+    wheel.cancel(drop)
+    wheel.cancel(drop)
+    assert wheel.pending(3.0) == 1
+    sim.run()
+    assert fired == ["keep"]
+    wheel.cancel(keep)  # after firing: harmless
+    assert wheel.pending(3.0) == 0
+
+
+def test_wheel_refire_after_slot_drains():
+    """Re-registering a drained deadline starts a fresh slot."""
+    sim = Simulator()
+    wheel = TimerWheel(sim)
+    fired = []
+
+    def chain(label):
+        fired.append(label)
+        if label == "first":
+            # Same-float re-registration from inside the dispatch: a
+            # new slot, dispatched immediately after (same instant).
+            wheel.at(2.0, chain, "second")
+
+    wheel.at(2.0, chain, "first")
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_idle_timer_expires_after_quiet_window():
+    """No activity: the expiry action runs one window after arming."""
+    sim = Simulator()
+    state = {"last": 0.0, "expired": []}
+    timer = IdleTimer(sim, lambda: (4.0, state["last"]),
+                      lambda: state["expired"].append(sim.now))
+    timer.arm(4.0)
+    assert timer.armed
+    sim.run()
+    assert state["expired"] == [4.0]
+    assert not timer.armed
+
+
+def test_idle_timer_slides_with_activity_without_rearming():
+    """Activity mid-window defers expiry by re-checking, not re-arming.
+
+    Three writes land inside the window; the timer fires only once
+    activity has been quiet for a full window, and the entry count
+    scales with re-checks (2), not with writes (3).
+    """
+    sim = Simulator()
+    state = {"last": 0.0, "expired": []}
+    timer = IdleTimer(sim, lambda: (10.0, state["last"]),
+                      lambda: state["expired"].append(sim.now))
+
+    def writer():
+        for at in (3.0, 6.0, 9.0):
+            yield sim.timeout(at - sim.now)
+            state["last"] = sim.now
+            timer.arm(10.0)  # no-op while armed
+
+    from repro.sim.process import Process
+    Process(sim, writer(), name="writer")
+    timer.arm(10.0)
+    sim.run()
+    assert state["expired"] == [19.0]
+
+
+def test_idle_timer_probe_none_disarms():
+    """A vanished guarded object (probe -> None) ends the timer quietly."""
+    sim = Simulator()
+    expired = []
+    timer = IdleTimer(sim, lambda: None, lambda: expired.append(1))
+    timer.arm(5.0)
+    sim.run()
+    assert expired == []
+    assert not timer.armed
+
+
+def test_wheel_rejects_past_deadline():
+    """Scheduling in the past fails like any negative-delay schedule."""
+    sim = Simulator()
+    wheel = TimerWheel(sim)
+    wheel.at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        wheel.at(0.5, lambda: None)

@@ -16,7 +16,8 @@ def test_tracer_disabled_keeps_counts_only():
 def test_tracer_enabled_records_time_and_category():
     sim = Simulator()
     tracer = Tracer(sim, enabled=True)
-    sim.schedule_call(3.5, tracer.log, "net", "hello", {"size": 4})
+    sim.schedule_call(
+        3.5, lambda: tracer.log("net", "hello", data={"size": 4}))
     sim.run()
     assert len(tracer.records) == 1
     record = tracer.records[0]

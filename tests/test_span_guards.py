@@ -172,6 +172,85 @@ def test_auditor_accepts_the_guard_styles():
     assert find_unguarded(good) == []
 
 
+# -- lazy log formatting -------------------------------------------------
+#
+# ``Tracer.log`` %-formats its extra positional args lazily, only when
+# the record is actually kept.  A call site that pre-formats — passing
+# ``message %% args``, an f-string with placeholders, ``.format(...)``,
+# or string concatenation as the message — pays the formatting cost
+# even with tracing disabled, exactly the tax the lazy protocol exists
+# to avoid (docs/SIMULATOR.md, "Cheap spans when tracing is off").
+
+
+def _is_eager_message(node):
+    """Whether a ``log`` message argument is formatted at call time."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mod,
+                                                           ast.Add)):
+        return True
+    if isinstance(node, ast.JoinedStr):
+        return any(isinstance(part, ast.FormattedValue)
+                   for part in node.values)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr == "format":
+        return True
+    return False
+
+
+def find_eager_log_formatting(source, filename="<module>"):
+    """Every ``tracer.log`` call site that formats its message eagerly."""
+    tree = ast.parse(source, filename=filename)
+    problems = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "log"
+                and "tracer" in _chain(node.func)):
+            continue
+        if len(node.args) >= 2 and _is_eager_message(node.args[1]):
+            problems.append(
+                "%s:%d: eager formatting in tracer.log message — pass "
+                "the values as extra args for lazy %%-formatting"
+                % (filename, node.lineno))
+    return problems
+
+
+def test_no_eager_formatting_at_log_call_sites():
+    problems = []
+    audited = 0
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in EXEMPT:
+            continue
+        text = path.read_text()
+        if "tracer.log(" not in text:
+            continue
+        audited += 1
+        problems.extend(find_eager_log_formatting(text, rel))
+    assert audited >= 5, "audit lost track of the tracer.log call sites"
+    assert not problems, "\n".join(problems)
+
+
+def test_auditor_flags_eager_log_formatting():
+    bad = (
+        "def hot(self, addr):\n"
+        "    self.tracer.log('fault', 'fault at %#x' % addr)\n"
+        "    self.tracer.log('fault', f'fault at {addr}')\n"
+        "    self.tracer.log('fault', 'fault at {}'.format(addr))\n"
+        "    self.tracer.log('fault', 'fault at ' + hex(addr))\n"
+    )
+    assert len(find_eager_log_formatting(bad)) == 4
+
+
+def test_auditor_accepts_lazy_log_formatting():
+    good = (
+        "def hot(self, addr):\n"
+        "    self.tracer.log('fault', 'fault at %#x', addr)\n"
+        "    self.tracer.log('boot', 'static message')\n"
+        "    self.tracer.log('boot', f'no placeholders here')\n"
+    )
+    assert find_eager_log_formatting(good) == []
+
+
 def test_tracer_end_of_none_stays_exempt():
     # The contract the exemption rests on: end(None) must be a no-op.
     from repro.sim import Simulator, Tracer
