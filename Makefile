@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json capacity-consistency-json onesided-demo overload-demo antientropy-demo antientropy-json bench-sim-json record-replay-demo clean
+.PHONY: install test test-fast faults bench examples reports trace-demo workload serve-demo explain-demo capacity-json capacity-ab-json capacity-overload-json capacity-consistency-json onesided-demo overload-demo antientropy-demo antientropy-json bench-sim-json record-replay-demo profile-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -81,6 +81,15 @@ record-replay-demo:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro record --out stream.json --seed 11 --requests 400 --load 40000
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro replay --stream stream.json
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro replay --stream stream.json --ab onesided_reads=true
+
+# The runnable examples from docs/OBSERVABILITY.md "Profiles & diffs",
+# at doc-exact arguments: a fleet-wide flame profile of one traced run,
+# then a recorded stream replayed with the one-sided bypass as the only
+# change, stage-attributing the latency delta (closure gate 5%).
+profile-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro profile --seed 11 --requests 120 --load 40000
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro record --out profile-stream.json --seed 11 --requests 300 --load 60000
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro diff --stream profile-stream.json --ab onesided_reads=true
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -11,6 +11,8 @@
     python -m repro capacity         # offered load vs tail latency sweep
     python -m repro antientropy      # replica divergence + Merkle healing
     python -m repro explain          # one request's cross-node causal tree
+    python -m repro profile          # fleet-wide flame profile of a traced run
+    python -m repro diff             # A/B stage attribution, or bench diffs
     python -m repro all              # everything, in order
 
 Each figure command prints the same rows the paper plots (and that
@@ -292,6 +294,25 @@ def _replay_spec(args, stream):
     return spec
 
 
+def _plain_path(spec) -> bool:
+    """Whether the engine serves this spec request-per-request.
+
+    Grouped dispatch (an SRPC pipeline window or GET batching under
+    open arrivals, workload/engine.py) covers several requests with
+    one root span, so per-request arrival tagging — and hence stage
+    attribution — only applies to the plain path.
+    """
+    return not (spec.arrival == "open"
+                and max(spec.pipeline_window, spec.batch_keys) > 1
+                and spec.transport == "srpc")
+
+
+_GROUPED_NOTE = ("(stage attribution skipped: grouped dispatch — an SRPC "
+                 "pipeline window or GET batch — folds several requests "
+                 "into one root span, so per-stage totals cannot close "
+                 "against per-request latency; see docs/OBSERVABILITY.md)")
+
+
 def _cmd_replay(args) -> int:
     import dataclasses
 
@@ -325,15 +346,89 @@ def _cmd_replay(args) -> int:
                      "%.1f" % report_b.percentile(p)])
     from .bench.report import format_table
     print("\n".join(format_table(rows)))
+    print()
+    if _plain_path(spec) and _plain_path(spec_b):
+        from .bench.attribution import attribute_pair
+        result = attribute_pair(spec, spec_b, stream=stream,
+                                label=" ".join(args.ab))
+        print(result.report())
+    else:
+        print(_GROUPED_NOTE)
     return 0
 
 
-def _cmd_capacity(args) -> int:
-    import json
+def _cmd_profile(args) -> int:
+    from .obs import build_profile, render_folded
+    from .workload import WorkloadSpec, run_workload
 
+    spec = WorkloadSpec(
+        seed=args.seed, transport=args.transport, arrival="open",
+        load=args.load, concurrency=args.concurrency,
+        requests=args.requests, keys=args.keys,
+        read_fraction=args.read_fraction, trace=True,
+        onesided_reads=args.onesided, tenant=args.tenant)
+    report = run_workload(spec)
+    profile = build_profile(report.spans or [], metrics=report.metrics,
+                            top_k=args.top)
+    if not profile.requests:
+        print("no request traces recorded (is tracing enabled?)")
+        return 1
+    print(profile.report(top=args.top))
+    if args.folded:
+        try:
+            with open(args.folded, "w") as fh:
+                fh.write(render_folded(profile))
+                fh.write("\n")
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.folded, exc.strerror))
+            return 1
+        print()
+        print("wrote %s (collapsed stacks, flamegraph.pl-compatible)"
+              % args.folded)
+    ok = not profile.problems and profile.conservation_error <= 0.01
+    return 0 if ok else 1
+
+
+def _cmd_diff(args) -> int:
+    import dataclasses
+
+    if args.bench:
+        from .bench.report import load_bench_json
+        from .obs import diff_bench_payloads
+
+        try:
+            payload_a = load_bench_json(args.bench[0])
+            payload_b = load_bench_json(args.bench[1])
+        except (OSError, ValueError) as exc:
+            print("cannot load bench artifact: %s" % exc)
+            return 1
+        print(diff_bench_payloads(payload_a, payload_b))
+        return 0
+    if not args.stream or not args.ab:
+        print("diff needs either --bench A.json B.json or "
+              "--stream PATH with --ab FIELD=VALUE")
+        return 2
+    from .bench.attribution import attribute_pair
+    from .workload import load_stream
+
+    stream = load_stream(args.stream)
+    print(stream.describe())
+    print()
+    spec = _replay_spec(args, stream)
+    spec_b = dataclasses.replace(spec, **_spec_overrides(args.ab))
+    result = attribute_pair(spec, spec_b, stream=stream,
+                            label=" ".join(args.ab))
+    print(result.report())
+    return 0 if result.ok else 1
+
+
+def _cmd_capacity(args) -> int:
     from .bench.capacity import (capacity_payload, capacity_sweep,
+                                 mitigation_spec_pair,
                                  paired_capacity_sweep)
     from .workload import WorkloadSpec
+
+    attr_pair = None
 
     loads = [float(x) for x in args.loads.split(",")]
     spec = WorkloadSpec(
@@ -385,8 +480,7 @@ def _cmd_capacity(args) -> int:
             # Isolate the bypass: unset client-side knobs stay neutral
             # on the B side, so the knee movement is attributable to
             # the one-sided read path alone.
-            result = paired_capacity_sweep(
-                loads, spec,
+            ab_kwargs = dict(
                 pipeline_window=args.pipeline_window or 1,
                 batch_keys=args.batch_keys or 1,
                 cache_keys=args.cache_keys or 0,
@@ -394,8 +488,7 @@ def _cmd_capacity(args) -> int:
                 read_spread=bool(args.read_spread),
                 onesided=True)
         else:
-            result = paired_capacity_sweep(
-                loads, spec,
+            ab_kwargs = dict(
                 pipeline_window=args.pipeline_window or 4,
                 batch_keys=args.batch_keys or 4,
                 cache_keys=args.cache_keys if args.cache_keys is not None
@@ -404,6 +497,8 @@ def _cmd_capacity(args) -> int:
                 else 2000.0,
                 read_spread=True if args.read_spread is None
                 else args.read_spread)
+        result = paired_capacity_sweep(loads, spec, **ab_kwargs)
+        attr_pair = mitigation_spec_pair(spec, **ab_kwargs)
     else:
         from dataclasses import replace
         spec = replace(spec,
@@ -415,14 +510,36 @@ def _cmd_capacity(args) -> int:
                        onesided_reads=args.onesided)
         result = capacity_sweep(loads, spec)
     print(result.report())
+    if attr_pair is not None:
+        # Auto-emit the stage attribution for the mitigation A/B: one
+        # traced paired run at the most interesting load (the baseline
+        # knee if the sweep found one) explains *where* the knee moved.
+        base, mitigated = attr_pair
+        attr_load = (result.baseline.knee_load
+                     or result.mitigated.knee_load or max(loads))
+        print()
+        if _plain_path(base) and _plain_path(mitigated):
+            from dataclasses import replace
+
+            from .bench.attribution import attribute_pair
+            attr = attribute_pair(
+                replace(base, load=attr_load),
+                replace(mitigated, load=attr_load),
+                label="capacity --ab at %.0f ops/s" % attr_load)
+            print("== stage attribution at %.0f ops/s ==" % attr_load)
+            print(attr.report())
+        else:
+            print(_GROUPED_NOTE)
     if args.json:
+        from .bench.report import write_bench_json
         payload = capacity_payload(result, spec, loads)
         try:
-            with open(args.json, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            write_bench_json(args.json, payload)
         except OSError as exc:
             print("cannot write %s: %s" % (args.json, exc.strerror))
+            return 1
+        except ValueError as exc:
+            print(exc)
             return 1
         print()
         print("wrote %s" % args.json)
@@ -430,8 +547,6 @@ def _cmd_capacity(args) -> int:
 
 
 def _cmd_antientropy(args) -> int:
-    import json
-
     from .sim.faults import Fault, FaultKind, FaultPlan, FaultSite
     from .workload import WorkloadSpec, run_workload
 
@@ -473,12 +588,14 @@ def _cmd_antientropy(args) -> int:
             "convergence": conv,
             "spec_line": report.spec_line,
         }
+        from .bench.report import write_bench_json
         try:
-            with open(args.json, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            write_bench_json(args.json, payload)
         except OSError as exc:
             print("cannot write %s: %s" % (args.json, exc.strerror))
+            return 1
+        except ValueError as exc:
+            print(exc)
             return 1
         print()
         print("wrote %s" % args.json)
@@ -932,6 +1049,51 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="allowed slow-request fraction")
     explain.add_argument("--slo-error-budget", type=float, default=0.01,
                          help="allowed error fraction")
+    profile = sub.add_parser(
+        "profile",
+        help="fold a traced workload into a fleet-wide flame profile",
+    )
+    profile.add_argument("--seed", type=int, default=1,
+                         help="workload seed (same seed => same profile)")
+    profile.add_argument("--transport", choices=["srpc", "sockets"],
+                         default="srpc", help="client transport")
+    profile.add_argument("--load", type=float, default=20000.0,
+                         help="open-loop offered load (ops/s)")
+    profile.add_argument("--concurrency", type=int, default=4,
+                         help="worker processes")
+    profile.add_argument("--requests", type=int, default=120,
+                         help="total requests in the traced run")
+    profile.add_argument("--keys", type=int, default=64,
+                         help="keyspace size")
+    profile.add_argument("--read-fraction", type=float, default=0.70,
+                         help="GET fraction (writes replicate cross-node)")
+    profile.add_argument("--tenant", default="",
+                         help="tag every request for per-tenant grouping")
+    profile.add_argument("--onesided", action="store_true",
+                         help="profile with one-sided bypass GETs enabled")
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="also write collapsed stacks "
+                              "(flamegraph.pl-compatible)")
+    profile.add_argument("--top", type=int, default=3,
+                         help="hot spans listed per stage")
+    diff = sub.add_parser(
+        "diff",
+        help="attribute an A/B latency delta to stages, or diff two "
+             "bench artifacts",
+    )
+    diff.add_argument("--stream", default=None, metavar="PATH",
+                      help="stream artifact from 'record' (both sides "
+                           "replay it, op for op)")
+    diff.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                      help="override a WorkloadSpec field on BOTH sides "
+                           "(repeatable)")
+    diff.add_argument("--ab", action="append", metavar="FIELD=VALUE",
+                      help="the B side's overrides (repeatable); A is "
+                           "the stream's baseline spec")
+    diff.add_argument("--bench", nargs=2, default=None,
+                      metavar=("A.json", "B.json"),
+                      help="diff two bench artifacts (any BENCH_*.json "
+                           "schema) instead of replaying a stream")
     serve = sub.add_parser(
         "serve",
         help="boot the sharded KV service and run a scripted demo client",
@@ -960,6 +1122,10 @@ def main(argv=None) -> int:
         return _cmd_antientropy(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command in _FIGURES:

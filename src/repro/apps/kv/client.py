@@ -188,6 +188,10 @@ class KVClient:
         self.stale_detected = 0
         self.quorum_reads = 0
         self.quorum_writes = 0
+        # The most recent request's root span (tracing on only):
+        # the profiler's ``tag_root`` hook stamps arrival/tenant tags
+        # onto it after the engine records the latency.
+        self.last_span = None
 
     # ------------------------------------------------------ connections
 
@@ -642,10 +646,13 @@ class KVClient:
         if not tracer.enabled:
             return
         if root is None:
-            tracer.complete("kv.client", name, start, track=self.track)
+            self.last_span = tracer.complete("kv.client", name, start,
+                                             track=self.track)
         else:
-            tracer.complete("kv.client", name, start, track=self.track,
-                            data={"tid": root[0]}, sid=root[1])
+            self.last_span = tracer.complete("kv.client", name, start,
+                                             track=self.track,
+                                             data={"tid": root[0]},
+                                             sid=root[1])
 
     def _root_begin(self):
         """Open a causal-trace root for one client request.

@@ -1,0 +1,99 @@
+"""Run an exactly-paired A/B traced and attribute the delta to stages.
+
+The one-call harness behind ``python -m repro diff`` and the
+attribution tables ``capacity --ab`` / ``replay --ab`` auto-emit:
+run both sides of a pair with tracing on (same recorded stream when
+given, same seed always — so the offered traffic is op-for-op
+identical), fold each side with :func:`repro.obs.profile.build_profile`,
+and difference them with :func:`repro.obs.diff.diff_profiles`.
+
+Closure is scored against the *measured* end-to-end delta (the two
+workload reports' histogram means), the run-level analogue of
+``explain``'s 1% budget gate: the acceptance bar is 5%
+(docs/OBSERVABILITY.md, "Profiles & diffs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..obs.diff import DiffResult, diff_profiles
+from ..obs.profile import Profile, build_profile
+
+__all__ = ["AttributionResult", "attribute_pair"]
+
+
+@dataclass
+class AttributionResult:
+    """Both traced runs, their profiles, and the stage-attributed diff."""
+
+    diff: DiffResult
+    profile_a: Profile
+    profile_b: Profile
+    report_a: object   # WorkloadReport
+    report_b: object
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the attribution closed within the 5% gate (and the
+        causal-tree audit stayed clean on both sides)."""
+        return (self.diff.closure_error <= 0.05
+                and not self.profile_a.problems
+                and not self.profile_b.problems)
+
+    def report(self) -> str:
+        """The attribution table plus per-side context lines."""
+        lines = ["attribution pair: A %d requests, B %d requests "
+                 "(same offered traffic, request for request)"
+                 % (self.diff.a_requests, self.diff.b_requests)]
+        lines.append("  A: %s" % self.report_a.spec_line)
+        lines.append("  B: %s" % self.report_b.spec_line)
+        lines.append("")
+        lines.append(self.diff.report())
+        problems = self.profile_a.problems + self.profile_b.problems
+        if problems:
+            lines.append("")
+            lines.append("audit problems:")
+            lines.extend("  " + p for p in problems)
+        return "\n".join(lines)
+
+
+def attribute_pair(spec_a, spec_b, stream=None,
+                   label: str = "") -> AttributionResult:
+    """Trace both sides of a pair and attribute the latency delta.
+
+    ``spec_a``/``spec_b`` are the two :class:`WorkloadSpec`\\ s (trace
+    is forced on for both); ``stream`` replays a recorded request
+    sequence on both sides (docs/WORKLOADS.md) — without one the
+    shared seed still makes the open-loop offered traffic identical,
+    which is how ``capacity --ab`` pairs its sweeps.
+    """
+    # Imported here, not at module scope: the engine renders tables
+    # via repro.bench.report, so a module-level import would close an
+    # import cycle (same pattern as capacity_sweep).
+    from ..workload.engine import run_workload
+
+    report_a = run_workload(replace(spec_a, trace=True), stream=stream)
+    report_b = run_workload(replace(spec_b, trace=True), stream=stream)
+    profile_a = build_profile(report_a.spans or [],
+                              metrics=report_a.metrics)
+    profile_b = build_profile(report_b.spans or [],
+                              metrics=report_b.metrics)
+
+    def _mean(report) -> Optional[float]:
+        return report.overall.mean if report.overall.count else None
+
+    def _p99(report) -> Optional[float]:
+        return (report.percentile(99.0) if report.overall.count
+                else None)
+
+    diff = diff_profiles(profile_a, profile_b,
+                         measured_a=_mean(report_a),
+                         measured_b=_mean(report_b),
+                         p99_a=_p99(report_a), p99_b=_p99(report_b),
+                         label=label)
+    return AttributionResult(diff=diff, profile_a=profile_a,
+                             profile_b=profile_b, report_a=report_a,
+                             report_b=report_b, label=label)

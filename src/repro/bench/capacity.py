@@ -21,8 +21,35 @@ from ..workload.spec import WorkloadSpec
 from .report import format_table
 
 __all__ = ["CapacityPoint", "CapacityResult", "PairedCapacityResult",
-           "capacity_sweep", "find_knee", "paired_capacity_sweep",
-           "capacity_payload"]
+           "capacity_sweep", "find_knee", "mitigation_spec_pair",
+           "paired_capacity_sweep", "capacity_payload"]
+
+
+def mitigation_spec_pair(spec: WorkloadSpec,
+                         pipeline_window: int = 4,
+                         batch_keys: int = 4,
+                         cache_keys: int = 64,
+                         cache_ttl_us: float = 2000.0,
+                         read_spread: bool = True,
+                         onesided: bool = False):
+    """The exactly-paired (baseline, mitigated) specs of an A/B sweep.
+
+    Same seed, mix, and keyspace — A with every client-side mitigation
+    forced off, B with the given values — so the pair differs only in
+    the serving-stack knobs under test.  Shared by
+    :func:`paired_capacity_sweep` and the stage-attribution runs
+    (``repro diff`` / ``capacity --ab``), so both always compare the
+    same two configurations.
+    """
+    baseline = replace(spec, pipeline_window=1, batch_keys=1,
+                       cache_keys=0, cache_ttl_us=0.0,
+                       read_spread=False, onesided_reads=False)
+    mitigated = replace(spec, pipeline_window=pipeline_window,
+                        batch_keys=batch_keys, cache_keys=cache_keys,
+                        cache_ttl_us=cache_ttl_us,
+                        read_spread=read_spread,
+                        onesided_reads=onesided)
+    return baseline, mitigated
 
 
 @dataclass
@@ -390,14 +417,10 @@ def paired_capacity_sweep(loads: Sequence[float],
         return PairedCapacityResult(baseline=baseline, mitigated=controlled,
                                     label=controlled_spec.overload_label(),
                                     overload=True)
-    baseline_spec = replace(spec, pipeline_window=1, batch_keys=1,
-                            cache_keys=0, cache_ttl_us=0.0,
-                            read_spread=False, onesided_reads=False)
-    mitigated_spec = replace(spec, pipeline_window=pipeline_window,
-                             batch_keys=batch_keys, cache_keys=cache_keys,
-                             cache_ttl_us=cache_ttl_us,
-                             read_spread=read_spread,
-                             onesided_reads=onesided)
+    baseline_spec, mitigated_spec = mitigation_spec_pair(
+        spec, pipeline_window=pipeline_window, batch_keys=batch_keys,
+        cache_keys=cache_keys, cache_ttl_us=cache_ttl_us,
+        read_spread=read_spread, onesided=onesided)
     baseline = capacity_sweep(loads, baseline_spec, tail_factor=tail_factor,
                               shortfall=shortfall)
     mitigated = capacity_sweep(loads, mitigated_spec, tail_factor=tail_factor,

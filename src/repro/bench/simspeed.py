@@ -26,13 +26,13 @@ Regenerate with ``make bench-sim-json`` (CI uploads the artifact).
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Dict, List, Optional
 
 from ..sim.core import Simulator
 from ..sim.process import Process
 from ..workload import WorkloadSpec, run_workload
+from .report import write_bench_json
 
 __all__ = ["SCHEMA", "SEED_BASELINE", "CAPACITY_SPECS", "dispatch_rate",
            "capacity_wall", "simspeed_payload", "write_simspeed_json"]
@@ -167,12 +167,13 @@ def simspeed_payload(quick: bool = False) -> dict:
 
 
 def write_simspeed_json(path: str, quick: bool = False) -> dict:
-    """Measure and write ``path``; returns the payload."""
+    """Measure and write ``path``; returns the payload.
+
+    Goes through the shared schema'd writer so the artifact is
+    guaranteed ingestible by ``python -m repro diff --bench``.
+    """
     payload = simspeed_payload(quick=quick)
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return payload
+    return write_bench_json(path, payload)
 
 
 def main(argv=None) -> int:

@@ -19,6 +19,16 @@ from .assemble import (
     format_tree,
 )
 from .context import TRACE_EXT, TRACE_EXT_BYTES, pack_ctx, span_tags, unpack_ctx
+from .diff import DiffResult, StageDelta, diff_bench_payloads, diff_profiles
+from .profile import (
+    PROFILE_STAGES,
+    Profile,
+    RequestProfile,
+    build_profile,
+    render_flame,
+    render_folded,
+    tag_root,
+)
 from .slo import FlightRecorder, SloAlert, SloMonitor, SloObjective
 from .timeseries import RingBuffer, TelemetrySampler, WindowedLatency, WindowSample
 
@@ -26,6 +36,9 @@ __all__ = [
     "TRACE_EXT", "TRACE_EXT_BYTES", "pack_ctx", "unpack_ctx", "span_tags",
     "TraceTree", "PathSegment", "ExplainResult", "STAGE_ORDER",
     "assemble_traces", "audit", "explain_trace", "format_tree",
+    "PROFILE_STAGES", "Profile", "RequestProfile", "build_profile",
+    "render_flame", "render_folded", "tag_root",
+    "DiffResult", "StageDelta", "diff_profiles", "diff_bench_payloads",
     "RingBuffer", "WindowedLatency", "WindowSample", "TelemetrySampler",
     "SloObjective", "SloAlert", "SloMonitor", "FlightRecorder",
 ]

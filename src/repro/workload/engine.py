@@ -36,6 +36,7 @@ from ..apps.kv import (
 from ..analysis import LatencyHistogram
 from ..hardware.config import MachineConfig
 from ..obs import FlightRecorder, SloMonitor, TelemetrySampler
+from ..obs import profile as profiling
 from ..sim import Store
 from ..sim.faults import FaultPlan
 from ..testbed import Rendezvous, make_system
@@ -103,7 +104,8 @@ def run_workload(spec: WorkloadSpec,
     config = (MachineConfig.shrimp_prototype() if spec.nodes == 4
               else MachineConfig.sixteen_node())
     system = make_system(config=config, fault_plan=fault_plan)
-    if spec.trace:
+    traced = spec.trace
+    if traced:
         system.machine.tracer.enabled = True
     sim = system.sim
 
@@ -383,6 +385,13 @@ def run_workload(spec: WorkloadSpec,
                         _reject()
                     else:
                         _record(op, sim.now - arrival, status)
+                    if traced:
+                        # Stamp the root span with its dispatch arrival
+                        # (the queue wait precedes the span) and the
+                        # tenant tag, so per-request profile totals
+                        # equal the recorded latency exactly.
+                        profiling.tag_root(client, arrival=arrival,
+                                           tenant=spec.tenant or None)
                     window["end"] = max(window["end"], sim.now)
                     if spec.read_repair:
                         # After the latency was recorded: repairs ride
@@ -407,6 +416,9 @@ def run_workload(spec: WorkloadSpec,
                         _reject()
                     else:
                         _record(op, sim.now - issued, status)
+                    if traced:
+                        profiling.tag_root(client, arrival=issued,
+                                           tenant=spec.tenant or None)
                     window["end"] = max(window["end"], sim.now)
                     if spec.read_repair:
                         yield from client.flush_repairs()
@@ -468,6 +480,9 @@ def run_workload(spec: WorkloadSpec,
         # Conditional so eventually-consistent reports stay
         # byte-identical to the zero-regression goldens.
         spec_line += " " + spec.consistency_label()
+    if spec.tenant:
+        # Conditional so untagged reports keep golden-identical lines.
+        spec_line += " tenant=%s" % spec.tenant
     misses = sum(c.misses for c in clients)
     failovers = sum(c.failovers for c in clients)
     corruptions = sum(c.corruptions for c in clients)
@@ -616,4 +631,7 @@ def run_workload(spec: WorkloadSpec,
         convergence=convergence,
         events_executed=sim.events_executed,
         spans=list(system.machine.tracer.spans) if spec.trace else None,
+        metrics=({"now": sim.now,
+                  "entries": system.machine.metrics.snapshot()}
+                 if spec.trace else None),
     )

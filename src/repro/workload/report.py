@@ -58,6 +58,11 @@ class WorkloadReport:
     #: observability tests; never rendered into the text report, so the
     #: determinism goldens are unaffected.
     spans: Optional[list] = None
+    #: The metrics-registry snapshot (``{"now": ..., "entries": [...]}``)
+    #: when ``spec.trace`` was set, else None — the contention source
+    #: for ``python -m repro profile``.  Never rendered into the text
+    #: report, like ``spans``.
+    metrics: Optional[dict] = None
 
     @property
     def throughput_ops_s(self) -> float:

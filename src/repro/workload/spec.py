@@ -179,6 +179,10 @@ class WorkloadSpec:
     antientropy: bool = False        # background Merkle sweeper
     antientropy_interval_us: float = 2000.0  # gap between sweeps
     repl_queue_cap: int = 0          # bound replication queues (0 = inf)
+    # Profiling tag (docs/OBSERVABILITY.md "Profiles & diffs"; default
+    # off — the empty tenant adds nothing to spans or the spec line,
+    # so untagged reports stay byte-identical to the goldens):
+    tenant: str = ""                 # label traced requests for grouping
 
     def mitigated(self) -> bool:
         """Whether any hot-key/pipelining mitigation knob is non-default."""
@@ -335,6 +339,9 @@ class WorkloadSpec:
             raise ValueError("antientropy_interval_us must be positive")
         if self.repl_queue_cap < 0:
             raise ValueError("repl_queue_cap must be >= 0")
+        if ";" in self.tenant or any(c.isspace() for c in self.tenant):
+            raise ValueError("tenant must contain no whitespace or ';' "
+                             "(it becomes a folded-stack frame)")
         KeySampler(self.keys, self.key_distribution, self.zipf_s)
         ValueSizeSampler(self.value_sizes)
 

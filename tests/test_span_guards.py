@@ -22,11 +22,15 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 #: Attribute names whose calls count as span/metric emission.
 EMITTING_ATTRS = {"begin", "complete"}
 #: Telemetry hooks: (attribute called, object-chain substring required).
-HOOK_ATTRS = {"record": "sampler", "capture": "recorder"}
-#: The tracer module itself and pure-assembly code are exempt: they are
-#: the implementation, not call sites on the simulation hot path.
+#: ``profiling.tag_root`` mutates the just-closed root span's data dict
+#: (workload/engine.py), so it is a hot-path hook like the sampler.
+HOOK_ATTRS = {"record": "sampler", "capture": "recorder",
+              "tag_root": "profiling"}
+#: The tracer module itself and pure span *consumers* are exempt: they
+#: are the implementation (or run strictly after the simulation), not
+#: call sites on the simulation hot path.
 EXEMPT = {"sim/trace.py", "obs/assemble.py", "obs/slo.py",
-          "obs/timeseries.py"}
+          "obs/timeseries.py", "obs/profile.py", "obs/diff.py"}
 
 
 def _chain(node):
@@ -121,7 +125,8 @@ def _emitting_modules():
         text = path.read_text()
         if (".begin(" in text or ".complete(" in text
                 or "sampler.window.record" in text
-                or "recorder.capture" in text):
+                or "recorder.capture" in text
+                or "profiling.tag_root(" in text):
             yield rel, text
 
 
@@ -151,6 +156,25 @@ def test_auditor_flags_unguarded_telemetry_hook():
         "    sampler.window.record(latency)\n"
     )
     assert len(find_unguarded(bad)) == 1
+
+
+def test_auditor_flags_unguarded_root_tagging():
+    bad = (
+        "def worker(client, arrival):\n"
+        "    profiling.tag_root(client, arrival=arrival)\n"
+    )
+    assert find_unguarded(bad) == [
+        "<module>:2: unguarded profiling.tag_root emission"]
+
+
+def test_auditor_accepts_guarded_root_tagging():
+    # The exact style workload/engine.py uses around its tag_root sites.
+    good = (
+        "def worker(client, arrival, traced):\n"
+        "    if traced:\n"
+        "        profiling.tag_root(client, arrival=arrival)\n"
+    )
+    assert find_unguarded(good) == []
 
 
 def test_auditor_accepts_the_guard_styles():
